@@ -1,0 +1,213 @@
+// Ablations on LeJIT's design choices (DESIGN.md §6, paper §5 agenda):
+//   A. guidance mode — vanilla vs grammar-only vs full solver look-ahead
+//      (grammar-only is §2.2's "constrained decoding" strawman: it cannot do
+//      arithmetic, so sum/implication rules still break);
+//   B. rule-set size vs decode cost — how solver-in-the-loop overhead scales
+//      with the number of enforced rules;
+//   C. forced-literal skipping — LM calls saved by not sampling characters
+//      the syntax already determines.
+#include <iostream>
+
+#include "harness.hpp"
+#include "telemetry/text.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace lejit;
+using bench::BenchEnv;
+using telemetry::Window;
+
+constexpr int kSamples = 60;
+
+}  // namespace
+
+int main() {
+  const BenchEnv env = bench::make_env();
+  std::vector<Window> prompts;
+  for (const Window& w : env.test) {
+    if (rules::violated_rules(env.mined, w).empty()) prompts.push_back(w);
+    if (static_cast<int>(prompts.size()) == kSamples) break;
+  }
+
+  // --- A: guidance mode ---------------------------------------------------------
+  {
+    bench::Table table(
+        "Ablation A — guidance mode (imputation, mined rules as the check)",
+        {"mode", "rows produced", "violation rate", "dead ends", "ms/sample",
+         "solver checks/sample"});
+    struct ModeCase {
+      std::string name;
+      core::GuidanceMode mode;
+      const rules::RuleSet* rules;
+    };
+    const std::vector<ModeCase> cases{
+        {"none (vanilla)", core::GuidanceMode::kNone, nullptr},
+        {"grammar only", core::GuidanceMode::kSyntax, nullptr},
+        {"hull only (no look-ahead)", core::GuidanceMode::kHull, &env.mined},
+        {"full (LeJIT)", core::GuidanceMode::kFull, &env.mined},
+    };
+    for (const auto& c : cases) {
+      core::GuidedDecoder dec(*env.model, env.tokenizer, env.layout,
+                              c.rules ? *c.rules : rules::RuleSet{},
+                              core::DecoderConfig{.mode = c.mode});
+      util::Rng rng(1);
+      std::vector<Window> outputs;
+      std::int64_t checks = 0;
+      int dead_ends = 0;
+      util::Timer timer;
+      for (const Window& w : prompts) {
+        const auto r = dec.generate(rng, telemetry::imputation_prompt(w));
+        checks += r.stats.solver_checks;
+        if (r.dead_end) ++dead_ends;
+        if (r.ok) outputs.push_back(*r.window);
+      }
+      const double ms =
+          timer.elapsed_ms() / static_cast<double>(prompts.size());
+      const auto stats = rules::check_violations(env.mined, outputs);
+      table.add_row({c.name,
+                     std::to_string(outputs.size()) + "/" +
+                         std::to_string(prompts.size()),
+                     outputs.empty() ? "n/a"
+                                     : bench::fmt_pct(stats.window_rate()),
+                     std::to_string(dead_ends), bench::fmt(ms, 3),
+                     bench::fmt(static_cast<double>(checks) /
+                                    static_cast<double>(prompts.size()),
+                                1)});
+    }
+    table.print();
+    std::cout << "(unguided rows often fail to parse at all; grammar-only "
+                 "cannot express arithmetic — its violations come from "
+                 "sum/implication rules, the paper's §2.2 argument; hull-only "
+                 "is blind to holes in the feasible set and dead-ends "
+                 "instead)\n";
+  }
+
+  // --- B: rule-set size scaling -----------------------------------------------
+  {
+    bench::Table table("Ablation B — decode cost vs enforced-rule count",
+                       {"rule families", "#rules", "ms/sample",
+                        "checks/sample", "violation rate"});
+    struct FamilyCase {
+      std::string name;
+      rules::MinerConfig config;
+    };
+    std::vector<FamilyCase> cases;
+    {
+      rules::MinerConfig c;
+      c.mine_sum = c.mine_burst = c.mine_conditionals = c.mine_pairwise = false;
+      cases.push_back({"bounds", c});
+    }
+    {
+      rules::MinerConfig c;
+      c.mine_conditionals = c.mine_pairwise = false;
+      cases.push_back({"+sum+burst", c});
+    }
+    {
+      rules::MinerConfig c;
+      c.mine_conditionals = false;
+      cases.push_back({"+pairwise", c});
+    }
+    cases.push_back({"all (full mined)", rules::MinerConfig{}});
+
+    for (const auto& c : cases) {
+      const rules::RuleSet set =
+          rules::mine_rules(env.train, env.layout, env.dataset.limits, c.config)
+              .rules;
+      core::GuidedDecoder dec(*env.model, env.tokenizer, env.layout, set,
+                              core::DecoderConfig{.mode = core::GuidanceMode::kFull});
+      util::Rng rng(2);
+      std::vector<Window> outputs;
+      std::int64_t checks = 0;
+      util::Timer timer;
+      for (const Window& w : prompts) {
+        const auto r = dec.generate(rng, telemetry::imputation_prompt(w));
+        checks += r.stats.solver_checks;
+        if (r.ok) outputs.push_back(*r.window);
+      }
+      const double ms =
+          timer.elapsed_ms() / static_cast<double>(prompts.size());
+      const auto stats = rules::check_violations(env.mined, outputs);
+      table.add_row({c.name, std::to_string(set.size()), bench::fmt(ms, 3),
+                     bench::fmt(static_cast<double>(checks) /
+                                    static_cast<double>(prompts.size()),
+                                1),
+                     bench::fmt_pct(stats.window_rate())});
+    }
+    table.print();
+  }
+
+  // --- D: minimal invasiveness (paper §3) ---------------------------------------
+  // How much does the solver actually override the LM? Mean probability mass
+  // removed per masked step and the fraction of steps where the LM's argmax
+  // was pruned, for both tasks.
+  {
+    bench::Table table(
+        "Ablation D — minimal invasiveness of LeJIT's guidance",
+        {"task", "masked steps/sample", "mean removed mass",
+         "argmax pruned"});
+    struct TaskCase {
+      std::string name;
+      const rules::RuleSet* rules;
+      bool imputation;
+    };
+    const rules::RuleSet coarse = env.mined_coarse;
+    for (const auto& t :
+         {TaskCase{"imputation (mined)", &env.mined, true},
+          TaskCase{"synthesis (coarse)", &coarse, false}}) {
+      core::GuidedDecoder dec(*env.model, env.tokenizer, env.layout, *t.rules,
+                              core::DecoderConfig{.mode = core::GuidanceMode::kFull});
+      util::Rng rng(4);
+      std::int64_t masked = 0, interventions = 0;
+      double removed = 0.0;
+      int samples = 0;
+      for (const Window& w : prompts) {
+        const auto r = dec.generate(
+            rng, t.imputation ? telemetry::imputation_prompt(w) : "");
+        if (!r.ok) continue;
+        ++samples;
+        masked += r.stats.masked_steps;
+        interventions += r.stats.interventions;
+        removed += r.stats.removed_mass;
+      }
+      table.add_row(
+          {t.name,
+           bench::fmt(static_cast<double>(masked) / samples, 1),
+           bench::fmt(removed / static_cast<double>(masked), 3),
+           bench::fmt_pct(static_cast<double>(interventions) /
+                          static_cast<double>(masked))});
+    }
+    table.print();
+    std::cout << "(low removed mass = the solver mostly lets the LM decide, "
+                 "the paper's 'a little guidance goes a long way')\n";
+  }
+
+  // --- C: forced-literal skipping ----------------------------------------------
+  {
+    bench::Table table("Ablation C — skipping LM calls on forced syntax",
+                       {"skip_forced_literals", "LM calls/sample",
+                        "ms/sample"});
+    for (const bool skip : {true, false}) {
+      core::GuidedDecoder dec(
+          *env.model, env.tokenizer, env.layout, env.manual,
+          core::DecoderConfig{.mode = core::GuidanceMode::kFull,
+                              .skip_forced_literals = skip});
+      util::Rng rng(3);
+      std::int64_t lm_calls = 0;
+      util::Timer timer;
+      for (const Window& w : prompts) {
+        const auto r = dec.generate(rng, telemetry::imputation_prompt(w));
+        lm_calls += r.stats.lm_calls;
+      }
+      table.add_row({skip ? "on" : "off",
+                     bench::fmt(static_cast<double>(lm_calls) /
+                                    static_cast<double>(prompts.size()),
+                                1),
+                     bench::fmt(timer.elapsed_ms() /
+                                    static_cast<double>(prompts.size()),
+                                3)});
+    }
+    table.print();
+  }
+  return 0;
+}

@@ -1,0 +1,191 @@
+// Fig. 3 (left): rule-violation rates on the telemetry imputation task.
+//
+// Paper shape targets: Vanilla GPT-2 violates most (≈18% there), Zoom2Net
+// and LeJIT-manual sit in the middle (manual rules only cover a sliver of
+// the mined set), rejection sampling and LeJIT reach 0%.
+//
+// Setup notes (DESIGN.md §3/§4): violation rates are measured against the
+// full mined rule set; evaluation windows whose *ground-truth* coarse values
+// already violate mined rules are excluded up front (the paper's NetNomos
+// rules hold on its test racks by construction; our slack-widened miner gets
+// arbitrarily close — the residual is reported below the table).
+#include <iostream>
+
+#include "baselines/posthoc.hpp"
+#include "baselines/rejection.hpp"
+#include "baselines/zoom2net.hpp"
+#include "harness.hpp"
+#include "telemetry/text.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace lejit;
+using bench::BenchEnv;
+using telemetry::Window;
+
+constexpr int kSamples = 120;
+
+struct Eligible {
+  std::vector<Window> windows;
+  std::size_t excluded = 0;  // ground truth incompatible with mined rules
+};
+
+Eligible eligible_windows(const BenchEnv& env) {
+  Eligible out;
+  for (const Window& w : env.test) {
+    if (rules::violated_rules(env.mined, w).empty()) {
+      if (static_cast<int>(out.windows.size()) < kSamples)
+        out.windows.push_back(w);
+    } else {
+      ++out.excluded;
+    }
+  }
+  return out;
+}
+
+struct MethodResult {
+  std::string name;
+  rules::ViolationStats stats;
+  int failures = 0;  // samples the method could not produce
+  double seconds = 0.0;
+};
+
+}  // namespace
+
+int main() {
+  const BenchEnv env = bench::make_env(bench::BenchEnvConfig{.use_transformer = true});
+  const auto [windows, excluded] = eligible_windows(env);
+
+  std::vector<MethodResult> results;
+  const auto evaluate = [&](std::string name, auto&& impute_fn) {
+    MethodResult r;
+    r.name = std::move(name);
+    std::vector<Window> outputs;
+    util::Timer timer;
+    for (const Window& truth : windows) {
+      auto out = impute_fn(truth);
+      if (out.has_value())
+        outputs.push_back(std::move(*out));
+      else
+        ++r.failures;
+    }
+    r.seconds = timer.elapsed_seconds();
+    r.stats = rules::check_violations(env.mined, outputs);
+    results.push_back(std::move(r));
+  };
+
+  util::Rng rng(1);
+
+  // Vanilla: free generation of the fine part (grammar only, no rules).
+  {
+    core::GuidedDecoder dec(env.lm(), env.tokenizer, env.layout,
+                            rules::RuleSet{},
+                            core::DecoderConfig{.mode = core::GuidanceMode::kSyntax});
+    evaluate("Vanilla LM", [&](const Window& w) -> std::optional<Window> {
+      const auto r = dec.generate(rng, telemetry::imputation_prompt(w));
+      if (!r.ok) return std::nullopt;
+      return r.window;
+    });
+  }
+
+  // Zoom2Net substitute (regressor + CEM over its 4 manual rules).
+  {
+    const baselines::Zoom2NetImputer imputer(env.train, env.dataset.limits);
+    evaluate("Zoom2Net*", [&](const Window& w) -> std::optional<Window> {
+      return imputer.impute(w);
+    });
+  }
+
+  // LeJIT restricted to the 4 manual rules.
+  {
+    core::GuidedDecoder dec(env.lm(), env.tokenizer, env.layout, env.manual,
+                            core::DecoderConfig{.mode = core::GuidanceMode::kFull});
+    evaluate("LeJIT (manual rules)",
+             [&](const Window& w) -> std::optional<Window> {
+               const auto r = dec.generate(rng, telemetry::imputation_prompt(w));
+               if (!r.ok) return std::nullopt;
+               return r.window;
+             });
+  }
+
+  // Rejection sampling against the full mined set.
+  {
+    baselines::RejectionSampler sampler(env.lm(), env.tokenizer, env.layout,
+                                        env.mined,
+                                        baselines::RejectionConfig{.max_attempts = 400});
+    evaluate("Rejection sampling",
+             [&](const Window& w) -> std::optional<Window> {
+               const auto r =
+                   sampler.generate(rng, telemetry::imputation_prompt(w));
+               if (!r.compliant) return std::nullopt;  // budget exhausted
+               return r.decode.window;
+             });
+  }
+
+  // Post-hoc SMT repair: free generation, then nearest-L1 projection onto
+  // the rule-compliant set (§2.2's "enforce post-inference" paradigm).
+  {
+    core::GuidedDecoder dec(env.lm(), env.tokenizer, env.layout,
+                            rules::RuleSet{},
+                            core::DecoderConfig{.mode = core::GuidanceMode::kSyntax});
+    const baselines::PostHocRepairer repairer(env.layout, env.mined);
+    evaluate("Post-hoc SMT repair",
+             [&](const Window& w) -> std::optional<Window> {
+               const auto r = dec.generate(rng, telemetry::imputation_prompt(w));
+               if (!r.ok) return std::nullopt;
+               const auto fixed = repairer.repair(*r.window, /*pin_coarse=*/true);
+               if (!fixed.feasible) return std::nullopt;
+               return fixed.window;
+             });
+  }
+
+  // LeJIT with the full mined rule set.
+  {
+    core::GuidedDecoder dec(env.lm(), env.tokenizer, env.layout, env.mined,
+                            core::DecoderConfig{.mode = core::GuidanceMode::kFull});
+    evaluate("LeJIT (mined rules)",
+             [&](const Window& w) -> std::optional<Window> {
+               const auto r = dec.generate(rng, telemetry::imputation_prompt(w));
+               if (!r.ok) return std::nullopt;
+               return r.window;
+             });
+  }
+
+  bench::Table table(
+      "Fig. 3 (left) — rule violations, telemetry imputation (" +
+          std::to_string(windows.size()) + " samples, " +
+          std::to_string(env.mined.size()) + " mined rules)",
+      {"method", "violating samples", "violation rate", "(sample,rule) rate",
+       "failed/skipped"});
+  for (const auto& r : results) {
+    table.add_row({r.name, std::to_string(r.stats.violating_windows),
+                   bench::fmt_pct(r.stats.window_rate()),
+                   bench::fmt_pct(r.stats.pair_rate(), 3),
+                   std::to_string(r.failures)});
+  }
+  table.print();
+  std::cout << "(excluded " << excluded << " of " << env.test.size()
+            << " test windows whose ground truth violates mined rules; "
+               "rejection 'failed' = attempt budget exhausted)\n";
+
+  // Shape assertions for EXPERIMENTS.md (non-fatal, printed).
+  const double vanilla = results[0].stats.window_rate();
+  const double zoom = results[1].stats.window_rate();
+  const double lejit_manual = results[2].stats.window_rate();
+  const double rejection = results[3].stats.window_rate();
+  const double posthoc = results[4].stats.window_rate();
+  const double lejit = results[5].stats.window_rate();
+  std::cout << "\nshape: vanilla(" << bench::fmt_pct(vanilla)
+            << ") > zoom2net*(" << bench::fmt_pct(zoom) << ") ~ lejit-manual("
+            << bench::fmt_pct(lejit_manual) << ") > rejection("
+            << bench::fmt_pct(rejection) << ") = posthoc("
+            << bench::fmt_pct(posthoc) << ") = lejit("
+            << bench::fmt_pct(lejit) << ") = 0  -> "
+            << ((vanilla > zoom && vanilla > lejit_manual &&
+                 rejection == 0.0 && posthoc == 0.0 && lejit == 0.0)
+                    ? "HOLDS"
+                    : "CHECK")
+            << "\n";
+  return 0;
+}

@@ -1,0 +1,184 @@
+// Fig. 4: imputation accuracy (left) and downstream burst analysis (right).
+//
+// Paper shape targets: LeJIT with the full mined rule set matches or beats
+// Zoom2Net on EMD and p99 while improving burst metrics across the board;
+// LeJIT-manual improves substantially over vanilla but trails full LeJIT;
+// rejection sampling *hurts* accuracy (it suppresses near-correct outputs).
+#include <algorithm>
+#include <iostream>
+#include <optional>
+
+#include "baselines/posthoc.hpp"
+#include "baselines/rejection.hpp"
+#include "baselines/zoom2net.hpp"
+#include "harness.hpp"
+#include "metrics/bursts.hpp"
+#include "metrics/stats.hpp"
+#include "telemetry/text.hpp"
+
+namespace {
+
+using namespace lejit;
+using bench::BenchEnv;
+using telemetry::Window;
+
+constexpr int kSamples = 110;
+
+struct Accuracy {
+  std::string name;
+  double emd = 0;       // mean per-window EMD(imputed series, true series)
+  double p99_err = 0;   // |p99(pred) − p99(true)| over all fine values
+  double mae = 0;       // per-slot mean absolute error
+  double ac_err = 0;    // |lag-1 autocorrelation diff| on concatenated trace
+  metrics::BurstErrors bursts;
+  int failures = 0;
+};
+
+}  // namespace
+
+int main() {
+  const BenchEnv env = bench::make_env(bench::BenchEnvConfig{.use_transformer = true});
+
+  std::vector<Window> truths;
+  for (const Window& w : env.test) {
+    if (rules::violated_rules(env.mined, w).empty()) truths.push_back(w);
+    if (static_cast<int>(truths.size()) == kSamples) break;
+  }
+
+  const auto evaluate = [&](std::string name, auto&& impute_fn) {
+    Accuracy acc;
+    acc.name = std::move(name);
+    std::vector<std::int64_t> true_vals, pred_vals;
+    std::vector<double> true_trace, pred_trace;
+    std::vector<std::vector<std::int64_t>> true_series, pred_series;
+    std::vector<double> abs_errors;
+
+    for (const Window& truth : truths) {
+      std::optional<Window> out = impute_fn(truth);
+      if (!out) {
+        ++acc.failures;
+        continue;
+      }
+      true_series.push_back(truth.fine);
+      pred_series.push_back(out->fine);
+      for (std::size_t t = 0; t < truth.fine.size(); ++t) {
+        true_vals.push_back(truth.fine[t]);
+        pred_vals.push_back(out->fine[t]);
+        true_trace.push_back(static_cast<double>(truth.fine[t]));
+        pred_trace.push_back(static_cast<double>(out->fine[t]));
+        abs_errors.push_back(std::abs(static_cast<double>(truth.fine[t]) -
+                                      static_cast<double>(out->fine[t])));
+      }
+    }
+    if (pred_vals.empty()) return acc;
+
+    // Per-window EMD: distance between each imputed 5-slot series and its
+    // ground truth, averaged (order-invariant accuracy, the paper's usage).
+    double emd_sum = 0;
+    for (std::size_t i = 0; i < true_series.size(); ++i)
+      emd_sum += metrics::emd(std::span<const std::int64_t>(true_series[i]),
+                              std::span<const std::int64_t>(pred_series[i]));
+    acc.emd = emd_sum / static_cast<double>(true_series.size());
+    acc.p99_err = std::abs(metrics::quantile(std::span<const std::int64_t>(true_vals), 0.99) -
+                           metrics::quantile(std::span<const std::int64_t>(pred_vals), 0.99));
+    double mae = 0;
+    for (const double e : abs_errors) mae += e;
+    acc.mae = mae / static_cast<double>(abs_errors.size());
+    acc.ac_err = std::abs(metrics::autocorrelation(true_trace, 1) -
+                          metrics::autocorrelation(pred_trace, 1));
+    acc.bursts = metrics::mean_burst_errors(true_series, pred_series,
+                                            env.dataset.limits.burst_threshold());
+    return acc;
+  };
+
+  util::Rng rng(1);
+  std::vector<Accuracy> results;
+
+  {
+    core::GuidedDecoder dec(env.lm(), env.tokenizer, env.layout,
+                            rules::RuleSet{},
+                            core::DecoderConfig{.mode = core::GuidanceMode::kSyntax});
+    results.push_back(evaluate("Vanilla LM", [&](const Window& w) {
+      const auto r = dec.generate(rng, telemetry::imputation_prompt(w));
+      return r.ok ? r.window : std::nullopt;
+    }));
+  }
+  {
+    const baselines::Zoom2NetImputer imputer(env.train, env.dataset.limits);
+    results.push_back(evaluate("Zoom2Net*", [&](const Window& w) {
+      return std::optional<Window>(imputer.impute(w));
+    }));
+  }
+  {
+    core::GuidedDecoder dec(env.lm(), env.tokenizer, env.layout, env.manual,
+                            core::DecoderConfig{.mode = core::GuidanceMode::kFull});
+    results.push_back(evaluate("LeJIT (manual rules)", [&](const Window& w) {
+      const auto r = dec.generate(rng, telemetry::imputation_prompt(w));
+      return r.ok ? r.window : std::nullopt;
+    }));
+  }
+  {
+    baselines::RejectionSampler sampler(
+        env.lm(), env.tokenizer, env.layout, env.mined,
+        baselines::RejectionConfig{.max_attempts = 250});
+    results.push_back(evaluate("Rejection sampling", [&](const Window& w) {
+      const auto r = sampler.generate(rng, telemetry::imputation_prompt(w));
+      return r.compliant ? r.decode.window : std::nullopt;
+    }));
+  }
+  {
+    core::GuidedDecoder dec(env.lm(), env.tokenizer, env.layout,
+                            rules::RuleSet{},
+                            core::DecoderConfig{.mode = core::GuidanceMode::kSyntax});
+    const baselines::PostHocRepairer repairer(env.layout, env.mined);
+    results.push_back(evaluate("Post-hoc SMT repair", [&](const Window& w) -> std::optional<Window> {
+      const auto r = dec.generate(rng, telemetry::imputation_prompt(w));
+      if (!r.ok) return std::nullopt;
+      const auto fixed = repairer.repair(*r.window, /*pin_coarse=*/true);
+      if (!fixed.feasible) return std::nullopt;
+      return fixed.window;
+    }));
+  }
+  {
+    core::GuidedDecoder dec(env.lm(), env.tokenizer, env.layout, env.mined,
+                            core::DecoderConfig{.mode = core::GuidanceMode::kFull});
+    results.push_back(evaluate("LeJIT (mined rules)", [&](const Window& w) {
+      const auto r = dec.generate(rng, telemetry::imputation_prompt(w));
+      return r.ok ? r.window : std::nullopt;
+    }));
+  }
+
+  bench::Table left("Fig. 4 (left) — imputation accuracy (" +
+                        std::to_string(truths.size()) +
+                        " samples; lower is better)",
+                    {"method", "EMD", "p99 err", "MAE", "autocorr err",
+                     "failed"});
+  for (const auto& r : results)
+    left.add_row({r.name, bench::fmt(r.emd, 3), bench::fmt(r.p99_err, 1),
+                  bench::fmt(r.mae, 2), bench::fmt(r.ac_err, 3),
+                  std::to_string(r.failures)});
+  left.print();
+
+  bench::Table right(
+      "Fig. 4 (right) — downstream burst analysis errors (lower is better)",
+      {"method", "count", "height", "duration", "position"});
+  for (const auto& r : results)
+    right.add_row({r.name, bench::fmt(r.bursts.count, 3),
+                   bench::fmt(r.bursts.height, 2),
+                   bench::fmt(r.bursts.duration, 3),
+                   bench::fmt(r.bursts.position, 3)});
+  right.print();
+  std::cout << "(rejection rows carry survivor bias: its 'failed' samples — "
+               "the hard windows — are excluded from its own averages)\n";
+
+  const Accuracy& vanilla = results[0];
+  const Accuracy& zoom = results[1];
+  const Accuracy& lejit = results[5];
+  std::cout << "\nshape: LeJIT(mined) EMD " << bench::fmt(lejit.emd, 3)
+            << " <= vanilla EMD " << bench::fmt(vanilla.emd, 3)
+            << "; LeJIT vs Zoom2Net* EMD ratio "
+            << bench::fmt(lejit.emd / std::max(zoom.emd, 1e-9), 2)
+            << " (paper: on-par or better)  -> "
+            << ((lejit.emd <= vanilla.emd * 1.05) ? "HOLDS" : "CHECK") << "\n";
+  return 0;
+}

@@ -1,0 +1,168 @@
+// Fig. 2 companion: micro-benchmarks of LeJIT's moving parts.
+//
+// Measures the per-operation costs that determine Fig. 3 (right)'s runtime:
+// solver sat checks under partial instantiation, feasible-interval queries,
+// per-character digit-mask computation (the on-the-fly transition system),
+// and LM forward passes for both model families.
+#include <benchmark/benchmark.h>
+
+#include "core/transition.hpp"
+#include "harness.hpp"
+#include "lm/transformer.hpp"
+#include "telemetry/text.hpp"
+
+namespace {
+
+using namespace lejit;
+using bench::BenchEnv;
+
+const BenchEnv& env() {
+  static const BenchEnv e = bench::make_env(
+      bench::BenchEnvConfig{.racks = 16, .windows_per_rack = 50});
+  return e;
+}
+
+// Solver primed with the mined rules and a pinned coarse prefix — the state
+// LeJIT queries from inside a row.
+struct PrimedSolver {
+  smt::Solver solver;
+  std::vector<smt::VarId> vars;
+
+  PrimedSolver() {
+    vars = rules::declare_fields(solver, env().layout);
+    rules::assert_rules(solver, env().mined);
+    const telemetry::Window& w = env().test.front();
+    const auto values = telemetry::coarse_values(w);
+    for (int f = 0; f < telemetry::kNumCoarse; ++f)
+      solver.add(smt::eq(smt::LinExpr(vars[static_cast<std::size_t>(f)]),
+                         smt::LinExpr(values[static_cast<std::size_t>(f)])));
+  }
+};
+
+void BM_SolverCheckUnderPartialInstantiation(benchmark::State& state) {
+  PrimedSolver p;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(p.solver.check());
+  }
+}
+BENCHMARK(BM_SolverCheckUnderPartialInstantiation)->Unit(benchmark::kMicrosecond);
+
+void BM_PrefixFeasibilityCheck(benchmark::State& state) {
+  PrimedSolver p;
+  const smt::VarId fine0 =
+      p.vars[static_cast<std::size_t>(telemetry::kNumCoarse)];
+  const core::DigitPrefix prefix{4, 1};
+  for (auto _ : state) {
+    const smt::Formula f = core::prefix_completion_formula(fine0, prefix, 2);
+    benchmark::DoNotOptimize(p.solver.check_assuming(std::span(&f, 1)));
+  }
+}
+BENCHMARK(BM_PrefixFeasibilityCheck)->Unit(benchmark::kMicrosecond);
+
+void BM_FeasibleInterval(benchmark::State& state) {
+  PrimedSolver p;
+  const smt::VarId fine0 =
+      p.vars[static_cast<std::size_t>(telemetry::kNumCoarse)];
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(p.solver.feasible_interval(fine0));
+  }
+}
+BENCHMARK(BM_FeasibleInterval)->Unit(benchmark::kMicrosecond);
+
+void BM_NgramLogits(benchmark::State& state) {
+  const auto ctx = env().tokenizer.encode("T=123 E=0 R=0 C=250 G=100|4");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(env().model->logits(ctx));
+  }
+}
+BENCHMARK(BM_NgramLogits)->Unit(benchmark::kMicrosecond);
+
+void BM_TransformerLogits(benchmark::State& state) {
+  util::Rng rng(1);
+  const lm::Transformer model(
+      lm::TransformerConfig{.vocab_size = env().tokenizer.vocab_size(),
+                            .d_model = 48,
+                            .n_layers = 2,
+                            .n_heads = 2,
+                            .d_ff = 96,
+                            .max_seq = 64},
+      rng);
+  const auto ctx = env().tokenizer.encode("T=123 E=0 R=0 C=250 G=100|4");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.logits(ctx));
+  }
+}
+BENCHMARK(BM_TransformerLogits)->Unit(benchmark::kMicrosecond);
+
+void BM_FullRowDecode(benchmark::State& state) {
+  core::GuidedDecoder dec(*env().model, env().tokenizer, env().layout,
+                          env().mined,
+                          core::DecoderConfig{.mode = core::GuidanceMode::kFull});
+  util::Rng rng(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dec.generate(rng));
+  }
+}
+BENCHMARK(BM_FullRowDecode)->Unit(benchmark::kMillisecond);
+
+void BM_RuleMining(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        rules::mine_rules(env().train, env().layout, env().dataset.limits));
+  }
+}
+BENCHMARK(BM_RuleMining)->Unit(benchmark::kMillisecond);
+
+// Solver scaling: sat-check latency as the problem grows along each axis
+// the deployment cares about (variables, domain width, disjunction count).
+void BM_SolverScaling_Vars(benchmark::State& state) {
+  const int nvars = static_cast<int>(state.range(0));
+  smt::Solver solver;
+  std::vector<smt::VarId> vars;
+  smt::LinExpr sum;
+  for (int i = 0; i < nvars; ++i) {
+    vars.push_back(solver.add_var("v" + std::to_string(i), 0, 96));
+    sum += smt::LinExpr(vars.back());
+  }
+  solver.add(smt::eq(sum, smt::LinExpr(48 * nvars / 2)));
+  solver.add(smt::max_ge(vars, smt::LinExpr(48)));
+  for (auto _ : state) benchmark::DoNotOptimize(solver.check());
+  state.SetLabel(std::to_string(nvars) + " vars");
+}
+BENCHMARK(BM_SolverScaling_Vars)->Arg(5)->Arg(10)->Arg(20)->Arg(40)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_SolverScaling_Domain(benchmark::State& state) {
+  const smt::Int hi = state.range(0);
+  smt::Solver solver;
+  const auto x = solver.add_var("x", 0, hi);
+  const auto y = solver.add_var("y", 0, hi);
+  solver.add(smt::eq(smt::LinExpr(x) + smt::LinExpr(y), smt::LinExpr(hi)));
+  solver.add(smt::ne(smt::LinExpr(x) - smt::LinExpr(y), smt::LinExpr(0)));
+  for (auto _ : state) benchmark::DoNotOptimize(solver.check());
+}
+BENCHMARK(BM_SolverScaling_Domain)->Arg(100)->Arg(10'000)->Arg(1'000'000)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_SolverScaling_Disjunctions(benchmark::State& state) {
+  const int nors = static_cast<int>(state.range(0));
+  smt::Solver solver;
+  std::vector<smt::VarId> vars;
+  for (int i = 0; i < 8; ++i)
+    vars.push_back(solver.add_var("v" + std::to_string(i), 0, 96));
+  util::Rng rng(1);
+  for (int i = 0; i < nors; ++i) {
+    const auto a = vars[static_cast<std::size_t>(rng.uniform_int(0, 7))];
+    const auto b = vars[static_cast<std::size_t>(rng.uniform_int(0, 7))];
+    solver.add(smt::implies(
+        smt::gt(smt::LinExpr(a), smt::LinExpr(rng.uniform_int(0, 90))),
+        smt::ge(smt::LinExpr(b), smt::LinExpr(rng.uniform_int(0, 48)))));
+  }
+  for (auto _ : state) benchmark::DoNotOptimize(solver.check());
+}
+BENCHMARK(BM_SolverScaling_Disjunctions)->Arg(10)->Arg(100)->Arg(500)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,134 @@
+#include "harness.hpp"
+
+#include <iostream>
+
+#include "lm/trainer.hpp"
+#include "telemetry/text.hpp"
+#include "util/strings.hpp"
+#include "util/timer.hpp"
+
+namespace lejit::bench {
+
+namespace {
+
+// Train the nano-GPT on the env's training rows, or load a cached checkpoint
+// from a previous bench run (deterministic training makes them identical).
+std::unique_ptr<lm::Transformer> make_transformer(
+    const BenchEnvConfig& config, const lm::CharTokenizer& tokenizer,
+    const std::vector<telemetry::Window>& train) {
+  const std::string cache = config.model_cache + "." +
+                            std::to_string(config.seed) + "." +
+                            std::to_string(config.train_steps) + ".bin";
+  try {
+    auto model = std::make_unique<lm::Transformer>(lm::Transformer::load(cache));
+    if (model->vocab_size() == tokenizer.vocab_size()) {
+      std::cout << "[harness] loaded LM checkpoint " << cache << "\n";
+      return model;
+    }
+  } catch (const util::RuntimeError&) {
+    // No usable cache: fall through to training.
+  }
+
+  std::cout << "[harness] training the nano-GPT LM (" << config.train_steps
+            << " steps) ...\n";
+  util::Rng init_rng(config.seed);
+  auto model = std::make_unique<lm::Transformer>(
+      lm::TransformerConfig{.vocab_size = tokenizer.vocab_size(),
+                            .d_model = 64,
+                            .n_layers = 2,
+                            .n_heads = 4,
+                            .d_ff = 128,
+                            .max_seq = 64},
+      init_rng);
+  std::vector<std::vector<int>> rows;
+  rows.reserve(train.size());
+  for (const auto& w : train)
+    rows.push_back(tokenizer.encode(telemetry::window_to_row(w)));
+  util::Rng train_rng(config.seed + 1);
+  util::Timer timer;
+  const lm::TrainReport report = lm::train_lm(
+      *model, rows,
+      lm::TrainConfig{.steps = config.train_steps,
+                      .batch_size = 16,
+                      .adam = lm::AdamConfig{.lr = 2e-3f},
+                      .warmup_steps = 20},
+      train_rng);
+  std::cout << "[harness] trained in " << fmt(timer.elapsed_seconds(), 1)
+            << "s, loss " << fmt(report.first_loss, 3) << " -> "
+            << fmt(report.final_loss, 3) << "\n";
+  try {
+    model->save(cache);
+  } catch (const util::RuntimeError&) {
+    // Read-only working directory: run without a cache.
+  }
+  return model;
+}
+
+}  // namespace
+
+BenchEnv make_env(const BenchEnvConfig& config) {
+  BenchEnv env;
+  env.dataset = telemetry::generate_dataset(telemetry::GeneratorConfig{
+      .num_racks = config.racks,
+      .windows_per_rack = config.windows_per_rack,
+      .seed = config.seed});
+  env.split = telemetry::split_by_rack(env.dataset, config.test_racks,
+                                       config.seed + 1);
+  env.layout = telemetry::telemetry_row_layout(env.dataset.limits);
+  env.coarse_layout = telemetry::coarse_row_layout(env.dataset.limits);
+  env.train = telemetry::all_windows(env.split.train);
+  env.test = telemetry::all_windows(env.split.test);
+
+  env.model = std::make_unique<lm::NgramModel>(env.tokenizer.vocab_size(),
+                                               lm::NgramConfig{.order = 6});
+  for (const auto& w : env.train)
+    env.model->observe(env.tokenizer.encode(telemetry::window_to_row(w)));
+  if (config.use_transformer)
+    env.transformer = make_transformer(config, env.tokenizer, env.train);
+
+  env.manual = rules::manual_rules(env.layout, env.dataset.limits);
+  env.mined = rules::mine_rules(env.train, env.layout, env.dataset.limits).rules;
+  env.mined_coarse = env.mined.coarse_only();
+  return env;
+}
+
+Table::Table(std::string t, std::vector<std::string> h)
+    : title(std::move(t)), headers(std::move(h)) {}
+
+void Table::add_row(std::vector<std::string> cells) {
+  rows.push_back(std::move(cells));
+}
+
+void Table::print() const {
+  std::vector<std::size_t> widths(headers.size(), 0);
+  for (std::size_t c = 0; c < headers.size(); ++c)
+    widths[c] = headers[c].size();
+  for (const auto& row : rows)
+    for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+
+  std::cout << "\n== " << title << " ==\n";
+  const auto print_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      std::cout << (c == 0 ? "" : "  ")
+                << (c == 0 ? util::pad_right(cells[c], widths[c])
+                           : util::pad_left(cells[c], widths[c]));
+    }
+    std::cout << "\n";
+  };
+  print_row(headers);
+  std::size_t total = headers.size() > 0 ? (headers.size() - 1) * 2 : 0;
+  for (const auto w : widths) total += w;
+  std::cout << std::string(total, '-') << "\n";
+  for (const auto& row : rows) print_row(row);
+}
+
+std::string fmt(double v, int precision) {
+  return util::format_double(v, precision);
+}
+
+std::string fmt_pct(double fraction, int precision) {
+  return util::format_double(fraction * 100.0, precision) + "%";
+}
+
+}  // namespace lejit::bench

@@ -1,0 +1,75 @@
+// Shared setup and table printing for the benchmark binaries.
+//
+// Every bench binary reproduces one figure of the paper (see DESIGN.md §4).
+// They share the same experimental environment: a synthetic fleet split by
+// rack, a char-level LM trained on the training racks' row text, and the
+// mined + manual rule sets. The LM here is the n-gram model so each figure
+// regenerates in seconds; examples/train_transformer.cpp demonstrates the
+// paper-faithful transformer configuration end to end.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/decoder.hpp"
+#include "lm/ngram.hpp"
+#include "lm/tokenizer.hpp"
+#include "lm/transformer.hpp"
+#include "rules/checker.hpp"
+#include "rules/miner.hpp"
+#include "telemetry/generator.hpp"
+
+namespace lejit::bench {
+
+struct BenchEnv {
+  telemetry::Dataset dataset;
+  telemetry::Split split;
+  telemetry::RowLayout layout;
+  telemetry::RowLayout coarse_layout;
+  std::vector<telemetry::Window> train;
+  std::vector<telemetry::Window> test;
+  lm::CharTokenizer tokenizer{telemetry::row_alphabet()};
+  std::unique_ptr<lm::NgramModel> model;              // fast n-gram LM
+  std::unique_ptr<lm::Transformer> transformer;       // paper-faithful LM
+  rules::RuleSet manual;
+  rules::RuleSet mined;         // full (imputation-task) rule set
+  rules::RuleSet mined_coarse;  // synthesis-task rule set
+
+  // The LM the figure uses: the trained transformer when available (it can
+  // condition on the whole row, which the fidelity claims need), otherwise
+  // the n-gram.
+  const lm::LanguageModel& lm() const {
+    return transformer ? static_cast<const lm::LanguageModel&>(*transformer)
+                       : *model;
+  }
+};
+
+struct BenchEnvConfig {
+  int racks = 30;
+  int windows_per_rack = 80;
+  int test_racks = 5;
+  std::uint64_t seed = 20250705;
+  // Train (or load from `model_cache`) the nano-GPT on the training rows.
+  bool use_transformer = false;
+  int train_steps = 400;
+  std::string model_cache = "lejit_bench_model";  // seed-suffixed .bin
+};
+
+BenchEnv make_env(const BenchEnvConfig& config = {});
+
+// --- fixed-width table printing ----------------------------------------------
+struct Table {
+  explicit Table(std::string title, std::vector<std::string> headers);
+  void add_row(std::vector<std::string> cells);
+  void print() const;
+
+  std::string title;
+  std::vector<std::string> headers;
+  std::vector<std::vector<std::string>> rows;
+};
+
+std::string fmt(double v, int precision = 3);
+std::string fmt_pct(double fraction, int precision = 1);
+
+}  // namespace lejit::bench

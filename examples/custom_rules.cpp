@@ -1,0 +1,124 @@
+// Custom rules: repurposing one model with operator-written logic.
+//
+// The paper's §5 vision is a single foundation model specialized per task by
+// swapping "JIT logic plug-ins". This example writes three rule sets by hand
+// — no mining — and drives the *same* trained LM through each, producing
+// three different generators:
+//   1. quiet-hours traffic   (no bursts, low utilization)
+//   2. incident replay       (every window congested, heavy retransmits)
+//   3. balanced egress audit (egress within ±10% of 80% of ingress)
+//
+// Build & run:  cmake --build build && ./build/examples/custom_rules
+#include <iostream>
+
+#include "core/decoder.hpp"
+#include "lm/ngram.hpp"
+#include "rules/checker.hpp"
+#include "telemetry/generator.hpp"
+#include "telemetry/text.hpp"
+
+using namespace lejit;
+using smt::LinExpr;
+
+namespace {
+
+rules::Rule make_rule(std::string description, smt::Formula f,
+                      bool uses_fine) {
+  return rules::Rule{.description = std::move(description),
+                     .kind = rules::RuleKind::kManual,
+                     .formula = std::move(f),
+                     .uses_fine = uses_fine};
+}
+
+}  // namespace
+
+int main() {
+  const auto dataset = telemetry::generate_dataset(
+      telemetry::GeneratorConfig{.num_racks = 16, .windows_per_rack = 70});
+  const auto layout = telemetry::telemetry_row_layout(dataset.limits);
+  const auto train = telemetry::all_windows(dataset);
+
+  lm::CharTokenizer tokenizer(telemetry::row_alphabet());
+  lm::NgramModel model(tokenizer.vocab_size(), lm::NgramConfig{.order = 6});
+  for (const auto& w : train)
+    model.observe(tokenizer.encode(telemetry::window_to_row(w)));
+
+  // Field handles in the canonical layout order.
+  const smt::VarId total{rules::field_index(layout, "total")};
+  const smt::VarId ecn{rules::field_index(layout, "ecn")};
+  const smt::VarId rtx{rules::field_index(layout, "rtx")};
+  const smt::VarId egress{rules::field_index(layout, "egress")};
+  std::vector<smt::VarId> fine;
+  for (int i = 0; i < layout.num_fields(); ++i)
+    if (layout.fields[static_cast<std::size_t>(i)].is_fine)
+      fine.push_back(smt::VarId{i});
+
+  const smt::Int bw = dataset.limits.bandwidth;
+
+  // --- three operator-authored rule sets ---------------------------------------
+  rules::RuleSet quiet;
+  quiet.rules.push_back(make_rule(
+      "no bursts: max_t I_t < BW/2", smt::max_le(fine, LinExpr(bw / 2 - 1)),
+      true));
+  quiet.rules.push_back(
+      make_rule("no congestion marks", smt::eq(LinExpr(ecn), LinExpr(0)), false));
+  quiet.rules.push_back(make_rule(
+      "utilization under 40%",
+      smt::le(LinExpr(total), LinExpr(dataset.limits.total_max() * 2 / 5)),
+      false));
+  {
+    LinExpr sum;
+    for (const auto v : fine) sum += LinExpr(v);
+    quiet.rules.push_back(
+        make_rule("accounting", smt::eq(sum, LinExpr(total)), true));
+  }
+
+  rules::RuleSet incident;
+  incident.rules.push_back(
+      make_rule("congestion present", smt::ge(LinExpr(ecn), LinExpr(10)), false));
+  incident.rules.push_back(
+      make_rule("retransmits present", smt::ge(LinExpr(rtx), LinExpr(5)), false));
+  incident.rules.push_back(make_rule(
+      "saturating burst", smt::max_ge(fine, LinExpr(bw * 9 / 10)), true));
+  {
+    LinExpr sum;
+    for (const auto v : fine) sum += LinExpr(v);
+    incident.rules.push_back(
+        make_rule("accounting", smt::eq(sum, LinExpr(total)), true));
+  }
+
+  rules::RuleSet audit;
+  // 10*egress within [7.2*total, 8.8*total]  ⇔  egress ≈ 80% ± 10% of total.
+  audit.rules.push_back(make_rule(
+      "egress near 80% of ingress",
+      smt::land(smt::ge(10 * LinExpr(egress), 7 * LinExpr(total)),
+                smt::le(10 * LinExpr(egress), 9 * LinExpr(total))),
+      false));
+  audit.rules.push_back(make_rule(
+      "meaningful volume", smt::ge(LinExpr(total), LinExpr(50)), false));
+
+  struct Task {
+    const char* name;
+    const rules::RuleSet* set;
+  };
+  for (const Task task : {Task{"quiet-hours", &quiet},
+                          Task{"incident-replay", &incident},
+                          Task{"egress-audit", &audit}}) {
+    core::GuidedDecoder decoder(model, tokenizer, layout, *task.set,
+                                core::DecoderConfig{.mode = core::GuidanceMode::kFull});
+    util::Rng rng(42);
+    std::cout << "--- " << task.name << " (" << task.set->size()
+              << " rules) ---\n";
+    int compliant = 0;
+    for (int i = 0; i < 4; ++i) {
+      const auto r = decoder.generate(rng);
+      std::cout << "  " << r.text << "\n";
+      if (r.ok && rules::violated_rules(*task.set, *r.window).empty())
+        ++compliant;
+    }
+    std::cout << "  compliant: " << compliant << "/4\n\n";
+  }
+
+  std::cout << "One model, three behaviours — selected purely by logic.\n";
+  return 0;
+}

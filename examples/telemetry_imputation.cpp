@@ -1,0 +1,109 @@
+// Telemetry imputation (paper §4.1), end to end on a held-out rack.
+//
+// Workflow:
+//   1. generate the synthetic fleet, split by rack;
+//   2. train a char-level LM on the training racks' row text;
+//   3. mine network rules from the same racks (NetNomos-style);
+//   4. for each test window, feed the coarse counters to LeJIT as a prompt
+//      and let the solver-guided LM impute the fine-grained ingress series;
+//   5. compare against the unguided LM and report accuracy + compliance.
+//
+// Build & run:  cmake --build build && ./build/examples/telemetry_imputation
+#include <cmath>
+#include <iostream>
+
+#include "core/decoder.hpp"
+#include "lm/ngram.hpp"
+#include "metrics/bursts.hpp"
+#include "metrics/stats.hpp"
+#include "rules/checker.hpp"
+#include "rules/miner.hpp"
+#include "telemetry/generator.hpp"
+#include "telemetry/text.hpp"
+
+using namespace lejit;
+
+int main() {
+  // 1. Fleet.
+  const auto dataset = telemetry::generate_dataset(
+      telemetry::GeneratorConfig{.num_racks = 20, .windows_per_rack = 80});
+  const auto split = telemetry::split_by_rack(dataset, 3, 99);
+  const auto layout = telemetry::telemetry_row_layout(dataset.limits);
+  const auto train = telemetry::all_windows(split.train);
+  const auto test = telemetry::all_windows(split.test);
+  std::cout << "fleet: " << dataset.racks.size() << " racks, "
+            << train.size() << " train / " << test.size()
+            << " test windows\n";
+
+  // 2. LM.
+  lm::CharTokenizer tokenizer(telemetry::row_alphabet());
+  lm::NgramModel model(tokenizer.vocab_size(), lm::NgramConfig{.order = 6});
+  for (const auto& w : train)
+    model.observe(tokenizer.encode(telemetry::window_to_row(w)));
+
+  // 3. Rules.
+  const auto report = rules::mine_rules(train, layout, dataset.limits);
+  std::cout << "mined " << report.rules.size() << " rules (" << report.bounds
+            << " bounds, " << report.sums << " accounting, "
+            << report.implications << " implications, " << report.pairwise
+            << " pairwise; " << report.dropped_by_validation
+            << " dropped by validation)\n\n";
+
+  // 4./5. Impute with and without guidance.
+  struct Run {
+    const char* name;
+    core::GuidanceMode mode;
+    const rules::RuleSet* rules;
+  };
+  const rules::RuleSet none;
+  const Run runs[] = {
+      {"unguided LM", core::GuidanceMode::kSyntax, &none},
+      {"LeJIT", core::GuidanceMode::kFull, &report.rules},
+  };
+
+  for (const Run& run : runs) {
+    core::GuidedDecoder decoder(model, tokenizer, layout, *run.rules,
+                                core::DecoderConfig{.mode = run.mode});
+    util::Rng rng(11);
+
+    double abs_err = 0;
+    std::size_t values = 0, violating = 0, produced = 0, infeasible = 0;
+    metrics::BurstErrors bursts;
+    constexpr std::size_t kSamples = 80;
+    for (std::size_t i = 0; i < kSamples && i < test.size(); ++i) {
+      const telemetry::Window& truth = test[i];
+      const auto r =
+          decoder.generate(rng, telemetry::imputation_prompt(truth));
+      if (r.infeasible_prompt) {
+        ++infeasible;
+        continue;
+      }
+      if (!r.ok) continue;
+      ++produced;
+      if (!rules::violated_rules(report.rules, *r.window).empty())
+        ++violating;
+      for (std::size_t t = 0; t < truth.fine.size(); ++t) {
+        abs_err += std::abs(static_cast<double>(truth.fine[t]) -
+                            static_cast<double>(r.window->fine[t]));
+        ++values;
+      }
+      const auto be =
+          metrics::burst_errors(truth.fine, r.window->fine,
+                                dataset.limits.burst_threshold(),
+                                dataset.limits.window);
+      bursts.count += be.count;
+      bursts.height += be.height;
+    }
+    std::cout << run.name << ": " << produced << " imputations, "
+              << violating << " violating, " << infeasible
+              << " infeasible prompts\n"
+              << "  MAE " << abs_err / static_cast<double>(values)
+              << ", burst-count err "
+              << bursts.count / static_cast<double>(produced)
+              << ", burst-height err "
+              << bursts.height / static_cast<double>(produced) << "\n";
+  }
+  std::cout << "\nLeJIT enforces every mined rule; the unguided LM does not."
+            << "\n";
+  return 0;
+}

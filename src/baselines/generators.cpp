@@ -1,0 +1,311 @@
+#include "baselines/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "baselines/linalg.hpp"
+#include "util/error.hpp"
+
+namespace lejit::baselines {
+
+using telemetry::Int;
+using telemetry::Window;
+
+namespace {
+
+constexpr int kF = telemetry::kNumCoarse;
+
+std::vector<std::vector<Int>> coarse_rows(std::span<const Window> train) {
+  LEJIT_REQUIRE(!train.empty(), "generator fit requires training windows");
+  std::vector<std::vector<Int>> rows;
+  rows.reserve(train.size());
+  for (const Window& w : train) rows.push_back(telemetry::coarse_values(w));
+  return rows;
+}
+
+Window window_from_coarse(const std::vector<Int>& v,
+                          const telemetry::Limits& limits) {
+  LEJIT_ASSERT(static_cast<int>(v.size()) == kF, "coarse tuple size");
+  Window w;
+  w.total = v[0];
+  w.ecn = v[1];
+  w.rtx = v[2];
+  w.conn = v[3];
+  w.egress = v[4];
+  w.fine.assign(static_cast<std::size_t>(limits.window), 0);
+  return w;
+}
+
+Int clamp_field(double value, Int hi) {
+  return std::clamp<Int>(static_cast<Int>(std::llround(value)), 0, hi);
+}
+
+}  // namespace
+
+// --- NetShare*: Gaussian copula over empirical marginals ----------------------
+
+GaussianCopulaGenerator::GaussianCopulaGenerator(
+    std::span<const Window> train, const telemetry::Limits& limits)
+    : limits_(limits) {
+  const auto rows = coarse_rows(train);
+  const auto n = rows.size();
+
+  marginals_.assign(kF, {});
+  for (int f = 0; f < kF; ++f) {
+    auto& m = marginals_[static_cast<std::size_t>(f)];
+    m.reserve(n);
+    for (const auto& r : rows) m.push_back(r[static_cast<std::size_t>(f)]);
+    std::sort(m.begin(), m.end());
+  }
+
+  // Normal scores of the ranks, then their correlation matrix.
+  std::vector<std::vector<double>> z(
+      kF, std::vector<double>(n, 0.0));
+  for (int f = 0; f < kF; ++f) {
+    // Average ranks for ties via stable sort of indices.
+    std::vector<std::size_t> order(n);
+    for (std::size_t i = 0; i < n; ++i) order[i] = i;
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::size_t a, std::size_t b) {
+                       return rows[a][static_cast<std::size_t>(f)] <
+                              rows[b][static_cast<std::size_t>(f)];
+                     });
+    for (std::size_t rank = 0; rank < n; ++rank) {
+      const double u =
+          (static_cast<double>(rank) + 0.5) / static_cast<double>(n);
+      z[static_cast<std::size_t>(f)][order[rank]] = normal_inv(u);
+    }
+  }
+  std::vector<double> corr(kF * kF, 0.0);
+  for (int a = 0; a < kF; ++a)
+    for (int b = 0; b < kF; ++b) {
+      double acc = 0.0;
+      for (std::size_t i = 0; i < n; ++i)
+        acc += z[static_cast<std::size_t>(a)][i] *
+               z[static_cast<std::size_t>(b)][i];
+      corr[static_cast<std::size_t>(a * kF + b)] =
+          acc / static_cast<double>(n);
+    }
+  chol_ = cholesky(corr, kF);
+}
+
+Window GaussianCopulaGenerator::sample(util::Rng& rng) const {
+  std::array<double, kF> indep{};
+  for (double& v : indep) v = rng.normal();
+  std::vector<Int> coarse(kF, 0);
+  for (int f = 0; f < kF; ++f) {
+    double zf = 0.0;
+    for (int j = 0; j <= f; ++j)
+      zf += chol_[static_cast<std::size_t>(f * kF + j)] *
+            indep[static_cast<std::size_t>(j)];
+    const double u = std::clamp(normal_cdf(zf), 1e-9, 1.0 - 1e-9);
+    const auto& m = marginals_[static_cast<std::size_t>(f)];
+    const auto idx = static_cast<std::size_t>(
+        u * static_cast<double>(m.size() - 1) + 0.5);
+    coarse[static_cast<std::size_t>(f)] = m[std::min(idx, m.size() - 1)];
+  }
+  return window_from_coarse(coarse, limits_);
+}
+
+// --- E-WGAN-GP*: jittered resampling --------------------------------------------
+
+JitterResampleGenerator::JitterResampleGenerator(
+    std::span<const Window> train, const telemetry::Limits& limits,
+    double noise_frac)
+    : limits_(limits), noise_frac_(noise_frac), rows_(coarse_rows(train)) {
+  stddev_.assign(kF, 0.0);
+  for (int f = 0; f < kF; ++f) {
+    double mean = 0.0;
+    for (const auto& r : rows_)
+      mean += static_cast<double>(r[static_cast<std::size_t>(f)]);
+    mean /= static_cast<double>(rows_.size());
+    double var = 0.0;
+    for (const auto& r : rows_) {
+      const double d =
+          static_cast<double>(r[static_cast<std::size_t>(f)]) - mean;
+      var += d * d;
+    }
+    stddev_[static_cast<std::size_t>(f)] =
+        std::sqrt(var / static_cast<double>(rows_.size()));
+  }
+}
+
+Window JitterResampleGenerator::sample(util::Rng& rng) const {
+  const auto& base = rows_[static_cast<std::size_t>(
+      rng.uniform_int(0, static_cast<Int>(rows_.size()) - 1))];
+  const std::vector<Int> ubs = telemetry::coarse_upper_bounds(limits_);
+  std::vector<Int> coarse(kF, 0);
+  for (int f = 0; f < kF; ++f) {
+    const double noisy =
+        static_cast<double>(base[static_cast<std::size_t>(f)]) +
+        rng.normal(0.0, noise_frac_ * stddev_[static_cast<std::size_t>(f)] +
+                            0.5);
+    coarse[static_cast<std::size_t>(f)] =
+        clamp_field(noisy, ubs[static_cast<std::size_t>(f)]);
+  }
+  return window_from_coarse(coarse, limits_);
+}
+
+// --- CTGAN*: per-field mode-specific normalization -------------------------------
+
+ModeClusterGenerator::ModeClusterGenerator(std::span<const Window> train,
+                                           const telemetry::Limits& limits,
+                                           int modes)
+    : limits_(limits) {
+  LEJIT_REQUIRE(modes >= 1, "need at least one mode");
+  const auto rows = coarse_rows(train);
+  field_modes_.assign(kF, {});
+
+  for (int f = 0; f < kF; ++f) {
+    std::vector<double> xs;
+    xs.reserve(rows.size());
+    for (const auto& r : rows)
+      xs.push_back(static_cast<double>(r[static_cast<std::size_t>(f)]));
+    std::sort(xs.begin(), xs.end());
+
+    // 1-D k-means, quantile-initialized, a few Lloyd iterations.
+    const int k = std::min<int>(modes, static_cast<int>(xs.size()));
+    std::vector<double> centers(static_cast<std::size_t>(k));
+    for (int c = 0; c < k; ++c)
+      centers[static_cast<std::size_t>(c)] =
+          xs[static_cast<std::size_t>((xs.size() - 1) *
+                                      (2 * c + 1) / (2 * k))];
+    std::vector<int> assign(xs.size(), 0);
+    for (int iter = 0; iter < 12; ++iter) {
+      for (std::size_t i = 0; i < xs.size(); ++i) {
+        int best = 0;
+        for (int c = 1; c < k; ++c)
+          if (std::abs(xs[i] - centers[static_cast<std::size_t>(c)]) <
+              std::abs(xs[i] - centers[static_cast<std::size_t>(best)]))
+            best = c;
+        assign[i] = best;
+      }
+      for (int c = 0; c < k; ++c) {
+        double sum = 0.0;
+        int count = 0;
+        for (std::size_t i = 0; i < xs.size(); ++i)
+          if (assign[i] == c) {
+            sum += xs[i];
+            ++count;
+          }
+        if (count > 0) centers[static_cast<std::size_t>(c)] = sum / count;
+      }
+    }
+    auto& fm = field_modes_[static_cast<std::size_t>(f)];
+    for (int c = 0; c < k; ++c) {
+      double sum = 0.0, sq = 0.0;
+      int count = 0;
+      for (std::size_t i = 0; i < xs.size(); ++i)
+        if (assign[i] == c) {
+          sum += xs[i];
+          sq += xs[i] * xs[i];
+          ++count;
+        }
+      if (count == 0) continue;
+      const double mean = sum / count;
+      const double var = std::max(0.0, sq / count - mean * mean);
+      fm.push_back(Mode{static_cast<double>(count), mean,
+                        std::sqrt(var) + 0.25});
+    }
+    LEJIT_ASSERT(!fm.empty(), "field with no modes");
+  }
+}
+
+Window ModeClusterGenerator::sample(util::Rng& rng) const {
+  const std::vector<Int> ubs = telemetry::coarse_upper_bounds(limits_);
+  std::vector<Int> coarse(kF, 0);
+  for (int f = 0; f < kF; ++f) {
+    const auto& fm = field_modes_[static_cast<std::size_t>(f)];
+    std::vector<double> weights;
+    weights.reserve(fm.size());
+    for (const Mode& m : fm) weights.push_back(m.weight);
+    const Mode& mode = fm[rng.categorical(weights)];
+    coarse[static_cast<std::size_t>(f)] =
+        clamp_field(rng.normal(mode.mean, mode.stddev),
+                    ubs[static_cast<std::size_t>(f)]);
+  }
+  return window_from_coarse(coarse, limits_);
+}
+
+// --- TVAE*: full-covariance Gaussian ----------------------------------------------
+
+LatentGaussianGenerator::LatentGaussianGenerator(
+    std::span<const Window> train, const telemetry::Limits& limits)
+    : limits_(limits) {
+  const auto rows = coarse_rows(train);
+  const auto n = static_cast<double>(rows.size());
+  mean_.assign(kF, 0.0);
+  for (const auto& r : rows)
+    for (int f = 0; f < kF; ++f)
+      mean_[static_cast<std::size_t>(f)] +=
+          static_cast<double>(r[static_cast<std::size_t>(f)]);
+  for (double& m : mean_) m /= n;
+
+  std::vector<double> cov(kF * kF, 0.0);
+  for (const auto& r : rows)
+    for (int a = 0; a < kF; ++a)
+      for (int b = 0; b < kF; ++b)
+        cov[static_cast<std::size_t>(a * kF + b)] +=
+            (static_cast<double>(r[static_cast<std::size_t>(a)]) -
+             mean_[static_cast<std::size_t>(a)]) *
+            (static_cast<double>(r[static_cast<std::size_t>(b)]) -
+             mean_[static_cast<std::size_t>(b)]);
+  for (double& c : cov) c /= n;
+  chol_ = cholesky(cov, kF);
+}
+
+Window LatentGaussianGenerator::sample(util::Rng& rng) const {
+  std::array<double, kF> indep{};
+  for (double& v : indep) v = rng.normal();
+  const std::vector<Int> ubs = telemetry::coarse_upper_bounds(limits_);
+  std::vector<Int> coarse(kF, 0);
+  for (int f = 0; f < kF; ++f) {
+    double v = mean_[static_cast<std::size_t>(f)];
+    for (int j = 0; j <= f; ++j)
+      v += chol_[static_cast<std::size_t>(f * kF + j)] *
+           indep[static_cast<std::size_t>(j)];
+    coarse[static_cast<std::size_t>(f)] =
+        clamp_field(v, ubs[static_cast<std::size_t>(f)]);
+  }
+  return window_from_coarse(coarse, limits_);
+}
+
+// --- REaLTabFormer*: autoregressive row-text model --------------------------------
+
+NgramRowGenerator::NgramRowGenerator(std::span<const Window> train,
+                                     const telemetry::Limits& limits)
+    : limits_(limits), tokenizer_(telemetry::row_alphabet()) {
+  model_ = std::make_unique<lm::NgramModel>(tokenizer_.vocab_size(),
+                                            lm::NgramConfig{.order = 6});
+  for (const Window& w : train) {
+    const std::vector<int> tokens =
+        tokenizer_.encode(telemetry::window_to_coarse_row(w));
+    model_->observe(tokens);
+  }
+  decoder_ = std::make_unique<core::GuidedDecoder>(
+      *model_, tokenizer_, telemetry::coarse_row_layout(limits),
+      rules::RuleSet{},
+      core::DecoderConfig{.mode = core::GuidanceMode::kSyntax});
+}
+
+Window NgramRowGenerator::sample(util::Rng& rng) const {
+  const core::DecodeResult r = decoder_->generate(rng);
+  LEJIT_ASSERT(r.ok && r.window.has_value(),
+               "grammar-constrained decode must parse");
+  Window w = *r.window;
+  w.fine.assign(static_cast<std::size_t>(limits_.window), 0);
+  return w;
+}
+
+std::vector<std::unique_ptr<CoarseGenerator>> make_all_generators(
+    std::span<const Window> train, const telemetry::Limits& limits) {
+  std::vector<std::unique_ptr<CoarseGenerator>> out;
+  out.push_back(std::make_unique<GaussianCopulaGenerator>(train, limits));
+  out.push_back(std::make_unique<JitterResampleGenerator>(train, limits));
+  out.push_back(std::make_unique<ModeClusterGenerator>(train, limits));
+  out.push_back(std::make_unique<LatentGaussianGenerator>(train, limits));
+  out.push_back(std::make_unique<NgramRowGenerator>(train, limits));
+  return out;
+}
+
+}  // namespace lejit::baselines

@@ -1,0 +1,121 @@
+// Synthetic-data-generation baselines (Fig. 5): statistical stand-ins for
+// NetShare, E-WGAN-GP, CTGAN, TVAE, and REaLTabFormer.
+//
+// Each substitute keeps the property the paper's comparison hinges on
+// (DESIGN.md §3): competitive marginal/joint fidelity on the coarse signals
+// with no mechanism for satisfying the mined rule set. One class per
+// generator family, all behind a common interface:
+//   GaussianCopulaGenerator (NetShare)      — empirical marginals tied by a
+//                                             Gaussian copula
+//   JitterResampleGenerator (E-WGAN-GP)     — training rows + Gaussian noise
+//                                             (a GAN that memorized well)
+//   ModeClusterGenerator    (CTGAN)         — per-field mode-specific
+//                                             normalization, independent fields
+//   LatentGaussianGenerator (TVAE)          — full-covariance Gaussian in
+//                                             data space (linear-decoder VAE)
+//   NgramRowGenerator       (REaLTabFormer) — autoregressive char model over
+//                                             row text, grammar-constrained
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/decoder.hpp"
+#include "lm/ngram.hpp"
+#include "lm/tokenizer.hpp"
+#include "telemetry/text.hpp"
+#include "util/rng.hpp"
+
+namespace lejit::baselines {
+
+// Generates coarse-only windows (fine is filled with zeros; synthesis-task
+// evaluation only reads the coarse fields and coarse-only rules).
+class CoarseGenerator {
+ public:
+  virtual ~CoarseGenerator() = default;
+  virtual const std::string& name() const = 0;
+  virtual telemetry::Window sample(util::Rng& rng) const = 0;
+};
+
+class GaussianCopulaGenerator final : public CoarseGenerator {
+ public:
+  GaussianCopulaGenerator(std::span<const telemetry::Window> train,
+                          const telemetry::Limits& limits);
+  const std::string& name() const override { return name_; }
+  telemetry::Window sample(util::Rng& rng) const override;
+
+ private:
+  std::string name_ = "NetShare*";
+  telemetry::Limits limits_;
+  std::vector<std::vector<telemetry::Int>> marginals_;  // sorted, per field
+  std::vector<double> chol_;                            // 5×5 lower factor
+};
+
+class JitterResampleGenerator final : public CoarseGenerator {
+ public:
+  JitterResampleGenerator(std::span<const telemetry::Window> train,
+                          const telemetry::Limits& limits,
+                          double noise_frac = 0.05);
+  const std::string& name() const override { return name_; }
+  telemetry::Window sample(util::Rng& rng) const override;
+
+ private:
+  std::string name_ = "E-WGAN-GP*";
+  telemetry::Limits limits_;
+  double noise_frac_;
+  std::vector<std::vector<telemetry::Int>> rows_;  // coarse tuples
+  std::vector<double> stddev_;                     // per field
+};
+
+class ModeClusterGenerator final : public CoarseGenerator {
+ public:
+  ModeClusterGenerator(std::span<const telemetry::Window> train,
+                       const telemetry::Limits& limits, int modes = 5);
+  const std::string& name() const override { return name_; }
+  telemetry::Window sample(util::Rng& rng) const override;
+
+ private:
+  struct Mode {
+    double weight, mean, stddev;
+  };
+  std::string name_ = "CTGAN*";
+  telemetry::Limits limits_;
+  std::vector<std::vector<Mode>> field_modes_;  // per field
+};
+
+class LatentGaussianGenerator final : public CoarseGenerator {
+ public:
+  LatentGaussianGenerator(std::span<const telemetry::Window> train,
+                          const telemetry::Limits& limits);
+  const std::string& name() const override { return name_; }
+  telemetry::Window sample(util::Rng& rng) const override;
+
+ private:
+  std::string name_ = "TVAE*";
+  telemetry::Limits limits_;
+  std::vector<double> mean_;  // 5
+  std::vector<double> chol_;  // 5×5 lower factor of the covariance
+};
+
+class NgramRowGenerator final : public CoarseGenerator {
+ public:
+  NgramRowGenerator(std::span<const telemetry::Window> train,
+                    const telemetry::Limits& limits);
+  const std::string& name() const override { return name_; }
+  telemetry::Window sample(util::Rng& rng) const override;
+
+ private:
+  std::string name_ = "REaLTabFormer*";
+  telemetry::Limits limits_;
+  lm::CharTokenizer tokenizer_;
+  std::unique_ptr<lm::NgramModel> model_;
+  mutable std::unique_ptr<core::GuidedDecoder> decoder_;  // grammar-only
+};
+
+// Convenience: build all five, fitted on `train`.
+std::vector<std::unique_ptr<CoarseGenerator>> make_all_generators(
+    std::span<const telemetry::Window> train, const telemetry::Limits& limits);
+
+}  // namespace lejit::baselines

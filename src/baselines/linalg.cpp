@@ -1,0 +1,113 @@
+#include "baselines/linalg.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace lejit::baselines {
+
+std::vector<double> solve_linear(std::vector<double> a, std::vector<double> b,
+                                 int n) {
+  LEJIT_REQUIRE(static_cast<int>(a.size()) == n * n &&
+                    static_cast<int>(b.size()) == n,
+                "solve_linear dimension mismatch");
+  const auto at = [&](int r, int c) -> double& {
+    return a[static_cast<std::size_t>(r) * static_cast<std::size_t>(n) +
+             static_cast<std::size_t>(c)];
+  };
+  for (int col = 0; col < n; ++col) {
+    // Partial pivot.
+    int pivot = col;
+    for (int r = col + 1; r < n; ++r)
+      if (std::abs(at(r, col)) > std::abs(at(pivot, col))) pivot = r;
+    if (std::abs(at(pivot, col)) < 1e-12)
+      throw util::RuntimeError("solve_linear: singular matrix");
+    if (pivot != col) {
+      for (int c = 0; c < n; ++c) std::swap(at(pivot, c), at(col, c));
+      std::swap(b[static_cast<std::size_t>(pivot)],
+                b[static_cast<std::size_t>(col)]);
+    }
+    for (int r = col + 1; r < n; ++r) {
+      const double factor = at(r, col) / at(col, col);
+      if (factor == 0.0) continue;
+      for (int c = col; c < n; ++c) at(r, c) -= factor * at(col, c);
+      b[static_cast<std::size_t>(r)] -=
+          factor * b[static_cast<std::size_t>(col)];
+    }
+  }
+  std::vector<double> x(static_cast<std::size_t>(n), 0.0);
+  for (int r = n - 1; r >= 0; --r) {
+    double acc = b[static_cast<std::size_t>(r)];
+    for (int c = r + 1; c < n; ++c)
+      acc -= at(r, c) * x[static_cast<std::size_t>(c)];
+    x[static_cast<std::size_t>(r)] = acc / at(r, r);
+  }
+  return x;
+}
+
+std::vector<double> cholesky(std::vector<double> a, int n) {
+  LEJIT_REQUIRE(static_cast<int>(a.size()) == n * n,
+                "cholesky dimension mismatch");
+  const auto at = [&](std::vector<double>& m, int r, int c) -> double& {
+    return m[static_cast<std::size_t>(r) * static_cast<std::size_t>(n) +
+             static_cast<std::size_t>(c)];
+  };
+  // Retry with growing ridge until positive definite.
+  for (double ridge = 0.0; ridge < 1.0; ridge = (ridge == 0.0 ? 1e-9 : ridge * 10)) {
+    std::vector<double> l(a.size(), 0.0);
+    bool ok = true;
+    for (int i = 0; i < n && ok; ++i) {
+      for (int j = 0; j <= i; ++j) {
+        double sum = at(a, i, j) + (i == j ? ridge : 0.0);
+        for (int k = 0; k < j; ++k) sum -= at(l, i, k) * at(l, j, k);
+        if (i == j) {
+          if (sum <= 0.0) {
+            ok = false;
+            break;
+          }
+          at(l, i, j) = std::sqrt(sum);
+        } else {
+          at(l, i, j) = sum / at(l, j, j);
+        }
+      }
+    }
+    if (ok) return l;
+  }
+  throw util::RuntimeError("cholesky: matrix not positive definite");
+}
+
+double normal_cdf(double x) { return 0.5 * std::erfc(-x / std::sqrt(2.0)); }
+
+double normal_inv(double p) {
+  LEJIT_REQUIRE(p > 0.0 && p < 1.0, "normal_inv requires p in (0,1)");
+  // Acklam's rational approximation.
+  static const double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                             -2.759285104469687e+02, 1.383577518672690e+02,
+                             -3.066479806614716e+01, 2.506628277459239e+00};
+  static const double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                             -1.556989798598866e+02, 6.680131188771972e+01,
+                             -1.328068155288572e+01};
+  static const double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                             -2.400758277161838e+00, -2.549732539343734e+00,
+                             4.374664141464968e+00,  2.938163982698783e+00};
+  static const double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                             2.445134137142996e+00, 3.754408661907416e+00};
+  constexpr double plow = 0.02425;
+  double q, r;
+  if (p < plow) {
+    q = std::sqrt(-2 * std::log(p));
+    return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1);
+  }
+  if (p > 1 - plow) {
+    q = std::sqrt(-2 * std::log(1 - p));
+    return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1);
+  }
+  q = p - 0.5;
+  r = q * q;
+  return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) * q /
+         (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1);
+}
+
+}  // namespace lejit::baselines

@@ -1,0 +1,23 @@
+// Small dense linear algebra for the statistical baselines: Gaussian
+// elimination (ridge regression normal equations), Cholesky factorization
+// (Gaussian/copula samplers), and the inverse normal CDF (copula fitting).
+#pragma once
+
+#include <vector>
+
+namespace lejit::baselines {
+
+// Solve A x = b for square A (row-major, n×n) with partial pivoting.
+// Throws util::RuntimeError on a (numerically) singular system.
+std::vector<double> solve_linear(std::vector<double> a, std::vector<double> b,
+                                 int n);
+
+// Lower-triangular Cholesky factor of a symmetric positive-definite matrix
+// (row-major n×n). A small ridge is added automatically if needed.
+std::vector<double> cholesky(std::vector<double> a, int n);
+
+// Standard normal CDF and its inverse (Acklam's approximation, |err|<1e-9).
+double normal_cdf(double x);
+double normal_inv(double p);
+
+}  // namespace lejit::baselines

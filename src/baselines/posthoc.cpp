@@ -1,0 +1,72 @@
+#include "baselines/posthoc.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace lejit::baselines {
+
+using smt::LinExpr;
+using smt::VarId;
+using telemetry::Int;
+
+PostHocRepairer::PostHocRepairer(const telemetry::RowLayout& layout,
+                                 rules::RuleSet rules)
+    : layout_(layout), rules_(std::move(rules)) {}
+
+RepairResult PostHocRepairer::repair(const telemetry::Window& w,
+                                     bool pin_coarse) const {
+  RepairResult result;
+  result.window = w;
+
+  // Fresh solver per repair: field variables, rules, then one deviation
+  // variable per movable field with |x_i − v_i| linearized as d_i ≥ ±(x_i−v_i).
+  // A modest node budget keeps worst-case optimality proofs cheap; minimize()
+  // degrades to best-effort (still feasible, near-optimal) beyond it.
+  smt::Solver solver(smt::SolverConfig{.max_nodes = 40'000});
+  const std::vector<VarId> vars = rules::declare_fields(solver, layout_);
+  rules::assert_rules(solver, rules_);
+
+  const std::vector<Int> original = rules::field_assignment(w);
+  LEJIT_REQUIRE(original.size() == vars.size(),
+                "window does not match layout");
+
+  LinExpr cost;
+  for (std::size_t i = 0; i < vars.size(); ++i) {
+    const bool coarse = !layout_.fields[i].is_fine;
+    // Clamp the anchor into the variable's domain so pinning cannot be
+    // trivially unsat for out-of-domain generated values.
+    const Int anchor =
+        std::clamp<Int>(original[i], 0, layout_.fields[i].max_value);
+    if (pin_coarse && coarse) {
+      solver.add(smt::eq(LinExpr(vars[i]), LinExpr(anchor)));
+      continue;
+    }
+    const VarId d = solver.add_var("d_" + layout_.fields[i].name, 0,
+                                   layout_.fields[i].max_value);
+    solver.add(smt::ge(LinExpr(d), LinExpr(vars[i]) - LinExpr(anchor)));
+    solver.add(smt::ge(LinExpr(d), LinExpr(anchor) - LinExpr(vars[i])));
+    cost += LinExpr(d);
+  }
+
+  const auto best = solver.minimize(cost);
+  if (!best) return result;  // infeasible (e.g. pinned coarse contradicts rules)
+
+  result.feasible = true;
+  result.l1_distance = best->cost;
+  std::vector<Int> repaired(vars.size());
+  for (std::size_t i = 0; i < vars.size(); ++i)
+    repaired[i] = best->model[static_cast<std::size_t>(vars[i].index)];
+  result.changed = repaired != original;
+
+  telemetry::Window& out = result.window;
+  out.total = repaired[0];
+  out.ecn = repaired[1];
+  out.rtx = repaired[2];
+  out.conn = repaired[3];
+  out.egress = repaired[4];
+  out.fine.assign(repaired.begin() + telemetry::kNumCoarse, repaired.end());
+  return result;
+}
+
+}  // namespace lejit::baselines

@@ -1,0 +1,38 @@
+// Post-inference SMT repair (paper §2.2, "enforcing rules post-inference").
+//
+// Let the model generate freely, then hand the violating output to the SMT
+// solver with the rules and ask for the *nearest* compliant assignment under
+// L1 distance (the f_Δ mitigation the paper describes). Correct but — as
+// §2.2 argues and Fig. 1a illustrates — unaware of the learned distribution:
+// the projection can land on statistically implausible points.
+#pragma once
+
+#include <optional>
+
+#include "rules/rule.hpp"
+#include "smt/solver.hpp"
+
+namespace lejit::baselines {
+
+struct RepairResult {
+  telemetry::Window window;
+  bool feasible = false;  // false ⇔ no compliant point exists
+  bool changed = false;   // any field moved
+  smt::Int l1_distance = 0;
+};
+
+class PostHocRepairer {
+ public:
+  PostHocRepairer(const telemetry::RowLayout& layout, rules::RuleSet rules);
+
+  // Project `w` onto the rule-compliant set, minimizing Σ|field − original|.
+  // With `pin_coarse` the coarse fields are held fixed (imputation-task
+  // repair: only the fine series may move).
+  RepairResult repair(const telemetry::Window& w, bool pin_coarse) const;
+
+ private:
+  telemetry::RowLayout layout_;
+  rules::RuleSet rules_;
+};
+
+}  // namespace lejit::baselines

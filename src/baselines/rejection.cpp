@@ -1,0 +1,31 @@
+#include "baselines/rejection.hpp"
+
+namespace lejit::baselines {
+
+RejectionSampler::RejectionSampler(const lm::LanguageModel& model,
+                                   const lm::CharTokenizer& tokenizer,
+                                   const telemetry::RowLayout& layout,
+                                   rules::RuleSet rules,
+                                   RejectionConfig config)
+    : rules_(std::move(rules)), config_(config),
+      decoder_(model, tokenizer, layout,
+               rules::RuleSet{},  // the base sampler enforces no rules
+               core::DecoderConfig{.mode = config.base_mode,
+                                   .sampler = config.sampler}) {}
+
+RejectionResult RejectionSampler::generate(util::Rng& rng,
+                                           std::string_view prompt) {
+  RejectionResult result;
+  for (int attempt = 1; attempt <= config_.max_attempts; ++attempt) {
+    result.attempts = attempt;
+    result.decode = decoder_.generate(rng, prompt);
+    if (!result.decode.ok || !result.decode.window) continue;
+    if (rules::violated_rules(rules_, *result.decode.window).empty()) {
+      result.compliant = true;
+      return result;
+    }
+  }
+  return result;  // budget exhausted: return the last (violating) sample
+}
+
+}  // namespace lejit::baselines

@@ -1,0 +1,46 @@
+// Rejection sampling baseline (paper §4, baseline ii).
+//
+// Sample from the unguided LM and discard outputs that violate the rule set,
+// retrying until a compliant sample emerges or the attempt budget runs out.
+// Guarantees compliance like LeJIT, but — as the paper measures in Fig. 3
+// (right) and Fig. 5 — at a large runtime multiple, and with a distorted
+// output distribution (discarding near-miss samples reweights the learned
+// distribution toward the easy-to-satisfy region).
+#pragma once
+
+#include "core/decoder.hpp"
+#include "rules/checker.hpp"
+
+namespace lejit::baselines {
+
+struct RejectionConfig {
+  int max_attempts = 500;
+  // Structure (grammar) is still enforced so attempts are parseable rows;
+  // only the *rules* are left to luck — matching the paper's setup where
+  // GPT-2 reliably produces well-formed rows but violates semantics.
+  core::GuidanceMode base_mode = core::GuidanceMode::kSyntax;
+  lm::SamplerConfig sampler{};
+};
+
+struct RejectionResult {
+  core::DecodeResult decode;  // the accepted (or final rejected) sample
+  int attempts = 0;
+  bool compliant = false;
+};
+
+class RejectionSampler {
+ public:
+  RejectionSampler(const lm::LanguageModel& model,
+                   const lm::CharTokenizer& tokenizer,
+                   const telemetry::RowLayout& layout, rules::RuleSet rules,
+                   RejectionConfig config = {});
+
+  RejectionResult generate(util::Rng& rng, std::string_view prompt = {});
+
+ private:
+  rules::RuleSet rules_;
+  RejectionConfig config_;
+  core::GuidedDecoder decoder_;
+};
+
+}  // namespace lejit::baselines

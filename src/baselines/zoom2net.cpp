@@ -1,0 +1,176 @@
+#include "baselines/zoom2net.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "baselines/linalg.hpp"
+#include "util/error.hpp"
+
+namespace lejit::baselines {
+
+using telemetry::Int;
+using telemetry::Window;
+
+std::vector<double> Zoom2NetImputer::features(const Window& w) const {
+  return {1.0,
+          static_cast<double>(w.total),
+          static_cast<double>(w.ecn),
+          static_cast<double>(w.rtx),
+          static_cast<double>(w.conn),
+          static_cast<double>(w.egress)};
+}
+
+Zoom2NetImputer::Zoom2NetImputer(std::span<const Window> train,
+                                 const telemetry::Limits& limits,
+                                 Zoom2NetConfig config)
+    : limits_(limits), config_(config) {
+  LEJIT_REQUIRE(!train.empty(), "Zoom2Net fit requires training windows");
+  constexpr int kF = 6;  // bias + 5 coarse features
+  const int w_slots = limits.window;
+
+  // Normal equations, shared Gram matrix across output slots.
+  std::vector<double> gram(kF * kF, 0.0);
+  std::vector<std::vector<double>> xty(
+      static_cast<std::size_t>(w_slots), std::vector<double>(kF, 0.0));
+  std::vector<double> xt_total(kF, 0.0);  // Σ_i x_i · total_i
+  for (const Window& w : train) {
+    LEJIT_REQUIRE(static_cast<int>(w.fine.size()) == w_slots,
+                  "window width mismatch");
+    const std::vector<double> x = features(w);
+    for (int i = 0; i < kF; ++i) {
+      for (int j = 0; j < kF; ++j)
+        gram[static_cast<std::size_t>(i * kF + j)] +=
+            x[static_cast<std::size_t>(i)] * x[static_cast<std::size_t>(j)];
+      for (int t = 0; t < w_slots; ++t)
+        xty[static_cast<std::size_t>(t)][static_cast<std::size_t>(i)] +=
+            x[static_cast<std::size_t>(i)] *
+            static_cast<double>(w.fine[static_cast<std::size_t>(t)]);
+      xt_total[static_cast<std::size_t>(i)] +=
+          x[static_cast<std::size_t>(i)] * static_cast<double>(w.total);
+    }
+  }
+
+  weights_.reserve(static_cast<std::size_t>(w_slots));
+  if (config_.sum_penalty <= 0.0) {
+    // Independent per-slot ridge fits.
+    std::vector<double> ridged = gram;
+    for (int i = 0; i < kF; ++i)
+      ridged[static_cast<std::size_t>(i * kF + i)] += config_.ridge;
+    for (int t = 0; t < w_slots; ++t)
+      weights_.push_back(
+          solve_linear(ridged, xty[static_cast<std::size_t>(t)], kF));
+    return;
+  }
+
+  // Training-time rule enforcement: the soft penalty couples all slots, so
+  // solve the joint (kF·W)×(kF·W) normal equations
+  //   G z_t + λ G Σ_s z_s = Xᵀy_t + λ Xᵀtotal,   t = 0..W−1.
+  const double lambda = config_.sum_penalty;
+  const int dim = kF * w_slots;
+  std::vector<double> joint(static_cast<std::size_t>(dim) *
+                                static_cast<std::size_t>(dim),
+                            0.0);
+  std::vector<double> rhs(static_cast<std::size_t>(dim), 0.0);
+  for (int t = 0; t < w_slots; ++t) {
+    for (int s = 0; s < w_slots; ++s) {
+      const double factor = (t == s ? 1.0 : 0.0) + lambda;
+      for (int i = 0; i < kF; ++i)
+        for (int j = 0; j < kF; ++j)
+          joint[static_cast<std::size_t>((t * kF + i) * dim + s * kF + j)] +=
+              factor * gram[static_cast<std::size_t>(i * kF + j)];
+    }
+    for (int i = 0; i < kF; ++i) {
+      joint[static_cast<std::size_t>((t * kF + i) * dim + t * kF + i)] +=
+          config_.ridge;
+      rhs[static_cast<std::size_t>(t * kF + i)] =
+          xty[static_cast<std::size_t>(t)][static_cast<std::size_t>(i)] +
+          lambda * xt_total[static_cast<std::size_t>(i)];
+    }
+  }
+  const std::vector<double> solution = solve_linear(joint, rhs, dim);
+  for (int t = 0; t < w_slots; ++t)
+    weights_.emplace_back(solution.begin() + t * kF,
+                          solution.begin() + (t + 1) * kF);
+}
+
+void Zoom2NetImputer::apply_cem(Window& w) const {
+  const Int bw = limits_.bandwidth;
+  const Int burst = limits_.burst_threshold();
+  auto& fine = w.fine;
+  const auto n = static_cast<Int>(fine.size());
+
+  // Rule 1: clip to [0, BW].
+  for (Int& v : fine) v = std::clamp<Int>(v, 0, bw);
+
+  // Rule 2: rescale so the fine series sums to the coarse total (the coarse
+  // total itself is an input and assumed within [0, n*BW]).
+  const Int target = std::clamp<Int>(w.total, 0, n * bw);
+  Int sum = 0;
+  for (const Int v : fine) sum += v;
+  Int diff = target - sum;
+  // Greedy unit redistribution: always adjust the slot with the most room,
+  // which preserves the regressor's shape as much as a one-pass repair can.
+  while (diff != 0) {
+    std::size_t pick = 0;
+    if (diff > 0) {
+      Int best_room = -1;
+      for (std::size_t i = 0; i < fine.size(); ++i)
+        if (bw - fine[i] > best_room) {
+          best_room = bw - fine[i];
+          pick = i;
+        }
+      if (best_room <= 0) break;  // saturated; unreachable for valid totals
+      const Int step = std::min(diff, best_room);
+      fine[pick] += step;
+      diff -= step;
+    } else {
+      Int best_room = -1;
+      for (std::size_t i = 0; i < fine.size(); ++i)
+        if (fine[i] > best_room) {
+          best_room = fine[i];
+          pick = i;
+        }
+      if (best_room <= 0) break;
+      const Int step = std::min(-diff, best_room);
+      fine[pick] -= step;
+      diff += step;
+    }
+  }
+
+  // Rule 3: congestion implies a burst. One-pass fix-up: raise the current
+  // peak slot to the burst threshold and take the surplus from the others.
+  if (w.ecn > 0) {
+    const auto peak_it = std::max_element(fine.begin(), fine.end());
+    if (*peak_it < burst) {
+      Int need = burst - *peak_it;
+      *peak_it = burst;
+      for (std::size_t i = 0; i < fine.size() && need > 0; ++i) {
+        if (&fine[i] == &*peak_it) continue;
+        const Int take = std::min(need, fine[i]);
+        fine[i] -= take;
+        need -= take;
+      }
+      // If the window's total is too small to sustain a burst, the one-pass
+      // algorithm fails to find a joint fix (mirroring NetDiffusion's
+      // failure mode the paper cites): roll back the raise partially.
+      if (need > 0) *peak_it -= need;
+    }
+  }
+}
+
+Window Zoom2NetImputer::impute(const Window& coarse) const {
+  Window out = coarse;
+  out.fine.assign(static_cast<std::size_t>(limits_.window), 0);
+  const std::vector<double> x = features(coarse);
+  for (int t = 0; t < limits_.window; ++t) {
+    double acc = 0.0;
+    const auto& wt = weights_[static_cast<std::size_t>(t)];
+    for (std::size_t i = 0; i < wt.size(); ++i) acc += wt[i] * x[i];
+    out.fine[static_cast<std::size_t>(t)] =
+        static_cast<Int>(std::llround(acc));
+  }
+  if (config_.enable_cem) apply_cem(out);
+  return out;
+}
+
+}  // namespace lejit::baselines

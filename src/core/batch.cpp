@@ -1,0 +1,89 @@
+#include "core/batch.hpp"
+
+#include <atomic>
+#include <mutex>
+#include <thread>
+
+#include "telemetry/text.hpp"
+#include "util/error.hpp"
+#include "util/timer.hpp"
+
+namespace lejit::core {
+
+namespace {
+
+BatchReport run_batch(const DecoderFactory& make_decoder, std::size_t count,
+                      const BatchConfig& config,
+                      const std::function<std::string(std::size_t)>& prompt_of) {
+  LEJIT_REQUIRE(make_decoder != nullptr, "null decoder factory");
+
+  BatchReport report;
+  report.results.resize(count);
+  if (count == 0) return report;
+
+  int threads = config.threads;
+  if (threads <= 0)
+    threads = static_cast<int>(
+        std::max(1u, std::thread::hardware_concurrency()));
+  threads = static_cast<int>(
+      std::min<std::size_t>(static_cast<std::size_t>(threads), count));
+
+  util::Timer timer;
+  std::atomic<std::size_t> next{0};
+  std::atomic<bool> failed{false};
+  std::string failure_message;
+  std::mutex failure_mutex;
+
+  const auto worker = [&]() {
+    try {
+      const std::unique_ptr<GuidedDecoder> decoder = make_decoder();
+      LEJIT_REQUIRE(decoder != nullptr, "decoder factory returned null");
+      while (true) {
+        const std::size_t i = next.fetch_add(1);
+        if (i >= count || failed.load()) break;
+        // Schedule-independent determinism: RNG depends only on (seed, i).
+        util::Rng rng(config.seed ^ (0x9e3779b97f4a7c15ULL * (i + 1)),
+                      2 * i + 1);
+        report.results[i] = decoder->generate(rng, prompt_of(i));
+      }
+    } catch (const std::exception& e) {
+      const std::lock_guard<std::mutex> lock(failure_mutex);
+      failed.store(true);
+      if (failure_message.empty()) failure_message = e.what();
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(threads));
+  for (int t = 0; t < threads; ++t) pool.emplace_back(worker);
+  for (auto& t : pool) t.join();
+  if (failed.load())
+    throw util::RuntimeError("batch worker failed: " + failure_message);
+
+  report.wall_seconds = timer.elapsed_seconds();
+  for (const auto& r : report.results) {
+    if (r.ok) ++report.ok;
+    if (r.infeasible_prompt) ++report.infeasible_prompts;
+    if (r.dead_end) ++report.dead_ends;
+  }
+  return report;
+}
+
+}  // namespace
+
+BatchReport impute_batch(const DecoderFactory& make_decoder,
+                         std::span<const telemetry::Window> windows,
+                         const BatchConfig& config) {
+  return run_batch(make_decoder, windows.size(), config,
+                   [&windows](std::size_t i) {
+                     return telemetry::imputation_prompt(windows[i]);
+                   });
+}
+
+BatchReport synthesize_batch(const DecoderFactory& make_decoder,
+                             std::size_t count, const BatchConfig& config) {
+  return run_batch(make_decoder, count, config,
+                   [](std::size_t) { return std::string(); });
+}
+
+}  // namespace lejit::core

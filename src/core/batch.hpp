@@ -1,0 +1,49 @@
+// Fleet-scale batch decoding.
+//
+// The paper's workload is 30K imputations over a rack fleet (§4.1); this
+// driver runs such workloads across worker threads. Each worker owns its own
+// GuidedDecoder (decoders hold solver state, and the transformer's KV cache
+// makes even inference non-reentrant), created through a caller-supplied
+// factory. Sampling is deterministic and *schedule-independent*: window i is
+// always decoded with an RNG forked from (seed, i), so the results are
+// bit-identical to a sequential run regardless of thread count.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <span>
+
+#include "core/decoder.hpp"
+#include "telemetry/schema.hpp"
+
+namespace lejit::core {
+
+struct BatchConfig {
+  // 0 = one worker per hardware thread.
+  int threads = 0;
+  std::uint64_t seed = 1;
+};
+
+using DecoderFactory = std::function<std::unique_ptr<GuidedDecoder>()>;
+
+struct BatchReport {
+  std::vector<DecodeResult> results;  // in input order
+  std::size_t ok = 0;
+  std::size_t infeasible_prompts = 0;
+  std::size_t dead_ends = 0;
+  double wall_seconds = 0.0;
+};
+
+// Impute every window (prompt = its coarse prefix). `make_decoder` is called
+// once per worker and must produce independent decoders over the same model
+// and rule set.
+BatchReport impute_batch(const DecoderFactory& make_decoder,
+                         std::span<const telemetry::Window> windows,
+                         const BatchConfig& config = {});
+
+// Unconditional generation of `count` rows (the synthesis task).
+BatchReport synthesize_batch(const DecoderFactory& make_decoder,
+                             std::size_t count,
+                             const BatchConfig& config = {});
+
+}  // namespace lejit::core

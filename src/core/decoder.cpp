@@ -1,0 +1,294 @@
+#include "core/decoder.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <optional>
+#include <span>
+
+#include "core/transition.hpp"
+#include "util/error.hpp"
+
+namespace lejit::core {
+
+namespace {
+
+// RAII guard: pops the solver scope opened for one row.
+class ScopeGuard {
+ public:
+  explicit ScopeGuard(smt::Solver& solver) : solver_(solver) { solver_.push(); }
+  ~ScopeGuard() { solver_.pop(); }
+  ScopeGuard(const ScopeGuard&) = delete;
+  ScopeGuard& operator=(const ScopeGuard&) = delete;
+
+ private:
+  smt::Solver& solver_;
+};
+
+}  // namespace
+
+// Position within the row syntax: literal prefix of field `field`, then its
+// digits, ..., then the row suffix.
+struct GuidedDecoder::Walk {
+  int field = 0;
+  std::size_t prefix_pos = 0;
+  DigitPrefix digits{};
+  std::size_t suffix_pos = 0;
+
+  bool in_suffix(const telemetry::RowLayout& layout) const {
+    return field >= layout.num_fields();
+  }
+  bool done(const telemetry::RowLayout& layout) const {
+    return in_suffix(layout) && suffix_pos >= layout.suffix.size();
+  }
+  bool in_digits(const telemetry::RowLayout& layout) const {
+    return !in_suffix(layout) &&
+           prefix_pos >=
+               layout.fields[static_cast<std::size_t>(field)].prefix.size();
+  }
+  // The literal character that terminates the current field's digits.
+  char terminator(const telemetry::RowLayout& layout) const {
+    if (field + 1 < layout.num_fields())
+      return layout.fields[static_cast<std::size_t>(field) + 1].prefix.front();
+    return layout.suffix.front();
+  }
+};
+
+GuidedDecoder::GuidedDecoder(const lm::LanguageModel& model,
+                             const lm::CharTokenizer& tokenizer,
+                             const telemetry::RowLayout& layout,
+                             rules::RuleSet rules, DecoderConfig config)
+    : model_(model),
+      tokenizer_(tokenizer),
+      layout_(layout),
+      rules_(std::move(rules)),
+      config_(config) {
+  LEJIT_REQUIRE(model.vocab_size() == tokenizer.vocab_size(),
+                "model and tokenizer vocabulary sizes differ");
+  for (const char c : telemetry::row_alphabet())
+    LEJIT_REQUIRE(tokenizer.has_char(c),
+                  "tokenizer does not cover the row alphabet");
+  for (const auto& f : layout_.fields)
+    LEJIT_REQUIRE(!f.prefix.empty(), "layout field without prefix literal");
+  LEJIT_REQUIRE(!layout_.suffix.empty(), "layout without row suffix");
+  vars_ = rules::declare_fields(solver_, layout_);
+  rules::assert_rules(solver_, rules_);
+}
+
+DecodeResult GuidedDecoder::generate(util::Rng& rng, std::string_view prompt) {
+  DecodeResult result;
+  const std::int64_t checks_before = solver_.stats().checks;
+
+  // --- unguided mode: free-run the LM until a newline -----------------------
+  if (config_.mode == GuidanceMode::kNone) {
+    std::vector<int> context = tokenizer_.encode(prompt);
+    std::string text(prompt);
+    const auto newline = tokenizer_.newline_id();
+    for (int step = 0; step < config_.max_free_tokens; ++step) {
+      const std::vector<float> logits = model_.logits(context);
+      ++result.stats.lm_calls;
+      const int tok = lm::sample_token(logits, config_.sampler, rng);
+      if (newline && tok == *newline) break;
+      context.push_back(tok);
+      text.push_back(tokenizer_.decode_char(tok));
+      ++result.stats.chars;
+    }
+    result.text = text;
+    result.window = telemetry::parse_row(text, layout_);
+    result.ok = result.window.has_value();
+    result.stats.solver_checks = solver_.stats().checks - checks_before;
+    return result;
+  }
+
+  // --- guided modes: walk the row syntax -------------------------------------
+  const ScopeGuard scope(solver_);
+  Walk walk;
+  std::string text;
+  std::vector<int> context;
+  const int vocab = tokenizer_.vocab_size();
+
+  const bool solver_guided = config_.mode == GuidanceMode::kFull ||
+                             config_.mode == GuidanceMode::kHull;
+  // Interval hull of the current field's feasible set (kHull mode only),
+  // computed lazily when the field's digits begin and dropped when the
+  // field completes.
+  std::optional<smt::Interval> field_hull;
+  // Set when a kHull field completion must be validated against the rules.
+  bool pending_feasibility_check = false;
+
+  // Pin a completed field value into the solver (solver-guided modes).
+  const auto pin_field = [&](int field, Int value) {
+    if (!solver_guided) return;
+    solver_.add(smt::eq(smt::LinExpr(vars_[static_cast<std::size_t>(field)]),
+                        smt::LinExpr(value)));
+    if (config_.mode == GuidanceMode::kHull) pending_feasibility_check = true;
+  };
+
+  // Advance the walk over one legal character; pins fields as they complete.
+  const auto advance = [&](char c) {
+    if (walk.in_suffix(layout_)) {
+      LEJIT_ASSERT(layout_.suffix[walk.suffix_pos] == c, "suffix mismatch");
+      ++walk.suffix_pos;
+      return;
+    }
+    const auto& spec = layout_.fields[static_cast<std::size_t>(walk.field)];
+    if (walk.prefix_pos < spec.prefix.size()) {
+      LEJIT_ASSERT(spec.prefix[walk.prefix_pos] == c, "prefix mismatch");
+      ++walk.prefix_pos;
+      return;
+    }
+    if (c >= '0' && c <= '9') {
+      walk.digits = walk.digits.extended(c - '0');
+      return;
+    }
+    // Any other character terminates the field.
+    LEJIT_ASSERT(!walk.digits.empty(), "field terminated without digits");
+    pin_field(walk.field, walk.digits.value);
+    field_hull.reset();
+    ++walk.field;
+    walk.digits = DigitPrefix{};
+    if (walk.field < layout_.num_fields()) {
+      LEJIT_ASSERT(
+          layout_.fields[static_cast<std::size_t>(walk.field)].prefix.front() ==
+              c,
+          "terminator does not open the next field");
+      walk.prefix_pos = 1;
+    } else {
+      LEJIT_ASSERT(layout_.suffix.front() == c, "terminator is not the suffix");
+      walk.suffix_pos = 1;
+    }
+  };
+
+  // Consume the prompt (its values are given, not generated: no look-ahead).
+  for (const char c : prompt) {
+    LEJIT_REQUIRE(tokenizer_.has_char(c), "prompt character outside alphabet");
+    advance(c);
+    context.push_back(tokenizer_.encode_char(c));
+    text.push_back(c);
+  }
+  pending_feasibility_check = false;  // the prompt check below covers it
+  if (solver_guided && !prompt.empty()) {
+    if (solver_.check() != smt::CheckResult::kSat) {
+      result.infeasible_prompt = true;
+      result.text = text;
+      result.stats.solver_checks = solver_.stats().checks - checks_before;
+      return result;
+    }
+  }
+
+  // Compute the legal-character mask for the current walk state. Returns the
+  // number of legal tokens.
+  const auto mask_buf = std::make_unique<bool[]>(static_cast<std::size_t>(vocab));
+  const std::span<bool> mask(mask_buf.get(), static_cast<std::size_t>(vocab));
+  const auto compute_mask = [&]() -> int {
+    std::fill(mask.begin(), mask.end(), false);
+    int legal = 0;
+    const auto allow = [&](char c) {
+      mask[static_cast<std::size_t>(tokenizer_.encode_char(c))] = true;
+      ++legal;
+    };
+
+    if (walk.in_suffix(layout_)) {
+      allow(layout_.suffix[walk.suffix_pos]);
+      return legal;
+    }
+    const auto& spec = layout_.fields[static_cast<std::size_t>(walk.field)];
+    if (walk.prefix_pos < spec.prefix.size()) {
+      allow(spec.prefix[walk.prefix_pos]);
+      return legal;
+    }
+
+    const smt::VarId var = vars_[static_cast<std::size_t>(walk.field)];
+    const int max_digits = digits_for(spec.max_value);
+
+    if (config_.mode == GuidanceMode::kHull && !field_hull)
+      field_hull = solver_.feasible_interval(var);
+
+    // Digits that keep some completion reachable.
+    for (int d = 0; d <= 9; ++d) {
+      if (!walk.digits.empty() && !walk.digits.can_extend(max_digits)) break;
+      const DigitPrefix next = walk.digits.extended(d);
+      if (!prefix_syntactically_ok(next, max_digits)) continue;
+      if (config_.mode == GuidanceMode::kFull) {
+        const smt::Formula f =
+            prefix_completion_formula(var, next, max_digits);
+        if (solver_.check_assuming(std::span(&f, 1)) != smt::CheckResult::kSat)
+          continue;
+      } else if (config_.mode == GuidanceMode::kHull) {
+        if (!completion_intersects(next, max_digits, *field_hull)) continue;
+      }
+      allow(static_cast<char>('0' + d));
+    }
+    // Terminating the field on its exact current value.
+    if (!walk.digits.empty()) {
+      bool can_end = true;
+      if (config_.mode == GuidanceMode::kFull) {
+        const smt::Formula f = smt::eq(smt::LinExpr(var),
+                                       smt::LinExpr(walk.digits.value));
+        can_end =
+            solver_.check_assuming(std::span(&f, 1)) == smt::CheckResult::kSat;
+      } else if (config_.mode == GuidanceMode::kHull) {
+        can_end = field_hull->contains(walk.digits.value);
+      }
+      if (can_end) allow(walk.terminator(layout_));
+    }
+    return legal;
+  };
+
+  while (!walk.done(layout_)) {
+    const int legal = compute_mask();
+    if (legal == 0) {
+      // Unreachable when look-ahead is sound; defensive fail-stop.
+      result.text = text;
+      result.stats.solver_checks = solver_.stats().checks - checks_before;
+      return result;
+    }
+
+    char emitted = 0;
+    if (legal == 1 && config_.skip_forced_literals) {
+      const auto it = std::find(mask.begin(), mask.end(), true);
+      emitted = tokenizer_.decode_char(
+          static_cast<int>(it - mask.begin()));
+    } else {
+      const std::vector<float> logits = model_.logits(context);
+      ++result.stats.lm_calls;
+      ++result.stats.masked_steps;
+      const double mass = lm::allowed_mass(logits, mask);
+      result.stats.removed_mass += 1.0 - mass;
+      const auto argmax =
+          std::max_element(logits.begin(), logits.end()) - logits.begin();
+      if (!mask[static_cast<std::size_t>(argmax)]) ++result.stats.interventions;
+      const int tok = lm::sample_token(logits, config_.sampler, rng, mask);
+      emitted = tokenizer_.decode_char(tok);
+    }
+
+    advance(emitted);
+    context.push_back(tokenizer_.encode_char(emitted));
+    text.push_back(emitted);
+    ++result.stats.chars;
+
+    // kHull: a value inside the hull may still sit in a hole of the
+    // feasible set; detect the dead end right after pinning.
+    if (pending_feasibility_check) {
+      pending_feasibility_check = false;
+      if (solver_.check() != smt::CheckResult::kSat) {
+        result.dead_end = true;
+        result.text = text;
+        result.stats.solver_checks = solver_.stats().checks - checks_before;
+        return result;
+      }
+    }
+  }
+
+  // Strip the trailing suffix from the visible text? Keep text as emitted but
+  // without the newline for readability.
+  std::string row = text;
+  if (!row.empty() && row.back() == '\n') row.pop_back();
+  result.text = row;
+  result.window = telemetry::parse_row(row, layout_);
+  result.ok = result.window.has_value();
+  result.stats.solver_checks = solver_.stats().checks - checks_before;
+  LEJIT_ASSERT(result.ok, "guided decode produced an unparsable row");
+  return result;
+}
+
+}  // namespace lejit::core

@@ -1,0 +1,110 @@
+// LeJIT's guided decoder: an SMT solver interleaved into LM inference.
+//
+// This is the paper's core contribution (§3). Generation proceeds character
+// by character through the row syntax. Before every token the decoder
+// computes the set of tokens from which a rule-compliant completion of the
+// whole row still exists — literal syntax positions force one character;
+// digit positions are filtered with per-candidate solver look-ahead sat
+// checks (transition.hpp builds the completion formula); a field can only be
+// terminated if pinning its exact value keeps the rule set satisfiable. The
+// LM's distribution is masked to that set and renormalized, so the LM keeps
+// every choice that does not lead to a dead end — the paper's "minimally
+// invasive" property, which we quantify in DecodeStats.
+//
+// Four guidance modes provide the paper's comparison axes:
+//   kNone   — vanilla sampling (no structure, no rules),
+//   kSyntax — grammar-constrained decoding only (§2.2's "constrained
+//             decoding" strawman: digit-count legality, no arithmetic),
+//   kHull   — interval-hull masking without exact look-ahead: each field is
+//             constrained to [min,max] of its feasible set, but holes inside
+//             the hull are invisible, so decoding can dead-end (the ablation
+//             showing why LeJIT's per-prefix sat checks are necessary),
+//   kFull   — LeJIT: exact solver look-ahead against the rule set.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "lm/lm.hpp"
+#include "lm/sampler.hpp"
+#include "lm/tokenizer.hpp"
+#include "rules/rule.hpp"
+#include "smt/solver.hpp"
+#include "telemetry/text.hpp"
+#include "util/rng.hpp"
+
+namespace lejit::core {
+
+enum class GuidanceMode { kNone, kSyntax, kHull, kFull };
+
+struct DecoderConfig {
+  GuidanceMode mode = GuidanceMode::kFull;
+  lm::SamplerConfig sampler{};
+  // When only one character is legal (literal syntax), emit it without an LM
+  // forward pass. Disable to measure pure-LM timing.
+  bool skip_forced_literals = true;
+  // Safety cap on generated tokens for unguided (kNone) decoding.
+  int max_free_tokens = 512;
+};
+
+struct DecodeStats {
+  std::int64_t chars = 0;              // characters emitted
+  std::int64_t lm_calls = 0;           // LM forward passes
+  std::int64_t solver_checks = 0;      // sat checks spent on this row
+  std::int64_t masked_steps = 0;       // LM steps with a non-trivial mask
+  std::int64_t interventions = 0;      // steps where the mask pruned the argmax
+  double removed_mass = 0.0;           // Σ(1 − allowed probability mass)
+
+  // Mean probability mass the mask removed per masked step (0 ⇒ the solver
+  // never had to override the LM).
+  double mean_removed_mass() const {
+    return masked_steps == 0 ? 0.0
+                             : removed_mass / static_cast<double>(masked_steps);
+  }
+};
+
+struct DecodeResult {
+  bool ok = false;
+  // True when the prompt's pinned values contradict the rule set (possible
+  // for mined rules on unseen racks); no generation was attempted.
+  bool infeasible_prompt = false;
+  // kHull only: a completed value inside the hull landed in a hole of the
+  // feasible set, leaving no rule-compliant continuation. kFull can never
+  // dead-end — that is the point of exact look-ahead.
+  bool dead_end = false;
+  std::string text;  // full row text, prompt included (without trailing '\n')
+  std::optional<telemetry::Window> window;
+  DecodeStats stats;
+};
+
+class GuidedDecoder {
+ public:
+  // `model` and `tokenizer` must outlive the decoder. The tokenizer must
+  // cover telemetry::row_alphabet().
+  GuidedDecoder(const lm::LanguageModel& model,
+                const lm::CharTokenizer& tokenizer,
+                const telemetry::RowLayout& layout, rules::RuleSet rules,
+                DecoderConfig config = {});
+
+  // Generate one row. For imputation pass the coarse prefix (everything up
+  // to and including '|') as `prompt`; for synthesis pass nothing.
+  DecodeResult generate(util::Rng& rng, std::string_view prompt = {});
+
+  // Cumulative solver statistics across all generate() calls.
+  const smt::SolverStats& solver_stats() const { return solver_.stats(); }
+  const rules::RuleSet& rules() const { return rules_; }
+
+ private:
+  struct Walk;  // syntax-walk state, defined in decoder.cpp
+
+  const lm::LanguageModel& model_;
+  const lm::CharTokenizer& tokenizer_;
+  telemetry::RowLayout layout_;
+  rules::RuleSet rules_;
+  DecoderConfig config_;
+  smt::Solver solver_;
+  std::vector<smt::VarId> vars_;
+};
+
+}  // namespace lejit::core

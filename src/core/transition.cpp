@@ -1,0 +1,58 @@
+#include "core/transition.hpp"
+
+#include "util/error.hpp"
+
+namespace lejit::core {
+
+int digits_for(Int v) {
+  LEJIT_REQUIRE(v >= 0, "digits_for of negative value");
+  int d = 1;
+  while (v >= 10) {
+    v /= 10;
+    ++d;
+  }
+  return d;
+}
+
+smt::Formula prefix_completion_formula(smt::VarId v, const DigitPrefix& prefix,
+                                       int max_digits) {
+  LEJIT_REQUIRE(!prefix.empty(), "completion of empty prefix");
+  LEJIT_REQUIRE(prefix.digits <= max_digits, "prefix longer than digit budget");
+
+  using smt::LinExpr;
+  std::vector<smt::Formula> cases;
+  cases.push_back(smt::eq(LinExpr(v), LinExpr(prefix.value)));
+
+  if (prefix.can_extend(max_digits)) {
+    Int scale = 1;
+    for (int m = 1; m <= max_digits - prefix.digits; ++m) {
+      scale *= 10;
+      const Int lo = prefix.value * scale;
+      const Int hi = lo + scale - 1;
+      cases.push_back(smt::between(LinExpr(v), LinExpr(lo), LinExpr(hi)));
+    }
+  }
+  return smt::lor(std::move(cases));
+}
+
+bool prefix_syntactically_ok(const DigitPrefix& prefix, int max_digits) {
+  return !prefix.empty() && prefix.digits <= max_digits;
+}
+
+bool completion_intersects(const DigitPrefix& prefix, int max_digits,
+                           const smt::Interval& hull) {
+  LEJIT_REQUIRE(!prefix.empty(), "completion of empty prefix");
+  if (hull.is_empty()) return false;
+  if (hull.contains(prefix.value)) return true;
+  if (!prefix.can_extend(max_digits)) return false;
+  Int scale = 1;
+  for (int m = 1; m <= max_digits - prefix.digits; ++m) {
+    scale *= 10;
+    const Int lo = prefix.value * scale;
+    const Int hi = lo + scale - 1;
+    if (lo <= hull.hi && hull.lo <= hi) return true;
+  }
+  return false;
+}
+
+}  // namespace lejit::core

@@ -1,0 +1,61 @@
+// Character-level transition system (paper §3, Fig. 2).
+//
+// LeJIT's decoder walks a row's syntax one character at a time. Inside a
+// numeric field it tracks the digit prefix emitted so far; the set of legal
+// next characters is derived from which *completions* of that prefix still
+// admit a rule-compliant full row. This header holds the pure, solver-free
+// pieces of that automaton: prefix arithmetic and the formula describing
+// "the final value of this field extends the current prefix".
+//
+// Numbers are canonical decimal: no leading zeros ("0" is the only value
+// starting with '0'), at most digits_for(max_value) digits.
+#pragma once
+
+#include <cstdint>
+
+#include "smt/formula.hpp"
+
+namespace lejit::core {
+
+using Int = smt::Int;
+
+// Number of decimal digits needed to write `v` (v >= 0; 0 has 1 digit).
+int digits_for(Int v);
+
+// State of one numeric field being emitted: `value` is the numeric value of
+// the digits consumed so far, `digits` how many there are.
+struct DigitPrefix {
+  Int value = 0;
+  int digits = 0;
+
+  bool empty() const { return digits == 0; }
+  // Appending another digit is syntactically legal iff the prefix is not the
+  // lone canonical zero and the digit budget is not exhausted.
+  bool can_extend(int max_digits) const {
+    if (digits >= max_digits) return false;
+    return !(digits == 1 && value == 0);
+  }
+  DigitPrefix extended(int digit) const {
+    return DigitPrefix{value * 10 + digit, digits + 1};
+  }
+};
+
+// Formula: variable `v` equals some canonical completion of `prefix`, i.e.
+//   v == prefix                                   (terminate now), or
+//   v ∈ [prefix·10^m, prefix·10^m + 10^m − 1]     for m = 1..max_digits−k.
+// Precondition: !prefix.empty(). The caller conjoins this with the rule set
+// via Solver::check_assuming — SAT ⇔ the prefix is still completable.
+smt::Formula prefix_completion_formula(smt::VarId v, const DigitPrefix& prefix,
+                                       int max_digits);
+
+// Purely syntactic check used by the grammar-only baseline: can `prefix` be
+// completed to some value in [0, 10^max_digits)? (No solver involved.)
+bool prefix_syntactically_ok(const DigitPrefix& prefix, int max_digits);
+
+// Does some canonical completion of `prefix` lie within `hull`? Used by the
+// hull-only guidance mode (GuidanceMode::kHull): sound for convex feasible
+// sets, blind to holes inside the hull. Precondition: !prefix.empty().
+bool completion_intersects(const DigitPrefix& prefix, int max_digits,
+                           const smt::Interval& hull);
+
+}  // namespace lejit::core

@@ -1,0 +1,26 @@
+// The language-model interface LeJIT decodes against.
+//
+// LeJIT is LM-agnostic (paper §4): anything that maps a token prefix to
+// next-token logits can be guided. The repository provides two
+// implementations — a back-off n-gram model (fast, used for large benchmark
+// sweeps) and a GPT-2-style transformer trained from scratch (the paper's
+// configuration).
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace lejit::lm {
+
+class LanguageModel {
+ public:
+  virtual ~LanguageModel() = default;
+
+  virtual int vocab_size() const = 0;
+
+  // Unnormalized log-probabilities of the next token given `context`
+  // (most recent token last). Must return exactly vocab_size() entries.
+  virtual std::vector<float> logits(std::span<const int> context) const = 0;
+};
+
+}  // namespace lejit::lm

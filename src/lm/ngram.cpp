@@ -1,0 +1,83 @@
+#include "lm/ngram.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace lejit::lm {
+
+NgramModel::NgramModel(int vocab_size, NgramConfig config)
+    : vocab_size_(vocab_size), config_(config) {
+  LEJIT_REQUIRE(vocab_size > 0, "vocab_size must be positive");
+  LEJIT_REQUIRE(config.order >= 1, "order must be at least 1");
+  LEJIT_REQUIRE(config.add_k > 0.0, "add_k must be positive");
+}
+
+std::uint64_t NgramModel::context_key(std::span<const int> context) {
+  // FNV-1a over the tokens plus a length tag so that ("a") and ("", "a")
+  // style collisions across orders cannot happen.
+  std::uint64_t h = 1469598103934665603ULL;
+  const auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ULL;
+  };
+  mix(static_cast<std::uint64_t>(context.size()) + 0x9e3779b97f4a7c15ULL);
+  for (const int t : context) mix(static_cast<std::uint64_t>(t) + 1);
+  return h;
+}
+
+void NgramModel::observe(std::span<const int> tokens) {
+  for (std::size_t pos = 0; pos < tokens.size(); ++pos) {
+    const int next = tokens[pos];
+    LEJIT_REQUIRE(next >= 0 && next < vocab_size_, "token id out of range");
+    const std::size_t max_ctx =
+        std::min(pos, static_cast<std::size_t>(config_.order - 1));
+    for (std::size_t len = 0; len <= max_ctx; ++len) {
+      const auto ctx = tokens.subspan(pos - len, len);
+      auto& slot = counts_[context_key(ctx)];
+      if (slot.empty()) slot.resize(static_cast<std::size_t>(vocab_size_), 0);
+      ++slot[static_cast<std::size_t>(next)];
+      ++total_events_;
+    }
+  }
+}
+
+std::vector<float> NgramModel::logits(std::span<const int> context) const {
+  // Interpolated back-off: start from the longest matching context and blend
+  // shorter ones with geometrically decaying weight.
+  std::vector<double> probs(static_cast<std::size_t>(vocab_size_), 0.0);
+  double weight_left = 1.0;
+
+  const std::size_t max_len =
+      std::min(context.size(), static_cast<std::size_t>(config_.order - 1));
+  for (std::size_t len = max_len + 1; len-- > 0;) {
+    const auto ctx = context.subspan(context.size() - len, len);
+    const auto it = counts_.find(context_key(ctx));
+    const double level_weight =
+        (len == 0) ? weight_left : weight_left * (1.0 - config_.backoff);
+    if (it != counts_.end()) {
+      double total = 0.0;
+      for (const auto c : it->second) total += c;
+      total += config_.add_k * vocab_size_;
+      for (int v = 0; v < vocab_size_; ++v) {
+        probs[static_cast<std::size_t>(v)] +=
+            level_weight *
+            (it->second[static_cast<std::size_t>(v)] + config_.add_k) / total;
+      }
+    } else if (len == 0) {
+      // Unseen empty context (untrained model): uniform.
+      for (double& p : probs) p += level_weight / vocab_size_;
+    } else {
+      continue;  // no mass spent at this level; all of it backs off
+    }
+    if (len == 0) break;
+    weight_left *= config_.backoff;
+  }
+
+  std::vector<float> out(probs.size());
+  for (std::size_t i = 0; i < probs.size(); ++i)
+    out[i] = static_cast<float>(std::log(probs[i] + 1e-12));
+  return out;
+}
+
+}  // namespace lejit::lm

@@ -1,0 +1,49 @@
+// Back-off n-gram character language model.
+//
+// A counting model with add-k smoothing and Stupid-Backoff-style weighting.
+// It trains in milliseconds and serves as the fast LM for large benchmark
+// sweeps (the transformer in transformer.hpp is the paper-faithful model;
+// both sit behind the same LanguageModel interface).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "lm/lm.hpp"
+
+namespace lejit::lm {
+
+struct NgramConfig {
+  int order = 5;              // context length + 1
+  double add_k = 0.1;         // additive smoothing within a context
+  double backoff = 0.4;       // weight multiplier per back-off level
+};
+
+class NgramModel final : public LanguageModel {
+ public:
+  NgramModel(int vocab_size, NgramConfig config = {});
+
+  // Accumulate counts from one token sequence (a training row, including
+  // its terminator token).
+  void observe(std::span<const int> tokens);
+
+  // Number of observed (context, next) events across all orders.
+  std::int64_t total_events() const noexcept { return total_events_; }
+
+  int vocab_size() const override { return vocab_size_; }
+  std::vector<float> logits(std::span<const int> context) const override;
+
+ private:
+  // Rolling 64-bit context key; order tag keeps lengths distinct.
+  static std::uint64_t context_key(std::span<const int> context);
+
+  int vocab_size_;
+  NgramConfig config_;
+  // Per-context next-token counts (dense per context; alphabet is tiny).
+  std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> counts_;
+  std::int64_t total_events_ = 0;
+};
+
+}  // namespace lejit::lm

@@ -1,0 +1,97 @@
+#include "lm/sampler.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace lejit::lm {
+
+std::vector<double> softmax(std::span<const float> logits, double temperature) {
+  LEJIT_REQUIRE(!logits.empty(), "empty logits");
+  std::vector<double> probs(logits.size());
+  if (temperature <= 0.0) {
+    // Degenerate distribution on the argmax.
+    const auto it = std::max_element(logits.begin(), logits.end());
+    probs[static_cast<std::size_t>(it - logits.begin())] = 1.0;
+    return probs;
+  }
+  double max_logit = -1e30;
+  for (const float l : logits) max_logit = std::max(max_logit, static_cast<double>(l));
+  double total = 0.0;
+  for (std::size_t i = 0; i < logits.size(); ++i) {
+    probs[i] = std::exp((static_cast<double>(logits[i]) - max_logit) / temperature);
+    total += probs[i];
+  }
+  for (double& p : probs) p /= total;
+  return probs;
+}
+
+int sample_token(std::span<const float> logits, const SamplerConfig& config,
+                 util::Rng& rng, std::span<const bool> mask) {
+  LEJIT_REQUIRE(mask.empty() || mask.size() == logits.size(),
+                "mask size must match vocabulary size");
+  std::vector<double> probs = softmax(logits, config.temperature);
+
+  if (!mask.empty()) {
+    bool any = false;
+    for (std::size_t i = 0; i < probs.size(); ++i) {
+      if (!mask[i]) probs[i] = 0.0;
+      else any = true;
+    }
+    LEJIT_REQUIRE(any, "mask allows no token");
+  }
+
+  if (config.top_k > 0 && static_cast<std::size_t>(config.top_k) < probs.size()) {
+    std::vector<std::size_t> order(probs.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::nth_element(order.begin(),
+                     order.begin() + static_cast<std::ptrdiff_t>(config.top_k),
+                     order.end(),
+                     [&](std::size_t a, std::size_t b) { return probs[a] > probs[b]; });
+    for (std::size_t r = static_cast<std::size_t>(config.top_k); r < order.size(); ++r)
+      probs[order[r]] = 0.0;
+  }
+
+  double total = 0.0;
+  for (const double p : probs) total += p;
+  if (total <= 0.0) {
+    // All mass truncated (e.g. top-k removed every allowed token): fall back
+    // to the best allowed token.
+    double best = -1e30;
+    int best_i = 0;
+    for (std::size_t i = 0; i < logits.size(); ++i) {
+      if (!mask.empty() && !mask[i]) continue;
+      if (logits[i] > best) {
+        best = logits[i];
+        best_i = static_cast<int>(i);
+      }
+    }
+    return best_i;
+  }
+
+  if (config.temperature <= 0.0) {
+    // Greedy: argmax over the (masked) distribution.
+    const auto it = std::max_element(probs.begin(), probs.end());
+    return static_cast<int>(it - probs.begin());
+  }
+
+  const double target = rng.uniform() * total;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < probs.size(); ++i) {
+    acc += probs[i];
+    if (target < acc) return static_cast<int>(i);
+  }
+  return static_cast<int>(probs.size()) - 1;
+}
+
+double allowed_mass(std::span<const float> logits, std::span<const bool> mask) {
+  LEJIT_REQUIRE(mask.size() == logits.size(), "mask size must match vocab");
+  const std::vector<double> probs = softmax(logits, 1.0);
+  double mass = 0.0;
+  for (std::size_t i = 0; i < probs.size(); ++i)
+    if (mask[i]) mass += probs[i];
+  return mass;
+}
+
+}  // namespace lejit::lm

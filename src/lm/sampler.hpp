@@ -1,0 +1,34 @@
+// Sampling from next-token distributions, with and without a validity mask.
+//
+// The masked path is the mechanism LeJIT uses to enforce rules: logits of
+// invalid tokens are removed and the remaining distribution is renormalized,
+// which preserves the LM's relative preferences among valid tokens — the
+// "statistical fidelity" property the paper argues for.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace lejit::lm {
+
+struct SamplerConfig {
+  double temperature = 1.0;  // <= 0 means greedy argmax
+  int top_k = 0;             // 0 disables top-k truncation
+};
+
+// Softmax with temperature; numerically stable. Returns probabilities.
+std::vector<double> softmax(std::span<const float> logits, double temperature);
+
+// Sample a token id from `logits`. `mask`, when non-empty, marks allowed
+// token ids (mask[i] == true ⇔ allowed) and must contain at least one
+// allowed token.
+int sample_token(std::span<const float> logits, const SamplerConfig& config,
+                 util::Rng& rng, std::span<const bool> mask = {});
+
+// Probability mass assigned to allowed tokens before renormalization —
+// LeJIT's "minimal invasiveness" diagnostic (1.0 means the mask was a no-op).
+double allowed_mass(std::span<const float> logits, std::span<const bool> mask);
+
+}  // namespace lejit::lm

@@ -1,0 +1,53 @@
+#include "lm/tensor.hpp"
+
+namespace lejit::lm {
+
+void matmul(const Mat& a, const Mat& b, Mat& c) {
+  LEJIT_REQUIRE(a.cols == b.rows, "matmul shape mismatch");
+  if (c.rows != a.rows || c.cols != b.cols) c = Mat(a.rows, b.cols);
+  else c.zero();
+  for (int i = 0; i < a.rows; ++i) {
+    const float* ai = a.row(i);
+    float* ci = c.row(i);
+    for (int k = 0; k < a.cols; ++k) {
+      const float aik = ai[k];
+      if (aik == 0.0f) continue;
+      const float* bk = b.row(k);
+      for (int j = 0; j < b.cols; ++j) ci[j] += aik * bk[j];
+    }
+  }
+}
+
+void matmul_tA_accum(const Mat& a, const Mat& b, Mat& c) {
+  LEJIT_REQUIRE(a.rows == b.rows, "matmul_tA shape mismatch");
+  LEJIT_REQUIRE(c.rows == a.cols && c.cols == b.cols,
+                "matmul_tA output shape mismatch");
+  for (int k = 0; k < a.rows; ++k) {
+    const float* ak = a.row(k);
+    const float* bk = b.row(k);
+    for (int i = 0; i < a.cols; ++i) {
+      const float aki = ak[i];
+      if (aki == 0.0f) continue;
+      float* ci = c.row(i);
+      for (int j = 0; j < b.cols; ++j) ci[j] += aki * bk[j];
+    }
+  }
+}
+
+void matmul_tB(const Mat& a, const Mat& b, Mat& c) {
+  LEJIT_REQUIRE(a.cols == b.cols, "matmul_tB shape mismatch");
+  if (c.rows != a.rows || c.cols != b.rows) c = Mat(a.rows, b.rows);
+  else c.zero();
+  for (int i = 0; i < a.rows; ++i) {
+    const float* ai = a.row(i);
+    float* ci = c.row(i);
+    for (int j = 0; j < b.rows; ++j) {
+      const float* bj = b.row(j);
+      float acc = 0.0f;
+      for (int k = 0; k < a.cols; ++k) acc += ai[k] * bj[k];
+      ci[j] = acc;
+    }
+  }
+}
+
+}  // namespace lejit::lm

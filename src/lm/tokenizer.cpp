@@ -1,0 +1,61 @@
+#include "lm/tokenizer.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace lejit::lm {
+
+CharTokenizer::CharTokenizer(std::string_view alphabet) {
+  to_id_.fill(-1);
+  for (const char c : alphabet) {
+    const auto u = static_cast<unsigned char>(c);
+    if (to_id_[u] >= 0) continue;
+    to_id_[u] = static_cast<int>(chars_.size());
+    chars_.push_back(c);
+  }
+  LEJIT_REQUIRE(!chars_.empty(), "tokenizer alphabet must be non-empty");
+}
+
+CharTokenizer CharTokenizer::from_corpus(std::string_view corpus) {
+  const std::set<char> distinct(corpus.begin(), corpus.end());
+  return CharTokenizer(std::string(distinct.begin(), distinct.end()));
+}
+
+int CharTokenizer::encode_char(char c) const {
+  const int id = to_id_[static_cast<unsigned char>(c)];
+  LEJIT_REQUIRE(id >= 0, std::string("character not in alphabet: '") + c + "'");
+  return id;
+}
+
+char CharTokenizer::decode_char(int id) const {
+  LEJIT_REQUIRE(id >= 0 && id < vocab_size(), "token id out of range");
+  return chars_[static_cast<std::size_t>(id)];
+}
+
+std::vector<int> CharTokenizer::encode(std::string_view text) const {
+  std::vector<int> out;
+  out.reserve(text.size());
+  for (const char c : text) out.push_back(encode_char(c));
+  return out;
+}
+
+std::string CharTokenizer::decode(std::span<const int> ids) const {
+  std::string out;
+  out.reserve(ids.size());
+  for (const int id : ids) out.push_back(decode_char(id));
+  return out;
+}
+
+std::array<int, 10> CharTokenizer::digit_ids() const {
+  std::array<int, 10> out{};
+  for (int d = 0; d < 10; ++d)
+    out[static_cast<std::size_t>(d)] = encode_char(static_cast<char>('0' + d));
+  return out;
+}
+
+std::optional<int> CharTokenizer::newline_id() const {
+  if (!has_char('\n')) return std::nullopt;
+  return encode_char('\n');
+}
+
+}  // namespace lejit::lm

@@ -1,0 +1,53 @@
+// Character-level tokenizer.
+//
+// The paper adopts character-level tokenization (§3, citing Charformer) so
+// that numeric fields are generated digit by digit, which is what lets the
+// SMT solver steer individual value prefixes. Token ids are dense indices
+// into a fixed alphabet; '\n' terminates a sample row.
+#pragma once
+
+#include <array>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace lejit::lm {
+
+class CharTokenizer {
+ public:
+  // Build a tokenizer over the distinct characters of `alphabet`
+  // (deduplicated, stable order of first appearance).
+  explicit CharTokenizer(std::string_view alphabet);
+
+  // Build from a corpus: alphabet = all distinct characters, sorted.
+  static CharTokenizer from_corpus(std::string_view corpus);
+
+  int vocab_size() const noexcept { return static_cast<int>(chars_.size()); }
+
+  bool has_char(char c) const noexcept {
+    return to_id_[static_cast<unsigned char>(c)] >= 0;
+  }
+
+  // Token id for a character; precondition: has_char(c).
+  int encode_char(char c) const;
+  char decode_char(int id) const;
+
+  std::vector<int> encode(std::string_view text) const;
+  std::string decode(std::span<const int> ids) const;
+
+  // Convenience: ids of the ten decimal digits, in numeric order.
+  std::array<int, 10> digit_ids() const;
+
+  // Id of '\n' if present (the row terminator).
+  std::optional<int> newline_id() const;
+
+ private:
+  std::vector<char> chars_;
+  std::array<int, 256> to_id_{};
+};
+
+}  // namespace lejit::lm

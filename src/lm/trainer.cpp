@@ -1,0 +1,53 @@
+#include "lm/trainer.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "util/error.hpp"
+
+namespace lejit::lm {
+
+TrainReport train_lm(Transformer& model,
+                     std::span<const std::vector<int>> rows,
+                     const TrainConfig& config, util::Rng& rng,
+                     const std::function<void(int, float)>& on_log) {
+  LEJIT_REQUIRE(!rows.empty(), "training corpus is empty");
+  LEJIT_REQUIRE(config.steps > 0 && config.batch_size > 0,
+                "steps and batch_size must be positive");
+
+  TrainReport report;
+  report.steps = config.steps;
+  const float peak_lr = config.adam.lr;
+
+  for (int step = 0; step < config.steps; ++step) {
+    std::vector<std::vector<int>> batch;
+    batch.reserve(static_cast<std::size_t>(config.batch_size));
+    for (int b = 0; b < config.batch_size; ++b) {
+      const auto idx = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(rows.size()) - 1));
+      batch.push_back(rows[idx]);
+    }
+
+    AdamConfig adam = config.adam;
+    if (config.warmup_steps > 0 && step < config.warmup_steps) {
+      adam.lr = peak_lr * static_cast<float>(step + 1) /
+                static_cast<float>(config.warmup_steps);
+    } else if (config.cosine_decay) {
+      const float progress =
+          static_cast<float>(step - config.warmup_steps) /
+          std::max(1.0f, static_cast<float>(config.steps - config.warmup_steps));
+      const float cos01 =
+          0.5f * (1.0f + std::cos(std::numbers::pi_v<float> * progress));
+      adam.lr = peak_lr * (0.1f + 0.9f * cos01);
+    }
+
+    const float loss = model.train_batch(batch, adam);
+    if (step == 0) report.first_loss = loss;
+    report.final_loss = loss;
+    if (on_log && config.log_every > 0 && step % config.log_every == 0)
+      on_log(step, loss);
+  }
+  return report;
+}
+
+}  // namespace lejit::lm

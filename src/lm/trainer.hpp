@@ -1,0 +1,35 @@
+// Training loop for the from-scratch LM (batching, LR schedule, logging).
+#pragma once
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "lm/transformer.hpp"
+#include "util/rng.hpp"
+
+namespace lejit::lm {
+
+struct TrainConfig {
+  int steps = 300;
+  int batch_size = 16;
+  AdamConfig adam{};
+  int warmup_steps = 20;     // linear LR warmup
+  bool cosine_decay = true;  // decay to 10% of peak over the run
+  int log_every = 0;         // 0 disables logging
+};
+
+struct TrainReport {
+  float first_loss = 0.0f;
+  float final_loss = 0.0f;
+  int steps = 0;
+};
+
+// Train `model` on token rows sampled uniformly with replacement.
+// `on_log`, when set, receives (step, loss) every `log_every` steps.
+TrainReport train_lm(
+    Transformer& model, std::span<const std::vector<int>> rows,
+    const TrainConfig& config, util::Rng& rng,
+    const std::function<void(int, float)>& on_log = nullptr);
+
+}  // namespace lejit::lm

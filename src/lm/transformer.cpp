@@ -1,0 +1,787 @@
+#include "lm/transformer.hpp"
+
+#include <cmath>
+#include <cstdint>
+#include <fstream>
+#include <numbers>
+
+#include "util/error.hpp"
+
+namespace lejit::lm {
+
+namespace {
+
+constexpr float kGeluC = 0.7978845608028654f;  // sqrt(2/pi)
+
+float gelu(float x) {
+  const float t = kGeluC * (x + 0.044715f * x * x * x);
+  return 0.5f * x * (1.0f + std::tanh(t));
+}
+
+float gelu_grad(float x) {
+  const float t = kGeluC * (x + 0.044715f * x * x * x);
+  const float th = std::tanh(t);
+  const float sech2 = 1.0f - th * th;
+  return 0.5f * (1.0f + th) +
+         0.5f * x * sech2 * kGeluC * (1.0f + 3.0f * 0.044715f * x * x);
+}
+
+// One trainable tensor with its gradient and AdamW state.
+struct Param {
+  Mat w, g, m, v;
+  bool decay = true;
+
+  void init(int rows, int cols, bool use_decay) {
+    w = Mat(rows, cols);
+    g = Mat(rows, cols);
+    m = Mat(rows, cols);
+    v = Mat(rows, cols);
+    decay = use_decay;
+  }
+};
+
+// LayerNorm forward over rows of x; caches xhat and rstd for backward.
+struct LnCache {
+  Mat xhat;
+  std::vector<float> rstd;
+};
+
+void ln_forward(const Mat& x, const Param& gamma, const Param& beta, Mat& out,
+                LnCache& cache) {
+  const int s = x.rows, d = x.cols;
+  if (out.rows != s || out.cols != d) out = Mat(s, d);
+  cache.xhat = Mat(s, d);
+  cache.rstd.assign(static_cast<std::size_t>(s), 0.0f);
+  for (int t = 0; t < s; ++t) {
+    const float* xt = x.row(t);
+    float mean = 0.0f;
+    for (int i = 0; i < d; ++i) mean += xt[i];
+    mean /= static_cast<float>(d);
+    float var = 0.0f;
+    for (int i = 0; i < d; ++i) {
+      const float c = xt[i] - mean;
+      var += c * c;
+    }
+    var /= static_cast<float>(d);
+    const float rstd = 1.0f / std::sqrt(var + 1e-5f);
+    cache.rstd[static_cast<std::size_t>(t)] = rstd;
+    float* xh = cache.xhat.row(t);
+    float* ot = out.row(t);
+    for (int i = 0; i < d; ++i) {
+      xh[i] = (xt[i] - mean) * rstd;
+      ot[i] = xh[i] * gamma.w.data[static_cast<std::size_t>(i)] +
+              beta.w.data[static_cast<std::size_t>(i)];
+    }
+  }
+}
+
+// dx += backward of LayerNorm given dout; accumulates dgamma/dbeta.
+void ln_backward(const Mat& dout, const LnCache& cache, Param& gamma,
+                 Param& beta, Mat& dx) {
+  const int s = dout.rows, d = dout.cols;
+  for (int t = 0; t < s; ++t) {
+    const float* dot_ = dout.row(t);
+    const float* xh = cache.xhat.row(t);
+    const float rstd = cache.rstd[static_cast<std::size_t>(t)];
+    float sum_dxhat = 0.0f, sum_dxhat_xhat = 0.0f;
+    for (int i = 0; i < d; ++i) {
+      const float dxh = dot_[i] * gamma.w.data[static_cast<std::size_t>(i)];
+      sum_dxhat += dxh;
+      sum_dxhat_xhat += dxh * xh[i];
+      gamma.g.data[static_cast<std::size_t>(i)] += dot_[i] * xh[i];
+      beta.g.data[static_cast<std::size_t>(i)] += dot_[i];
+    }
+    const float inv_d = 1.0f / static_cast<float>(d);
+    float* dxt = dx.row(t);
+    for (int i = 0; i < d; ++i) {
+      const float dxh = dot_[i] * gamma.w.data[static_cast<std::size_t>(i)];
+      dxt[i] += rstd * (dxh - inv_d * sum_dxhat - xh[i] * inv_d * sum_dxhat_xhat);
+    }
+  }
+}
+
+void add_bias(Mat& x, const Param& b) {
+  for (int t = 0; t < x.rows; ++t) {
+    float* xt = x.row(t);
+    for (int i = 0; i < x.cols; ++i)
+      xt[i] += b.w.data[static_cast<std::size_t>(i)];
+  }
+}
+
+void bias_grad(const Mat& dout, Param& b) {
+  for (int t = 0; t < dout.rows; ++t) {
+    const float* dt = dout.row(t);
+    for (int i = 0; i < dout.cols; ++i)
+      b.g.data[static_cast<std::size_t>(i)] += dt[i];
+  }
+}
+
+struct LayerParams {
+  Param ln1_g, ln1_b, w_qkv, b_qkv, w_o, b_o;
+  Param ln2_g, ln2_b, w_fc1, b_fc1, w_fc2, b_fc2;
+};
+
+// Activations cached during forward for one sequence.
+struct LayerCache {
+  Mat x_in;      // layer input
+  LnCache ln1;
+  Mat ln1_out;
+  Mat qkv;
+  std::vector<Mat> att;  // per head, S×S row-softmaxed attention
+  Mat ctx;
+  Mat x_mid;     // after attention residual
+  LnCache ln2;
+  Mat ln2_out;
+  Mat fc1_pre;   // before GELU
+  Mat fc1_act;
+};
+
+struct ForwardCache {
+  std::vector<int> ids;  // START-prefixed input ids
+  Mat x0;
+  std::vector<LayerCache> layers;
+  LnCache lnf;
+  Mat lnf_out;
+  Mat logits;
+};
+
+}  // namespace
+
+struct Transformer::Impl {
+  TransformerConfig cfg;
+  Param tok_emb;  // (vocab+1, d): row vocab is the internal START token
+  Param pos_emb;  // (max_seq, d)
+  std::vector<LayerParams> layers;
+  Param lnf_g, lnf_b, w_out, b_out;
+  std::int64_t adam_t = 0;
+
+  // KV cache for incremental decoding. Mutable because it is semantically
+  // invisible: logits match a cold forward pass exactly.
+  mutable std::vector<int> cache_ids;
+  mutable std::vector<Mat> cache_k;  // per layer, (max_seq, d)
+  mutable std::vector<Mat> cache_v;
+
+  void invalidate_cache() const { cache_ids.clear(); }
+
+  // Incremental forward: reuse cached K/V for the common prefix of `ids`,
+  // process only the new suffix, return logits at the last position.
+  std::vector<float> decode_logits(const std::vector<int>& ids) const;
+
+  std::vector<Param*> all_params() {
+    std::vector<Param*> ps{&tok_emb, &pos_emb, &lnf_g, &lnf_b, &w_out, &b_out};
+    for (auto& l : layers) {
+      for (Param* p : {&l.ln1_g, &l.ln1_b, &l.w_qkv, &l.b_qkv, &l.w_o, &l.b_o,
+                       &l.ln2_g, &l.ln2_b, &l.w_fc1, &l.b_fc1, &l.w_fc2,
+                       &l.b_fc2})
+        ps.push_back(p);
+    }
+    return ps;
+  }
+
+  void init(util::Rng& rng) {
+    const int d = cfg.d_model;
+    tok_emb.init(cfg.vocab_size + 1, d, true);
+    tok_emb.w.init_normal(rng, 0.02f);
+    pos_emb.init(cfg.max_seq, d, true);
+    pos_emb.w.init_normal(rng, 0.02f);
+    layers.resize(static_cast<std::size_t>(cfg.n_layers));
+    const float resid_scale =
+        0.02f / std::sqrt(2.0f * static_cast<float>(cfg.n_layers));
+    for (auto& l : layers) {
+      l.ln1_g.init(1, d, false);
+      std::fill(l.ln1_g.w.data.begin(), l.ln1_g.w.data.end(), 1.0f);
+      l.ln1_b.init(1, d, false);
+      l.w_qkv.init(d, 3 * d, true);
+      l.w_qkv.w.init_normal(rng, 0.02f);
+      l.b_qkv.init(1, 3 * d, false);
+      l.w_o.init(d, d, true);
+      l.w_o.w.init_normal(rng, resid_scale);
+      l.b_o.init(1, d, false);
+      l.ln2_g.init(1, d, false);
+      std::fill(l.ln2_g.w.data.begin(), l.ln2_g.w.data.end(), 1.0f);
+      l.ln2_b.init(1, d, false);
+      l.w_fc1.init(d, cfg.d_ff, true);
+      l.w_fc1.w.init_normal(rng, 0.02f);
+      l.b_fc1.init(1, cfg.d_ff, false);
+      l.w_fc2.init(cfg.d_ff, d, true);
+      l.w_fc2.w.init_normal(rng, resid_scale);
+      l.b_fc2.init(1, d, false);
+    }
+    lnf_g.init(1, d, false);
+    std::fill(lnf_g.w.data.begin(), lnf_g.w.data.end(), 1.0f);
+    lnf_b.init(1, d, false);
+    w_out.init(d, cfg.vocab_size, true);
+    w_out.w.init_normal(rng, 0.02f);
+    b_out.init(1, cfg.vocab_size, false);
+  }
+
+  // Forward pass over START-prefixed ids; fills `fc`.
+  void forward(const std::vector<int>& ids, ForwardCache& fc) const {
+    const int s = static_cast<int>(ids.size());
+    const int d = cfg.d_model;
+    const int nh = cfg.n_heads;
+    const int dh = d / nh;
+    const float scale = 1.0f / std::sqrt(static_cast<float>(dh));
+
+    fc.ids = ids;
+    fc.x0 = Mat(s, d);
+    for (int t = 0; t < s; ++t) {
+      const float* e =
+          tok_emb.w.row(ids[static_cast<std::size_t>(t)]);
+      const float* p = pos_emb.w.row(t);
+      float* x = fc.x0.row(t);
+      for (int i = 0; i < d; ++i) x[i] = e[i] + p[i];
+    }
+
+    fc.layers.assign(static_cast<std::size_t>(cfg.n_layers), LayerCache{});
+    Mat x = fc.x0;
+    Mat tmp;
+    for (int li = 0; li < cfg.n_layers; ++li) {
+      const LayerParams& lp = layers[static_cast<std::size_t>(li)];
+      LayerCache& lc = fc.layers[static_cast<std::size_t>(li)];
+      lc.x_in = x;
+
+      ln_forward(x, lp.ln1_g, lp.ln1_b, lc.ln1_out, lc.ln1);
+      matmul(lc.ln1_out, lp.w_qkv.w, lc.qkv);
+      add_bias(lc.qkv, lp.b_qkv);
+
+      lc.att.assign(static_cast<std::size_t>(nh), Mat(s, s));
+      lc.ctx = Mat(s, d);
+      for (int h = 0; h < nh; ++h) {
+        Mat& att = lc.att[static_cast<std::size_t>(h)];
+        const int qo = h * dh, ko = d + h * dh, vo = 2 * d + h * dh;
+        for (int t = 0; t < s; ++t) {
+          const float* qt = lc.qkv.row(t) + qo;
+          float* at = att.row(t);
+          float maxv = -1e30f;
+          for (int u = 0; u <= t; ++u) {
+            const float* ku = lc.qkv.row(u) + ko;
+            float acc = 0.0f;
+            for (int i = 0; i < dh; ++i) acc += qt[i] * ku[i];
+            at[u] = acc * scale;
+            maxv = std::max(maxv, at[u]);
+          }
+          float total = 0.0f;
+          for (int u = 0; u <= t; ++u) {
+            at[u] = std::exp(at[u] - maxv);
+            total += at[u];
+          }
+          const float inv = 1.0f / total;
+          for (int u = 0; u <= t; ++u) at[u] *= inv;
+          // Weighted sum of values.
+          float* ct = lc.ctx.row(t) + qo;
+          for (int u = 0; u <= t; ++u) {
+            const float a = at[u];
+            const float* vu = lc.qkv.row(u) + vo;
+            for (int i = 0; i < dh; ++i) ct[i] += a * vu[i];
+          }
+        }
+      }
+
+      matmul(lc.ctx, lp.w_o.w, tmp);
+      add_bias(tmp, lp.b_o);
+      lc.x_mid = Mat(s, d);
+      for (std::size_t i = 0; i < lc.x_mid.data.size(); ++i)
+        lc.x_mid.data[i] = x.data[i] + tmp.data[i];
+
+      ln_forward(lc.x_mid, lp.ln2_g, lp.ln2_b, lc.ln2_out, lc.ln2);
+      matmul(lc.ln2_out, lp.w_fc1.w, lc.fc1_pre);
+      add_bias(lc.fc1_pre, lp.b_fc1);
+      lc.fc1_act = Mat(s, cfg.d_ff);
+      for (std::size_t i = 0; i < lc.fc1_act.data.size(); ++i)
+        lc.fc1_act.data[i] = gelu(lc.fc1_pre.data[i]);
+      matmul(lc.fc1_act, lp.w_fc2.w, tmp);
+      add_bias(tmp, lp.b_fc2);
+      x = Mat(s, d);
+      for (std::size_t i = 0; i < x.data.size(); ++i)
+        x.data[i] = lc.x_mid.data[i] + tmp.data[i];
+    }
+
+    ln_forward(x, lnf_g, lnf_b, fc.lnf_out, fc.lnf);
+    matmul(fc.lnf_out, w_out.w, fc.logits);
+    add_bias(fc.logits, b_out);
+  }
+
+  // Cross-entropy over all positions; fills dlogits (same shape as logits).
+  float loss_and_dlogits(const ForwardCache& fc,
+                         const std::vector<int>& targets, Mat& dlogits) const {
+    const int s = fc.logits.rows;
+    const int v = cfg.vocab_size;
+    LEJIT_ASSERT(static_cast<int>(targets.size()) == s,
+                 "targets/positions mismatch");
+    dlogits = Mat(s, v);
+    double loss = 0.0;
+    const float inv_s = 1.0f / static_cast<float>(s);
+    for (int t = 0; t < s; ++t) {
+      const float* lt = fc.logits.row(t);
+      float maxv = -1e30f;
+      for (int i = 0; i < v; ++i) maxv = std::max(maxv, lt[i]);
+      double total = 0.0;
+      for (int i = 0; i < v; ++i) total += std::exp(static_cast<double>(lt[i] - maxv));
+      const int y = targets[static_cast<std::size_t>(t)];
+      loss += -(static_cast<double>(lt[y] - maxv) - std::log(total));
+      float* dt = dlogits.row(t);
+      for (int i = 0; i < v; ++i) {
+        const float p = static_cast<float>(
+            std::exp(static_cast<double>(lt[i] - maxv)) / total);
+        dt[i] = (p - (i == y ? 1.0f : 0.0f)) * inv_s;
+      }
+    }
+    return static_cast<float>(loss / s);
+  }
+
+  void backward(const ForwardCache& fc, const Mat& dlogits) {
+    const int s = fc.logits.rows;
+    const int d = cfg.d_model;
+    const int nh = cfg.n_heads;
+    const int dh = d / nh;
+    const float scale = 1.0f / std::sqrt(static_cast<float>(dh));
+
+    // Output head.
+    Mat d_lnf_out;
+    matmul_tB(dlogits, w_out.w, d_lnf_out);
+    matmul_tA_accum(fc.lnf_out, dlogits, w_out.g);
+    bias_grad(dlogits, b_out);
+
+    Mat dx(s, d);
+    ln_backward(d_lnf_out, fc.lnf, lnf_g, lnf_b, dx);
+
+    for (int li = cfg.n_layers - 1; li >= 0; --li) {
+      LayerParams& lp = layers[static_cast<std::size_t>(li)];
+      const LayerCache& lc = fc.layers[static_cast<std::size_t>(li)];
+
+      // MLP branch: dx is gradient at the layer output (x_mid + mlp_out).
+      Mat& d_mlp_out = dx;  // alias: same gradient flows into the branch
+      Mat d_fc1_act;
+      matmul_tB(d_mlp_out, lp.w_fc2.w, d_fc1_act);
+      matmul_tA_accum(lc.fc1_act, d_mlp_out, lp.w_fc2.g);
+      bias_grad(d_mlp_out, lp.b_fc2);
+      for (std::size_t i = 0; i < d_fc1_act.data.size(); ++i)
+        d_fc1_act.data[i] *= gelu_grad(lc.fc1_pre.data[i]);
+      Mat d_ln2_out;
+      matmul_tB(d_fc1_act, lp.w_fc1.w, d_ln2_out);
+      matmul_tA_accum(lc.ln2_out, d_fc1_act, lp.w_fc1.g);
+      bias_grad(d_fc1_act, lp.b_fc1);
+
+      Mat d_x_mid = dx;  // residual path
+      ln_backward(d_ln2_out, lc.ln2, lp.ln2_g, lp.ln2_b, d_x_mid);
+
+      // Attention branch: d_x_mid is gradient at (x_in + attn_out).
+      Mat d_ctx;
+      matmul_tB(d_x_mid, lp.w_o.w, d_ctx);
+      matmul_tA_accum(lc.ctx, d_x_mid, lp.w_o.g);
+      bias_grad(d_x_mid, lp.b_o);
+
+      Mat d_qkv(s, 3 * d);
+      for (int h = 0; h < nh; ++h) {
+        const Mat& att = lc.att[static_cast<std::size_t>(h)];
+        const int qo = h * dh, ko = d + h * dh, vo = 2 * d + h * dh;
+        // datt[t,u] = dctx_h[t]·V_h[u];   dV_h[u] += att[t,u]·dctx_h[t]
+        Mat datt(s, s);
+        for (int t = 0; t < s; ++t) {
+          const float* dct = d_ctx.row(t) + qo;
+          float* dat = datt.row(t);
+          for (int u = 0; u <= t; ++u) {
+            const float* vu = lc.qkv.row(u) + vo;
+            float acc = 0.0f;
+            for (int i = 0; i < dh; ++i) acc += dct[i] * vu[i];
+            dat[u] = acc;
+            float* dvu = d_qkv.row(u) + vo;
+            const float a = att.at(t, u);
+            for (int i = 0; i < dh; ++i) dvu[i] += a * dct[i];
+          }
+        }
+        // Softmax backward per row, then into Q and K.
+        for (int t = 0; t < s; ++t) {
+          const float* at = att.row(t);
+          const float* dat = datt.row(t);
+          float dot = 0.0f;
+          for (int u = 0; u <= t; ++u) dot += at[u] * dat[u];
+          const float* qt = lc.qkv.row(t) + qo;
+          float* dqt = d_qkv.row(t) + qo;
+          for (int u = 0; u <= t; ++u) {
+            const float ds = at[u] * (dat[u] - dot) * scale;
+            if (ds == 0.0f) continue;
+            const float* ku = lc.qkv.row(u) + ko;
+            float* dku = d_qkv.row(u) + ko;
+            for (int i = 0; i < dh; ++i) {
+              dqt[i] += ds * ku[i];
+              dku[i] += ds * qt[i];
+            }
+          }
+        }
+      }
+
+      Mat d_ln1_out;
+      matmul_tB(d_qkv, lp.w_qkv.w, d_ln1_out);
+      matmul_tA_accum(lc.ln1_out, d_qkv, lp.w_qkv.g);
+      bias_grad(d_qkv, lp.b_qkv);
+
+      Mat d_x_in = d_x_mid;  // residual path
+      ln_backward(d_ln1_out, lc.ln1, lp.ln1_g, lp.ln1_b, d_x_in);
+      dx = std::move(d_x_in);
+    }
+
+    // Embeddings.
+    for (int t = 0; t < s; ++t) {
+      const float* dxt = dx.row(t);
+      float* de = tok_emb.g.row(fc.ids[static_cast<std::size_t>(t)]);
+      float* dp = pos_emb.g.row(t);
+      for (int i = 0; i < d; ++i) {
+        de[i] += dxt[i];
+        dp[i] += dxt[i];
+      }
+    }
+  }
+
+  void adam_step(const AdamConfig& a) {
+    ++adam_t;
+    const auto params = all_params();
+
+    if (a.grad_clip > 0.0f) {
+      double norm_sq = 0.0;
+      for (const Param* p : params)
+        for (const float g : p->g.data) norm_sq += static_cast<double>(g) * g;
+      const double norm = std::sqrt(norm_sq);
+      if (norm > a.grad_clip) {
+        const float scale = static_cast<float>(a.grad_clip / norm);
+        for (Param* p : params)
+          for (float& g : p->g.data) g *= scale;
+      }
+    }
+
+    const float bc1 =
+        1.0f - std::pow(a.beta1, static_cast<float>(adam_t));
+    const float bc2 =
+        1.0f - std::pow(a.beta2, static_cast<float>(adam_t));
+    for (Param* p : params) {
+      for (std::size_t i = 0; i < p->w.data.size(); ++i) {
+        const float g = p->g.data[i];
+        p->m.data[i] = a.beta1 * p->m.data[i] + (1.0f - a.beta1) * g;
+        p->v.data[i] = a.beta2 * p->v.data[i] + (1.0f - a.beta2) * g * g;
+        const float mhat = p->m.data[i] / bc1;
+        const float vhat = p->v.data[i] / bc2;
+        float update = mhat / (std::sqrt(vhat) + a.eps);
+        if (p->decay) update += a.weight_decay * p->w.data[i];
+        p->w.data[i] -= a.lr * update;
+      }
+    }
+  }
+
+  void zero_grads() {
+    for (Param* p : all_params()) p->g.zero();
+  }
+};
+
+namespace {
+
+// LayerNorm of one d-vector.
+void ln_vec(const float* x, const Param& gamma, const Param& beta, int d,
+            float* out) {
+  float mean = 0.0f;
+  for (int i = 0; i < d; ++i) mean += x[i];
+  mean /= static_cast<float>(d);
+  float var = 0.0f;
+  for (int i = 0; i < d; ++i) {
+    const float c = x[i] - mean;
+    var += c * c;
+  }
+  const float rstd = 1.0f / std::sqrt(var / static_cast<float>(d) + 1e-5f);
+  for (int i = 0; i < d; ++i)
+    out[i] = (x[i] - mean) * rstd * gamma.w.data[static_cast<std::size_t>(i)] +
+             beta.w.data[static_cast<std::size_t>(i)];
+}
+
+// out = vec(1×m) · W(m×n) + b
+void vec_matmul(const float* vec, const Mat& w, const Param& b, int m, int n,
+                float* out) {
+  for (int j = 0; j < n; ++j) out[j] = b.w.data[static_cast<std::size_t>(j)];
+  for (int i = 0; i < m; ++i) {
+    const float vi = vec[i];
+    if (vi == 0.0f) continue;
+    const float* wr = w.row(i);
+    for (int j = 0; j < n; ++j) out[j] += vi * wr[j];
+  }
+}
+
+}  // namespace
+
+std::vector<float> Transformer::Impl::decode_logits(
+    const std::vector<int>& ids) const {
+  const int d = cfg.d_model;
+  const int nh = cfg.n_heads;
+  const int dh = d / nh;
+  const float scale = 1.0f / std::sqrt(static_cast<float>(dh));
+
+  if (cache_k.empty()) {
+    cache_k.assign(static_cast<std::size_t>(cfg.n_layers), Mat(cfg.max_seq, d));
+    cache_v.assign(static_cast<std::size_t>(cfg.n_layers), Mat(cfg.max_seq, d));
+  }
+
+  // Longest common prefix with the cached context; always reprocess the last
+  // token so the residual stream for the query position is available.
+  std::size_t common = 0;
+  while (common < cache_ids.size() && common < ids.size() &&
+         cache_ids[common] == ids[common])
+    ++common;
+  if (common == ids.size()) --common;
+  cache_ids.assign(ids.begin(), ids.end());
+
+  std::vector<float> x(static_cast<std::size_t>(d));
+  std::vector<float> norm(static_cast<std::size_t>(d));
+  std::vector<float> qkv(static_cast<std::size_t>(3 * d));
+  std::vector<float> ctx(static_cast<std::size_t>(d));
+  std::vector<float> attn_out(static_cast<std::size_t>(d));
+  std::vector<float> ff(static_cast<std::size_t>(cfg.d_ff));
+  std::vector<float> ff_out(static_cast<std::size_t>(d));
+  std::vector<float> att;
+
+  for (std::size_t pos = common; pos < ids.size(); ++pos) {
+    const int t = static_cast<int>(pos);
+    const float* e = tok_emb.w.row(ids[pos]);
+    const float* p = pos_emb.w.row(t);
+    for (int i = 0; i < d; ++i) x[static_cast<std::size_t>(i)] = e[i] + p[i];
+
+    for (int li = 0; li < cfg.n_layers; ++li) {
+      const LayerParams& lp = layers[static_cast<std::size_t>(li)];
+      Mat& kc = cache_k[static_cast<std::size_t>(li)];
+      Mat& vc = cache_v[static_cast<std::size_t>(li)];
+
+      ln_vec(x.data(), lp.ln1_g, lp.ln1_b, d, norm.data());
+      vec_matmul(norm.data(), lp.w_qkv.w, lp.b_qkv, d, 3 * d, qkv.data());
+      // Append this position's K and V to the cache.
+      std::copy(qkv.begin() + d, qkv.begin() + 2 * d, kc.row(t));
+      std::copy(qkv.begin() + 2 * d, qkv.begin() + 3 * d, vc.row(t));
+
+      std::fill(ctx.begin(), ctx.end(), 0.0f);
+      att.assign(pos + 1, 0.0f);
+      for (int h = 0; h < nh; ++h) {
+        const int off = h * dh;
+        const float* q = qkv.data() + off;
+        float maxv = -1e30f;
+        for (std::size_t u = 0; u <= pos; ++u) {
+          const float* ku = kc.row(static_cast<int>(u)) + off;
+          float acc = 0.0f;
+          for (int i = 0; i < dh; ++i) acc += q[i] * ku[i];
+          att[u] = acc * scale;
+          maxv = std::max(maxv, att[u]);
+        }
+        float total = 0.0f;
+        for (std::size_t u = 0; u <= pos; ++u) {
+          att[u] = std::exp(att[u] - maxv);
+          total += att[u];
+        }
+        const float inv = 1.0f / total;
+        float* ch = ctx.data() + off;
+        for (std::size_t u = 0; u <= pos; ++u) {
+          const float a = att[u] * inv;
+          const float* vu = vc.row(static_cast<int>(u)) + off;
+          for (int i = 0; i < dh; ++i) ch[i] += a * vu[i];
+        }
+      }
+      vec_matmul(ctx.data(), lp.w_o.w, lp.b_o, d, d, attn_out.data());
+      for (int i = 0; i < d; ++i)
+        x[static_cast<std::size_t>(i)] += attn_out[static_cast<std::size_t>(i)];
+
+      ln_vec(x.data(), lp.ln2_g, lp.ln2_b, d, norm.data());
+      vec_matmul(norm.data(), lp.w_fc1.w, lp.b_fc1, d, cfg.d_ff, ff.data());
+      for (float& v : ff) v = gelu(v);
+      vec_matmul(ff.data(), lp.w_fc2.w, lp.b_fc2, cfg.d_ff, d, ff_out.data());
+      for (int i = 0; i < d; ++i)
+        x[static_cast<std::size_t>(i)] += ff_out[static_cast<std::size_t>(i)];
+    }
+  }
+
+  ln_vec(x.data(), lnf_g, lnf_b, d, norm.data());
+  std::vector<float> logits(static_cast<std::size_t>(cfg.vocab_size));
+  vec_matmul(norm.data(), w_out.w, b_out, d, cfg.vocab_size, logits.data());
+  return logits;
+}
+
+Transformer::Transformer(TransformerConfig config, util::Rng& rng)
+    : config_(config), impl_(std::make_unique<Impl>()) {
+  LEJIT_REQUIRE(config.vocab_size > 0, "vocab_size must be positive");
+  LEJIT_REQUIRE(config.d_model % config.n_heads == 0,
+                "d_model must be divisible by n_heads");
+  LEJIT_REQUIRE(config.max_seq > 1, "max_seq must exceed 1");
+  impl_->cfg = config;
+  impl_->init(rng);
+}
+
+Transformer::~Transformer() = default;
+Transformer::Transformer(Transformer&&) noexcept = default;
+Transformer& Transformer::operator=(Transformer&&) noexcept = default;
+
+std::size_t Transformer::num_parameters() const noexcept {
+  std::size_t n = 0;
+  for (const Param* p : impl_->all_params()) n += p->w.size();
+  return n;
+}
+
+std::vector<float> Transformer::logits(std::span<const int> context) const {
+  const int start_id = config_.vocab_size;
+  const std::size_t keep = std::min(
+      context.size(), static_cast<std::size_t>(config_.max_seq - 1));
+  std::vector<int> ids;
+  ids.reserve(keep + 1);
+  ids.push_back(start_id);
+  for (std::size_t i = context.size() - keep; i < context.size(); ++i) {
+    const int t = context[i];
+    LEJIT_REQUIRE(t >= 0 && t < config_.vocab_size, "token id out of range");
+    ids.push_back(t);
+  }
+  return impl_->decode_logits(ids);
+}
+
+namespace {
+
+// Build the START-prefixed input ids and the targets for one row, capped to
+// the model's context length.
+void make_training_pair(const std::vector<int>& row, int max_seq, int start_id,
+                        std::vector<int>& ids, std::vector<int>& targets) {
+  LEJIT_REQUIRE(!row.empty(), "empty training row");
+  const std::size_t keep =
+      std::min(row.size(), static_cast<std::size_t>(max_seq - 1));
+  ids.clear();
+  ids.reserve(keep);
+  ids.push_back(start_id);
+  for (std::size_t i = 0; i + 1 < keep; ++i) ids.push_back(row[i]);
+  targets.assign(row.begin(), row.begin() + static_cast<std::ptrdiff_t>(keep));
+}
+
+}  // namespace
+
+float Transformer::train_batch(std::span<const std::vector<int>> batch,
+                               const AdamConfig& adam) {
+  LEJIT_REQUIRE(!batch.empty(), "empty training batch");
+  impl_->zero_grads();
+  double total_loss = 0.0;
+  std::vector<int> ids, targets;
+  for (const auto& row : batch) {
+    make_training_pair(row, config_.max_seq, config_.vocab_size, ids, targets);
+    ForwardCache fc;
+    impl_->forward(ids, fc);
+    Mat dlogits;
+    total_loss += impl_->loss_and_dlogits(fc, targets, dlogits);
+    // Scale gradient by 1/batch for a mean-loss step.
+    const float inv_b = 1.0f / static_cast<float>(batch.size());
+    for (float& g : dlogits.data) g *= inv_b;
+    impl_->backward(fc, dlogits);
+  }
+  impl_->adam_step(adam);
+  impl_->invalidate_cache();
+  return static_cast<float>(total_loss / static_cast<double>(batch.size()));
+}
+
+namespace {
+constexpr std::uint32_t kCheckpointMagic = 0x4C654A54;  // "LeJT"
+constexpr std::uint32_t kCheckpointVersion = 1;
+}  // namespace
+
+void Transformer::save(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw util::RuntimeError("cannot open checkpoint for write: " + path);
+  const auto put_u32 = [&](std::uint32_t v) {
+    out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+  };
+  put_u32(kCheckpointMagic);
+  put_u32(kCheckpointVersion);
+  for (const int v : {config_.vocab_size, config_.d_model, config_.n_layers,
+                      config_.n_heads, config_.d_ff, config_.max_seq})
+    put_u32(static_cast<std::uint32_t>(v));
+  const std::vector<float> flat = parameters_flat();
+  put_u32(static_cast<std::uint32_t>(flat.size()));
+  out.write(reinterpret_cast<const char*>(flat.data()),
+            static_cast<std::streamsize>(flat.size() * sizeof(float)));
+  if (!out) throw util::RuntimeError("checkpoint write failed: " + path);
+}
+
+Transformer Transformer::load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw util::RuntimeError("cannot open checkpoint: " + path);
+  const auto get_u32 = [&]() {
+    std::uint32_t v = 0;
+    in.read(reinterpret_cast<char*>(&v), sizeof(v));
+    return v;
+  };
+  if (get_u32() != kCheckpointMagic)
+    throw util::RuntimeError("not a LeJIT checkpoint: " + path);
+  if (get_u32() != kCheckpointVersion)
+    throw util::RuntimeError("unsupported checkpoint version: " + path);
+  TransformerConfig cfg;
+  cfg.vocab_size = static_cast<int>(get_u32());
+  cfg.d_model = static_cast<int>(get_u32());
+  cfg.n_layers = static_cast<int>(get_u32());
+  cfg.n_heads = static_cast<int>(get_u32());
+  cfg.d_ff = static_cast<int>(get_u32());
+  cfg.max_seq = static_cast<int>(get_u32());
+  util::Rng init_rng(0);
+  Transformer model(cfg, init_rng);
+  const auto count = get_u32();
+  std::vector<float> flat(count);
+  in.read(reinterpret_cast<char*>(flat.data()),
+          static_cast<std::streamsize>(flat.size() * sizeof(float)));
+  if (!in) throw util::RuntimeError("truncated checkpoint: " + path);
+  model.set_parameters_flat(flat);
+  return model;
+}
+
+std::vector<float> Transformer::parameters_flat() const {
+  std::vector<float> flat;
+  for (const Param* p : impl_->all_params())
+    flat.insert(flat.end(), p->w.data.begin(), p->w.data.end());
+  return flat;
+}
+
+void Transformer::set_parameters_flat(std::span<const float> flat) {
+  std::size_t offset = 0;
+  for (Param* p : impl_->all_params()) {
+    LEJIT_REQUIRE(offset + p->w.size() <= flat.size(),
+                  "flat parameter vector too short");
+    std::copy(flat.begin() + static_cast<std::ptrdiff_t>(offset),
+              flat.begin() + static_cast<std::ptrdiff_t>(offset + p->w.size()),
+              p->w.data.begin());
+    offset += p->w.size();
+  }
+  LEJIT_REQUIRE(offset == flat.size(), "flat parameter vector size mismatch");
+  impl_->invalidate_cache();
+}
+
+std::pair<float, std::vector<float>> Transformer::loss_and_gradient(
+    std::span<const std::vector<int>> rows) {
+  LEJIT_REQUIRE(!rows.empty(), "empty gradient batch");
+  impl_->zero_grads();
+  double total_loss = 0.0;
+  std::vector<int> ids, targets;
+  for (const auto& row : rows) {
+    make_training_pair(row, config_.max_seq, config_.vocab_size, ids, targets);
+    ForwardCache fc;
+    impl_->forward(ids, fc);
+    Mat dlogits;
+    total_loss += impl_->loss_and_dlogits(fc, targets, dlogits);
+    const float inv_b = 1.0f / static_cast<float>(rows.size());
+    for (float& g : dlogits.data) g *= inv_b;
+    impl_->backward(fc, dlogits);
+  }
+  std::vector<float> grad;
+  for (const Param* p : impl_->all_params())
+    grad.insert(grad.end(), p->g.data.begin(), p->g.data.end());
+  return {static_cast<float>(total_loss / static_cast<double>(rows.size())),
+          std::move(grad)};
+}
+
+float Transformer::evaluate(std::span<const std::vector<int>> rows) const {
+  LEJIT_REQUIRE(!rows.empty(), "empty evaluation set");
+  double total = 0.0;
+  std::vector<int> ids, targets;
+  for (const auto& row : rows) {
+    make_training_pair(row, config_.max_seq, config_.vocab_size, ids, targets);
+    ForwardCache fc;
+    impl_->forward(ids, fc);
+    Mat dlogits;
+    total += impl_->loss_and_dlogits(fc, targets, dlogits);
+  }
+  return static_cast<float>(total / static_cast<double>(rows.size()));
+}
+
+}  // namespace lejit::lm

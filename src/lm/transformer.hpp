@@ -1,0 +1,98 @@
+// A GPT-2-style decoder-only transformer, trained from scratch in-process.
+//
+// This mirrors the paper's setup (§4: "we train GPT-2 from scratch on the
+// datacenter dataset and adopt character-level tokenization") at nano scale:
+// learned token + position embeddings, pre-LN blocks with causal multi-head
+// self-attention and a GELU MLP, and an untied output head. Forward,
+// backward (full manual backprop) and AdamW live here; no external ML
+// dependency is used anywhere in the repository.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "lm/lm.hpp"
+#include "lm/tensor.hpp"
+#include "util/rng.hpp"
+
+namespace lejit::lm {
+
+struct TransformerConfig {
+  int vocab_size = 0;
+  int d_model = 64;
+  int n_layers = 2;
+  int n_heads = 2;
+  int d_ff = 128;
+  int max_seq = 160;
+};
+
+struct AdamConfig {
+  float lr = 3e-3f;
+  float beta1 = 0.9f;
+  float beta2 = 0.99f;
+  float eps = 1e-8f;
+  float weight_decay = 0.01f;
+  float grad_clip = 1.0f;  // global-norm clip; <= 0 disables
+};
+
+class Transformer final : public LanguageModel {
+ public:
+  Transformer(TransformerConfig config, util::Rng& rng);
+  ~Transformer() override;
+
+  Transformer(const Transformer&) = delete;
+  Transformer& operator=(const Transformer&) = delete;
+  Transformer(Transformer&&) noexcept;
+  Transformer& operator=(Transformer&&) noexcept;
+
+  const TransformerConfig& config() const noexcept { return config_; }
+  std::size_t num_parameters() const noexcept;
+
+  // --- inference ---------------------------------------------------------
+  int vocab_size() const override { return config_.vocab_size; }
+  // Next-token logits after `context` (uses at most the last max_seq-1
+  // tokens). An empty context yields the unconditional first-token logits
+  // (position 0 with a learned start embedding).
+  //
+  // Decoding fast path: an internal KV cache makes repeated calls with
+  // growing contexts (the decoder's access pattern) O(context) instead of
+  // O(context²) per call. The cache is invisible semantically — logits are
+  // bit-identical to a cold forward pass — but makes logits() non-reentrant;
+  // guard externally if sharing one instance across threads.
+  std::vector<float> logits(std::span<const int> context) const override;
+
+  // --- training ----------------------------------------------------------
+  // One optimizer step on a batch of token rows. Each row is trained with
+  // next-token cross-entropy over all positions (a start token is prepended
+  // internally so the first real token is also predicted). Returns the mean
+  // per-token loss.
+  float train_batch(std::span<const std::vector<int>> batch,
+                    const AdamConfig& adam);
+
+  // Mean next-token cross-entropy of `rows` without updating weights.
+  float evaluate(std::span<const std::vector<int>> rows) const;
+
+  // --- persistence -----------------------------------------------------------
+  // Binary checkpoint: config + weights. Optimizer state is not saved; a
+  // loaded model can continue training but Adam moments restart from zero.
+  void save(const std::string& path) const;
+  static Transformer load(const std::string& path);
+
+  // --- introspection (gradient checks, checkpointing) ----------------------
+  // Flat copy of all parameters, in a stable internal order.
+  std::vector<float> parameters_flat() const;
+  // Overwrite all parameters from a flat vector of matching size.
+  void set_parameters_flat(std::span<const float> flat);
+  // Mean loss over `rows` and the full gradient (same flat order), without
+  // touching the weights or optimizer state.
+  std::pair<float, std::vector<float>> loss_and_gradient(
+      std::span<const std::vector<int>> rows);
+
+ private:
+  struct Impl;
+  TransformerConfig config_;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace lejit::lm

@@ -1,0 +1,88 @@
+#include "metrics/bursts.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace lejit::metrics {
+
+std::vector<Burst> extract_bursts(std::span<const std::int64_t> series,
+                                  std::int64_t threshold) {
+  std::vector<Burst> bursts;
+  int run_start = -1;
+  std::int64_t run_peak = 0;
+  for (int t = 0; t <= static_cast<int>(series.size()); ++t) {
+    const bool above = t < static_cast<int>(series.size()) &&
+                       series[static_cast<std::size_t>(t)] >= threshold;
+    if (above) {
+      if (run_start < 0) {
+        run_start = t;
+        run_peak = 0;
+      }
+      run_peak = std::max(run_peak, series[static_cast<std::size_t>(t)]);
+    } else if (run_start >= 0) {
+      bursts.push_back(Burst{run_start, t - run_start, run_peak});
+      run_start = -1;
+    }
+  }
+  return bursts;
+}
+
+BurstErrors burst_errors(std::span<const std::int64_t> truth,
+                         std::span<const std::int64_t> pred,
+                         std::int64_t threshold, int series_len) {
+  const auto bt = extract_bursts(truth, threshold);
+  const auto bp = extract_bursts(pred, threshold);
+
+  BurstErrors e;
+  e.count = std::abs(static_cast<double>(bt.size()) -
+                     static_cast<double>(bp.size()));
+
+  const std::size_t paired = std::min(bt.size(), bp.size());
+  const std::size_t unmatched = std::max(bt.size(), bp.size()) - paired;
+  const std::size_t denom = paired + unmatched;
+  if (denom == 0) return e;  // no bursts on either side: perfect agreement
+
+  double h = 0, d = 0, p = 0;
+  for (std::size_t i = 0; i < paired; ++i) {
+    h += std::abs(static_cast<double>(bt[i].height - bp[i].height));
+    d += std::abs(static_cast<double>(bt[i].duration - bp[i].duration));
+    p += std::abs(static_cast<double>(bt[i].start - bp[i].start));
+  }
+  // Missing/hallucinated bursts: maximal penalty on each axis.
+  const auto mismatch = static_cast<double>(unmatched);
+  h += mismatch * static_cast<double>(threshold);
+  d += mismatch * static_cast<double>(series_len);
+  p += mismatch * static_cast<double>(series_len);
+
+  e.height = h / static_cast<double>(denom);
+  e.duration = d / static_cast<double>(denom);
+  e.position = p / static_cast<double>(denom);
+  return e;
+}
+
+BurstErrors mean_burst_errors(
+    std::span<const std::vector<std::int64_t>> truths,
+    std::span<const std::vector<std::int64_t>> preds,
+    std::int64_t threshold) {
+  LEJIT_REQUIRE(truths.size() == preds.size() && !truths.empty(),
+                "mean_burst_errors requires equal-length non-empty sets");
+  BurstErrors acc;
+  for (std::size_t i = 0; i < truths.size(); ++i) {
+    const auto e = burst_errors(truths[i], preds[i], threshold,
+                                static_cast<int>(truths[i].size()));
+    acc.count += e.count;
+    acc.height += e.height;
+    acc.duration += e.duration;
+    acc.position += e.position;
+  }
+  const auto n = static_cast<double>(truths.size());
+  acc.count /= n;
+  acc.height /= n;
+  acc.duration /= n;
+  acc.position /= n;
+  return acc;
+}
+
+}  // namespace lejit::metrics

@@ -1,0 +1,45 @@
+// Burst analysis: the downstream task of Fig. 4 (right).
+//
+// Following the datacenter burst study the dataset models (Ghabashneh et
+// al.) and Zoom2Net's downstream evaluation, a burst is a maximal run of
+// fine-grained readings at or above a threshold (half the link bandwidth).
+// We compare bursts of an imputed series against the ground-truth series on
+// the paper's four axes: count, height, duration, and position.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace lejit::metrics {
+
+struct Burst {
+  int start = 0;            // first slot of the run
+  int duration = 0;         // run length in slots
+  std::int64_t height = 0;  // peak reading within the run
+};
+
+std::vector<Burst> extract_bursts(std::span<const std::int64_t> series,
+                                  std::int64_t threshold);
+
+// Per-series absolute errors between true and imputed burst behaviour.
+// Height/duration/position compare per-burst (greedily paired in order);
+// unmatched bursts contribute the maximum penalty so "hallucinated" and
+// "missed" bursts both hurt.
+struct BurstErrors {
+  double count = 0;     // |#bursts_true - #bursts_pred|
+  double height = 0;    // mean |height diff| over paired bursts
+  double duration = 0;  // mean |duration diff| over paired bursts
+  double position = 0;  // mean |start diff| over paired bursts
+};
+
+BurstErrors burst_errors(std::span<const std::int64_t> truth,
+                         std::span<const std::int64_t> pred,
+                         std::int64_t threshold, int series_len);
+
+// Mean of per-series errors over a whole test set (vectors zipped).
+BurstErrors mean_burst_errors(
+    std::span<const std::vector<std::int64_t>> truths,
+    std::span<const std::vector<std::int64_t>> preds, std::int64_t threshold);
+
+}  // namespace lejit::metrics

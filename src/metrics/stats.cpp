@@ -1,0 +1,153 @@
+#include "metrics/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace lejit::metrics {
+
+namespace {
+
+std::vector<double> to_double(std::span<const std::int64_t> v) {
+  return std::vector<double>(v.begin(), v.end());
+}
+
+}  // namespace
+
+double emd(std::span<const double> a, std::span<const double> b) {
+  LEJIT_REQUIRE(!a.empty() && !b.empty(), "emd of empty sample");
+  std::vector<double> sa(a.begin(), a.end());
+  std::vector<double> sb(b.begin(), b.end());
+  std::sort(sa.begin(), sa.end());
+  std::sort(sb.begin(), sb.end());
+
+  // Integrate |F_a^{-1}(q) - F_b^{-1}(q)| over q ∈ [0,1]. Both quantile
+  // functions are step functions with breakpoints at i/|a| and j/|b|; sweep
+  // the union of breakpoints.
+  const double na = static_cast<double>(sa.size());
+  const double nb = static_cast<double>(sb.size());
+  std::size_t i = 0, j = 0;
+  double q = 0.0, total = 0.0;
+  while (i < sa.size() && j < sb.size()) {
+    const double qa = static_cast<double>(i + 1) / na;
+    const double qb = static_cast<double>(j + 1) / nb;
+    const double next = std::min(qa, qb);
+    total += (next - q) * std::abs(sa[i] - sb[j]);
+    q = next;
+    if (qa <= next) ++i;
+    if (qb <= next) ++j;
+  }
+  return total;
+}
+
+double emd(std::span<const std::int64_t> a, std::span<const std::int64_t> b) {
+  const auto da = to_double(a);
+  const auto db = to_double(b);
+  return emd(std::span<const double>(da), std::span<const double>(db));
+}
+
+std::vector<double> histogram(std::span<const std::int64_t> values, double lo,
+                              double hi, int bins) {
+  LEJIT_REQUIRE(bins > 0, "bins must be positive");
+  LEJIT_REQUIRE(hi > lo, "histogram range must be non-degenerate");
+  std::vector<double> h(static_cast<std::size_t>(bins), 0.0);
+  if (values.empty()) return h;
+  const double width = (hi - lo) / bins;
+  for (const std::int64_t v : values) {
+    int idx = static_cast<int>((static_cast<double>(v) - lo) / width);
+    idx = std::clamp(idx, 0, bins - 1);
+    h[static_cast<std::size_t>(idx)] += 1.0;
+  }
+  for (double& p : h) p /= static_cast<double>(values.size());
+  return h;
+}
+
+double jsd(std::span<const double> p, std::span<const double> q) {
+  LEJIT_REQUIRE(p.size() == q.size() && !p.empty(),
+                "jsd requires equal-length non-empty distributions");
+  const auto kl_to_mixture = [&](std::span<const double> x) {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      if (x[i] <= 0.0) continue;
+      const double m = 0.5 * (p[i] + q[i]);
+      acc += x[i] * std::log2(x[i] / m);
+    }
+    return acc;
+  };
+  return 0.5 * kl_to_mixture(p) + 0.5 * kl_to_mixture(q);
+}
+
+double jsd_samples(std::span<const std::int64_t> a,
+                   std::span<const std::int64_t> b, int bins) {
+  LEJIT_REQUIRE(!a.empty() && !b.empty(), "jsd of empty sample");
+  std::int64_t lo = a[0], hi = a[0];
+  for (const auto v : a) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  for (const auto v : b) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  if (lo == hi) return 0.0;  // identical degenerate supports
+  const auto ha = histogram(a, static_cast<double>(lo),
+                            static_cast<double>(hi) + 1.0, bins);
+  const auto hb = histogram(b, static_cast<double>(lo),
+                            static_cast<double>(hi) + 1.0, bins);
+  return jsd(ha, hb);
+}
+
+double quantile(std::span<const double> values, double q) {
+  LEJIT_REQUIRE(!values.empty(), "quantile of empty sample");
+  LEJIT_REQUIRE(q >= 0.0 && q <= 1.0, "quantile order out of range");
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  const auto idx = static_cast<std::size_t>(
+      q * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+double quantile(std::span<const std::int64_t> values, double q) {
+  const auto d = to_double(values);
+  return quantile(std::span<const double>(d), q);
+}
+
+double autocorrelation(std::span<const double> series, int lag) {
+  LEJIT_REQUIRE(lag >= 0, "negative lag");
+  const auto n = static_cast<std::ptrdiff_t>(series.size());
+  if (n <= lag) return 0.0;
+  double mean = 0.0;
+  for (const double v : series) mean += v;
+  mean /= static_cast<double>(n);
+  double var = 0.0;
+  for (const double v : series) var += (v - mean) * (v - mean);
+  if (var <= 1e-12) return 0.0;
+  double cov = 0.0;
+  for (std::ptrdiff_t t = 0; t + lag < n; ++t)
+    cov += (series[static_cast<std::size_t>(t)] - mean) *
+           (series[static_cast<std::size_t>(t + lag)] - mean);
+  return cov / var;
+}
+
+double mae(std::span<const double> truth, std::span<const double> pred) {
+  LEJIT_REQUIRE(truth.size() == pred.size() && !truth.empty(),
+                "mae requires equal-length non-empty vectors");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < truth.size(); ++i)
+    acc += std::abs(truth[i] - pred[i]);
+  return acc / static_cast<double>(truth.size());
+}
+
+double rmse(std::span<const double> truth, std::span<const double> pred) {
+  LEJIT_REQUIRE(truth.size() == pred.size() && !truth.empty(),
+                "rmse requires equal-length non-empty vectors");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    const double d = truth[i] - pred[i];
+    acc += d * d;
+  }
+  return std::sqrt(acc / static_cast<double>(truth.size()));
+}
+
+}  // namespace lejit::metrics

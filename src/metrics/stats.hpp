@@ -1,0 +1,44 @@
+// Statistical distances and accuracy metrics used by the evaluation.
+//
+// These implement the exact metric set the paper reports: Earth Mover's
+// Distance (1-D Wasserstein-1, computed exactly from empirical quantile
+// functions), Jensen–Shannon divergence over histograms, tail quantiles,
+// autocorrelation, and MAE/RMSE.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace lejit::metrics {
+
+// Exact 1-D Wasserstein-1 distance between two empirical distributions
+// (samples need not be sorted or equally sized; both must be non-empty).
+double emd(std::span<const double> a, std::span<const double> b);
+double emd(std::span<const std::int64_t> a, std::span<const std::int64_t> b);
+
+// Histogram with `bins` equal-width buckets over [lo, hi]; values outside
+// are clamped into the edge buckets. Returns probabilities (sums to 1).
+std::vector<double> histogram(std::span<const std::int64_t> values, double lo,
+                              double hi, int bins);
+
+// Jensen–Shannon divergence (base-2 logs, so the result lies in [0, 1])
+// between two probability vectors of equal length.
+double jsd(std::span<const double> p, std::span<const double> q);
+
+// JSD between two samples via shared-range histograms.
+double jsd_samples(std::span<const std::int64_t> a,
+                   std::span<const std::int64_t> b, int bins = 32);
+
+// Empirical quantile (nearest-rank on the sorted copy), q in [0, 1].
+double quantile(std::span<const double> values, double q);
+double quantile(std::span<const std::int64_t> values, double q);
+
+// Lag-k autocorrelation of a series (0 when variance vanishes).
+double autocorrelation(std::span<const double> series, int lag);
+
+// Paired errors.
+double mae(std::span<const double> truth, std::span<const double> pred);
+double rmse(std::span<const double> truth, std::span<const double> pred);
+
+}  // namespace lejit::metrics

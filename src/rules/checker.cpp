@@ -1,0 +1,27 @@
+#include "rules/checker.hpp"
+
+namespace lejit::rules {
+
+std::vector<std::size_t> violated_rules(const RuleSet& set,
+                                        const telemetry::Window& w) {
+  const std::vector<smt::Int> a = field_assignment(w);
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < set.rules.size(); ++i)
+    if (!set.rules[i].formula->eval(a)) out.push_back(i);
+  return out;
+}
+
+ViolationStats check_violations(const RuleSet& set,
+                                std::span<const telemetry::Window> windows) {
+  ViolationStats stats;
+  stats.rules = set.rules.size();
+  for (const auto& w : windows) {
+    ++stats.windows;
+    const auto violated = violated_rules(set, w);
+    if (!violated.empty()) ++stats.violating_windows;
+    stats.rule_violations += static_cast<std::int64_t>(violated.size());
+  }
+  return stats;
+}
+
+}  // namespace lejit::rules

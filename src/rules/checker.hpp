@@ -1,0 +1,43 @@
+// Rule-violation accounting over generated/imputed windows.
+//
+// Produces the numbers behind Fig. 3 (left) and Fig. 5's compliance claim:
+// how often a generator's output breaks the mined rule set.
+#pragma once
+
+#include <span>
+
+#include "rules/rule.hpp"
+
+namespace lejit::rules {
+
+struct ViolationStats {
+  std::size_t windows = 0;             // samples checked
+  std::size_t violating_windows = 0;   // samples breaking >= 1 rule
+  std::int64_t rule_violations = 0;    // total (sample, rule) violations
+  std::size_t rules = 0;               // rule-set size
+
+  // Fraction of samples that violate at least one rule (the paper's
+  // headline "violation rate").
+  double window_rate() const {
+    return windows == 0
+               ? 0.0
+               : static_cast<double>(violating_windows) /
+                     static_cast<double>(windows);
+  }
+  // Fraction of (sample, rule) pairs violated.
+  double pair_rate() const {
+    const auto pairs =
+        static_cast<double>(windows) * static_cast<double>(rules);
+    return pairs == 0.0 ? 0.0 : static_cast<double>(rule_violations) / pairs;
+  }
+};
+
+// Indices of the rules `w` violates.
+std::vector<std::size_t> violated_rules(const RuleSet& set,
+                                        const telemetry::Window& w);
+
+// Aggregate violation statistics over many windows.
+ViolationStats check_violations(const RuleSet& set,
+                                std::span<const telemetry::Window> windows);
+
+}  // namespace lejit::rules

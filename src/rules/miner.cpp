@@ -1,0 +1,355 @@
+#include "rules/miner.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace lejit::rules {
+
+namespace {
+
+using smt::Formula;
+using smt::LinExpr;
+using smt::VarId;
+using telemetry::Window;
+
+Int quantile_of(std::vector<Int> sorted, double q) {
+  LEJIT_ASSERT(!sorted.empty(), "quantile of empty sample");
+  const auto idx = static_cast<std::size_t>(
+      q * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+struct FieldColumn {
+  std::string name;
+  VarId var;
+  Int domain_hi = 0;
+  bool is_fine = false;
+  std::vector<Int> values;  // per training window
+};
+
+}  // namespace
+
+MinerReport mine_rules(std::span<const Window> train,
+                       const telemetry::RowLayout& layout,
+                       const telemetry::Limits& limits,
+                       const MinerConfig& config) {
+  LEJIT_REQUIRE(!train.empty(), "cannot mine rules from an empty train set");
+
+  // Confidence filtering: mine on a subset, validate on the held-out rest,
+  // and drop any rule the holdout contradicts. Interleaved (stride) split so
+  // both sides see every rack's behaviour.
+  if (config.validate_fraction > 0.0 && train.size() >= 8) {
+    const auto stride = std::max<std::size_t>(
+        2, static_cast<std::size_t>(std::llround(1.0 / config.validate_fraction)));
+    std::vector<Window> mine_set, holdout;
+    for (std::size_t i = 0; i < train.size(); ++i) {
+      if (i % stride == 0)
+        holdout.push_back(train[i]);
+      else
+        mine_set.push_back(train[i]);
+    }
+    MinerConfig inner = config;
+    inner.validate_fraction = 0.0;
+    MinerReport mined = mine_rules(mine_set, layout, limits, inner);
+
+    std::vector<std::vector<Int>> holdout_assignments;
+    holdout_assignments.reserve(holdout.size());
+    for (const Window& w : holdout)
+      holdout_assignments.push_back(field_assignment(w));
+
+    MinerReport filtered;
+    for (Rule& rule : mined.rules.rules) {
+      bool holds = true;
+      for (const auto& a : holdout_assignments) {
+        if (!rule.formula->eval(a)) {
+          holds = false;
+          break;
+        }
+      }
+      if (!holds) {
+        ++filtered.dropped_by_validation;
+        continue;
+      }
+      switch (rule.kind) {
+        case RuleKind::kBound: ++filtered.bounds; break;
+        case RuleKind::kSumEquality: ++filtered.sums; break;
+        case RuleKind::kImplication: ++filtered.implications; break;
+        case RuleKind::kPairwise: ++filtered.pairwise; break;
+        case RuleKind::kManual: break;
+      }
+      filtered.rules.rules.push_back(std::move(rule));
+    }
+    return filtered;
+  }
+
+  // (Base path; the validated path above recurses into this one.)
+  const int nf = layout.num_fields();
+  const std::size_t n = train.size();
+
+  // Column-major view of the training data, canonical field order.
+  std::vector<FieldColumn> cols(static_cast<std::size_t>(nf));
+  for (int i = 0; i < nf; ++i) {
+    const auto& spec = layout.fields[static_cast<std::size_t>(i)];
+    FieldColumn& c = cols[static_cast<std::size_t>(i)];
+    c.name = spec.name;
+    c.var = VarId{i};
+    c.domain_hi = spec.max_value;
+    c.is_fine = spec.is_fine;
+    c.values.reserve(n);
+  }
+  std::vector<Int> peaks;  // max_t I_t per window
+  peaks.reserve(n);
+  for (const Window& w : train) {
+    const std::vector<Int> a = field_assignment(w);
+    LEJIT_ASSERT(static_cast<int>(a.size()) == nf, "assignment/layout mismatch");
+    for (int i = 0; i < nf; ++i)
+      cols[static_cast<std::size_t>(i)].values.push_back(
+          a[static_cast<std::size_t>(i)]);
+    peaks.push_back(*std::max_element(w.fine.begin(), w.fine.end()));
+  }
+
+  std::vector<VarId> fine_vars;
+  for (const auto& c : cols)
+    if (c.is_fine) fine_vars.push_back(c.var);
+
+  const auto slack_of = [&](Int range) {
+    return static_cast<Int>(std::ceil(config.slack * static_cast<double>(range)));
+  };
+
+  MinerReport report;
+  auto& rules = report.rules.rules;
+
+  // --- bounds ---------------------------------------------------------------
+  if (config.mine_bounds) {
+    for (const auto& c : cols) {
+      const auto [mn_it, mx_it] =
+          std::minmax_element(c.values.begin(), c.values.end());
+      const Int s = slack_of(c.domain_hi);
+      const Int lo = std::max<Int>(0, *mn_it - s);
+      const Int hi = std::min<Int>(c.domain_hi, *mx_it + s);
+      if (lo > 0) {
+        rules.push_back(Rule{
+            .description = c.name + " >= " + std::to_string(lo),
+            .kind = RuleKind::kBound,
+            .formula = smt::ge(LinExpr(c.var), LinExpr(lo)),
+            .uses_fine = c.is_fine,
+        });
+        ++report.bounds;
+      }
+      if (hi < c.domain_hi) {
+        rules.push_back(Rule{
+            .description = c.name + " <= " + std::to_string(hi),
+            .kind = RuleKind::kBound,
+            .formula = smt::le(LinExpr(c.var), LinExpr(hi)),
+            .uses_fine = c.is_fine,
+        });
+        ++report.bounds;
+      }
+    }
+  }
+
+  // --- accounting -------------------------------------------------------------
+  const int total_idx = field_index(layout, "total");
+  if (config.mine_sum && total_idx >= 0 && !fine_vars.empty()) {
+    bool holds = true;
+    for (std::size_t w = 0; w < n && holds; ++w) {
+      Int sum = 0;
+      for (const auto& c : cols)
+        if (c.is_fine) sum += c.values[w];
+      holds = sum == cols[static_cast<std::size_t>(total_idx)].values[w];
+    }
+    if (holds) {
+      LinExpr sum;
+      for (const VarId v : fine_vars) sum += LinExpr(v);
+      rules.push_back(Rule{
+          .description = "sum(I) == total",
+          .kind = RuleKind::kSumEquality,
+          .formula = smt::eq(sum, LinExpr(VarId{total_idx})),
+          .uses_fine = true,
+      });
+      ++report.sums;
+    }
+  }
+
+  // Helper: emit antecedent ⇒ consequent with support/triviality filters.
+  const auto emit_implication = [&](Formula antecedent, Formula consequent,
+                                    std::string desc, bool uses_fine,
+                                    std::size_t support) {
+    if (support < static_cast<std::size_t>(config.min_support)) return;
+    if (consequent->kind() == smt::FormulaKind::kTrue) return;
+    rules.push_back(Rule{
+        .description = std::move(desc),
+        .kind = RuleKind::kImplication,
+        .formula = smt::implies(std::move(antecedent), std::move(consequent)),
+        .uses_fine = uses_fine,
+    });
+    ++report.implications;
+  };
+
+  // --- burst logic ---------------------------------------------------------------
+  if (config.mine_burst && !fine_vars.empty()) {
+    for (const char* trigger : {"ecn", "rtx"}) {
+      const int ti = field_index(layout, trigger);
+      if (ti < 0) continue;
+      const auto& tv = cols[static_cast<std::size_t>(ti)].values;
+
+      // trigger > 0 ⇒ max(I) >= c     with c = min peak among positives
+      Int c_pos = limits.bandwidth;
+      std::size_t support_pos = 0;
+      // trigger == 0 ⇒ max(I) <= c'   with c' = max peak among zeros
+      Int c_zero = 0;
+      std::size_t support_zero = 0;
+      for (std::size_t w = 0; w < n; ++w) {
+        if (tv[w] > 0) {
+          c_pos = std::min(c_pos, peaks[w]);
+          ++support_pos;
+        } else {
+          c_zero = std::max(c_zero, peaks[w]);
+          ++support_zero;
+        }
+      }
+      const Int s = slack_of(limits.bandwidth);
+      if (support_pos > 0 && c_pos - s > 0) {
+        std::ostringstream d;
+        d << trigger << " > 0 => max(I) >= " << (c_pos - s);
+        emit_implication(smt::gt(LinExpr(VarId{ti}), LinExpr(0)),
+                         smt::max_ge(fine_vars, LinExpr(c_pos - s)), d.str(),
+                         true, support_pos);
+      }
+      if (support_zero > 0 && c_zero + s < limits.bandwidth) {
+        std::ostringstream d;
+        d << trigger << " == 0 => max(I) <= " << (c_zero + s);
+        emit_implication(smt::eq(LinExpr(VarId{ti}), LinExpr(0)),
+                         smt::max_le(fine_vars, LinExpr(c_zero + s)), d.str(),
+                         true, support_zero);
+      }
+    }
+  }
+
+  // --- conditional bounds -------------------------------------------------------
+  // Threshold implications mined at per-field quantiles, in both directions,
+  // over both fine and coarse targets:
+  //   cond <= θ ⇒ target <= hi        cond >= θ ⇒ target >= lo
+  if (config.mine_conditionals) {
+    for (const auto& cond : cols) {
+      if (cond.is_fine) continue;
+      std::vector<Int> sorted = cond.values;
+      std::sort(sorted.begin(), sorted.end());
+      for (const double q : config.quantiles) {
+        const Int theta = quantile_of(sorted, q);
+        for (const auto& target : cols) {
+          if (&target == &cond) continue;
+          // Aggregate over supporting windows on each side of θ.
+          Int below_max = 0, above_min = target.domain_hi;
+          std::size_t support_below = 0, support_above = 0;
+          for (std::size_t w = 0; w < n; ++w) {
+            if (cond.values[w] <= theta) {
+              below_max = std::max(below_max, target.values[w]);
+              ++support_below;
+            } else {
+              above_min = std::min(above_min, target.values[w]);
+              ++support_above;
+            }
+          }
+          const Int s = slack_of(target.domain_hi);
+          const Int hi_bound = below_max + s;
+          if (support_below > 0 && hi_bound < target.domain_hi) {
+            std::ostringstream d;
+            d << cond.name << " <= " << theta << " => " << target.name
+              << " <= " << hi_bound;
+            emit_implication(smt::le(LinExpr(cond.var), LinExpr(theta)),
+                             smt::le(LinExpr(target.var), LinExpr(hi_bound)),
+                             d.str(), cond.is_fine || target.is_fine,
+                             support_below);
+          }
+          const Int lo_bound = above_min - s;
+          if (support_above > 0 && lo_bound > 0) {
+            std::ostringstream d;
+            d << cond.name << " > " << theta << " => " << target.name
+              << " >= " << lo_bound;
+            emit_implication(smt::gt(LinExpr(cond.var), LinExpr(theta)),
+                             smt::ge(LinExpr(target.var), LinExpr(lo_bound)),
+                             d.str(), cond.is_fine || target.is_fine,
+                             support_above);
+          }
+        }
+        // cond > θ ⇒ a burst-strength floor on the window peak.
+        if (!fine_vars.empty()) {
+          Int peak_min = limits.bandwidth;
+          std::size_t support = 0;
+          for (std::size_t w = 0; w < n; ++w) {
+            if (cond.values[w] > theta) {
+              peak_min = std::min(peak_min, peaks[w]);
+              ++support;
+            }
+          }
+          const Int c = peak_min - slack_of(limits.bandwidth);
+          if (support > 0 && c > 0) {
+            std::ostringstream d;
+            d << cond.name << " > " << theta << " => max(I) >= " << c;
+            emit_implication(smt::gt(LinExpr(cond.var), LinExpr(theta)),
+                             smt::max_ge(fine_vars, LinExpr(c)), d.str(), true,
+                             support);
+          }
+        }
+      }
+    }
+  }
+
+  // --- pairwise coarse relations ------------------------------------------------
+  if (config.mine_pairwise) {
+    for (const auto& f : cols) {
+      if (f.is_fine) continue;
+      for (const auto& g : cols) {
+        if (g.is_fine || &f == &g) continue;
+        for (const Int k : config.multipliers) {
+          // Minimal c with f <= k*g + c across all training windows.
+          Int c_min = -f.domain_hi;
+          for (std::size_t w = 0; w < n; ++w)
+            c_min = std::max(c_min, f.values[w] - k * g.values[w]);
+          const Int c = c_min + slack_of(f.domain_hi);
+          // Skip rules no tighter than f's own upper bound.
+          if (c >= f.domain_hi) continue;
+          std::ostringstream d;
+          d << f.name << " <= " << k << "*" << g.name
+            << (c >= 0 ? " + " : " - ") << (c >= 0 ? c : -c);
+          rules.push_back(Rule{
+              .description = d.str(),
+              .kind = RuleKind::kPairwise,
+              .formula = smt::le(LinExpr(f.var),
+                                 Int(k) * LinExpr(g.var) + LinExpr(c)),
+              .uses_fine = false,
+          });
+          ++report.pairwise;
+        }
+      }
+    }
+  }
+
+  // Different quantiles can yield byte-identical rules; keep the first of
+  // each and fix up the per-family counts.
+  {
+    std::set<std::string_view> seen;
+    MinerReport deduped;
+    deduped.dropped_by_validation = report.dropped_by_validation;
+    for (Rule& rule : report.rules.rules) {
+      if (!seen.insert(rule.description).second) continue;
+      switch (rule.kind) {
+        case RuleKind::kBound: ++deduped.bounds; break;
+        case RuleKind::kSumEquality: ++deduped.sums; break;
+        case RuleKind::kImplication: ++deduped.implications; break;
+        case RuleKind::kPairwise: ++deduped.pairwise; break;
+        case RuleKind::kManual: break;
+      }
+      deduped.rules.rules.push_back(std::move(rule));
+    }
+    report = std::move(deduped);
+  }
+  return report;
+}
+
+}  // namespace lejit::rules

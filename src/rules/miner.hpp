@@ -1,0 +1,63 @@
+// NetNomos-style rule miner.
+//
+// The paper obtains its rule sets ("716 rules" for imputation, "255 rules"
+// for synthesis) by running NetNomos over the training racks. This module
+// implements the part of that pipeline LeJIT needs: mining logic rules that
+// hold on *every* training window, across the rule families the paper's
+// examples draw from —
+//   bounds          0 <= f <= hi                      (per field)
+//   accounting      sum_t I_t == total                (cross-granularity tie)
+//   burst logic     ecn > 0  ⇒  max_t I_t >= c        (R3-style implications)
+//   conditionals    f <= θ   ⇒  I_t <= c              (per-slot, per-quantile)
+//   pairwise        f <= k·g + c                      (coarse linear relations)
+//
+// Every mined bound is widened by a slack margin before being emitted so the
+// rules generalize from the training racks to unseen racks (the miner's
+// guarantee is "holds on train"; slack buys "holds on test" with high
+// probability, mirroring how NetNomos-mined rules behave in the paper).
+#pragma once
+
+#include <span>
+
+#include "rules/rule.hpp"
+
+namespace lejit::rules {
+
+struct MinerConfig {
+  // Quantiles at which threshold implications are mined.
+  std::vector<double> quantiles{0.25, 0.5, 0.75, 0.9};
+  // Multipliers tried for pairwise linear rules f <= k*g + c.
+  std::vector<Int> multipliers{1, 2, 4};
+  // Minimum number of supporting windows for a conditional rule.
+  int min_support = 8;
+  // Fraction of a field's range by which mined bounds are widened.
+  double slack = 0.05;
+  // Fraction of the training windows held out for rule validation: rules
+  // violated by any holdout window are dropped (NetNomos-style confidence
+  // filtering — this is what makes mined rules transfer to unseen racks).
+  // 0 disables validation.
+  double validate_fraction = 0.25;
+  // Rule-family switches.
+  bool mine_bounds = true;
+  bool mine_sum = true;
+  bool mine_burst = true;
+  bool mine_conditionals = true;
+  bool mine_pairwise = true;
+};
+
+struct MinerReport {
+  RuleSet rules;
+  std::size_t bounds = 0;
+  std::size_t sums = 0;
+  std::size_t implications = 0;
+  std::size_t pairwise = 0;
+  std::size_t dropped_by_validation = 0;
+};
+
+// Mine rules that hold on every window of `train`.
+MinerReport mine_rules(std::span<const telemetry::Window> train,
+                       const telemetry::RowLayout& layout,
+                       const telemetry::Limits& limits,
+                       const MinerConfig& config = {});
+
+}  // namespace lejit::rules

@@ -1,0 +1,356 @@
+#include "rules/parser.hpp"
+
+#include <cctype>
+#include <optional>
+
+#include "util/strings.hpp"
+
+namespace lejit::rules {
+
+namespace {
+
+using smt::Formula;
+using smt::LinExpr;
+using smt::VarId;
+
+enum class AggKind { kNone, kMax, kMin };
+
+struct Operand {
+  AggKind agg = AggKind::kNone;  // kMax/kMin: `expr` unused
+  LinExpr expr;
+};
+
+enum class Cmp { kLe, kLt, kGe, kGt, kEq, kNe };
+
+// Single-line recursive-descent parser.
+class LineParser {
+ public:
+  LineParser(std::string_view text, const telemetry::RowLayout& layout,
+             std::span<const VarId> fine_vars)
+      : text_(text), layout_(layout), fine_vars_(fine_vars) {}
+
+  // Returns nullopt and sets error() on failure.
+  std::optional<Formula> parse(bool& uses_fine) {
+    uses_fine_ = false;
+    Formula lhs = parse_clause();
+    if (!lhs) return std::nullopt;
+    skip_ws();
+    if (consume("=>")) {
+      const Formula rhs = parse_clause();
+      if (!rhs) return std::nullopt;
+      skip_ws();
+      if (!at_end()) {
+        set_error("trailing input after consequent");
+        return std::nullopt;
+      }
+      uses_fine = uses_fine_;
+      return smt::implies(lhs, rhs);
+    }
+    if (!at_end()) {
+      set_error("trailing input after clause");
+      return std::nullopt;
+    }
+    uses_fine = uses_fine_;
+    return lhs;
+  }
+
+  const std::string& error() const { return error_; }
+
+ private:
+  // --- clause --------------------------------------------------------------
+  Formula parse_clause() {
+    const auto lhs = parse_operand();
+    if (!lhs) return nullptr;
+    const auto cmp = parse_cmp();
+    if (!cmp) return nullptr;
+    const auto rhs = parse_operand();
+    if (!rhs) return nullptr;
+    if (lhs->agg != AggKind::kNone && rhs->agg != AggKind::kNone) {
+      set_error("aggregates on both sides are not supported");
+      return nullptr;
+    }
+    if (rhs->agg != AggKind::kNone) {
+      // Flip so the aggregate is on the left: a ⋈ agg ⇔ agg ⋈⁻¹ a.
+      return build_clause(*rhs, flip(*cmp), lhs->expr);
+    }
+    return build_clause(*lhs, *cmp, rhs->expr);
+  }
+
+  static Cmp flip(Cmp c) {
+    switch (c) {
+      case Cmp::kLe: return Cmp::kGe;
+      case Cmp::kLt: return Cmp::kGt;
+      case Cmp::kGe: return Cmp::kLe;
+      case Cmp::kGt: return Cmp::kLt;
+      case Cmp::kEq: return Cmp::kEq;
+      case Cmp::kNe: return Cmp::kNe;
+    }
+    LEJIT_UNREACHABLE("cmp");
+  }
+
+  Formula build_clause(const Operand& lhs, Cmp cmp, const LinExpr& rhs) {
+    if (lhs.agg == AggKind::kNone) {
+      switch (cmp) {
+        case Cmp::kLe: return smt::le(lhs.expr, rhs);
+        case Cmp::kLt: return smt::lt(lhs.expr, rhs);
+        case Cmp::kGe: return smt::ge(lhs.expr, rhs);
+        case Cmp::kGt: return smt::gt(lhs.expr, rhs);
+        case Cmp::kEq: return smt::eq(lhs.expr, rhs);
+        case Cmp::kNe: return smt::ne(lhs.expr, rhs);
+      }
+    }
+    if (fine_vars_.empty()) {
+      set_error("aggregate used but the layout has no fine fields");
+      return nullptr;
+    }
+    uses_fine_ = true;
+    const bool is_max = lhs.agg == AggKind::kMax;
+    switch (cmp) {
+      case Cmp::kLe:
+        return is_max ? smt::max_le(fine_vars_, rhs) : smt::min_le(fine_vars_, rhs);
+      case Cmp::kLt:
+        return is_max ? smt::max_le(fine_vars_, rhs - LinExpr(1))
+                      : smt::min_le(fine_vars_, rhs - LinExpr(1));
+      case Cmp::kGe:
+        return is_max ? smt::max_ge(fine_vars_, rhs) : smt::min_ge(fine_vars_, rhs);
+      case Cmp::kGt:
+        return is_max ? smt::max_ge(fine_vars_, rhs + LinExpr(1))
+                      : smt::min_ge(fine_vars_, rhs + LinExpr(1));
+      case Cmp::kEq:
+        return is_max ? smt::land(smt::max_le(fine_vars_, rhs),
+                                  smt::max_ge(fine_vars_, rhs))
+                      : smt::land(smt::min_le(fine_vars_, rhs),
+                                  smt::min_ge(fine_vars_, rhs));
+      case Cmp::kNe:
+        return smt::lnot(build_clause(lhs, Cmp::kEq, rhs));
+    }
+    LEJIT_UNREACHABLE("cmp");
+  }
+
+  // --- operands --------------------------------------------------------------
+  std::optional<Operand> parse_operand() {
+    skip_ws();
+    if (consume_word("max")) return parse_agg(AggKind::kMax);
+    if (consume_word("min")) return parse_agg(AggKind::kMin);
+    return parse_lin();
+  }
+
+  std::optional<Operand> parse_agg(AggKind kind) {
+    if (!expect_agg_args()) return std::nullopt;
+    Operand op;
+    op.agg = kind;
+    return op;
+  }
+
+  bool expect_agg_args() {
+    skip_ws();
+    if (!consume("(")) {
+      set_error("expected '(' after aggregate");
+      return false;
+    }
+    skip_ws();
+    if (!consume_word("I") && !consume_word("fine")) {
+      set_error("aggregates range over the fine fields: write max(I)");
+      return false;
+    }
+    skip_ws();
+    if (!consume(")")) {
+      set_error("expected ')' after aggregate argument");
+      return false;
+    }
+    return true;
+  }
+
+  std::optional<Operand> parse_lin() {
+    Operand op;
+    bool first = true;
+    while (true) {
+      skip_ws();
+      smt::Int sign = 1;
+      if (consume("+")) {
+        sign = 1;
+      } else if (consume("-")) {
+        sign = -1;
+      } else if (!first) {
+        break;
+      }
+      skip_ws();
+      const auto term = parse_term();
+      if (!term) {
+        if (first) return std::nullopt;
+        set_error("expected term after '+'/'-'");
+        return std::nullopt;
+      }
+      op.expr += sign * *term;
+      first = false;
+      skip_ws();
+      if (!peek_any("+-")) break;
+    }
+    if (first) {
+      set_error("expected a linear expression");
+      return std::nullopt;
+    }
+    return op;
+  }
+
+  std::optional<LinExpr> parse_term() {
+    skip_ws();
+    // Tolerate a signed literal ("+ -90"), as some generators emit it.
+    smt::Int term_sign = 1;
+    if (peek() == '-' && pos_ + 1 < text_.size() &&
+        std::isdigit(static_cast<unsigned char>(text_[pos_ + 1]))) {
+      term_sign = -1;
+      ++pos_;
+    }
+    if (std::isdigit(static_cast<unsigned char>(peek()))) {
+      const smt::Int k = term_sign * parse_int();
+      skip_ws();
+      if (consume("*")) {
+        skip_ws();
+        const auto v = parse_field_or_sum();
+        if (!v) return std::nullopt;
+        return k * *v;
+      }
+      return LinExpr(k);
+    }
+    return parse_field_or_sum();
+  }
+
+  std::optional<LinExpr> parse_field_or_sum() {
+    skip_ws();
+    if (consume_word("sum")) {
+      if (!expect_agg_args()) return std::nullopt;
+      if (fine_vars_.empty()) {
+        set_error("sum(I) used but the layout has no fine fields");
+        return std::nullopt;
+      }
+      uses_fine_ = true;
+      LinExpr sum;
+      for (const VarId v : fine_vars_) sum += LinExpr(v);
+      return sum;
+    }
+    const std::string name = parse_ident();
+    if (name.empty()) {
+      set_error("expected a field name or integer");
+      return std::nullopt;
+    }
+    const int idx = field_index(layout_, name);
+    if (idx < 0) {
+      set_error("unknown field '" + name + "'");
+      return std::nullopt;
+    }
+    if (layout_.fields[static_cast<std::size_t>(idx)].is_fine)
+      uses_fine_ = true;
+    return LinExpr(VarId{idx});
+  }
+
+  std::optional<Cmp> parse_cmp() {
+    skip_ws();
+    if (consume("<=")) return Cmp::kLe;
+    if (consume(">=")) return Cmp::kGe;
+    if (consume("==")) return Cmp::kEq;
+    if (consume("!=")) return Cmp::kNe;
+    if (consume("<")) return Cmp::kLt;
+    if (consume(">")) return Cmp::kGt;
+    set_error("expected a comparison operator");
+    return std::nullopt;
+  }
+
+  // --- lexing ------------------------------------------------------------------
+  char peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+  bool at_end() const { return pos_ >= text_.size(); }
+  bool peek_any(std::string_view set) const {
+    return set.find(peek()) != std::string_view::npos;
+  }
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])))
+      ++pos_;
+  }
+  bool consume(std::string_view literal) {
+    if (text_.substr(pos_).starts_with(literal)) {
+      pos_ += literal.size();
+      return true;
+    }
+    return false;
+  }
+  // Consume `word` only if not followed by an identifier character
+  // ("max" must not eat the prefix of a field called "maxima").
+  bool consume_word(std::string_view word) {
+    if (!text_.substr(pos_).starts_with(word)) return false;
+    const std::size_t after = pos_ + word.size();
+    if (after < text_.size() &&
+        (std::isalnum(static_cast<unsigned char>(text_[after])) ||
+         text_[after] == '_'))
+      return false;
+    pos_ = after;
+    return true;
+  }
+  smt::Int parse_int() {
+    smt::Int v = 0;
+    while (pos_ < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      v = v * 10 + (text_[pos_] - '0');
+      ++pos_;
+    }
+    return v;
+  }
+  std::string parse_ident() {
+    std::string out;
+    while (pos_ < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '_')) {
+      out.push_back(text_[pos_]);
+      ++pos_;
+    }
+    return out;
+  }
+  void set_error(std::string message) {
+    if (error_.empty()) error_ = std::move(message);
+  }
+
+  std::string_view text_;
+  const telemetry::RowLayout& layout_;
+  std::span<const VarId> fine_vars_;
+  std::size_t pos_ = 0;
+  std::string error_;
+  bool uses_fine_ = false;
+};
+
+}  // namespace
+
+ParsedRules parse_rules(std::string_view text,
+                        const telemetry::RowLayout& layout) {
+  std::vector<VarId> fine_vars;
+  for (int i = 0; i < layout.num_fields(); ++i)
+    if (layout.fields[static_cast<std::size_t>(i)].is_fine)
+      fine_vars.push_back(VarId{i});
+
+  ParsedRules out;
+  std::size_t line_no = 0;
+  for (const auto raw_line : util::split(text, '\n')) {
+    ++line_no;
+    std::string_view line = raw_line;
+    if (const auto hash = line.find('#'); hash != std::string_view::npos)
+      line = line.substr(0, hash);
+    line = util::trim(line);
+    if (line.empty()) continue;
+
+    LineParser parser(line, layout, fine_vars);
+    bool uses_fine = false;
+    const auto formula = parser.parse(uses_fine);
+    if (!formula) {
+      out.errors.push_back(ParseError{line_no, parser.error()});
+      continue;
+    }
+    out.rules.rules.push_back(Rule{
+        .description = std::string(line),
+        .kind = RuleKind::kManual,
+        .formula = *formula,
+        .uses_fine = uses_fine,
+    });
+  }
+  return out;
+}
+
+}  // namespace lejit::rules

@@ -1,0 +1,51 @@
+// Text syntax for rules: the operator-facing "logic plug-in" format.
+//
+// The paper's vision (§5) has operators swap rule sets like configuration.
+// This parser reads a line-oriented rule language over the layout's field
+// names, so rule sets can live in plain files:
+//
+//     # R1 is implied by the field domains; R2 and R3 of the paper:
+//     sum(I) == total
+//     ecn > 0 => max(I) >= 48
+//     egress <= total
+//     2*rtx + 5 <= ecn + 40
+//
+// Grammar (one rule per line, '#' starts a comment):
+//     rule    := clause [ "=>" clause ]
+//     clause  := operand cmp operand
+//     cmp     := "<=" | ">=" | "==" | "!=" | "<" | ">"
+//     operand := agg | lin
+//     agg     := ("max" | "min") "(" "I" ")"        — over the fine fields
+//     lin     := term (("+" | "-") term)*
+//     term    := [int "*"] field | int | "sum" "(" "I" ")"
+//
+// max/min aggregates may appear only as a whole clause side (they desugar to
+// And/Or over the fine variables); sum(I) is an ordinary linear term.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "rules/rule.hpp"
+
+namespace lejit::rules {
+
+struct ParseError {
+  std::size_t line = 0;  // 1-based
+  std::string message;
+};
+
+struct ParsedRules {
+  RuleSet rules;
+  std::vector<ParseError> errors;
+
+  bool ok() const { return errors.empty(); }
+};
+
+// Parse a rule file against `layout`'s field names. Lines that fail to parse
+// are reported in `errors` and skipped; valid lines still produce rules.
+ParsedRules parse_rules(std::string_view text,
+                        const telemetry::RowLayout& layout);
+
+}  // namespace lejit::rules

@@ -1,0 +1,127 @@
+#include "rules/rule.hpp"
+
+#include <set>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace lejit::rules {
+
+RuleSet RuleSet::coarse_only() const {
+  RuleSet out;
+  for (const Rule& r : rules)
+    if (!r.uses_fine) out.rules.push_back(r);
+  return out;
+}
+
+std::string RuleSet::to_text() const {
+  std::string out;
+  out += "# LeJIT rule set (" + std::to_string(rules.size()) + " rules)\n";
+  for (const Rule& r : rules) {
+    out += r.description;
+    out += '\n';
+  }
+  return out;
+}
+
+RuleSet merge(std::initializer_list<const RuleSet*> sets) {
+  RuleSet out;
+  std::set<std::string_view> seen;
+  for (const RuleSet* set : sets) {
+    LEJIT_REQUIRE(set != nullptr, "null rule set in merge");
+    for (const Rule& r : set->rules) {
+      if (!seen.insert(r.description).second) continue;
+      out.rules.push_back(r);
+    }
+  }
+  return out;
+}
+
+std::vector<smt::VarId> declare_fields(smt::Solver& solver,
+                                       const telemetry::RowLayout& layout) {
+  LEJIT_REQUIRE(solver.num_vars() == 0,
+                "declare_fields requires a fresh solver");
+  std::vector<smt::VarId> vars;
+  vars.reserve(layout.fields.size());
+  for (const auto& f : layout.fields)
+    vars.push_back(solver.add_var(f.name, 0, f.max_value));
+  return vars;
+}
+
+void assert_rules(smt::Solver& solver, const RuleSet& set) {
+  for (const Rule& r : set.rules) {
+    LEJIT_REQUIRE(r.formula != nullptr, "rule without formula: " + r.description);
+    solver.add(r.formula);
+  }
+}
+
+std::vector<smt::Int> field_assignment(const telemetry::Window& w) {
+  std::vector<smt::Int> a = telemetry::coarse_values(w);
+  a.insert(a.end(), w.fine.begin(), w.fine.end());
+  return a;
+}
+
+int field_index(const telemetry::RowLayout& layout, std::string_view name) {
+  for (int i = 0; i < layout.num_fields(); ++i)
+    if (layout.fields[static_cast<std::size_t>(i)].name == name) return i;
+  return -1;
+}
+
+RuleSet manual_rules(const telemetry::RowLayout& layout,
+                     const telemetry::Limits& limits) {
+  using namespace smt;
+  RuleSet set;
+
+  std::vector<VarId> fine;
+  for (int i = 0; i < layout.num_fields(); ++i)
+    if (layout.fields[static_cast<std::size_t>(i)].is_fine)
+      fine.push_back(VarId{i});
+  const VarId total{field_index(layout, "total")};
+  const VarId ecn{field_index(layout, "ecn")};
+  const VarId egress{field_index(layout, "egress")};
+  LEJIT_REQUIRE(!fine.empty() && total.index >= 0 && ecn.index >= 0 &&
+                    egress.index >= 0,
+                "layout missing expected telemetry fields");
+
+  // C4 analogue: every fine reading within link bandwidth.
+  {
+    std::vector<Formula> fs;
+    for (const VarId v : fine)
+      fs.push_back(between(LinExpr(v), LinExpr(0), LinExpr(limits.bandwidth)));
+    set.rules.push_back(Rule{
+        .description = "forall t: 0 <= I_t <= BW",
+        .kind = RuleKind::kManual,
+        .formula = land(std::move(fs)),
+        .uses_fine = true,
+    });
+  }
+  // C5 analogue: exact accounting between granularities.
+  {
+    LinExpr sum;
+    for (const VarId v : fine) sum += LinExpr(v);
+    set.rules.push_back(Rule{
+        .description = "sum_t I_t == total",
+        .kind = RuleKind::kManual,
+        .formula = eq(sum, LinExpr(total)),
+        .uses_fine = true,
+    });
+  }
+  // C6 analogue: congestion marks imply a burst.
+  set.rules.push_back(Rule{
+      .description = "ecn > 0 => max_t I_t >= BW/2",
+      .kind = RuleKind::kManual,
+      .formula = implies(gt(LinExpr(ecn), LinExpr(0)),
+                         max_ge(fine, LinExpr(limits.burst_threshold()))),
+      .uses_fine = true,
+  });
+  // C7 analogue: egress cannot exceed ingress within the window.
+  set.rules.push_back(Rule{
+      .description = "egress <= total",
+      .kind = RuleKind::kManual,
+      .formula = le(LinExpr(egress), LinExpr(total)),
+      .uses_fine = false,
+  });
+  return set;
+}
+
+}  // namespace lejit::rules

@@ -1,0 +1,82 @@
+// Network rules: named, checkable, solver-ready logic constraints.
+//
+// A rule is an smt::Formula built against the *canonical field ordering* of
+// a RowLayout (field i ↔ smt::VarId{i}), plus human-readable metadata. The
+// same formula object is used three ways:
+//   1. checking — evaluate against a concrete window (violation counting),
+//   2. solving  — assert into a Solver whose variables were declared with
+//      declare_fields() (LeJIT's guidance, post-hoc repair),
+//   3. mining   — the miner emits rules in this form directly.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "smt/formula.hpp"
+#include "smt/solver.hpp"
+#include "telemetry/text.hpp"
+
+namespace lejit::rules {
+
+using telemetry::Int;
+
+enum class RuleKind {
+  kBound,        // lo <= field <= hi
+  kSumEquality,  // sum(fine) == total
+  kImplication,  // antecedent ⇒ consequent (burst rules, conditional bounds)
+  kPairwise,     // linear relation between two coarse fields
+  kManual,       // hand-written rule (the Zoom2Net C4–C7 analogues)
+};
+
+struct Rule {
+  std::string description;
+  RuleKind kind = RuleKind::kManual;
+  smt::Formula formula;
+  // True if the rule references fine-grained fields (such rules only apply
+  // to the imputation task; the synthesis task sees coarse-only rules).
+  bool uses_fine = false;
+};
+
+struct RuleSet {
+  std::vector<Rule> rules;
+
+  std::size_t size() const { return rules.size(); }
+  bool empty() const { return rules.empty(); }
+
+  // The subset not referencing fine fields (synthesis-task rules).
+  RuleSet coarse_only() const;
+
+  // Serialize to the rule-file syntax of rules/parser.hpp, one rule per
+  // line. Miner- and parser-produced rules always round-trip (their
+  // descriptions *are* the syntax); hand-built rules round-trip when their
+  // description is written in that syntax.
+  std::string to_text() const;
+};
+
+// Compose rule sets (the paper's §5 "compose rule sets on the fly"): the
+// union of the inputs, deduplicated by description (first occurrence wins).
+RuleSet merge(std::initializer_list<const RuleSet*> sets);
+
+// Declare one solver variable per layout field, in canonical order, with the
+// field's [0, max_value] domain. Must be called on a fresh solver before any
+// rule formula is asserted.
+std::vector<smt::VarId> declare_fields(smt::Solver& solver,
+                                       const telemetry::RowLayout& layout);
+
+// Assert every rule of `set` into `solver` (current scope).
+void assert_rules(smt::Solver& solver, const RuleSet& set);
+
+// Window → assignment vector in canonical field order.
+std::vector<smt::Int> field_assignment(const telemetry::Window& w);
+
+// Index of a field name in the layout's canonical order; -1 if absent.
+int field_index(const telemetry::RowLayout& layout, std::string_view name);
+
+// The four hand-specified rules used by the paper's "manual rules" baseline
+// (analogues of Zoom2Net's C4–C7): per-slot bandwidth bounds, exact sum
+// accounting, the congestion⇒burst implication, and the egress≤ingress
+// accounting rule.
+RuleSet manual_rules(const telemetry::RowLayout& layout,
+                     const telemetry::Limits& limits);
+
+}  // namespace lejit::rules

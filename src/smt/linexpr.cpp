@@ -1,0 +1,80 @@
+#include "smt/linexpr.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace lejit::smt {
+
+void LinExpr::normalize() {
+  std::sort(terms_.begin(), terms_.end(),
+            [](const auto& a, const auto& b) {
+              return a.first.index < b.first.index;
+            });
+  std::vector<std::pair<VarId, Int>> merged;
+  merged.reserve(terms_.size());
+  for (const auto& [v, c] : terms_) {
+    if (!merged.empty() && merged.back().first == v) {
+      merged.back().second = sat_add(merged.back().second, c);
+    } else {
+      merged.push_back({v, c});
+    }
+  }
+  std::erase_if(merged, [](const auto& t) { return t.second == 0; });
+  terms_ = std::move(merged);
+}
+
+LinExpr& LinExpr::operator+=(const LinExpr& rhs) {
+  constant_ = sat_add(constant_, rhs.constant_);
+  terms_.insert(terms_.end(), rhs.terms_.begin(), rhs.terms_.end());
+  normalize();
+  return *this;
+}
+
+LinExpr& LinExpr::operator-=(const LinExpr& rhs) {
+  constant_ = sat_add(constant_, -rhs.constant_);
+  for (const auto& [v, c] : rhs.terms_) terms_.push_back({v, -c});
+  normalize();
+  return *this;
+}
+
+LinExpr& LinExpr::operator*=(Int k) {
+  constant_ = sat_mul(constant_, k);
+  for (auto& [v, c] : terms_) c = sat_mul(c, k);
+  normalize();
+  return *this;
+}
+
+Int LinExpr::eval(const std::vector<Int>& assignment) const {
+  Int acc = constant_;
+  for (const auto& [v, c] : terms_) {
+    LEJIT_REQUIRE(v.index >= 0 &&
+                      static_cast<std::size_t>(v.index) < assignment.size(),
+                  "assignment does not cover all variables");
+    acc = sat_add(acc, sat_mul(c, assignment[static_cast<std::size_t>(v.index)]));
+  }
+  return acc;
+}
+
+std::string LinExpr::to_string() const {
+  std::ostringstream os;
+  bool first = true;
+  for (const auto& [v, c] : terms_) {
+    if (!first) os << (c >= 0 ? " + " : " - ");
+    else if (c < 0) os << "-";
+    first = false;
+    const Int mag = c < 0 ? -c : c;
+    if (mag != 1) os << mag << "*";
+    os << "v" << v.index;
+  }
+  if (constant_ != 0 || first) {
+    if (first) {
+      os << constant_;
+    } else {
+      os << (constant_ >= 0 ? " + " : " - ")
+         << (constant_ < 0 ? -constant_ : constant_);
+    }
+  }
+  return os.str();
+}
+
+}  // namespace lejit::smt

@@ -1,0 +1,105 @@
+// Linear integer expressions and intervals — the terms minismt reasons over.
+//
+// minismt decides quantifier-free linear integer arithmetic with boolean
+// structure over *bounded* variable domains. Every atom is normalized to
+// `LinExpr ⋈ 0` with ⋈ ∈ {<=, ==, !=}; richer comparisons and aggregates
+// (min/max over variables) are desugared in formula.hpp.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace lejit::smt {
+
+using Int = std::int64_t;
+
+// Saturation bound for interval arithmetic. Domains and coefficients used by
+// the rule compiler stay far below this, so saturation never changes
+// satisfiability; it only prevents overflow UB inside the solver.
+inline constexpr Int kIntInf = static_cast<Int>(1) << 60;
+
+constexpr Int sat_add(Int a, Int b) noexcept {
+  if (a > 0 && b > kIntInf - a) return kIntInf;
+  if (a < 0 && b < -kIntInf - a) return -kIntInf;
+  const Int s = a + b;
+  if (s > kIntInf) return kIntInf;
+  if (s < -kIntInf) return -kIntInf;
+  return s;
+}
+
+constexpr Int sat_mul(Int a, Int b) noexcept {
+  if (a == 0 || b == 0) return 0;
+  // |a|,|b| <= 2^60 so the comparison itself cannot overflow in __int128.
+  const __int128 p = static_cast<__int128>(a) * b;
+  if (p > kIntInf) return kIntInf;
+  if (p < -kIntInf) return -kIntInf;
+  return static_cast<Int>(p);
+}
+
+// Integer variable handle. Valid only for the Solver that created it.
+struct VarId {
+  int index = -1;
+  friend bool operator==(VarId, VarId) = default;
+};
+
+// Closed integer interval [lo, hi]; empty iff lo > hi.
+struct Interval {
+  Int lo = 0;
+  Int hi = -1;
+
+  static Interval empty() noexcept { return {0, -1}; }
+  bool is_empty() const noexcept { return lo > hi; }
+  bool contains(Int v) const noexcept { return lo <= v && v <= hi; }
+  bool is_singleton() const noexcept { return lo == hi; }
+  // Number of integers in the interval, saturated.
+  Int width() const noexcept {
+    return is_empty() ? 0 : sat_add(hi - lo, 1);
+  }
+  friend bool operator==(const Interval&, const Interval&) = default;
+};
+
+// sum(coeff_i * var_i) + constant, with terms sorted by variable index and
+// zero coefficients removed (class invariant, maintained by normalize()).
+class LinExpr {
+ public:
+  LinExpr() = default;
+  /*implicit*/ LinExpr(Int constant) : constant_(constant) {}
+  /*implicit*/ LinExpr(VarId v) { terms_.push_back({v, 1}); }
+
+  static LinExpr term(Int coeff, VarId v) {
+    LinExpr e;
+    if (coeff != 0) e.terms_.push_back({v, coeff});
+    return e;
+  }
+
+  const std::vector<std::pair<VarId, Int>>& terms() const noexcept {
+    return terms_;
+  }
+  Int constant() const noexcept { return constant_; }
+  bool is_constant() const noexcept { return terms_.empty(); }
+
+  LinExpr& operator+=(const LinExpr& rhs);
+  LinExpr& operator-=(const LinExpr& rhs);
+  LinExpr& operator*=(Int k);
+
+  friend LinExpr operator+(LinExpr a, const LinExpr& b) { return a += b; }
+  friend LinExpr operator-(LinExpr a, const LinExpr& b) { return a -= b; }
+  friend LinExpr operator*(Int k, LinExpr e) { return e *= k; }
+  friend LinExpr operator-(LinExpr e) { return e *= -1; }
+
+  // Evaluate under a full assignment indexed by VarId::index.
+  Int eval(const std::vector<Int>& assignment) const;
+
+  std::string to_string() const;
+
+ private:
+  void normalize();
+
+  std::vector<std::pair<VarId, Int>> terms_;
+  Int constant_ = 0;
+};
+
+}  // namespace lejit::smt

@@ -1,0 +1,559 @@
+#include "smt/solver.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace lejit::smt {
+
+namespace {
+
+// Floor/ceil division with positive divisor (C++ '/' truncates toward zero).
+constexpr Int floor_div(Int a, Int b) noexcept {
+  const Int q = a / b;
+  return (a % b != 0 && ((a < 0) != (b < 0))) ? q - 1 : q;
+}
+constexpr Int ceil_div(Int a, Int b) noexcept {
+  const Int q = a / b;
+  return (a % b != 0 && ((a < 0) == (b < 0))) ? q + 1 : q;
+}
+
+enum class Tri { kFalse, kUnknown, kTrue };
+
+}  // namespace
+
+// Search state for one DFS node: current domains plus the constraints that
+// still have to be discharged. `atoms` hold must-be-true atomic formulas;
+// `ors` hold disjunctions not yet satisfied. Entries are dropped once proved
+// true (sound: domains only shrink along a branch, and truth of a formula
+// under a box is monotone in box inclusion).
+namespace detail {
+struct SearchNode {
+  std::vector<Int> lo;
+  std::vector<Int> hi;
+  std::vector<Formula> atoms;
+  std::vector<Formula> ors;
+  bool conflict = false;
+};
+}  // namespace detail
+
+namespace {
+
+Interval expr_range(const LinExpr& e, const std::vector<Int>& lo,
+                    const std::vector<Int>& hi) {
+  Int emin = e.constant();
+  Int emax = e.constant();
+  for (const auto& [v, c] : e.terms()) {
+    const auto i = static_cast<std::size_t>(v.index);
+    if (c > 0) {
+      emin = sat_add(emin, sat_mul(c, lo[i]));
+      emax = sat_add(emax, sat_mul(c, hi[i]));
+    } else {
+      emin = sat_add(emin, sat_mul(c, hi[i]));
+      emax = sat_add(emax, sat_mul(c, lo[i]));
+    }
+  }
+  return {emin, emax};
+}
+
+Tri eval_atom(AtomOp op, const LinExpr& e, const std::vector<Int>& lo,
+              const std::vector<Int>& hi) {
+  const Interval r = expr_range(e, lo, hi);
+  switch (op) {
+    case AtomOp::kLe:
+      if (r.hi <= 0) return Tri::kTrue;
+      if (r.lo > 0) return Tri::kFalse;
+      return Tri::kUnknown;
+    case AtomOp::kEq:
+      if (r.lo == 0 && r.hi == 0) return Tri::kTrue;
+      if (r.lo > 0 || r.hi < 0) return Tri::kFalse;
+      return Tri::kUnknown;
+    case AtomOp::kNe:
+      if (r.lo > 0 || r.hi < 0) return Tri::kTrue;
+      if (r.lo == 0 && r.hi == 0) return Tri::kFalse;
+      return Tri::kUnknown;
+  }
+  LEJIT_UNREACHABLE("unreachable atom op");
+}
+
+Tri eval_formula(const Formula& f, const std::vector<Int>& lo,
+                 const std::vector<Int>& hi) {
+  switch (f->kind()) {
+    case FormulaKind::kTrue: return Tri::kTrue;
+    case FormulaKind::kFalse: return Tri::kFalse;
+    case FormulaKind::kAtom:
+      return eval_atom(f->atom_op(), f->atom_expr(), lo, hi);
+    case FormulaKind::kAnd: {
+      bool unknown = false;
+      for (const auto& c : f->children()) {
+        const Tri t = eval_formula(c, lo, hi);
+        if (t == Tri::kFalse) return Tri::kFalse;
+        if (t == Tri::kUnknown) unknown = true;
+      }
+      return unknown ? Tri::kUnknown : Tri::kTrue;
+    }
+    case FormulaKind::kOr: {
+      bool unknown = false;
+      for (const auto& c : f->children()) {
+        const Tri t = eval_formula(c, lo, hi);
+        if (t == Tri::kTrue) return Tri::kTrue;
+        if (t == Tri::kUnknown) unknown = true;
+      }
+      return unknown ? Tri::kUnknown : Tri::kFalse;
+    }
+  }
+  LEJIT_UNREACHABLE("unreachable formula kind");
+}
+
+}  // namespace
+
+VarId Solver::add_var(std::string name, Int lo, Int hi) {
+  LEJIT_REQUIRE(lo <= hi, "variable domain must be non-empty: " + name);
+  LEJIT_REQUIRE(-kIntInf / 2 < lo && hi < kIntInf / 2,
+                "variable domain exceeds solver's safe integer range");
+  vars_.push_back({std::move(name), lo, hi});
+  return VarId{static_cast<int>(vars_.size()) - 1};
+}
+
+Interval Solver::bounds(VarId v) const {
+  LEJIT_REQUIRE(v.index >= 0 && v.index < num_vars(), "unknown variable");
+  const auto& d = vars_[static_cast<std::size_t>(v.index)];
+  return {d.lo, d.hi};
+}
+
+const std::string& Solver::name(VarId v) const {
+  LEJIT_REQUIRE(v.index >= 0 && v.index < num_vars(), "unknown variable");
+  return vars_[static_cast<std::size_t>(v.index)].name;
+}
+
+void Solver::add(Formula f) {
+  LEJIT_REQUIRE(f != nullptr, "null formula");
+  assertions_.push_back(std::move(f));
+}
+
+void Solver::push() { scopes_.push_back(assertions_.size()); }
+
+void Solver::pop() {
+  LEJIT_REQUIRE(!scopes_.empty(), "pop() without matching push()");
+  assertions_.resize(scopes_.back());
+  scopes_.pop_back();
+}
+
+const std::vector<Int>& Solver::model() const {
+  LEJIT_REQUIRE(has_model_, "model() requires a preceding kSat check");
+  return model_;
+}
+
+Int Solver::model_value(VarId v) const {
+  LEJIT_REQUIRE(v.index >= 0 &&
+                    static_cast<std::size_t>(v.index) < model().size(),
+                "unknown variable");
+  return model()[static_cast<std::size_t>(v.index)];
+}
+
+namespace {
+
+// Assert `f` as true in `node`, unfolding Ands and immediately-decided Ors.
+void assert_true(const Formula& f, detail::SearchNode& node);
+
+void assert_or(const Formula& f, detail::SearchNode& node) {
+  // Cheap pre-check so unit/true/false disjunctions never enter the list.
+  const Formula* only_open = nullptr;
+  int open = 0;
+  for (const auto& c : f->children()) {
+    const Tri t = eval_formula(c, node.lo, node.hi);
+    if (t == Tri::kTrue) return;  // already satisfied
+    if (t == Tri::kUnknown) {
+      ++open;
+      only_open = &c;
+    }
+  }
+  if (open == 0) {
+    node.conflict = true;
+    return;
+  }
+  if (open == 1) {
+    assert_true(*only_open, node);
+    return;
+  }
+  node.ors.push_back(f);
+}
+
+void assert_true(const Formula& f, detail::SearchNode& node) {
+  if (node.conflict) return;
+  switch (f->kind()) {
+    case FormulaKind::kTrue:
+      return;
+    case FormulaKind::kFalse:
+      node.conflict = true;
+      return;
+    case FormulaKind::kAtom:
+      node.atoms.push_back(f);
+      return;
+    case FormulaKind::kAnd:
+      for (const auto& c : f->children()) assert_true(c, node);
+      return;
+    case FormulaKind::kOr:
+      assert_or(f, node);
+      return;
+  }
+}
+
+}  // namespace
+
+namespace {
+
+// Tighten domains so the atom `dir * expr ⟨<=⟩ 0` is bounds-consistent.
+// Returns true if any domain changed; sets node.conflict on wipeout.
+bool tighten_le(const LinExpr& e, Int dir, detail::SearchNode& node,
+                std::int64_t& propagations) {
+  // total_min = minimum possible value of dir*e under current domains.
+  Int total_min = sat_mul(dir, e.constant());
+  for (const auto& [v, c0] : e.terms()) {
+    const Int c = sat_mul(dir, c0);
+    const auto i = static_cast<std::size_t>(v.index);
+    total_min = sat_add(total_min, c > 0 ? sat_mul(c, node.lo[i])
+                                         : sat_mul(c, node.hi[i]));
+  }
+  if (total_min > 0) {
+    node.conflict = true;
+    return false;
+  }
+  bool changed = false;
+  for (const auto& [v, c0] : e.terms()) {
+    const Int c = sat_mul(dir, c0);
+    const auto i = static_cast<std::size_t>(v.index);
+    const Int own_min = c > 0 ? sat_mul(c, node.lo[i]) : sat_mul(c, node.hi[i]);
+    const Int rest_min = sat_add(total_min, -own_min);
+    // c * x_i <= -rest_min
+    if (c > 0) {
+      const Int ub = floor_div(-rest_min, c);
+      if (ub < node.hi[i]) {
+        node.hi[i] = ub;
+        changed = true;
+        ++propagations;
+        if (node.hi[i] < node.lo[i]) {
+          node.conflict = true;
+          return changed;
+        }
+      }
+    } else {
+      const Int lb = ceil_div(rest_min, -c);
+      if (lb > node.lo[i]) {
+        node.lo[i] = lb;
+        changed = true;
+        ++propagations;
+        if (node.hi[i] < node.lo[i]) {
+          node.conflict = true;
+          return changed;
+        }
+      }
+    }
+  }
+  return changed;
+}
+
+// Prune domain-boundary values forbidden by `expr != 0` when exactly one
+// variable is unfixed (weak but cheap; search completes the rest).
+bool tighten_ne(const LinExpr& e, detail::SearchNode& node,
+                std::int64_t& propagations) {
+  Int fixed_sum = e.constant();
+  std::size_t unfixed_index = 0;
+  Int unfixed_coeff = 0;
+  int unfixed = 0;
+  for (const auto& [v, c] : e.terms()) {
+    const auto i = static_cast<std::size_t>(v.index);
+    if (node.lo[i] == node.hi[i]) {
+      fixed_sum = sat_add(fixed_sum, sat_mul(c, node.lo[i]));
+    } else {
+      ++unfixed;
+      unfixed_index = i;
+      unfixed_coeff = c;
+    }
+  }
+  if (unfixed == 0) {
+    if (fixed_sum == 0) node.conflict = true;
+    return false;
+  }
+  if (unfixed != 1) return false;
+  // unfixed_coeff * x + fixed_sum != 0 → exclude x0 when it divides evenly.
+  if ((-fixed_sum) % unfixed_coeff != 0) return false;
+  const Int x0 = (-fixed_sum) / unfixed_coeff;
+  bool changed = false;
+  if (node.lo[unfixed_index] == x0) {
+    ++node.lo[unfixed_index];
+    changed = true;
+    ++propagations;
+  }
+  if (node.hi[unfixed_index] == x0) {
+    --node.hi[unfixed_index];
+    changed = true;
+    ++propagations;
+  }
+  if (node.lo[unfixed_index] > node.hi[unfixed_index]) node.conflict = true;
+  return changed;
+}
+
+}  // namespace
+
+CheckResult Solver::search(detail::SearchNode& node, std::int64_t& budget) {
+  ++stats_.nodes;
+  if (--budget < 0) return CheckResult::kUnknown;
+
+  // --- propagation to fixpoint ------------------------------------------------
+  for (int round = 0; round < config_.max_propagation_rounds; ++round) {
+    if (node.conflict) return CheckResult::kUnsat;
+    bool changed = false;
+
+    // Atoms: tighten; drop once definitely true.
+    for (std::size_t i = 0; i < node.atoms.size();) {
+      const Formula& a = node.atoms[i];
+      const Tri t = eval_atom(a->atom_op(), a->atom_expr(), node.lo, node.hi);
+      if (t == Tri::kFalse) {
+        node.conflict = true;
+        return CheckResult::kUnsat;
+      }
+      if (t == Tri::kTrue) {
+        node.atoms[i] = node.atoms.back();
+        node.atoms.pop_back();
+        continue;
+      }
+      switch (a->atom_op()) {
+        case AtomOp::kLe:
+          changed |= tighten_le(a->atom_expr(), 1, node, stats_.propagations);
+          break;
+        case AtomOp::kEq:
+          changed |= tighten_le(a->atom_expr(), 1, node, stats_.propagations);
+          if (!node.conflict)
+            changed |=
+                tighten_le(a->atom_expr(), -1, node, stats_.propagations);
+          break;
+        case AtomOp::kNe:
+          changed |= tighten_ne(a->atom_expr(), node, stats_.propagations);
+          break;
+      }
+      if (node.conflict) return CheckResult::kUnsat;
+      ++i;
+    }
+
+    // Disjunctions: drop satisfied ones, assert unit ones.
+    for (std::size_t i = 0; i < node.ors.size();) {
+      const Formula f = node.ors[i];
+      const Formula* only_open = nullptr;
+      int open = 0;
+      bool satisfied = false;
+      for (const auto& c : f->children()) {
+        const Tri t = eval_formula(c, node.lo, node.hi);
+        if (t == Tri::kTrue) {
+          satisfied = true;
+          break;
+        }
+        if (t == Tri::kUnknown) {
+          ++open;
+          only_open = &c;
+        }
+      }
+      if (satisfied || open <= 1) {
+        node.ors[i] = node.ors.back();
+        node.ors.pop_back();
+        if (!satisfied) {
+          if (open == 0) {
+            node.conflict = true;
+            return CheckResult::kUnsat;
+          }
+          assert_true(*only_open, node);
+          if (node.conflict) return CheckResult::kUnsat;
+          changed = true;
+        }
+        continue;
+      }
+      ++i;
+    }
+
+    if (!changed) break;
+  }
+  if (node.conflict) return CheckResult::kUnsat;
+
+  // --- fully determined? -------------------------------------------------------
+  if (node.atoms.empty() && node.ors.empty()) {
+    // Every constraint is satisfied for any values in the remaining box;
+    // pick the lower corner as the model.
+    model_ = node.lo;
+    has_model_ = true;
+    return CheckResult::kSat;
+  }
+
+  // --- branch -------------------------------------------------------------------
+  if (!node.ors.empty()) {
+    // DPLL-style case split on the first open disjunct. The disjunction is
+    // consumed here and strictly shrinks on the negative branch — this is
+    // what guarantees termination even when the picked child's atoms stay
+    // tri-valued Unknown under bounds consistency.
+    const Formula f = node.ors.front();
+    node.ors.front() = node.ors.back();
+    node.ors.pop_back();
+
+    Formula pick;
+    std::vector<Formula> rest;
+    rest.reserve(f->children().size());
+    for (const auto& c : f->children()) {
+      if (!pick && eval_formula(c, node.lo, node.hi) == Tri::kUnknown) {
+        pick = c;
+      } else {
+        rest.push_back(c);
+      }
+    }
+    LEJIT_ASSERT(pick != nullptr, "open disjunction with no open child");
+    {
+      detail::SearchNode child = node;
+      assert_true(pick, child);
+      const CheckResult r = search(child, budget);
+      if (r != CheckResult::kUnsat) return r;
+    }
+    {
+      detail::SearchNode child = std::move(node);
+      assert_true(lnot(pick), child);
+      assert_true(lor(std::move(rest)), child);
+      return search(child, budget);
+    }
+  }
+
+  // Domain split on a variable occurring in an open atom; prefer the
+  // narrowest such domain so enumeration kicks in quickly.
+  std::size_t best = SIZE_MAX;
+  Int best_width = kIntInf;
+  for (const auto& a : node.atoms) {
+    for (const auto& [v, c] : a->atom_expr().terms()) {
+      const auto i = static_cast<std::size_t>(v.index);
+      const Int width = node.hi[i] - node.lo[i];
+      if (width > 0 && width < best_width) {
+        best_width = width;
+        best = i;
+      }
+    }
+  }
+  LEJIT_ASSERT(best != SIZE_MAX, "open atom with all variables fixed");
+
+  const Int mid = node.lo[best] + (node.hi[best] - node.lo[best]) / 2;
+  {
+    detail::SearchNode child = node;
+    child.hi[best] = mid;
+    const CheckResult r = search(child, budget);
+    if (r != CheckResult::kUnsat) return r;
+  }
+  {
+    detail::SearchNode child = std::move(node);
+    child.lo[best] = mid + 1;
+    return search(child, budget);
+  }
+}
+
+CheckResult Solver::check_assuming(std::span<const Formula> assumptions) {
+  ++stats_.checks;
+  has_model_ = false;
+
+  detail::SearchNode root;
+  root.lo.reserve(vars_.size());
+  root.hi.reserve(vars_.size());
+  for (const auto& v : vars_) {
+    root.lo.push_back(v.lo);
+    root.hi.push_back(v.hi);
+  }
+  for (const auto& f : assertions_) assert_true(f, root);
+  for (const auto& f : assumptions) {
+    LEJIT_REQUIRE(f != nullptr, "null assumption");
+    assert_true(f, root);
+  }
+  if (root.conflict) return CheckResult::kUnsat;
+
+  std::int64_t budget = config_.max_nodes;
+  const CheckResult r = search(root, budget);
+  if (r == CheckResult::kUnknown) ++stats_.unknowns;
+  return r;
+}
+
+Interval Solver::feasible_interval(VarId v,
+                                   std::span<const Formula> assumptions) {
+  LEJIT_REQUIRE(v.index >= 0 && v.index < num_vars(), "unknown variable");
+  std::vector<Formula> assume(assumptions.begin(), assumptions.end());
+
+  const CheckResult first = check_assuming(assume);
+  if (first == CheckResult::kUnsat) return Interval::empty();
+  if (first == CheckResult::kUnknown)
+    throw util::RuntimeError("solver budget exhausted in feasible_interval");
+  const Int witness = model_value(v);
+
+  const auto sat_with = [&](const Formula& extra) {
+    assume.push_back(extra);
+    const CheckResult r = check_assuming(assume);
+    assume.pop_back();
+    if (r == CheckResult::kUnknown)
+      throw util::RuntimeError("solver budget exhausted in feasible_interval");
+    return r == CheckResult::kSat;
+  };
+
+  // Smallest feasible value in [bounds.lo, witness].
+  Int lb = bounds(v).lo;
+  Int ub = witness;
+  while (lb < ub) {
+    const Int mid = lb + (ub - lb) / 2;
+    if (sat_with(le(LinExpr(v), LinExpr(mid)))) {
+      ub = std::min(mid, model_value(v));
+    } else {
+      lb = mid + 1;
+    }
+  }
+  const Int min_v = lb;
+
+  // Largest feasible value in [witness, bounds.hi].
+  lb = witness;
+  ub = bounds(v).hi;
+  while (lb < ub) {
+    const Int mid = lb + (ub - lb + 1) / 2;
+    if (sat_with(ge(LinExpr(v), LinExpr(mid)))) {
+      lb = std::max(mid, model_value(v));
+    } else {
+      ub = mid - 1;
+    }
+  }
+  return {min_v, lb};
+}
+
+std::optional<Solver::MinimizeResult> Solver::minimize(const LinExpr& cost) {
+  const CheckResult first = check();
+  if (first == CheckResult::kUnsat) return std::nullopt;
+  if (first == CheckResult::kUnknown)
+    throw util::RuntimeError("solver budget exhausted in minimize");
+
+  MinimizeResult best;
+  best.model = model_;
+  best.cost = cost.eval(best.model);
+
+  // Lower bound from the root box.
+  std::vector<Int> los, his;
+  for (const auto& v : vars_) {
+    los.push_back(v.lo);
+    his.push_back(v.hi);
+  }
+  Int lb = expr_range(cost, los, his).lo;
+
+  while (lb < best.cost) {
+    const Int mid = lb + (best.cost - lb) / 2;
+    const Formula bound = le(cost, LinExpr(mid));
+    const CheckResult r = check_assuming(std::span(&bound, 1));
+    if (r == CheckResult::kSat) {
+      best.model = model_;
+      best.cost = cost.eval(best.model);
+    } else {
+      // kUnknown: could not prove a model at or below `mid` exists; continue
+      // above it but remember optimality is no longer certified.
+      if (r == CheckResult::kUnknown) best.proven_optimal = false;
+      lb = mid + 1;
+    }
+  }
+  model_ = best.model;
+  has_model_ = true;
+  return best;
+}
+
+}  // namespace lejit::smt

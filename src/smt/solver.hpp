@@ -1,0 +1,117 @@
+// minismt: a small, complete decision procedure for quantifier-free linear
+// integer arithmetic with boolean structure over bounded variable domains.
+//
+// This is the repository's substitute for Z3 (see DESIGN.md §3). The solved
+// fragment — conjunctions/disjunctions/implications of linear comparisons,
+// with min/max aggregates desugared by formula.hpp — is exactly what the
+// paper's network rules compile to, and bounded domains make the procedure
+// complete: interval (bounds-consistency) propagation interleaved with
+// DPLL-style search over disjunctions and domain splits.
+//
+// The interface mirrors the incremental solver workflow LeJIT relies on:
+// push/pop assertion scopes, sat checks under temporary assumptions, exact
+// feasible-range queries for a variable, and branch-and-bound minimization
+// (used by the post-hoc repair baseline).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "smt/formula.hpp"
+#include "smt/linexpr.hpp"
+
+namespace lejit::smt {
+
+namespace detail {
+struct SearchNode;  // DFS search state, defined in solver.cpp
+}
+
+enum class CheckResult { kSat, kUnsat, kUnknown };
+
+struct SolverConfig {
+  // Search-node budget per check() call; exceeding it yields kUnknown.
+  std::int64_t max_nodes = 500'000;
+  // Cap on propagation sweeps per node (guards slow-convergence ping-pong
+  // between mutually-constraining bounds; completeness is preserved because
+  // search continues by splitting).
+  int max_propagation_rounds = 4'000;
+};
+
+struct SolverStats {
+  std::int64_t checks = 0;        // number of check() calls
+  std::int64_t nodes = 0;         // search nodes across all checks
+  std::int64_t propagations = 0;  // domain-tightening events
+  std::int64_t unknowns = 0;      // checks that exhausted the node budget
+};
+
+class Solver {
+ public:
+  explicit Solver(SolverConfig config = {}) : config_(config) {}
+
+  // --- problem construction --------------------------------------------------
+  // Declare an integer variable with inclusive domain [lo, hi].
+  VarId add_var(std::string name, Int lo, Int hi);
+  int num_vars() const noexcept { return static_cast<int>(vars_.size()); }
+  Interval bounds(VarId v) const;
+  const std::string& name(VarId v) const;
+
+  // Assert a formula in the current scope.
+  void add(Formula f);
+  // Scoped assertions: pop() retracts everything add()ed since the matching
+  // push(). Variables are never retracted.
+  void push();
+  void pop();
+  std::size_t num_scopes() const noexcept { return scopes_.size(); }
+  std::size_t num_assertions() const noexcept { return assertions_.size(); }
+
+  // --- queries -----------------------------------------------------------------
+  CheckResult check() { return check_assuming({}); }
+  CheckResult check_assuming(std::span<const Formula> assumptions);
+
+  // Model of the last kSat check; values indexed by VarId::index.
+  const std::vector<Int>& model() const;
+  Int model_value(VarId v) const;
+
+  // Exact min/max of `v` over all models of the current assertions plus
+  // `assumptions` (binary search on satisfiability). Empty interval ⇔ UNSAT.
+  // Throws util::RuntimeError if the node budget is exhausted mid-query.
+  Interval feasible_interval(VarId v, std::span<const Formula> assumptions = {});
+
+  // Find a model minimizing `cost` (binary search on the cost bound).
+  // nullopt ⇔ UNSAT. Best-effort under the node budget: when a bound query
+  // exhausts the budget it is treated as "no better solution found" and
+  // `proven_optimal` is cleared — the returned model is still feasible and
+  // no worse than any bound that *was* proven. Used by the post-hoc
+  // nearest-repair baseline.
+  struct MinimizeResult {
+    std::vector<Int> model;
+    Int cost = 0;
+    bool proven_optimal = true;
+  };
+  std::optional<MinimizeResult> minimize(const LinExpr& cost);
+
+  const SolverStats& stats() const noexcept { return stats_; }
+  void reset_stats() noexcept { stats_ = {}; }
+
+ private:
+  struct VarDecl {
+    std::string name;
+    Int lo = 0;
+    Int hi = 0;
+  };
+
+  CheckResult search(detail::SearchNode& node, std::int64_t& budget);
+
+  SolverConfig config_;
+  std::vector<VarDecl> vars_;
+  std::vector<Formula> assertions_;
+  std::vector<std::size_t> scopes_;  // assertion-stack marks
+  std::vector<Int> model_;
+  bool has_model_ = false;
+  SolverStats stats_;
+};
+
+}  // namespace lejit::smt

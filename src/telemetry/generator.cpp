@@ -1,0 +1,161 @@
+#include "telemetry/generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lejit::telemetry {
+
+namespace {
+
+Int clamp(Int v, Int lo, Int hi) { return std::max(lo, std::min(hi, v)); }
+
+// Per-rack traffic personality.
+struct RackProfile {
+  double base_level;    // mean background ingress (fraction of bandwidth)
+  double ar_coeff;      // AR(1) smoothness of the background
+  double noise_scale;   // background innovation scale
+  double burst_rate;    // per-window burst probability
+  double conn_base;     // baseline connection count
+};
+
+RackProfile make_profile(util::Rng& rng, const GeneratorConfig& cfg) {
+  RackProfile p;
+  p.base_level = rng.uniform(0.10, 0.45);
+  p.ar_coeff = rng.uniform(0.55, 0.9);
+  p.noise_scale = rng.uniform(0.03, 0.10);
+  p.burst_rate = cfg.burst_rate * rng.uniform(0.5, 1.6);
+  p.conn_base = rng.uniform(40.0, 400.0);
+  return p;
+}
+
+}  // namespace
+
+Dataset generate_dataset(const GeneratorConfig& config) {
+  LEJIT_REQUIRE(config.num_racks > 0 && config.windows_per_rack > 0,
+                "fleet dimensions must be positive");
+  const Limits& lim = config.limits;
+  const double bw = static_cast<double>(lim.bandwidth);
+
+  Dataset ds;
+  ds.limits = lim;
+  util::Rng master(config.seed);
+
+  for (int rack = 0; rack < config.num_racks; ++rack) {
+    util::Rng rng = master.fork(static_cast<std::uint64_t>(rack) + 1);
+    const RackProfile profile = make_profile(rng, config);
+
+    RackTrace trace;
+    trace.rack_id = rack;
+    trace.windows.reserve(static_cast<std::size_t>(config.windows_per_rack));
+
+    double background = profile.base_level * bw;  // AR(1) state, in bytes/ms
+    int burst_remaining = 0;                      // slots left in active burst
+    double burst_height = 0.0;
+
+    for (int wi = 0; wi < config.windows_per_rack; ++wi) {
+      Window w;
+      w.fine.resize(static_cast<std::size_t>(lim.window));
+
+      // Possibly start a burst at a random slot of this window.
+      int burst_start = -1;
+      if (burst_remaining == 0 && rng.bernoulli(profile.burst_rate)) {
+        burst_start =
+            static_cast<int>(rng.uniform_int(0, lim.window - 1));
+        burst_remaining = 1 + static_cast<int>(rng.uniform_int(0, 2));
+        // Heavy-tailed burst height, capped at line rate.
+        burst_height =
+            std::min(bw, (bw / 2.0) * rng.pareto(1.0, config.pareto_shape));
+      }
+
+      for (int t = 0; t < lim.window; ++t) {
+        // Smooth background.
+        background = profile.ar_coeff * background +
+                     (1.0 - profile.ar_coeff) * profile.base_level * bw +
+                     rng.normal(0.0, profile.noise_scale * bw);
+        background = std::clamp(background, 0.0, 0.6 * bw);
+
+        double level = background;
+        const bool bursting =
+            (burst_start >= 0 && t >= burst_start && burst_remaining > 0);
+        if (bursting) {
+          level = std::max(level, burst_height + rng.normal(0.0, 2.0));
+          --burst_remaining;
+        }
+        w.fine[static_cast<std::size_t>(t)] =
+            clamp(static_cast<Int>(std::llround(level)), 0, lim.bandwidth);
+      }
+      // A burst can spill into the next window only as a fresh one here.
+      if (burst_start < 0) burst_remaining = 0;
+
+      Int peak = 0;
+      for (const Int v : w.fine) {
+        w.total += v;
+        peak = std::max(peak, v);
+      }
+
+      // Coarse counters derived from the fine series (schema invariants).
+      if (peak >= lim.burst_threshold()) {
+        const double overshoot =
+            static_cast<double>(peak - lim.burst_threshold());
+        w.ecn = clamp(
+            1 + static_cast<Int>(std::llround(
+                    overshoot * 4.0 * std::abs(rng.uniform(0.6, 1.4)))),
+            1, lim.ecn_max);
+      }
+      if (peak >= lim.rtx_threshold()) {
+        const double excess = static_cast<double>(peak - lim.rtx_threshold());
+        w.rtx = clamp(static_cast<Int>(std::llround(
+                          excess * rng.uniform(0.5, 2.0))),
+                      0, lim.rtx_max);
+      }
+      w.conn = clamp(
+          static_cast<Int>(std::llround(
+              profile.conn_base +
+              static_cast<double>(w.total) * rng.uniform(0.3, 0.7))),
+          1, lim.conn_max);
+      w.egress = clamp(
+          static_cast<Int>(std::llround(static_cast<double>(w.total) *
+                                        rng.uniform(0.55, 1.0))),
+          0, w.total);
+
+      LEJIT_ASSERT(window_is_consistent(w, lim),
+                   "generator produced an inconsistent window");
+      trace.windows.push_back(std::move(w));
+    }
+    ds.racks.push_back(std::move(trace));
+  }
+  return ds;
+}
+
+Split split_by_rack(const Dataset& dataset, int num_test_racks,
+                    std::uint64_t seed) {
+  LEJIT_REQUIRE(num_test_racks > 0 &&
+                    num_test_racks < static_cast<int>(dataset.racks.size()),
+                "test split must keep at least one rack on each side");
+  std::vector<std::size_t> order(dataset.racks.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  util::Rng rng(seed);
+  rng.shuffle(order);
+
+  Split split;
+  split.train.limits = dataset.limits;
+  split.test.limits = dataset.limits;
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    const RackTrace& rack = dataset.racks[order[i]];
+    if (i < static_cast<std::size_t>(num_test_racks))
+      split.test.racks.push_back(rack);
+    else
+      split.train.racks.push_back(rack);
+  }
+  return split;
+}
+
+std::vector<Window> all_windows(const Dataset& dataset) {
+  std::vector<Window> out;
+  out.reserve(dataset.total_windows());
+  for (const auto& rack : dataset.racks)
+    out.insert(out.end(), rack.windows.begin(), rack.windows.end());
+  return out;
+}
+
+}  // namespace lejit::telemetry

@@ -1,0 +1,41 @@
+// Synthetic datacenter workload generator.
+//
+// Reproduces, at laptop scale, the statistical features of the Meta rack
+// traces the paper evaluates on: racks with heterogeneous base load, smooth
+// AR(1) background traffic, and heavy-tailed on/off bursts that saturate the
+// link for a few milliseconds (the phenomenon Zoom2Net's "burst analysis"
+// downstream task studies). Coarse counters are derived from the fine series
+// per the schema's invariants, so cross-granularity rules are minable and an
+// imputer has real signal to learn.
+#pragma once
+
+#include "telemetry/schema.hpp"
+#include "util/rng.hpp"
+
+namespace lejit::telemetry {
+
+struct GeneratorConfig {
+  Limits limits{};
+  int num_racks = 90;           // paper: 80 train + 10 test racks
+  int windows_per_rack = 120;
+  double burst_rate = 0.18;     // per-window probability a burst begins
+  double pareto_shape = 1.6;    // burst height tail index
+  std::uint64_t seed = 20250705;
+};
+
+// Generate the full synthetic fleet. Every produced window satisfies
+// window_is_consistent().
+Dataset generate_dataset(const GeneratorConfig& config);
+
+// Split by rack, matching the paper's setup (§4: 80 train / 10 test racks).
+struct Split {
+  Dataset train;
+  Dataset test;
+};
+Split split_by_rack(const Dataset& dataset, int num_test_racks,
+                    std::uint64_t seed);
+
+// Flatten a dataset into a window list (the unit most evaluations work on).
+std::vector<Window> all_windows(const Dataset& dataset);
+
+}  // namespace lejit::telemetry

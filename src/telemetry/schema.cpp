@@ -1,0 +1,33 @@
+#include "telemetry/schema.hpp"
+
+#include <algorithm>
+
+namespace lejit::telemetry {
+
+std::vector<Int> coarse_upper_bounds(const Limits& limits) {
+  return {limits.total_max(), limits.ecn_max, limits.rtx_max, limits.conn_max,
+          limits.total_max()};
+}
+
+bool window_is_consistent(const Window& w, const Limits& limits) {
+  if (static_cast<int>(w.fine.size()) != limits.window) return false;
+  Int sum = 0;
+  Int peak = 0;
+  for (const Int v : w.fine) {
+    if (v < 0 || v > limits.bandwidth) return false;
+    sum += v;
+    peak = std::max(peak, v);
+  }
+  if (sum != w.total) return false;
+  if (w.ecn < 0 || w.ecn > limits.ecn_max) return false;
+  if (w.rtx < 0 || w.rtx > limits.rtx_max) return false;
+  if (w.conn < 1 || w.conn > limits.conn_max) return false;
+  if (w.egress < 0 || w.egress > w.total) return false;
+  // ECN marks appear exactly when a fine reading crosses the burst threshold.
+  if ((w.ecn > 0) != (peak >= limits.burst_threshold())) return false;
+  // Retransmits only occur near saturation.
+  if (w.rtx > 0 && peak < limits.rtx_threshold()) return false;
+  return true;
+}
+
+}  // namespace lejit::telemetry

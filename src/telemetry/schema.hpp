@@ -1,0 +1,81 @@
+// Telemetry schema: the repository's stand-in for the Meta datacenter rack
+// dataset (Ghabashneh et al., IMC '22) used by the paper.
+//
+// Each observation window holds W fine-grained (ms-level) ingress readings
+// and five coarse-grained (window-level) counters derived from them. The
+// derivations intentionally reproduce the structure the paper's evaluation
+// depends on (see DESIGN.md §3): exact accounting ties (sum of fine equals
+// the coarse total), burst-triggered congestion signals (ECN marks appear
+// exactly when some fine reading crosses half the bandwidth), and
+// loss/retransmit signals tied to near-saturation bursts.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace lejit::telemetry {
+
+using Int = std::int64_t;
+
+// Structural constants of the synthetic fleet. Fixed at compile time so the
+// rule miner, the LM text format, and the SMT variable domains always agree.
+struct Limits {
+  Int bandwidth = 96;     // per-ms ingress capacity (fine values are 0..BW)
+  int window = 5;         // W: fine readings per coarse window
+  Int ecn_max = 255;      // ECN-marked packet count ceiling
+  Int rtx_max = 60;       // retransmitted packet count ceiling
+  Int conn_max = 999;     // active connection ceiling
+  Int burst_threshold() const { return bandwidth / 2; }
+  Int rtx_threshold() const { return bandwidth * 4 / 5; }
+  Int total_max() const { return bandwidth * window; }
+};
+
+// One coarse window with its underlying fine-grained series.
+struct Window {
+  std::vector<Int> fine;  // W ingress readings, each in [0, bandwidth]
+  Int total = 0;          // sum of fine (exact accounting)
+  Int ecn = 0;            // ECN-marked packets; > 0 iff a burst occurred
+  Int rtx = 0;            // retransmits; > 0 only near saturation
+  Int conn = 0;           // active connections (load-correlated)
+  Int egress = 0;         // egress volume; never exceeds total ingress
+};
+
+// The coarse field names, in row order. Shared by the text format, the rule
+// miner and the benchmark tables.
+inline constexpr int kNumCoarse = 5;
+inline const char* const kCoarseNames[kNumCoarse] = {"total", "ecn", "rtx",
+                                                     "conn", "egress"};
+
+// Coarse values of a window as an array in kCoarseNames order.
+inline std::vector<Int> coarse_values(const Window& w) {
+  return {w.total, w.ecn, w.rtx, w.conn, w.egress};
+}
+
+// Upper bound of each coarse field under `limits`, in kCoarseNames order.
+std::vector<Int> coarse_upper_bounds(const Limits& limits);
+
+// One rack's trace: a sequence of windows.
+struct RackTrace {
+  int rack_id = 0;
+  std::vector<Window> windows;
+};
+
+struct Dataset {
+  Limits limits;
+  std::vector<RackTrace> racks;
+
+  std::size_t total_windows() const {
+    std::size_t n = 0;
+    for (const auto& r : racks) n += r.windows.size();
+    return n;
+  }
+};
+
+// Validate the structural invariants of a window (used by tests and by the
+// generator's own self-check).
+bool window_is_consistent(const Window& w, const Limits& limits);
+
+}  // namespace lejit::telemetry

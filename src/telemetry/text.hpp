@@ -1,0 +1,78 @@
+// Row text format: the bridge between telemetry windows and the char-level LM.
+//
+// A window serializes to one line,
+//
+//   T=480 E=12 R=3 C=45 G=180|48 96 30 41 20\n
+//
+// coarse fields first (Total, Ecn, Rtx, Conn, eGress), then '|' and the W
+// fine-grained readings. The same format serves both tasks: telemetry
+// imputation prompts the LM with everything up to and including '|'
+// (conditional generation of the fine part), while data synthesis starts
+// from the empty prompt (unconditional generation of a whole row).
+//
+// RowLayout is the machine-readable description of this syntax that LeJIT's
+// decoder walks token by token: literal separator runs alternate with
+// bounded unsigned integer fields.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "telemetry/schema.hpp"
+
+namespace lejit::telemetry {
+
+// One numeric field slot in a row.
+struct FieldSpec {
+  std::string prefix;   // literal text emitted before the field's digits
+  std::string name;     // SMT-facing variable name ("total", "I0", ...)
+  Int max_value = 0;    // inclusive upper bound (drives digit-count limits)
+  bool is_fine = false; // true for the W fine-grained slots
+};
+
+struct RowLayout {
+  std::vector<FieldSpec> fields;
+  std::string suffix;  // literal text terminating a row ("\n")
+
+  int num_fields() const { return static_cast<int>(fields.size()); }
+  // Index of the first fine field (== kNumCoarse for this schema).
+  int first_fine_field() const;
+};
+
+// The canonical layout for this schema under `limits`.
+RowLayout telemetry_row_layout(const Limits& limits);
+
+// Coarse-only layout (no fine fields): the synthesis task's row format,
+//   T=480 E=12 R=3 C=45 G=180\n
+RowLayout coarse_row_layout(const Limits& limits);
+
+// The exact character alphabet rows are built from (tokenizer input).
+std::string row_alphabet();
+
+// --- serialization ------------------------------------------------------------
+std::string window_to_row(const Window& w);
+// Coarse-only serialization (synthesis-task rows).
+std::string window_to_coarse_row(const Window& w);
+// Prompt for the imputation task: the coarse prefix up to and incl. '|'.
+std::string imputation_prompt(const Window& w);
+// Whole-dataset corpus: every window, one row per line.
+std::string dataset_corpus(const Dataset& dataset);
+
+// --- parsing -------------------------------------------------------------------
+// Parse one row (trailing newline optional) into a window. Returns nullopt
+// on any *syntax* deviation. Values are NOT range-checked — a generator may
+// emit out-of-domain values and the rule checker must get to see them; use
+// window_is_consistent / rules::check_violations for semantics.
+std::optional<Window> parse_row(std::string_view row, const RowLayout& layout);
+std::optional<Window> parse_row(std::string_view row, const Limits& limits);
+
+// Parse every line of a corpus; malformed lines are skipped and counted.
+struct ParsedCorpus {
+  std::vector<Window> windows;
+  std::size_t malformed = 0;
+};
+ParsedCorpus parse_corpus(std::string_view corpus, const Limits& limits);
+
+}  // namespace lejit::telemetry

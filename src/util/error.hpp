@@ -1,0 +1,67 @@
+// Error handling primitives.
+//
+// Following the C++ Core Guidelines (E.2, I.6): exceptions signal errors that
+// callers cannot ignore; LEJIT_REQUIRE documents and enforces preconditions
+// at API boundaries; LEJIT_ASSERT guards internal invariants and is compiled
+// out of release builds only when explicitly requested.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace lejit::util {
+
+// Thrown when a documented precondition of a public API is violated.
+class PreconditionError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+// Thrown when an internal invariant fails (a bug in this library).
+class InvariantError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+// Thrown for recoverable runtime conditions (e.g. solver resource limits).
+class RuntimeError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+namespace detail {
+[[noreturn]] inline void fail_require(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "precondition failed: " << expr << " at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw PreconditionError(os.str());
+}
+
+[[noreturn]] inline void fail_assert(const char* expr, const char* file,
+                                     int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "invariant failed: " << expr << " at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw InvariantError(os.str());
+}
+}  // namespace detail
+
+}  // namespace lejit::util
+
+#define LEJIT_REQUIRE(expr, msg)                                             \
+  do {                                                                       \
+    if (!(expr))                                                             \
+      ::lejit::util::detail::fail_require(#expr, __FILE__, __LINE__, (msg)); \
+  } while (false)
+
+#define LEJIT_ASSERT(expr, msg)                                             \
+  do {                                                                      \
+    if (!(expr))                                                            \
+      ::lejit::util::detail::fail_assert(#expr, __FILE__, __LINE__, (msg)); \
+  } while (false)
+
+// Marks a branch the surrounding logic has proven impossible ([[noreturn]]).
+#define LEJIT_UNREACHABLE(msg) \
+  ::lejit::util::detail::fail_assert("unreachable", __FILE__, __LINE__, (msg))

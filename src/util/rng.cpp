@@ -1,0 +1,49 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace lejit::util {
+
+double Rng::normal() noexcept {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  // Box–Muller transform; u1 is kept away from zero so log() is finite.
+  double u1 = uniform();
+  while (u1 <= 1e-300) u1 = uniform();
+  const double u2 = uniform();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * std::numbers::pi * u2;
+  cached_normal_ = r * std::sin(theta);
+  has_cached_normal_ = true;
+  return r * std::cos(theta);
+}
+
+double Rng::exponential(double rate) noexcept {
+  double u = uniform();
+  while (u <= 1e-300) u = uniform();
+  return -std::log(u) / rate;
+}
+
+double Rng::pareto(double xm, double alpha) noexcept {
+  double u = uniform();
+  while (u <= 1e-300) u = uniform();
+  return xm / std::pow(u, 1.0 / alpha);
+}
+
+std::size_t Rng::categorical(std::span<const double> weights) noexcept {
+  double total = 0.0;
+  for (const double w : weights) total += (w > 0.0 ? w : 0.0);
+  if (total <= 0.0 || weights.empty()) return 0;
+  const double target = uniform() * total;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    acc += (weights[i] > 0.0 ? weights[i] : 0.0);
+    if (target < acc) return i;
+  }
+  return weights.size() - 1;
+}
+
+}  // namespace lejit::util

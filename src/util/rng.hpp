@@ -1,0 +1,117 @@
+// Deterministic pseudo-random number generation for all stochastic components.
+//
+// Every experiment in this repository is seeded, so results are reproducible
+// run-to-run. We use our own small PCG32 generator instead of <random>'s
+// engines so that streams are stable across standard-library implementations.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace lejit::util {
+
+// PCG32 (Melissa O'Neill, pcg-random.org, Apache-2.0 reference algorithm).
+// 64-bit state, 32-bit output, period 2^64. Satisfies
+// std::uniform_random_bit_generator.
+class Rng {
+ public:
+  using result_type = std::uint32_t;
+
+  explicit Rng(std::uint64_t seed = 0x853c49e6748fea9bULL,
+               std::uint64_t stream = 0xda3e39cb94b95bdbULL) noexcept {
+    state_ = 0;
+    inc_ = (stream << 1u) | 1u;
+    next_u32();
+    state_ += seed;
+    next_u32();
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() noexcept { return next_u32(); }
+
+  std::uint32_t next_u32() noexcept {
+    const std::uint64_t old = state_;
+    state_ = old * 6364136223846793005ULL + inc_;
+    const auto xorshifted =
+        static_cast<std::uint32_t>(((old >> 18u) ^ old) >> 27u);
+    const auto rot = static_cast<std::uint32_t>(old >> 59u);
+    return (xorshifted >> rot) | (xorshifted << ((32u - rot) & 31u));
+  }
+
+  std::uint64_t next_u64() noexcept {
+    return (static_cast<std::uint64_t>(next_u32()) << 32) | next_u32();
+  }
+
+  // Uniform integer in [lo, hi], inclusive. Unbiased (Lemire rejection).
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) noexcept {
+    if (lo >= hi) return lo;
+    const auto range = static_cast<std::uint64_t>(hi - lo) + 1;
+    // Rejection sampling on the top of the 64-bit space.
+    const std::uint64_t limit = range * (UINT64_MAX / range);
+    std::uint64_t draw = next_u64();
+    while (draw >= limit) draw = next_u64();
+    return lo + static_cast<std::int64_t>(draw % range);
+  }
+
+  // Uniform double in [0, 1).
+  double uniform() noexcept {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  // Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept {
+    return lo + (hi - lo) * uniform();
+  }
+
+  // Standard normal via Box–Muller (cached second value).
+  double normal() noexcept;
+
+  double normal(double mean, double stddev) noexcept {
+    return mean + stddev * normal();
+  }
+
+  // Exponential with the given rate (lambda > 0).
+  double exponential(double rate) noexcept;
+
+  // Pareto (heavy tail) with scale xm > 0 and shape alpha > 0.
+  double pareto(double xm, double alpha) noexcept;
+
+  // Bernoulli trial.
+  bool bernoulli(double p) noexcept { return uniform() < p; }
+
+  // Sample an index from unnormalized non-negative weights.
+  // Weights summing to zero are an error (no valid choice).
+  std::size_t categorical(std::span<const double> weights) noexcept;
+
+  // Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) noexcept {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const auto j =
+          static_cast<std::size_t>(uniform_int(0, static_cast<std::int64_t>(i) - 1));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  // Derive an independent generator (e.g. one per rack / per worker).
+  Rng fork(std::uint64_t salt) noexcept {
+    return Rng(next_u64() ^ salt, next_u64() | 1u);
+  }
+
+ private:
+  std::uint64_t state_ = 0;
+  std::uint64_t inc_ = 0;
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+}  // namespace lejit::util

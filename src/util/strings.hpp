@@ -1,0 +1,32 @@
+// Small string helpers shared across modules (parsing the row text format,
+// table printing in the bench harnesses).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lejit::util {
+
+// Split on a single character; empty fields are preserved.
+std::vector<std::string_view> split(std::string_view s, char sep);
+
+// Strip leading/trailing ASCII whitespace.
+std::string_view trim(std::string_view s);
+
+// Parse a non-negative decimal integer; nullopt on any non-digit content.
+std::optional<std::int64_t> parse_int(std::string_view s);
+
+// Join with a separator.
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+// Fixed-width left/right padding for table output.
+std::string pad_left(std::string_view s, std::size_t width);
+std::string pad_right(std::string_view s, std::size_t width);
+
+// Format a double with the given precision (no trailing-zero stripping).
+std::string format_double(double v, int precision);
+
+}  // namespace lejit::util

@@ -1,0 +1,26 @@
+// Wall-clock timing for the benchmark harnesses.
+#pragma once
+
+#include <chrono>
+
+namespace lejit::util {
+
+// Monotonic stopwatch. Start on construction; read elapsed time at will.
+class Timer {
+ public:
+  Timer() noexcept : start_(Clock::now()) {}
+
+  void reset() noexcept { start_ = Clock::now(); }
+
+  double elapsed_seconds() const noexcept {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double elapsed_ms() const noexcept { return elapsed_seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace lejit::util

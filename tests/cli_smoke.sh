@@ -1,0 +1,14 @@
+#!/bin/sh
+# End-to-end smoke test of the lejit_cli workflow:
+# generate -> mine -> train (briefly) -> synth -> check must yield 0 violations.
+set -e
+CLI="$1"
+DIR=$(mktemp -d)
+trap 'rm -rf "$DIR"' EXIT
+cd "$DIR"
+"$CLI" generate --racks 6 --windows 30 --seed 3 --out corpus.txt 2>/dev/null
+"$CLI" mine --corpus corpus.txt --out rules.txt 2>/dev/null
+"$CLI" train --corpus corpus.txt --steps 25 --dmodel 32 --heads 2 --dff 48 --out model.bin 2>/dev/null
+"$CLI" synth --model model.bin --rules rules.txt --count 6 --seed 9 2>/dev/null > rows.txt
+test -s rows.txt
+"$CLI" check --rules rules.txt --rows rows.txt

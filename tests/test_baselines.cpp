@@ -1,0 +1,285 @@
+#include <gtest/gtest.h>
+
+#include "baselines/generators.hpp"
+#include "baselines/posthoc.hpp"
+#include "baselines/rejection.hpp"
+#include "baselines/zoom2net.hpp"
+#include "metrics/stats.hpp"
+#include "rules/checker.hpp"
+#include "rules/miner.hpp"
+#include "telemetry/generator.hpp"
+
+namespace lejit::baselines {
+namespace {
+
+using telemetry::Window;
+
+struct Env {
+  telemetry::Dataset dataset;
+  telemetry::Split split;
+  telemetry::RowLayout layout;
+  std::vector<Window> train;
+  std::vector<Window> test;
+  lm::CharTokenizer tokenizer{telemetry::row_alphabet()};
+  std::unique_ptr<lm::NgramModel> model;
+  rules::RuleSet manual;
+};
+
+const Env& env() {
+  static const Env e = [] {
+    Env out;
+    out.dataset = telemetry::generate_dataset(telemetry::GeneratorConfig{
+        .num_racks = 18, .windows_per_rack = 50, .seed = 31});
+    out.split = telemetry::split_by_rack(out.dataset, 3, 7);
+    out.layout = telemetry::telemetry_row_layout(out.dataset.limits);
+    out.train = telemetry::all_windows(out.split.train);
+    out.test = telemetry::all_windows(out.split.test);
+    out.model = std::make_unique<lm::NgramModel>(
+        out.tokenizer.vocab_size(), lm::NgramConfig{.order = 6});
+    for (const Window& w : out.train)
+      out.model->observe(out.tokenizer.encode(telemetry::window_to_row(w)));
+    out.manual = rules::manual_rules(out.layout, out.dataset.limits);
+    return out;
+  }();
+  return e;
+}
+
+// --- Zoom2Net substitute -------------------------------------------------------
+
+TEST(Zoom2Net, ImputesWithTheRightShape) {
+  const Zoom2NetImputer imputer(env().train, env().dataset.limits);
+  const Window out = imputer.impute(env().test.front());
+  EXPECT_EQ(static_cast<int>(out.fine.size()), env().dataset.limits.window);
+  EXPECT_EQ(out.total, env().test.front().total);
+}
+
+TEST(Zoom2Net, CemEnforcesItsManualRules) {
+  const Zoom2NetImputer imputer(env().train, env().dataset.limits);
+  for (std::size_t i = 0; i < env().test.size(); i += 5) {
+    const Window out = imputer.impute(env().test[i]);
+    // Bounds and exact sum must hold after the CEM pass.
+    smt::Int sum = 0;
+    for (const auto v : out.fine) {
+      EXPECT_GE(v, 0);
+      EXPECT_LE(v, env().dataset.limits.bandwidth);
+      sum += v;
+    }
+    EXPECT_EQ(sum, out.total);
+    if (out.ecn > 0 && out.total >= env().dataset.limits.burst_threshold()) {
+      const auto peak = *std::max_element(out.fine.begin(), out.fine.end());
+      EXPECT_GE(peak, env().dataset.limits.burst_threshold());
+    }
+  }
+}
+
+TEST(Zoom2Net, RawRegressorViolatesWhatCemFixes) {
+  const Zoom2NetImputer raw(env().train, env().dataset.limits,
+                            Zoom2NetConfig{.enable_cem = false});
+  std::vector<Window> outputs;
+  for (std::size_t i = 0; i < env().test.size(); i += 3)
+    outputs.push_back(raw.impute(env().test[i]));
+  const auto stats = rules::check_violations(env().manual, outputs);
+  EXPECT_GT(stats.violating_windows, 0u)
+      << "an unconstrained regressor should break exact-accounting rules";
+}
+
+TEST(Zoom2Net, BeatsTheMeanPredictor) {
+  const Zoom2NetImputer imputer(env().train, env().dataset.limits);
+  double model_err = 0, mean_err = 0;
+  double grand_mean = 0;
+  std::size_t count = 0;
+  for (const Window& w : env().train)
+    for (const auto v : w.fine) {
+      grand_mean += static_cast<double>(v);
+      ++count;
+    }
+  grand_mean /= static_cast<double>(count);
+
+  for (const Window& truth : env().test) {
+    const Window pred = imputer.impute(truth);
+    for (std::size_t t = 0; t < truth.fine.size(); ++t) {
+      model_err += std::abs(static_cast<double>(truth.fine[t]) -
+                            static_cast<double>(pred.fine[t]));
+      mean_err +=
+          std::abs(static_cast<double>(truth.fine[t]) - grand_mean);
+    }
+  }
+  EXPECT_LT(model_err, mean_err)
+      << "the regressor must extract signal from the coarse features";
+}
+
+TEST(Zoom2Net, TrainingTimePenaltyCannotGuaranteeCompliance) {
+  // §2.2's training-time paradigm: encode rules into the loss. For the
+  // *differentiable* accounting rule this almost works — with `total` among
+  // the features the least-squares optimum already satisfies Σŷ = total up
+  // to rounding, penalty or not. But (a) exact integer compliance still
+  // fails, and (b) the non-differentiable burst implication cannot be
+  // encoded at all, so rule violations persist — the paper's core criticism
+  // of the paradigm.
+  const Zoom2NetImputer regularized(
+      env().train, env().dataset.limits,
+      Zoom2NetConfig{.enable_cem = false, .sum_penalty = 20.0});
+
+  std::size_t sum_exact = 0, burst_violations = 0, count = 0;
+  for (std::size_t i = 0; i < env().test.size(); i += 2) {
+    const Window& truth = env().test[i];
+    const Window out = regularized.impute(truth);
+    smt::Int sum = 0, peak = 0;
+    for (const auto v : out.fine) {
+      sum += v;
+      peak = std::max(peak, v);
+    }
+    if (sum == truth.total) ++sum_exact;
+    if (out.ecn > 0 && peak < env().dataset.limits.burst_threshold())
+      ++burst_violations;
+    ++count;
+  }
+  // (a) soft penalties get close but do not certify exact accounting...
+  EXPECT_LT(sum_exact, count);
+  // (b) ...and rules outside the differentiable fragment are still broken.
+  EXPECT_GT(burst_violations, 0u)
+      << "a linear loss cannot encode the burst implication";
+}
+
+// --- rejection sampling ----------------------------------------------------------
+
+TEST(Rejection, EventuallyProducesCompliantSample) {
+  RejectionSampler sampler(*env().model, env().tokenizer, env().layout,
+                           env().manual, RejectionConfig{.max_attempts = 300});
+  util::Rng rng(1);
+  const RejectionResult r = sampler.generate(rng);
+  ASSERT_TRUE(r.compliant);
+  EXPECT_GE(r.attempts, 1);
+  EXPECT_TRUE(rules::violated_rules(env().manual, *r.decode.window).empty());
+}
+
+TEST(Rejection, HarderRulesNeedMoreAttempts) {
+  RejectionSampler sampler(*env().model, env().tokenizer, env().layout,
+                           env().manual, RejectionConfig{.max_attempts = 400});
+  util::Rng rng(2);
+  double total_attempts = 0;
+  int runs = 8;
+  for (int i = 0; i < runs; ++i)
+    total_attempts += sampler.generate(rng).attempts;
+  EXPECT_GT(total_attempts / runs, 1.0)
+      << "exact sum accounting is nearly impossible to hit by luck";
+}
+
+TEST(Rejection, BudgetExhaustionReturnsNonCompliant) {
+  RejectionSampler sampler(*env().model, env().tokenizer, env().layout,
+                           env().manual, RejectionConfig{.max_attempts = 1});
+  util::Rng rng(3);
+  const RejectionResult r = sampler.generate(rng);
+  EXPECT_EQ(r.attempts, 1);
+  // With one attempt compliance is overwhelmingly unlikely (sum rule).
+}
+
+// --- post-hoc repair ----------------------------------------------------------------
+
+TEST(PostHoc, RepairsToCompliance) {
+  const PostHocRepairer repairer(env().layout, env().manual);
+  Window w = env().test.front();
+  w.fine[0] = env().dataset.limits.bandwidth + 40;  // break bound + sum
+  const RepairResult r = repairer.repair(w, /*pin_coarse=*/true);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_TRUE(r.changed);
+  EXPECT_TRUE(rules::violated_rules(env().manual, r.window).empty());
+  EXPECT_EQ(r.window.total, w.total) << "coarse fields were pinned";
+}
+
+TEST(PostHoc, CompliantInputIsUntouched) {
+  const PostHocRepairer repairer(env().layout, env().manual);
+  const Window& w = env().test.front();  // real data satisfies manual rules
+  const RepairResult r = repairer.repair(w, true);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_FALSE(r.changed);
+  EXPECT_EQ(r.l1_distance, 0);
+}
+
+TEST(PostHoc, FindsMinimalL1Projection) {
+  // Window sums to total+3 → the cheapest repair moves mass 3.
+  const PostHocRepairer repairer(env().layout, env().manual);
+  Window w = env().test.front();
+  // Force a known perturbation that keeps everything else legal.
+  w.fine.assign(w.fine.size(), 10);
+  w.total = 10 * static_cast<smt::Int>(w.fine.size()) + 3;
+  w.ecn = 0;
+  w.rtx = 0;
+  w.egress = std::min<smt::Int>(w.egress, w.total);
+  const RepairResult r = repairer.repair(w, true);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_EQ(r.l1_distance, 3);
+}
+
+TEST(PostHoc, ReportsInfeasibleContradictions) {
+  const PostHocRepairer repairer(env().layout, env().manual);
+  Window w = env().test.front();
+  w.total = 0;
+  w.ecn = 5;  // burst needed but no volume available
+  w.egress = 0;
+  w.fine.assign(w.fine.size(), 0);
+  const RepairResult r = repairer.repair(w, true);
+  EXPECT_FALSE(r.feasible);
+}
+
+// --- synthesis generator substitutes ---------------------------------------------
+
+TEST(Generators, AllFiveFitAndSample) {
+  const auto gens = make_all_generators(env().train, env().dataset.limits);
+  ASSERT_EQ(gens.size(), 5u);
+  util::Rng rng(4);
+  const auto ubs = telemetry::coarse_upper_bounds(env().dataset.limits);
+  for (const auto& g : gens) {
+    // The autoregressive substitute is only digit-capacity bounded — it can
+    // (and does) emit out-of-domain values; that is part of what Fig. 5's
+    // compliance comparison measures.
+    const bool strict = g->name() != "REaLTabFormer*";
+    for (int i = 0; i < 40; ++i) {
+      const Window w = g->sample(rng);
+      const auto coarse = telemetry::coarse_values(w);
+      for (int f = 0; f < telemetry::kNumCoarse; ++f) {
+        EXPECT_GE(coarse[static_cast<std::size_t>(f)], 0) << g->name();
+        if (strict) {
+          EXPECT_LE(coarse[static_cast<std::size_t>(f)],
+                    ubs[static_cast<std::size_t>(f)])
+              << g->name();
+        }
+      }
+    }
+  }
+}
+
+TEST(Generators, MarginalsTrackTheTrainingDistribution) {
+  const auto gens = make_all_generators(env().train, env().dataset.limits);
+  util::Rng rng(5);
+  std::vector<std::int64_t> train_totals;
+  for (const Window& w : env().train) train_totals.push_back(w.total);
+
+  for (const auto& g : gens) {
+    std::vector<std::int64_t> gen_totals;
+    for (int i = 0; i < 400; ++i) gen_totals.push_back(g->sample(rng).total);
+    const double d = metrics::jsd_samples(train_totals, gen_totals);
+    EXPECT_LT(d, 0.25) << g->name() << " total-field JSD " << d;
+  }
+}
+
+TEST(Generators, SotaGeneratorsViolateMinedRules) {
+  // The paper's Fig. 5 claim: tailored generators produce high-fidelity
+  // samples but break mined rules; none of them has a compliance mechanism.
+  const auto mined =
+      rules::mine_rules(env().train, env().layout, env().dataset.limits)
+          .rules.coarse_only();
+  const auto gens = make_all_generators(env().train, env().dataset.limits);
+  util::Rng rng(6);
+  bool some_generator_violates = false;
+  for (const auto& g : gens) {
+    std::vector<Window> samples;
+    for (int i = 0; i < 120; ++i) samples.push_back(g->sample(rng));
+    const auto stats = rules::check_violations(mined, samples);
+    if (stats.violating_windows > 0) some_generator_violates = true;
+  }
+  EXPECT_TRUE(some_generator_violates);
+}
+
+}  // namespace
+}  // namespace lejit::baselines

@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include "core/batch.hpp"
+#include "lm/ngram.hpp"
+#include "rules/checker.hpp"
+#include "rules/miner.hpp"
+#include "telemetry/generator.hpp"
+#include "telemetry/text.hpp"
+
+namespace lejit::core {
+namespace {
+
+using telemetry::Window;
+
+struct Env {
+  telemetry::Dataset dataset;
+  telemetry::RowLayout layout;
+  std::vector<Window> train;
+  lm::CharTokenizer tokenizer{telemetry::row_alphabet()};
+  std::unique_ptr<lm::NgramModel> model;
+  rules::RuleSet mined;
+};
+
+const Env& env() {
+  static const Env e = [] {
+    Env out;
+    out.dataset = telemetry::generate_dataset(telemetry::GeneratorConfig{
+        .num_racks = 10, .windows_per_rack = 40, .seed = 77});
+    out.layout = telemetry::telemetry_row_layout(out.dataset.limits);
+    out.train = telemetry::all_windows(out.dataset);
+    out.model = std::make_unique<lm::NgramModel>(
+        out.tokenizer.vocab_size(), lm::NgramConfig{.order = 6});
+    for (const Window& w : out.train)
+      out.model->observe(out.tokenizer.encode(telemetry::window_to_row(w)));
+    out.mined =
+        rules::mine_rules(out.train, out.layout, out.dataset.limits).rules;
+    return out;
+  }();
+  return e;
+}
+
+DecoderFactory lejit_factory() {
+  return [] {
+    return std::make_unique<GuidedDecoder>(
+        *env().model, env().tokenizer, env().layout, env().mined,
+        DecoderConfig{.mode = GuidanceMode::kFull});
+  };
+}
+
+TEST(Batch, SynthesisProducesCompliantRows) {
+  const BatchReport report =
+      synthesize_batch(lejit_factory(), 12, BatchConfig{.threads = 3});
+  ASSERT_EQ(report.results.size(), 12u);
+  EXPECT_EQ(report.ok, 12u);
+  EXPECT_EQ(report.dead_ends, 0u);
+  for (const auto& r : report.results) {
+    ASSERT_TRUE(r.ok);
+    EXPECT_TRUE(rules::violated_rules(env().mined, *r.window).empty());
+  }
+  EXPECT_GT(report.wall_seconds, 0.0);
+}
+
+TEST(Batch, ImputationKeepsInputOrderAndPrompts) {
+  std::vector<Window> windows(env().train.begin(), env().train.begin() + 10);
+  const BatchReport report =
+      impute_batch(lejit_factory(), windows, BatchConfig{.threads = 4});
+  ASSERT_EQ(report.results.size(), windows.size());
+  for (std::size_t i = 0; i < windows.size(); ++i) {
+    const auto& r = report.results[i];
+    if (!r.ok) continue;  // infeasible prompts possible
+    EXPECT_EQ(r.window->total, windows[i].total) << "order scrambled at " << i;
+  }
+}
+
+TEST(Batch, ScheduleIndependentDeterminism) {
+  const BatchReport a =
+      synthesize_batch(lejit_factory(), 8, BatchConfig{.threads = 1, .seed = 5});
+  const BatchReport b =
+      synthesize_batch(lejit_factory(), 8, BatchConfig{.threads = 4, .seed = 5});
+  ASSERT_EQ(a.results.size(), b.results.size());
+  for (std::size_t i = 0; i < a.results.size(); ++i)
+    EXPECT_EQ(a.results[i].text, b.results[i].text) << "index " << i;
+}
+
+TEST(Batch, DifferentSeedsDiffer) {
+  const BatchReport a =
+      synthesize_batch(lejit_factory(), 4, BatchConfig{.threads = 2, .seed = 1});
+  const BatchReport b =
+      synthesize_batch(lejit_factory(), 4, BatchConfig{.threads = 2, .seed = 2});
+  int same = 0;
+  for (std::size_t i = 0; i < a.results.size(); ++i)
+    if (a.results[i].text == b.results[i].text) ++same;
+  EXPECT_LT(same, 4);
+}
+
+TEST(Batch, EmptyInputIsANoOp) {
+  const BatchReport report = impute_batch(lejit_factory(), {}, {});
+  EXPECT_TRUE(report.results.empty());
+  EXPECT_EQ(report.ok, 0u);
+}
+
+TEST(Batch, NullFactoryRejected) {
+  EXPECT_THROW(synthesize_batch(nullptr, 3, {}), util::PreconditionError);
+}
+
+TEST(Batch, WorkerExceptionSurfaces) {
+  const DecoderFactory throwing = []() -> std::unique_ptr<GuidedDecoder> {
+    throw util::RuntimeError("factory exploded");
+  };
+  EXPECT_THROW(synthesize_batch(throwing, 3, {}), util::RuntimeError);
+}
+
+}  // namespace
+}  // namespace lejit::core

@@ -1,0 +1,156 @@
+#include <gtest/gtest.h>
+
+#include "core/transition.hpp"
+#include "smt/solver.hpp"
+#include "util/rng.hpp"
+
+namespace lejit::core {
+namespace {
+
+TEST(DigitsFor, KnownValues) {
+  EXPECT_EQ(digits_for(0), 1);
+  EXPECT_EQ(digits_for(9), 1);
+  EXPECT_EQ(digits_for(10), 2);
+  EXPECT_EQ(digits_for(96), 2);
+  EXPECT_EQ(digits_for(100), 3);
+  EXPECT_EQ(digits_for(999), 3);
+  EXPECT_THROW(digits_for(-1), util::PreconditionError);
+}
+
+TEST(DigitPrefix, CanonicalZeroCannotExtend) {
+  const DigitPrefix zero{0, 1};
+  EXPECT_FALSE(zero.can_extend(3));
+  const DigitPrefix one{1, 1};
+  EXPECT_TRUE(one.can_extend(3));
+  EXPECT_FALSE(one.can_extend(1));
+}
+
+TEST(DigitPrefix, ExtendedAccumulates) {
+  DigitPrefix p;
+  p = p.extended(4);
+  p = p.extended(2);
+  EXPECT_EQ(p.value, 42);
+  EXPECT_EQ(p.digits, 2);
+}
+
+// Enumerate the exact completion set of a prefix by brute force.
+std::vector<smt::Int> completions(const DigitPrefix& p, int max_digits) {
+  std::vector<smt::Int> out{p.value};
+  if (p.can_extend(max_digits)) {
+    smt::Int scale = 1;
+    for (int m = 1; m <= max_digits - p.digits; ++m) {
+      scale *= 10;
+      for (smt::Int v = p.value * scale; v < p.value * scale + scale; ++v)
+        out.push_back(v);
+    }
+  }
+  return out;
+}
+
+// Property: prefix_completion_formula is satisfied by exactly the canonical
+// completions of the prefix, for all small prefixes.
+class CompletionFormulaProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(CompletionFormulaProperty, MatchesEnumeration) {
+  const int max_digits = GetParam();
+  smt::Int domain_hi = 1;
+  for (int i = 0; i < max_digits; ++i) domain_hi *= 10;
+  --domain_hi;
+
+  for (int first = 0; first <= 9; ++first) {
+    for (int second = -1; second <= 9; ++second) {
+      DigitPrefix p;
+      p = p.extended(first);
+      if (second >= 0) {
+        if (!p.can_extend(max_digits)) continue;
+        p = p.extended(second);
+      }
+      if (p.digits > max_digits) continue;
+
+      smt::Solver solver;
+      const smt::VarId v = solver.add_var("v", 0, domain_hi);
+      const smt::Formula f = prefix_completion_formula(v, p, max_digits);
+
+      std::vector<bool> expected(static_cast<std::size_t>(domain_hi) + 1, false);
+      for (const smt::Int c : completions(p, max_digits))
+        if (c <= domain_hi) expected[static_cast<std::size_t>(c)] = true;
+
+      for (smt::Int val = 0; val <= domain_hi; ++val) {
+        const bool sat = f->eval({val});
+        EXPECT_EQ(sat, expected[static_cast<std::size_t>(val)])
+            << "prefix " << p.value << " (" << p.digits << " digits), value "
+            << val;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Budgets, CompletionFormulaProperty,
+                         ::testing::Values(1, 2, 3));
+
+TEST(CompletionFormula, RespectsConstraintsThroughSolver) {
+  // Domain [0,99], rule v >= 55. Prefix "5" must be completable (55..59),
+  // prefix "4" must not (only 4, 40..49 reachable).
+  smt::Solver solver;
+  const smt::VarId v = solver.add_var("v", 0, 99);
+  solver.add(smt::ge(smt::LinExpr(v), smt::LinExpr(55)));
+
+  const smt::Formula five =
+      prefix_completion_formula(v, DigitPrefix{5, 1}, 2);
+  EXPECT_EQ(solver.check_assuming(std::span(&five, 1)),
+            smt::CheckResult::kSat);
+
+  const smt::Formula four =
+      prefix_completion_formula(v, DigitPrefix{4, 1}, 2);
+  EXPECT_EQ(solver.check_assuming(std::span(&four, 1)),
+            smt::CheckResult::kUnsat);
+}
+
+TEST(CompletionFormula, RejectsEmptyPrefix) {
+  smt::Solver solver;
+  const smt::VarId v = solver.add_var("v", 0, 9);
+  EXPECT_THROW(prefix_completion_formula(v, DigitPrefix{}, 1),
+               util::PreconditionError);
+}
+
+TEST(CompletionIntersects, AgreesWithEnumeration) {
+  for (const int max_digits : {1, 2}) {
+    smt::Int domain_hi = max_digits == 1 ? 9 : 99;
+    for (int first = 0; first <= 9; ++first) {
+      DigitPrefix p;
+      p = p.extended(first);
+      for (smt::Int lo = 0; lo <= domain_hi; lo += 7) {
+        for (smt::Int hi = lo; hi <= domain_hi; hi += 11) {
+          const smt::Interval hull{lo, hi};
+          bool expected = false;
+          for (const smt::Int c : completions(p, max_digits))
+            if (hull.contains(c)) expected = true;
+          EXPECT_EQ(completion_intersects(p, max_digits, hull), expected)
+              << "prefix " << p.value << " hull [" << lo << "," << hi << "]";
+        }
+      }
+    }
+  }
+}
+
+TEST(CompletionIntersects, EmptyHullAndHolePrefix) {
+  const DigitPrefix p{1, 1};
+  EXPECT_FALSE(completion_intersects(p, 2, smt::Interval::empty()));
+  // Completions of "2" with 2 digits: {2, 20..29}; hull {5..15} misses all
+  // but... 2 is below, 20 above? No: hull [5,15] contains none of {2,20..29}.
+  EXPECT_FALSE(completion_intersects(DigitPrefix{2, 1}, 2,
+                                     smt::Interval{5, 15}));
+  // But {3..25} catches 20..25.
+  EXPECT_TRUE(completion_intersects(DigitPrefix{2, 1}, 2,
+                                    smt::Interval{3, 25}));
+}
+
+TEST(SyntacticCheck, Basics) {
+  EXPECT_TRUE(prefix_syntactically_ok(DigitPrefix{5, 1}, 2));
+  EXPECT_TRUE(prefix_syntactically_ok(DigitPrefix{55, 2}, 2));
+  EXPECT_FALSE(prefix_syntactically_ok(DigitPrefix{555, 3}, 2));
+  EXPECT_FALSE(prefix_syntactically_ok(DigitPrefix{}, 2));
+}
+
+}  // namespace
+}  // namespace lejit::core

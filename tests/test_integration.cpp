@@ -1,0 +1,217 @@
+// Cross-module integration tests: the full pipeline
+// (generate fleet → mine rules → train LM → LeJIT decode → check)
+// exercised across schema configurations, model families, and baselines.
+#include <gtest/gtest.h>
+
+#include "baselines/posthoc.hpp"
+#include "core/decoder.hpp"
+#include "lm/ngram.hpp"
+#include "lm/trainer.hpp"
+#include "rules/checker.hpp"
+#include "rules/miner.hpp"
+#include "telemetry/generator.hpp"
+
+namespace lejit {
+namespace {
+
+using telemetry::Window;
+
+// A self-contained pipeline for arbitrary schema limits.
+struct Pipeline {
+  explicit Pipeline(const telemetry::Limits& limits, std::uint64_t seed) {
+    telemetry::GeneratorConfig gen;
+    gen.limits = limits;
+    gen.num_racks = 10;
+    gen.windows_per_rack = 40;
+    gen.seed = seed;
+    dataset = telemetry::generate_dataset(gen);
+    layout = telemetry::telemetry_row_layout(limits);
+    train = telemetry::all_windows(dataset);
+    model = std::make_unique<lm::NgramModel>(tokenizer.vocab_size(),
+                                             lm::NgramConfig{.order = 6});
+    for (const Window& w : train)
+      model->observe(tokenizer.encode(telemetry::window_to_row(w)));
+    mined = rules::mine_rules(train, layout, dataset.limits).rules;
+  }
+
+  telemetry::Dataset dataset;
+  telemetry::RowLayout layout;
+  std::vector<Window> train;
+  lm::CharTokenizer tokenizer{telemetry::row_alphabet()};
+  std::unique_ptr<lm::NgramModel> model;
+  rules::RuleSet mined;
+};
+
+struct SchemaCase {
+  int window;
+  telemetry::Int bandwidth;
+};
+
+class PipelineAcrossSchemas : public ::testing::TestWithParam<SchemaCase> {};
+
+TEST_P(PipelineAcrossSchemas, LeJitCompliesUnderEverySchema) {
+  telemetry::Limits limits;
+  limits.window = GetParam().window;
+  limits.bandwidth = GetParam().bandwidth;
+  const Pipeline p(limits, 1000 + static_cast<std::uint64_t>(GetParam().window));
+
+  core::GuidedDecoder dec(*p.model, p.tokenizer, p.layout, p.mined,
+                          core::DecoderConfig{.mode = core::GuidanceMode::kFull});
+  util::Rng rng(5);
+  int produced = 0;
+  for (int i = 0; i < 8; ++i) {
+    const auto r = dec.generate(rng);
+    ASSERT_TRUE(r.ok) << "window=" << limits.window
+                      << " bw=" << limits.bandwidth << ": " << r.text;
+    ASSERT_EQ(static_cast<int>(r.window->fine.size()), limits.window);
+    EXPECT_TRUE(rules::violated_rules(p.mined, *r.window).empty()) << r.text;
+    ++produced;
+  }
+  EXPECT_EQ(produced, 8);
+}
+
+TEST_P(PipelineAcrossSchemas, GrammarModeProducesParseableRows) {
+  telemetry::Limits limits;
+  limits.window = GetParam().window;
+  limits.bandwidth = GetParam().bandwidth;
+  const Pipeline p(limits, 2000 + static_cast<std::uint64_t>(GetParam().window));
+
+  core::GuidedDecoder dec(*p.model, p.tokenizer, p.layout, rules::RuleSet{},
+                          core::DecoderConfig{.mode = core::GuidanceMode::kSyntax});
+  util::Rng rng(6);
+  for (int i = 0; i < 8; ++i) {
+    const auto r = dec.generate(rng);
+    ASSERT_TRUE(r.ok);
+    EXPECT_EQ(static_cast<int>(r.window->fine.size()), limits.window);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Schemas, PipelineAcrossSchemas,
+    ::testing::Values(SchemaCase{3, 50}, SchemaCase{4, 96}, SchemaCase{5, 96},
+                      SchemaCase{6, 200}, SchemaCase{8, 75}),
+    [](const auto& info) {
+      return "w" + std::to_string(info.param.window) + "bw" +
+             std::to_string(info.param.bandwidth);
+    });
+
+TEST(PipelineDeterminism, SameSeedsSameRows) {
+  telemetry::Limits limits;
+  const Pipeline p(limits, 7);
+  core::GuidedDecoder a(*p.model, p.tokenizer, p.layout, p.mined,
+                        core::DecoderConfig{.mode = core::GuidanceMode::kFull});
+  core::GuidedDecoder b(*p.model, p.tokenizer, p.layout, p.mined,
+                        core::DecoderConfig{.mode = core::GuidanceMode::kFull});
+  util::Rng ra(9), rb(9);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(a.generate(ra).text, b.generate(rb).text);
+}
+
+TEST(TransformerPipeline, GuidedNanoGptCompliesAfterBriefTraining) {
+  telemetry::Limits limits;
+  const Pipeline p(limits, 21);
+
+  // Tiny but real training run (seconds).
+  util::Rng init_rng(1);
+  lm::Transformer model(
+      lm::TransformerConfig{.vocab_size = p.tokenizer.vocab_size(),
+                            .d_model = 32,
+                            .n_layers = 1,
+                            .n_heads = 2,
+                            .d_ff = 48,
+                            .max_seq = 64},
+      init_rng);
+  std::vector<std::vector<int>> rows;
+  for (const Window& w : p.train)
+    rows.push_back(p.tokenizer.encode(telemetry::window_to_row(w)));
+  util::Rng train_rng(2);
+  lm::train_lm(model, rows,
+               lm::TrainConfig{.steps = 30,
+                               .batch_size = 8,
+                               .adam = lm::AdamConfig{.lr = 3e-3f},
+                               .warmup_steps = 5},
+               train_rng);
+
+  core::GuidedDecoder dec(model, p.tokenizer, p.layout, p.mined,
+                          core::DecoderConfig{.mode = core::GuidanceMode::kFull});
+  util::Rng rng(3);
+  for (int i = 0; i < 3; ++i) {
+    const auto r = dec.generate(rng);
+    ASSERT_TRUE(r.ok) << r.text;
+    EXPECT_TRUE(rules::violated_rules(p.mined, *r.window).empty()) << r.text;
+  }
+}
+
+TEST(TransformerPipeline, CheckpointRoundTripPreservesDecoding) {
+  telemetry::Limits limits;
+  const Pipeline p(limits, 22);
+  util::Rng init_rng(4);
+  lm::Transformer model(
+      lm::TransformerConfig{.vocab_size = p.tokenizer.vocab_size(),
+                            .d_model = 32,
+                            .n_layers = 1,
+                            .n_heads = 2,
+                            .d_ff = 48,
+                            .max_seq = 64},
+      init_rng);
+  const std::string path = ::testing::TempDir() + "pipeline_ckpt.bin";
+  model.save(path);
+  const lm::Transformer loaded = lm::Transformer::load(path);
+
+  core::GuidedDecoder original(model, p.tokenizer, p.layout, p.mined,
+                               core::DecoderConfig{.mode = core::GuidanceMode::kFull});
+  core::GuidedDecoder restored(loaded, p.tokenizer, p.layout, p.mined,
+                               core::DecoderConfig{.mode = core::GuidanceMode::kFull});
+  util::Rng ra(5), rb(5);
+  for (int i = 0; i < 3; ++i)
+    EXPECT_EQ(original.generate(ra).text, restored.generate(rb).text);
+}
+
+TEST(RepairPipeline, PostHocFixesGuidedGrammarOutput) {
+  telemetry::Limits limits;
+  const Pipeline p(limits, 23);
+  core::GuidedDecoder grammar(*p.model, p.tokenizer, p.layout,
+                              rules::RuleSet{},
+                              core::DecoderConfig{.mode = core::GuidanceMode::kSyntax});
+  const baselines::PostHocRepairer repairer(p.layout, p.mined);
+  util::Rng rng(6);
+  int repaired = 0;
+  for (int i = 0; i < 6; ++i) {
+    const auto r = grammar.generate(rng);
+    ASSERT_TRUE(r.ok);
+    const auto fixed = repairer.repair(*r.window, /*pin_coarse=*/false);
+    if (!fixed.feasible) continue;
+    ++repaired;
+    EXPECT_TRUE(rules::violated_rules(p.mined, fixed.window).empty());
+  }
+  EXPECT_GT(repaired, 0);
+}
+
+TEST(TaskSwap, SameModelServesImputationAndSynthesis) {
+  // The paper's §4 headline: one trained model, two tasks, selected by rules.
+  telemetry::Limits limits;
+  const Pipeline p(limits, 24);
+  const rules::RuleSet coarse = p.mined.coarse_only();
+  ASSERT_FALSE(coarse.empty());
+
+  core::GuidedDecoder imputer(*p.model, p.tokenizer, p.layout, p.mined,
+                              core::DecoderConfig{.mode = core::GuidanceMode::kFull});
+  core::GuidedDecoder synthesizer(*p.model, p.tokenizer, p.layout, coarse,
+                                  core::DecoderConfig{.mode = core::GuidanceMode::kFull});
+  util::Rng rng(7);
+
+  const Window& truth = p.train.front();
+  const auto imputed =
+      imputer.generate(rng, telemetry::imputation_prompt(truth));
+  ASSERT_TRUE(imputed.ok || imputed.infeasible_prompt);
+  if (imputed.ok) {
+    EXPECT_EQ(imputed.window->total, truth.total);
+    EXPECT_TRUE(rules::violated_rules(p.mined, *imputed.window).empty());
+  }
+
+  const auto synthesized = synthesizer.generate(rng);
+  ASSERT_TRUE(synthesized.ok);
+  EXPECT_TRUE(rules::violated_rules(coarse, *synthesized.window).empty());
+}
+
+}  // namespace
+}  // namespace lejit

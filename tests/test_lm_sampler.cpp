@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "lm/sampler.hpp"
+
+namespace lejit::lm {
+namespace {
+
+TEST(Softmax, SumsToOne) {
+  const std::vector<float> logits{1.0f, 2.0f, 3.0f};
+  const auto p = softmax(logits, 1.0);
+  double sum = 0;
+  for (const double v : p) sum += v;
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+  EXPECT_GT(p[2], p[1]);
+  EXPECT_GT(p[1], p[0]);
+}
+
+TEST(Softmax, TemperatureSharpens) {
+  const std::vector<float> logits{1.0f, 2.0f};
+  const auto cold = softmax(logits, 0.25);
+  const auto hot = softmax(logits, 4.0);
+  EXPECT_GT(cold[1], hot[1]);
+}
+
+TEST(Softmax, ZeroTemperatureIsArgmax) {
+  const std::vector<float> logits{1.0f, 5.0f, 3.0f};
+  const auto p = softmax(logits, 0.0);
+  EXPECT_EQ(p[1], 1.0);
+  EXPECT_EQ(p[0] + p[2], 0.0);
+}
+
+TEST(Softmax, NumericallyStableForLargeLogits) {
+  const std::vector<float> logits{1000.0f, 1001.0f};
+  const auto p = softmax(logits, 1.0);
+  EXPECT_TRUE(std::isfinite(p[0]));
+  EXPECT_NEAR(p[0] + p[1], 1.0, 1e-12);
+}
+
+TEST(SampleToken, GreedyPicksArgmax) {
+  util::Rng rng(1);
+  const std::vector<float> logits{0.1f, 2.0f, -1.0f};
+  EXPECT_EQ(sample_token(logits, {.temperature = 0.0}, rng), 1);
+}
+
+TEST(SampleToken, RespectsMask) {
+  util::Rng rng(2);
+  const std::vector<float> logits{10.0f, 0.0f, -5.0f};
+  const std::vector<char> raw{0, 1, 1};
+  bool mask_arr[3] = {false, true, true};
+  for (int i = 0; i < 50; ++i) {
+    const int t = sample_token(logits, {.temperature = 1.0}, rng,
+                               std::span<const bool>(mask_arr, 3));
+    EXPECT_NE(t, 0);
+  }
+  (void)raw;
+}
+
+TEST(SampleToken, MaskAllowingNothingThrows) {
+  util::Rng rng(3);
+  const std::vector<float> logits{1.0f, 2.0f};
+  bool mask_arr[2] = {false, false};
+  EXPECT_THROW(sample_token(logits, {}, rng, std::span<const bool>(mask_arr, 2)),
+               util::PreconditionError);
+}
+
+TEST(SampleToken, MaskSizeMismatchThrows) {
+  util::Rng rng(3);
+  const std::vector<float> logits{1.0f, 2.0f};
+  bool mask_arr[1] = {true};
+  EXPECT_THROW(sample_token(logits, {}, rng, std::span<const bool>(mask_arr, 1)),
+               util::PreconditionError);
+}
+
+TEST(SampleToken, TopKTruncates) {
+  util::Rng rng(4);
+  const std::vector<float> logits{5.0f, 4.0f, -20.0f, -20.0f};
+  for (int i = 0; i < 100; ++i) {
+    const int t = sample_token(logits, {.temperature = 1.0, .top_k = 2}, rng);
+    EXPECT_LT(t, 2);
+  }
+}
+
+TEST(SampleToken, SamplingFollowsDistribution) {
+  util::Rng rng(5);
+  // p(1)/p(0) = e^2 ≈ 7.39
+  const std::vector<float> logits{0.0f, 2.0f};
+  int count1 = 0;
+  constexpr int kN = 5000;
+  for (int i = 0; i < kN; ++i)
+    count1 += sample_token(logits, {.temperature = 1.0}, rng);
+  const double frac = static_cast<double>(count1) / kN;
+  EXPECT_NEAR(frac, std::exp(2.0) / (1.0 + std::exp(2.0)), 0.03);
+}
+
+TEST(SampleToken, MaskedRenormalizationPreservesRelativeOdds) {
+  util::Rng rng(6);
+  // Mask removes index 0; ratio between 1 and 2 must be preserved.
+  const std::vector<float> logits{9.0f, 1.0f, 0.0f};
+  bool mask_arr[3] = {false, true, true};
+  int count1 = 0;
+  constexpr int kN = 5000;
+  for (int i = 0; i < kN; ++i) {
+    const int t = sample_token(logits, {.temperature = 1.0}, rng,
+                               std::span<const bool>(mask_arr, 3));
+    if (t == 1) ++count1;
+  }
+  const double frac = static_cast<double>(count1) / kN;
+  EXPECT_NEAR(frac, std::exp(1.0) / (1.0 + std::exp(1.0)), 0.03);
+}
+
+TEST(AllowedMass, MeasuresMaskedProbability) {
+  const std::vector<float> logits{0.0f, 0.0f, 0.0f, 0.0f};
+  bool mask_arr[4] = {true, true, false, false};
+  EXPECT_NEAR(allowed_mass(logits, std::span<const bool>(mask_arr, 4)), 0.5,
+              1e-12);
+}
+
+}  // namespace
+}  // namespace lejit::lm

@@ -1,0 +1,65 @@
+#include <gtest/gtest.h>
+
+#include "lm/tokenizer.hpp"
+#include "telemetry/text.hpp"
+
+namespace lejit::lm {
+namespace {
+
+TEST(CharTokenizer, RoundTrip) {
+  const CharTokenizer tok("abc123\n");
+  const std::string text = "a1b2c3\n";
+  const auto ids = tok.encode(text);
+  EXPECT_EQ(tok.decode(ids), text);
+}
+
+TEST(CharTokenizer, DeduplicatesAlphabet) {
+  const CharTokenizer tok("aabbcc");
+  EXPECT_EQ(tok.vocab_size(), 3);
+}
+
+TEST(CharTokenizer, RejectsUnknownCharacter) {
+  const CharTokenizer tok("abc");
+  EXPECT_FALSE(tok.has_char('z'));
+  EXPECT_THROW(tok.encode("az"), util::PreconditionError);
+}
+
+TEST(CharTokenizer, RejectsEmptyAlphabet) {
+  EXPECT_THROW(CharTokenizer(""), util::PreconditionError);
+}
+
+TEST(CharTokenizer, DecodeRejectsOutOfRangeId) {
+  const CharTokenizer tok("ab");
+  EXPECT_THROW(tok.decode_char(2), util::PreconditionError);
+  EXPECT_THROW(tok.decode_char(-1), util::PreconditionError);
+}
+
+TEST(CharTokenizer, FromCorpusSortsDistinctChars) {
+  const CharTokenizer tok = CharTokenizer::from_corpus("cba\ncab");
+  EXPECT_EQ(tok.vocab_size(), 4);  // '\n', 'a', 'b', 'c'
+  EXPECT_TRUE(tok.has_char('\n'));
+}
+
+TEST(CharTokenizer, DigitIdsAreNumericOrder) {
+  const CharTokenizer tok(telemetry::row_alphabet());
+  const auto digits = tok.digit_ids();
+  for (int d = 0; d < 10; ++d)
+    EXPECT_EQ(tok.decode_char(digits[static_cast<std::size_t>(d)]),
+              static_cast<char>('0' + d));
+}
+
+TEST(CharTokenizer, NewlineId) {
+  const CharTokenizer with(telemetry::row_alphabet());
+  EXPECT_TRUE(with.newline_id().has_value());
+  const CharTokenizer without("abc");
+  EXPECT_FALSE(without.newline_id().has_value());
+}
+
+TEST(CharTokenizer, CoversRowAlphabet) {
+  const CharTokenizer tok(telemetry::row_alphabet());
+  for (const char c : std::string("T=480 E=12 R=3 C=45 G=180|48 96 30 41 20\n"))
+    EXPECT_TRUE(tok.has_char(c)) << "missing '" << c << "'";
+}
+
+}  // namespace
+}  // namespace lejit::lm

@@ -1,0 +1,182 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "metrics/bursts.hpp"
+#include "metrics/stats.hpp"
+#include "util/rng.hpp"
+
+namespace lejit::metrics {
+namespace {
+
+TEST(Emd, IdenticalSamplesGiveZero) {
+  const std::vector<double> a{1, 2, 3, 4};
+  EXPECT_NEAR(emd(a, a), 0.0, 1e-12);
+}
+
+TEST(Emd, TranslationEqualsShift) {
+  const std::vector<double> a{1, 2, 3, 4};
+  std::vector<double> b = a;
+  for (double& v : b) v += 2.5;
+  EXPECT_NEAR(emd(a, b), 2.5, 1e-12);
+}
+
+TEST(Emd, IsSymmetric) {
+  const std::vector<double> a{0, 0, 1, 5};
+  const std::vector<double> b{2, 2, 3};
+  EXPECT_NEAR(emd(a, b), emd(b, a), 1e-12);
+}
+
+TEST(Emd, HandlesUnequalSizes) {
+  // a = {0,0}, b = {0,0,3}: quantile functions differ on the top third.
+  const std::vector<double> a{0, 0};
+  const std::vector<double> b{0, 0, 3};
+  EXPECT_NEAR(emd(a, b), 1.0, 1e-12);
+}
+
+TEST(Emd, TriangleInequalityOnRandomSamples) {
+  util::Rng rng(3);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<double> a, b, c;
+    for (int i = 0; i < 16; ++i) {
+      a.push_back(rng.uniform(0, 100));
+      b.push_back(rng.uniform(0, 100));
+      c.push_back(rng.uniform(0, 100));
+    }
+    EXPECT_LE(emd(a, c), emd(a, b) + emd(b, c) + 1e-9);
+  }
+}
+
+TEST(Emd, IntOverload) {
+  const std::vector<std::int64_t> a{0, 10};
+  const std::vector<std::int64_t> b{5, 15};
+  EXPECT_NEAR(emd(a, b), 5.0, 1e-12);
+}
+
+TEST(Emd, RejectsEmpty) {
+  const std::vector<double> a{1.0};
+  EXPECT_THROW(emd(a, {}), util::PreconditionError);
+}
+
+TEST(Histogram, NormalizesAndClamps) {
+  const std::vector<std::int64_t> v{0, 5, 10, 100};
+  const auto h = histogram(v, 0, 10, 2);
+  ASSERT_EQ(h.size(), 2u);
+  EXPECT_NEAR(h[0] + h[1], 1.0, 1e-12);
+  // 0 → bin 0; 5 → bin 1; 10 and 100 clamp into the top bin.
+  EXPECT_NEAR(h[0], 0.25, 1e-12);
+  EXPECT_NEAR(h[1], 0.75, 1e-12);
+}
+
+TEST(Jsd, BoundsAndIdentity) {
+  const std::vector<double> p{0.5, 0.5, 0.0};
+  const std::vector<double> q{0.0, 0.0, 1.0};
+  EXPECT_NEAR(jsd(p, p), 0.0, 1e-12);
+  EXPECT_NEAR(jsd(p, q), 1.0, 1e-9);  // disjoint supports saturate at 1 bit
+  EXPECT_NEAR(jsd(p, q), jsd(q, p), 1e-12);
+}
+
+TEST(Jsd, SamplesOverloadDiscriminates) {
+  util::Rng rng(4);
+  std::vector<std::int64_t> a, b, c;
+  for (int i = 0; i < 4000; ++i) {
+    a.push_back(rng.uniform_int(0, 50));
+    b.push_back(rng.uniform_int(0, 50));
+    c.push_back(rng.uniform_int(40, 90));
+  }
+  EXPECT_LT(jsd_samples(a, b), 0.05) << "same distribution, small JSD";
+  EXPECT_GT(jsd_samples(a, c), 0.3) << "shifted distribution, large JSD";
+}
+
+TEST(Quantile, NearestRank) {
+  const std::vector<double> v{10, 20, 30, 40, 50};
+  EXPECT_EQ(quantile(v, 0.0), 10);
+  EXPECT_EQ(quantile(v, 0.5), 30);
+  EXPECT_EQ(quantile(v, 1.0), 50);
+  EXPECT_EQ(quantile(v, 0.99), 50);
+}
+
+TEST(Autocorrelation, ConstantSeriesIsZeroByConvention) {
+  const std::vector<double> v{5, 5, 5, 5};
+  EXPECT_EQ(autocorrelation(v, 1), 0.0);
+}
+
+TEST(Autocorrelation, AlternatingSeriesIsNegativeAtLagOne) {
+  const std::vector<double> v{1, -1, 1, -1, 1, -1, 1, -1};
+  EXPECT_LT(autocorrelation(v, 1), -0.7);
+  EXPECT_GT(autocorrelation(v, 2), 0.6);
+}
+
+TEST(Autocorrelation, LagZeroIsOne) {
+  const std::vector<double> v{1, 3, 2, 5, 4};
+  EXPECT_NEAR(autocorrelation(v, 0), 1.0, 1e-12);
+}
+
+TEST(PairedErrors, MaeAndRmse) {
+  const std::vector<double> t{0, 0, 0, 0};
+  const std::vector<double> p{1, -1, 3, -3};
+  EXPECT_NEAR(mae(t, p), 2.0, 1e-12);
+  EXPECT_NEAR(rmse(t, p), std::sqrt(5.0), 1e-12);
+  EXPECT_THROW(mae(t, {}), util::PreconditionError);
+}
+
+TEST(Bursts, ExtractsMaximalRuns) {
+  const std::vector<std::int64_t> s{10, 50, 60, 10, 70, 10};
+  const auto bursts = extract_bursts(s, 48);
+  ASSERT_EQ(bursts.size(), 2u);
+  EXPECT_EQ(bursts[0].start, 1);
+  EXPECT_EQ(bursts[0].duration, 2);
+  EXPECT_EQ(bursts[0].height, 60);
+  EXPECT_EQ(bursts[1].start, 4);
+  EXPECT_EQ(bursts[1].duration, 1);
+  EXPECT_EQ(bursts[1].height, 70);
+}
+
+TEST(Bursts, RunTouchingTheEndIsClosed) {
+  const std::vector<std::int64_t> s{10, 50, 60};
+  const auto bursts = extract_bursts(s, 48);
+  ASSERT_EQ(bursts.size(), 1u);
+  EXPECT_EQ(bursts[0].duration, 2);
+}
+
+TEST(Bursts, NoBurstsBelowThreshold) {
+  const std::vector<std::int64_t> s{1, 2, 3};
+  EXPECT_TRUE(extract_bursts(s, 48).empty());
+}
+
+TEST(BurstErrors, PerfectAgreementIsZero) {
+  const std::vector<std::int64_t> s{10, 50, 60, 10, 70};
+  const auto e = burst_errors(s, s, 48, 5);
+  EXPECT_EQ(e.count, 0);
+  EXPECT_EQ(e.height, 0);
+  EXPECT_EQ(e.duration, 0);
+  EXPECT_EQ(e.position, 0);
+}
+
+TEST(BurstErrors, MissedBurstIsPenalized) {
+  const std::vector<std::int64_t> truth{10, 90, 10, 10, 10};
+  const std::vector<std::int64_t> pred{10, 10, 10, 10, 10};
+  const auto e = burst_errors(truth, pred, 48, 5);
+  EXPECT_EQ(e.count, 1);
+  EXPECT_GT(e.height, 0);
+  EXPECT_GT(e.position, 0);
+}
+
+TEST(BurstErrors, ShiftedBurstMeasuresPosition) {
+  const std::vector<std::int64_t> truth{90, 10, 10, 10, 10};
+  const std::vector<std::int64_t> pred{10, 10, 10, 90, 10};
+  const auto e = burst_errors(truth, pred, 48, 5);
+  EXPECT_EQ(e.count, 0);
+  EXPECT_EQ(e.position, 3);
+  EXPECT_EQ(e.height, 0);
+}
+
+TEST(BurstErrors, MeanAcrossSeries) {
+  const std::vector<std::vector<std::int64_t>> truths{{90, 10}, {10, 10}};
+  const std::vector<std::vector<std::int64_t>> preds{{90, 10}, {90, 10}};
+  const auto e = mean_burst_errors(truths, preds, 48);
+  EXPECT_NEAR(e.count, 0.5, 1e-12);
+}
+
+}  // namespace
+}  // namespace lejit::metrics

@@ -1,0 +1,196 @@
+#include <gtest/gtest.h>
+
+#include "rules/checker.hpp"
+#include "rules/miner.hpp"
+#include "telemetry/generator.hpp"
+
+namespace lejit::rules {
+namespace {
+
+using telemetry::Dataset;
+using telemetry::GeneratorConfig;
+using telemetry::Limits;
+using telemetry::Window;
+
+struct Env {
+  Dataset dataset;
+  telemetry::Split split;
+  telemetry::RowLayout layout;
+  std::vector<Window> train;
+  std::vector<Window> test;
+};
+
+const Env& env() {
+  static const Env e = [] {
+    Env out;
+    out.dataset = telemetry::generate_dataset(
+        GeneratorConfig{.num_racks = 20, .windows_per_rack = 60, .seed = 11});
+    out.split = telemetry::split_by_rack(out.dataset, 4, 5);
+    out.layout = telemetry::telemetry_row_layout(out.dataset.limits);
+    out.train = telemetry::all_windows(out.split.train);
+    out.test = telemetry::all_windows(out.split.test);
+    return out;
+  }();
+  return e;
+}
+
+TEST(ManualRules, ExactlyFourAndTheyHoldOnRealData) {
+  const RuleSet set = manual_rules(env().layout, env().dataset.limits);
+  ASSERT_EQ(set.size(), 4u);
+  const auto stats = check_violations(set, env().train);
+  EXPECT_EQ(stats.violating_windows, 0u)
+      << "generated data must satisfy the manual rules by construction";
+}
+
+TEST(ManualRules, DetectViolations) {
+  const RuleSet set = manual_rules(env().layout, env().dataset.limits);
+  Window w = env().train.front();
+  w.fine[0] = env().dataset.limits.bandwidth + 50;  // break the bound rule
+  const auto violated = violated_rules(set, w);
+  EXPECT_FALSE(violated.empty());
+}
+
+TEST(ManualRules, CoarseOnlySubset) {
+  const RuleSet set = manual_rules(env().layout, env().dataset.limits);
+  const RuleSet coarse = set.coarse_only();
+  ASSERT_EQ(coarse.size(), 1u);  // only egress <= total is coarse-only
+  EXPECT_EQ(coarse.rules[0].kind, RuleKind::kManual);
+}
+
+TEST(FieldPlumbing, AssignmentMatchesLayoutOrder) {
+  const Window& w = env().train.front();
+  const auto a = field_assignment(w);
+  ASSERT_EQ(static_cast<int>(a.size()), env().layout.num_fields());
+  EXPECT_EQ(a[0], w.total);
+  EXPECT_EQ(a[4], w.egress);
+  EXPECT_EQ(a[5], w.fine[0]);
+  EXPECT_EQ(field_index(env().layout, "total"), 0);
+  EXPECT_EQ(field_index(env().layout, "I0"), 5);
+  EXPECT_EQ(field_index(env().layout, "nope"), -1);
+}
+
+TEST(FieldPlumbing, DeclareFieldsMatchesDomains) {
+  smt::Solver solver;
+  const auto vars = declare_fields(solver, env().layout);
+  ASSERT_EQ(static_cast<int>(vars.size()), env().layout.num_fields());
+  EXPECT_EQ(solver.bounds(vars[0]).hi, env().dataset.limits.total_max());
+  EXPECT_EQ(solver.bounds(vars[5]).hi, env().dataset.limits.bandwidth);
+  EXPECT_THROW(declare_fields(solver, env().layout), util::PreconditionError)
+      << "requires a fresh solver";
+}
+
+TEST(Miner, MinedRulesHoldOnEveryTrainingWindow) {
+  const MinerReport report =
+      mine_rules(env().train, env().layout, env().dataset.limits);
+  ASSERT_GT(report.rules.size(), 0u);
+  const auto stats = check_violations(report.rules, env().train);
+  EXPECT_EQ(stats.rule_violations, 0)
+      << "mining guarantees train-set compliance";
+}
+
+TEST(Miner, ProducesHundredsOfRulesAcrossFamilies) {
+  const MinerReport report =
+      mine_rules(env().train, env().layout, env().dataset.limits);
+  EXPECT_GE(report.rules.size(), 150u);
+  EXPECT_GT(report.bounds, 0u);
+  EXPECT_EQ(report.sums, 1u);
+  EXPECT_GT(report.implications, 50u);
+  EXPECT_GT(report.pairwise, 10u);
+  EXPECT_EQ(report.rules.size(),
+            report.bounds + report.sums + report.implications + report.pairwise);
+}
+
+TEST(Miner, GeneralizesToUnseenRacks) {
+  const MinerReport report =
+      mine_rules(env().train, env().layout, env().dataset.limits);
+  const auto stats = check_violations(report.rules, env().test);
+  // Slack-widened mined rules should transfer almost perfectly.
+  EXPECT_LT(stats.window_rate(), 0.10)
+      << stats.violating_windows << "/" << stats.windows;
+}
+
+TEST(Miner, CoarseOnlySubsetIsSubstantial) {
+  const MinerReport report =
+      mine_rules(env().train, env().layout, env().dataset.limits);
+  const RuleSet coarse = report.rules.coarse_only();
+  EXPECT_GE(coarse.size(), 30u);
+  for (const Rule& r : coarse.rules) EXPECT_FALSE(r.uses_fine);
+}
+
+TEST(Miner, MinedRuleSetIsSatisfiable) {
+  const MinerReport report =
+      mine_rules(env().train, env().layout, env().dataset.limits);
+  smt::Solver solver;
+  declare_fields(solver, env().layout);
+  assert_rules(solver, report.rules);
+  EXPECT_EQ(solver.check(), smt::CheckResult::kSat)
+      << "any training window is a model, so the rule set must be SAT";
+}
+
+TEST(Miner, FamilySwitchesWork) {
+  MinerConfig cfg;
+  cfg.mine_pairwise = false;
+  cfg.mine_conditionals = false;
+  const MinerReport report =
+      mine_rules(env().train, env().layout, env().dataset.limits, cfg);
+  EXPECT_EQ(report.pairwise, 0u);
+  EXPECT_GT(report.bounds, 0u);
+}
+
+TEST(Miner, TighterSlackMeansMoreTestViolations) {
+  MinerConfig tight;
+  tight.slack = 0.0;
+  MinerConfig loose;
+  loose.slack = 0.15;
+  const auto tight_rules =
+      mine_rules(env().train, env().layout, env().dataset.limits, tight);
+  const auto loose_rules =
+      mine_rules(env().train, env().layout, env().dataset.limits, loose);
+  const auto tight_stats = check_violations(tight_rules.rules, env().test);
+  const auto loose_stats = check_violations(loose_rules.rules, env().test);
+  EXPECT_GE(tight_stats.rule_violations, loose_stats.rule_violations);
+}
+
+TEST(Miner, RejectsEmptyTrainSet) {
+  EXPECT_THROW(mine_rules({}, env().layout, env().dataset.limits),
+               util::PreconditionError);
+}
+
+TEST(Merge, UnionsAndDeduplicates) {
+  const RuleSet manual = manual_rules(env().layout, env().dataset.limits);
+  const RuleSet mined =
+      mine_rules(env().train, env().layout, env().dataset.limits).rules;
+  const RuleSet both = merge({&manual, &mined});
+  EXPECT_EQ(both.size(), manual.size() + mined.size());
+  // Self-merge deduplicates completely.
+  const RuleSet twice = merge({&manual, &manual});
+  EXPECT_EQ(twice.size(), manual.size());
+  // Null input rejected.
+  EXPECT_THROW(merge({&manual, nullptr}), util::PreconditionError);
+}
+
+TEST(Merge, MergedSetStillSatisfiable) {
+  const RuleSet manual = manual_rules(env().layout, env().dataset.limits);
+  const RuleSet mined =
+      mine_rules(env().train, env().layout, env().dataset.limits).rules;
+  const RuleSet both = merge({&manual, &mined});
+  smt::Solver solver;
+  declare_fields(solver, env().layout);
+  assert_rules(solver, both);
+  EXPECT_EQ(solver.check(), smt::CheckResult::kSat);
+}
+
+TEST(Checker, RatesAreConsistent) {
+  const RuleSet set = manual_rules(env().layout, env().dataset.limits);
+  std::vector<Window> windows = {env().train[0], env().train[1]};
+  windows[0].fine[0] = -5;  // violates the bound rule (and the sum rule)
+  const auto stats = check_violations(set, windows);
+  EXPECT_EQ(stats.windows, 2u);
+  EXPECT_EQ(stats.violating_windows, 1u);
+  EXPECT_NEAR(stats.window_rate(), 0.5, 1e-12);
+  EXPECT_GT(stats.pair_rate(), 0.0);
+  EXPECT_LT(stats.pair_rate(), 1.0);
+}
+
+}  // namespace
+}  // namespace lejit::rules

@@ -1,0 +1,200 @@
+#include <gtest/gtest.h>
+
+#include "rules/checker.hpp"
+#include "rules/miner.hpp"
+#include "rules/parser.hpp"
+#include "telemetry/generator.hpp"
+#include "smt/solver.hpp"
+
+namespace lejit::rules {
+namespace {
+
+const telemetry::RowLayout& layout() {
+  static const telemetry::RowLayout l =
+      telemetry::telemetry_row_layout(telemetry::Limits{});
+  return l;
+}
+
+telemetry::Window window(telemetry::Int total, telemetry::Int ecn,
+                         telemetry::Int rtx, telemetry::Int conn,
+                         telemetry::Int egress,
+                         std::vector<telemetry::Int> fine) {
+  telemetry::Window w;
+  w.total = total;
+  w.ecn = ecn;
+  w.rtx = rtx;
+  w.conn = conn;
+  w.egress = egress;
+  w.fine = std::move(fine);
+  return w;
+}
+
+TEST(RuleParser, SimpleComparison) {
+  const auto parsed = parse_rules("egress <= total", layout());
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed.rules.size(), 1u);
+  EXPECT_FALSE(parsed.rules.rules[0].uses_fine);
+  const auto v1 = violated_rules(parsed.rules, window(100, 0, 0, 5, 80, {20, 20, 20, 20, 20}));
+  EXPECT_TRUE(v1.empty());
+  const auto v2 = violated_rules(parsed.rules, window(100, 0, 0, 5, 150, {20, 20, 20, 20, 20}));
+  EXPECT_EQ(v2.size(), 1u);
+}
+
+TEST(RuleParser, ThePaperRuleSet) {
+  const auto parsed = parse_rules(
+      "# R2 and R3 from the paper's Fig. 1 (R1 is the field domain)\n"
+      "sum(I) == total\n"
+      "ecn > 0 => max(I) >= 48\n",
+      layout());
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed.rules.size(), 2u);
+  EXPECT_TRUE(parsed.rules.rules[0].uses_fine);
+  EXPECT_TRUE(parsed.rules.rules[1].uses_fine);
+
+  // Compliant: sums match, burst present with ecn > 0.
+  EXPECT_TRUE(violated_rules(parsed.rules,
+                             window(100, 5, 0, 10, 50, {10, 10, 50, 20, 10}))
+                  .empty());
+  // Sum broken.
+  EXPECT_EQ(violated_rules(parsed.rules,
+                           window(100, 0, 0, 10, 50, {10, 10, 10, 10, 10}))
+                .size(),
+            1u);
+  // ecn > 0 but no burst.
+  EXPECT_EQ(violated_rules(parsed.rules,
+                           window(100, 5, 0, 10, 50, {20, 20, 20, 20, 20}))
+                .size(),
+            1u);
+}
+
+TEST(RuleParser, LinearArithmetic) {
+  const auto parsed =
+      parse_rules("2*rtx + 5 <= ecn + 40\n3*I0 - I1 >= 0", layout());
+  ASSERT_TRUE(parsed.ok()) << (parsed.errors.empty()
+                                   ? ""
+                                   : parsed.errors[0].message);
+  ASSERT_EQ(parsed.rules.size(), 2u);
+  EXPECT_TRUE(parsed.rules.rules[1].uses_fine);
+  EXPECT_TRUE(violated_rules(parsed.rules,
+                             window(0, 40, 10, 1, 0, {10, 30, 0, 0, 0}))
+                  .empty());
+  EXPECT_EQ(violated_rules(parsed.rules,
+                           window(0, 40, 10, 1, 0, {10, 31, 0, 0, 0}))
+                .size(),
+            1u);
+}
+
+TEST(RuleParser, MinAndFlippedAggregates) {
+  const auto parsed = parse_rules(
+      "min(I) >= 1\n"
+      "10 <= max(I)\n",  // flipped: aggregate on the right
+      layout());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(violated_rules(parsed.rules, window(0, 0, 0, 1, 0, {1, 2, 3, 4, 15}))
+                  .empty());
+  EXPECT_EQ(violated_rules(parsed.rules, window(0, 0, 0, 1, 0, {0, 2, 3, 4, 15}))
+                .size(),
+            1u);
+  EXPECT_EQ(violated_rules(parsed.rules, window(0, 0, 0, 1, 0, {1, 2, 3, 4, 9}))
+                .size(),
+            1u);
+}
+
+TEST(RuleParser, AggregateEquality) {
+  const auto parsed = parse_rules("max(I) == 50", layout());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(violated_rules(parsed.rules, window(0, 0, 0, 1, 0, {1, 50, 3, 4, 5}))
+                  .empty());
+  EXPECT_FALSE(violated_rules(parsed.rules, window(0, 0, 0, 1, 0, {1, 49, 3, 4, 5}))
+                   .empty());
+  EXPECT_FALSE(violated_rules(parsed.rules, window(0, 0, 0, 1, 0, {1, 51, 3, 4, 5}))
+                   .empty());
+}
+
+TEST(RuleParser, CommentsAndBlankLinesSkipped) {
+  const auto parsed = parse_rules(
+      "\n   \n# a comment\negress <= total   # trailing comment\n\n",
+      layout());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.rules.size(), 1u);
+}
+
+TEST(RuleParser, ErrorsAreReportedWithLineNumbers) {
+  const auto parsed = parse_rules(
+      "egress <= total\n"
+      "bogus_field > 3\n"
+      "ecn >\n"
+      "max(I) ~ 5\n"
+      "max(I) <= min(I)\n",
+      layout());
+  EXPECT_EQ(parsed.rules.size(), 1u);  // only the first line parses
+  ASSERT_EQ(parsed.errors.size(), 4u);
+  EXPECT_EQ(parsed.errors[0].line, 2u);
+  EXPECT_NE(parsed.errors[0].message.find("bogus_field"), std::string::npos);
+  EXPECT_EQ(parsed.errors[1].line, 3u);
+  EXPECT_EQ(parsed.errors[2].line, 4u);
+  EXPECT_EQ(parsed.errors[3].line, 5u);
+  EXPECT_NE(parsed.errors[3].message.find("both sides"), std::string::npos);
+}
+
+TEST(RuleParser, ParsedRulesWorkInsideTheSolver) {
+  const auto parsed = parse_rules(
+      "sum(I) == total\n"
+      "ecn > 0 => max(I) >= 48\n"
+      "egress <= total\n",
+      layout());
+  ASSERT_TRUE(parsed.ok());
+
+  smt::Solver solver;
+  declare_fields(solver, layout());
+  assert_rules(solver, parsed.rules);
+  EXPECT_EQ(solver.check(), smt::CheckResult::kSat);
+
+  // Pin a congested window with a total too small for any burst: UNSAT.
+  solver.add(smt::eq(smt::LinExpr(smt::VarId{field_index(layout(), "total")}),
+                     smt::LinExpr(10)));
+  solver.add(smt::eq(smt::LinExpr(smt::VarId{field_index(layout(), "ecn")}),
+                     smt::LinExpr(3)));
+  EXPECT_EQ(solver.check(), smt::CheckResult::kUnsat);
+}
+
+TEST(RuleParser, MinedRulesRoundTripThroughText) {
+  // Mine → serialize → parse must preserve semantics: both rule sets agree
+  // on which windows violate, window by window.
+  const auto dataset = telemetry::generate_dataset(
+      telemetry::GeneratorConfig{.num_racks = 8, .windows_per_rack = 30,
+                                 .seed = 55});
+  const auto train = telemetry::all_windows(dataset);
+  const auto mined =
+      mine_rules(train, layout(), dataset.limits).rules;
+  ASSERT_GT(mined.size(), 50u);
+
+  const auto reparsed = parse_rules(mined.to_text(), layout());
+  ASSERT_TRUE(reparsed.ok())
+      << "line " << (reparsed.errors.empty() ? 0 : reparsed.errors[0].line)
+      << ": "
+      << (reparsed.errors.empty() ? "" : reparsed.errors[0].message);
+  ASSERT_EQ(reparsed.rules.size(), mined.size());
+
+  util::Rng rng(9);
+  for (int trial = 0; trial < 30; ++trial) {
+    // Mix of real and perturbed windows so both outcomes occur.
+    telemetry::Window w = train[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<telemetry::Int>(train.size()) - 1))];
+    if (trial % 2 == 1) {
+      w.fine[0] = rng.uniform_int(0, 200);
+      w.ecn = rng.uniform_int(0, 255);
+    }
+    EXPECT_EQ(violated_rules(mined, w), violated_rules(reparsed.rules, w))
+        << "trial " << trial;
+  }
+}
+
+TEST(RuleParser, RoundTripDescriptionIsTheSourceLine) {
+  const auto parsed = parse_rules("ecn > 0 => max(I) >= 48", layout());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.rules.rules[0].description, "ecn > 0 => max(I) >= 48");
+}
+
+}  // namespace
+}  // namespace lejit::rules

@@ -1,0 +1,151 @@
+#include <gtest/gtest.h>
+
+#include "smt/formula.hpp"
+#include "util/rng.hpp"
+
+namespace lejit::smt {
+namespace {
+
+TEST(Formula, ConstantFolding) {
+  EXPECT_EQ(le(LinExpr(1), LinExpr(2))->kind(), FormulaKind::kTrue);
+  EXPECT_EQ(le(LinExpr(3), LinExpr(2))->kind(), FormulaKind::kFalse);
+  EXPECT_EQ(eq(LinExpr(2), LinExpr(2))->kind(), FormulaKind::kTrue);
+  EXPECT_EQ(ne(LinExpr(2), LinExpr(2))->kind(), FormulaKind::kFalse);
+}
+
+TEST(Formula, ConnectiveSimplification) {
+  const VarId x{0};
+  const Formula atom = ge(LinExpr(x), LinExpr(1));
+  EXPECT_EQ(land(atom, make_false())->kind(), FormulaKind::kFalse);
+  EXPECT_EQ(lor(atom, make_true())->kind(), FormulaKind::kTrue);
+  // Identity elements vanish; single operand is returned unwrapped.
+  EXPECT_EQ(land(atom, make_true()).get(), atom.get());
+  EXPECT_EQ(lor(atom, make_false()).get(), atom.get());
+  EXPECT_EQ(land(std::vector<Formula>{})->kind(), FormulaKind::kTrue);
+  EXPECT_EQ(lor(std::vector<Formula>{})->kind(), FormulaKind::kFalse);
+}
+
+TEST(Formula, NestedConnectivesFlatten) {
+  const VarId x{0}, y{1};
+  const Formula a = ge(LinExpr(x), LinExpr(1));
+  const Formula b = ge(LinExpr(y), LinExpr(1));
+  const Formula c = le(LinExpr(x), LinExpr(5));
+  const Formula f = land(land(a, b), c);
+  ASSERT_EQ(f->kind(), FormulaKind::kAnd);
+  EXPECT_EQ(f->children().size(), 3u);
+}
+
+TEST(Formula, EvalComparisons) {
+  const VarId x{0};
+  const std::vector<Int> a3{3};
+  EXPECT_TRUE(le(LinExpr(x), LinExpr(3))->eval(a3));
+  EXPECT_FALSE(lt(LinExpr(x), LinExpr(3))->eval(a3));
+  EXPECT_TRUE(ge(LinExpr(x), LinExpr(3))->eval(a3));
+  EXPECT_FALSE(gt(LinExpr(x), LinExpr(3))->eval(a3));
+  EXPECT_TRUE(eq(LinExpr(x), LinExpr(3))->eval(a3));
+  EXPECT_FALSE(ne(LinExpr(x), LinExpr(3))->eval(a3));
+  EXPECT_TRUE(between(LinExpr(x), LinExpr(1), LinExpr(5))->eval(a3));
+  EXPECT_FALSE(between(LinExpr(x), LinExpr(4), LinExpr(5))->eval(a3));
+}
+
+TEST(Formula, ImpliesAndIff) {
+  const VarId x{0}, y{1};
+  const Formula f = implies(gt(LinExpr(x), LinExpr(0)), gt(LinExpr(y), LinExpr(0)));
+  EXPECT_TRUE(f->eval({0, 0}));   // antecedent false
+  EXPECT_TRUE(f->eval({1, 1}));   // both true
+  EXPECT_FALSE(f->eval({1, 0}));  // antecedent true, consequent false
+
+  const Formula g = iff(gt(LinExpr(x), LinExpr(0)), gt(LinExpr(y), LinExpr(0)));
+  EXPECT_TRUE(g->eval({0, 0}));
+  EXPECT_TRUE(g->eval({2, 3}));
+  EXPECT_FALSE(g->eval({2, 0}));
+  EXPECT_FALSE(g->eval({0, 3}));
+}
+
+TEST(Formula, Aggregates) {
+  const std::vector<VarId> vars{VarId{0}, VarId{1}, VarId{2}};
+  const std::vector<Int> a{5, 9, 2};
+  EXPECT_TRUE(max_ge(vars, LinExpr(9))->eval(a));
+  EXPECT_FALSE(max_ge(vars, LinExpr(10))->eval(a));
+  EXPECT_TRUE(max_le(vars, LinExpr(9))->eval(a));
+  EXPECT_FALSE(max_le(vars, LinExpr(8))->eval(a));
+  EXPECT_TRUE(min_le(vars, LinExpr(2))->eval(a));
+  EXPECT_FALSE(min_le(vars, LinExpr(1))->eval(a));
+  EXPECT_TRUE(min_ge(vars, LinExpr(2))->eval(a));
+  EXPECT_FALSE(min_ge(vars, LinExpr(3))->eval(a));
+}
+
+TEST(Formula, AggregateOverEmptySetIsRejected) {
+  EXPECT_THROW(max_ge({}, LinExpr(0)), util::PreconditionError);
+}
+
+TEST(Formula, AbsDiff) {
+  const VarId x{0}, y{1};
+  const Formula f = abs_diff_le(LinExpr(x), LinExpr(y), LinExpr(2));
+  EXPECT_TRUE(f->eval({5, 6}));
+  EXPECT_TRUE(f->eval({6, 5}));
+  EXPECT_TRUE(f->eval({5, 7}));
+  EXPECT_FALSE(f->eval({5, 8}));
+  EXPECT_FALSE(f->eval({8, 5}));
+}
+
+// Build a random small formula over `nvars` variables, depth-bounded.
+Formula random_formula(util::Rng& rng, int nvars, int depth) {
+  if (depth == 0 || rng.bernoulli(0.4)) {
+    // Random atom: c0*x0 + c1*x1 + k  ⋈  0
+    LinExpr e(rng.uniform_int(-5, 5));
+    const int used = static_cast<int>(rng.uniform_int(1, 2));
+    for (int i = 0; i < used; ++i) {
+      const VarId v{static_cast<int>(rng.uniform_int(0, nvars - 1))};
+      e += LinExpr::term(rng.uniform_int(-3, 3), v);
+    }
+    switch (rng.uniform_int(0, 2)) {
+      case 0: return le(e, LinExpr(0));
+      case 1: return eq(e, LinExpr(0));
+      default: return ne(e, LinExpr(0));
+    }
+  }
+  const int arity = static_cast<int>(rng.uniform_int(2, 3));
+  std::vector<Formula> children;
+  for (int i = 0; i < arity; ++i)
+    children.push_back(random_formula(rng, nvars, depth - 1));
+  switch (rng.uniform_int(0, 2)) {
+    case 0: return land(std::move(children));
+    case 1: return lor(std::move(children));
+    default: return implies(children[0], children[1]);
+  }
+}
+
+// Property: structural negation is logical negation, on random formulas and
+// random assignments.
+class FormulaNegationProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(FormulaNegationProperty, LnotComplementsEval) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()));
+  constexpr int kVars = 3;
+  for (int trial = 0; trial < 50; ++trial) {
+    const Formula f = random_formula(rng, kVars, 2);
+    const Formula nf = lnot(f);
+    for (int i = 0; i < 20; ++i) {
+      std::vector<Int> a;
+      for (int v = 0; v < kVars; ++v) a.push_back(rng.uniform_int(-4, 4));
+      EXPECT_NE(f->eval(a), nf->eval(a))
+          << "f = " << f->to_string() << " a = [" << a[0] << "," << a[1]
+          << "," << a[2] << "]";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FormulaNegationProperty,
+                         ::testing::Range(1, 9));
+
+TEST(Formula, ToStringRoundTrips) {
+  const VarId x{0}, y{1};
+  const Formula f = land(le(LinExpr(x), LinExpr(3)), gt(LinExpr(y), LinExpr(x)));
+  const std::string s = f->to_string();
+  EXPECT_NE(s.find("&"), std::string::npos);
+  EXPECT_NE(s.find("v0"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lejit::smt

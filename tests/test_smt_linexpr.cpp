@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include "smt/linexpr.hpp"
+
+namespace lejit::smt {
+namespace {
+
+TEST(LinExpr, ConstantOnly) {
+  const LinExpr e(7);
+  EXPECT_TRUE(e.is_constant());
+  EXPECT_EQ(e.constant(), 7);
+  EXPECT_TRUE(e.terms().empty());
+}
+
+TEST(LinExpr, SingleVariable) {
+  const VarId x{0};
+  const LinExpr e(x);
+  ASSERT_EQ(e.terms().size(), 1u);
+  EXPECT_EQ(e.terms()[0].first, x);
+  EXPECT_EQ(e.terms()[0].second, 1);
+}
+
+TEST(LinExpr, TermBuilder) {
+  const VarId x{2};
+  const LinExpr e = LinExpr::term(5, x);
+  ASSERT_EQ(e.terms().size(), 1u);
+  EXPECT_EQ(e.terms()[0].second, 5);
+}
+
+TEST(LinExpr, ZeroCoefficientTermIsDropped) {
+  const VarId x{1};
+  EXPECT_TRUE(LinExpr::term(0, x).is_constant());
+}
+
+TEST(LinExpr, AdditionMergesTerms) {
+  const VarId x{0}, y{1};
+  const LinExpr e = LinExpr(x) + LinExpr(y) + LinExpr(x) + LinExpr(3);
+  ASSERT_EQ(e.terms().size(), 2u);
+  EXPECT_EQ(e.terms()[0].second, 2);  // 2*x
+  EXPECT_EQ(e.terms()[1].second, 1);  // 1*y
+  EXPECT_EQ(e.constant(), 3);
+}
+
+TEST(LinExpr, SubtractionCancelsToConstant) {
+  const VarId x{0};
+  const LinExpr e = LinExpr(x) + LinExpr(4) - LinExpr(x);
+  EXPECT_TRUE(e.is_constant());
+  EXPECT_EQ(e.constant(), 4);
+}
+
+TEST(LinExpr, ScalarMultiplication) {
+  const VarId x{0};
+  const LinExpr e = 3 * (LinExpr(x) + LinExpr(2));
+  ASSERT_EQ(e.terms().size(), 1u);
+  EXPECT_EQ(e.terms()[0].second, 3);
+  EXPECT_EQ(e.constant(), 6);
+}
+
+TEST(LinExpr, UnaryNegation) {
+  const VarId x{0};
+  const LinExpr e = -(LinExpr(x) - LinExpr(5));
+  EXPECT_EQ(e.terms()[0].second, -1);
+  EXPECT_EQ(e.constant(), 5);
+}
+
+TEST(LinExpr, EvalUnderAssignment) {
+  const VarId x{0}, y{1};
+  const LinExpr e = 2 * LinExpr(x) - 3 * LinExpr(y) + LinExpr(1);
+  const std::vector<Int> assignment{4, 2};
+  EXPECT_EQ(e.eval(assignment), 2 * 4 - 3 * 2 + 1);
+}
+
+TEST(LinExpr, EvalRejectsShortAssignment) {
+  const VarId y{5};
+  const LinExpr e(y);
+  const std::vector<Int> assignment{1, 2};
+  EXPECT_THROW(e.eval(assignment), util::PreconditionError);
+}
+
+TEST(SaturatingArithmetic, AddSaturatesAtBothEnds) {
+  EXPECT_EQ(sat_add(kIntInf, kIntInf), kIntInf);
+  EXPECT_EQ(sat_add(-kIntInf, -kIntInf), -kIntInf);
+  EXPECT_EQ(sat_add(5, 7), 12);
+}
+
+TEST(SaturatingArithmetic, MulSaturates) {
+  EXPECT_EQ(sat_mul(kIntInf, 2), kIntInf);
+  EXPECT_EQ(sat_mul(kIntInf, -2), -kIntInf);
+  EXPECT_EQ(sat_mul(-3, 7), -21);
+  EXPECT_EQ(sat_mul(0, kIntInf), 0);
+}
+
+TEST(Interval, BasicPredicates) {
+  const Interval iv{2, 5};
+  EXPECT_FALSE(iv.is_empty());
+  EXPECT_TRUE(iv.contains(2));
+  EXPECT_TRUE(iv.contains(5));
+  EXPECT_FALSE(iv.contains(6));
+  EXPECT_EQ(iv.width(), 4);
+  EXPECT_TRUE(Interval::empty().is_empty());
+  EXPECT_EQ(Interval::empty().width(), 0);
+  EXPECT_TRUE((Interval{3, 3}).is_singleton());
+}
+
+}  // namespace
+}  // namespace lejit::smt

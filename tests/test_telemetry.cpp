@@ -1,0 +1,167 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "telemetry/generator.hpp"
+#include "telemetry/text.hpp"
+
+namespace lejit::telemetry {
+namespace {
+
+const Dataset& small_dataset() {
+  static const Dataset ds = generate_dataset(GeneratorConfig{
+      .num_racks = 12, .windows_per_rack = 40, .seed = 99});
+  return ds;
+}
+
+TEST(Generator, ProducesRequestedShape) {
+  const Dataset& ds = small_dataset();
+  EXPECT_EQ(ds.racks.size(), 12u);
+  EXPECT_EQ(ds.total_windows(), 12u * 40u);
+  for (const auto& rack : ds.racks)
+    EXPECT_EQ(rack.windows.size(), 40u);
+}
+
+TEST(Generator, EveryWindowIsConsistent) {
+  const Dataset& ds = small_dataset();
+  for (const auto& rack : ds.racks)
+    for (const auto& w : rack.windows)
+      EXPECT_TRUE(window_is_consistent(w, ds.limits));
+}
+
+TEST(Generator, IsDeterministicInSeed) {
+  const GeneratorConfig cfg{.num_racks = 3, .windows_per_rack = 5, .seed = 7};
+  const Dataset a = generate_dataset(cfg);
+  const Dataset b = generate_dataset(cfg);
+  ASSERT_EQ(a.total_windows(), b.total_windows());
+  EXPECT_EQ(a.racks[1].windows[2].fine, b.racks[1].windows[2].fine);
+  EXPECT_EQ(a.racks[2].windows[4].conn, b.racks[2].windows[4].conn);
+}
+
+TEST(Generator, DifferentSeedsDiffer) {
+  const Dataset a = generate_dataset({.num_racks = 2, .windows_per_rack = 10, .seed = 1});
+  const Dataset b = generate_dataset({.num_racks = 2, .windows_per_rack = 10, .seed = 2});
+  EXPECT_NE(a.racks[0].windows[0].fine, b.racks[0].windows[0].fine);
+}
+
+TEST(Generator, ProducesBurstsAndQuietWindows) {
+  const Dataset& ds = small_dataset();
+  int bursty = 0, quiet = 0;
+  for (const auto& w : all_windows(ds))
+    (w.ecn > 0 ? bursty : quiet)++;
+  EXPECT_GT(bursty, 10) << "burst behaviour must be present";
+  EXPECT_GT(quiet, 10) << "baseline behaviour must be present";
+}
+
+TEST(Generator, RacksAreHeterogeneous) {
+  const Dataset& ds = small_dataset();
+  std::set<Int> mean_totals;
+  for (const auto& rack : ds.racks) {
+    Int total = 0;
+    for (const auto& w : rack.windows) total += w.total;
+    mean_totals.insert(total / static_cast<Int>(rack.windows.size()));
+  }
+  EXPECT_GT(mean_totals.size(), 6u) << "rack personalities should differ";
+}
+
+TEST(SplitByRack, PartitionsWithoutOverlap) {
+  const Dataset& ds = small_dataset();
+  const Split split = split_by_rack(ds, 3, 42);
+  EXPECT_EQ(split.test.racks.size(), 3u);
+  EXPECT_EQ(split.train.racks.size(), 9u);
+  std::set<int> seen;
+  for (const auto& r : split.train.racks) seen.insert(r.rack_id);
+  for (const auto& r : split.test.racks)
+    EXPECT_FALSE(seen.contains(r.rack_id)) << "rack leaked across the split";
+}
+
+TEST(SplitByRack, RejectsDegenerateSplits) {
+  const Dataset& ds = small_dataset();
+  EXPECT_THROW(split_by_rack(ds, 0, 1), util::PreconditionError);
+  EXPECT_THROW(split_by_rack(ds, 12, 1), util::PreconditionError);
+}
+
+TEST(Text, RowRoundTrip) {
+  const Dataset& ds = small_dataset();
+  for (const auto& w : all_windows(ds)) {
+    const std::string row = window_to_row(w);
+    const auto parsed = parse_row(row, ds.limits);
+    ASSERT_TRUE(parsed.has_value()) << row;
+    EXPECT_EQ(parsed->total, w.total);
+    EXPECT_EQ(parsed->ecn, w.ecn);
+    EXPECT_EQ(parsed->rtx, w.rtx);
+    EXPECT_EQ(parsed->conn, w.conn);
+    EXPECT_EQ(parsed->egress, w.egress);
+    EXPECT_EQ(parsed->fine, w.fine);
+  }
+}
+
+TEST(Text, RowsUseOnlyTheDeclaredAlphabet) {
+  const Dataset& ds = small_dataset();
+  const std::string alphabet = row_alphabet();
+  const std::string corpus = dataset_corpus(ds);
+  for (const char c : corpus)
+    EXPECT_NE(alphabet.find(c), std::string::npos) << "char '" << c << "'";
+}
+
+TEST(Text, PromptIsARowPrefix) {
+  const Window& w = small_dataset().racks[0].windows[0];
+  const std::string row = window_to_row(w);
+  const std::string prompt = imputation_prompt(w);
+  EXPECT_TRUE(row.starts_with(prompt));
+  EXPECT_EQ(prompt.back(), '|');
+}
+
+TEST(Text, ParseRejectsMalformedRows) {
+  const Limits lim{};
+  EXPECT_FALSE(parse_row("", lim).has_value());
+  EXPECT_FALSE(parse_row("T=10 E=1 R=0 C=5 G=9", lim).has_value());  // no fine
+  EXPECT_FALSE(parse_row("T=x E=1 R=0 C=5 G=9|1 2 3 4 5", lim).has_value());
+  EXPECT_FALSE(parse_row("T=10 E=1 R=0 C=5 G=9|1 2 3 4", lim).has_value());
+  EXPECT_FALSE(parse_row("T=10 E=1 R=0 C=5 G=9|1 2 3 4 5 6", lim).has_value());
+  EXPECT_FALSE(parse_row("E=1 T=10 R=0 C=5 G=9|1 2 3 4 5", lim).has_value());
+  EXPECT_FALSE(parse_row("T=10 E=1 R=0 C=5 G=9|1 2 3 4 5x", lim).has_value());
+}
+
+TEST(Text, ParseAcceptsOutOfDomainValues) {
+  // Syntax-only parsing: semantic violations are the rule checker's job.
+  const Limits lim{};
+  const auto w = parse_row("T=9999 E=1 R=0 C=5 G=9|1 2 3 4 999", lim);
+  ASSERT_TRUE(w.has_value());
+  EXPECT_EQ(w->total, 9999);
+  EXPECT_EQ(w->fine.back(), 999);
+}
+
+TEST(Text, CoarseRowAndLayout) {
+  const Window& w = small_dataset().racks[0].windows[0];
+  const std::string row = window_to_coarse_row(w);
+  const RowLayout coarse = coarse_row_layout(Limits{});
+  EXPECT_EQ(coarse.num_fields(), kNumCoarse);
+  const auto parsed = parse_row(row, coarse);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->total, w.total);
+  EXPECT_TRUE(parsed->fine.empty());
+}
+
+TEST(Text, CorpusParsesCompletely) {
+  const Dataset& ds = small_dataset();
+  const ParsedCorpus parsed = parse_corpus(dataset_corpus(ds), ds.limits);
+  EXPECT_EQ(parsed.malformed, 0u);
+  EXPECT_EQ(parsed.windows.size(), ds.total_windows());
+}
+
+TEST(Layout, FieldOrderAndBounds) {
+  const Limits lim{};
+  const RowLayout layout = telemetry_row_layout(lim);
+  ASSERT_EQ(layout.num_fields(), kNumCoarse + lim.window);
+  EXPECT_EQ(layout.fields[0].name, "total");
+  EXPECT_EQ(layout.fields[0].max_value, lim.total_max());
+  EXPECT_EQ(layout.fields[4].name, "egress");
+  EXPECT_EQ(layout.first_fine_field(), kNumCoarse);
+  EXPECT_EQ(layout.fields[5].name, "I0");
+  EXPECT_EQ(layout.fields[5].max_value, lim.bandwidth);
+  EXPECT_EQ(layout.suffix, "\n");
+}
+
+}  // namespace
+}  // namespace lejit::telemetry

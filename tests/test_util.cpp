@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+#include "util/timer.hpp"
+
+namespace lejit::util {
+namespace {
+
+TEST(Rng, Deterministic) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u32(), b.next_u32());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next_u32() == b.next_u32()) ++same;
+  EXPECT_LT(same, 4);
+}
+
+TEST(Rng, UniformIntRespectsRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_int(-3, 9);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 9);
+  }
+  EXPECT_EQ(rng.uniform_int(5, 5), 5);
+  EXPECT_EQ(rng.uniform_int(9, 3), 9);  // degenerate range clamps to lo
+}
+
+TEST(Rng, UniformIntCoversRange) {
+  Rng rng(11);
+  std::vector<int> counts(4, 0);
+  for (int i = 0; i < 4000; ++i)
+    ++counts[static_cast<std::size_t>(rng.uniform_int(0, 3))];
+  for (const int c : counts) EXPECT_GT(c, 800);  // ~1000 each
+}
+
+TEST(Rng, UniformDoubleInUnitInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, NormalMomentsAreSane) {
+  Rng rng(5);
+  double sum = 0, sumsq = 0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) {
+    const double v = rng.normal();
+    sum += v;
+    sumsq += v * v;
+  }
+  EXPECT_NEAR(sum / kN, 0.0, 0.05);
+  EXPECT_NEAR(sumsq / kN, 1.0, 0.05);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(6);
+  double sum = 0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) sum += rng.exponential(2.0);
+  EXPECT_NEAR(sum / kN, 0.5, 0.03);
+}
+
+TEST(Rng, ParetoIsHeavyTailedAboveScale) {
+  Rng rng(8);
+  for (int i = 0; i < 1000; ++i) EXPECT_GE(rng.pareto(3.0, 2.0), 3.0);
+}
+
+TEST(Rng, CategoricalRespectsWeights) {
+  Rng rng(9);
+  const std::vector<double> w{0.0, 3.0, 1.0};
+  std::vector<int> counts(3, 0);
+  for (int i = 0; i < 8000; ++i) ++counts[rng.categorical(w)];
+  EXPECT_EQ(counts[0], 0);
+  EXPECT_GT(counts[1], counts[2] * 2);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng a(42);
+  Rng b = a.fork(1);
+  Rng c = a.fork(1);
+  // Forks from an advanced parent differ from each other.
+  EXPECT_NE(b.next_u32(), c.next_u32());
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(10);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7};
+  auto sorted = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(Strings, SplitBasics) {
+  const auto parts = split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(parts[3], "c");
+}
+
+TEST(Strings, SplitSingleField) {
+  const auto parts = split("abc", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(Strings, Trim) {
+  EXPECT_EQ(trim("  x y \t"), "x y");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+}
+
+TEST(Strings, ParseInt) {
+  EXPECT_EQ(parse_int("123"), 123);
+  EXPECT_EQ(parse_int("-5"), -5);
+  EXPECT_EQ(parse_int(""), std::nullopt);
+  EXPECT_EQ(parse_int("12x"), std::nullopt);
+  EXPECT_EQ(parse_int("x12"), std::nullopt);
+}
+
+TEST(Strings, JoinAndPad) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+  EXPECT_EQ(pad_left("7", 3), "  7");
+  EXPECT_EQ(pad_right("7", 3), "7  ");
+  EXPECT_EQ(pad_left("1234", 3), "1234");
+}
+
+TEST(Strings, FormatDouble) {
+  EXPECT_EQ(format_double(3.14159, 2), "3.14");
+  EXPECT_EQ(format_double(2.0, 1), "2.0");
+}
+
+TEST(Timer, MeasuresElapsedTime) {
+  Timer t;
+  volatile double x = 0;
+  for (int i = 0; i < 100000; ++i) x = x + std::sqrt(static_cast<double>(i));
+  EXPECT_GE(t.elapsed_seconds(), 0.0);
+  EXPECT_GE(t.elapsed_ms(), t.elapsed_seconds());
+  t.reset();
+  EXPECT_LT(t.elapsed_seconds(), 1.0);
+}
+
+}  // namespace
+}  // namespace lejit::util

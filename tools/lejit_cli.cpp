@@ -1,0 +1,307 @@
+// lejit_cli — the LeJIT workflow from the command line.
+//
+//   lejit_cli generate --racks 20 --windows 80 --seed 1 --out corpus.txt
+//   lejit_cli mine     --corpus corpus.txt --out rules.txt [--coarse-only]
+//   lejit_cli train    --corpus corpus.txt --steps 300 --out model.bin
+//   lejit_cli synth    --model model.bin --rules rules.txt --count 20
+//   lejit_cli impute   --model model.bin --rules rules.txt --prompts coarse.txt
+//   lejit_cli check    --rules rules.txt --rows rows.txt
+//
+// Rows use the telemetry text format (telemetry/text.hpp) under the default
+// schema limits; rule files use the rules/parser.hpp syntax, so mined rule
+// sets are editable by hand before being enforced. Generated/imputed rows go
+// to stdout; diagnostics go to stderr.
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <string>
+
+#include "core/decoder.hpp"
+#include "lm/trainer.hpp"
+#include "rules/checker.hpp"
+#include "rules/miner.hpp"
+#include "rules/parser.hpp"
+#include "telemetry/generator.hpp"
+#include "telemetry/text.hpp"
+#include "util/strings.hpp"
+
+using namespace lejit;
+
+namespace {
+
+// --- tiny argv parser -----------------------------------------------------------
+class Args {
+ public:
+  Args(int argc, char** argv) {
+    for (int i = 2; i < argc; ++i) {
+      std::string_view a = argv[i];
+      if (a.starts_with("--")) {
+        const std::string key(a.substr(2));
+        if (i + 1 < argc && !std::string_view(argv[i + 1]).starts_with("--")) {
+          values_[key] = argv[++i];
+        } else {
+          values_[key] = "true";  // boolean flag
+        }
+      }
+    }
+  }
+
+  std::string get(const std::string& key, const std::string& fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+  std::int64_t get_int(const std::string& key, std::int64_t fallback) const {
+    const auto it = values_.find(key);
+    if (it == values_.end()) return fallback;
+    const auto v = util::parse_int(it->second);
+    if (!v) {
+      std::cerr << "error: --" << key << " expects an integer\n";
+      std::exit(2);
+    }
+    return *v;
+  }
+  bool has(const std::string& key) const { return values_.contains(key); }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::cerr << "error: cannot read " << path << "\n";
+    std::exit(2);
+  }
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+void write_file(const std::string& path, std::string_view content) {
+  std::ofstream out(path, std::ios::binary);
+  out << content;
+  if (!out) {
+    std::cerr << "error: cannot write " << path << "\n";
+    std::exit(2);
+  }
+}
+
+rules::RuleSet load_rules(const std::string& path,
+                          const telemetry::RowLayout& layout) {
+  const auto parsed = rules::parse_rules(read_file(path), layout);
+  for (const auto& e : parsed.errors)
+    std::cerr << path << ":" << e.line << ": " << e.message << "\n";
+  if (!parsed.ok()) std::exit(2);
+  return parsed.rules;
+}
+
+int cmd_generate(const Args& args) {
+  telemetry::GeneratorConfig cfg;
+  cfg.num_racks = static_cast<int>(args.get_int("racks", 20));
+  cfg.windows_per_rack = static_cast<int>(args.get_int("windows", 80));
+  cfg.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  const auto dataset = telemetry::generate_dataset(cfg);
+
+  std::string corpus;
+  for (const auto& w : telemetry::all_windows(dataset))
+    corpus += args.has("coarse") ? telemetry::window_to_coarse_row(w)
+                                 : telemetry::window_to_row(w);
+  const std::string out = args.get("out", "");
+  if (out.empty())
+    std::cout << corpus;
+  else
+    write_file(out, corpus);
+  std::cerr << "generated " << dataset.total_windows() << " windows ("
+            << cfg.num_racks << " racks)\n";
+  return 0;
+}
+
+int cmd_mine(const Args& args) {
+  const telemetry::Limits limits;
+  const auto layout = telemetry::telemetry_row_layout(limits);
+  const auto parsed =
+      telemetry::parse_corpus(read_file(args.get("corpus", "corpus.txt")), limits);
+  if (parsed.windows.empty()) {
+    std::cerr << "error: corpus holds no valid rows (" << parsed.malformed
+              << " malformed)\n";
+    return 2;
+  }
+  rules::MinerConfig cfg;
+  cfg.slack = static_cast<double>(args.get_int("slack-pct", 5)) / 100.0;
+  auto report = rules::mine_rules(parsed.windows, layout, limits, cfg);
+  rules::RuleSet set = args.has("coarse-only") ? report.rules.coarse_only()
+                                               : std::move(report.rules);
+  const std::string out = args.get("out", "");
+  if (out.empty())
+    std::cout << set.to_text();
+  else
+    write_file(out, set.to_text());
+  std::cerr << "mined " << set.size() << " rules from "
+            << parsed.windows.size() << " windows (" << report.bounds
+            << " bounds, " << report.sums << " accounting, "
+            << report.implications << " implications, " << report.pairwise
+            << " pairwise; dropped " << report.dropped_by_validation
+            << " in validation)\n";
+  return 0;
+}
+
+int cmd_train(const Args& args) {
+  const telemetry::Limits limits;
+  const auto parsed =
+      telemetry::parse_corpus(read_file(args.get("corpus", "corpus.txt")), limits);
+  if (parsed.windows.empty()) {
+    std::cerr << "error: corpus holds no valid rows\n";
+    return 2;
+  }
+  const lm::CharTokenizer tokenizer(telemetry::row_alphabet());
+  std::vector<std::vector<int>> rows;
+  for (const auto& w : parsed.windows)
+    rows.push_back(tokenizer.encode(telemetry::window_to_row(w)));
+
+  util::Rng init_rng(static_cast<std::uint64_t>(args.get_int("seed", 1)));
+  lm::Transformer model(
+      lm::TransformerConfig{.vocab_size = tokenizer.vocab_size(),
+                            .d_model = static_cast<int>(args.get_int("dmodel", 64)),
+                            .n_layers = static_cast<int>(args.get_int("layers", 2)),
+                            .n_heads = static_cast<int>(args.get_int("heads", 4)),
+                            .d_ff = static_cast<int>(args.get_int("dff", 128)),
+                            .max_seq = 64},
+      init_rng);
+  util::Rng train_rng(init_rng.next_u64());
+  const auto report = lm::train_lm(
+      model, rows,
+      lm::TrainConfig{.steps = static_cast<int>(args.get_int("steps", 300)),
+                      .batch_size = 16,
+                      .adam = lm::AdamConfig{.lr = 2e-3f},
+                      .warmup_steps = 20,
+                      .log_every = 50},
+      train_rng,
+      [](int step, float loss) {
+        std::cerr << "  step " << step << "  loss " << loss << "\n";
+      });
+  const std::string out = args.get("out", "model.bin");
+  model.save(out);
+  std::cerr << "trained " << model.num_parameters() << " params, loss "
+            << report.first_loss << " -> " << report.final_loss
+            << "; saved to " << out << "\n";
+  return 0;
+}
+
+core::GuidedDecoder make_decoder(const lm::Transformer& model,
+                                 const lm::CharTokenizer& tokenizer,
+                                 const telemetry::RowLayout& layout,
+                                 rules::RuleSet rules) {
+  return core::GuidedDecoder(model, tokenizer, layout, std::move(rules),
+                             core::DecoderConfig{.mode = core::GuidanceMode::kFull});
+}
+
+int cmd_synth(const Args& args) {
+  const telemetry::Limits limits;
+  const auto layout = telemetry::telemetry_row_layout(limits);
+  const lm::CharTokenizer tokenizer(telemetry::row_alphabet());
+  const lm::Transformer model =
+      lm::Transformer::load(args.get("model", "model.bin"));
+  auto decoder = make_decoder(model, tokenizer, layout,
+                              load_rules(args.get("rules", "rules.txt"), layout));
+  util::Rng rng(static_cast<std::uint64_t>(args.get_int("seed", 1)));
+  const auto count = args.get_int("count", 10);
+  std::size_t compliant = 0;
+  for (std::int64_t i = 0; i < count; ++i) {
+    const auto r = decoder.generate(rng);
+    if (!r.ok) continue;
+    std::cout << r.text << "\n";
+    ++compliant;
+  }
+  std::cerr << "emitted " << compliant << "/" << count << " compliant rows\n";
+  return 0;
+}
+
+int cmd_impute(const Args& args) {
+  const telemetry::Limits limits;
+  const auto layout = telemetry::telemetry_row_layout(limits);
+  const auto coarse_layout = telemetry::coarse_row_layout(limits);
+  const lm::CharTokenizer tokenizer(telemetry::row_alphabet());
+  const lm::Transformer model =
+      lm::Transformer::load(args.get("model", "model.bin"));
+  auto decoder = make_decoder(model, tokenizer, layout,
+                              load_rules(args.get("rules", "rules.txt"), layout));
+  util::Rng rng(static_cast<std::uint64_t>(args.get_int("seed", 1)));
+
+  std::size_t done = 0, infeasible = 0;
+  for (const auto line :
+       util::split(read_file(args.get("prompts", "prompts.txt")), '\n')) {
+    if (util::trim(line).empty()) continue;
+    const auto coarse = telemetry::parse_row(line, coarse_layout);
+    if (!coarse) {
+      std::cerr << "skipping malformed prompt row: " << line << "\n";
+      continue;
+    }
+    const auto r =
+        decoder.generate(rng, telemetry::imputation_prompt(*coarse));
+    if (r.infeasible_prompt) {
+      ++infeasible;
+      std::cerr << "infeasible prompt (rules contradict it): " << line << "\n";
+      continue;
+    }
+    if (r.ok) {
+      std::cout << r.text << "\n";
+      ++done;
+    }
+  }
+  std::cerr << "imputed " << done << " rows, " << infeasible
+            << " infeasible prompts\n";
+  return 0;
+}
+
+int cmd_check(const Args& args) {
+  const telemetry::Limits limits;
+  const auto layout = telemetry::telemetry_row_layout(limits);
+  const auto set = load_rules(args.get("rules", "rules.txt"), layout);
+  const auto parsed =
+      telemetry::parse_corpus(read_file(args.get("rows", "rows.txt")), limits);
+  const auto stats = rules::check_violations(set, parsed.windows);
+  std::cout << "rows: " << stats.windows << " (+" << parsed.malformed
+            << " malformed)\nrules: " << stats.rules
+            << "\nviolating rows: " << stats.violating_windows << " ("
+            << util::format_double(stats.window_rate() * 100.0, 2)
+            << "%)\n(row,rule) violations: " << stats.rule_violations << " ("
+            << util::format_double(stats.pair_rate() * 100.0, 4) << "%)\n";
+  return stats.violating_windows == 0 ? 0 : 1;
+}
+
+void usage() {
+  std::cerr <<
+      "usage: lejit_cli <command> [--flag value ...]\n"
+      "  generate --racks N --windows M --seed S [--coarse] [--out FILE]\n"
+      "  mine     --corpus FILE [--coarse-only] [--slack-pct P] [--out FILE]\n"
+      "  train    --corpus FILE [--steps N] [--dmodel D] [--out FILE]\n"
+      "  synth    --model FILE --rules FILE [--count N] [--seed S]\n"
+      "  impute   --model FILE --rules FILE --prompts FILE [--seed S]\n"
+      "  check    --rules FILE --rows FILE\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    usage();
+    return 2;
+  }
+  const std::string command = argv[1];
+  const Args args(argc, argv);
+  try {
+    if (command == "generate") return cmd_generate(args);
+    if (command == "mine") return cmd_mine(args);
+    if (command == "train") return cmd_train(args);
+    if (command == "synth") return cmd_synth(args);
+    if (command == "impute") return cmd_impute(args);
+    if (command == "check") return cmd_check(args);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  }
+  usage();
+  return 2;
+}
