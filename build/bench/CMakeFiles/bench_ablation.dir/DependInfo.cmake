@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ablation.cpp" "bench/CMakeFiles/bench_ablation.dir/bench_ablation.cpp.o" "gcc" "bench/CMakeFiles/bench_ablation.dir/bench_ablation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/lejit_bench_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/lejit_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/lejit_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/lejit_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/lm/CMakeFiles/lejit_lm.dir/DependInfo.cmake"
+  "/root/repo/build/src/rules/CMakeFiles/lejit_rules.dir/DependInfo.cmake"
+  "/root/repo/build/src/smt/CMakeFiles/lejit_smt.dir/DependInfo.cmake"
+  "/root/repo/build/src/telemetry/CMakeFiles/lejit_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/lejit_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

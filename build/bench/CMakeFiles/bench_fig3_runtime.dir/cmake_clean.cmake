@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_runtime.dir/bench_fig3_runtime.cpp.o"
+  "CMakeFiles/bench_fig3_runtime.dir/bench_fig3_runtime.cpp.o.d"
+  "bench_fig3_runtime"
+  "bench_fig3_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_imputation.dir/bench_fig4_imputation.cpp.o"
+  "CMakeFiles/bench_fig4_imputation.dir/bench_fig4_imputation.cpp.o.d"
+  "bench_fig4_imputation"
+  "bench_fig4_imputation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_imputation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_transition_system.dir/bench_transition_system.cpp.o"
+  "CMakeFiles/bench_transition_system.dir/bench_transition_system.cpp.o.d"
+  "bench_transition_system"
+  "bench_transition_system.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_transition_system.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lejit_bench_harness.dir/harness.cpp.o"
+  "CMakeFiles/lejit_bench_harness.dir/harness.cpp.o.d"
+  "liblejit_bench_harness.a"
+  "liblejit_bench_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lejit_bench_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

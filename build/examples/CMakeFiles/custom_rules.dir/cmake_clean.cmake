@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_rules.dir/custom_rules.cpp.o"
+  "CMakeFiles/custom_rules.dir/custom_rules.cpp.o.d"
+  "custom_rules"
+  "custom_rules.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_rules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/data_synthesis.dir/data_synthesis.cpp.o"
+  "CMakeFiles/data_synthesis.dir/data_synthesis.cpp.o.d"
+  "data_synthesis"
+  "data_synthesis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/data_synthesis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

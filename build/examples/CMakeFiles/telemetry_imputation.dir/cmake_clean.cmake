@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/telemetry_imputation.dir/telemetry_imputation.cpp.o"
+  "CMakeFiles/telemetry_imputation.dir/telemetry_imputation.cpp.o.d"
+  "telemetry_imputation"
+  "telemetry_imputation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/telemetry_imputation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

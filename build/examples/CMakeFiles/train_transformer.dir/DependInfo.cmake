@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/train_transformer.cpp" "examples/CMakeFiles/train_transformer.dir/train_transformer.cpp.o" "gcc" "examples/CMakeFiles/train_transformer.dir/train_transformer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/lejit_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/smt/CMakeFiles/lejit_smt.dir/DependInfo.cmake"
+  "/root/repo/build/src/lm/CMakeFiles/lejit_lm.dir/DependInfo.cmake"
+  "/root/repo/build/src/telemetry/CMakeFiles/lejit_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build/src/rules/CMakeFiles/lejit_rules.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/lejit_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/lejit_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/lejit_baselines.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

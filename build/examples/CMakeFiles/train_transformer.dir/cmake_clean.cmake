@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/train_transformer.dir/train_transformer.cpp.o"
+  "CMakeFiles/train_transformer.dir/train_transformer.cpp.o.d"
+  "train_transformer"
+  "train_transformer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/train_transformer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lejit_baselines.dir/generators.cpp.o"
+  "CMakeFiles/lejit_baselines.dir/generators.cpp.o.d"
+  "CMakeFiles/lejit_baselines.dir/linalg.cpp.o"
+  "CMakeFiles/lejit_baselines.dir/linalg.cpp.o.d"
+  "CMakeFiles/lejit_baselines.dir/posthoc.cpp.o"
+  "CMakeFiles/lejit_baselines.dir/posthoc.cpp.o.d"
+  "CMakeFiles/lejit_baselines.dir/rejection.cpp.o"
+  "CMakeFiles/lejit_baselines.dir/rejection.cpp.o.d"
+  "CMakeFiles/lejit_baselines.dir/zoom2net.cpp.o"
+  "CMakeFiles/lejit_baselines.dir/zoom2net.cpp.o.d"
+  "liblejit_baselines.a"
+  "liblejit_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lejit_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

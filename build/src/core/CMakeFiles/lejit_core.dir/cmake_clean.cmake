@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lejit_core.dir/batch.cpp.o"
+  "CMakeFiles/lejit_core.dir/batch.cpp.o.d"
+  "CMakeFiles/lejit_core.dir/decoder.cpp.o"
+  "CMakeFiles/lejit_core.dir/decoder.cpp.o.d"
+  "CMakeFiles/lejit_core.dir/transition.cpp.o"
+  "CMakeFiles/lejit_core.dir/transition.cpp.o.d"
+  "liblejit_core.a"
+  "liblejit_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lejit_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

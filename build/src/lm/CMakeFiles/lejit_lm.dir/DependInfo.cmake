@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lm/ngram.cpp" "src/lm/CMakeFiles/lejit_lm.dir/ngram.cpp.o" "gcc" "src/lm/CMakeFiles/lejit_lm.dir/ngram.cpp.o.d"
+  "/root/repo/src/lm/sampler.cpp" "src/lm/CMakeFiles/lejit_lm.dir/sampler.cpp.o" "gcc" "src/lm/CMakeFiles/lejit_lm.dir/sampler.cpp.o.d"
+  "/root/repo/src/lm/tensor.cpp" "src/lm/CMakeFiles/lejit_lm.dir/tensor.cpp.o" "gcc" "src/lm/CMakeFiles/lejit_lm.dir/tensor.cpp.o.d"
+  "/root/repo/src/lm/tokenizer.cpp" "src/lm/CMakeFiles/lejit_lm.dir/tokenizer.cpp.o" "gcc" "src/lm/CMakeFiles/lejit_lm.dir/tokenizer.cpp.o.d"
+  "/root/repo/src/lm/trainer.cpp" "src/lm/CMakeFiles/lejit_lm.dir/trainer.cpp.o" "gcc" "src/lm/CMakeFiles/lejit_lm.dir/trainer.cpp.o.d"
+  "/root/repo/src/lm/transformer.cpp" "src/lm/CMakeFiles/lejit_lm.dir/transformer.cpp.o" "gcc" "src/lm/CMakeFiles/lejit_lm.dir/transformer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/lejit_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lejit_lm.dir/ngram.cpp.o"
+  "CMakeFiles/lejit_lm.dir/ngram.cpp.o.d"
+  "CMakeFiles/lejit_lm.dir/sampler.cpp.o"
+  "CMakeFiles/lejit_lm.dir/sampler.cpp.o.d"
+  "CMakeFiles/lejit_lm.dir/tensor.cpp.o"
+  "CMakeFiles/lejit_lm.dir/tensor.cpp.o.d"
+  "CMakeFiles/lejit_lm.dir/tokenizer.cpp.o"
+  "CMakeFiles/lejit_lm.dir/tokenizer.cpp.o.d"
+  "CMakeFiles/lejit_lm.dir/trainer.cpp.o"
+  "CMakeFiles/lejit_lm.dir/trainer.cpp.o.d"
+  "CMakeFiles/lejit_lm.dir/transformer.cpp.o"
+  "CMakeFiles/lejit_lm.dir/transformer.cpp.o.d"
+  "liblejit_lm.a"
+  "liblejit_lm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lejit_lm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for lejit_lm.
+# This may be replaced when dependencies are built.

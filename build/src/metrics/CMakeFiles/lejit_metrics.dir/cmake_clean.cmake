@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lejit_metrics.dir/bursts.cpp.o"
+  "CMakeFiles/lejit_metrics.dir/bursts.cpp.o.d"
+  "CMakeFiles/lejit_metrics.dir/stats.cpp.o"
+  "CMakeFiles/lejit_metrics.dir/stats.cpp.o.d"
+  "liblejit_metrics.a"
+  "liblejit_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lejit_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rules/checker.cpp" "src/rules/CMakeFiles/lejit_rules.dir/checker.cpp.o" "gcc" "src/rules/CMakeFiles/lejit_rules.dir/checker.cpp.o.d"
+  "/root/repo/src/rules/miner.cpp" "src/rules/CMakeFiles/lejit_rules.dir/miner.cpp.o" "gcc" "src/rules/CMakeFiles/lejit_rules.dir/miner.cpp.o.d"
+  "/root/repo/src/rules/parser.cpp" "src/rules/CMakeFiles/lejit_rules.dir/parser.cpp.o" "gcc" "src/rules/CMakeFiles/lejit_rules.dir/parser.cpp.o.d"
+  "/root/repo/src/rules/rule.cpp" "src/rules/CMakeFiles/lejit_rules.dir/rule.cpp.o" "gcc" "src/rules/CMakeFiles/lejit_rules.dir/rule.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/lejit_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/smt/CMakeFiles/lejit_smt.dir/DependInfo.cmake"
+  "/root/repo/build/src/telemetry/CMakeFiles/lejit_telemetry.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

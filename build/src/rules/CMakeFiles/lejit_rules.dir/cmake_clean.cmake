@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lejit_rules.dir/checker.cpp.o"
+  "CMakeFiles/lejit_rules.dir/checker.cpp.o.d"
+  "CMakeFiles/lejit_rules.dir/miner.cpp.o"
+  "CMakeFiles/lejit_rules.dir/miner.cpp.o.d"
+  "CMakeFiles/lejit_rules.dir/parser.cpp.o"
+  "CMakeFiles/lejit_rules.dir/parser.cpp.o.d"
+  "CMakeFiles/lejit_rules.dir/rule.cpp.o"
+  "CMakeFiles/lejit_rules.dir/rule.cpp.o.d"
+  "liblejit_rules.a"
+  "liblejit_rules.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lejit_rules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lejit_smt.dir/formula.cpp.o"
+  "CMakeFiles/lejit_smt.dir/formula.cpp.o.d"
+  "CMakeFiles/lejit_smt.dir/linexpr.cpp.o"
+  "CMakeFiles/lejit_smt.dir/linexpr.cpp.o.d"
+  "CMakeFiles/lejit_smt.dir/solver.cpp.o"
+  "CMakeFiles/lejit_smt.dir/solver.cpp.o.d"
+  "liblejit_smt.a"
+  "liblejit_smt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lejit_smt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

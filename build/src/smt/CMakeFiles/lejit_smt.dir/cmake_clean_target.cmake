@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liblejit_smt.a"
+)

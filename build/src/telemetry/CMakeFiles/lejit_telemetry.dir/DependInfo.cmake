@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/telemetry/generator.cpp" "src/telemetry/CMakeFiles/lejit_telemetry.dir/generator.cpp.o" "gcc" "src/telemetry/CMakeFiles/lejit_telemetry.dir/generator.cpp.o.d"
+  "/root/repo/src/telemetry/schema.cpp" "src/telemetry/CMakeFiles/lejit_telemetry.dir/schema.cpp.o" "gcc" "src/telemetry/CMakeFiles/lejit_telemetry.dir/schema.cpp.o.d"
+  "/root/repo/src/telemetry/text.cpp" "src/telemetry/CMakeFiles/lejit_telemetry.dir/text.cpp.o" "gcc" "src/telemetry/CMakeFiles/lejit_telemetry.dir/text.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/lejit_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

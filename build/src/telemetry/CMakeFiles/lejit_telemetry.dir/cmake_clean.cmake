@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lejit_telemetry.dir/generator.cpp.o"
+  "CMakeFiles/lejit_telemetry.dir/generator.cpp.o.d"
+  "CMakeFiles/lejit_telemetry.dir/schema.cpp.o"
+  "CMakeFiles/lejit_telemetry.dir/schema.cpp.o.d"
+  "CMakeFiles/lejit_telemetry.dir/text.cpp.o"
+  "CMakeFiles/lejit_telemetry.dir/text.cpp.o.d"
+  "liblejit_telemetry.a"
+  "liblejit_telemetry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lejit_telemetry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

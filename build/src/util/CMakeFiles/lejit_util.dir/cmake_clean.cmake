@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lejit_util.dir/rng.cpp.o"
+  "CMakeFiles/lejit_util.dir/rng.cpp.o.d"
+  "CMakeFiles/lejit_util.dir/strings.cpp.o"
+  "CMakeFiles/lejit_util.dir/strings.cpp.o.d"
+  "liblejit_util.a"
+  "liblejit_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lejit_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,44 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_baselines.cpp" "tests/CMakeFiles/lejit_tests.dir/test_baselines.cpp.o" "gcc" "tests/CMakeFiles/lejit_tests.dir/test_baselines.cpp.o.d"
+  "/root/repo/tests/test_core_batch.cpp" "tests/CMakeFiles/lejit_tests.dir/test_core_batch.cpp.o" "gcc" "tests/CMakeFiles/lejit_tests.dir/test_core_batch.cpp.o.d"
+  "/root/repo/tests/test_core_decoder.cpp" "tests/CMakeFiles/lejit_tests.dir/test_core_decoder.cpp.o" "gcc" "tests/CMakeFiles/lejit_tests.dir/test_core_decoder.cpp.o.d"
+  "/root/repo/tests/test_core_transition.cpp" "tests/CMakeFiles/lejit_tests.dir/test_core_transition.cpp.o" "gcc" "tests/CMakeFiles/lejit_tests.dir/test_core_transition.cpp.o.d"
+  "/root/repo/tests/test_fuzz_rules.cpp" "tests/CMakeFiles/lejit_tests.dir/test_fuzz_rules.cpp.o" "gcc" "tests/CMakeFiles/lejit_tests.dir/test_fuzz_rules.cpp.o.d"
+  "/root/repo/tests/test_integration.cpp" "tests/CMakeFiles/lejit_tests.dir/test_integration.cpp.o" "gcc" "tests/CMakeFiles/lejit_tests.dir/test_integration.cpp.o.d"
+  "/root/repo/tests/test_lm_models.cpp" "tests/CMakeFiles/lejit_tests.dir/test_lm_models.cpp.o" "gcc" "tests/CMakeFiles/lejit_tests.dir/test_lm_models.cpp.o.d"
+  "/root/repo/tests/test_lm_sampler.cpp" "tests/CMakeFiles/lejit_tests.dir/test_lm_sampler.cpp.o" "gcc" "tests/CMakeFiles/lejit_tests.dir/test_lm_sampler.cpp.o.d"
+  "/root/repo/tests/test_lm_tokenizer.cpp" "tests/CMakeFiles/lejit_tests.dir/test_lm_tokenizer.cpp.o" "gcc" "tests/CMakeFiles/lejit_tests.dir/test_lm_tokenizer.cpp.o.d"
+  "/root/repo/tests/test_metrics.cpp" "tests/CMakeFiles/lejit_tests.dir/test_metrics.cpp.o" "gcc" "tests/CMakeFiles/lejit_tests.dir/test_metrics.cpp.o.d"
+  "/root/repo/tests/test_rules.cpp" "tests/CMakeFiles/lejit_tests.dir/test_rules.cpp.o" "gcc" "tests/CMakeFiles/lejit_tests.dir/test_rules.cpp.o.d"
+  "/root/repo/tests/test_rules_parser.cpp" "tests/CMakeFiles/lejit_tests.dir/test_rules_parser.cpp.o" "gcc" "tests/CMakeFiles/lejit_tests.dir/test_rules_parser.cpp.o.d"
+  "/root/repo/tests/test_smt_formula.cpp" "tests/CMakeFiles/lejit_tests.dir/test_smt_formula.cpp.o" "gcc" "tests/CMakeFiles/lejit_tests.dir/test_smt_formula.cpp.o.d"
+  "/root/repo/tests/test_smt_linexpr.cpp" "tests/CMakeFiles/lejit_tests.dir/test_smt_linexpr.cpp.o" "gcc" "tests/CMakeFiles/lejit_tests.dir/test_smt_linexpr.cpp.o.d"
+  "/root/repo/tests/test_smt_solver.cpp" "tests/CMakeFiles/lejit_tests.dir/test_smt_solver.cpp.o" "gcc" "tests/CMakeFiles/lejit_tests.dir/test_smt_solver.cpp.o.d"
+  "/root/repo/tests/test_smt_stress.cpp" "tests/CMakeFiles/lejit_tests.dir/test_smt_stress.cpp.o" "gcc" "tests/CMakeFiles/lejit_tests.dir/test_smt_stress.cpp.o.d"
+  "/root/repo/tests/test_telemetry.cpp" "tests/CMakeFiles/lejit_tests.dir/test_telemetry.cpp.o" "gcc" "tests/CMakeFiles/lejit_tests.dir/test_telemetry.cpp.o.d"
+  "/root/repo/tests/test_util.cpp" "tests/CMakeFiles/lejit_tests.dir/test_util.cpp.o" "gcc" "tests/CMakeFiles/lejit_tests.dir/test_util.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/lejit_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/smt/CMakeFiles/lejit_smt.dir/DependInfo.cmake"
+  "/root/repo/build/src/lm/CMakeFiles/lejit_lm.dir/DependInfo.cmake"
+  "/root/repo/build/src/telemetry/CMakeFiles/lejit_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build/src/rules/CMakeFiles/lejit_rules.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/lejit_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/lejit_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/lejit_baselines.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lejit_cli.dir/lejit_cli.cpp.o"
+  "CMakeFiles/lejit_cli.dir/lejit_cli.cpp.o.d"
+  "lejit_cli"
+  "lejit_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lejit_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
