@@ -22,7 +22,8 @@ constexpr int kSamples = 60;
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  lejit::bench::JsonReport report("ablation", &argc, argv);
   const BenchEnv env = bench::make_env();
   std::vector<Window> prompts;
   for (const Window& w : env.test) {
@@ -209,5 +210,7 @@ int main() {
     }
     table.print();
   }
+  report.add_env(env.config);
+  report.write();
   return 0;
 }

@@ -18,6 +18,9 @@
 #include "baselines/rejection.hpp"
 #include "baselines/zoom2net.hpp"
 #include "harness.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "telemetry/text.hpp"
 #include "util/timer.hpp"
 
@@ -109,74 +112,143 @@ void BM_RejectionImpute(benchmark::State& state) {
 }
 BENCHMARK(BM_RejectionImpute)->Unit(benchmark::kMillisecond)->Iterations(8);
 
+// Per-mode wall-clock plus an obs snapshot taken over exactly that mode's
+// samples (the registry and tracer are reset before each measured loop).
+struct ModeRun {
+  std::string name;
+  double sec_per_sample = 0.0;
+  int samples = 0;
+  // smt.check_latency_us percentiles over this mode's solver checks.
+  std::int64_t solver_checks = 0;
+  double check_p50_us = 0.0, check_p90_us = 0.0, check_p99_us = 0.0;
+  // Inclusive phase totals (lm_forward and solver_check never nest).
+  std::int64_t lm_forward_ns = 0, solver_check_ns = 0;
+  std::int64_t mask_build_ns = 0, sampling_ns = 0;
+  std::int64_t lm_forwards = 0;
+};
+
 // Wall-clock measurement used for the extrapolated table (independent of
 // google-benchmark's iteration policy so every method sees the same prompts).
-double per_sample_seconds(const std::function<void(const Window&)>& fn,
-                          int samples) {
+ModeRun run_mode(std::string name, int samples,
+                 const std::function<void(const Window&)>& fn) {
+  ModeRun run;
+  run.name = std::move(name);
+  run.samples = samples;
+
+  auto& registry = lejit::obs::MetricsRegistry::instance();
+  auto& tracer = lejit::obs::Tracer::instance();
+  if (lejit::obs::metrics_enabled()) {
+    registry.reset();
+    tracer.reset();
+  }
+
   util::Timer timer;
   for (int i = 0; i < samples; ++i)
     fn(prompts()[static_cast<std::size_t>(i) % prompts().size()]);
-  return timer.elapsed_seconds() / samples;
+  run.sec_per_sample = timer.elapsed_seconds() / samples;
+
+  if (lejit::obs::metrics_enabled()) {
+    const auto& checks = registry.histogram("smt.check_latency_us");
+    run.solver_checks = checks.count();
+    run.check_p50_us = checks.percentile(0.50);
+    run.check_p90_us = checks.percentile(0.90);
+    run.check_p99_us = checks.percentile(0.99);
+    const auto lm = tracer.totals(lejit::obs::Phase::kLmForward);
+    run.lm_forwards = lm.count;
+    run.lm_forward_ns = lm.total_ns;
+    run.solver_check_ns =
+        tracer.totals(lejit::obs::Phase::kSolverCheck).total_ns;
+    run.mask_build_ns = tracer.totals(lejit::obs::Phase::kMaskBuild).total_ns;
+    run.sampling_ns = tracer.totals(lejit::obs::Phase::kSampling).total_ns;
+  }
+  return run;
 }
 
-void print_fig3_right() {
+// Renders the per-mode captures as the "modes" section of the JSON report:
+// wall-clock, solver-check latency percentiles, and the lm_forward vs
+// solver_check time split Fig. 3's discussion is about.
+std::string modes_json(const std::vector<ModeRun>& runs) {
+  lejit::obs::JsonWriter w;
+  w.begin_array();
+  for (const ModeRun& r : runs) {
+    const double lm_s = static_cast<double>(r.lm_forward_ns) * 1e-9;
+    const double solver_s = static_cast<double>(r.solver_check_ns) * 1e-9;
+    const double denom = lm_s + solver_s;
+    w.begin_object();
+    w.key("name").value(r.name);
+    w.key("samples").value(r.samples);
+    w.key("ms_per_sample").value(r.sec_per_sample * 1e3);
+    w.key("wall_clock_s").value(r.sec_per_sample * r.samples);
+    w.key("solver_check_latency_us").begin_object();
+    w.key("count").value(r.solver_checks);
+    w.key("p50").value(r.check_p50_us);
+    w.key("p90").value(r.check_p90_us);
+    w.key("p99").value(r.check_p99_us);
+    w.end_object();
+    w.key("phase_seconds").begin_object();
+    w.key("lm_forward").value(lm_s);
+    w.key("solver_check").value(solver_s);
+    w.key("mask_build").value(static_cast<double>(r.mask_build_ns) * 1e-9);
+    w.key("sampling").value(static_cast<double>(r.sampling_ns) * 1e-9);
+    w.end_object();
+    w.key("lm_forwards").value(r.lm_forwards);
+    w.key("split").begin_object();
+    w.key("lm_forward_frac").value(denom > 0.0 ? lm_s / denom : 0.0);
+    w.key("solver_check_frac").value(denom > 0.0 ? solver_s / denom : 0.0);
+    w.end_object();
+    w.end_object();
+  }
+  w.end_array();
+  return w.str();
+}
+
+void print_fig3_right(bench::JsonReport& report) {
   constexpr int kPaperSamples = 30'000;
 
-  struct Row {
-    std::string name;
-    double sec_per_sample;
-  };
-  std::vector<Row> rows;
+  std::vector<ModeRun> rows;
 
   {
     core::GuidedDecoder dec(env().lm(), env().tokenizer, env().layout,
                             rules::RuleSet{},
                             core::DecoderConfig{.mode = core::GuidanceMode::kSyntax});
     util::Rng rng(5);
-    rows.push_back({"Vanilla LM", per_sample_seconds(
-        [&](const Window& w) {
-          (void)dec.generate(rng, telemetry::imputation_prompt(w));
-        },
-        60)});
+    rows.push_back(run_mode("Vanilla LM", 60, [&](const Window& w) {
+      (void)dec.generate(rng, telemetry::imputation_prompt(w));
+    }));
   }
   {
     const baselines::Zoom2NetImputer imputer(env().train, env().dataset.limits);
-    rows.push_back({"Zoom2Net*", per_sample_seconds(
-        [&](const Window& w) { (void)imputer.impute(w); }, 200)});
+    rows.push_back(run_mode("Zoom2Net*", 200,
+                            [&](const Window& w) { (void)imputer.impute(w); }));
   }
   {
     core::GuidedDecoder dec(env().lm(), env().tokenizer, env().layout,
                             env().manual,
                             core::DecoderConfig{.mode = core::GuidanceMode::kFull});
     util::Rng rng(6);
-    rows.push_back({"LeJIT (manual rules)", per_sample_seconds(
-        [&](const Window& w) {
-          (void)dec.generate(rng, telemetry::imputation_prompt(w));
-        },
-        60)});
+    rows.push_back(run_mode("LeJIT (manual rules)", 60, [&](const Window& w) {
+      (void)dec.generate(rng, telemetry::imputation_prompt(w));
+    }));
   }
   {
     core::GuidedDecoder dec(env().lm(), env().tokenizer, env().layout,
                             env().mined,
                             core::DecoderConfig{.mode = core::GuidanceMode::kFull});
     util::Rng rng(7);
-    rows.push_back({"LeJIT (mined rules)", per_sample_seconds(
-        [&](const Window& w) {
-          (void)dec.generate(rng, telemetry::imputation_prompt(w));
-        },
-        40)});
+    rows.push_back(run_mode("LeJIT (mined rules)", 40, [&](const Window& w) {
+      (void)dec.generate(rng, telemetry::imputation_prompt(w));
+    }));
   }
   {
     baselines::RejectionSampler sampler(
         env().lm(), env().tokenizer, env().layout, env().mined,
         baselines::RejectionConfig{.max_attempts = 400});
     util::Rng rng(8);
-    rows.push_back({"Rejection sampling", per_sample_seconds(
-        [&](const Window& w) {
-          (void)sampler.generate(rng, telemetry::imputation_prompt(w));
-        },
-        12)});
+    rows.push_back(run_mode("Rejection sampling", 12, [&](const Window& w) {
+      (void)sampler.generate(rng, telemetry::imputation_prompt(w));
+    }));
   }
+  report.add_raw("modes", modes_json(rows));
 
   bench::Table table(
       "Fig. 3 (right) — runtime for the 30K-sample imputation workload "
@@ -207,9 +279,12 @@ void print_fig3_right() {
 }  // namespace
 
 int main(int argc, char** argv) {
+  bench::JsonReport report("fig3_runtime", &argc, argv);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
-  print_fig3_right();
+  print_fig3_right(report);
+  report.add_env(env().config);
+  report.write();
   return 0;
 }

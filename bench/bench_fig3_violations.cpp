@@ -53,7 +53,8 @@ struct MethodResult {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  lejit::bench::JsonReport report("fig3_violations", &argc, argv);
   const BenchEnv env = bench::make_env(bench::BenchEnvConfig{.use_transformer = true});
   const auto [windows, excluded] = eligible_windows(env);
 
@@ -187,5 +188,7 @@ int main() {
                     ? "HOLDS"
                     : "CHECK")
             << "\n";
+  report.add_env(env.config);
+  report.write();
   return 0;
 }

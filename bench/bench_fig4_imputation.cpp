@@ -36,7 +36,8 @@ struct Accuracy {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  lejit::bench::JsonReport report("fig4_imputation", &argc, argv);
   const BenchEnv env = bench::make_env(bench::BenchEnvConfig{.use_transformer = true});
 
   std::vector<Window> truths;
@@ -180,5 +181,7 @@ int main() {
             << bench::fmt(lejit.emd / std::max(zoom.emd, 1e-9), 2)
             << " (paper: on-par or better)  -> "
             << ((lejit.emd <= vanilla.emd * 1.05) ? "HOLDS" : "CHECK") << "\n";
+  report.add_env(env.config);
+  report.write();
   return 0;
 }

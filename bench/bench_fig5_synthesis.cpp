@@ -33,7 +33,8 @@ struct GenResult {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  lejit::bench::JsonReport report("fig5_synthesis", &argc, argv);
   const BenchEnv env = bench::make_env(bench::BenchEnvConfig{.use_transformer = true});
 
   // Reference distribution: the held-out racks.
@@ -153,5 +154,7 @@ int main() {
                     ? "HOLDS"
                     : "CHECK")
             << "\n";
+  report.add_env(env.config);
+  report.write();
   return 0;
 }

@@ -165,4 +165,13 @@ BENCHMARK(BM_SolverScaling_Disjunctions)->Arg(10)->Arg(100)->Arg(500)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  lejit::bench::JsonReport report("transition_system", &argc, argv);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  report.add_env(env().config);
+  report.write();
+  return 0;
+}

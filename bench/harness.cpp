@@ -1,8 +1,11 @@
 #include "harness.hpp"
 
+#include <fstream>
 #include <iostream>
 
 #include "lm/trainer.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
 #include "telemetry/text.hpp"
 #include "util/strings.hpp"
 #include "util/timer.hpp"
@@ -68,6 +71,7 @@ std::unique_ptr<lm::Transformer> make_transformer(
 
 BenchEnv make_env(const BenchEnvConfig& config) {
   BenchEnv env;
+  env.config = config;
   env.dataset = telemetry::generate_dataset(telemetry::GeneratorConfig{
       .num_racks = config.racks,
       .windows_per_rack = config.windows_per_rack,
@@ -100,6 +104,7 @@ void Table::add_row(std::vector<std::string> cells) {
 }
 
 void Table::print() const {
+  if (JsonReport* report = JsonReport::active()) report->add_table(*this);
   std::vector<std::size_t> widths(headers.size(), 0);
   for (std::size_t c = 0; c < headers.size(); ++c)
     widths[c] = headers[c].size();
@@ -129,6 +134,91 @@ std::string fmt(double v, int precision) {
 
 std::string fmt_pct(double fraction, int precision) {
   return util::format_double(fraction * 100.0, precision) + "%";
+}
+
+namespace {
+JsonReport* g_active_report = nullptr;
+}
+
+JsonReport* JsonReport::active() { return g_active_report; }
+
+JsonReport::JsonReport(std::string figure, int* argc, char** argv)
+    : figure_(std::move(figure)) {
+  for (int i = 1; i < *argc; ++i) {
+    if (std::string_view(argv[i]) != "--json") continue;
+    if (i + 1 >= *argc || argv[i + 1][0] == '-') {
+      std::cerr << "error: --json expects an output path\n";
+      std::exit(2);
+    }
+    path_ = argv[i + 1];
+    for (int j = i; j + 2 <= *argc; ++j) argv[j] = argv[j + 2];
+    *argc -= 2;
+    break;
+  }
+  if (enabled()) obs::set_metrics_enabled(true);
+  g_active_report = this;
+}
+
+JsonReport::~JsonReport() {
+  if (g_active_report == this) g_active_report = nullptr;
+}
+
+void JsonReport::add_env(const BenchEnvConfig& config) {
+  obs::JsonWriter w;
+  w.begin_object();
+  w.key("racks").value(config.racks);
+  w.key("windows_per_rack").value(config.windows_per_rack);
+  w.key("test_racks").value(config.test_racks);
+  w.key("seed").value(static_cast<std::uint64_t>(config.seed));
+  w.key("use_transformer").value(config.use_transformer);
+  w.key("train_steps").value(config.train_steps);
+  w.end_object();
+  sections_.emplace_back("env", w.str());
+}
+
+void JsonReport::add_table(const Table& table) {
+  if (!enabled()) return;
+  obs::JsonWriter w;
+  w.begin_object();
+  w.key("title").value(table.title);
+  w.key("headers").begin_array();
+  for (const auto& h : table.headers) w.value(h);
+  w.end_array();
+  w.key("rows").begin_array();
+  for (const auto& row : table.rows) {
+    w.begin_array();
+    for (const auto& cell : row) w.value(cell);
+    w.end_array();
+  }
+  w.end_array();
+  w.end_object();
+  tables_.push_back(w.str());
+}
+
+void JsonReport::add_raw(const std::string& key, std::string json_fragment) {
+  sections_.emplace_back(key, std::move(json_fragment));
+}
+
+void JsonReport::write() const {
+  if (!enabled()) return;
+  obs::JsonWriter w;
+  w.begin_object();
+  w.key("schema_version").value(1);
+  w.key("figure").value(figure_);
+  for (const auto& [key, fragment] : sections_) w.key(key).raw(fragment);
+  w.key("tables").begin_array();
+  for (const auto& t : tables_) w.raw(t);
+  w.end_array();
+  w.key("metrics").raw(obs::MetricsRegistry::instance().to_json());
+  w.end_object();
+
+  std::ofstream out(path_, std::ios::binary);
+  out << w.str() << "\n";
+  if (!out) {
+    std::cerr << "error: cannot write bench report to " << path_ << "\n";
+    std::exit(2);
+  }
+  std::cout << "\n[bench] wrote " << path_ << "\n";
 }
 
 }  // namespace lejit::bench

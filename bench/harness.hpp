@@ -10,6 +10,7 @@
 
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/decoder.hpp"
@@ -22,7 +23,19 @@
 
 namespace lejit::bench {
 
+struct BenchEnvConfig {
+  int racks = 30;
+  int windows_per_rack = 80;
+  int test_racks = 5;
+  std::uint64_t seed = 20250705;
+  // Train (or load from `model_cache`) the nano-GPT on the training rows.
+  bool use_transformer = false;
+  int train_steps = 400;
+  std::string model_cache = "lejit_bench_model";  // seed-suffixed .bin
+};
+
 struct BenchEnv {
+  BenchEnvConfig config;
   telemetry::Dataset dataset;
   telemetry::Split split;
   telemetry::RowLayout layout;
@@ -45,20 +58,11 @@ struct BenchEnv {
   }
 };
 
-struct BenchEnvConfig {
-  int racks = 30;
-  int windows_per_rack = 80;
-  int test_racks = 5;
-  std::uint64_t seed = 20250705;
-  // Train (or load from `model_cache`) the nano-GPT on the training rows.
-  bool use_transformer = false;
-  int train_steps = 400;
-  std::string model_cache = "lejit_bench_model";  // seed-suffixed .bin
-};
-
 BenchEnv make_env(const BenchEnvConfig& config = {});
 
 // --- fixed-width table printing ----------------------------------------------
+// print() also records the table into the active JsonReport (if any), so a
+// bench's machine-readable output stays in lockstep with what it prints.
 struct Table {
   explicit Table(std::string title, std::vector<std::string> headers);
   void add_row(std::vector<std::string> cells);
@@ -71,5 +75,44 @@ struct Table {
 
 std::string fmt(double v, int precision = 3);
 std::string fmt_pct(double fraction, int precision = 1);
+
+// --- machine-readable bench output ---------------------------------------------
+// Accumulates one figure's JSON report (BENCH_<figure>.json): environment
+// config, every printed table, custom sections, and a final metrics snapshot
+// — the perf trajectory future PRs regress against.
+//
+// Construct it FIRST in main(): the constructor strips `--json FILE` from
+// argv (google-benchmark rejects flags it does not know) and, when the flag
+// is present, switches the obs metrics layer on for the whole run. Without
+// `--json` every call is a no-op and the bench behaves exactly as before.
+class JsonReport {
+ public:
+  JsonReport(std::string figure, int* argc, char** argv);
+  ~JsonReport();
+  JsonReport(const JsonReport&) = delete;
+  JsonReport& operator=(const JsonReport&) = delete;
+
+  bool enabled() const { return !path_.empty(); }
+  const std::string& path() const { return path_; }
+
+  void add_env(const BenchEnvConfig& config);
+  void add_table(const Table& table);
+  // Splice a pre-rendered JSON fragment as a top-level key (trusted input).
+  void add_raw(const std::string& key, std::string json_fragment);
+
+  // Write the report (figure name, env, tables, custom sections, and a
+  // point-in-time MetricsRegistry snapshot under "metrics") to path().
+  void write() const;
+
+  // The most recently constructed live report, or nullptr (used by
+  // Table::print to self-register tables).
+  static JsonReport* active();
+
+ private:
+  std::string figure_;
+  std::string path_;
+  std::vector<std::pair<std::string, std::string>> sections_;
+  std::vector<std::string> tables_;
+};
 
 }  // namespace lejit::bench

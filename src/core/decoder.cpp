@@ -6,6 +6,9 @@
 #include <span>
 
 #include "core/transition.hpp"
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 
 namespace lejit::core {
@@ -23,6 +26,43 @@ class ScopeGuard {
  private:
   smt::Solver& solver_;
 };
+
+// Folds the row's DecodeStats into the process-wide metrics when the result
+// goes out of scope — one flush point for every return path of generate().
+class StatsFlush {
+ public:
+  explicit StatsFlush(const DecodeResult& result) : result_(result) {}
+  ~StatsFlush() {
+    if (!obs::metrics_enabled()) return;
+    auto& registry = obs::MetricsRegistry::instance();
+    static obs::Counter& c_rows = registry.counter("decode.rows");
+    static obs::Counter& c_chars = registry.counter("decode.chars");
+    static obs::Counter& c_lm_calls = registry.counter("decode.lm_calls");
+    static obs::Counter& c_interventions =
+        registry.counter("decode.interventions");
+    static obs::Counter& c_dead_ends = registry.counter("decode.dead_ends");
+    static obs::Counter& c_infeasible =
+        registry.counter("decode.infeasible_prompts");
+    c_rows.inc();
+    c_chars.add(result_.stats.chars);
+    c_lm_calls.add(result_.stats.lm_calls);
+    c_interventions.add(result_.stats.interventions);
+    if (result_.dead_end) c_dead_ends.inc();
+    if (result_.infeasible_prompt) c_infeasible.inc();
+  }
+  StatsFlush(const StatsFlush&) = delete;
+  StatsFlush& operator=(const StatsFlush&) = delete;
+
+ private:
+  const DecodeResult& result_;
+};
+
+// Probability mass the mask removed at one step, in [0, 1].
+obs::Histogram& removed_mass_histogram() {
+  static obs::Histogram& h = obs::MetricsRegistry::instance().histogram(
+      "decode.removed_mass", obs::HistogramOptions::linear(0.0, 1.0, 20));
+  return h;
+}
 
 }  // namespace
 
@@ -76,6 +116,7 @@ GuidedDecoder::GuidedDecoder(const lm::LanguageModel& model,
 
 DecodeResult GuidedDecoder::generate(util::Rng& rng, std::string_view prompt) {
   DecodeResult result;
+  const StatsFlush flush(result);
   const std::int64_t checks_before = solver_.stats().checks;
 
   // --- unguided mode: free-run the LM until a newline -----------------------
@@ -84,9 +125,15 @@ DecodeResult GuidedDecoder::generate(util::Rng& rng, std::string_view prompt) {
     std::string text(prompt);
     const auto newline = tokenizer_.newline_id();
     for (int step = 0; step < config_.max_free_tokens; ++step) {
-      const std::vector<float> logits = model_.logits(context);
+      const std::vector<float> logits = [&] {
+        const obs::Span span(obs::Phase::kLmForward);
+        return model_.logits(context);
+      }();
       ++result.stats.lm_calls;
-      const int tok = lm::sample_token(logits, config_.sampler, rng);
+      const int tok = [&] {
+        const obs::Span span(obs::Phase::kSampling);
+        return lm::sample_token(logits, config_.sampler, rng);
+      }();
       if (newline && tok == *newline) break;
       context.push_back(tok);
       text.push_back(tokenizer_.decode_char(tok));
@@ -235,9 +282,14 @@ DecodeResult GuidedDecoder::generate(util::Rng& rng, std::string_view prompt) {
   };
 
   while (!walk.done(layout_)) {
-    const int legal = compute_mask();
+    const int legal = [&] {
+      const obs::Span span(obs::Phase::kMaskBuild);
+      return compute_mask();
+    }();
     if (legal == 0) {
       // Unreachable when look-ahead is sound; defensive fail-stop.
+      LEJIT_LOG_WARN("guided decode hit an empty mask at char " +
+                     std::to_string(result.stats.chars));
       result.text = text;
       result.stats.solver_checks = solver_.stats().checks - checks_before;
       return result;
@@ -249,15 +301,22 @@ DecodeResult GuidedDecoder::generate(util::Rng& rng, std::string_view prompt) {
       emitted = tokenizer_.decode_char(
           static_cast<int>(it - mask.begin()));
     } else {
-      const std::vector<float> logits = model_.logits(context);
+      const std::vector<float> logits = [&] {
+        const obs::Span span(obs::Phase::kLmForward);
+        return model_.logits(context);
+      }();
       ++result.stats.lm_calls;
       ++result.stats.masked_steps;
       const double mass = lm::allowed_mass(logits, mask);
       result.stats.removed_mass += 1.0 - mass;
+      removed_mass_histogram().observe(1.0 - mass);
       const auto argmax =
           std::max_element(logits.begin(), logits.end()) - logits.begin();
       if (!mask[static_cast<std::size_t>(argmax)]) ++result.stats.interventions;
-      const int tok = lm::sample_token(logits, config_.sampler, rng, mask);
+      const int tok = [&] {
+        const obs::Span span(obs::Phase::kSampling);
+        return lm::sample_token(logits, config_.sampler, rng, mask);
+      }();
       emitted = tokenizer_.decode_char(tok);
     }
 

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "obs/metrics.hpp"
+#include "obs/timer.hpp"
 #include "util/error.hpp"
 
 namespace lejit::lm {
@@ -43,6 +45,8 @@ void NgramModel::observe(std::span<const int> tokens) {
 }
 
 std::vector<float> NgramModel::logits(std::span<const int> context) const {
+  const bool obs_on = obs::metrics_enabled();
+  const std::int64_t t0 = obs_on ? obs::now_ns() : 0;
   // Interpolated back-off: start from the longest matching context and blend
   // shorter ones with geometrically decaying weight.
   std::vector<double> probs(static_cast<std::size_t>(vocab_size_), 0.0);
@@ -77,6 +81,14 @@ std::vector<float> NgramModel::logits(std::span<const int> context) const {
   std::vector<float> out(probs.size());
   for (std::size_t i = 0; i < probs.size(); ++i)
     out[i] = static_cast<float>(std::log(probs[i] + 1e-12));
+  if (obs_on) {
+    auto& registry = obs::MetricsRegistry::instance();
+    static obs::Counter& c_forwards = registry.counter("lm.ngram.forwards");
+    static obs::Histogram& h_latency =
+        registry.histogram("lm.ngram.forward_latency_us");
+    c_forwards.inc();
+    h_latency.observe(static_cast<double>(obs::now_ns() - t0) * 1e-3);
+  }
   return out;
 }
 

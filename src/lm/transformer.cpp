@@ -5,6 +5,8 @@
 #include <fstream>
 #include <numbers>
 
+#include "obs/metrics.hpp"
+#include "obs/timer.hpp"
 #include "util/error.hpp"
 
 namespace lejit::lm {
@@ -619,6 +621,8 @@ std::size_t Transformer::num_parameters() const noexcept {
 }
 
 std::vector<float> Transformer::logits(std::span<const int> context) const {
+  const bool obs_on = obs::metrics_enabled();
+  const std::int64_t t0 = obs_on ? obs::now_ns() : 0;
   const int start_id = config_.vocab_size;
   const std::size_t keep = std::min(
       context.size(), static_cast<std::size_t>(config_.max_seq - 1));
@@ -630,7 +634,16 @@ std::vector<float> Transformer::logits(std::span<const int> context) const {
     LEJIT_REQUIRE(t >= 0 && t < config_.vocab_size, "token id out of range");
     ids.push_back(t);
   }
-  return impl_->decode_logits(ids);
+  std::vector<float> out = impl_->decode_logits(ids);
+  if (obs_on) {
+    auto& registry = obs::MetricsRegistry::instance();
+    static obs::Counter& c_forwards = registry.counter("lm.transformer.forwards");
+    static obs::Histogram& h_latency =
+        registry.histogram("lm.transformer.forward_latency_us");
+    c_forwards.inc();
+    h_latency.observe(static_cast<double>(obs::now_ns() - t0) * 1e-3);
+  }
+  return out;
 }
 
 namespace {

@@ -1,0 +1,63 @@
+// Minimal streaming JSON writer for telemetry export.
+//
+// The observability layer (metrics snapshots, trace files) and the bench
+// harness JSON reports all emit JSON; this writer keeps them consistent and
+// correct (escaping, comma placement, non-finite doubles) without pulling in
+// an external JSON dependency.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lejit::obs {
+
+// Escape `s` for inclusion between JSON double quotes (quotes not included).
+std::string json_escape(std::string_view s);
+
+// Append-only writer with automatic comma management. Usage:
+//
+//   JsonWriter w;
+//   w.begin_object();
+//   w.key("counts").begin_array().value(1).value(2).end_array();
+//   w.key("name").value("smt.checks");
+//   w.end_object();
+//   std::string doc = w.str();
+//
+// Misuse (a key outside an object, unbalanced end_*) trips an assertion in
+// debug builds and degrades to syntactically odd output otherwise — callers
+// are all in-repo, so the writer favors being small over being defensive.
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  JsonWriter& key(std::string_view k);
+
+  JsonWriter& value(std::string_view v);
+  JsonWriter& value(const char* v) { return value(std::string_view(v)); }
+  JsonWriter& value(double v);  // NaN/Inf are emitted as null
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(bool v);
+  JsonWriter& null();
+
+  // Splice a pre-rendered JSON fragment in value position (trusted input).
+  JsonWriter& raw(std::string_view fragment);
+
+  const std::string& str() const { return out_; }
+
+ private:
+  void before_value();
+
+  std::string out_;
+  // One entry per open container: true once the first element was written.
+  std::vector<bool> needs_comma_;
+  bool after_key_ = false;
+};
+
+}  // namespace lejit::obs

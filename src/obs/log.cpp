@@ -1,0 +1,67 @@
+#include "obs/log.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+namespace lejit::obs {
+
+namespace {
+
+LogLevel level_from_env() noexcept {
+  const char* env = std::getenv("LEJIT_LOG");
+  LogLevel level = LogLevel::kOff;
+  if (env != nullptr) Logger::parse_level(env, &level);
+  return level;
+}
+
+std::atomic<int>& level_slot() noexcept {
+  static std::atomic<int> level{static_cast<int>(level_from_env())};
+  return level;
+}
+
+std::mutex& write_mutex() noexcept {
+  static std::mutex* mu = new std::mutex();  // never destroyed
+  return *mu;
+}
+
+}  // namespace
+
+LogLevel Logger::level() noexcept {
+  return static_cast<LogLevel>(level_slot().load(std::memory_order_relaxed));
+}
+
+void Logger::set_level(LogLevel level) noexcept {
+  level_slot().store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+bool Logger::parse_level(std::string_view name, LogLevel* out) noexcept {
+  if (name == "off" || name == "none") *out = LogLevel::kOff;
+  else if (name == "error") *out = LogLevel::kError;
+  else if (name == "warn" || name == "warning") *out = LogLevel::kWarn;
+  else if (name == "info") *out = LogLevel::kInfo;
+  else if (name == "debug") *out = LogLevel::kDebug;
+  else return false;
+  return true;
+}
+
+std::string_view Logger::level_name(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::kOff: return "off";
+    case LogLevel::kError: return "error";
+    case LogLevel::kWarn: return "warn";
+    case LogLevel::kInfo: return "info";
+    case LogLevel::kDebug: return "debug";
+  }
+  return "unknown";
+}
+
+void Logger::write(LogLevel level, std::string_view msg) {
+  const std::lock_guard<std::mutex> lock(write_mutex());
+  std::fprintf(stderr, "[lejit][%.*s] %.*s\n",
+               static_cast<int>(level_name(level).size()),
+               level_name(level).data(), static_cast<int>(msg.size()),
+               msg.data());
+}
+
+}  // namespace lejit::obs

@@ -1,0 +1,56 @@
+// Leveled diagnostic logging, off by default.
+//
+// The hot paths must stay clean: a disabled log statement costs one relaxed
+// atomic load, and the message expression is not evaluated (the macros guard
+// before building the string). Output goes to stderr so row text on stdout
+// stays machine-consumable.
+//
+// Level selection, highest precedence first:
+//   1. Logger::set_level(...)        — programmatic (lejit_cli --log-level)
+//   2. LEJIT_LOG environment variable ("error"|"warn"|"info"|"debug"|"off")
+//   3. default: off
+#pragma once
+
+#include <atomic>
+#include <string>
+#include <string_view>
+
+namespace lejit::obs {
+
+enum class LogLevel : int { kOff = 0, kError, kWarn, kInfo, kDebug };
+
+class Logger {
+ public:
+  // Current threshold; first call reads LEJIT_LOG.
+  static LogLevel level() noexcept;
+  static void set_level(LogLevel level) noexcept;
+
+  // "debug" → kDebug etc.; returns false (and leaves `out` alone) on an
+  // unrecognized name.
+  static bool parse_level(std::string_view name, LogLevel* out) noexcept;
+  static std::string_view level_name(LogLevel level) noexcept;
+
+  static bool enabled(LogLevel level) noexcept {
+    return static_cast<int>(level) <= static_cast<int>(Logger::level());
+  }
+
+  // Emit "[lejit][warn] msg\n" to stderr (serialized across threads).
+  // Prefer the LEJIT_LOG_* macros, which make the message lazy.
+  static void write(LogLevel level, std::string_view msg);
+};
+
+}  // namespace lejit::obs
+
+// The message argument is only evaluated when the level is enabled, so
+// building it may be arbitrarily expensive:
+//   LEJIT_LOG_DEBUG("check #" + std::to_string(n) + " unsat");
+#define LEJIT_LOG_AT(lvl, msg)                                \
+  do {                                                        \
+    if (::lejit::obs::Logger::enabled(lvl))                   \
+      ::lejit::obs::Logger::write((lvl), (msg));              \
+  } while (false)
+
+#define LEJIT_LOG_ERROR(msg) LEJIT_LOG_AT(::lejit::obs::LogLevel::kError, msg)
+#define LEJIT_LOG_WARN(msg) LEJIT_LOG_AT(::lejit::obs::LogLevel::kWarn, msg)
+#define LEJIT_LOG_INFO(msg) LEJIT_LOG_AT(::lejit::obs::LogLevel::kInfo, msg)
+#define LEJIT_LOG_DEBUG(msg) LEJIT_LOG_AT(::lejit::obs::LogLevel::kDebug, msg)

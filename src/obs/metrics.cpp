@@ -1,0 +1,177 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "obs/json.hpp"
+#include "util/error.hpp"
+
+namespace lejit::obs {
+
+namespace detail {
+std::atomic<bool> g_metrics_enabled{false};
+}
+
+void set_metrics_enabled(bool on) noexcept {
+  detail::g_metrics_enabled.store(on, std::memory_order_relaxed);
+}
+
+HistogramOptions HistogramOptions::latency_us() {
+  HistogramOptions o;
+  for (double decade = 1.0; decade <= 1e6; decade *= 10.0)
+    for (const double step : {1.0, 2.0, 5.0}) o.bounds.push_back(decade * step);
+  o.bounds.push_back(1e7);  // 10 s
+  return o;
+}
+
+HistogramOptions HistogramOptions::linear(double lo, double hi, int n) {
+  LEJIT_REQUIRE(n > 0 && lo < hi, "bad linear histogram spec");
+  HistogramOptions o;
+  const double w = (hi - lo) / n;
+  for (int i = 1; i <= n; ++i) o.bounds.push_back(lo + w * i);
+  return o;
+}
+
+Histogram::Histogram(HistogramOptions opts) : bounds_(std::move(opts.bounds)) {
+  LEJIT_REQUIRE(std::is_sorted(bounds_.begin(), bounds_.end()),
+                "histogram bucket bounds must be ascending");
+  buckets_ = std::make_unique<std::atomic<std::int64_t>[]>(bounds_.size() + 1);
+  for (std::size_t i = 0; i <= bounds_.size(); ++i)
+    buckets_[i].store(0, std::memory_order_relaxed);
+}
+
+void Histogram::observe(double v) noexcept {
+  if (!metrics_enabled()) return;
+  const auto it = std::upper_bound(bounds_.begin(), bounds_.end(), v);
+  buckets_[static_cast<std::size_t>(it - bounds_.begin())].fetch_add(
+      1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  // Relaxed CAS accumulators: exact under concurrency, no lock.
+  double s = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(s, s + v, std::memory_order_relaxed)) {
+  }
+  double m = max_.load(std::memory_order_relaxed);
+  while (v > m &&
+         !max_.compare_exchange_weak(m, v, std::memory_order_relaxed)) {
+  }
+}
+
+double Histogram::percentile(double p) const {
+  const std::int64_t n = count();
+  if (n == 0) return 0.0;
+  p = std::clamp(p, 0.0, 1.0);
+  const double target = p * static_cast<double>(n);
+  double cumulative = 0.0;
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+    const auto in_bucket =
+        static_cast<double>(buckets_[i].load(std::memory_order_relaxed));
+    if (cumulative + in_bucket < target) {
+      cumulative += in_bucket;
+      continue;
+    }
+    if (i == bounds_.size()) return max();  // overflow bucket
+    const double hi = bounds_[i];
+    const double lo = i == 0 ? 0.0 : bounds_[i - 1];
+    if (in_bucket <= 0.0) return lo;
+    const double frac = (target - cumulative) / in_bucket;
+    return std::min(lo + (hi - lo) * frac, max() > 0.0 ? max() : hi);
+  }
+  return max();
+}
+
+void Histogram::reset() noexcept {
+  for (std::size_t i = 0; i <= bounds_.size(); ++i)
+    buckets_[i].store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  max_.store(0.0, std::memory_order_relaxed);
+}
+
+MetricsRegistry& MetricsRegistry::instance() {
+  static MetricsRegistry* registry = new MetricsRegistry();  // never destroyed
+  return *registry;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      HistogramOptions opts) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>(std::move(opts));
+  return *slot;
+}
+
+void MetricsRegistry::reset() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+}
+
+std::string MetricsRegistry::to_json() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  JsonWriter w;
+  w.begin_object();
+  w.key("counters").begin_object();
+  for (const auto& [name, c] : counters_) w.key(name).value(c->value());
+  w.end_object();
+  w.key("gauges").begin_object();
+  for (const auto& [name, g] : gauges_) w.key(name).value(g->value());
+  w.end_object();
+  w.key("histograms").begin_object();
+  for (const auto& [name, h] : histograms_) {
+    w.key(name).begin_object();
+    w.key("count").value(h->count());
+    w.key("sum").value(h->sum());
+    w.key("mean").value(h->mean());
+    w.key("max").value(h->max());
+    w.key("p50").value(h->percentile(0.50));
+    w.key("p90").value(h->percentile(0.90));
+    w.key("p99").value(h->percentile(0.99));
+    w.end_object();
+  }
+  w.end_object();
+  w.end_object();
+  return w.str();
+}
+
+std::string MetricsRegistry::pretty() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "== metrics ==\n";
+  char buf[192];
+  for (const auto& [name, c] : counters_) {
+    std::snprintf(buf, sizeof buf, "  %-36s %12lld\n", name.c_str(),
+                  static_cast<long long>(c->value()));
+    out += buf;
+  }
+  for (const auto& [name, g] : gauges_) {
+    std::snprintf(buf, sizeof buf, "  %-36s %12.3f\n", name.c_str(),
+                  g->value());
+    out += buf;
+  }
+  for (const auto& [name, h] : histograms_) {
+    std::snprintf(buf, sizeof buf,
+                  "  %-36s n=%-8lld mean=%-10.2f p50=%-10.2f p90=%-10.2f "
+                  "p99=%-10.2f max=%.2f\n",
+                  name.c_str(), static_cast<long long>(h->count()), h->mean(),
+                  h->percentile(0.50), h->percentile(0.90), h->percentile(0.99),
+                  h->max());
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace lejit::obs

@@ -1,0 +1,41 @@
+// Monotonic wall-clock primitives shared by benches, metrics, and spans.
+//
+// Moved here from util/timer.hpp so the observability layer and the bench
+// harnesses read the same clock; util/timer.hpp remains as a forwarder.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace lejit::obs {
+
+// Nanoseconds on the process-wide monotonic clock. The absolute value is
+// meaningless; differences are span/timer durations.
+inline std::int64_t now_ns() noexcept {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// Monotonic stopwatch. Start on construction; read elapsed time at will.
+class Timer {
+ public:
+  Timer() noexcept : start_(now_ns()) {}
+
+  void reset() noexcept { start_ = now_ns(); }
+
+  std::int64_t elapsed_ns() const noexcept { return now_ns() - start_; }
+
+  double elapsed_seconds() const noexcept {
+    return static_cast<double>(elapsed_ns()) * 1e-9;
+  }
+
+  double elapsed_ms() const noexcept {
+    return static_cast<double>(elapsed_ns()) * 1e-6;
+  }
+
+ private:
+  std::int64_t start_;
+};
+
+}  // namespace lejit::obs

@@ -1,0 +1,108 @@
+#include "obs/trace.hpp"
+
+#include <fstream>
+#include <functional>
+#include <thread>
+
+#include "obs/json.hpp"
+#include "util/error.hpp"
+
+namespace lejit::obs {
+
+namespace {
+
+std::uint32_t current_tid() noexcept {
+  // Stable small-ish id per thread; chrome://tracing only needs distinctness.
+  static thread_local const std::uint32_t tid = static_cast<std::uint32_t>(
+      std::hash<std::thread::id>{}(std::this_thread::get_id()) & 0xffffff);
+  return tid;
+}
+
+}  // namespace
+
+std::string_view phase_name(Phase p) noexcept {
+  switch (p) {
+    case Phase::kLmForward: return "lm_forward";
+    case Phase::kSolverCheck: return "solver_check";
+    case Phase::kMaskBuild: return "mask_build";
+    case Phase::kSampling: return "sampling";
+    case Phase::kRuleMining: return "rule_mining";
+    case Phase::kCount: break;
+  }
+  return "unknown";
+}
+
+Tracer& Tracer::instance() {
+  static Tracer* tracer = new Tracer();  // never destroyed
+  return *tracer;
+}
+
+Tracer::PhaseTotals Tracer::totals(Phase p) const noexcept {
+  const auto i = static_cast<std::size_t>(p);
+  return {counts_[i].load(std::memory_order_relaxed),
+          ns_[i].load(std::memory_order_relaxed)};
+}
+
+void Tracer::reset() noexcept {
+  for (auto& c : counts_) c.store(0, std::memory_order_relaxed);
+  for (auto& n : ns_) n.store(0, std::memory_order_relaxed);
+  const std::lock_guard<std::mutex> lock(events_mu_);
+  events_.clear();
+}
+
+void Tracer::start_capture() {
+  const std::lock_guard<std::mutex> lock(events_mu_);
+  capture_start_ns_ = now_ns();
+  events_.clear();
+  capturing_.store(true, std::memory_order_relaxed);
+}
+
+void Tracer::stop_capture() noexcept {
+  capturing_.store(false, std::memory_order_relaxed);
+}
+
+std::size_t Tracer::num_events() const {
+  const std::lock_guard<std::mutex> lock(events_mu_);
+  return events_.size();
+}
+
+void Tracer::record(Phase p, std::int64_t start_ns,
+                    std::int64_t dur_ns) noexcept {
+  const auto i = static_cast<std::size_t>(p);
+  counts_[i].fetch_add(1, std::memory_order_relaxed);
+  ns_[i].fetch_add(dur_ns, std::memory_order_relaxed);
+  if (!capturing_.load(std::memory_order_relaxed)) return;
+  const std::lock_guard<std::mutex> lock(events_mu_);
+  events_.push_back({p, start_ns, dur_ns, current_tid()});
+}
+
+std::string Tracer::trace_json() const {
+  const std::lock_guard<std::mutex> lock(events_mu_);
+  JsonWriter w;
+  w.begin_object();
+  w.key("traceEvents").begin_array();
+  for (const Event& e : events_) {
+    w.begin_object();
+    w.key("name").value(phase_name(e.phase));
+    w.key("cat").value("lejit");
+    w.key("ph").value("X");
+    w.key("ts").value(static_cast<double>(e.start_ns - capture_start_ns_) *
+                      1e-3);
+    w.key("dur").value(static_cast<double>(e.dur_ns) * 1e-3);
+    w.key("pid").value(std::int64_t{1});
+    w.key("tid").value(static_cast<std::int64_t>(e.tid));
+    w.end_object();
+  }
+  w.end_array();
+  w.key("displayTimeUnit").value("ms");
+  w.end_object();
+  return w.str();
+}
+
+void Tracer::write_trace(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  out << trace_json();
+  if (!out) throw util::RuntimeError("cannot write trace file: " + path);
+}
+
+}  // namespace lejit::obs

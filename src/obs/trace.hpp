@@ -1,0 +1,117 @@
+// Scoped phase timers for the decode/solve hot path.
+//
+// A `Span` is a zero-allocation RAII timer tagged with a `Phase`. On
+// destruction it folds its duration into the process-wide `Tracer`
+// aggregates (per-phase call count + total ns) and — when a trace capture is
+// active — appends a complete event to the trace buffer. Export the buffer
+// with `Tracer::write_trace()`: the file loads directly into
+// chrome://tracing / Perfetto ("X" complete events, microsecond timestamps).
+//
+// Spans nest naturally (a mask_build span encloses the solver_check spans
+// it triggers); aggregate totals are therefore *inclusive* — the enclosing
+// phase's total contains its children. The per-decode breakdown the paper's
+// Fig. 3 discussion needs is lm_forward vs solver_check, which never nest
+// within each other.
+//
+// Like all of obs, spans are inert unless `metrics_enabled()`: a disabled
+// span reads one atomic and touches no clock.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/timer.hpp"
+
+namespace lejit::obs {
+
+// The decode pipeline's phases. Extend here (and in phase_name) as new
+// subsystems grow instrumentation.
+enum class Phase : int {
+  kLmForward = 0,   // LanguageModel::logits
+  kSolverCheck,     // smt::Solver::check_assuming
+  kMaskBuild,       // per-token legal-set construction (includes its checks)
+  kSampling,        // masked sampling from the LM distribution
+  kRuleMining,      // rules::mine_rules
+  kCount,
+};
+
+std::string_view phase_name(Phase p) noexcept;
+
+class Tracer {
+ public:
+  static Tracer& instance();
+
+  struct PhaseTotals {
+    std::int64_t count = 0;
+    std::int64_t total_ns = 0;
+  };
+  PhaseTotals totals(Phase p) const noexcept;
+
+  // Zero the aggregates and drop any captured events (capture state and the
+  // capture start time are preserved).
+  void reset() noexcept;
+
+  // Event capture for chrome://tracing. Capturing is independent of the
+  // aggregate totals, which are always maintained while metrics are enabled.
+  void start_capture();
+  void stop_capture() noexcept;
+  bool capturing() const noexcept {
+    return capturing_.load(std::memory_order_relaxed);
+  }
+  std::size_t num_events() const;
+
+  // {"traceEvents": [...], "displayTimeUnit": "ms"}
+  std::string trace_json() const;
+  // Write trace_json() to `path`; throws util::RuntimeError on I/O failure.
+  void write_trace(const std::string& path) const;
+
+  // Called by ~Span; also usable directly for phases timed by hand.
+  void record(Phase p, std::int64_t start_ns, std::int64_t dur_ns) noexcept;
+
+ private:
+  Tracer() = default;
+
+  struct Event {
+    Phase phase;
+    std::int64_t start_ns;
+    std::int64_t dur_ns;
+    std::uint32_t tid;
+  };
+
+  std::array<std::atomic<std::int64_t>, static_cast<int>(Phase::kCount)>
+      counts_{};
+  std::array<std::atomic<std::int64_t>, static_cast<int>(Phase::kCount)>
+      ns_{};
+  std::atomic<bool> capturing_{false};
+  std::int64_t capture_start_ns_ = 0;
+  mutable std::mutex events_mu_;
+  std::vector<Event> events_;
+};
+
+// RAII phase timer. Construct where the phase begins; the destructor records.
+class Span {
+ public:
+  explicit Span(Phase phase) noexcept
+      : phase_(phase), active_(metrics_enabled()) {
+    if (active_) start_ = now_ns();
+  }
+  ~Span() {
+    if (active_) Tracer::instance().record(phase_, start_, now_ns() - start_);
+  }
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  Phase phase_;
+  bool active_;
+  std::int64_t start_ = 0;
+};
+
+}  // namespace lejit::obs

@@ -5,6 +5,10 @@
 #include <set>
 #include <sstream>
 
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/timer.hpp"
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 
 namespace lejit::rules {
@@ -33,10 +37,14 @@ struct FieldColumn {
 
 }  // namespace
 
-MinerReport mine_rules(std::span<const Window> train,
-                       const telemetry::RowLayout& layout,
-                       const telemetry::Limits& limits,
-                       const MinerConfig& config) {
+namespace {
+
+// The actual miner; the public mine_rules wraps it with instrumentation so
+// the validated path's recursion is not double-counted.
+MinerReport mine_rules_inner(std::span<const Window> train,
+                             const telemetry::RowLayout& layout,
+                             const telemetry::Limits& limits,
+                             const MinerConfig& config) {
   LEJIT_REQUIRE(!train.empty(), "cannot mine rules from an empty train set");
 
   // Confidence filtering: mine on a subset, validate on the held-out rest,
@@ -54,7 +62,7 @@ MinerReport mine_rules(std::span<const Window> train,
     }
     MinerConfig inner = config;
     inner.validate_fraction = 0.0;
-    MinerReport mined = mine_rules(mine_set, layout, limits, inner);
+    MinerReport mined = mine_rules_inner(mine_set, layout, limits, inner);
 
     std::vector<std::vector<Int>> holdout_assignments;
     holdout_assignments.reserve(holdout.size());
@@ -349,6 +357,33 @@ MinerReport mine_rules(std::span<const Window> train,
     }
     report = std::move(deduped);
   }
+  return report;
+}
+
+}  // namespace
+
+MinerReport mine_rules(std::span<const Window> train,
+                       const telemetry::RowLayout& layout,
+                       const telemetry::Limits& limits,
+                       const MinerConfig& config) {
+  const obs::Span span(obs::Phase::kRuleMining);
+  const obs::Timer timer;
+  MinerReport report = mine_rules_inner(train, layout, limits, config);
+  if (obs::metrics_enabled()) {
+    auto& registry = obs::MetricsRegistry::instance();
+    static obs::Counter& c_runs = registry.counter("miner.runs");
+    static obs::Counter& c_rules = registry.counter("miner.rules_mined");
+    static obs::Counter& c_dropped =
+        registry.counter("miner.dropped_by_validation");
+    static obs::Gauge& g_duration = registry.gauge("miner.last_duration_ms");
+    c_runs.inc();
+    c_rules.add(static_cast<std::int64_t>(report.rules.size()));
+    c_dropped.add(static_cast<std::int64_t>(report.dropped_by_validation));
+    g_duration.set(timer.elapsed_ms());
+  }
+  LEJIT_LOG_INFO("mined " + std::to_string(report.rules.size()) +
+                 " rules from " + std::to_string(train.size()) +
+                 " windows in " + std::to_string(timer.elapsed_ms()) + " ms");
   return report;
 }
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 
 namespace lejit::smt {
@@ -449,6 +451,31 @@ CheckResult Solver::search(detail::SearchNode& node, std::int64_t& budget) {
 }
 
 CheckResult Solver::check_assuming(std::span<const Formula> assumptions) {
+  if (!obs::metrics_enabled()) return check_assuming_impl(assumptions);
+
+  // Registered once; updates through the references are lock-free.
+  auto& registry = obs::MetricsRegistry::instance();
+  static obs::Counter& c_checks = registry.counter("smt.checks");
+  static obs::Counter& c_nodes = registry.counter("smt.nodes");
+  static obs::Counter& c_props = registry.counter("smt.propagations");
+  static obs::Counter& c_unknowns = registry.counter("smt.unknowns");
+  static obs::Histogram& h_latency =
+      registry.histogram("smt.check_latency_us");
+
+  const std::int64_t nodes_before = stats_.nodes;
+  const std::int64_t props_before = stats_.propagations;
+  const std::int64_t t0 = obs::now_ns();
+  const obs::Span span(obs::Phase::kSolverCheck);
+  const CheckResult r = check_assuming_impl(assumptions);
+  h_latency.observe(static_cast<double>(obs::now_ns() - t0) * 1e-3);
+  c_checks.inc();
+  c_nodes.add(stats_.nodes - nodes_before);
+  c_props.add(stats_.propagations - props_before);
+  if (r == CheckResult::kUnknown) c_unknowns.inc();
+  return r;
+}
+
+CheckResult Solver::check_assuming_impl(std::span<const Formula> assumptions) {
   ++stats_.checks;
   has_model_ = false;
 

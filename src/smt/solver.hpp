@@ -103,6 +103,7 @@ class Solver {
     Int hi = 0;
   };
 
+  CheckResult check_assuming_impl(std::span<const Formula> assumptions);
   CheckResult search(detail::SearchNode& node, std::int64_t& budget);
 
   SolverConfig config_;

@@ -1,26 +1,12 @@
-// Wall-clock timing for the benchmark harnesses.
+// Forwarder: Timer moved to obs/timer.hpp so benches and observability spans
+// share one clock. Kept so existing `#include "util/timer.hpp"` sites and the
+// lejit::util::Timer spelling keep compiling.
 #pragma once
 
-#include <chrono>
+#include "obs/timer.hpp"
 
 namespace lejit::util {
 
-// Monotonic stopwatch. Start on construction; read elapsed time at will.
-class Timer {
- public:
-  Timer() noexcept : start_(Clock::now()) {}
-
-  void reset() noexcept { start_ = Clock::now(); }
-
-  double elapsed_seconds() const noexcept {
-    return std::chrono::duration<double>(Clock::now() - start_).count();
-  }
-
-  double elapsed_ms() const noexcept { return elapsed_seconds() * 1e3; }
-
- private:
-  using Clock = std::chrono::steady_clock;
-  Clock::time_point start_;
-};
+using Timer = ::lejit::obs::Timer;
 
 }  // namespace lejit::util

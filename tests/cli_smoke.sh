@@ -1,14 +1,43 @@
 #!/bin/sh
 # End-to-end smoke test of the lejit_cli workflow:
-# generate -> mine -> train (briefly) -> synth -> check must yield 0 violations.
-set -e
+# generate -> mine -> train (briefly) -> synth -> check must yield 0
+# violations, and the observability exports must produce non-empty JSON.
+#
+# Each stage announces itself and failures name the stage, so a broken
+# pipeline points at the broken step instead of dying silently under -e.
+set -u
 CLI="$1"
 DIR=$(mktemp -d)
 trap 'rm -rf "$DIR"' EXIT
-cd "$DIR"
-"$CLI" generate --racks 6 --windows 30 --seed 3 --out corpus.txt 2>/dev/null
-"$CLI" mine --corpus corpus.txt --out rules.txt 2>/dev/null
-"$CLI" train --corpus corpus.txt --steps 25 --dmodel 32 --heads 2 --dff 48 --out model.bin 2>/dev/null
-"$CLI" synth --model model.bin --rules rules.txt --count 6 --seed 9 2>/dev/null > rows.txt
-test -s rows.txt
-"$CLI" check --rules rules.txt --rows rows.txt
+cd "$DIR" || exit 1
+
+STAGE=none
+run() {
+  STAGE="$1"
+  shift
+  echo "[cli_smoke] stage: $STAGE" >&2
+  if ! "$@"; then
+    echo "[cli_smoke] FAILED at stage: $STAGE" >&2
+    exit 1
+  fi
+}
+
+run generate "$CLI" generate --racks 6 --windows 30 --seed 3 --out corpus.txt 2>/dev/null
+run mine "$CLI" mine --corpus corpus.txt --out rules.txt 2>/dev/null
+run train "$CLI" train --corpus corpus.txt --steps 25 --dmodel 32 --heads 2 --dff 48 --out model.bin 2>/dev/null
+
+STAGE=synth
+echo "[cli_smoke] stage: $STAGE" >&2
+if ! "$CLI" synth --model model.bin --rules rules.txt --count 6 --seed 9 \
+      --metrics-out metrics.json --trace-out trace.json 2>/dev/null > rows.txt; then
+  echo "[cli_smoke] FAILED at stage: $STAGE" >&2
+  exit 1
+fi
+
+run synth-output test -s rows.txt
+run metrics-output test -s metrics.json
+run metrics-content grep -q smt.checks metrics.json
+run trace-output test -s trace.json
+run trace-content grep -q traceEvents trace.json
+run check "$CLI" check --rules rules.txt --rows rows.txt
+echo "[cli_smoke] all stages passed" >&2

@@ -7,6 +7,8 @@
 #include "core/decoder.hpp"
 #include "lm/ngram.hpp"
 #include "lm/trainer.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "rules/checker.hpp"
 #include "rules/miner.hpp"
 #include "telemetry/generator.hpp"
@@ -211,6 +213,41 @@ TEST(TaskSwap, SameModelServesImputationAndSynthesis) {
   const auto synthesized = synthesizer.generate(rng);
   ASSERT_TRUE(synthesized.ok);
   EXPECT_TRUE(rules::violated_rules(coarse, *synthesized.window).empty());
+}
+
+TEST(Observability, FullDecodePhaseSpansMatchDecodeStats) {
+  // With metrics on, the tracer's lm_forward span count must agree exactly
+  // with the decoder's own DecodeStats.lm_calls bookkeeping across a kFull
+  // run — the obs layer observes the hot path, it must not miscount it.
+  telemetry::Limits limits;
+  const Pipeline p(limits, 25);
+
+  const bool prev = obs::metrics_enabled();
+  obs::set_metrics_enabled(true);
+  obs::MetricsRegistry::instance().reset();
+  obs::Tracer::instance().reset();
+
+  core::GuidedDecoder dec(*p.model, p.tokenizer, p.layout, p.mined,
+                          core::DecoderConfig{.mode = core::GuidanceMode::kFull});
+  util::Rng rng(8);
+  std::int64_t lm_calls = 0;
+  std::int64_t solver_checks = 0;
+  for (int i = 0; i < 4; ++i) {
+    const auto r = dec.generate(rng);
+    ASSERT_TRUE(r.ok) << r.text;
+    lm_calls += r.stats.lm_calls;
+    solver_checks += r.stats.solver_checks;
+  }
+
+  const auto lm = obs::Tracer::instance().totals(obs::Phase::kLmForward);
+  EXPECT_EQ(lm.count, lm_calls);
+  EXPECT_GT(lm.total_ns, 0);
+  // Every per-row sat check went through the instrumented solver entry.
+  EXPECT_EQ(obs::MetricsRegistry::instance()
+                .counter("smt.checks")
+                .value(),
+            solver_checks);
+  obs::set_metrics_enabled(prev);
 }
 
 }  // namespace

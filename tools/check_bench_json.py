@@ -1,0 +1,203 @@
+#!/usr/bin/env python3
+"""Validate BENCH_*.json reports emitted by the bench harness (--json flag).
+
+Usage:
+  check_bench_json.py FILE [FILE ...]     validate specific report files
+  check_bench_json.py --scan DIR          validate every BENCH_*.json under DIR
+                                          (ok if none exist yet)
+  check_bench_json.py --self-test         validate the checker itself against
+                                          known-good and known-bad documents
+
+Exit status 0 iff every checked document is valid. The required shape is the
+contract future PRs regress against; extend REQUIRED_* in lockstep with
+bench/harness.cpp's JsonReport::write().
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+
+REQUIRED_TOP_KEYS = ("schema_version", "figure", "env", "tables", "metrics")
+REQUIRED_ENV_KEYS = ("racks", "windows_per_rack", "test_racks", "seed",
+                     "use_transformer", "train_steps")
+REQUIRED_METRIC_KEYS = ("counters", "gauges", "histograms")
+REQUIRED_HISTOGRAM_KEYS = ("count", "sum", "mean", "max", "p50", "p90", "p99")
+# fig3_runtime carries the per-mode runtime/latency breakdown the ISSUE's
+# acceptance criteria name explicitly.
+REQUIRED_MODE_KEYS = ("name", "samples", "ms_per_sample", "wall_clock_s",
+                      "solver_check_latency_us", "phase_seconds", "split")
+
+
+def check_report(doc, errors, where):
+    def err(msg):
+        errors.append(f"{where}: {msg}")
+
+    if not isinstance(doc, dict):
+        err("top-level JSON value is not an object")
+        return
+
+    for key in REQUIRED_TOP_KEYS:
+        if key not in doc:
+            err(f"missing top-level key {key!r}")
+
+    env = doc.get("env")
+    if isinstance(env, dict):
+        for key in REQUIRED_ENV_KEYS:
+            if key not in env:
+                err(f"env is missing {key!r}")
+    elif env is not None:
+        err("env is not an object")
+
+    tables = doc.get("tables")
+    if isinstance(tables, list):
+        for i, table in enumerate(tables):
+            if not isinstance(table, dict):
+                err(f"tables[{i}] is not an object")
+                continue
+            for key in ("title", "headers", "rows"):
+                if key not in table:
+                    err(f"tables[{i}] is missing {key!r}")
+            headers = table.get("headers", [])
+            for j, row in enumerate(table.get("rows", [])):
+                if isinstance(row, list) and isinstance(headers, list) and \
+                        len(row) != len(headers):
+                    err(f"tables[{i}].rows[{j}] has {len(row)} cells "
+                        f"for {len(headers)} headers")
+    elif tables is not None:
+        err("tables is not an array")
+
+    metrics = doc.get("metrics")
+    if isinstance(metrics, dict):
+        for key in REQUIRED_METRIC_KEYS:
+            if key not in metrics:
+                err(f"metrics is missing {key!r}")
+        for name, hist in (metrics.get("histograms") or {}).items():
+            if not isinstance(hist, dict):
+                err(f"metrics.histograms[{name!r}] is not an object")
+                continue
+            for key in REQUIRED_HISTOGRAM_KEYS:
+                if key not in hist:
+                    err(f"metrics.histograms[{name!r}] is missing {key!r}")
+    elif metrics is not None:
+        err("metrics is not an object")
+
+    if doc.get("figure") == "fig3_runtime":
+        modes = doc.get("modes")
+        if not isinstance(modes, list) or not modes:
+            err("fig3_runtime report has no 'modes' array")
+        else:
+            for i, mode in enumerate(modes):
+                if not isinstance(mode, dict):
+                    err(f"modes[{i}] is not an object")
+                    continue
+                for key in REQUIRED_MODE_KEYS:
+                    if key not in mode:
+                        err(f"modes[{i}] is missing {key!r}")
+                lat = mode.get("solver_check_latency_us")
+                if isinstance(lat, dict):
+                    for key in ("count", "p50", "p90", "p99"):
+                        if key not in lat:
+                            err(f"modes[{i}].solver_check_latency_us "
+                                f"is missing {key!r}")
+                phases = mode.get("phase_seconds")
+                if isinstance(phases, dict):
+                    for key in ("lm_forward", "solver_check"):
+                        if key not in phases:
+                            err(f"modes[{i}].phase_seconds is missing {key!r}")
+
+
+def check_file(path):
+    errors = []
+    try:
+        doc = json.loads(pathlib.Path(path).read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        return [f"{path}: unreadable or invalid JSON: {exc}"]
+    check_report(doc, errors, str(path))
+    return errors
+
+
+def self_test():
+    good = {
+        "schema_version": 1,
+        "figure": "fig3_runtime",
+        "env": {"racks": 30, "windows_per_rack": 80, "test_racks": 5,
+                "seed": 20250705, "use_transformer": True, "train_steps": 400},
+        "modes": [{
+            "name": "LeJIT (mined rules)", "samples": 40,
+            "ms_per_sample": 12.5, "wall_clock_s": 0.5,
+            "solver_check_latency_us":
+                {"count": 900, "p50": 40.0, "p90": 90.0, "p99": 200.0},
+            "phase_seconds": {"lm_forward": 0.2, "solver_check": 0.25,
+                              "mask_build": 0.27, "sampling": 0.01},
+            "lm_forwards": 400,
+            "split": {"lm_forward_frac": 0.44, "solver_check_frac": 0.56},
+        }],
+        "tables": [{"title": "t", "headers": ["a", "b"],
+                    "rows": [["1", "2"]]}],
+        "metrics": {"counters": {"smt.checks": 900}, "gauges": {},
+                    "histograms": {"smt.check_latency_us": {
+                        "count": 900, "sum": 1.0, "mean": 0.1, "max": 3.0,
+                        "p50": 0.04, "p90": 0.09, "p99": 0.2}}},
+    }
+    errors = []
+    check_report(good, errors, "self-test-good")
+    if errors:
+        print("self-test FAILED: known-good document rejected:",
+              file=sys.stderr)
+        for e in errors:
+            print("  " + e, file=sys.stderr)
+        return False
+
+    bad_documents = [
+        {},  # everything missing
+        {**good, "env": {"racks": 1}},  # env incomplete
+        {**good, "metrics": {"counters": {}}},  # metrics incomplete
+        {**good, "modes": [{"name": "x"}]},  # mode incomplete
+        {**good, "tables": [{"title": "t", "headers": ["a"],
+                             "rows": [["1", "2"]]}]},  # ragged table
+    ]
+    for i, bad in enumerate(bad_documents):
+        errors = []
+        check_report(bad, errors, f"self-test-bad-{i}")
+        if not errors:
+            print(f"self-test FAILED: known-bad document {i} accepted",
+                  file=sys.stderr)
+            return False
+    print("self-test passed")
+    return True
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("files", nargs="*", help="report files to validate")
+    parser.add_argument("--scan", metavar="DIR",
+                        help="also validate every BENCH_*.json under DIR")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the checker's own sanity checks")
+    args = parser.parse_args()
+
+    ok = True
+    if args.self_test:
+        ok = self_test() and ok
+
+    files = [pathlib.Path(f) for f in args.files]
+    if args.scan:
+        files.extend(sorted(pathlib.Path(args.scan).rglob("BENCH_*.json")))
+    if not files and not args.self_test:
+        parser.error("nothing to do: pass files, --scan, or --self-test")
+
+    for path in files:
+        errors = check_file(path)
+        if errors:
+            ok = False
+            for e in errors:
+                print(e, file=sys.stderr)
+        else:
+            print(f"{path}: ok")
+
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -20,6 +20,9 @@
 
 #include "core/decoder.hpp"
 #include "lm/trainer.hpp"
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "rules/checker.hpp"
 #include "rules/miner.hpp"
 #include "rules/parser.hpp"
@@ -279,8 +282,56 @@ void usage() {
       "  train    --corpus FILE [--steps N] [--dmodel D] [--out FILE]\n"
       "  synth    --model FILE --rules FILE [--count N] [--seed S]\n"
       "  impute   --model FILE --rules FILE --prompts FILE [--seed S]\n"
-      "  check    --rules FILE --rows FILE\n";
+      "  check    --rules FILE --rows FILE\n"
+      "observability (any command):\n"
+      "  --log-level LEVEL    stderr diagnostics: error|warn|info|debug|off\n"
+      "                       (default off; LEJIT_LOG env is the fallback)\n"
+      "  --metrics-out FILE   write a JSON metrics snapshot on exit\n"
+      "  --trace-out FILE     write a chrome://tracing phase trace on exit\n";
 }
+
+// Applies --log-level/--metrics-out/--trace-out before the command runs and
+// exports the requested files after it finishes (also on error exits, so a
+// failed run still leaves its telemetry behind).
+class ObsSession {
+ public:
+  explicit ObsSession(const Args& args)
+      : metrics_out_(args.get("metrics-out", "")),
+        trace_out_(args.get("trace-out", "")) {
+    if (args.has("log-level")) {
+      obs::LogLevel level;
+      if (!obs::Logger::parse_level(args.get("log-level", ""), &level)) {
+        std::cerr << "error: --log-level expects error|warn|info|debug|off\n";
+        std::exit(2);
+      }
+      obs::Logger::set_level(level);
+    }
+    if (!metrics_out_.empty() || !trace_out_.empty())
+      obs::set_metrics_enabled(true);
+    if (!trace_out_.empty()) obs::Tracer::instance().start_capture();
+  }
+
+  ~ObsSession() {
+    try {
+      if (!metrics_out_.empty()) {
+        write_file(metrics_out_, obs::MetricsRegistry::instance().to_json());
+        std::cerr << "wrote metrics to " << metrics_out_ << "\n";
+      }
+      if (!trace_out_.empty()) {
+        obs::Tracer::instance().stop_capture();
+        obs::Tracer::instance().write_trace(trace_out_);
+        std::cerr << "wrote trace (" << obs::Tracer::instance().num_events()
+                  << " events) to " << trace_out_ << "\n";
+      }
+    } catch (const std::exception& e) {
+      std::cerr << "error exporting telemetry: " << e.what() << "\n";
+    }
+  }
+
+ private:
+  std::string metrics_out_;
+  std::string trace_out_;
+};
 
 }  // namespace
 
@@ -291,6 +342,7 @@ int main(int argc, char** argv) {
   }
   const std::string command = argv[1];
   const Args args(argc, argv);
+  const ObsSession obs_session(args);
   try {
     if (command == "generate") return cmd_generate(args);
     if (command == "mine") return cmd_mine(args);
