@@ -1,9 +1,14 @@
 #include "core/batch.hpp"
 
 #include <atomic>
+#include <chrono>
 #include <mutex>
+#include <sstream>
 #include <thread>
 
+#include "fault/fault.hpp"
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
 #include "telemetry/text.hpp"
 #include "util/error.hpp"
 #include "util/timer.hpp"
@@ -31,25 +36,82 @@ BatchReport run_batch(const DecoderFactory& make_decoder, std::size_t count,
   util::Timer timer;
   std::atomic<std::size_t> next{0};
   std::atomic<bool> failed{false};
-  std::string failure_message;
+  std::atomic<std::size_t> retries{0};
+  std::atomic<std::size_t> degraded{0};
+  // Every worker-level failure, each tagged with the row (or setup phase)
+  // it happened in; all of them are surfaced in the thrown message.
+  std::vector<std::string> failure_messages;
   std::mutex failure_mutex;
 
-  const auto worker = [&]() {
-    try {
-      const std::unique_ptr<GuidedDecoder> decoder = make_decoder();
-      LEJIT_REQUIRE(decoder != nullptr, "decoder factory returned null");
-      while (true) {
-        const std::size_t i = next.fetch_add(1);
-        if (i >= count || failed.load()) break;
-        // Schedule-independent determinism: RNG depends only on (seed, i).
-        util::Rng rng(config.seed ^ (0x9e3779b97f4a7c15ULL * (i + 1)),
-                      2 * i + 1);
-        report.results[i] = decoder->generate(rng, prompt_of(i));
+  const auto record_failure = [&](const std::string& where,
+                                  const char* what) {
+    const std::lock_guard<std::mutex> lock(failure_mutex);
+    failed.store(true);
+    failure_messages.push_back(where + ": " + what);
+  };
+
+  // Decode row i, absorbing exceptions when isolation is on: retry with
+  // exponential backoff, then report the row degraded instead of taking the
+  // batch down with it.
+  const auto decode_row = [&](GuidedDecoder& decoder, std::size_t i) {
+    const int max_attempts = 1 + std::max(0, config.row_retries);
+    std::string last_error;
+    for (int attempt = 0; attempt < max_attempts; ++attempt) {
+      if (attempt > 0) {
+        ++retries;
+        if (config.retry_backoff_us > 0)
+          std::this_thread::sleep_for(std::chrono::microseconds(
+              config.retry_backoff_us << (attempt - 1)));
       }
+      // Schedule-independent determinism: the RNG depends only on
+      // (seed, i, attempt), and attempt 0 reproduces the pre-isolation
+      // derivation exactly.
+      util::Rng rng(config.seed ^ (0x9e3779b97f4a7c15ULL * (i + 1)) ^
+                        (static_cast<std::uint64_t>(attempt) *
+                         0xda942042e4dd58b5ULL),
+                    2 * i + 1);
+      try {
+        fault::Injector::instance().on_batch_row(i, attempt);
+        report.results[i] = decoder.generate(rng, prompt_of(i));
+        return;
+      } catch (const std::exception& e) {
+        if (!config.isolate_rows) throw;
+        last_error = e.what();
+        LEJIT_LOG_WARN("batch row " + std::to_string(i) + " attempt " +
+                       std::to_string(attempt + 1) + "/" +
+                       std::to_string(max_attempts) + " failed: " +
+                       last_error);
+      }
+    }
+    // All attempts threw: report a degraded row in place.
+    DecodeResult& r = report.results[i];
+    r = DecodeResult{};
+    r.reason = FailReason::kFault;
+    r.fail_detail = "row " + std::to_string(i) + " degraded after " +
+                    std::to_string(max_attempts) + " attempt(s): " +
+                    last_error;
+    ++degraded;
+    LEJIT_LOG_ERROR(r.fail_detail);
+  };
+
+  const auto worker = [&]() {
+    std::unique_ptr<GuidedDecoder> decoder;
+    try {
+      decoder = make_decoder();
+      LEJIT_REQUIRE(decoder != nullptr, "decoder factory returned null");
     } catch (const std::exception& e) {
-      const std::lock_guard<std::mutex> lock(failure_mutex);
-      failed.store(true);
-      if (failure_message.empty()) failure_message = e.what();
+      record_failure("worker setup", e.what());
+      return;
+    }
+    while (true) {
+      const std::size_t i = next.fetch_add(1);
+      if (i >= count || failed.load()) break;
+      try {
+        decode_row(*decoder, i);
+      } catch (const std::exception& e) {
+        record_failure("row " + std::to_string(i), e.what());
+        return;
+      }
     }
   };
 
@@ -57,14 +119,29 @@ BatchReport run_batch(const DecoderFactory& make_decoder, std::size_t count,
   pool.reserve(static_cast<std::size_t>(threads));
   for (int t = 0; t < threads; ++t) pool.emplace_back(worker);
   for (auto& t : pool) t.join();
-  if (failed.load())
-    throw util::RuntimeError("batch worker failed: " + failure_message);
+  if (failed.load()) {
+    std::ostringstream msg;
+    msg << "batch worker failed (" << failure_messages.size()
+        << " failure(s))";
+    for (const auto& m : failure_messages) msg << "; " << m;
+    throw util::RuntimeError(msg.str());
+  }
 
   report.wall_seconds = timer.elapsed_seconds();
+  report.row_retries = retries.load();
+  report.degraded_rows = degraded.load();
   for (const auto& r : report.results) {
     if (r.ok) ++report.ok;
     if (r.infeasible_prompt) ++report.infeasible_prompts;
     if (r.dead_end) ++report.dead_ends;
+  }
+  if (obs::metrics_enabled()) {
+    auto& registry = obs::MetricsRegistry::instance();
+    registry.counter("batch.rows").add(static_cast<std::int64_t>(count));
+    registry.counter("batch.row_retries")
+        .add(static_cast<std::int64_t>(report.row_retries));
+    registry.counter("batch.degraded_rows")
+        .add(static_cast<std::int64_t>(report.degraded_rows));
   }
   return report;
 }

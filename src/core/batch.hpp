@@ -22,6 +22,16 @@ struct BatchConfig {
   // 0 = one worker per hardware thread.
   int threads = 0;
   std::uint64_t seed = 1;
+
+  // Per-row fault isolation. When a row's generate() throws, the row is
+  // retried up to row_retries times (with exponential backoff starting at
+  // retry_backoff_us); if every attempt throws, the row is reported as
+  // degraded (FailReason::kFault, the exception text in fail_detail) and the
+  // rest of the batch proceeds. Disable to restore fail-fast: the first
+  // throwing row aborts the whole batch.
+  bool isolate_rows = true;
+  int row_retries = 1;
+  std::int64_t retry_backoff_us = 0;
 };
 
 using DecoderFactory = std::function<std::unique_ptr<GuidedDecoder>()>;
@@ -31,6 +41,10 @@ struct BatchReport {
   std::size_t ok = 0;
   std::size_t infeasible_prompts = 0;
   std::size_t dead_ends = 0;
+  // Rows whose every attempt ended in an exception (FailReason::kFault).
+  std::size_t degraded_rows = 0;
+  // Row attempts beyond the first, across the whole batch.
+  std::size_t row_retries = 0;
   double wall_seconds = 0.0;
 };
 

@@ -8,6 +8,7 @@
 #include "core/transition.hpp"
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
+#include "obs/timer.hpp"
 #include "obs/trace.hpp"
 #include "util/error.hpp"
 
@@ -43,12 +44,30 @@ class StatsFlush {
     static obs::Counter& c_dead_ends = registry.counter("decode.dead_ends");
     static obs::Counter& c_infeasible =
         registry.counter("decode.infeasible_prompts");
+    static obs::Counter& c_unknowns = registry.counter("decode.unknowns");
+    static obs::Counter& c_escalations =
+        registry.counter("decode.escalations");
+    static obs::Counter& c_recoveries = registry.counter("decode.recoveries");
+    static obs::Counter& c_recovered =
+        registry.counter("decode.recovered_rows");
+    static obs::Counter& c_empty_mask = registry.counter("decode.empty_mask");
+    static obs::Counter& c_budget =
+        registry.counter("decode.budget_exhausted");
+    static obs::Counter& c_guidance =
+        registry.counter("decode.guidance_escalations");
     c_rows.inc();
     c_chars.add(result_.stats.chars);
     c_lm_calls.add(result_.stats.lm_calls);
     c_interventions.add(result_.stats.interventions);
     if (result_.dead_end) c_dead_ends.inc();
     if (result_.infeasible_prompt) c_infeasible.inc();
+    c_unknowns.add(result_.stats.unknown_checks);
+    c_escalations.add(result_.stats.escalations);
+    c_recoveries.add(result_.recoveries);
+    if (result_.ok && result_.recoveries > 0) c_recovered.inc();
+    if (result_.reason == FailReason::kEmptyMask) c_empty_mask.inc();
+    if (result_.reason == FailReason::kBudgetExhausted) c_budget.inc();
+    if (result_.guidance_escalated) c_guidance.inc();
   }
   StatsFlush(const StatsFlush&) = delete;
   StatsFlush& operator=(const StatsFlush&) = delete;
@@ -65,6 +84,18 @@ obs::Histogram& removed_mass_histogram() {
 }
 
 }  // namespace
+
+std::string_view fail_reason_name(FailReason r) noexcept {
+  switch (r) {
+    case FailReason::kNone: return "none";
+    case FailReason::kInfeasiblePrompt: return "infeasible_prompt";
+    case FailReason::kDeadEnd: return "dead_end";
+    case FailReason::kEmptyMask: return "empty_mask";
+    case FailReason::kBudgetExhausted: return "budget_exhausted";
+    case FailReason::kFault: return "fault";
+  }
+  return "?";
+}
 
 // Position within the row syntax: literal prefix of field `field`, then its
 // digits, ..., then the row suffix.
@@ -101,7 +132,8 @@ GuidedDecoder::GuidedDecoder(const lm::LanguageModel& model,
       tokenizer_(tokenizer),
       layout_(layout),
       rules_(std::move(rules)),
-      config_(config) {
+      config_(config),
+      solver_(config.solver) {
   LEJIT_REQUIRE(model.vocab_size() == tokenizer.vocab_size(),
                 "model and tokenizer vocabulary sizes differ");
   for (const char c : telemetry::row_alphabet())
@@ -146,208 +178,414 @@ DecodeResult GuidedDecoder::generate(util::Rng& rng, std::string_view prompt) {
     return result;
   }
 
-  // --- guided modes: walk the row syntax -------------------------------------
-  const ScopeGuard scope(solver_);
-  Walk walk;
-  std::string text;
-  std::vector<int> context;
+  // --- guided modes: walk the row syntax, with budgets and recovery ----------
+  const ResilienceConfig& res = config_.resilience;
   const int vocab = tokenizer_.vocab_size();
 
-  const bool solver_guided = config_.mode == GuidanceMode::kFull ||
-                             config_.mode == GuidanceMode::kHull;
-  // Interval hull of the current field's feasible set (kHull mode only),
-  // computed lazily when the field's digits begin and dropped when the
-  // field completes.
-  std::optional<smt::Interval> field_hull;
-  // Set when a kHull field completion must be validated against the rules.
-  bool pending_feasibility_check = false;
-
-  // Pin a completed field value into the solver (solver-guided modes).
-  const auto pin_field = [&](int field, Int value) {
-    if (!solver_guided) return;
-    solver_.add(smt::eq(smt::LinExpr(vars_[static_cast<std::size_t>(field)]),
-                        smt::LinExpr(value)));
-    if (config_.mode == GuidanceMode::kHull) pending_feasibility_check = true;
+  // Per-row ceilings, spanning every recovery attempt of this row.
+  const std::int64_t row_deadline_ns =
+      res.row_deadline_ms > 0
+          ? obs::now_ns() + res.row_deadline_ms * 1'000'000
+          : 0;
+  const std::int64_t row_nodes_start = solver_.stats().nodes;
+  const auto row_budget_overrun = [&]() -> std::optional<std::string> {
+    if (row_deadline_ns != 0 && obs::now_ns() >= row_deadline_ns)
+      return "row deadline (" + std::to_string(res.row_deadline_ms) +
+             " ms) exceeded";
+    if (res.row_max_nodes > 0 &&
+        solver_.stats().nodes - row_nodes_start > res.row_max_nodes)
+      return "row node budget (" + std::to_string(res.row_max_nodes) +
+             ") exceeded";
+    return std::nullopt;
   };
 
-  // Advance the walk over one legal character; pins fields as they complete.
-  const auto advance = [&](char c) {
-    if (walk.in_suffix(layout_)) {
-      LEJIT_ASSERT(layout_.suffix[walk.suffix_pos] == c, "suffix mismatch");
-      ++walk.suffix_pos;
-      return;
-    }
-    const auto& spec = layout_.fields[static_cast<std::size_t>(walk.field)];
-    if (walk.prefix_pos < spec.prefix.size()) {
-      LEJIT_ASSERT(spec.prefix[walk.prefix_pos] == c, "prefix mismatch");
-      ++walk.prefix_pos;
-      return;
-    }
-    if (c >= '0' && c <= '9') {
-      walk.digits = walk.digits.extended(c - '0');
-      return;
-    }
-    // Any other character terminates the field.
-    LEJIT_ASSERT(!walk.digits.empty(), "field terminated without digits");
-    pin_field(walk.field, walk.digits.value);
-    field_hull.reset();
-    ++walk.field;
-    walk.digits = DigitPrefix{};
-    if (walk.field < layout_.num_fields()) {
-      LEJIT_ASSERT(
-          layout_.fields[static_cast<std::size_t>(walk.field)].prefix.front() ==
-              c,
-          "terminator does not open the next field");
-      walk.prefix_pos = 1;
-    } else {
-      LEJIT_ASSERT(layout_.suffix.front() == c, "terminator is not the suffix");
-      walk.suffix_pos = 1;
-    }
+  // Budget for one solver call at escalation round `round` (0 = base): the
+  // per-check node cap and deadline grow by escalation_factor per round, and
+  // the per-row deadline caps everything.
+  const auto check_budget = [&](int round) {
+    std::int64_t factor = 1;
+    for (int i = 0; i < round; ++i) factor *= res.escalation_factor;
+    smt::Budget b;
+    const std::int64_t base_nodes =
+        res.check_max_nodes > 0 ? res.check_max_nodes
+                                : config_.solver.max_nodes;
+    b.max_nodes = base_nodes * factor;
+    if (res.check_deadline_ms > 0)
+      b.deadline_ns = obs::now_ns() + res.check_deadline_ms * factor * 1'000'000;
+    if (row_deadline_ns != 0 &&
+        (b.deadline_ns == 0 || row_deadline_ns < b.deadline_ns))
+      b.deadline_ns = row_deadline_ns;
+    return b;
   };
 
-  // Consume the prompt (its values are given, not generated: no look-ahead).
-  for (const char c : prompt) {
-    LEJIT_REQUIRE(tokenizer_.has_char(c), "prompt character outside alphabet");
-    advance(c);
-    context.push_back(tokenizer_.encode_char(c));
-    text.push_back(c);
-  }
-  pending_feasibility_check = false;  // the prompt check below covers it
-  if (solver_guided && !prompt.empty()) {
-    if (solver_.check() != smt::CheckResult::kSat) {
-      result.infeasible_prompt = true;
-      result.text = text;
-      result.stats.solver_checks = solver_.stats().checks - checks_before;
-      return result;
+  // Policy-mediated satisfiability: kUnknown is escalated and/or mapped to
+  // the configured meaning instead of silently reading as infeasible.
+  const auto sat_under_policy = [&](std::span<const smt::Formula> fs) {
+    smt::CheckResult r = solver_.check_assuming(fs, check_budget(0));
+    for (int e = 1; r == smt::CheckResult::kUnknown; ++e) {
+      ++result.stats.unknown_checks;
+      if (res.on_unknown != UnknownPolicy::kEscalate || e > res.max_escalations)
+        break;
+      ++result.stats.escalations;
+      r = solver_.check_assuming(fs, check_budget(e));
     }
-  }
+    if (r == smt::CheckResult::kUnknown)
+      return res.on_unknown == UnknownPolicy::kFeasible;
+    return r == smt::CheckResult::kSat;
+  };
 
-  // Compute the legal-character mask for the current walk state. Returns the
-  // number of legal tokens.
+  // Policy-mediated hull query (kHull mode). When even the escalated budget
+  // cannot pin down the feasible range, degrade to the static domain — a
+  // superset of the true hull, so masking stays permissive and the post-pin
+  // feasibility check (plus dead-end recovery) catches what slips through.
+  // Under kInfeasible the field is refused outright instead.
+  const auto hull_under_policy = [&](smt::VarId var) -> smt::Interval {
+    std::optional<smt::Interval> h =
+        solver_.try_feasible_interval(var, {}, check_budget(0));
+    for (int e = 1; !h; ++e) {
+      ++result.stats.unknown_checks;
+      if (res.on_unknown != UnknownPolicy::kEscalate || e > res.max_escalations)
+        break;
+      ++result.stats.escalations;
+      h = solver_.try_feasible_interval(var, {}, check_budget(e));
+    }
+    if (h) return *h;
+    if (obs::metrics_enabled())
+      obs::MetricsRegistry::instance().counter("decode.hull_degraded").inc();
+    return res.on_unknown == UnknownPolicy::kInfeasible ? smt::Interval::empty()
+                                                        : solver_.bounds(var);
+  };
+
+  // Recovery state shared across attempts.
+  GuidanceMode mode = config_.mode;
+  std::string resume;  // generated chars to replay on retry (prompt excluded)
+  std::vector<std::pair<int, Int>> banned;  // (field, value) dead-end bans
+
+  enum class Outcome {
+    kComplete,
+    kInfeasiblePrompt,
+    kDeadEnd,
+    kEmptyMask,
+    kRowBudget,
+  };
+  struct AttemptEnd {
+    Outcome outcome;
+    int dead_field = -1;  // field whose pin caused the dead end …
+    Int dead_value = 0;   // … the value it pinned to …
+    int dead_digits = 0;  // … and how many digit chars that value spent
+    std::string note;
+  };
+
   const auto mask_buf = std::make_unique<bool[]>(static_cast<std::size_t>(vocab));
   const std::span<bool> mask(mask_buf.get(), static_cast<std::size_t>(vocab));
-  const auto compute_mask = [&]() -> int {
-    std::fill(mask.begin(), mask.end(), false);
-    int legal = 0;
-    const auto allow = [&](char c) {
-      mask[static_cast<std::size_t>(tokenizer_.encode_char(c))] = true;
-      ++legal;
+
+  // One decode attempt under the current mode/resume/ban state. Writes
+  // result.text (and, on completion, window/ok) before returning.
+  const auto run_attempt = [&]() -> AttemptEnd {
+    const ScopeGuard scope(solver_);
+    Walk walk;
+    std::string text;
+    std::vector<int> context;
+    const bool solver_guided =
+        mode == GuidanceMode::kFull || mode == GuidanceMode::kHull;
+    // Interval hull of the current field's feasible set (kHull mode only),
+    // computed lazily when the field's digits begin and dropped when the
+    // field completes.
+    std::optional<smt::Interval> field_hull;
+    // Set when a kHull field completion must be validated against the rules.
+    bool pending_feasibility_check = false;
+    // Most recently pinned field, for the dead-end ban/rewind decision.
+    int last_field = -1;
+    Int last_value = 0;
+    int last_digits = 0;
+
+    // Re-assert dead-end bans inside this attempt's scope. Each ban records a
+    // pin the solver proved infeasible, so excluding it cannot remove a value
+    // a compliant row needs (at worst it narrows diversity near the ban).
+    if (solver_guided)
+      for (const auto& [field, value] : banned)
+        solver_.add(
+            smt::ne(smt::LinExpr(vars_[static_cast<std::size_t>(field)]),
+                    smt::LinExpr(value)));
+
+    // Pin a completed field value into the solver (solver-guided modes).
+    const auto pin_field = [&](int field, Int value, int digits) {
+      last_field = field;
+      last_value = value;
+      last_digits = digits;
+      if (!solver_guided) return;
+      solver_.add(smt::eq(smt::LinExpr(vars_[static_cast<std::size_t>(field)]),
+                          smt::LinExpr(value)));
+      if (mode == GuidanceMode::kHull) pending_feasibility_check = true;
     };
 
-    if (walk.in_suffix(layout_)) {
-      allow(layout_.suffix[walk.suffix_pos]);
-      return legal;
-    }
-    const auto& spec = layout_.fields[static_cast<std::size_t>(walk.field)];
-    if (walk.prefix_pos < spec.prefix.size()) {
-      allow(spec.prefix[walk.prefix_pos]);
-      return legal;
-    }
-
-    const smt::VarId var = vars_[static_cast<std::size_t>(walk.field)];
-    const int max_digits = digits_for(spec.max_value);
-
-    if (config_.mode == GuidanceMode::kHull && !field_hull)
-      field_hull = solver_.feasible_interval(var);
-
-    // Digits that keep some completion reachable.
-    for (int d = 0; d <= 9; ++d) {
-      if (!walk.digits.empty() && !walk.digits.can_extend(max_digits)) break;
-      const DigitPrefix next = walk.digits.extended(d);
-      if (!prefix_syntactically_ok(next, max_digits)) continue;
-      if (config_.mode == GuidanceMode::kFull) {
-        const smt::Formula f =
-            prefix_completion_formula(var, next, max_digits);
-        if (solver_.check_assuming(std::span(&f, 1)) != smt::CheckResult::kSat)
-          continue;
-      } else if (config_.mode == GuidanceMode::kHull) {
-        if (!completion_intersects(next, max_digits, *field_hull)) continue;
+    // Advance the walk over one legal character; pins fields as they complete.
+    const auto advance = [&](char c) {
+      if (walk.in_suffix(layout_)) {
+        LEJIT_ASSERT(layout_.suffix[walk.suffix_pos] == c, "suffix mismatch");
+        ++walk.suffix_pos;
+        return;
       }
-      allow(static_cast<char>('0' + d));
-    }
-    // Terminating the field on its exact current value.
-    if (!walk.digits.empty()) {
-      bool can_end = true;
-      if (config_.mode == GuidanceMode::kFull) {
-        const smt::Formula f = smt::eq(smt::LinExpr(var),
-                                       smt::LinExpr(walk.digits.value));
-        can_end =
-            solver_.check_assuming(std::span(&f, 1)) == smt::CheckResult::kSat;
-      } else if (config_.mode == GuidanceMode::kHull) {
-        can_end = field_hull->contains(walk.digits.value);
+      const auto& spec = layout_.fields[static_cast<std::size_t>(walk.field)];
+      if (walk.prefix_pos < spec.prefix.size()) {
+        LEJIT_ASSERT(spec.prefix[walk.prefix_pos] == c, "prefix mismatch");
+        ++walk.prefix_pos;
+        return;
       }
-      if (can_end) allow(walk.terminator(layout_));
+      if (c >= '0' && c <= '9') {
+        walk.digits = walk.digits.extended(c - '0');
+        return;
+      }
+      // Any other character terminates the field.
+      LEJIT_ASSERT(!walk.digits.empty(), "field terminated without digits");
+      pin_field(walk.field, walk.digits.value, walk.digits.digits);
+      field_hull.reset();
+      ++walk.field;
+      walk.digits = DigitPrefix{};
+      if (walk.field < layout_.num_fields()) {
+        LEJIT_ASSERT(
+            layout_.fields[static_cast<std::size_t>(walk.field)]
+                    .prefix.front() == c,
+            "terminator does not open the next field");
+        walk.prefix_pos = 1;
+      } else {
+        LEJIT_ASSERT(layout_.suffix.front() == c,
+                     "terminator is not the suffix");
+        walk.suffix_pos = 1;
+      }
+    };
+
+    // Consume the prompt (its values are given, not generated: no look-ahead).
+    for (const char c : prompt) {
+      LEJIT_REQUIRE(tokenizer_.has_char(c),
+                    "prompt character outside alphabet");
+      advance(c);
+      context.push_back(tokenizer_.encode_char(c));
+      text.push_back(c);
     }
-    return legal;
+    pending_feasibility_check = false;  // the prompt check below covers it
+    if (solver_guided && !prompt.empty()) {
+      if (!sat_under_policy({})) {
+        result.text = text;
+        return {Outcome::kInfeasiblePrompt, -1, 0, 0,
+                "prompt contradicts the rule set (or check stayed "
+                "inconclusive under the kUnknown policy)"};
+      }
+    }
+
+    // Replay the part of a previous attempt that survived the rewind. Its
+    // legality was established when it was first emitted, so no masking or
+    // LM work is repeated; pins are re-asserted through advance().
+    for (const char c : resume) {
+      advance(c);
+      context.push_back(tokenizer_.encode_char(c));
+      text.push_back(c);
+    }
+    pending_feasibility_check = false;  // held before the rewind point
+
+    // Compute the legal-character mask for the current walk state. Returns
+    // the number of legal tokens.
+    const auto compute_mask = [&]() -> int {
+      std::fill(mask.begin(), mask.end(), false);
+      int legal = 0;
+      const auto allow = [&](char c) {
+        mask[static_cast<std::size_t>(tokenizer_.encode_char(c))] = true;
+        ++legal;
+      };
+
+      if (walk.in_suffix(layout_)) {
+        allow(layout_.suffix[walk.suffix_pos]);
+        return legal;
+      }
+      const auto& spec = layout_.fields[static_cast<std::size_t>(walk.field)];
+      if (walk.prefix_pos < spec.prefix.size()) {
+        allow(spec.prefix[walk.prefix_pos]);
+        return legal;
+      }
+
+      const smt::VarId var = vars_[static_cast<std::size_t>(walk.field)];
+      const int max_digits = digits_for(spec.max_value);
+
+      if (mode == GuidanceMode::kHull && !field_hull)
+        field_hull = hull_under_policy(var);
+
+      // Digits that keep some completion reachable.
+      for (int d = 0; d <= 9; ++d) {
+        if (!walk.digits.empty() && !walk.digits.can_extend(max_digits)) break;
+        const DigitPrefix next = walk.digits.extended(d);
+        if (!prefix_syntactically_ok(next, max_digits)) continue;
+        if (mode == GuidanceMode::kFull) {
+          const smt::Formula f =
+              prefix_completion_formula(var, next, max_digits);
+          if (!sat_under_policy(std::span(&f, 1))) continue;
+        } else if (mode == GuidanceMode::kHull) {
+          if (!completion_intersects(next, max_digits, *field_hull)) continue;
+        }
+        allow(static_cast<char>('0' + d));
+      }
+      // Terminating the field on its exact current value.
+      if (!walk.digits.empty()) {
+        bool can_end = true;
+        // A banned value must not be re-pinned, whichever mode is active
+        // (kFull would also learn this from the asserted ban).
+        for (const auto& [bf, bv] : banned) {
+          if (bf == walk.field && bv == walk.digits.value) {
+            can_end = false;
+            break;
+          }
+        }
+        if (can_end && mode == GuidanceMode::kFull) {
+          const smt::Formula f =
+              smt::eq(smt::LinExpr(var), smt::LinExpr(walk.digits.value));
+          can_end = sat_under_policy(std::span(&f, 1));
+        } else if (can_end && mode == GuidanceMode::kHull) {
+          can_end = field_hull->contains(walk.digits.value);
+        }
+        if (can_end) allow(walk.terminator(layout_));
+      }
+      return legal;
+    };
+
+    while (!walk.done(layout_)) {
+      if (auto overrun = row_budget_overrun()) {
+        result.text = text;
+        return {Outcome::kRowBudget, -1, 0, 0, std::move(*overrun)};
+      }
+      const int legal = [&] {
+        const obs::Span span(obs::Phase::kMaskBuild);
+        return compute_mask();
+      }();
+      if (legal == 0) {
+        result.text = text;
+        return {Outcome::kEmptyMask, -1, 0, 0,
+                "empty mask at char " + std::to_string(text.size())};
+      }
+
+      char emitted = 0;
+      if (legal == 1 && config_.skip_forced_literals) {
+        const auto it = std::find(mask.begin(), mask.end(), true);
+        emitted = tokenizer_.decode_char(static_cast<int>(it - mask.begin()));
+      } else {
+        const std::vector<float> logits = [&] {
+          const obs::Span span(obs::Phase::kLmForward);
+          return model_.logits(context);
+        }();
+        ++result.stats.lm_calls;
+        ++result.stats.masked_steps;
+        const double mass = lm::allowed_mass(logits, mask);
+        result.stats.removed_mass += 1.0 - mass;
+        removed_mass_histogram().observe(1.0 - mass);
+        const auto argmax =
+            std::max_element(logits.begin(), logits.end()) - logits.begin();
+        if (!mask[static_cast<std::size_t>(argmax)])
+          ++result.stats.interventions;
+        const int tok = [&] {
+          const obs::Span span(obs::Phase::kSampling);
+          return lm::sample_token(logits, config_.sampler, rng, mask);
+        }();
+        emitted = tokenizer_.decode_char(tok);
+      }
+
+      advance(emitted);
+      context.push_back(tokenizer_.encode_char(emitted));
+      text.push_back(emitted);
+      ++result.stats.chars;
+
+      // kHull: a value inside the hull may still sit in a hole of the
+      // feasible set; detect the dead end right after pinning.
+      if (pending_feasibility_check) {
+        pending_feasibility_check = false;
+        if (!sat_under_policy({})) {
+          result.text = text;
+          return {Outcome::kDeadEnd, last_field, last_value, last_digits,
+                  "dead end after pinning field #" +
+                      std::to_string(last_field) + " (" +
+                      layout_.fields[static_cast<std::size_t>(last_field)]
+                          .name +
+                      " = " + std::to_string(last_value) + ")"};
+        }
+      }
+    }
+
+    // Strip the trailing suffix from the visible text? Keep text as emitted
+    // but without the newline for readability.
+    std::string row = text;
+    if (!row.empty() && row.back() == '\n') row.pop_back();
+    result.text = row;
+    result.window = telemetry::parse_row(row, layout_);
+    result.ok = result.window.has_value();
+    LEJIT_ASSERT(result.ok, "guided decode produced an unparsable row");
+    return {Outcome::kComplete, -1, 0, 0, {}};
   };
 
-  while (!walk.done(layout_)) {
-    const int legal = [&] {
-      const obs::Span span(obs::Phase::kMaskBuild);
-      return compute_mask();
-    }();
-    if (legal == 0) {
-      // Unreachable when look-ahead is sound; defensive fail-stop.
-      LEJIT_LOG_WARN("guided decode hit an empty mask at char " +
-                     std::to_string(result.stats.chars));
-      result.text = text;
-      result.stats.solver_checks = solver_.stats().checks - checks_before;
+  // The recovery loop: run attempts until one completes, a non-recoverable
+  // outcome ends the row, or the retry budget runs dry.
+  int attempts_left = res.retry_budget;
+  while (true) {
+    const AttemptEnd attempt = run_attempt();
+    result.stats.solver_checks = solver_.stats().checks - checks_before;
+
+    switch (attempt.outcome) {
+      case Outcome::kComplete:
+        return result;
+      case Outcome::kInfeasiblePrompt:
+        result.infeasible_prompt = true;
+        result.reason = FailReason::kInfeasiblePrompt;
+        result.fail_detail = attempt.note;
+        return result;
+      case Outcome::kRowBudget:
+        result.reason = FailReason::kBudgetExhausted;
+        result.fail_detail = attempt.note;
+        LEJIT_LOG_WARN("guided decode aborted: " + attempt.note);
+        return result;
+      case Outcome::kDeadEnd:
+      case Outcome::kEmptyMask:
+        break;  // recoverable, budget permitting
+    }
+
+    if (attempts_left <= 0) {
+      if (attempt.outcome == Outcome::kDeadEnd) {
+        result.dead_end = true;
+        result.reason = FailReason::kDeadEnd;
+      } else {
+        result.reason = FailReason::kEmptyMask;
+        LEJIT_LOG_WARN("guided decode hit an empty mask at char " +
+                       std::to_string(result.stats.chars));
+      }
+      result.fail_detail = attempt.note;
       return result;
     }
+    --attempts_left;
+    ++result.recoveries;
 
-    char emitted = 0;
-    if (legal == 1 && config_.skip_forced_literals) {
-      const auto it = std::find(mask.begin(), mask.end(), true);
-      emitted = tokenizer_.decode_char(
-          static_cast<int>(it - mask.begin()));
-    } else {
-      const std::vector<float> logits = [&] {
-        const obs::Span span(obs::Phase::kLmForward);
-        return model_.logits(context);
-      }();
-      ++result.stats.lm_calls;
-      ++result.stats.masked_steps;
-      const double mass = lm::allowed_mass(logits, mask);
-      result.stats.removed_mass += 1.0 - mass;
-      removed_mass_histogram().observe(1.0 - mass);
-      const auto argmax =
-          std::max_element(logits.begin(), logits.end()) - logits.begin();
-      if (!mask[static_cast<std::size_t>(argmax)]) ++result.stats.interventions;
-      const int tok = [&] {
-        const obs::Span span(obs::Phase::kSampling);
-        return lm::sample_token(logits, config_.sampler, rng, mask);
-      }();
-      emitted = tokenizer_.decode_char(tok);
+    // Rewind: drop the last backtrack_chars generated characters — for a
+    // dead end, at least the failing field's digits and terminator, so the
+    // field reopens — then ban the failing pin and resample.
+    const std::string full = result.text;
+    std::size_t keep =
+        full.size() > static_cast<std::size_t>(res.backtrack_chars)
+            ? full.size() - static_cast<std::size_t>(res.backtrack_chars)
+            : 0;
+    if (attempt.outcome == Outcome::kDeadEnd) {
+      const std::size_t field_start =
+          full.size() - static_cast<std::size_t>(attempt.dead_digits) - 1;
+      keep = std::min(keep, field_start);
+      banned.emplace_back(attempt.dead_field, attempt.dead_value);
     }
+    keep = std::max(keep, prompt.size());
+    resume = full.substr(prompt.size(), keep - prompt.size());
 
-    advance(emitted);
-    context.push_back(tokenizer_.encode_char(emitted));
-    text.push_back(emitted);
-    ++result.stats.chars;
-
-    // kHull: a value inside the hull may still sit in a hole of the
-    // feasible set; detect the dead end right after pinning.
-    if (pending_feasibility_check) {
-      pending_feasibility_check = false;
-      if (solver_.check() != smt::CheckResult::kSat) {
-        result.dead_end = true;
-        result.text = text;
-        result.stats.solver_checks = solver_.stats().checks - checks_before;
-        return result;
-      }
+    // Hull masking that keeps walking into holes is not worth saving: after
+    // a second recovery, restart under exact look-ahead.
+    if (mode == GuidanceMode::kHull && res.escalate_guidance &&
+        result.recoveries >= 2) {
+      mode = GuidanceMode::kFull;
+      result.guidance_escalated = true;
     }
+    LEJIT_LOG_DEBUG("dead-end recovery #" + std::to_string(result.recoveries) +
+                    ": " + attempt.note + "; resuming from char " +
+                    std::to_string(keep));
   }
-
-  // Strip the trailing suffix from the visible text? Keep text as emitted but
-  // without the newline for readability.
-  std::string row = text;
-  if (!row.empty() && row.back() == '\n') row.pop_back();
-  result.text = row;
-  result.window = telemetry::parse_row(row, layout_);
-  result.ok = result.window.has_value();
-  result.stats.solver_checks = solver_.stats().checks - checks_before;
-  LEJIT_ASSERT(result.ok, "guided decode produced an unparsable row");
-  return result;
 }
 
 }  // namespace lejit::core

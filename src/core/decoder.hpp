@@ -38,6 +38,48 @@ namespace lejit::core {
 
 enum class GuidanceMode { kNone, kSyntax, kHull, kFull };
 
+// What an inconclusive (kUnknown) solver check means to the decoder. Until
+// this knob existed, an unknown silently read as infeasible — a slow check
+// could strangle the mask down to nothing with no trace of why.
+enum class UnknownPolicy {
+  kInfeasible,  // conservative: the candidate is masked out
+  kFeasible,    // optimistic: keep the candidate; dead-end recovery catches
+                // the (rare) case where optimism was wrong
+  kEscalate,    // retry the check with a multiplied node budget, then mask
+                // the candidate out if it is still inconclusive
+};
+
+// Budgets, degradation, and recovery knobs. Defaults are fail-stop
+// (retry_budget = 0) so the kHull-vs-kFull ablation semantics the paper
+// measures are unchanged unless a caller opts in.
+struct ResilienceConfig {
+  UnknownPolicy on_unknown = UnknownPolicy::kEscalate;
+
+  // Per-solver-call limits while masking (0 = SolverConfig default / none).
+  std::int64_t check_max_nodes = 0;
+  std::int64_t check_deadline_ms = 0;
+
+  // Per-row ceilings across all attempts, owned by the decoder (0 = none).
+  // Exhaustion aborts the row with FailReason::kBudgetExhausted.
+  std::int64_t row_max_nodes = 0;
+  std::int64_t row_deadline_ms = 0;
+
+  // kEscalate: each retry multiplies the node budget by escalation_factor,
+  // at most max_escalations times per check.
+  int escalation_factor = 8;
+  int max_escalations = 2;
+
+  // Dead-end recovery: on a dead end or empty mask, rewind backtrack_chars
+  // generated characters (further, if needed to reopen the failing field),
+  // ban the value that pinned into a hole, and resample — up to retry_budget
+  // times per row. 0 = fail-stop (the seed behavior).
+  int retry_budget = 0;
+  int backtrack_chars = 6;
+  // After repeated kHull dead ends, restart the attempt under kFull exact
+  // look-ahead instead of hull masking.
+  bool escalate_guidance = true;
+};
+
 struct DecoderConfig {
   GuidanceMode mode = GuidanceMode::kFull;
   lm::SamplerConfig sampler{};
@@ -46,6 +88,9 @@ struct DecoderConfig {
   bool skip_forced_literals = true;
   // Safety cap on generated tokens for unguided (kNone) decoding.
   int max_free_tokens = 512;
+  // Configuration of the decoder-owned solver (node caps etc.).
+  smt::SolverConfig solver{};
+  ResilienceConfig resilience{};
 };
 
 struct DecodeStats {
@@ -54,6 +99,8 @@ struct DecodeStats {
   std::int64_t solver_checks = 0;      // sat checks spent on this row
   std::int64_t masked_steps = 0;       // LM steps with a non-trivial mask
   std::int64_t interventions = 0;      // steps where the mask pruned the argmax
+  std::int64_t unknown_checks = 0;     // checks that came back inconclusive
+  std::int64_t escalations = 0;        // budget-escalation retries spent
   double removed_mass = 0.0;           // Σ(1 − allowed probability mass)
 
   // Mean probability mass the mask removed per masked step (0 ⇒ the solver
@@ -64,15 +111,39 @@ struct DecodeStats {
   }
 };
 
+// Machine-readable cause of a failed row. kNone on success; every !ok result
+// from a guided mode carries a non-kNone reason (unguided kNone-mode rows may
+// simply fail to parse, which is not a decoder failure).
+enum class FailReason {
+  kNone = 0,
+  kInfeasiblePrompt,   // prompt contradicts the rule set (or was inconclusive)
+  kDeadEnd,            // no rule-compliant continuation, retries exhausted
+  kEmptyMask,          // no legal token at some step, retries exhausted
+  kBudgetExhausted,    // per-row node/deadline ceiling hit
+  kFault,              // an exception (e.g. injected fault) killed the row;
+                       // assigned by the batch driver, not the decoder
+};
+
+std::string_view fail_reason_name(FailReason r) noexcept;
+
 struct DecodeResult {
   bool ok = false;
   // True when the prompt's pinned values contradict the rule set (possible
   // for mined rules on unseen racks); no generation was attempted.
   bool infeasible_prompt = false;
   // kHull only: a completed value inside the hull landed in a hole of the
-  // feasible set, leaving no rule-compliant continuation. kFull can never
-  // dead-end — that is the point of exact look-ahead.
+  // feasible set, leaving no rule-compliant continuation (after recovery, if
+  // enabled). kFull with an exact-policy solver can never dead-end — that is
+  // the point of exact look-ahead.
   bool dead_end = false;
+  // Why the row failed, and a human-readable detail string.
+  FailReason reason = FailReason::kNone;
+  std::string fail_detail;
+  // Dead-end recoveries performed (rewind + ban + resample). A row can
+  // recover and still end ok = true.
+  int recoveries = 0;
+  // True when recovery restarted a kHull row under kFull exact look-ahead.
+  bool guidance_escalated = false;
   std::string text;  // full row text, prompt included (without trailing '\n')
   std::optional<telemetry::Window> window;
   DecodeStats stats;

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "fault/fault.hpp"
 #include "obs/metrics.hpp"
 #include "obs/timer.hpp"
 #include "util/error.hpp"
@@ -45,6 +46,7 @@ void NgramModel::observe(std::span<const int> tokens) {
 }
 
 std::vector<float> NgramModel::logits(std::span<const int> context) const {
+  fault::inject(fault::Site::kLmForward);
   const bool obs_on = obs::metrics_enabled();
   const std::int64_t t0 = obs_on ? obs::now_ns() : 0;
   // Interpolated back-off: start from the longest matching context and blend

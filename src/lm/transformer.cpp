@@ -5,6 +5,7 @@
 #include <fstream>
 #include <numbers>
 
+#include "fault/fault.hpp"
 #include "obs/metrics.hpp"
 #include "obs/timer.hpp"
 #include "util/error.hpp"
@@ -621,6 +622,7 @@ std::size_t Transformer::num_parameters() const noexcept {
 }
 
 std::vector<float> Transformer::logits(std::span<const int> context) const {
+  fault::inject(fault::Site::kLmForward);
   const bool obs_on = obs::metrics_enabled();
   const std::int64_t t0 = obs_on ? obs::now_ns() : 0;
   const int start_id = config_.vocab_size;

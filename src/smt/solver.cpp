@@ -2,7 +2,9 @@
 
 #include <algorithm>
 
+#include "fault/fault.hpp"
 #include "obs/metrics.hpp"
+#include "obs/timer.hpp"
 #include "obs/trace.hpp"
 #include "util/error.hpp"
 
@@ -23,6 +25,12 @@ constexpr Int ceil_div(Int a, Int b) noexcept {
 enum class Tri { kFalse, kUnknown, kTrue };
 
 }  // namespace
+
+Budget Budget::deadline_in_ms(std::int64_t ms) {
+  Budget b;
+  b.deadline_ns = obs::now_ns() + ms * 1'000'000;
+  return b;
+}
 
 // Search state for one DFS node: current domains plus the constraints that
 // still have to be discharged. `atoms` hold must-be-true atomic formulas;
@@ -298,9 +306,19 @@ bool tighten_ne(const LinExpr& e, detail::SearchNode& node,
 
 }  // namespace
 
-CheckResult Solver::search(detail::SearchNode& node, std::int64_t& budget) {
+CheckResult Solver::search(detail::SearchNode& node, std::int64_t& nodes_left,
+                           std::int64_t deadline_ns) {
   ++stats_.nodes;
-  if (--budget < 0) return CheckResult::kUnknown;
+  if (--nodes_left < 0) {
+    ++stats_.node_exhaustions;
+    return CheckResult::kUnknown;
+  }
+  // A node's real work (propagation sweeps over every open constraint) dwarfs
+  // one steady-clock read, so the deadline is simply checked per node.
+  if (deadline_ns != 0 && obs::now_ns() >= deadline_ns) {
+    ++stats_.deadline_exhaustions;
+    return CheckResult::kUnknown;
+  }
 
   // --- propagation to fixpoint ------------------------------------------------
   for (int round = 0; round < config_.max_propagation_rounds; ++round) {
@@ -409,14 +427,14 @@ CheckResult Solver::search(detail::SearchNode& node, std::int64_t& budget) {
     {
       detail::SearchNode child = node;
       assert_true(pick, child);
-      const CheckResult r = search(child, budget);
+      const CheckResult r = search(child, nodes_left, deadline_ns);
       if (r != CheckResult::kUnsat) return r;
     }
     {
       detail::SearchNode child = std::move(node);
       assert_true(lnot(pick), child);
       assert_true(lor(std::move(rest)), child);
-      return search(child, budget);
+      return search(child, nodes_left, deadline_ns);
     }
   }
 
@@ -440,18 +458,19 @@ CheckResult Solver::search(detail::SearchNode& node, std::int64_t& budget) {
   {
     detail::SearchNode child = node;
     child.hi[best] = mid;
-    const CheckResult r = search(child, budget);
+    const CheckResult r = search(child, nodes_left, deadline_ns);
     if (r != CheckResult::kUnsat) return r;
   }
   {
     detail::SearchNode child = std::move(node);
     child.lo[best] = mid + 1;
-    return search(child, budget);
+    return search(child, nodes_left, deadline_ns);
   }
 }
 
-CheckResult Solver::check_assuming(std::span<const Formula> assumptions) {
-  if (!obs::metrics_enabled()) return check_assuming_impl(assumptions);
+CheckResult Solver::check_assuming(std::span<const Formula> assumptions,
+                                   const Budget& budget) {
+  if (!obs::metrics_enabled()) return check_assuming_impl(assumptions, budget);
 
   // Registered once; updates through the references are lock-free.
   auto& registry = obs::MetricsRegistry::instance();
@@ -459,25 +478,38 @@ CheckResult Solver::check_assuming(std::span<const Formula> assumptions) {
   static obs::Counter& c_nodes = registry.counter("smt.nodes");
   static obs::Counter& c_props = registry.counter("smt.propagations");
   static obs::Counter& c_unknowns = registry.counter("smt.unknowns");
+  static obs::Counter& c_deadlines =
+      registry.counter("smt.deadline_exhaustions");
   static obs::Histogram& h_latency =
       registry.histogram("smt.check_latency_us");
 
   const std::int64_t nodes_before = stats_.nodes;
   const std::int64_t props_before = stats_.propagations;
+  const std::int64_t deadlines_before = stats_.deadline_exhaustions;
   const std::int64_t t0 = obs::now_ns();
   const obs::Span span(obs::Phase::kSolverCheck);
-  const CheckResult r = check_assuming_impl(assumptions);
+  const CheckResult r = check_assuming_impl(assumptions, budget);
   h_latency.observe(static_cast<double>(obs::now_ns() - t0) * 1e-3);
   c_checks.inc();
   c_nodes.add(stats_.nodes - nodes_before);
   c_props.add(stats_.propagations - props_before);
+  c_deadlines.add(stats_.deadline_exhaustions - deadlines_before);
   if (r == CheckResult::kUnknown) c_unknowns.inc();
   return r;
 }
 
-CheckResult Solver::check_assuming_impl(std::span<const Formula> assumptions) {
+CheckResult Solver::check_assuming_impl(std::span<const Formula> assumptions,
+                                        const Budget& budget) {
   ++stats_.checks;
   has_model_ = false;
+
+  // Fault injection: simulate an inconclusive check before spending any real
+  // work, so injected and organic kUnknowns exercise the same caller paths.
+  if (fault::inject_unknown(fault::Site::kSolverCheck)) {
+    ++stats_.unknowns;
+    ++stats_.injected_unknowns;
+    return CheckResult::kUnknown;
+  }
 
   detail::SearchNode root;
   root.lo.reserve(vars_.size());
@@ -493,36 +525,44 @@ CheckResult Solver::check_assuming_impl(std::span<const Formula> assumptions) {
   }
   if (root.conflict) return CheckResult::kUnsat;
 
-  std::int64_t budget = config_.max_nodes;
-  const CheckResult r = search(root, budget);
+  std::int64_t nodes_left =
+      budget.max_nodes > 0 ? budget.max_nodes : config_.max_nodes;
+  const CheckResult r = search(root, nodes_left, budget.deadline_ns);
   if (r == CheckResult::kUnknown) ++stats_.unknowns;
   return r;
 }
 
 Interval Solver::feasible_interval(VarId v,
                                    std::span<const Formula> assumptions) {
+  const std::optional<Interval> r = try_feasible_interval(v, assumptions);
+  if (!r)
+    throw util::RuntimeError("solver budget exhausted in feasible_interval");
+  return *r;
+}
+
+std::optional<Interval> Solver::try_feasible_interval(
+    VarId v, std::span<const Formula> assumptions, const Budget& budget) {
   LEJIT_REQUIRE(v.index >= 0 && v.index < num_vars(), "unknown variable");
   std::vector<Formula> assume(assumptions.begin(), assumptions.end());
 
-  const CheckResult first = check_assuming(assume);
+  const CheckResult first = check_assuming(assume, budget);
   if (first == CheckResult::kUnsat) return Interval::empty();
-  if (first == CheckResult::kUnknown)
-    throw util::RuntimeError("solver budget exhausted in feasible_interval");
+  if (first == CheckResult::kUnknown) return std::nullopt;
   const Int witness = model_value(v);
 
+  bool gave_up = false;
   const auto sat_with = [&](const Formula& extra) {
     assume.push_back(extra);
-    const CheckResult r = check_assuming(assume);
+    const CheckResult r = check_assuming(assume, budget);
     assume.pop_back();
-    if (r == CheckResult::kUnknown)
-      throw util::RuntimeError("solver budget exhausted in feasible_interval");
+    if (r == CheckResult::kUnknown) gave_up = true;
     return r == CheckResult::kSat;
   };
 
   // Smallest feasible value in [bounds.lo, witness].
   Int lb = bounds(v).lo;
   Int ub = witness;
-  while (lb < ub) {
+  while (lb < ub && !gave_up) {
     const Int mid = lb + (ub - lb) / 2;
     if (sat_with(le(LinExpr(v), LinExpr(mid)))) {
       ub = std::min(mid, model_value(v));
@@ -535,7 +575,7 @@ Interval Solver::feasible_interval(VarId v,
   // Largest feasible value in [witness, bounds.hi].
   lb = witness;
   ub = bounds(v).hi;
-  while (lb < ub) {
+  while (lb < ub && !gave_up) {
     const Int mid = lb + (ub - lb + 1) / 2;
     if (sat_with(ge(LinExpr(v), LinExpr(mid)))) {
       lb = std::max(mid, model_value(v));
@@ -543,7 +583,8 @@ Interval Solver::feasible_interval(VarId v,
       ub = mid - 1;
     }
   }
-  return {min_v, lb};
+  if (gave_up) return std::nullopt;
+  return Interval{min_v, lb};
 }
 
 std::optional<Solver::MinimizeResult> Solver::minimize(const LinExpr& cost) {

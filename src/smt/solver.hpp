@@ -40,11 +40,30 @@ struct SolverConfig {
   int max_propagation_rounds = 4'000;
 };
 
+// Per-query resource budget, layered on top of SolverConfig. A zero field
+// means "use the config default / no deadline"; a non-zero max_nodes
+// *overrides* the config's per-check node cap (tighter or looser — budget
+// escalation under a kUnknown policy relies on looser), and deadline_ns is
+// an *absolute* monotonic timestamp (obs::now_ns()) past which search gives
+// up. Either exhaustion yields kUnknown — the caller's kUnknown policy
+// decides what that means.
+struct Budget {
+  std::int64_t max_nodes = 0;    // 0 = SolverConfig::max_nodes
+  std::int64_t deadline_ns = 0;  // 0 = no deadline (absolute obs::now_ns())
+
+  bool unlimited() const noexcept { return max_nodes == 0 && deadline_ns == 0; }
+  // Budget expiring `ms` milliseconds from now.
+  static Budget deadline_in_ms(std::int64_t ms);
+};
+
 struct SolverStats {
   std::int64_t checks = 0;        // number of check() calls
   std::int64_t nodes = 0;         // search nodes across all checks
   std::int64_t propagations = 0;  // domain-tightening events
-  std::int64_t unknowns = 0;      // checks that exhausted the node budget
+  std::int64_t unknowns = 0;      // checks that gave up (any cause below)
+  std::int64_t node_exhaustions = 0;      // … node budget ran out
+  std::int64_t deadline_exhaustions = 0;  // … wall-clock deadline passed
+  std::int64_t injected_unknowns = 0;     // … fault injection forced kUnknown
 };
 
 class Solver {
@@ -69,7 +88,12 @@ class Solver {
 
   // --- queries -----------------------------------------------------------------
   CheckResult check() { return check_assuming({}); }
-  CheckResult check_assuming(std::span<const Formula> assumptions);
+  CheckResult check(const Budget& budget) { return check_assuming({}, budget); }
+  CheckResult check_assuming(std::span<const Formula> assumptions) {
+    return check_assuming(assumptions, Budget{});
+  }
+  CheckResult check_assuming(std::span<const Formula> assumptions,
+                             const Budget& budget);
 
   // Model of the last kSat check; values indexed by VarId::index.
   const std::vector<Int>& model() const;
@@ -79,6 +103,13 @@ class Solver {
   // `assumptions` (binary search on satisfiability). Empty interval ⇔ UNSAT.
   // Throws util::RuntimeError if the node budget is exhausted mid-query.
   Interval feasible_interval(VarId v, std::span<const Formula> assumptions = {});
+
+  // Budgeted, non-throwing variant: nullopt when any underlying check gives
+  // up (node budget, deadline, or injected fault) before the range is known.
+  // The decoder's kUnknown policy turns a nullopt into degrade-or-retry.
+  std::optional<Interval> try_feasible_interval(
+      VarId v, std::span<const Formula> assumptions = {},
+      const Budget& budget = {});
 
   // Find a model minimizing `cost` (binary search on the cost bound).
   // nullopt ⇔ UNSAT. Best-effort under the node budget: when a bound query
@@ -103,8 +134,10 @@ class Solver {
     Int hi = 0;
   };
 
-  CheckResult check_assuming_impl(std::span<const Formula> assumptions);
-  CheckResult search(detail::SearchNode& node, std::int64_t& budget);
+  CheckResult check_assuming_impl(std::span<const Formula> assumptions,
+                                  const Budget& budget);
+  CheckResult search(detail::SearchNode& node, std::int64_t& nodes_left,
+                     std::int64_t deadline_ns);
 
   SolverConfig config_;
   std::vector<VarDecl> vars_;

@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include "fault/fault.hpp"
+#include "obs/timer.hpp"
+#include "smt/solver.hpp"
+
+namespace lejit::smt {
+namespace {
+
+// Pigeonhole: 4 all-different variables over a 3-value domain. UNSAT, and
+// bounds propagation alone cannot see it — the proof needs real search,
+// which makes the instance a reliable budget burner.
+Solver pigeonhole(SolverConfig config = {}) {
+  Solver s(config);
+  std::vector<VarId> v;
+  for (int i = 0; i < 4; ++i)
+    v.push_back(s.add_var("p" + std::to_string(i), 0, 2));
+  for (std::size_t i = 0; i < v.size(); ++i)
+    for (std::size_t j = i + 1; j < v.size(); ++j)
+      s.add(ne(LinExpr(v[i]), LinExpr(v[j])));
+  return s;
+}
+
+// All-different permutation of {0..5}: SAT, with a weighted cost whose
+// optimality proof must refute many near-optimal assignments.
+struct Permutation {
+  Solver solver;
+  LinExpr cost;
+};
+Permutation permutation(SolverConfig config = {}) {
+  Permutation p{Solver(config), LinExpr()};
+  std::vector<VarId> v;
+  for (int i = 0; i < 6; ++i)
+    v.push_back(p.solver.add_var("q" + std::to_string(i), 0, 5));
+  for (std::size_t i = 0; i < v.size(); ++i)
+    for (std::size_t j = i + 1; j < v.size(); ++j)
+      p.solver.add(ne(LinExpr(v[i]), LinExpr(v[j])));
+  for (int i = 0; i < 6; ++i)
+    p.cost = p.cost + static_cast<Int>(i + 1) * LinExpr(v[static_cast<std::size_t>(i)]);
+  return p;
+}
+
+TEST(SolverBudget, DefaultBudgetIsUnlimited) {
+  EXPECT_TRUE(Budget{}.unlimited());
+  EXPECT_FALSE(Budget{.max_nodes = 10}.unlimited());
+  EXPECT_FALSE(Budget{.deadline_ns = 1}.unlimited());
+}
+
+TEST(SolverBudget, DeadlineInMsIsAbsolute) {
+  const std::int64_t before = obs::now_ns();
+  const Budget b = Budget::deadline_in_ms(1000);
+  EXPECT_GE(b.deadline_ns, before + 900'000'000);
+  EXPECT_EQ(b.max_nodes, 0);
+}
+
+TEST(SolverBudget, TightNodeBudgetYieldsUnknown) {
+  Solver s = pigeonhole();
+  EXPECT_EQ(s.check(Budget{.max_nodes = 1}), CheckResult::kUnknown);
+  EXPECT_EQ(s.stats().unknowns, 1);
+  EXPECT_EQ(s.stats().node_exhaustions, 1);
+  EXPECT_EQ(s.stats().deadline_exhaustions, 0);
+}
+
+TEST(SolverBudget, BudgetOverridesConfigCapInBothDirections) {
+  // Config cap so small every unaided check gives up …
+  Solver s = pigeonhole(SolverConfig{.max_nodes = 1});
+  EXPECT_EQ(s.check(), CheckResult::kUnknown);
+  // … yet a looser per-query budget still proves UNSAT (this is what the
+  // decoder's escalation path relies on) …
+  EXPECT_EQ(s.check(Budget{.max_nodes = 1'000'000}), CheckResult::kUnsat);
+  // … and the config default still applies when the budget leaves it alone.
+  EXPECT_EQ(s.check(Budget{}), CheckResult::kUnknown);
+}
+
+TEST(SolverBudget, ExpiredDeadlineYieldsUnknown) {
+  Solver s = pigeonhole();
+  // An already-passed absolute deadline: the first search node trips it.
+  EXPECT_EQ(s.check(Budget{.deadline_ns = 1}), CheckResult::kUnknown);
+  EXPECT_EQ(s.stats().deadline_exhaustions, 1);
+  EXPECT_EQ(s.stats().node_exhaustions, 0);
+  // A generous deadline changes nothing about the verdict.
+  EXPECT_EQ(s.check(Budget::deadline_in_ms(60'000)), CheckResult::kUnsat);
+}
+
+TEST(SolverBudget, TryFeasibleIntervalGivesUpGracefully) {
+  Permutation p = permutation();
+  const VarId q0{0};
+  const std::optional<Interval> starved =
+      p.solver.try_feasible_interval(q0, {}, Budget{.max_nodes = 1});
+  EXPECT_FALSE(starved.has_value());
+
+  const std::optional<Interval> exact = p.solver.try_feasible_interval(q0);
+  ASSERT_TRUE(exact.has_value());
+  EXPECT_EQ(*exact, p.solver.feasible_interval(q0));
+  EXPECT_EQ(exact->lo, 0);
+  EXPECT_EQ(exact->hi, 5);
+}
+
+TEST(SolverBudget, FeasibleIntervalStillThrowsOnExhaustion) {
+  Permutation p = permutation(SolverConfig{.max_nodes = 1});
+  EXPECT_THROW(p.solver.feasible_interval(VarId{0}), util::RuntimeError);
+}
+
+TEST(SolverBudget, MinimizeIsBestEffortWhenBudgetRunsOutMidOptimization) {
+  // Generous solver: the certified optimum to compare against.
+  Permutation free = permutation();
+  const auto optimal = free.solver.minimize(free.cost);
+  ASSERT_TRUE(optimal.has_value());
+  ASSERT_TRUE(optimal->proven_optimal);
+
+  // Starved solver: enough nodes to find *a* permutation, not enough to
+  // refute every cheaper cost bound. minimize must still return a feasible
+  // model and admit the lost certificate instead of throwing.
+  Permutation starved = permutation(SolverConfig{.max_nodes = 40});
+  const auto best_effort = starved.solver.minimize(starved.cost);
+  ASSERT_TRUE(best_effort.has_value());
+  EXPECT_FALSE(best_effort->proven_optimal);
+  EXPECT_GE(best_effort->cost, optimal->cost);
+  EXPECT_EQ(best_effort->cost, starved.cost.eval(best_effort->model));
+  // The model is a real all-different assignment, not budget debris.
+  std::vector<bool> seen(6, false);
+  for (const Int value : best_effort->model) {
+    ASSERT_GE(value, 0);
+    ASSERT_LE(value, 5);
+    EXPECT_FALSE(seen[static_cast<std::size_t>(value)]);
+    seen[static_cast<std::size_t>(value)] = true;
+  }
+}
+
+TEST(SolverBudget, MinimizeThrowsWhenEvenTheFirstCheckStarves) {
+  Permutation starved = permutation(SolverConfig{.max_nodes = 1});
+  EXPECT_THROW(starved.solver.minimize(starved.cost), util::RuntimeError);
+}
+
+TEST(SolverBudget, InjectedUnknownLooksLikeBudgetExhaustionToCallers) {
+  fault::Plan plan;
+  plan.site(fault::Site::kSolverCheck).p_unknown = 1.0;
+  const fault::ScopedPlan scoped{plan};
+
+  Solver s = pigeonhole();
+  EXPECT_EQ(s.check(), CheckResult::kUnknown);
+  EXPECT_EQ(s.stats().unknowns, 1);
+  EXPECT_EQ(s.stats().injected_unknowns, 1);
+  EXPECT_EQ(s.stats().node_exhaustions, 0);
+  EXPECT_FALSE(s.try_feasible_interval(VarId{0}).has_value());
+}
+
+}  // namespace
+}  // namespace lejit::smt

@@ -192,12 +192,36 @@ int cmd_train(const Args& args) {
   return 0;
 }
 
-core::GuidedDecoder make_decoder(const lm::Transformer& model,
+// Resilience knobs shared by synth and impute (see DESIGN.md §8).
+core::ResilienceConfig resilience_from_args(const Args& args) {
+  core::ResilienceConfig res;
+  const std::string policy = args.get("on-unknown", "escalate");
+  if (policy == "infeasible") {
+    res.on_unknown = core::UnknownPolicy::kInfeasible;
+  } else if (policy == "feasible") {
+    res.on_unknown = core::UnknownPolicy::kFeasible;
+  } else if (policy == "escalate") {
+    res.on_unknown = core::UnknownPolicy::kEscalate;
+  } else {
+    std::cerr << "error: --on-unknown expects infeasible|feasible|escalate\n";
+    std::exit(2);
+  }
+  res.check_deadline_ms = args.get_int("solver-deadline-ms", 0);
+  res.row_deadline_ms = args.get_int("row-deadline-ms", 0);
+  res.retry_budget = static_cast<int>(args.get_int("retry-budget", 0));
+  return res;
+}
+
+core::GuidedDecoder make_decoder(const Args& args,
+                                 const lm::Transformer& model,
                                  const lm::CharTokenizer& tokenizer,
                                  const telemetry::RowLayout& layout,
                                  rules::RuleSet rules) {
+  core::DecoderConfig config{.mode = core::GuidanceMode::kFull};
+  config.solver.max_nodes = args.get_int("max-nodes", config.solver.max_nodes);
+  config.resilience = resilience_from_args(args);
   return core::GuidedDecoder(model, tokenizer, layout, std::move(rules),
-                             core::DecoderConfig{.mode = core::GuidanceMode::kFull});
+                             config);
 }
 
 int cmd_synth(const Args& args) {
@@ -206,7 +230,7 @@ int cmd_synth(const Args& args) {
   const lm::CharTokenizer tokenizer(telemetry::row_alphabet());
   const lm::Transformer model =
       lm::Transformer::load(args.get("model", "model.bin"));
-  auto decoder = make_decoder(model, tokenizer, layout,
+  auto decoder = make_decoder(args, model, tokenizer, layout,
                               load_rules(args.get("rules", "rules.txt"), layout));
   util::Rng rng(static_cast<std::uint64_t>(args.get_int("seed", 1)));
   const auto count = args.get_int("count", 10);
@@ -228,7 +252,7 @@ int cmd_impute(const Args& args) {
   const lm::CharTokenizer tokenizer(telemetry::row_alphabet());
   const lm::Transformer model =
       lm::Transformer::load(args.get("model", "model.bin"));
-  auto decoder = make_decoder(model, tokenizer, layout,
+  auto decoder = make_decoder(args, model, tokenizer, layout,
                               load_rules(args.get("rules", "rules.txt"), layout));
   util::Rng rng(static_cast<std::uint64_t>(args.get_int("seed", 1)));
 
@@ -283,6 +307,13 @@ void usage() {
       "  synth    --model FILE --rules FILE [--count N] [--seed S]\n"
       "  impute   --model FILE --rules FILE --prompts FILE [--seed S]\n"
       "  check    --rules FILE --rows FILE\n"
+      "resilience (synth, impute):\n"
+      "  --on-unknown POLICY  inconclusive solver checks read as:\n"
+      "                       infeasible|feasible|escalate (default escalate)\n"
+      "  --max-nodes N        solver search-node cap per check (default 500000)\n"
+      "  --solver-deadline-ms MS  wall-clock deadline per solver check\n"
+      "  --row-deadline-ms MS     wall-clock ceiling per generated row\n"
+      "  --retry-budget N     dead-end recoveries per row (default 0 = fail-stop)\n"
       "observability (any command):\n"
       "  --log-level LEVEL    stderr diagnostics: error|warn|info|debug|off\n"
       "                       (default off; LEJIT_LOG env is the fallback)\n"

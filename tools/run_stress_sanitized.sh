@@ -1,0 +1,12 @@
+#!/bin/sh
+# Build the asan-ubsan preset and run only the `stress`-labelled
+# fault-injection tests under the sanitizers. The tier-1 loop
+# (cmake/ctest on the default build) stays fast because the instrumented
+# tree lives in its own binary dir and only the stress binary is built.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+cmake --preset asan-ubsan
+cmake --build --preset asan-ubsan -j --target lejit_stress_tests
+ctest --preset stress-asan-ubsan
