@@ -12,8 +12,10 @@
 // first; the binary then prints the extrapolated Fig. 3 (right) table.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <functional>
 #include <iostream>
+#include <string_view>
 
 #include "baselines/rejection.hpp"
 #include "baselines/zoom2net.hpp"
@@ -30,10 +32,22 @@ using namespace lejit;
 using bench::BenchEnv;
 using telemetry::Window;
 
+// --smoke: tiny environment + reduced sample counts so CI can run the whole
+// binary (including the cache on/off comparison) in seconds. Set in main()
+// before env() is first touched.
+bool g_smoke = false;
+
 const BenchEnv& env() {
-  static const BenchEnv e = bench::make_env(bench::BenchEnvConfig{.use_transformer = true});
+  static const BenchEnv e = bench::make_env(
+      g_smoke ? bench::BenchEnvConfig{.racks = 8,
+                                      .windows_per_rack = 30,
+                                      .test_racks = 2,
+                                      .use_transformer = false}
+              : bench::BenchEnvConfig{.use_transformer = true});
   return e;
 }
+
+int scaled(int samples) { return g_smoke ? std::max(3, samples / 5) : samples; }
 
 // Eligible prompts (ground truth compatible with the mined rules).
 const std::vector<Window>& prompts() {
@@ -125,6 +139,9 @@ struct ModeRun {
   std::int64_t lm_forward_ns = 0, solver_check_ns = 0;
   std::int64_t mask_build_ns = 0, sampling_ns = 0;
   std::int64_t lm_forwards = 0;
+  // Solver work + feasibility-cache traffic over this mode's samples.
+  std::int64_t solver_propagations = 0;
+  std::int64_t cache_hits = 0, cache_misses = 0;
 };
 
 // Wall-clock measurement used for the extrapolated table (independent of
@@ -160,6 +177,9 @@ ModeRun run_mode(std::string name, int samples,
         tracer.totals(lejit::obs::Phase::kSolverCheck).total_ns;
     run.mask_build_ns = tracer.totals(lejit::obs::Phase::kMaskBuild).total_ns;
     run.sampling_ns = tracer.totals(lejit::obs::Phase::kSampling).total_ns;
+    run.solver_propagations = registry.counter("smt.propagations").value();
+    run.cache_hits = registry.counter("decode.cache.hits").value();
+    run.cache_misses = registry.counter("decode.cache.misses").value();
   }
   return run;
 }
@@ -192,6 +212,11 @@ std::string modes_json(const std::vector<ModeRun>& runs) {
     w.key("sampling").value(static_cast<double>(r.sampling_ns) * 1e-9);
     w.end_object();
     w.key("lm_forwards").value(r.lm_forwards);
+    w.key("solver_propagations").value(r.solver_propagations);
+    w.key("cache").begin_object();
+    w.key("hits").value(r.cache_hits);
+    w.key("misses").value(r.cache_misses);
+    w.end_object();
     w.key("split").begin_object();
     w.key("lm_forward_frac").value(denom > 0.0 ? lm_s / denom : 0.0);
     w.key("solver_check_frac").value(denom > 0.0 ? solver_s / denom : 0.0);
@@ -212,13 +237,13 @@ void print_fig3_right(bench::JsonReport& report) {
                             rules::RuleSet{},
                             core::DecoderConfig{.mode = core::GuidanceMode::kSyntax});
     util::Rng rng(5);
-    rows.push_back(run_mode("Vanilla LM", 60, [&](const Window& w) {
+    rows.push_back(run_mode("Vanilla LM", scaled(60), [&](const Window& w) {
       (void)dec.generate(rng, telemetry::imputation_prompt(w));
     }));
   }
   {
     const baselines::Zoom2NetImputer imputer(env().train, env().dataset.limits);
-    rows.push_back(run_mode("Zoom2Net*", 200,
+    rows.push_back(run_mode("Zoom2Net*", scaled(200),
                             [&](const Window& w) { (void)imputer.impute(w); }));
   }
   {
@@ -226,17 +251,40 @@ void print_fig3_right(bench::JsonReport& report) {
                             env().manual,
                             core::DecoderConfig{.mode = core::GuidanceMode::kFull});
     util::Rng rng(6);
-    rows.push_back(run_mode("LeJIT (manual rules)", 60, [&](const Window& w) {
+    rows.push_back(run_mode("LeJIT (manual rules)", scaled(60),
+                            [&](const Window& w) {
       (void)dec.generate(rng, telemetry::imputation_prompt(w));
     }));
   }
+  // Cache ablation: the mined-rules workload runs twice — feasibility cache
+  // on (DecoderConfig default) and off — over the same prompts with the same
+  // seed. The decodes must be bit-identical (see DESIGN.md §9); the run pair
+  // is also what BENCH_3.json's propagation/latency acceptance check reads.
+  std::vector<std::string> mined_texts;
   {
     core::GuidedDecoder dec(env().lm(), env().tokenizer, env().layout,
                             env().mined,
                             core::DecoderConfig{.mode = core::GuidanceMode::kFull});
     util::Rng rng(7);
-    rows.push_back(run_mode("LeJIT (mined rules)", 40, [&](const Window& w) {
-      (void)dec.generate(rng, telemetry::imputation_prompt(w));
+    rows.push_back(run_mode("LeJIT (mined rules)", scaled(40),
+                            [&](const Window& w) {
+      mined_texts.push_back(dec.generate(rng, telemetry::imputation_prompt(w)).text);
+    }));
+  }
+  bool cache_bit_identical = true;
+  {
+    core::DecoderConfig cfg{.mode = core::GuidanceMode::kFull};
+    cfg.cache = false;
+    core::GuidedDecoder dec(env().lm(), env().tokenizer, env().layout,
+                            env().mined, cfg);
+    util::Rng rng(7);
+    std::size_t i = 0;
+    rows.push_back(run_mode("LeJIT (mined, no cache)", scaled(40),
+                            [&](const Window& w) {
+      const auto res = dec.generate(rng, telemetry::imputation_prompt(w));
+      if (i >= mined_texts.size() || res.text != mined_texts[i])
+        cache_bit_identical = false;
+      ++i;
     }));
   }
   {
@@ -244,11 +292,28 @@ void print_fig3_right(bench::JsonReport& report) {
         env().lm(), env().tokenizer, env().layout, env().mined,
         baselines::RejectionConfig{.max_attempts = 400});
     util::Rng rng(8);
-    rows.push_back(run_mode("Rejection sampling", 12, [&](const Window& w) {
+    rows.push_back(run_mode("Rejection sampling", scaled(12),
+                            [&](const Window& w) {
       (void)sampler.generate(rng, telemetry::imputation_prompt(w));
     }));
   }
   report.add_raw("modes", modes_json(rows));
+
+  const ModeRun& cached = rows[3];
+  const ModeRun& uncached = rows[4];
+  {
+    lejit::obs::JsonWriter w;
+    w.begin_object();
+    w.key("bit_identical").value(cache_bit_identical);
+    w.key("propagations_on").value(cached.solver_propagations);
+    w.key("propagations_off").value(uncached.solver_propagations);
+    w.key("ms_per_sample_on").value(cached.sec_per_sample * 1e3);
+    w.key("ms_per_sample_off").value(uncached.sec_per_sample * 1e3);
+    w.key("cache_hits").value(cached.cache_hits);
+    w.key("cache_misses").value(cached.cache_misses);
+    w.end_object();
+    report.add_raw("cache_ablation", w.str());
+  }
 
   bench::Table table(
       "Fig. 3 (right) — runtime for the 30K-sample imputation workload "
@@ -269,19 +334,41 @@ void print_fig3_right(bench::JsonReport& report) {
   }
   table.print();
 
-  const double rejection = rows[4].sec_per_sample;
+  const double rejection = rows[5].sec_per_sample;
   std::cout << "\nshape: rejection/LeJIT speedup = "
             << bench::fmt(rejection / lejit, 1)
             << "x (paper reports >10x)  -> "
             << (rejection / lejit >= 5.0 ? "HOLDS" : "CHECK") << "\n";
+
+  const double prop_ratio =
+      cached.solver_propagations > 0
+          ? static_cast<double>(uncached.solver_propagations) /
+                static_cast<double>(cached.solver_propagations)
+          : 0.0;
+  std::cout << "shape: cache on/off decodes bit-identical -> "
+            << (cache_bit_identical ? "YES" : "NO *** MISMATCH ***")
+            << "\nshape: solver propagations cache-off/cache-on = "
+            << bench::fmt(prop_ratio, 1) << "x; ms/sample "
+            << bench::fmt(cached.sec_per_sample * 1e3, 3) << " (on) vs "
+            << bench::fmt(uncached.sec_per_sample * 1e3, 3) << " (off)\n";
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Strip --smoke before google-benchmark parses argv (mirrors JsonReport's
+  // handling of --json). Must happen before env() is first touched.
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--smoke") {
+      g_smoke = true;
+      for (int j = i; j + 1 < argc; ++j) argv[j] = argv[j + 1];
+      --argc;
+      break;
+    }
+  }
   bench::JsonReport report("fig3_runtime", &argc, argv);
   benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
+  if (!g_smoke) benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   print_fig3_right(report);
   report.add_env(env().config);

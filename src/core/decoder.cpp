@@ -16,16 +16,23 @@ namespace lejit::core {
 
 namespace {
 
-// RAII guard: pops the solver scope opened for one row.
+// RAII guard: pops every solver scope opened during one row attempt — the
+// attempt's own scope plus, when scope mirroring is on, one per pinned field.
 class ScopeGuard {
  public:
-  explicit ScopeGuard(smt::Solver& solver) : solver_(solver) { solver_.push(); }
-  ~ScopeGuard() { solver_.pop(); }
+  explicit ScopeGuard(smt::Solver& solver)
+      : solver_(solver), mark_(solver.num_scopes()) {
+    solver_.push();
+  }
+  ~ScopeGuard() {
+    while (solver_.num_scopes() > mark_) solver_.pop();
+  }
   ScopeGuard(const ScopeGuard&) = delete;
   ScopeGuard& operator=(const ScopeGuard&) = delete;
 
  private:
   smt::Solver& solver_;
+  std::size_t mark_;
 };
 
 // Folds the row's DecodeStats into the process-wide metrics when the result
@@ -83,6 +90,13 @@ obs::Histogram& removed_mass_histogram() {
   return h;
 }
 
+// Candidate feasibility answered by interval arithmetic / witnesses alone.
+obs::Counter& hull_conclusive_counter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::instance().counter("decode.cache.hull_conclusive");
+  return c;
+}
+
 }  // namespace
 
 std::string_view fail_reason_name(FailReason r) noexcept {
@@ -133,7 +147,14 @@ GuidedDecoder::GuidedDecoder(const lm::LanguageModel& model,
       layout_(layout),
       rules_(std::move(rules)),
       config_(config),
-      solver_(config.solver) {
+      solver_([&config] {
+        // The feasibility cache and the solver's incremental base are one
+        // feature: both reuse work across the walk's push/pop scopes, and
+        // the cache's hull short-circuit reads the base's propagated bounds.
+        smt::SolverConfig sc = config.solver;
+        sc.incremental = config.cache;
+        return sc;
+      }()) {
   LEJIT_REQUIRE(model.vocab_size() == tokenizer.vocab_size(),
                 "model and tokenizer vocabulary sizes differ");
   for (const char c : telemetry::row_alphabet())
@@ -218,9 +239,21 @@ DecodeResult GuidedDecoder::generate(util::Rng& rng, std::string_view prompt) {
     return b;
   };
 
-  // Policy-mediated satisfiability: kUnknown is escalated and/or mapped to
-  // the configured meaning instead of silently reading as infeasible.
-  const auto sat_under_policy = [&](std::span<const smt::Formula> fs) {
+  // Caching applies to the solver-guided modes only; the fingerprint tracks
+  // the pins/bans the current attempt has asserted (reset per attempt) so
+  // cache keys are specific to the exact problem the solver would see.
+  const bool use_cache =
+      config_.cache && (config_.mode == GuidanceMode::kFull ||
+                        config_.mode == GuidanceMode::kHull);
+  std::uint64_t fp = kPinFingerprintSeed;
+
+  // How an inconclusive result reads once escalation is exhausted.
+  const bool unknown_is_feasible = res.on_unknown == UnknownPolicy::kFeasible;
+
+  // Policy-escalated satisfiability, returning the final raw result so
+  // callers can cache it. kUnknown here means escalation is already spent.
+  const auto check_under_policy =
+      [&](std::span<const smt::Formula> fs) -> smt::CheckResult {
     smt::CheckResult r = solver_.check_assuming(fs, check_budget(0));
     for (int e = 1; r == smt::CheckResult::kUnknown; ++e) {
       ++result.stats.unknown_checks;
@@ -229,17 +262,31 @@ DecodeResult GuidedDecoder::generate(util::Rng& rng, std::string_view prompt) {
       ++result.stats.escalations;
       r = solver_.check_assuming(fs, check_budget(e));
     }
-    if (r == smt::CheckResult::kUnknown)
-      return res.on_unknown == UnknownPolicy::kFeasible;
+    return r;
+  };
+
+  // Policy-mediated satisfiability: kUnknown is escalated and/or mapped to
+  // the configured meaning instead of silently reading as infeasible.
+  const auto sat_under_policy = [&](std::span<const smt::Formula> fs) {
+    const smt::CheckResult r = check_under_policy(fs);
+    if (r == smt::CheckResult::kUnknown) return unknown_is_feasible;
     return r == smt::CheckResult::kSat;
   };
 
-  // Policy-mediated hull query (kHull mode). When even the escalated budget
-  // cannot pin down the feasible range, degrade to the static domain — a
-  // superset of the true hull, so masking stays permissive and the post-pin
-  // feasibility check (plus dead-end recovery) catches what slips through.
-  // Under kInfeasible the field is refused outright instead.
-  const auto hull_under_policy = [&](smt::VarId var) -> smt::Interval {
+  // Policy-mediated hull query (kHull mode). A conclusive hull — cached or
+  // freshly computed — is the exact feasible range. When even the escalated
+  // budget cannot pin it down, degrade to the static domain — a superset of
+  // the true hull, so masking stays permissive and the post-pin feasibility
+  // check (plus dead-end recovery) catches what slips through. Under
+  // kInfeasible the field is refused outright instead. Degraded hulls are
+  // never cached.
+  const auto hull_under_policy = [&](smt::VarId var,
+                                     int field) -> smt::Interval {
+    if (use_cache) {
+      if (const auto cached = cache_.find_hull(fp, field);
+          cached && cached->exact)
+        return cached->bounds;
+    }
     std::optional<smt::Interval> h =
         solver_.try_feasible_interval(var, {}, check_budget(0));
     for (int e = 1; !h; ++e) {
@@ -249,7 +296,15 @@ DecodeResult GuidedDecoder::generate(util::Rng& rng, std::string_view prompt) {
       ++result.stats.escalations;
       h = solver_.try_feasible_interval(var, {}, check_budget(e));
     }
-    if (h) return *h;
+    if (h) {
+      if (use_cache) {
+        FeasibilityCache::Hull entry;
+        entry.bounds = *h;
+        entry.exact = true;
+        cache_.store_hull(fp, field, entry);
+      }
+      return *h;
+    }
     if (obs::metrics_enabled())
       obs::MetricsRegistry::instance().counter("decode.hull_degraded").inc();
     return res.on_unknown == UnknownPolicy::kInfeasible ? smt::Interval::empty()
@@ -292,6 +347,12 @@ DecodeResult GuidedDecoder::generate(util::Rng& rng, std::string_view prompt) {
     // computed lazily when the field's digits begin and dropped when the
     // field completes.
     std::optional<smt::Interval> field_hull;
+    // kFull + cache: hull/witness state of the field currently being decoded,
+    // loaded from the cross-row cache at field start and written back (with
+    // any witnesses gathered from sat checks) when the field pins.
+    std::optional<FeasibilityCache::Hull> full_hull;
+    std::uint64_t full_hull_fp = 0;
+    int full_hull_field = -1;
     // Set when a kHull field completion must be validated against the rules.
     bool pending_feasibility_check = false;
     // Most recently pinned field, for the dead-end ban/rewind decision.
@@ -302,11 +363,14 @@ DecodeResult GuidedDecoder::generate(util::Rng& rng, std::string_view prompt) {
     // Re-assert dead-end bans inside this attempt's scope. Each ban records a
     // pin the solver proved infeasible, so excluding it cannot remove a value
     // a compliant row needs (at worst it narrows diversity near the ban).
+    fp = kPinFingerprintSeed;
     if (solver_guided)
-      for (const auto& [field, value] : banned)
+      for (const auto& [field, value] : banned) {
         solver_.add(
             smt::ne(smt::LinExpr(vars_[static_cast<std::size_t>(field)]),
                     smt::LinExpr(value)));
+        fp = mix_pin(fp, kPinTagBan, field, value);
+      }
 
     // Pin a completed field value into the solver (solver-guided modes).
     const auto pin_field = [&](int field, Int value, int digits) {
@@ -314,9 +378,39 @@ DecodeResult GuidedDecoder::generate(util::Rng& rng, std::string_view prompt) {
       last_value = value;
       last_digits = digits;
       if (!solver_guided) return;
+      if (use_cache) {
+        // Persist the field's hull/witness state under its pre-pin
+        // fingerprint so later attempts and rows reuse it.
+        if (full_hull && full_hull_field == field) {
+          cache_.store_hull(full_hull_fp, field, *full_hull);
+          full_hull.reset();
+          full_hull_field = -1;
+        }
+        // One solver scope per pin mirrors the walk: a recovery rewind pops
+        // back to a saved base snapshot instead of re-propagating the rules.
+        solver_.push();
+        fp = mix_pin(fp, kPinTagPin, field, value);
+      }
       solver_.add(smt::eq(smt::LinExpr(vars_[static_cast<std::size_t>(field)]),
                           smt::LinExpr(value)));
       if (mode == GuidanceMode::kHull) pending_feasibility_check = true;
+    };
+
+    // Satisfiability of the pinned state itself (prompt feasibility and the
+    // kHull post-pin hole check), memoized on the fingerprint alone.
+    const auto pinned_state_feasible = [&]() -> bool {
+      if (!use_cache) return sat_under_policy({});
+      if (const auto v =
+              cache_.lookup(QueryKind::kPinned, fp, -1, 0, 0)) {
+        if (*v == smt::CheckResult::kSat) return true;
+        if (*v == smt::CheckResult::kUnsat) return false;
+        ++result.stats.unknown_checks;
+        return unknown_is_feasible;
+      }
+      const smt::CheckResult r = check_under_policy({});
+      cache_.store(QueryKind::kPinned, fp, -1, 0, 0, r);
+      if (r == smt::CheckResult::kUnknown) return unknown_is_feasible;
+      return r == smt::CheckResult::kSat;
     };
 
     // Advance the walk over one legal character; pins fields as they complete.
@@ -365,7 +459,7 @@ DecodeResult GuidedDecoder::generate(util::Rng& rng, std::string_view prompt) {
     }
     pending_feasibility_check = false;  // the prompt check below covers it
     if (solver_guided && !prompt.empty()) {
-      if (!sat_under_policy({})) {
+      if (!pinned_state_feasible()) {
         result.text = text;
         return {Outcome::kInfeasiblePrompt, -1, 0, 0,
                 "prompt contradicts the rule set (or check stayed "
@@ -407,7 +501,99 @@ DecodeResult GuidedDecoder::generate(util::Rng& rng, std::string_view prompt) {
       const int max_digits = digits_for(spec.max_value);
 
       if (mode == GuidanceMode::kHull && !field_hull)
-        field_hull = hull_under_policy(var);
+        field_hull = hull_under_policy(var, walk.field);
+
+      // kFull + cache: establish hull/witness state for this field. A cached
+      // exact hull (e.g. from a kHull pass at the same fingerprint) gives
+      // conclusive answers in both directions; otherwise the solver base's
+      // propagated bounds give free conclusive-infeasible answers and
+      // witnesses accumulate from organic sat checks.
+      if (mode == GuidanceMode::kFull && use_cache &&
+          (!full_hull || full_hull_field != walk.field)) {
+        full_hull_fp = fp;
+        full_hull_field = walk.field;
+        full_hull = cache_.find_hull(fp, walk.field);
+        if (!full_hull) {
+          FeasibilityCache::Hull entry;
+          entry.bounds = solver_.propagated_bounds(var);
+          full_hull = std::move(entry);
+        }
+      }
+
+      // Candidate feasibility in kFull mode with caching: interval
+      // arithmetic first, then the verdict memo, then the solver. `exact`
+      // answers from the first two tiers match what the solver would say, so
+      // masks — and therefore decoded text — are bit-identical to the
+      // uncached path.
+      const auto cached_completion_feasible = [&](const DigitPrefix& p) {
+        // Completions that miss the hull are infeasible (the hull is the
+        // feasible set's interval over-approximation); ones containing a
+        // known-feasible value are feasible.
+        if (!completion_intersects(p, max_digits, full_hull->bounds)) {
+          if (obs::metrics_enabled()) hull_conclusive_counter().inc();
+          return false;
+        }
+        for (const Int w : full_hull->witnesses)
+          if (completion_contains(p, max_digits, w)) {
+            if (obs::metrics_enabled()) hull_conclusive_counter().inc();
+            return true;
+          }
+        if (full_hull->exact &&
+            (completion_contains(p, max_digits, full_hull->bounds.lo) ||
+             completion_contains(p, max_digits, full_hull->bounds.hi))) {
+          // Exact-hull endpoints are feasible by construction.
+          if (obs::metrics_enabled()) hull_conclusive_counter().inc();
+          return true;
+        }
+        if (const auto v = cache_.lookup(QueryKind::kCompletion, fp,
+                                         walk.field, p.value, p.digits)) {
+          if (*v == smt::CheckResult::kSat) return true;
+          if (*v == smt::CheckResult::kUnsat) return false;
+          ++result.stats.unknown_checks;
+          return unknown_is_feasible;
+        }
+        const smt::Formula f = prefix_completion_formula(var, p, max_digits);
+        const smt::CheckResult r = check_under_policy(std::span(&f, 1));
+        cache_.store(QueryKind::kCompletion, fp, walk.field, p.value,
+                     p.digits, r);
+        if (r == smt::CheckResult::kSat) {
+          full_hull->add_witness(solver_.model_value(var));
+          return true;
+        }
+        if (r == smt::CheckResult::kUnknown) return unknown_is_feasible;
+        return false;
+      };
+
+      // Same tiers for pinning the field to its exact current value.
+      const auto cached_exact_feasible = [&](Int value) {
+        if (!full_hull->bounds.contains(value)) {
+          if (obs::metrics_enabled()) hull_conclusive_counter().inc();
+          return false;
+        }
+        if (full_hull->has_witness(value) ||
+            (full_hull->exact && (value == full_hull->bounds.lo ||
+                                  value == full_hull->bounds.hi))) {
+          if (obs::metrics_enabled()) hull_conclusive_counter().inc();
+          return true;
+        }
+        if (const auto v = cache_.lookup(QueryKind::kExact, fp, walk.field,
+                                         value, 0)) {
+          if (*v == smt::CheckResult::kSat) return true;
+          if (*v == smt::CheckResult::kUnsat) return false;
+          ++result.stats.unknown_checks;
+          return unknown_is_feasible;
+        }
+        const smt::Formula f =
+            smt::eq(smt::LinExpr(var), smt::LinExpr(value));
+        const smt::CheckResult r = check_under_policy(std::span(&f, 1));
+        cache_.store(QueryKind::kExact, fp, walk.field, value, 0, r);
+        if (r == smt::CheckResult::kSat) {
+          full_hull->add_witness(value);
+          return true;
+        }
+        if (r == smt::CheckResult::kUnknown) return unknown_is_feasible;
+        return false;
+      };
 
       // Digits that keep some completion reachable.
       for (int d = 0; d <= 9; ++d) {
@@ -415,9 +601,13 @@ DecodeResult GuidedDecoder::generate(util::Rng& rng, std::string_view prompt) {
         const DigitPrefix next = walk.digits.extended(d);
         if (!prefix_syntactically_ok(next, max_digits)) continue;
         if (mode == GuidanceMode::kFull) {
-          const smt::Formula f =
-              prefix_completion_formula(var, next, max_digits);
-          if (!sat_under_policy(std::span(&f, 1))) continue;
+          if (use_cache) {
+            if (!cached_completion_feasible(next)) continue;
+          } else {
+            const smt::Formula f =
+                prefix_completion_formula(var, next, max_digits);
+            if (!sat_under_policy(std::span(&f, 1))) continue;
+          }
         } else if (mode == GuidanceMode::kHull) {
           if (!completion_intersects(next, max_digits, *field_hull)) continue;
         }
@@ -435,9 +625,13 @@ DecodeResult GuidedDecoder::generate(util::Rng& rng, std::string_view prompt) {
           }
         }
         if (can_end && mode == GuidanceMode::kFull) {
-          const smt::Formula f =
-              smt::eq(smt::LinExpr(var), smt::LinExpr(walk.digits.value));
-          can_end = sat_under_policy(std::span(&f, 1));
+          if (use_cache) {
+            can_end = cached_exact_feasible(walk.digits.value);
+          } else {
+            const smt::Formula f =
+                smt::eq(smt::LinExpr(var), smt::LinExpr(walk.digits.value));
+            can_end = sat_under_policy(std::span(&f, 1));
+          }
         } else if (can_end && mode == GuidanceMode::kHull) {
           can_end = field_hull->contains(walk.digits.value);
         }
@@ -474,11 +668,17 @@ DecodeResult GuidedDecoder::generate(util::Rng& rng, std::string_view prompt) {
         ++result.stats.masked_steps;
         const double mass = lm::allowed_mass(logits, mask);
         result.stats.removed_mass += 1.0 - mass;
-        removed_mass_histogram().observe(1.0 - mass);
         const auto argmax =
             std::max_element(logits.begin(), logits.end()) - logits.begin();
-        if (!mask[static_cast<std::size_t>(argmax)])
+        if (!mask[static_cast<std::size_t>(argmax)]) {
           ++result.stats.interventions;
+          // Histogram only the steps where the mask actually intervened:
+          // recording every masked step buries the distribution under a
+          // mountain of ~zero-removal entries and makes its percentiles
+          // meaningless. The scalar removed_mass sum above still covers all
+          // masked steps (DecodeStats::mean_removed_mass depends on that).
+          removed_mass_histogram().observe(1.0 - mass);
+        }
         const int tok = [&] {
           const obs::Span span(obs::Phase::kSampling);
           return lm::sample_token(logits, config_.sampler, rng, mask);
@@ -495,7 +695,7 @@ DecodeResult GuidedDecoder::generate(util::Rng& rng, std::string_view prompt) {
       // feasible set; detect the dead end right after pinning.
       if (pending_feasibility_check) {
         pending_feasibility_check = false;
-        if (!sat_under_policy({})) {
+        if (!pinned_state_feasible()) {
           result.text = text;
           return {Outcome::kDeadEnd, last_field, last_value, last_digits,
                   "dead end after pinning field #" +

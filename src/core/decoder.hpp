@@ -26,6 +26,7 @@
 #include <string>
 #include <string_view>
 
+#include "core/feasibility_cache.hpp"
 #include "lm/lm.hpp"
 #include "lm/sampler.hpp"
 #include "lm/tokenizer.hpp"
@@ -91,6 +92,12 @@ struct DecoderConfig {
   // Configuration of the decoder-owned solver (node caps etc.).
   smt::SolverConfig solver{};
   ResilienceConfig resilience{};
+  // Reuse solver work across candidates, steps, and rows: incremental solver
+  // scopes mirroring the syntax walk, per-candidate verdict memoization, and
+  // interval-hull short-circuiting (DESIGN.md §9). Decoded text is
+  // bit-identical either way for a fixed seed; off reproduces the seed's
+  // re-solve-everything behavior (CLI: --no-solver-cache).
+  bool cache = true;
 };
 
 struct DecodeStats {
@@ -164,6 +171,9 @@ class GuidedDecoder {
 
   // Cumulative solver statistics across all generate() calls.
   const smt::SolverStats& solver_stats() const { return solver_.stats(); }
+  // Cumulative feasibility-cache statistics (all zero when config.cache is
+  // off); counted unconditionally, unlike the obs mirrors.
+  const FeasibilityCache::Stats& cache_stats() const { return cache_.stats(); }
   const rules::RuleSet& rules() const { return rules_; }
 
  private:
@@ -176,6 +186,7 @@ class GuidedDecoder {
   DecoderConfig config_;
   smt::Solver solver_;
   std::vector<smt::VarId> vars_;
+  FeasibilityCache cache_;  // persists across generate() calls
 };
 
 }  // namespace lejit::core

@@ -1,0 +1,134 @@
+#include "core/feasibility_cache.hpp"
+
+#include <algorithm>
+
+#include "obs/metrics.hpp"
+
+namespace lejit::core {
+
+namespace {
+
+// splitmix64 finalizer: cheap, well-mixed, and stable across platforms.
+constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+struct CacheCounters {
+  obs::Counter& hits;
+  obs::Counter& misses;
+  obs::Counter& evictions;
+  obs::Counter& hull_hits;
+};
+
+CacheCounters& counters() {
+  auto& registry = obs::MetricsRegistry::instance();
+  static CacheCounters c{
+      registry.counter("decode.cache.hits"),
+      registry.counter("decode.cache.misses"),
+      registry.counter("decode.cache.evictions"),
+      registry.counter("decode.cache.hull_hits"),
+  };
+  return c;
+}
+
+constexpr std::size_t kMaxWitnesses = 8;
+
+}  // namespace
+
+std::uint64_t mix_pin(std::uint64_t fp, int tag, int field, smt::Int value) {
+  fp = mix64(fp ^ static_cast<std::uint64_t>(tag));
+  fp = mix64(fp ^ static_cast<std::uint64_t>(field));
+  fp = mix64(fp ^ static_cast<std::uint64_t>(value));
+  return fp;
+}
+
+void FeasibilityCache::Hull::add_witness(smt::Int v) {
+  if (witnesses.size() >= kMaxWitnesses || has_witness(v)) return;
+  witnesses.push_back(v);
+}
+
+bool FeasibilityCache::Hull::has_witness(smt::Int v) const {
+  return std::find(witnesses.begin(), witnesses.end(), v) != witnesses.end();
+}
+
+FeasibilityCache::FeasibilityCache(std::size_t max_entries)
+    : max_entries_(std::max<std::size_t>(max_entries, 16)) {}
+
+std::size_t FeasibilityCache::KeyHash::operator()(const Key& k) const noexcept {
+  std::uint64_t h = k.fp;
+  h = mix64(h ^ static_cast<std::uint64_t>(k.value));
+  h = mix64(h ^ (static_cast<std::uint64_t>(static_cast<std::uint32_t>(k.field))
+                 | (static_cast<std::uint64_t>(
+                        static_cast<std::uint32_t>(k.digits))
+                    << 32)));
+  h = mix64(h ^ k.kind);
+  return static_cast<std::size_t>(h);
+}
+
+std::size_t FeasibilityCache::HullKeyHash::operator()(
+    const HullKey& k) const noexcept {
+  return static_cast<std::size_t>(
+      mix64(k.fp ^ static_cast<std::uint64_t>(
+                       static_cast<std::uint32_t>(k.field))));
+}
+
+std::optional<smt::CheckResult> FeasibilityCache::lookup(QueryKind kind,
+                                                         std::uint64_t fp,
+                                                         int field,
+                                                         smt::Int value,
+                                                         int digits) {
+  const Key key{fp, value, field, digits, static_cast<std::uint8_t>(kind)};
+  const auto it = verdicts_.find(key);
+  if (it == verdicts_.end()) {
+    ++stats_.misses;
+    if (obs::metrics_enabled()) counters().misses.inc();
+    return std::nullopt;
+  }
+  ++stats_.hits;
+  if (obs::metrics_enabled()) counters().hits.inc();
+  return it->second;
+}
+
+void FeasibilityCache::store(QueryKind kind, std::uint64_t fp, int field,
+                             smt::Int value, int digits,
+                             smt::CheckResult verdict) {
+  maybe_evict();
+  const Key key{fp, value, field, digits, static_cast<std::uint8_t>(kind)};
+  verdicts_[key] = verdict;
+}
+
+std::optional<FeasibilityCache::Hull> FeasibilityCache::find_hull(
+    std::uint64_t fp, int field) {
+  const auto it = hulls_.find(HullKey{fp, field});
+  if (it == hulls_.end()) return std::nullopt;
+  ++stats_.hull_hits;
+  if (obs::metrics_enabled()) counters().hull_hits.inc();
+  return it->second;
+}
+
+void FeasibilityCache::store_hull(std::uint64_t fp, int field,
+                                  const Hull& hull) {
+  maybe_evict();
+  hulls_[HullKey{fp, field}] = hull;
+}
+
+void FeasibilityCache::maybe_evict() {
+  if (size() < max_entries_) return;
+  // Generational clear: simple, O(1) amortized, and the decoder re-warms the
+  // current field within a handful of checks. LRU bookkeeping on this path
+  // would cost more than the occasional re-solve it saves.
+  verdicts_.clear();
+  hulls_.clear();
+  ++stats_.evictions;
+  if (obs::metrics_enabled()) counters().evictions.inc();
+}
+
+void FeasibilityCache::clear() {
+  verdicts_.clear();
+  hulls_.clear();
+}
+
+}  // namespace lejit::core

@@ -1,0 +1,121 @@
+// Memoized solver verdicts for the decode hot path (DESIGN.md §9).
+//
+// The guided decoder asks the solver the same shapes of question over and
+// over: "can digit-prefix P of field F still complete?" (one per candidate
+// character per step), "is exact value V feasible for F?" (terminators), and
+// "is the pinned state satisfiable at all?" (prompt + kHull post-pin checks).
+// Each answer is a pure function of the rule set (fixed per decoder) and the
+// pins/bans layered on top of it, so verdicts can be reused across recovery
+// replays and across rows whenever that layered state recurs.
+//
+// Keys carry a rolling order-sensitive fingerprint of every pin and ban the
+// current attempt has asserted; a hit is only possible when the solver would
+// see an identical problem. Entries record raw smt::CheckResult — including
+// kUnknown — and the decoder maps cached kUnknowns through its UnknownPolicy
+// exactly as it maps organic ones.
+//
+// A per-field Hull entry additionally caches the feasible interval (exact
+// when computed by binary search, else a bounds-consistent over-approximation)
+// plus a few known-feasible witness values, so most candidate checks resolve
+// by pure interval arithmetic: a completion range that misses the hull is
+// conclusively infeasible; one that contains a witness is conclusively
+// feasible. Only inconclusive candidates reach the solver.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "smt/linexpr.hpp"
+#include "smt/solver.hpp"
+
+namespace lejit::core {
+
+// Rolling fingerprint of the decoder's pin/ban state. Order-sensitive by
+// design (cheap, and the decoder's assert order is deterministic); `tag`
+// separates assertion kinds so a pin and a ban of the same value cannot
+// collide. Seed with kPinFingerprintSeed at attempt start.
+inline constexpr std::uint64_t kPinFingerprintSeed = 0x9e3779b97f4a7c15ull;
+inline constexpr int kPinTagPin = 1;
+inline constexpr int kPinTagBan = 2;
+std::uint64_t mix_pin(std::uint64_t fp, int tag, int field, smt::Int value);
+
+// What a cached verdict answered (same fingerprint, field, value, digits can
+// legitimately be asked all three ways).
+enum class QueryKind : std::uint8_t {
+  kCompletion = 0,  // prefix_completion_formula(field, value/digits) sat?
+  kExact = 1,       // field == value sat?
+  kPinned = 2,      // current pinned state sat (no assumptions)?
+};
+
+class FeasibilityCache {
+ public:
+  struct Stats {
+    std::int64_t hits = 0;
+    std::int64_t misses = 0;
+    std::int64_t evictions = 0;   // generational clears
+    std::int64_t hull_hits = 0;   // find_hull found an entry
+  };
+
+  struct Hull {
+    smt::Interval bounds = smt::Interval::empty();
+    // True when `bounds` is the exact feasible min/max (binary search), false
+    // for a bounds-consistent over-approximation — still sound for refuting
+    // completions that miss it entirely.
+    bool exact = false;
+    std::vector<smt::Int> witnesses;  // known-feasible values, deduped, capped
+
+    void add_witness(smt::Int v);
+    bool has_witness(smt::Int v) const;
+  };
+
+  explicit FeasibilityCache(std::size_t max_entries = std::size_t{1} << 18);
+
+  // Verdict memo. lookup() counts a hit/miss in obs and local stats.
+  std::optional<smt::CheckResult> lookup(QueryKind kind, std::uint64_t fp,
+                                         int field, smt::Int value, int digits);
+  void store(QueryKind kind, std::uint64_t fp, int field, smt::Int value,
+             int digits, smt::CheckResult verdict);
+
+  // Per-(fingerprint, field) hull memo. The returned copy is detached from
+  // the cache — store_hull() writes back accumulated witnesses.
+  std::optional<Hull> find_hull(std::uint64_t fp, int field);
+  void store_hull(std::uint64_t fp, int field, const Hull& hull);
+
+  const Stats& stats() const noexcept { return stats_; }
+  std::size_t size() const noexcept {
+    return verdicts_.size() + hulls_.size();
+  }
+  void clear();
+
+ private:
+  struct Key {
+    std::uint64_t fp = 0;
+    smt::Int value = 0;
+    std::int32_t field = 0;
+    std::int32_t digits = 0;
+    std::uint8_t kind = 0;
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const noexcept;
+  };
+  struct HullKey {
+    std::uint64_t fp = 0;
+    std::int32_t field = 0;
+    bool operator==(const HullKey&) const = default;
+  };
+  struct HullKeyHash {
+    std::size_t operator()(const HullKey& k) const noexcept;
+  };
+
+  void maybe_evict();
+
+  std::size_t max_entries_;
+  std::unordered_map<Key, smt::CheckResult, KeyHash> verdicts_;
+  std::unordered_map<HullKey, Hull, HullKeyHash> hulls_;
+  Stats stats_;
+};
+
+}  // namespace lejit::core

@@ -24,11 +24,14 @@ smt::Formula prefix_completion_formula(smt::VarId v, const DigitPrefix& prefix,
   cases.push_back(smt::eq(LinExpr(v), LinExpr(prefix.value)));
 
   if (prefix.can_extend(max_digits)) {
+    // Saturating arithmetic: a near-Int-limit prefix (see
+    // DigitPrefix::extended) must clamp instead of overflowing; the clamped
+    // range still lies above every declared domain, so the case is harmless.
     Int scale = 1;
     for (int m = 1; m <= max_digits - prefix.digits; ++m) {
-      scale *= 10;
-      const Int lo = prefix.value * scale;
-      const Int hi = lo + scale - 1;
+      scale = smt::sat_mul(scale, 10);
+      const Int lo = smt::sat_mul(prefix.value, scale);
+      const Int hi = smt::sat_add(lo, scale - 1);
       cases.push_back(smt::between(LinExpr(v), LinExpr(lo), LinExpr(hi)));
     }
   }
@@ -47,10 +50,24 @@ bool completion_intersects(const DigitPrefix& prefix, int max_digits,
   if (!prefix.can_extend(max_digits)) return false;
   Int scale = 1;
   for (int m = 1; m <= max_digits - prefix.digits; ++m) {
-    scale *= 10;
-    const Int lo = prefix.value * scale;
-    const Int hi = lo + scale - 1;
+    scale = smt::sat_mul(scale, 10);
+    const Int lo = smt::sat_mul(prefix.value, scale);
+    const Int hi = smt::sat_add(lo, scale - 1);
     if (lo <= hull.hi && hull.lo <= hi) return true;
+  }
+  return false;
+}
+
+bool completion_contains(const DigitPrefix& prefix, int max_digits, Int value) {
+  LEJIT_REQUIRE(!prefix.empty(), "completion of empty prefix");
+  if (value == prefix.value) return true;
+  if (!prefix.can_extend(max_digits)) return false;
+  Int scale = 1;
+  for (int m = 1; m <= max_digits - prefix.digits; ++m) {
+    scale = smt::sat_mul(scale, 10);
+    const Int lo = smt::sat_mul(prefix.value, scale);
+    const Int hi = smt::sat_add(lo, scale - 1);
+    if (lo <= value && value <= hi) return true;
   }
   return false;
 }

@@ -14,6 +14,7 @@
 #include <cstdint>
 
 #include "smt/formula.hpp"
+#include "smt/linexpr.hpp"
 
 namespace lejit::core {
 
@@ -35,8 +36,14 @@ struct DigitPrefix {
     if (digits >= max_digits) return false;
     return !(digits == 1 && value == 0);
   }
+  // Saturating: `value * 10 + digit` would overflow Int for digit strings
+  // longer than any bounded field admits (possible in prompts, which are
+  // consumed without a digit-budget check). A saturated prefix exceeds every
+  // declared domain, so downstream feasibility checks reject it — the same
+  // outcome an un-overflowed huge value would get, without the UB.
   DigitPrefix extended(int digit) const {
-    return DigitPrefix{value * 10 + digit, digits + 1};
+    return DigitPrefix{smt::sat_add(smt::sat_mul(value, 10), digit),
+                       digits + 1};
   }
 };
 
@@ -57,5 +64,11 @@ bool prefix_syntactically_ok(const DigitPrefix& prefix, int max_digits);
 // sets, blind to holes inside the hull. Precondition: !prefix.empty().
 bool completion_intersects(const DigitPrefix& prefix, int max_digits,
                            const smt::Interval& hull);
+
+// Is `value` itself a canonical completion of `prefix`? Exact (no hull
+// convexity caveat): used by the decoder's feasibility cache to prove a
+// prefix viable from a recorded witness without a solver call.
+// Precondition: !prefix.empty().
+bool completion_contains(const DigitPrefix& prefix, int max_digits, Int value);
 
 }  // namespace lejit::core

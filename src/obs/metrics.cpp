@@ -65,6 +65,11 @@ double Histogram::percentile(double p) const {
   for (std::size_t i = 0; i <= bounds_.size(); ++i) {
     const auto in_bucket =
         static_cast<double>(buckets_[i].load(std::memory_order_relaxed));
+    // Empty buckets carry no mass and must never be selected: with p = 0 (or
+    // a leading run of empty buckets) `cumulative + in_bucket < target` is
+    // false at the first bucket, which used to return that empty bucket's
+    // lower edge (0.0) instead of a value the histogram actually observed.
+    if (in_bucket <= 0.0) continue;
     if (cumulative + in_bucket < target) {
       cumulative += in_bucket;
       continue;
@@ -72,7 +77,10 @@ double Histogram::percentile(double p) const {
     if (i == bounds_.size()) return max();  // overflow bucket
     const double hi = bounds_[i];
     const double lo = i == 0 ? 0.0 : bounds_[i - 1];
-    if (in_bucket <= 0.0) return lo;
+    // Interpolate within the selected bucket. p = 0 lands on the first
+    // non-empty bucket's lower edge; p = 1 on min(its upper edge, observed
+    // max) — both inside the observed range, whether or not all mass sits in
+    // a single bucket.
     const double frac = (target - cumulative) / in_bucket;
     return std::min(lo + (hi - lo) * frac, max() > 0.0 ? max() : hi);
   }

@@ -47,6 +47,19 @@ struct SearchNode {
 };
 }  // namespace detail
 
+// Saved incremental-base state for one push() scope: restoring it on pop()
+// makes scoped retraction O(node copy) instead of O(re-propagate everything).
+struct Solver::BaseSnapshot {
+  bool valid = false;
+  std::size_t assertions = 0;
+  std::unique_ptr<detail::SearchNode> node;  // set iff valid
+};
+
+Solver::Solver(SolverConfig config) : config_(config) {}
+Solver::~Solver() = default;
+Solver::Solver(Solver&&) noexcept = default;
+Solver& Solver::operator=(Solver&&) noexcept = default;
+
 namespace {
 
 Interval expr_range(const LinExpr& e, const std::vector<Int>& lo,
@@ -141,12 +154,29 @@ void Solver::add(Formula f) {
   assertions_.push_back(std::move(f));
 }
 
-void Solver::push() { scopes_.push_back(assertions_.size()); }
+void Solver::push() {
+  scopes_.push_back(assertions_.size());
+  if (config_.incremental) {
+    BaseSnapshot snap;
+    snap.valid = base_valid_ && base_ != nullptr;
+    snap.assertions = base_assertions_;
+    if (snap.valid) snap.node = std::make_unique<detail::SearchNode>(*base_);
+    base_saves_.push_back(std::move(snap));
+  }
+}
 
 void Solver::pop() {
   LEJIT_REQUIRE(!scopes_.empty(), "pop() without matching push()");
   assertions_.resize(scopes_.back());
   scopes_.pop_back();
+  if (config_.incremental) {
+    LEJIT_ASSERT(!base_saves_.empty(), "base snapshot stack out of sync");
+    BaseSnapshot snap = std::move(base_saves_.back());
+    base_saves_.pop_back();
+    base_valid_ = snap.valid;
+    base_assertions_ = snap.assertions;
+    base_ = std::move(snap.node);
+  }
 }
 
 const std::vector<Int>& Solver::model() const {
@@ -306,23 +336,12 @@ bool tighten_ne(const LinExpr& e, detail::SearchNode& node,
 
 }  // namespace
 
-CheckResult Solver::search(detail::SearchNode& node, std::int64_t& nodes_left,
-                           std::int64_t deadline_ns) {
-  ++stats_.nodes;
-  if (--nodes_left < 0) {
-    ++stats_.node_exhaustions;
-    return CheckResult::kUnknown;
-  }
-  // A node's real work (propagation sweeps over every open constraint) dwarfs
-  // one steady-clock read, so the deadline is simply checked per node.
-  if (deadline_ns != 0 && obs::now_ns() >= deadline_ns) {
-    ++stats_.deadline_exhaustions;
-    return CheckResult::kUnknown;
-  }
-
-  // --- propagation to fixpoint ------------------------------------------------
+// Bounds-consistency propagation to fixpoint (or the round cap). Shared by
+// per-check search and incremental base preparation. Returns false iff the
+// node became conflicting; proved-true constraints are dropped in place.
+bool Solver::propagate(detail::SearchNode& node) {
   for (int round = 0; round < config_.max_propagation_rounds; ++round) {
-    if (node.conflict) return CheckResult::kUnsat;
+    if (node.conflict) return false;
     bool changed = false;
 
     // Atoms: tighten; drop once definitely true.
@@ -331,7 +350,7 @@ CheckResult Solver::search(detail::SearchNode& node, std::int64_t& nodes_left,
       const Tri t = eval_atom(a->atom_op(), a->atom_expr(), node.lo, node.hi);
       if (t == Tri::kFalse) {
         node.conflict = true;
-        return CheckResult::kUnsat;
+        return false;
       }
       if (t == Tri::kTrue) {
         node.atoms[i] = node.atoms.back();
@@ -352,7 +371,7 @@ CheckResult Solver::search(detail::SearchNode& node, std::int64_t& nodes_left,
           changed |= tighten_ne(a->atom_expr(), node, stats_.propagations);
           break;
       }
-      if (node.conflict) return CheckResult::kUnsat;
+      if (node.conflict) return false;
       ++i;
     }
 
@@ -379,10 +398,10 @@ CheckResult Solver::search(detail::SearchNode& node, std::int64_t& nodes_left,
         if (!satisfied) {
           if (open == 0) {
             node.conflict = true;
-            return CheckResult::kUnsat;
+            return false;
           }
           assert_true(*only_open, node);
-          if (node.conflict) return CheckResult::kUnsat;
+          if (node.conflict) return false;
           changed = true;
         }
         continue;
@@ -392,7 +411,24 @@ CheckResult Solver::search(detail::SearchNode& node, std::int64_t& nodes_left,
 
     if (!changed) break;
   }
-  if (node.conflict) return CheckResult::kUnsat;
+  return !node.conflict;
+}
+
+CheckResult Solver::search(detail::SearchNode& node, std::int64_t& nodes_left,
+                           std::int64_t deadline_ns) {
+  ++stats_.nodes;
+  if (--nodes_left < 0) {
+    ++stats_.node_exhaustions;
+    return CheckResult::kUnknown;
+  }
+  // A node's real work (propagation sweeps over every open constraint) dwarfs
+  // one steady-clock read, so the deadline is simply checked per node.
+  if (deadline_ns != 0 && obs::now_ns() >= deadline_ns) {
+    ++stats_.deadline_exhaustions;
+    return CheckResult::kUnknown;
+  }
+
+  if (!propagate(node)) return CheckResult::kUnsat;
 
   // --- fully determined? -------------------------------------------------------
   if (node.atoms.empty() && node.ors.empty()) {
@@ -498,6 +534,47 @@ CheckResult Solver::check_assuming(std::span<const Formula> assumptions,
   return r;
 }
 
+// Make base_ a propagated snapshot of the full current assertion stack. A
+// valid base only ever needs the new assertion suffix folded in (domains only
+// shrink down an assertion stack, so the old fixpoint stays sound); it is
+// rebuilt from scratch after pop-restores of a never-built scope or when
+// add_var changed the domain vector underneath it.
+void Solver::ensure_base() {
+  if (base_valid_ && base_ != nullptr && base_->lo.size() == vars_.size() &&
+      base_assertions_ <= assertions_.size()) {
+    if (base_assertions_ == assertions_.size()) return;
+    if (!base_->conflict) {
+      for (std::size_t i = base_assertions_; i < assertions_.size(); ++i)
+        assert_true(assertions_[i], *base_);
+      if (!base_->conflict) propagate(*base_);
+    }
+    base_assertions_ = assertions_.size();
+    ++stats_.base_folds;
+    return;
+  }
+  base_ = std::make_unique<detail::SearchNode>();
+  base_->lo.reserve(vars_.size());
+  base_->hi.reserve(vars_.size());
+  for (const auto& v : vars_) {
+    base_->lo.push_back(v.lo);
+    base_->hi.push_back(v.hi);
+  }
+  for (const auto& f : assertions_) assert_true(f, *base_);
+  base_assertions_ = assertions_.size();
+  base_valid_ = true;
+  ++stats_.base_rebuilds;
+  if (!base_->conflict) propagate(*base_);
+}
+
+Interval Solver::propagated_bounds(VarId v) {
+  LEJIT_REQUIRE(v.index >= 0 && v.index < num_vars(), "unknown variable");
+  if (!config_.incremental) return bounds(v);
+  ensure_base();
+  if (base_->conflict) return Interval::empty();
+  const auto i = static_cast<std::size_t>(v.index);
+  return {base_->lo[i], base_->hi[i]};
+}
+
 CheckResult Solver::check_assuming_impl(std::span<const Formula> assumptions,
                                         const Budget& budget) {
   ++stats_.checks;
@@ -512,13 +589,18 @@ CheckResult Solver::check_assuming_impl(std::span<const Formula> assumptions,
   }
 
   detail::SearchNode root;
-  root.lo.reserve(vars_.size());
-  root.hi.reserve(vars_.size());
-  for (const auto& v : vars_) {
-    root.lo.push_back(v.lo);
-    root.hi.push_back(v.hi);
+  if (config_.incremental) {
+    ensure_base();
+    root = *base_;  // rules already folded + propagated once per scope state
+  } else {
+    root.lo.reserve(vars_.size());
+    root.hi.reserve(vars_.size());
+    for (const auto& v : vars_) {
+      root.lo.push_back(v.lo);
+      root.hi.push_back(v.hi);
+    }
+    for (const auto& f : assertions_) assert_true(f, root);
   }
-  for (const auto& f : assertions_) assert_true(f, root);
   for (const auto& f : assumptions) {
     LEJIT_REQUIRE(f != nullptr, "null assumption");
     assert_true(f, root);

@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <span>
 #include <string>
@@ -38,6 +39,16 @@ struct SolverConfig {
   // between mutually-constraining bounds; completeness is preserved because
   // search continues by splitting).
   int max_propagation_rounds = 4'000;
+  // Reuse the propagated root across checks: the solver keeps a
+  // bounds-consistent snapshot of the current assertion stack, folds new
+  // assertions into it lazily, and each check_assuming only layers its
+  // assumptions on a copy instead of re-asserting and re-propagating every
+  // assertion from scratch. push() snapshots the base and pop() restores it,
+  // so scoped retraction is O(copy). Answers (sat/unsat and exact feasible
+  // intervals) are unchanged; node/propagation counts and which model is
+  // reported may differ. Off by default so existing callers keep
+  // byte-for-byte behavior; the guided decoder turns it on.
+  bool incremental = false;
 };
 
 // Per-query resource budget, layered on top of SolverConfig. A zero field
@@ -64,11 +75,18 @@ struct SolverStats {
   std::int64_t node_exhaustions = 0;      // … node budget ran out
   std::int64_t deadline_exhaustions = 0;  // … wall-clock deadline passed
   std::int64_t injected_unknowns = 0;     // … fault injection forced kUnknown
+  std::int64_t base_rebuilds = 0;  // incremental: base rebuilt from scratch
+  std::int64_t base_folds = 0;     // incremental: assertion suffix folded in
 };
 
 class Solver {
  public:
-  explicit Solver(SolverConfig config = {}) : config_(config) {}
+  explicit Solver(SolverConfig config = {});
+  ~Solver();
+  Solver(const Solver&) = delete;
+  Solver& operator=(const Solver&) = delete;
+  Solver(Solver&&) noexcept;
+  Solver& operator=(Solver&&) noexcept;
 
   // --- problem construction --------------------------------------------------
   // Declare an integer variable with inclusive domain [lo, hi].
@@ -98,6 +116,14 @@ class Solver {
   // Model of the last kSat check; values indexed by VarId::index.
   const std::vector<Int>& model() const;
   Int model_value(VarId v) const;
+
+  // Bounds-consistent over-approximation of v's feasible values under the
+  // current assertion stack — no search, just the incremental base's
+  // propagated domain (empty ⇔ propagation already proved UNSAT). Falls back
+  // to the declared domain when `incremental` is off. Sound for refutation:
+  // a value outside this interval is definitely infeasible; a value inside
+  // may still be infeasible (holes are invisible to bounds consistency).
+  Interval propagated_bounds(VarId v);
 
   // Exact min/max of `v` over all models of the current assertions plus
   // `assumptions` (binary search on satisfiability). Empty interval ⇔ UNSAT.
@@ -138,6 +164,13 @@ class Solver {
                                   const Budget& budget);
   CheckResult search(detail::SearchNode& node, std::int64_t& nodes_left,
                      std::int64_t deadline_ns);
+  // Propagates `node` to fixpoint (or the round cap); false ⇔ conflict.
+  bool propagate(detail::SearchNode& node);
+  // Incremental mode: make base_ a propagated snapshot of the full current
+  // assertion stack, rebuilding or folding the new suffix as needed.
+  void ensure_base();
+
+  struct BaseSnapshot;  // saved base state per scope, defined in solver.cpp
 
   SolverConfig config_;
   std::vector<VarDecl> vars_;
@@ -146,6 +179,13 @@ class Solver {
   std::vector<Int> model_;
   bool has_model_ = false;
   SolverStats stats_;
+
+  // Incremental base (config_.incremental only): propagated root covering
+  // assertions_[0, base_assertions_). base_saves_ parallels scopes_.
+  std::unique_ptr<detail::SearchNode> base_;
+  bool base_valid_ = false;
+  std::size_t base_assertions_ = 0;
+  std::vector<BaseSnapshot> base_saves_;
 };
 
 }  // namespace lejit::smt

@@ -33,6 +33,48 @@ TEST(DigitPrefix, ExtendedAccumulates) {
   EXPECT_EQ(p.digits, 2);
 }
 
+TEST(DigitPrefix, ExtendedSaturatesInsteadOfOverflowing) {
+  // Regression: `value * 10 + digit` used to be plain Int arithmetic, which
+  // is UB once a prompt feeds enough digits. Saturation must kick in and
+  // stay monotone: every further digit keeps the prefix at the ceiling.
+  DigitPrefix p;
+  for (int i = 0; i < 25; ++i) p = p.extended(9);  // 25 nines >> Int range
+  EXPECT_EQ(p.digits, 25);
+  EXPECT_EQ(p.value, smt::kIntInf);
+  const DigitPrefix q = p.extended(7);
+  EXPECT_EQ(q.value, smt::kIntInf);
+  EXPECT_EQ(q.digits, 26);
+}
+
+TEST(DigitPrefix, SaturatedPrefixIsInfeasibleForMaxDomainField) {
+  // A saturated prefix clamps to kIntInf, which exceeds every admissible
+  // solver domain (domains must stay below kIntInf/2). The completion
+  // formula must still build without overflow UB and be cleanly refutable —
+  // even for a field sitting at the solver's maximum domain.
+  DigitPrefix sat_prefix;
+  for (int i = 0; i < 30; ++i) sat_prefix = sat_prefix.extended(9);
+  smt::Solver s;
+  const smt::VarId v = s.add_var("v", 0, smt::kIntInf / 2 - 1);
+  const std::vector<smt::Formula> assumptions{
+      prefix_completion_formula(v, sat_prefix, 40)};
+  EXPECT_EQ(s.check_assuming(assumptions), smt::CheckResult::kUnsat);
+  // An unsaturated prefix over the same max-domain field stays satisfiable.
+  const DigitPrefix small = DigitPrefix{}.extended(7);
+  const std::vector<smt::Formula> ok{prefix_completion_formula(v, small, 18)};
+  EXPECT_EQ(s.check_assuming(ok), smt::CheckResult::kSat);
+}
+
+TEST(CompletionContains, ExactMembership) {
+  const DigitPrefix p{42, 2};
+  EXPECT_TRUE(completion_contains(p, 4, 42));    // terminate now
+  EXPECT_TRUE(completion_contains(p, 4, 420));   // one more digit
+  EXPECT_TRUE(completion_contains(p, 4, 4299));  // two more digits
+  EXPECT_FALSE(completion_contains(p, 4, 43));
+  EXPECT_FALSE(completion_contains(p, 4, 4300));
+  EXPECT_FALSE(completion_contains(p, 3, 4200));  // digit budget exceeded
+  EXPECT_FALSE(completion_contains(p, 4, 4));     // shorter than the prefix
+}
+
 // Enumerate the exact completion set of a prefix by brute force.
 std::vector<smt::Int> completions(const DigitPrefix& p, int max_digits) {
   std::vector<smt::Int> out{p.value};

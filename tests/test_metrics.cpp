@@ -4,6 +4,7 @@
 
 #include "metrics/bursts.hpp"
 #include "metrics/stats.hpp"
+#include "obs/metrics.hpp"
 #include "util/rng.hpp"
 
 namespace lejit::metrics {
@@ -176,6 +177,72 @@ TEST(BurstErrors, MeanAcrossSeries) {
   const std::vector<std::vector<std::int64_t>> preds{{90, 10}, {90, 10}};
   const auto e = mean_burst_errors(truths, preds, 48);
   EXPECT_NEAR(e.count, 0.5, 1e-12);
+}
+
+// --- obs::Histogram::percentile edge behavior --------------------------------
+// Regression coverage for the percentile fix: the old interpolation assumed
+// the selected bucket was an interior, non-empty one, so p = 0.0 (target
+// mass 0) selected the histogram's first bucket even when it was empty and
+// reported its lower edge — a value the histogram never observed.
+
+class HistogramPercentileEdge : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    prev_ = obs::metrics_enabled();
+    obs::set_metrics_enabled(true);
+  }
+  void TearDown() override { obs::set_metrics_enabled(prev_); }
+
+ private:
+  bool prev_ = false;
+};
+
+TEST_F(HistogramPercentileEdge, EmptyHistogramIsZeroEverywhere) {
+  const obs::Histogram h(obs::HistogramOptions::linear(0.0, 10.0, 10));
+  EXPECT_DOUBLE_EQ(h.percentile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.percentile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(h.percentile(1.0), 0.0);
+}
+
+TEST_F(HistogramPercentileEdge, PZeroSkipsLeadingEmptyBuckets) {
+  obs::Histogram h(obs::HistogramOptions::linear(0.0, 10.0, 10));
+  for (int i = 0; i < 5; ++i) h.observe(7.3);  // all mass in [7, 8)
+  // p = 0 must land at the first *non-empty* bucket's lower edge, not 0.0.
+  EXPECT_DOUBLE_EQ(h.percentile(0.0), 7.0);
+}
+
+TEST_F(HistogramPercentileEdge, POneStaysWithinObservedRange) {
+  obs::Histogram h(obs::HistogramOptions::linear(0.0, 10.0, 10));
+  for (int i = 0; i < 5; ++i) h.observe(7.3);
+  // p = 1 interpolates to the bucket's upper edge but is clamped to the
+  // observed max — never inventing mass above what was recorded.
+  EXPECT_DOUBLE_EQ(h.percentile(1.0), 7.3);
+}
+
+TEST_F(HistogramPercentileEdge, SingleBucketMassBracketsAllPercentiles) {
+  obs::Histogram h(obs::HistogramOptions::linear(0.0, 10.0, 10));
+  for (int i = 0; i < 1000; ++i) h.observe(3.5);
+  for (const double p : {0.0, 0.01, 0.5, 0.99, 1.0}) {
+    EXPECT_GE(h.percentile(p), 3.0) << "p=" << p;
+    EXPECT_LE(h.percentile(p), 3.5) << "p=" << p;
+  }
+}
+
+TEST_F(HistogramPercentileEdge, OverflowOnlyMassReportsObservedMax) {
+  obs::Histogram h(obs::HistogramOptions::linear(0.0, 1.0, 2));
+  h.observe(500.0);
+  // Every percentile of a distribution living in the overflow bucket is the
+  // observed max — including p = 0, which used to report bucket edge 0.0.
+  EXPECT_DOUBLE_EQ(h.percentile(0.0), 500.0);
+  EXPECT_DOUBLE_EQ(h.percentile(0.5), 500.0);
+  EXPECT_DOUBLE_EQ(h.percentile(1.0), 500.0);
+}
+
+TEST_F(HistogramPercentileEdge, ClampsOutOfRangeP) {
+  obs::Histogram h(obs::HistogramOptions::linear(0.0, 10.0, 10));
+  h.observe(4.5);
+  EXPECT_DOUBLE_EQ(h.percentile(-1.0), h.percentile(0.0));
+  EXPECT_DOUBLE_EQ(h.percentile(2.0), h.percentile(1.0));
 }
 
 }  // namespace

@@ -6,11 +6,15 @@
 #include <cmath>
 #include <string>
 
+#include "core/decoder.hpp"
+#include "lm/ngram.hpp"
 #include "obs/json.hpp"
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
 #include "obs/timer.hpp"
 #include "obs/trace.hpp"
+#include "rules/miner.hpp"
+#include "telemetry/generator.hpp"
 
 namespace {
 
@@ -298,6 +302,43 @@ TEST(ObsLogger, LazyMessageEvaluation) {
   LEJIT_LOG_DEBUG(expensive());
   EXPECT_EQ(evaluations, 0);  // macro must not build the disabled message
   obs::Logger::set_level(prev);
+}
+
+TEST(ObsDecodeMetrics, RemovedMassHistogramRecordsOnlyInterventions) {
+  // Regression: decode.removed_mass used to record every masked step, so the
+  // (typical) zero-removal steps drowned the distribution — its p99 read as
+  // 0 even when interventions removed most of the mass. The histogram must
+  // record exactly one sample per intervention (mask pruned the LM argmax).
+  const MetricsScope scope(true);
+  auto& registry = obs::MetricsRegistry::instance();
+  registry.reset();
+
+  const auto dataset = telemetry::generate_dataset(
+      telemetry::GeneratorConfig{.num_racks = 6, .windows_per_rack = 30,
+                                 .seed = 13});
+  const auto layout = telemetry::telemetry_row_layout(dataset.limits);
+  const lm::CharTokenizer tokenizer{telemetry::row_alphabet()};
+  // A barely-trained model disagrees with the rules often, guaranteeing
+  // interventions; a single observed row keeps it parseable.
+  lm::NgramModel model(tokenizer.vocab_size(), lm::NgramConfig{.order = 4});
+  const auto windows = telemetry::all_windows(dataset);
+  model.observe(tokenizer.encode(telemetry::window_to_row(windows.front())));
+  core::GuidedDecoder dec(model, tokenizer, layout,
+                          rules::manual_rules(layout, dataset.limits),
+                          core::DecoderConfig{.mode = core::GuidanceMode::kFull});
+
+  util::Rng rng(17);
+  std::int64_t interventions = 0, masked_steps = 0;
+  for (int i = 0; i < 6; ++i) {
+    const core::DecodeResult r = dec.generate(rng);
+    interventions += r.stats.interventions;
+    masked_steps += r.stats.masked_steps;
+  }
+  const auto& hist = registry.histogram("decode.removed_mass");
+  EXPECT_EQ(hist.count(), interventions);
+  ASSERT_GT(interventions, 0) << "fixture must force interventions";
+  EXPECT_GT(masked_steps, interventions)
+      << "fixture needs zero-removal masked steps for the gate to matter";
 }
 
 TEST(ObsTimer, ElapsedNsMonotonic) {

@@ -26,7 +26,13 @@ REQUIRED_HISTOGRAM_KEYS = ("count", "sum", "mean", "max", "p50", "p90", "p99")
 # fig3_runtime carries the per-mode runtime/latency breakdown the ISSUE's
 # acceptance criteria name explicitly.
 REQUIRED_MODE_KEYS = ("name", "samples", "ms_per_sample", "wall_clock_s",
-                      "solver_check_latency_us", "phase_seconds", "split")
+                      "solver_check_latency_us", "phase_seconds", "split",
+                      "solver_propagations", "cache")
+# Cache on/off comparison block the feasibility-cache PR's acceptance
+# criteria read (--compare-cache).
+REQUIRED_CACHE_ABLATION_KEYS = ("bit_identical", "propagations_on",
+                                "propagations_off", "ms_per_sample_on",
+                                "ms_per_sample_off")
 
 
 def check_report(doc, errors, where):
@@ -105,6 +111,18 @@ def check_report(doc, errors, where):
                     for key in ("lm_forward", "solver_check"):
                         if key not in phases:
                             err(f"modes[{i}].phase_seconds is missing {key!r}")
+                cache = mode.get("cache")
+                if isinstance(cache, dict):
+                    for key in ("hits", "misses"):
+                        if key not in cache:
+                            err(f"modes[{i}].cache is missing {key!r}")
+        ablation = doc.get("cache_ablation")
+        if not isinstance(ablation, dict):
+            err("fig3_runtime report has no 'cache_ablation' object")
+        else:
+            for key in REQUIRED_CACHE_ABLATION_KEYS:
+                if key not in ablation:
+                    err(f"cache_ablation is missing {key!r}")
 
 
 def check_file(path):
@@ -114,6 +132,37 @@ def check_file(path):
     except (OSError, json.JSONDecodeError) as exc:
         return [f"{path}: unreadable or invalid JSON: {exc}"]
     check_report(doc, errors, str(path))
+    return errors
+
+
+def check_cache_ablation(path, slack=1.10):
+    """Gate on the fig3 cache ablation: decodes must be bit-identical and the
+    cached path must not be more than `slack`x slower than uncached (it is
+    expected to be faster; the slack absorbs timer noise on tiny smoke runs).
+    Returns a list of error strings (empty = pass)."""
+    errors = check_file(path)
+    if errors:
+        return errors
+    doc = json.loads(pathlib.Path(path).read_text())
+    ablation = doc.get("cache_ablation") or {}
+    errors = []
+    if ablation.get("bit_identical") is not True:
+        errors.append(f"{path}: cache on/off decodes are not bit-identical")
+    on = float(ablation.get("ms_per_sample_on", 0.0))
+    off = float(ablation.get("ms_per_sample_off", 0.0))
+    if off <= 0.0:
+        errors.append(f"{path}: uncached ms_per_sample is missing or zero")
+    elif on > off * slack:
+        errors.append(f"{path}: cached decode is {on:.3f} ms/sample vs "
+                      f"{off:.3f} uncached (more than {slack:.2f}x slower)")
+    if not errors:
+        p_on = ablation.get("propagations_on", 0)
+        p_off = ablation.get("propagations_off", 0)
+        ratio = (p_off / p_on) if p_on else float("inf")
+        speedup = (off / on) if on > 0 else float("inf")
+        print(f"{path}: cache ablation ok — bit-identical, "
+              f"{ratio:.1f}x fewer propagations, "
+              f"{speedup:.2f}x faster per sample")
     return errors
 
 
@@ -131,8 +180,16 @@ def self_test():
             "phase_seconds": {"lm_forward": 0.2, "solver_check": 0.25,
                               "mask_build": 0.27, "sampling": 0.01},
             "lm_forwards": 400,
+            "solver_propagations": 120000,
+            "cache": {"hits": 500, "misses": 400},
             "split": {"lm_forward_frac": 0.44, "solver_check_frac": 0.56},
         }],
+        "cache_ablation": {
+            "bit_identical": True,
+            "propagations_on": 120000, "propagations_off": 480000,
+            "ms_per_sample_on": 12.5, "ms_per_sample_off": 20.0,
+            "cache_hits": 500, "cache_misses": 400,
+        },
         "tables": [{"title": "t", "headers": ["a", "b"],
                     "rows": [["1", "2"]]}],
         "metrics": {"counters": {"smt.checks": 900}, "gauges": {},
@@ -156,6 +213,9 @@ def self_test():
         {**good, "modes": [{"name": "x"}]},  # mode incomplete
         {**good, "tables": [{"title": "t", "headers": ["a"],
                              "rows": [["1", "2"]]}]},  # ragged table
+        {k: v for k, v in good.items()
+         if k != "cache_ablation"},  # ablation block missing
+        {**good, "cache_ablation": {"bit_identical": True}},  # incomplete
     ]
     for i, bad in enumerate(bad_documents):
         errors = []
@@ -175,17 +235,28 @@ def main():
                         help="also validate every BENCH_*.json under DIR")
     parser.add_argument("--self-test", action="store_true",
                         help="run the checker's own sanity checks")
+    parser.add_argument("--compare-cache", metavar="FILE",
+                        help="validate FILE and fail unless its cache_ablation"
+                             " shows bit-identical decodes with the cached"
+                             " path no more than 10%% slower than uncached")
     args = parser.parse_args()
 
     ok = True
     if args.self_test:
         ok = self_test() and ok
 
+    if args.compare_cache:
+        errors = check_cache_ablation(args.compare_cache)
+        for e in errors:
+            print(e, file=sys.stderr)
+        ok = not errors and ok
+
     files = [pathlib.Path(f) for f in args.files]
     if args.scan:
         files.extend(sorted(pathlib.Path(args.scan).rglob("BENCH_*.json")))
-    if not files and not args.self_test:
-        parser.error("nothing to do: pass files, --scan, or --self-test")
+    if not files and not args.self_test and not args.compare_cache:
+        parser.error("nothing to do: pass files, --scan, --compare-cache, "
+                     "or --self-test")
 
     for path in files:
         errors = check_file(path)

@@ -220,6 +220,7 @@ core::GuidedDecoder make_decoder(const Args& args,
   core::DecoderConfig config{.mode = core::GuidanceMode::kFull};
   config.solver.max_nodes = args.get_int("max-nodes", config.solver.max_nodes);
   config.resilience = resilience_from_args(args);
+  config.cache = !args.has("no-solver-cache");
   return core::GuidedDecoder(model, tokenizer, layout, std::move(rules),
                              config);
 }
@@ -314,6 +315,9 @@ void usage() {
       "  --solver-deadline-ms MS  wall-clock deadline per solver check\n"
       "  --row-deadline-ms MS     wall-clock ceiling per generated row\n"
       "  --retry-budget N     dead-end recoveries per row (default 0 = fail-stop)\n"
+      "  --no-solver-cache    disable incremental solver reuse + feasibility\n"
+      "                       caching (decodes are bit-identical either way;\n"
+      "                       this exists for perf A/B runs and debugging)\n"
       "observability (any command):\n"
       "  --log-level LEVEL    stderr diagnostics: error|warn|info|debug|off\n"
       "                       (default off; LEJIT_LOG env is the fallback)\n"
