@@ -165,6 +165,30 @@ GuidedDecoder::GuidedDecoder(const lm::LanguageModel& model,
   LEJIT_REQUIRE(!layout_.suffix.empty(), "layout without row suffix");
   vars_ = rules::declare_fields(solver_, layout_);
   rules::assert_rules(solver_, rules_);
+
+  if (config_.lint_on_load) {
+    const obs::Span span(obs::Phase::kLint);
+    lint::Report report = lint::analyze(rules_, layout_, config_.lint);
+    if (!report.ok())
+      throw util::RuntimeError("rule-set lint failed (lint_on_load):\n" +
+                               lint::to_text(report));
+    if (config_.cache) {
+      // Hand the analyzer's static field hulls to the cache: exact hulls and
+      // witnesses serve the attempt-start fingerprint directly, and the
+      // bounds tighten every fingerprint's propagated fallback.
+      std::vector<FeasibilityCache::Hull> hulls;
+      hulls.reserve(report.hulls.size());
+      for (const lint::FieldHull& h : report.hulls) {
+        FeasibilityCache::Hull entry;
+        entry.bounds = h.bounds;
+        entry.exact = h.exact;
+        for (const Int w : h.witnesses) entry.add_witness(w);
+        hulls.push_back(std::move(entry));
+      }
+      cache_.seed_static_hulls(std::move(hulls));
+    }
+    lint_report_ = std::move(report);
+  }
 }
 
 DecodeResult GuidedDecoder::generate(util::Rng& rng, std::string_view prompt) {
@@ -516,6 +540,12 @@ DecodeResult GuidedDecoder::generate(util::Rng& rng, std::string_view prompt) {
         if (!full_hull) {
           FeasibilityCache::Hull entry;
           entry.bounds = solver_.propagated_bounds(var);
+          // A lint-seeded static hull over-approximates the feasible set
+          // under any pins/bans, so intersecting it in is sound and can be
+          // tighter than bounds consistency (exact hulls see through
+          // disjunction holes that propagation cannot).
+          if (const FeasibilityCache::Hull* s = cache_.static_hull(walk.field))
+            entry.bounds = intersect(entry.bounds, s->bounds);
           full_hull = std::move(entry);
         }
       }

@@ -27,6 +27,7 @@
 #include <string_view>
 
 #include "core/feasibility_cache.hpp"
+#include "lint/lint.hpp"
 #include "lm/lm.hpp"
 #include "lm/sampler.hpp"
 #include "lm/tokenizer.hpp"
@@ -98,6 +99,16 @@ struct DecoderConfig {
   // bit-identical either way for a fixed seed; off reproduces the seed's
   // re-solve-everything behavior (CLI: --no-solver-cache).
   bool cache = true;
+  // Fail-fast static analysis at load time (DESIGN.md §10): run lint::analyze
+  // over the rule set in the constructor and throw util::RuntimeError —
+  // naming the conflict subset — if it reports errors, instead of paying for
+  // the contradiction per token as dead-end churn. On a clean set the
+  // analyzer's static field hulls seed the FeasibilityCache (when `cache` is
+  // on), so load-time analysis also warms the decode hot path. Every hull
+  // short-circuit agrees with what the solver would answer, so decoded text
+  // stays bit-identical with or without the seeding.
+  bool lint_on_load = false;
+  lint::Config lint{};
 };
 
 struct DecodeStats {
@@ -175,6 +186,11 @@ class GuidedDecoder {
   // off); counted unconditionally, unlike the obs mirrors.
   const FeasibilityCache::Stats& cache_stats() const { return cache_.stats(); }
   const rules::RuleSet& rules() const { return rules_; }
+  // The load-time lint report; engaged iff config.lint_on_load was set (and
+  // the rule set passed — errors throw from the constructor).
+  const std::optional<lint::Report>& lint_report() const {
+    return lint_report_;
+  }
 
  private:
   struct Walk;  // syntax-walk state, defined in decoder.cpp
@@ -187,6 +203,7 @@ class GuidedDecoder {
   smt::Solver solver_;
   std::vector<smt::VarId> vars_;
   FeasibilityCache cache_;  // persists across generate() calls
+  std::optional<lint::Report> lint_report_;
 };
 
 }  // namespace lejit::core

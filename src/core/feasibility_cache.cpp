@@ -21,6 +21,7 @@ struct CacheCounters {
   obs::Counter& misses;
   obs::Counter& evictions;
   obs::Counter& hull_hits;
+  obs::Counter& static_hits;
 };
 
 CacheCounters& counters() {
@@ -30,6 +31,7 @@ CacheCounters& counters() {
       registry.counter("decode.cache.misses"),
       registry.counter("decode.cache.evictions"),
       registry.counter("decode.cache.hull_hits"),
+      registry.counter("decode.cache.static_hits"),
   };
   return c;
 }
@@ -103,7 +105,21 @@ void FeasibilityCache::store(QueryKind kind, std::uint64_t fp, int field,
 std::optional<FeasibilityCache::Hull> FeasibilityCache::find_hull(
     std::uint64_t fp, int field) {
   const auto it = hulls_.find(HullKey{fp, field});
-  if (it == hulls_.end()) return std::nullopt;
+  if (it == hulls_.end()) {
+    // Lint-seeded hulls are computed over the bare rule set, so their
+    // exactness and witnesses hold only where no pin or ban has been
+    // asserted — exactly the attempt-start fingerprint.
+    if (fp == kPinFingerprintSeed && static_hull(field) != nullptr) {
+      ++stats_.hull_hits;
+      ++stats_.static_hits;
+      if (obs::metrics_enabled()) {
+        counters().hull_hits.inc();
+        counters().static_hits.inc();
+      }
+      return *static_hull(field);
+    }
+    return std::nullopt;
+  }
   ++stats_.hull_hits;
   if (obs::metrics_enabled()) counters().hull_hits.inc();
   return it->second;
@@ -113,6 +129,16 @@ void FeasibilityCache::store_hull(std::uint64_t fp, int field,
                                   const Hull& hull) {
   maybe_evict();
   hulls_[HullKey{fp, field}] = hull;
+}
+
+void FeasibilityCache::seed_static_hulls(std::vector<Hull> hulls) {
+  static_hulls_ = std::move(hulls);
+}
+
+const FeasibilityCache::Hull* FeasibilityCache::static_hull(int field) const {
+  if (field < 0 || static_cast<std::size_t>(field) >= static_hulls_.size())
+    return nullptr;
+  return &static_hulls_[static_cast<std::size_t>(field)];
 }
 
 void FeasibilityCache::maybe_evict() {

@@ -56,6 +56,7 @@ class FeasibilityCache {
     std::int64_t misses = 0;
     std::int64_t evictions = 0;   // generational clears
     std::int64_t hull_hits = 0;   // find_hull found an entry
+    std::int64_t static_hits = 0; // … a lint-seeded static hull answered
   };
 
   struct Hull {
@@ -79,9 +80,22 @@ class FeasibilityCache {
              int digits, smt::CheckResult verdict);
 
   // Per-(fingerprint, field) hull memo. The returned copy is detached from
-  // the cache — store_hull() writes back accumulated witnesses.
+  // the cache — store_hull() writes back accumulated witnesses. At the
+  // attempt-start fingerprint (kPinFingerprintSeed ⇔ no pins or bans
+  // asserted) a miss falls back to the lint-seeded static hull, whose exact
+  // bounds and witnesses are valid there.
   std::optional<Hull> find_hull(std::uint64_t fp, int field);
   void store_hull(std::uint64_t fp, int field, const Hull& hull);
+
+  // Static per-field hulls computed by lint::analyze over the bare rule set
+  // (index-aligned with the layout's fields). Their *bounds* over-approximate
+  // the feasible set under any additional pins/bans — sound to intersect
+  // into any fingerprint's hull — while exactness and witnesses only hold at
+  // the seed fingerprint. Survive clear() and generational eviction: they
+  // derive from the rule set, not from decode state.
+  void seed_static_hulls(std::vector<Hull> hulls);
+  // The seeded hull for `field`, or nullptr when none was seeded.
+  const Hull* static_hull(int field) const;
 
   const Stats& stats() const noexcept { return stats_; }
   std::size_t size() const noexcept {
@@ -115,6 +129,7 @@ class FeasibilityCache {
   std::size_t max_entries_;
   std::unordered_map<Key, smt::CheckResult, KeyHash> verdicts_;
   std::unordered_map<HullKey, Hull, HullKeyHash> hulls_;
+  std::vector<Hull> static_hulls_;  // lint-seeded, per layout field
   Stats stats_;
 };
 

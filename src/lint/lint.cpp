@@ -1,0 +1,541 @@
+#include "lint/lint.hpp"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/timer.hpp"
+#include "smt/formula.hpp"
+#include "util/error.hpp"
+
+namespace lejit::lint {
+
+namespace {
+
+using smt::CheckResult;
+using smt::Formula;
+using smt::Int;
+using smt::Interval;
+
+int digit_count(Int v) {
+  int n = 1;
+  while (v >= 10) {
+    v /= 10;
+    ++n;
+  }
+  return n;
+}
+
+// Collect the distinct variable indices a formula references.
+void collect_vars(const Formula& f, std::vector<int>& out) {
+  switch (f->kind()) {
+    case smt::FormulaKind::kTrue:
+    case smt::FormulaKind::kFalse:
+      return;
+    case smt::FormulaKind::kAtom:
+      for (const auto& [var, coeff] : f->atom_expr().terms()) {
+        (void)coeff;
+        if (std::find(out.begin(), out.end(), var.index) == out.end())
+          out.push_back(var.index);
+      }
+      return;
+    case smt::FormulaKind::kAnd:
+    case smt::FormulaKind::kOr:
+      for (const auto& c : f->children()) collect_vars(c, out);
+      return;
+  }
+}
+
+// Worst-case |value| any atom expression of `f` can reach over the declared
+// domains, saturated at smt::kIntInf. Hitting the rail means saturating
+// interval arithmetic could, in principle, mask a real overflow.
+Int worst_atom_magnitude(const Formula& f,
+                         const telemetry::RowLayout& layout) {
+  switch (f->kind()) {
+    case smt::FormulaKind::kTrue:
+    case smt::FormulaKind::kFalse:
+      return 0;
+    case smt::FormulaKind::kAtom: {
+      const smt::LinExpr& e = f->atom_expr();
+      Int mag = e.constant() < 0 ? -e.constant() : e.constant();
+      for (const auto& [var, coeff] : e.terms()) {
+        const Int abs_coeff = coeff < 0 ? -coeff : coeff;
+        Int bound = smt::kIntInf;  // unknown variable: assume the worst
+        if (var.index >= 0 && var.index < layout.num_fields())
+          bound = layout.fields[static_cast<std::size_t>(var.index)].max_value;
+        mag = smt::sat_add(mag, smt::sat_mul(abs_coeff, bound));
+      }
+      return mag;
+    }
+    case smt::FormulaKind::kAnd:
+    case smt::FormulaKind::kOr: {
+      Int mag = 0;
+      for (const auto& c : f->children())
+        mag = std::max(mag, worst_atom_magnitude(c, layout));
+      return mag;
+    }
+  }
+  return 0;
+}
+
+std::string rule_label(const rules::RuleSet& set, std::size_t i) {
+  return "#" + std::to_string(i) + " '" + set.rules[i].description + "'";
+}
+
+std::string join_rule_labels(const rules::RuleSet& set,
+                             const std::vector<std::size_t>& indices) {
+  std::string out;
+  for (std::size_t k = 0; k < indices.size(); ++k) {
+    if (k > 0) out += ", ";
+    out += rule_label(set, indices[k]);
+  }
+  return out;
+}
+
+// The analysis driver: owns the budget bookkeeping and the two solvers
+// (an incremental one whose base holds the full rule set, for hulls, and an
+// assumption-only one for subset queries during core/dead-rule extraction).
+class Analyzer {
+ public:
+  Analyzer(const rules::RuleSet& set, const telemetry::RowLayout& layout,
+           const Config& config)
+      : set_(set),
+        layout_(layout),
+        config_(config),
+        deadline_ns_(config.deadline_ms > 0
+                         ? obs::now_ns() + config.deadline_ms * 1'000'000
+                         : 0) {}
+
+  Report run() {
+    structural_checks();
+    declare();
+    global_satisfiability();
+    if (report_.satisfiable == CheckResult::kUnsat) {
+      extract_core();
+    } else {
+      field_hulls();
+      if (report_.satisfiable == CheckResult::kSat && config_.check_dead_rules)
+        dead_rules();
+    }
+    std::stable_sort(report_.findings.begin(), report_.findings.end(),
+                     [](const Finding& a, const Finding& b) {
+                       return static_cast<int>(a.severity) >
+                              static_cast<int>(b.severity);
+                     });
+    report_.solver_checks = checks_;
+    export_metrics();
+    return std::move(report_);
+  }
+
+ private:
+  smt::Budget budget() const {
+    smt::Budget b;
+    b.max_nodes = config_.check_max_nodes;
+    b.deadline_ns = deadline_ns_;
+    return b;
+  }
+
+  void add_finding(Code code, std::string message,
+                   std::vector<std::size_t> rule_indices = {},
+                   int field = -1) {
+    report_.findings.push_back(Finding{code, code_severity(code),
+                                       std::move(message),
+                                       std::move(rule_indices), field});
+  }
+
+  // --- pass 0: solver-free structural checks --------------------------------
+  void structural_checks() {
+    valid_.assign(set_.size(), true);
+    for (std::size_t i = 0; i < set_.size(); ++i) {
+      const rules::Rule& r = set_.rules[i];
+      if (r.formula == nullptr) {
+        valid_[i] = false;
+        add_finding(Code::kFieldMismatch,
+                    "rule " + rule_label(set_, i) + " has no formula", {i});
+        continue;
+      }
+      std::vector<int> vars;
+      collect_vars(r.formula, vars);
+      bool mismatch = false;
+      bool touches_fine = false;
+      for (const int v : vars) {
+        if (v < 0 || v >= layout_.num_fields()) {
+          mismatch = true;
+        } else if (layout_.fields[static_cast<std::size_t>(v)].is_fine) {
+          touches_fine = true;
+        }
+      }
+      if (mismatch) {
+        valid_[i] = false;
+        add_finding(
+            Code::kFieldMismatch,
+            "rule " + rule_label(set_, i) +
+                " references a field outside the layout's " +
+                std::to_string(layout_.num_fields()) +
+                " fields (was it built against a different schema?)",
+            {i});
+        continue;  // structurally broken: skip the remaining per-rule checks
+      }
+      if (touches_fine != r.uses_fine)
+        add_finding(Code::kFineMismatch,
+                    "rule " + rule_label(set_, i) + " is marked uses_fine=" +
+                        (r.uses_fine ? "true" : "false") + " but its formula " +
+                        (touches_fine ? "does" : "does not") +
+                        " reference fine fields",
+                    {i});
+      const Int mag = worst_atom_magnitude(r.formula, layout_);
+      if (mag >= smt::kIntInf)
+        add_finding(Code::kOverflowHazard,
+                    "rule " + rule_label(set_, i) +
+                        ": worst-case coefficient x domain-bound magnitude "
+                        "reaches the Int saturation rail (2^60) — saturating "
+                        "arithmetic may change this rule's semantics",
+                    {i});
+    }
+  }
+
+  void declare() {
+    smt::SolverConfig sc;
+    sc.incremental = true;  // propagated_bounds() needs the incremental base
+    sc.max_nodes = config_.check_max_nodes;
+    main_ = std::make_unique<smt::Solver>(sc);
+    probe_ = std::make_unique<smt::Solver>(smt::SolverConfig{
+        .max_nodes = config_.check_max_nodes, .incremental = false});
+    main_vars_ = rules::declare_fields(*main_, layout_);
+    rules::declare_fields(*probe_, layout_);
+    for (std::size_t i = 0; i < set_.size(); ++i)
+      if (valid_[i]) main_->add(set_.rules[i].formula);
+  }
+
+  // Satisfiability of a subset of rules (by index), optionally with one
+  // extra formula conjoined, via assumptions on the assertion-free probe
+  // solver. Counts the check and folds budget exhaustion into `unknown_`.
+  CheckResult check_subset(const std::vector<std::size_t>& subset,
+                           const Formula* extra = nullptr) {
+    std::vector<Formula> fs;
+    fs.reserve(subset.size() + 1);
+    for (const std::size_t i : subset) fs.push_back(set_.rules[i].formula);
+    if (extra != nullptr) fs.push_back(*extra);
+    ++checks_;
+    const CheckResult r = probe_->check_assuming(fs, budget());
+    if (r == CheckResult::kUnknown) ++unknown_checks_;
+    return r;
+  }
+
+  std::vector<std::size_t> valid_indices() const {
+    std::vector<std::size_t> out;
+    for (std::size_t i = 0; i < set_.size(); ++i)
+      if (valid_[i]) out.push_back(i);
+    return out;
+  }
+
+  // --- pass 1: global satisfiability / vacuity ------------------------------
+  void global_satisfiability() {
+    ++checks_;
+    report_.satisfiable = main_->check(budget());
+    if (report_.satisfiable == CheckResult::kUnsat) {
+      add_finding(Code::kUnsatRuleSet,
+                  "the rule set is unsatisfiable over the schema domains: no "
+                  "compliant row exists (conflict subset follows)");
+    } else if (report_.satisfiable == CheckResult::kUnknown) {
+      ++unknown_checks_;
+      add_finding(Code::kInconclusive,
+                  "global satisfiability check exhausted its budget (" +
+                      std::to_string(config_.check_max_nodes) +
+                      " nodes); the rule set may still be contradictory");
+    } else {
+      // Remember one full model: every value in it is a feasible witness.
+      model_ = main_->model();
+    }
+  }
+
+  // Greedy deletion-based unsat-core extraction: drop each rule whose
+  // removal keeps the remainder UNSAT. The result is irreducible (checks
+  // permitting): removing any surviving member makes the rest satisfiable.
+  void extract_core() {
+    std::vector<std::size_t> core = valid_indices();
+    bool exact = true;
+    for (std::size_t k = 0; k < core.size();) {
+      std::vector<std::size_t> without = core;
+      without.erase(without.begin() + static_cast<std::ptrdiff_t>(k));
+      const CheckResult r = check_subset(without);
+      if (r == CheckResult::kUnsat) {
+        core = std::move(without);  // rule k is not needed for the conflict
+      } else {
+        if (r == CheckResult::kUnknown) exact = false;
+        ++k;  // needed (or undecidable under budget): keep it
+      }
+    }
+    report_.core = core;
+    auto& f = report_.findings;
+    // Attach the core to the kUnsatRuleSet finding emitted above.
+    for (auto& finding : f) {
+      if (finding.code != Code::kUnsatRuleSet) continue;
+      finding.rule_indices = core;
+      finding.message =
+          "the rule set is unsatisfiable over the schema domains: no "
+          "compliant row exists; " +
+          std::string(exact ? "minimal" : "near-minimal (budget-limited)") +
+          " conflict subset: " + join_rule_labels(set_, core);
+    }
+    if (!exact)
+      add_finding(Code::kInconclusive,
+                  "unsat-core shrinking hit the check budget; the reported "
+                  "conflict subset may not be minimal");
+    report_.hulls.assign(static_cast<std::size_t>(layout_.num_fields()),
+                         FieldHull{});
+  }
+
+  // --- pass 2: per-field hulls, unbounded fields, width checks --------------
+  void field_hulls() {
+    report_.hulls.resize(static_cast<std::size_t>(layout_.num_fields()));
+    for (int i = 0; i < layout_.num_fields(); ++i) {
+      const auto& spec = layout_.fields[static_cast<std::size_t>(i)];
+      FieldHull& hull = report_.hulls[static_cast<std::size_t>(i)];
+      const smt::VarId var = main_vars_[static_cast<std::size_t>(i)];
+
+      hull.bounds = main_->propagated_bounds(var);
+      hull.exact = false;
+      if (config_.exact_hulls && report_.satisfiable == CheckResult::kSat) {
+        checks_ += 2;  // binary search: at least the two endpoint probes
+        if (const auto exact = main_->try_feasible_interval(var, {}, budget())) {
+          hull.bounds = *exact;
+          hull.exact = true;
+        } else {
+          ++unknown_checks_;
+          add_finding(Code::kInconclusive,
+                      "exact hull of field '" + spec.name +
+                          "' exhausted its budget; using the propagated "
+                          "over-approximation",
+                      {}, i);
+        }
+      }
+      if (!model_.empty() &&
+          hull.bounds.contains(model_[static_cast<std::size_t>(var.index)]))
+        hull.witnesses.push_back(model_[static_cast<std::size_t>(var.index)]);
+
+      if (report_.satisfiable != CheckResult::kSat || hull.bounds.is_empty())
+        continue;
+      const Interval domain{0, spec.max_value};
+      if (hull.bounds == domain)
+        add_finding(Code::kUnboundedField,
+                    "field '" + spec.name + "' is unconstrained: its " +
+                        (hull.exact ? "feasible interval" :
+                                      "propagated interval") +
+                        " is the full domain [0, " +
+                        std::to_string(spec.max_value) +
+                        "] — imputation there is LM-only",
+                    {}, i);
+      else if (hull.bounds.is_singleton())
+        add_finding(Code::kConstantField,
+                    "field '" + spec.name + "' is statically fixed to " +
+                        std::to_string(hull.bounds.lo) + " by the rule set",
+                    {}, i);
+      if (digit_count(hull.bounds.hi) < digit_count(spec.max_value))
+        add_finding(Code::kDigitWidth,
+                    "field '" + spec.name + "' is formatted for " +
+                        std::to_string(digit_count(spec.max_value)) +
+                        " digits but no feasible value exceeds " +
+                        std::to_string(hull.bounds.hi) + " (" +
+                        std::to_string(digit_count(hull.bounds.hi)) +
+                        " digits)",
+                    {}, i);
+    }
+  }
+
+  // --- pass 3: dead/subsumed rules ------------------------------------------
+  void dead_rules() {
+    const std::vector<std::size_t> valid = valid_indices();
+    if (valid.size() < 1) return;
+    int subsets_left = config_.max_implying_subsets;
+    for (const std::size_t i : valid) {
+      std::vector<std::size_t> rest;
+      rest.reserve(valid.size() - 1);
+      for (const std::size_t j : valid)
+        if (j != i) rest.push_back(j);
+      const Formula negated = smt::lnot(set_.rules[i].formula);
+      const CheckResult r = check_subset(rest, &negated);
+      if (r == CheckResult::kUnknown) {
+        add_finding(Code::kInconclusive,
+                    "dead-rule check for " + rule_label(set_, i) +
+                        " exhausted its budget",
+                    {i});
+        continue;
+      }
+      if (r != CheckResult::kUnsat) continue;  // kSat: rule does real work
+
+      // Rest ∧ ¬r is UNSAT: r is implied. Shrink the implying subset the
+      // same greedy way (¬r stays conjoined throughout).
+      std::vector<std::size_t> implying = std::move(rest);
+      if (subsets_left > 0) {
+        --subsets_left;
+        for (std::size_t k = 0; k < implying.size();) {
+          std::vector<std::size_t> without = implying;
+          without.erase(without.begin() + static_cast<std::ptrdiff_t>(k));
+          if (check_subset(without, &negated) == CheckResult::kUnsat)
+            implying = std::move(without);
+          else
+            ++k;
+        }
+      }
+      // Build the message before handing `implying` off: function-argument
+      // evaluation order is unspecified, so reading it inside the same call
+      // that moves it is a trap.
+      std::string message =
+          "rule " + rule_label(set_, i) + " is dead: implied by " +
+          (implying.empty() ? std::string("the field domains alone")
+                            : join_rule_labels(set_, implying));
+      add_finding(Code::kDeadRule, std::move(message), std::move(implying));
+    }
+  }
+
+  void export_metrics() {
+    auto& reg = obs::MetricsRegistry::instance();
+    reg.counter("lint.errors")
+        .add(static_cast<std::int64_t>(report_.errors()));
+    reg.counter("lint.warnings")
+        .add(static_cast<std::int64_t>(report_.warnings()));
+    reg.counter("lint.checks").add(checks_);
+    reg.counter("lint.unknown_checks").add(unknown_checks_);
+    reg.gauge("lint.core_size")
+        .set(static_cast<double>(report_.core.size()));
+  }
+
+  const rules::RuleSet& set_;
+  const telemetry::RowLayout& layout_;
+  const Config& config_;
+  const std::int64_t deadline_ns_;
+
+  std::vector<bool> valid_;  // structurally assertable rules
+  std::unique_ptr<smt::Solver> main_;   // all valid rules asserted
+  std::unique_ptr<smt::Solver> probe_;  // domains only; subsets via assumptions
+  std::vector<smt::VarId> main_vars_;
+  std::vector<Int> model_;  // one global model (kSat only)
+  std::int64_t checks_ = 0;
+  std::int64_t unknown_checks_ = 0;
+  Report report_;
+};
+
+}  // namespace
+
+std::string_view severity_name(Severity s) noexcept {
+  switch (s) {
+    case Severity::kInfo: return "info";
+    case Severity::kWarning: return "warning";
+    case Severity::kError: return "error";
+  }
+  return "?";
+}
+
+std::string_view code_name(Code c) noexcept {
+  switch (c) {
+    case Code::kUnsatRuleSet: return "E_UNSAT";
+    case Code::kFieldMismatch: return "E_FIELD_MISMATCH";
+    case Code::kDeadRule: return "W_DEAD_RULE";
+    case Code::kUnboundedField: return "W_UNBOUNDED_FIELD";
+    case Code::kOverflowHazard: return "W_OVERFLOW";
+    case Code::kFineMismatch: return "W_FINE_MISMATCH";
+    case Code::kInconclusive: return "W_INCONCLUSIVE";
+    case Code::kDigitWidth: return "I_DIGIT_WIDTH";
+    case Code::kConstantField: return "I_CONSTANT_FIELD";
+  }
+  return "?";
+}
+
+Severity code_severity(Code c) noexcept {
+  switch (c) {
+    case Code::kUnsatRuleSet:
+    case Code::kFieldMismatch:
+      return Severity::kError;
+    case Code::kDeadRule:
+    case Code::kUnboundedField:
+    case Code::kOverflowHazard:
+    case Code::kFineMismatch:
+    case Code::kInconclusive:
+      return Severity::kWarning;
+    case Code::kDigitWidth:
+    case Code::kConstantField:
+      return Severity::kInfo;
+  }
+  return Severity::kInfo;
+}
+
+std::size_t Report::count(Severity s) const {
+  std::size_t n = 0;
+  for (const Finding& f : findings)
+    if (f.severity == s) ++n;
+  return n;
+}
+
+Report analyze(const rules::RuleSet& set, const telemetry::RowLayout& layout,
+               const Config& config) {
+  return Analyzer(set, layout, config).run();
+}
+
+std::string to_text(const Report& report) {
+  std::string out;
+  for (const Finding& f : report.findings) {
+    out += severity_name(f.severity);
+    out += " [";
+    out += code_name(f.code);
+    out += "] ";
+    out += f.message;
+    out += '\n';
+  }
+  out += "lint: " + std::to_string(report.errors()) + " error(s), " +
+         std::to_string(report.warnings()) + " warning(s), " +
+         std::to_string(report.findings.size() - report.errors() -
+                        report.warnings()) +
+         " note(s); " + std::to_string(report.solver_checks) +
+         " solver checks\n";
+  return out;
+}
+
+std::string to_json(const Report& report) {
+  obs::JsonWriter w;
+  w.begin_object();
+  w.key("satisfiable")
+      .value(report.satisfiable == smt::CheckResult::kSat      ? "sat"
+             : report.satisfiable == smt::CheckResult::kUnsat  ? "unsat"
+                                                               : "unknown");
+  w.key("errors").value(static_cast<std::int64_t>(report.errors()));
+  w.key("warnings").value(static_cast<std::int64_t>(report.warnings()));
+  w.key("solver_checks").value(report.solver_checks);
+  w.key("core").begin_array();
+  for (const std::size_t i : report.core)
+    w.value(static_cast<std::int64_t>(i));
+  w.end_array();
+  w.key("findings").begin_array();
+  for (const Finding& f : report.findings) {
+    w.begin_object();
+    w.key("severity").value(severity_name(f.severity));
+    w.key("code").value(code_name(f.code));
+    w.key("message").value(f.message);
+    w.key("rules").begin_array();
+    for (const std::size_t i : f.rule_indices)
+      w.value(static_cast<std::int64_t>(i));
+    w.end_array();
+    if (f.field >= 0) w.key("field").value(f.field);
+    w.end_object();
+  }
+  w.end_array();
+  w.key("hulls").begin_array();
+  for (const FieldHull& h : report.hulls) {
+    w.begin_object();
+    if (h.bounds.is_empty()) {
+      w.key("empty").value(true);
+    } else {
+      w.key("lo").value(h.bounds.lo);
+      w.key("hi").value(h.bounds.hi);
+    }
+    w.key("exact").value(h.exact);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+}  // namespace lejit::lint

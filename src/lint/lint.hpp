@@ -1,0 +1,143 @@
+// lejit::lint — static analysis over rule-set ASTs, run before any decode.
+//
+// LeJIT's correctness guarantee is only as good as the rule set handed to
+// the solver: a contradictory set silently degrades decoding into dead-end
+// recovery churn, and mined rules can be subsumed, unbounded, or
+// overflow-prone long before any token is emitted. Following the
+// constrained-decoding literature's move to precompute constraint structure
+// ahead of inference (Outlines/SynCode-style grammar precompilation), this
+// module analyzes the rules::Rule ASTs plus the telemetry::RowLayout once,
+// offline, and reports:
+//
+//   E_UNSAT           the conjunction of all rules over the schema domains
+//                     is unsatisfiable — no compliant row exists. A minimal
+//                     conflict subset is extracted by greedy deletion on top
+//                     of smt::Solver + smt::Budget.
+//   E_FIELD_MISMATCH  a rule references a variable outside the layout (e.g.
+//                     fine-field rules asserted against a coarse layout).
+//   W_DEAD_RULE       the rule is implied by the rest of the set (checking
+//                     Rest ∧ ¬r UNSAT); the implying subset is shrunk the
+//                     same greedy way.
+//   W_UNBOUNDED_FIELD the statically propagated interval of a field is its
+//                     full declared domain — the rule set never constrains
+//                     it, so telemetry imputation is LM-only there.
+//   W_OVERFLOW        a linear expression's worst-case |coeff|·|bound|
+//                     magnitude reaches the smt::kIntInf saturation rail,
+//                     where saturating arithmetic may change semantics.
+//   W_FINE_MISMATCH   Rule::uses_fine disagrees with the variables the
+//                     formula actually references.
+//   W_INCONCLUSIVE    an analysis check exhausted its smt::Budget — the
+//                     verdict for that check is unknown, not clean.
+//   I_DIGIT_WIDTH     the text format admits more digits than any feasible
+//                     value of the field needs.
+//   I_CONSTANT_FIELD  the feasible interval is a singleton: the rule set
+//                     statically fixes the field's value.
+//
+// Beyond diagnostics, the analyzer exports per-field static interval hulls
+// (exact when the budget allows a binary search, else bounds-consistent
+// over-approximations) plus known-feasible witness values; the decoder seeds
+// its FeasibilityCache with them, so load-time analysis also warms the
+// decode hot path (DESIGN.md §10).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "rules/rule.hpp"
+#include "smt/linexpr.hpp"
+#include "smt/solver.hpp"
+#include "telemetry/text.hpp"
+
+namespace lejit::lint {
+
+enum class Severity { kInfo = 0, kWarning = 1, kError = 2 };
+
+enum class Code {
+  kUnsatRuleSet,    // E_UNSAT
+  kFieldMismatch,   // E_FIELD_MISMATCH
+  kDeadRule,        // W_DEAD_RULE
+  kUnboundedField,  // W_UNBOUNDED_FIELD
+  kOverflowHazard,  // W_OVERFLOW
+  kFineMismatch,    // W_FINE_MISMATCH
+  kInconclusive,    // W_INCONCLUSIVE
+  kDigitWidth,      // I_DIGIT_WIDTH
+  kConstantField,   // I_CONSTANT_FIELD
+};
+
+std::string_view severity_name(Severity s) noexcept;
+std::string_view code_name(Code c) noexcept;
+Severity code_severity(Code c) noexcept;
+
+struct Finding {
+  Code code = Code::kInconclusive;
+  Severity severity = Severity::kInfo;
+  std::string message;  // self-contained: names the rules/fields involved
+  // Indices into the analyzed RuleSet: the conflict core (kUnsatRuleSet),
+  // the implying subset (kDeadRule, possibly empty = implied by the field
+  // domains alone), or the single offending rule. Empty if field-scoped.
+  std::vector<std::size_t> rule_indices;
+  int field = -1;  // offending layout field, or -1 if rule-scoped
+};
+
+// Static interval hull of one layout field under the full rule set. Sound
+// over-approximation of the feasible set: values outside `bounds` are
+// definitely infeasible. `exact` means bounds are the true feasible min/max
+// (binary search) — then both endpoints are known-feasible. `witnesses`
+// holds values proven feasible by a model of the global sat check.
+struct FieldHull {
+  smt::Interval bounds = smt::Interval::empty();
+  bool exact = false;
+  std::vector<smt::Int> witnesses;
+};
+
+struct Config {
+  // Search-node budget per solver check; exhaustion yields a
+  // W_INCONCLUSIVE finding instead of a verdict.
+  std::int64_t check_max_nodes = 200'000;
+  // Wall-clock ceiling over the whole analysis (0 = none). Checks started
+  // after the deadline resolve as inconclusive.
+  std::int64_t deadline_ms = 0;
+  // Dead/subsumed-rule analysis is O(n²) solver checks; large mined sets
+  // can switch it off.
+  bool check_dead_rules = true;
+  // Greedy-shrink the implying subset for at most this many dead rules;
+  // further dead rules are still reported, without a subset.
+  int max_implying_subsets = 8;
+  // Compute exact per-field hulls by binary search (else settle for the
+  // free bounds-consistent propagation interval).
+  bool exact_hulls = true;
+};
+
+struct Report {
+  std::vector<Finding> findings;
+  // Per layout field, index-aligned with RowLayout::fields. Empty intervals
+  // when the rule set is UNSAT.
+  std::vector<FieldHull> hulls;
+  // Verdict of the global satisfiability check (kUnknown ⇒ budget ran out).
+  smt::CheckResult satisfiable = smt::CheckResult::kUnknown;
+  // Greedy-minimal conflict subset when satisfiable == kUnsat (irreducible:
+  // removing any member makes the remainder satisfiable, budget permitting).
+  std::vector<std::size_t> core;
+  std::int64_t solver_checks = 0;  // solver checks the analysis spent
+
+  std::size_t count(Severity s) const;
+  std::size_t errors() const { return count(Severity::kError); }
+  std::size_t warnings() const { return count(Severity::kWarning); }
+  bool ok() const { return errors() == 0; }
+};
+
+// Analyze `set` against `layout`'s field domains. Never throws on bad rule
+// sets — badness is the output. Updates obs counters lint.errors /
+// lint.warnings / lint.checks and gauge lint.core_size when metrics are on.
+Report analyze(const rules::RuleSet& set, const telemetry::RowLayout& layout,
+               const Config& config = {});
+
+// Human-readable report, one finding per line, severity-prefixed.
+std::string to_text(const Report& report);
+// Machine-readable report: {"satisfiable", "errors", "warnings", "core",
+// "findings": [{severity, code, message, rules, field}], "hulls": [...]}.
+std::string to_json(const Report& report);
+
+}  // namespace lejit::lint

@@ -27,6 +27,7 @@ std::string_view phase_name(Phase p) noexcept {
     case Phase::kMaskBuild: return "mask_build";
     case Phase::kSampling: return "sampling";
     case Phase::kRuleMining: return "rule_mining";
+    case Phase::kLint: return "lint";
     case Phase::kCount: break;
   }
   return "unknown";

@@ -38,6 +38,7 @@ enum class Phase : int {
   kMaskBuild,       // per-token legal-set construction (includes its checks)
   kSampling,        // masked sampling from the LM distribution
   kRuleMining,      // rules::mine_rules
+  kLint,            // lint::analyze (load-time rule-set static analysis)
   kCount,
 };
 

@@ -59,6 +59,11 @@ struct Interval {
     return is_empty() ? 0 : sat_add(hi - lo, 1);
   }
   friend bool operator==(const Interval&, const Interval&) = default;
+
+  // Intersection of two intervals (empty when they are disjoint).
+  friend Interval intersect(const Interval& a, const Interval& b) noexcept {
+    return {a.lo > b.lo ? a.lo : b.lo, a.hi < b.hi ? a.hi : b.hi};
+  }
 };
 
 // sum(coeff_i * var_i) + constant, with terms sorted by variable index and

@@ -24,6 +24,20 @@ run() {
 
 run generate "$CLI" generate --racks 6 --windows 30 --seed 3 --out corpus.txt 2>/dev/null
 run mine "$CLI" mine --corpus corpus.txt --out rules.txt 2>/dev/null
+
+# Acceptance gate for the static analyzer: a mined (Fig. 3-style) rule set
+# must lint clean — exit 0, zero errors — while a contradictory set must be
+# rejected (exit 1) with a named conflict subset.
+run lint-mined "$CLI" lint --rules rules.txt 2>/dev/null >/dev/null
+printf 'egress >= 50\negress <= 40\n' > contradictory.txt
+STAGE=lint-contradictory
+echo "[cli_smoke] stage: $STAGE" >&2
+"$CLI" lint --rules contradictory.txt 2>/dev/null > lint_bad.txt
+if [ "$?" != 1 ] || ! grep -q E_UNSAT lint_bad.txt; then
+  echo "[cli_smoke] FAILED at stage: $STAGE" >&2
+  exit 1
+fi
+
 run train "$CLI" train --corpus corpus.txt --steps 25 --dmodel 32 --heads 2 --dff 48 --out model.bin 2>/dev/null
 
 STAGE=synth

@@ -7,6 +7,7 @@
 #include <sstream>
 
 #include "core/decoder.hpp"
+#include "lint/lint.hpp"
 #include "lm/ngram.hpp"
 #include "rules/checker.hpp"
 #include "rules/parser.hpp"
@@ -99,6 +100,21 @@ TEST_P(RandomRuleSets, LeJitCompliesOrReportsInfeasibility) {
     rules::declare_fields(solver, env().layout);
     rules::assert_rules(solver, parsed.rules);
     const auto sat = solver.check();
+
+    // The static analyzer must survive every rule shape the grammar can emit
+    // and agree with the direct solver verdict (unless either ran out of
+    // budget — kUnknown makes no claim).
+    const lint::Report report = lint::analyze(parsed.rules, env().layout);
+    if (sat != smt::CheckResult::kUnknown &&
+        report.satisfiable != smt::CheckResult::kUnknown) {
+      EXPECT_EQ(report.satisfiable, sat)
+          << "lint and solver disagree on:\n"
+          << rule_text.str() << lint::to_text(report);
+    }
+    if (report.satisfiable == smt::CheckResult::kUnsat) {
+      EXPECT_FALSE(report.core.empty());
+    }
+
     if (sat != smt::CheckResult::kSat) {
       ++infeasible;
       continue;

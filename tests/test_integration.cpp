@@ -92,9 +92,9 @@ INSTANTIATE_TEST_SUITE_P(
     Schemas, PipelineAcrossSchemas,
     ::testing::Values(SchemaCase{3, 50}, SchemaCase{4, 96}, SchemaCase{5, 96},
                       SchemaCase{6, 200}, SchemaCase{8, 75}),
-    [](const auto& info) {
-      return "w" + std::to_string(info.param.window) + "bw" +
-             std::to_string(info.param.bandwidth);
+    [](const auto& tc) {
+      return "w" + std::to_string(tc.param.window) + "bw" +
+             std::to_string(tc.param.bandwidth);
     });
 
 TEST(PipelineDeterminism, SameSeedsSameRows) {

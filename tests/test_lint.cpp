@@ -1,0 +1,299 @@
+// lejit::lint — static rule-set analysis: vacuity/unsat cores, dead rules,
+// unbounded fields, overflow hazards, and the static-hull handoff to the
+// decoder's FeasibilityCache.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/decoder.hpp"
+#include "lint/lint.hpp"
+#include "lm/ngram.hpp"
+#include "rules/parser.hpp"
+#include "telemetry/generator.hpp"
+#include "telemetry/text.hpp"
+#include "util/error.hpp"
+
+namespace lejit {
+namespace {
+
+using smt::Int;
+
+telemetry::RowLayout layout() {
+  return telemetry::telemetry_row_layout(telemetry::Limits{});
+}
+
+rules::RuleSet parse(const std::string& text, const telemetry::RowLayout& l) {
+  const auto parsed = rules::parse_rules(text, l);
+  EXPECT_TRUE(parsed.ok()) << text;
+  return parsed.rules;
+}
+
+bool has_code(const lint::Report& r, lint::Code c) {
+  return std::any_of(r.findings.begin(), r.findings.end(),
+                     [c](const lint::Finding& f) { return f.code == c; });
+}
+
+const lint::Finding* find_code(const lint::Report& r, lint::Code c) {
+  for (const auto& f : r.findings)
+    if (f.code == c) return &f;
+  return nullptr;
+}
+
+TEST(Lint, CleanRuleSetHasNoErrors) {
+  const auto l = layout();
+  const auto set =
+      rules::manual_rules(l, telemetry::Limits{});
+  const auto report = lint::analyze(set, l);
+  EXPECT_EQ(report.satisfiable, smt::CheckResult::kSat);
+  EXPECT_EQ(report.errors(), 0u) << lint::to_text(report);
+  EXPECT_TRUE(report.ok());
+  EXPECT_TRUE(report.core.empty());
+}
+
+TEST(Lint, UnsatPairYieldsMinimalCore) {
+  const auto l = layout();
+  // Rules #1 and #3 conflict; #0 and #2 are innocent bystanders the greedy
+  // deletion pass must eliminate from the core.
+  const auto set = parse(
+      "total >= 1\n"
+      "egress >= 50\n"
+      "conn <= 500\n"
+      "egress <= 40\n",
+      l);
+  const auto report = lint::analyze(set, l);
+  EXPECT_EQ(report.satisfiable, smt::CheckResult::kUnsat);
+  EXPECT_FALSE(report.ok());
+  EXPECT_EQ(report.core, (std::vector<std::size_t>{1, 3}));
+  const auto* f = find_code(report, lint::Code::kUnsatRuleSet);
+  ASSERT_NE(f, nullptr);
+  EXPECT_EQ(f->severity, lint::Severity::kError);
+  EXPECT_EQ(f->rule_indices, report.core);
+  EXPECT_NE(f->message.find("egress >= 50"), std::string::npos);
+  EXPECT_NE(f->message.find("egress <= 40"), std::string::npos);
+  // An UNSAT set has no feasible values anywhere: hulls must be empty.
+  ASSERT_EQ(report.hulls.size(), static_cast<std::size_t>(l.num_fields()));
+  for (const auto& h : report.hulls) EXPECT_TRUE(h.bounds.is_empty());
+}
+
+TEST(Lint, SubsumedRuleReportedDeadWithImplyingSubset) {
+  const auto l = layout();
+  const auto set = parse(
+      "conn < 10\n"
+      "conn < 20\n",
+      l);
+  const auto report = lint::analyze(set, l);
+  EXPECT_EQ(report.satisfiable, smt::CheckResult::kSat);
+  EXPECT_TRUE(report.ok());
+  const auto* dead = find_code(report, lint::Code::kDeadRule);
+  ASSERT_NE(dead, nullptr) << lint::to_text(report);
+  EXPECT_EQ(dead->severity, lint::Severity::kWarning);
+  // conn < 20 (#1) is implied by conn < 10 (#0), and the implying subset is
+  // shrunk to exactly that rule.
+  EXPECT_NE(dead->message.find("conn < 20"), std::string::npos);
+  EXPECT_EQ(dead->rule_indices, (std::vector<std::size_t>{0}));
+}
+
+TEST(Lint, RuleImpliedByDomainsAloneSaysSo) {
+  const auto l = layout();
+  // total's domain is [0, 480]: total <= 1000 does no work at all.
+  const auto set = parse("total <= 1000\n", l);
+  const auto report = lint::analyze(set, l);
+  const auto* dead = find_code(report, lint::Code::kDeadRule);
+  ASSERT_NE(dead, nullptr) << lint::to_text(report);
+  EXPECT_TRUE(dead->rule_indices.empty());
+  EXPECT_NE(dead->message.find("domains alone"), std::string::npos);
+}
+
+TEST(Lint, UnboundedFieldsFlagged) {
+  const auto l = layout();
+  const auto set = parse("total <= 100\n", l);
+  const auto report = lint::analyze(set, l);
+  // Every field except total is untouched by the rule set.
+  const int conn = rules::field_index(l, "conn");
+  bool conn_unbounded = false;
+  bool total_unbounded = false;
+  for (const auto& f : report.findings) {
+    if (f.code != lint::Code::kUnboundedField) continue;
+    if (f.field == conn) conn_unbounded = true;
+    if (f.field == rules::field_index(l, "total")) total_unbounded = true;
+  }
+  EXPECT_TRUE(conn_unbounded) << lint::to_text(report);
+  EXPECT_FALSE(total_unbounded);
+}
+
+TEST(Lint, OverflowHazardCoefficientFlagged) {
+  const auto l = layout();
+  // 2^55 * total with total up to 480 crosses the 2^60 saturation rail.
+  const auto set = parse("36028797018963968*total >= 0\n", l);
+  const auto report = lint::analyze(set, l);
+  const auto* f = find_code(report, lint::Code::kOverflowHazard);
+  ASSERT_NE(f, nullptr) << lint::to_text(report);
+  EXPECT_EQ(f->severity, lint::Severity::kWarning);
+  EXPECT_EQ(f->rule_indices, (std::vector<std::size_t>{0}));
+}
+
+TEST(Lint, FieldMismatchIsAnError) {
+  const telemetry::Limits limits;
+  // Rules over fine fields, linted against the coarse-only layout: the
+  // formulas reference variables the layout does not declare.
+  const auto full = telemetry::telemetry_row_layout(limits);
+  const auto coarse = telemetry::coarse_row_layout(limits);
+  const auto set = rules::manual_rules(full, limits);
+  const auto report = lint::analyze(set, coarse);
+  EXPECT_FALSE(report.ok());
+  const auto* f = find_code(report, lint::Code::kFieldMismatch);
+  ASSERT_NE(f, nullptr);
+  EXPECT_EQ(f->severity, lint::Severity::kError);
+  // The coarse-only rule (egress <= total) is still analyzable.
+  EXPECT_NE(report.satisfiable, smt::CheckResult::kUnsat);
+}
+
+TEST(Lint, FineFlagMismatchFlagged) {
+  const auto l = layout();
+  auto set = parse("I0 <= 50\n", l);
+  ASSERT_TRUE(set.rules[0].uses_fine);
+  set.rules[0].uses_fine = false;  // sabotage the flag
+  const auto report = lint::analyze(set, l);
+  EXPECT_TRUE(has_code(report, lint::Code::kFineMismatch))
+      << lint::to_text(report);
+}
+
+TEST(Lint, DigitWidthAndConstantFieldNotes) {
+  const auto l = layout();
+  const auto set = parse(
+      "total <= 9\n"   // 3-digit format, feasible max 9: width slack
+      "conn == 42\n",  // statically fixed
+      l);
+  const auto report = lint::analyze(set, l);
+  EXPECT_TRUE(report.ok());
+  bool total_width = false, conn_const = false;
+  for (const auto& f : report.findings) {
+    if (f.code == lint::Code::kDigitWidth &&
+        f.field == rules::field_index(l, "total"))
+      total_width = true;
+    if (f.code == lint::Code::kConstantField &&
+        f.field == rules::field_index(l, "conn"))
+      conn_const = true;
+  }
+  EXPECT_TRUE(total_width) << lint::to_text(report);
+  EXPECT_TRUE(conn_const) << lint::to_text(report);
+}
+
+TEST(Lint, HullsAreExactAndSound) {
+  const auto l = layout();
+  const auto set = parse(
+      "total >= 100\n"
+      "total <= 250\n"
+      "egress <= total\n",
+      l);
+  const auto report = lint::analyze(set, l);
+  const auto total = static_cast<std::size_t>(rules::field_index(l, "total"));
+  ASSERT_LT(total, report.hulls.size());
+  EXPECT_TRUE(report.hulls[total].exact);
+  EXPECT_EQ(report.hulls[total].bounds, (smt::Interval{100, 250}));
+  // Witnesses come from a real model, so each must satisfy its own hull.
+  for (const auto& h : report.hulls)
+    for (const Int w : h.witnesses) EXPECT_TRUE(h.bounds.contains(w));
+}
+
+TEST(Lint, ReportSerializesToJson) {
+  const auto l = layout();
+  const auto set = parse("egress >= 50\negress <= 40\n", l);
+  const auto report = lint::analyze(set, l);
+  const std::string json = lint::to_json(report);
+  EXPECT_NE(json.find("\"satisfiable\":\"unsat\""), std::string::npos) << json;
+  EXPECT_NE(json.find("E_UNSAT"), std::string::npos);
+  EXPECT_NE(json.find("\"core\":[0,1]"), std::string::npos) << json;
+  EXPECT_NE(lint::to_text(report).find("error"), std::string::npos);
+}
+
+TEST(Lint, BudgetExhaustionIsInconclusiveNotWrong) {
+  const auto l = layout();
+  // A sum-equality over all fine fields needs real search; a 1-node budget
+  // cannot decide it. The analyzer must degrade to W_INCONCLUSIVE, never
+  // claim UNSAT.
+  const auto set = parse("sum(I) == total\necn > 0 => max(I) >= 48\n", l);
+  lint::Config cfg;
+  cfg.check_max_nodes = 1;
+  const auto report = lint::analyze(set, l, cfg);
+  EXPECT_NE(report.satisfiable, smt::CheckResult::kUnsat);
+  if (report.satisfiable == smt::CheckResult::kUnknown) {
+    EXPECT_TRUE(has_code(report, lint::Code::kInconclusive));
+  }
+  EXPECT_TRUE(report.ok()) << lint::to_text(report);  // no false errors
+}
+
+// --- decoder integration: lint_on_load ---------------------------------------
+
+struct DecodeEnv {
+  telemetry::Dataset dataset = telemetry::generate_dataset(
+      telemetry::GeneratorConfig{.num_racks = 4, .windows_per_rack = 20,
+                                 .seed = 7});
+  telemetry::RowLayout layout =
+      telemetry::telemetry_row_layout(dataset.limits);
+  lm::CharTokenizer tokenizer{telemetry::row_alphabet()};
+  lm::NgramModel model{tokenizer.vocab_size(), lm::NgramConfig{.order = 5}};
+
+  DecodeEnv() {
+    for (const auto& w : telemetry::all_windows(dataset))
+      model.observe(tokenizer.encode(telemetry::window_to_row(w)));
+  }
+};
+
+TEST(LintOnLoad, ContradictoryRuleSetFailsFast) {
+  DecodeEnv env;
+  const auto set = parse("egress >= 50\negress <= 40\n", env.layout);
+  core::DecoderConfig config;
+  config.lint_on_load = true;
+  EXPECT_THROW(core::GuidedDecoder(env.model, env.tokenizer, env.layout, set,
+                                   config),
+               util::RuntimeError);
+}
+
+TEST(LintOnLoad, CleanRuleSetDecodesAndSeedsHulls) {
+  DecodeEnv env;
+  const auto set = rules::manual_rules(env.layout, env.dataset.limits);
+
+  core::DecoderConfig config;
+  config.lint_on_load = true;
+  core::GuidedDecoder dec(env.model, env.tokenizer, env.layout, set, config);
+  ASSERT_TRUE(dec.lint_report().has_value());
+  EXPECT_TRUE(dec.lint_report()->ok());
+
+  util::Rng rng(11);
+  const auto r = dec.generate(rng);
+  ASSERT_TRUE(r.ok) << r.fail_detail;
+  // The lint-seeded static hulls answered at least the first field's
+  // attempt-start hull query.
+  EXPECT_GT(dec.cache_stats().static_hits, 0);
+}
+
+TEST(LintOnLoad, SeededDecodeIsBitIdenticalToUnseeded) {
+  DecodeEnv env;
+  const auto set = rules::manual_rules(env.layout, env.dataset.limits);
+
+  core::DecoderConfig plain;
+  core::DecoderConfig linted;
+  linted.lint_on_load = true;
+
+  core::GuidedDecoder a(env.model, env.tokenizer, env.layout, set, plain);
+  core::GuidedDecoder b(env.model, env.tokenizer, env.layout, set, linted);
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    util::Rng ra(seed), rb(seed);
+    const auto x = a.generate(ra);
+    const auto y = b.generate(rb);
+    ASSERT_EQ(x.ok, y.ok);
+    EXPECT_EQ(x.text, y.text) << "seed " << seed;
+  }
+}
+
+TEST(LintOnLoad, DisabledByDefaultLeavesNoReport) {
+  DecodeEnv env;
+  const auto set = rules::manual_rules(env.layout, env.dataset.limits);
+  core::GuidedDecoder dec(env.model, env.tokenizer, env.layout, set);
+  EXPECT_FALSE(dec.lint_report().has_value());
+  EXPECT_EQ(dec.cache_stats().static_hits, 0);
+}
+
+}  // namespace
+}  // namespace lejit

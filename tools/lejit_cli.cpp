@@ -6,6 +6,7 @@
 //   lejit_cli synth    --model model.bin --rules rules.txt --count 20
 //   lejit_cli impute   --model model.bin --rules rules.txt --prompts coarse.txt
 //   lejit_cli check    --rules rules.txt --rows rows.txt
+//   lejit_cli lint     --rules rules.txt [--json]
 //
 // Rows use the telemetry text format (telemetry/text.hpp) under the default
 // schema limits; rule files use the rules/parser.hpp syntax, so mined rule
@@ -19,6 +20,7 @@
 #include <string>
 
 #include "core/decoder.hpp"
+#include "lint/lint.hpp"
 #include "lm/trainer.hpp"
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
@@ -221,6 +223,9 @@ core::GuidedDecoder make_decoder(const Args& args,
   config.solver.max_nodes = args.get_int("max-nodes", config.solver.max_nodes);
   config.resilience = resilience_from_args(args);
   config.cache = !args.has("no-solver-cache");
+  // Fail fast on contradictory/degenerate rule sets before any decode; the
+  // analyzer's static hulls also pre-warm the feasibility cache.
+  config.lint_on_load = args.has("lint");
   return core::GuidedDecoder(model, tokenizer, layout, std::move(rules),
                              config);
 }
@@ -299,6 +304,35 @@ int cmd_check(const Args& args) {
   return stats.violating_windows == 0 ? 0 : 1;
 }
 
+// Static rule-set analysis (DESIGN.md §10). Exit-code contract: 0 = no
+// errors (warnings/notes allowed), 1 = at least one error finding (e.g. the
+// set is unsatisfiable — the conflict subset is named), 2 = usage/IO/parse
+// failure. `--json` swaps the text report for the machine-readable one.
+int cmd_lint(const Args& args) {
+  const telemetry::Limits limits;
+  const auto layout = args.has("coarse")
+                          ? telemetry::coarse_row_layout(limits)
+                          : telemetry::telemetry_row_layout(limits);
+  const auto set = load_rules(args.get("rules", "rules.txt"), layout);
+
+  lint::Config cfg;
+  cfg.check_max_nodes = args.get_int("max-nodes", cfg.check_max_nodes);
+  cfg.deadline_ms = args.get_int("deadline-ms", cfg.deadline_ms);
+  if (args.has("no-dead-rules")) cfg.check_dead_rules = false;
+  cfg.max_implying_subsets = static_cast<int>(
+      args.get_int("max-implying-subsets", cfg.max_implying_subsets));
+
+  const auto report = lint::analyze(set, layout, cfg);
+  if (args.has("json"))
+    std::cout << lint::to_json(report) << "\n";
+  else
+    std::cout << lint::to_text(report);
+  std::cerr << "lint: " << set.size() << " rules, " << report.errors()
+            << " errors, " << report.warnings() << " warnings ("
+            << report.solver_checks << " solver checks)\n";
+  return report.ok() ? 0 : 1;
+}
+
 void usage() {
   std::cerr <<
       "usage: lejit_cli <command> [--flag value ...]\n"
@@ -308,6 +342,11 @@ void usage() {
       "  synth    --model FILE --rules FILE [--count N] [--seed S]\n"
       "  impute   --model FILE --rules FILE --prompts FILE [--seed S]\n"
       "  check    --rules FILE --rows FILE\n"
+      "  lint     --rules FILE [--coarse] [--json] [--no-dead-rules]\n"
+      "           static rule-set analysis: unsatisfiability (with a minimal\n"
+      "           conflict subset), dead/subsumed rules, unbounded fields,\n"
+      "           overflow hazards, digit-width slack. exit 0 = no errors,\n"
+      "           1 = errors found, 2 = usage/IO/parse failure\n"
       "resilience (synth, impute):\n"
       "  --on-unknown POLICY  inconclusive solver checks read as:\n"
       "                       infeasible|feasible|escalate (default escalate)\n"
@@ -318,6 +357,9 @@ void usage() {
       "  --no-solver-cache    disable incremental solver reuse + feasibility\n"
       "                       caching (decodes are bit-identical either way;\n"
       "                       this exists for perf A/B runs and debugging)\n"
+      "  --lint               lint the rule set at load time and refuse to\n"
+      "                       decode if it has errors (lint_on_load); clean\n"
+      "                       sets seed the feasibility cache's static hulls\n"
       "observability (any command):\n"
       "  --log-level LEVEL    stderr diagnostics: error|warn|info|debug|off\n"
       "                       (default off; LEJIT_LOG env is the fallback)\n"
@@ -385,6 +427,7 @@ int main(int argc, char** argv) {
     if (command == "synth") return cmd_synth(args);
     if (command == "impute") return cmd_impute(args);
     if (command == "check") return cmd_check(args);
+    if (command == "lint") return cmd_lint(args);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 2;

@@ -1,0 +1,35 @@
+#!/bin/sh
+# Run clang-tidy (config: .clang-tidy at the repo root) over every in-tree
+# translation unit, using the compile_commands.json of an existing build.
+#
+#   usage: run_clang_tidy.sh [build-dir]    (default: ./build)
+#
+# Exit codes: 0 clean, 1 findings (or a TU failed to process), 77 when
+# clang-tidy or compile_commands.json is unavailable — the lint_cxx ctest
+# declares SKIP_RETURN_CODE 77, so missing tooling reports as SKIPPED, not
+# as a pass or a failure.
+set -u
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+
+if ! command -v clang-tidy >/dev/null 2>&1; then
+  echo "run_clang_tidy: clang-tidy not installed; skipping" >&2
+  exit 77
+fi
+if [ ! -f "$BUILD_DIR/compile_commands.json" ]; then
+  echo "run_clang_tidy: no $BUILD_DIR/compile_commands.json" >&2
+  echo "  (configure with cmake first; CMAKE_EXPORT_COMPILE_COMMANDS is on)" >&2
+  exit 77
+fi
+
+# All in-tree sources that appear in the compile database (imported deps and
+# generated files are excluded by construction).
+FILES=$(find src tools tests bench examples -name '*.cpp' 2>/dev/null | sort)
+[ -n "$FILES" ] || { echo "run_clang_tidy: no sources found" >&2; exit 77; }
+
+STATUS=0
+for f in $FILES; do
+  clang-tidy --quiet -p "$BUILD_DIR" "$f" || STATUS=1
+done
+exit $STATUS
