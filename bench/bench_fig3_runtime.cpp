@@ -112,6 +112,21 @@ void BM_LeJitMinedImpute(benchmark::State& state) {
 }
 BENCHMARK(BM_LeJitMinedImpute)->Unit(benchmark::kMillisecond);
 
+void BM_LeJitMinedPlanImpute(benchmark::State& state) {
+  core::DecoderConfig cfg{.mode = core::GuidanceMode::kFull};
+  cfg.compile_plan = true;
+  core::GuidedDecoder dec(env().lm(), env().tokenizer, env().layout,
+                          env().mined, cfg);
+  util::Rng rng(3);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto& w = prompts()[i++ % prompts().size()];
+    benchmark::DoNotOptimize(
+        dec.generate(rng, telemetry::imputation_prompt(w)));
+  }
+}
+BENCHMARK(BM_LeJitMinedPlanImpute)->Unit(benchmark::kMillisecond);
+
 void BM_RejectionImpute(benchmark::State& state) {
   baselines::RejectionSampler sampler(
       env().lm(), env().tokenizer, env().layout, env().mined,
@@ -142,6 +157,9 @@ struct ModeRun {
   // Solver work + feasibility-cache traffic over this mode's samples.
   std::int64_t solver_propagations = 0;
   std::int64_t cache_hits = 0, cache_misses = 0;
+  // Decode-plan effect (zero unless an active plan drove the decoder).
+  std::int64_t plan_table_hits = 0, plan_sliced_queries = 0;
+  std::int64_t plan_sliced_rules = 0;
 };
 
 // Wall-clock measurement used for the extrapolated table (independent of
@@ -180,6 +198,11 @@ ModeRun run_mode(std::string name, int samples,
     run.solver_propagations = registry.counter("smt.propagations").value();
     run.cache_hits = registry.counter("decode.cache.hits").value();
     run.cache_misses = registry.counter("decode.cache.misses").value();
+    run.plan_table_hits = registry.counter("decode.plan.table_hits").value();
+    run.plan_sliced_queries =
+        registry.counter("decode.plan.sliced_queries").value();
+    run.plan_sliced_rules =
+        registry.counter("decode.plan.sliced_rules").value();
   }
   return run;
 }
@@ -216,6 +239,11 @@ std::string modes_json(const std::vector<ModeRun>& runs) {
     w.key("cache").begin_object();
     w.key("hits").value(r.cache_hits);
     w.key("misses").value(r.cache_misses);
+    w.end_object();
+    w.key("plan").begin_object();
+    w.key("table_hits").value(r.plan_table_hits);
+    w.key("sliced_queries").value(r.plan_sliced_queries);
+    w.key("sliced_rules").value(r.plan_sliced_rules);
     w.end_object();
     w.key("split").begin_object();
     w.key("lm_forward_frac").value(denom > 0.0 ? lm_s / denom : 0.0);
@@ -287,6 +315,29 @@ void print_fig3_right(bench::JsonReport& report) {
       ++i;
     }));
   }
+  // Plan ablation: the same mined workload once more, driven by a decode
+  // plan compiled in the constructor (outside the measured loop — plan
+  // compilation is a static, per-rule-set cost). The decodes must again be
+  // bit-identical (DESIGN.md §11); BENCH_5's acceptance check reads this run
+  // pair for the propagation reduction and the decode.plan.* counters.
+  bool plan_bit_identical = true;
+  std::int64_t plan_compile_checks = 0;
+  {
+    core::DecoderConfig cfg{.mode = core::GuidanceMode::kFull};
+    cfg.compile_plan = true;
+    core::GuidedDecoder dec(env().lm(), env().tokenizer, env().layout,
+                            env().mined, cfg);
+    plan_compile_checks = dec.decode_plan()->solver_checks;
+    util::Rng rng(7);
+    std::size_t i = 0;
+    rows.push_back(run_mode("LeJIT (mined, plan)", scaled(40),
+                            [&](const Window& w) {
+      const auto res = dec.generate(rng, telemetry::imputation_prompt(w));
+      if (i >= mined_texts.size() || res.text != mined_texts[i])
+        plan_bit_identical = false;
+      ++i;
+    }));
+  }
   {
     baselines::RejectionSampler sampler(
         env().lm(), env().tokenizer, env().layout, env().mined,
@@ -297,10 +348,45 @@ void print_fig3_right(bench::JsonReport& report) {
       (void)sampler.generate(rng, telemetry::imputation_prompt(w));
     }));
   }
+  // Synthesis leg of the plan ablation. Imputation prompts pin the coarse
+  // fields, which dirties the (single, densely coupled) mined cluster before
+  // any fine field decodes — so the digit tables' always-bits cannot fire
+  // there and the plan's effect is slicing only. Synthesis rows start with a
+  // clean cluster: the tables answer the whole leading field plus the
+  // never-terminator positions of lower-bounded fields without a solver
+  // check, which is where the plan beats even PR 4's hull/witness tiers.
+  std::vector<std::string> synth_texts;
+  bool synth_bit_identical = true;
+  {
+    core::GuidedDecoder dec(env().lm(), env().tokenizer, env().layout,
+                            env().mined,
+                            core::DecoderConfig{.mode = core::GuidanceMode::kFull});
+    util::Rng rng(9);
+    rows.push_back(run_mode("LeJIT synth (mined)", scaled(40),
+                            [&](const Window&) {
+      synth_texts.push_back(dec.generate(rng).text);
+    }));
+  }
+  {
+    core::DecoderConfig cfg{.mode = core::GuidanceMode::kFull};
+    cfg.compile_plan = true;
+    core::GuidedDecoder dec(env().lm(), env().tokenizer, env().layout,
+                            env().mined, cfg);
+    util::Rng rng(9);
+    std::size_t i = 0;
+    rows.push_back(run_mode("LeJIT synth (mined, plan)", scaled(40),
+                            [&](const Window&) {
+      const auto res = dec.generate(rng);
+      if (i >= synth_texts.size() || res.text != synth_texts[i])
+        synth_bit_identical = false;
+      ++i;
+    }));
+  }
   report.add_raw("modes", modes_json(rows));
 
   const ModeRun& cached = rows[3];
   const ModeRun& uncached = rows[4];
+  const ModeRun& planned = rows[5];
   {
     lejit::obs::JsonWriter w;
     w.begin_object();
@@ -313,6 +399,42 @@ void print_fig3_right(bench::JsonReport& report) {
     w.key("cache_misses").value(cached.cache_misses);
     w.end_object();
     report.add_raw("cache_ablation", w.str());
+  }
+  const ModeRun& synth_plain = rows[7];
+  const ModeRun& synth_plan = rows[8];
+  {
+    // `off` sums the plain mined runs (cache on, no plan) over both legs so
+    // the pair isolates the plan's effect on top of PR 4's
+    // incremental/caching machinery; ms_per_sample stays the Fig. 3
+    // (imputation) metric. Plan compilation cost is static (once per rule
+    // set, in the constructor, outside the measured loops) and is reported
+    // as compile_solver_checks rather than folded into per-sample numbers.
+    const std::int64_t sliced =
+        planned.plan_sliced_queries + synth_plan.plan_sliced_queries;
+    const std::int64_t sliced_rules =
+        planned.plan_sliced_rules + synth_plan.plan_sliced_rules;
+    const double frac =
+        sliced > 0 && !env().mined.rules.empty()
+            ? static_cast<double>(sliced_rules) /
+                  (static_cast<double>(sliced) *
+                   static_cast<double>(env().mined.size()))
+            : 0.0;
+    lejit::obs::JsonWriter w;
+    w.begin_object();
+    w.key("bit_identical").value(plan_bit_identical && synth_bit_identical);
+    w.key("propagations_on")
+        .value(planned.solver_propagations + synth_plan.solver_propagations);
+    w.key("propagations_off")
+        .value(cached.solver_propagations + synth_plain.solver_propagations);
+    w.key("ms_per_sample_on").value(planned.sec_per_sample * 1e3);
+    w.key("ms_per_sample_off").value(cached.sec_per_sample * 1e3);
+    w.key("table_hits")
+        .value(planned.plan_table_hits + synth_plan.plan_table_hits);
+    w.key("sliced_queries").value(sliced);
+    w.key("slice_rule_fraction").value(frac);
+    w.key("compile_solver_checks").value(plan_compile_checks);
+    w.end_object();
+    report.add_raw("plan_ablation", w.str());
   }
 
   bench::Table table(
@@ -334,7 +456,7 @@ void print_fig3_right(bench::JsonReport& report) {
   }
   table.print();
 
-  const double rejection = rows[5].sec_per_sample;
+  const double rejection = rows[6].sec_per_sample;
   std::cout << "\nshape: rejection/LeJIT speedup = "
             << bench::fmt(rejection / lejit, 1)
             << "x (paper reports >10x)  -> "
@@ -351,6 +473,22 @@ void print_fig3_right(bench::JsonReport& report) {
             << bench::fmt(prop_ratio, 1) << "x; ms/sample "
             << bench::fmt(cached.sec_per_sample * 1e3, 3) << " (on) vs "
             << bench::fmt(uncached.sec_per_sample * 1e3, 3) << " (off)\n";
+
+  const double plan_prop_ratio =
+      planned.solver_propagations > 0
+          ? static_cast<double>(cached.solver_propagations) /
+                static_cast<double>(planned.solver_propagations)
+          : 0.0;
+  std::cout << "shape: plan on/off decodes bit-identical -> "
+            << (plan_bit_identical && synth_bit_identical
+                    ? "YES"
+                    : "NO *** MISMATCH ***")
+            << "\nshape: solver propagations plan-off/plan-on = "
+            << bench::fmt(plan_prop_ratio, 1) << "x (impute); table hits "
+            << planned.plan_table_hits + synth_plan.plan_table_hits
+            << ", sliced queries "
+            << planned.plan_sliced_queries + synth_plan.plan_sliced_queries
+            << "\n";
 }
 
 }  // namespace

@@ -39,7 +39,8 @@ class ScopeGuard {
 // goes out of scope — one flush point for every return path of generate().
 class StatsFlush {
  public:
-  explicit StatsFlush(const DecodeResult& result) : result_(result) {}
+  StatsFlush(const DecodeResult& result, std::size_t num_rules)
+      : result_(result), num_rules_(num_rules) {}
   ~StatsFlush() {
     if (!obs::metrics_enabled()) return;
     auto& registry = obs::MetricsRegistry::instance();
@@ -75,12 +76,29 @@ class StatsFlush {
     if (result_.reason == FailReason::kEmptyMask) c_empty_mask.inc();
     if (result_.reason == FailReason::kBudgetExhausted) c_budget.inc();
     if (result_.guidance_escalated) c_guidance.inc();
+    static obs::Counter& c_table_hits =
+        registry.counter("decode.plan.table_hits");
+    static obs::Counter& c_sliced =
+        registry.counter("decode.plan.sliced_queries");
+    static obs::Counter& c_sliced_rules =
+        registry.counter("decode.plan.sliced_rules");
+    c_table_hits.add(result_.stats.plan_table_hits);
+    c_sliced.add(result_.stats.plan_sliced_queries);
+    c_sliced_rules.add(result_.stats.plan_sliced_rules);
+    // Mean fraction of the rule set a sliced query asserted (vs. the full
+    // set an unplanned query drags through propagation), cumulative.
+    if (num_rules_ > 0 && c_sliced.value() > 0)
+      registry.gauge("decode.plan.slice_rule_fraction")
+          .set(static_cast<double>(c_sliced_rules.value()) /
+               (static_cast<double>(c_sliced.value()) *
+                static_cast<double>(num_rules_)));
   }
   StatsFlush(const StatsFlush&) = delete;
   StatsFlush& operator=(const StatsFlush&) = delete;
 
  private:
   const DecodeResult& result_;
+  std::size_t num_rules_;
 };
 
 // Probability mass the mask removed at one step, in [0, 1].
@@ -189,12 +207,82 @@ GuidedDecoder::GuidedDecoder(const lm::LanguageModel& model,
     }
     lint_report_ = std::move(report);
   }
+
+  if (config_.plan) {
+    const std::uint64_t expected = plan::rule_set_fingerprint(rules_, layout_);
+    if (config_.plan->fingerprint != expected)
+      throw util::RuntimeError(
+          "stale decode plan: its fingerprint does not match this rule set "
+          "and layout (recompile with `lejit_cli plan`)");
+    plan_ = std::move(config_.plan);
+  } else if (config_.compile_plan) {
+    plan_ = plan::compile(rules_, layout_, config_.plan_config);
+  }
+  if (plan_) {
+    // The sliced hot path only engages for kFull look-ahead (the mode whose
+    // per-candidate queries it accelerates) on layouts small enough for the
+    // field bitmasks; everywhere else the plan rides along inert.
+    plan_engaged_ = plan_->active() && config_.mode == GuidanceMode::kFull &&
+                    layout_.num_fields() <= 64 &&
+                    plan_->num_fields == layout_.num_fields() &&
+                    plan_->field_cluster.size() ==
+                        static_cast<std::size_t>(layout_.num_fields()) &&
+                    plan_->num_rules == rules_.size();
+    if (plan_engaged_) {
+      rule_field_mask_.reserve(rules_.size());
+      for (const rules::Rule& r : rules_.rules) {
+        std::uint64_t m = 0;
+        for (const int f : rules::referenced_fields(r.formula))
+          if (f >= 0 && f < layout_.num_fields())
+            m |= std::uint64_t{1} << static_cast<unsigned>(f);
+        rule_field_mask_.push_back(m);
+      }
+    }
+  }
+}
+
+smt::SolverStats GuidedDecoder::solver_stats() const {
+  smt::SolverStats total = solver_.stats();
+  total += retired_cluster_stats_;
+  for (const auto& s : cluster_solvers_)
+    if (s) total += s->stats();
+  return total;
+}
+
+void GuidedDecoder::ensure_sliced_solvers(std::uint64_t prompt_fields) {
+  if (slice_prompt_mask_ == prompt_fields) return;
+  slice_prompt_mask_ = prompt_fields;
+  for (const auto& s : cluster_solvers_)
+    if (s) retired_cluster_stats_ += s->stats();
+  cluster_solvers_.clear();
+  cluster_live_rules_.assign(plan_->clusters.size(), 0);
+  smt::SolverConfig sc = config_.solver;
+  sc.incremental = config_.cache;
+  for (const plan::Cluster& cluster : plan_->clusters) {
+    // A rule whose every referenced field the prompt pins is fully decided
+    // by the prompt values; the attempt's prompt feasibility check (run on
+    // the full solver) proves it satisfied, so the slice can drop it.
+    std::vector<std::size_t> live;
+    for (const std::size_t r : cluster.rules)
+      if ((rule_field_mask_[r] & ~prompt_fields) != 0) live.push_back(r);
+    if (live.empty()) {
+      cluster_solvers_.push_back(nullptr);
+      continue;
+    }
+    auto solver = std::make_unique<smt::Solver>(sc);
+    // Same declaration order as the constructor, so VarIds align with vars_.
+    (void)rules::declare_fields(*solver, layout_);
+    for (const std::size_t r : live) solver->add(rules_.rules[r].formula);
+    cluster_live_rules_[cluster_solvers_.size()] =
+        static_cast<std::int64_t>(live.size());
+    cluster_solvers_.push_back(std::move(solver));
+  }
 }
 
 DecodeResult GuidedDecoder::generate(util::Rng& rng, std::string_view prompt) {
   DecodeResult result;
-  const StatsFlush flush(result);
-  const std::int64_t checks_before = solver_.stats().checks;
+  const StatsFlush flush(result, rules_.size());
+  const std::int64_t checks_before = solver_stats().checks;
 
   // --- unguided mode: free-run the LM until a newline -----------------------
   if (config_.mode == GuidanceMode::kNone) {
@@ -219,7 +307,7 @@ DecodeResult GuidedDecoder::generate(util::Rng& rng, std::string_view prompt) {
     result.text = text;
     result.window = telemetry::parse_row(text, layout_);
     result.ok = result.window.has_value();
-    result.stats.solver_checks = solver_.stats().checks - checks_before;
+    result.stats.solver_checks = solver_stats().checks - checks_before;
     return result;
   }
 
@@ -232,13 +320,13 @@ DecodeResult GuidedDecoder::generate(util::Rng& rng, std::string_view prompt) {
       res.row_deadline_ms > 0
           ? obs::now_ns() + res.row_deadline_ms * 1'000'000
           : 0;
-  const std::int64_t row_nodes_start = solver_.stats().nodes;
+  const std::int64_t row_nodes_start = solver_stats().nodes;
   const auto row_budget_overrun = [&]() -> std::optional<std::string> {
     if (row_deadline_ns != 0 && obs::now_ns() >= row_deadline_ns)
       return "row deadline (" + std::to_string(res.row_deadline_ms) +
              " ms) exceeded";
     if (res.row_max_nodes > 0 &&
-        solver_.stats().nodes - row_nodes_start > res.row_max_nodes)
+        solver_stats().nodes - row_nodes_start > res.row_max_nodes)
       return "row node budget (" + std::to_string(res.row_max_nodes) +
              ") exceeded";
     return std::nullopt;
@@ -271,30 +359,79 @@ DecodeResult GuidedDecoder::generate(util::Rng& rng, std::string_view prompt) {
                         config_.mode == GuidanceMode::kHull);
   std::uint64_t fp = kPinFingerprintSeed;
 
+  // --- decode plan: prompt-shaped query slicing + digit tables (kFull) ------
+  // A dry syntax walk over the prompt (no solver, no pins) finds the set of
+  // fields the prompt will pin, which determines each cluster's "live" rule
+  // slice for this row; the sliced solvers are rebuilt only when that set
+  // changes across rows. A field whose digits begin inside the prompt is
+  // remembered: its prompt-chosen prefix was never mask-validated, so table
+  // always-bits (which quantify over validated prefixes only) must not serve
+  // it.
+  const bool plan_mode = plan_engaged_;
+  std::uint64_t prompt_fields = 0;
+  int prompt_partial_field = -1;
+  if (plan_mode) {
+    Walk pw;
+    for (const char c : prompt) {
+      if (pw.in_suffix(layout_)) {
+        ++pw.suffix_pos;
+        continue;
+      }
+      const auto& spec = layout_.fields[static_cast<std::size_t>(pw.field)];
+      if (pw.prefix_pos < spec.prefix.size()) {
+        ++pw.prefix_pos;
+        continue;
+      }
+      if (c >= '0' && c <= '9') {
+        pw.digits = pw.digits.extended(c - '0');
+        continue;
+      }
+      prompt_fields |= std::uint64_t{1} << static_cast<unsigned>(pw.field);
+      ++pw.field;
+      pw.digits = DigitPrefix{};
+      if (pw.field < layout_.num_fields())
+        pw.prefix_pos = 1;
+      else
+        pw.suffix_pos = 1;
+    }
+    if (!pw.in_suffix(layout_) && pw.in_digits(layout_) && !pw.digits.empty())
+      prompt_partial_field = pw.field;
+    ensure_sliced_solvers(prompt_fields);
+  }
+
   // How an inconclusive result reads once escalation is exhausted.
   const bool unknown_is_feasible = res.on_unknown == UnknownPolicy::kFeasible;
 
-  // Policy-escalated satisfiability, returning the final raw result so
-  // callers can cache it. kUnknown here means escalation is already spent.
-  const auto check_under_policy =
-      [&](std::span<const smt::Formula> fs) -> smt::CheckResult {
-    smt::CheckResult r = solver_.check_assuming(fs, check_budget(0));
+  // Policy-escalated satisfiability on an explicit solver (the full one or a
+  // plan cluster slice), returning the final raw result so callers can cache
+  // it. kUnknown here means escalation is already spent.
+  const auto check_on = [&](smt::Solver& solver,
+                            std::span<const smt::Formula> fs)
+      -> smt::CheckResult {
+    smt::CheckResult r = solver.check_assuming(fs, check_budget(0));
     for (int e = 1; r == smt::CheckResult::kUnknown; ++e) {
       ++result.stats.unknown_checks;
       if (res.on_unknown != UnknownPolicy::kEscalate || e > res.max_escalations)
         break;
       ++result.stats.escalations;
-      r = solver_.check_assuming(fs, check_budget(e));
+      r = solver.check_assuming(fs, check_budget(e));
     }
     return r;
+  };
+  const auto check_under_policy = [&](std::span<const smt::Formula> fs) {
+    return check_on(solver_, fs);
   };
 
   // Policy-mediated satisfiability: kUnknown is escalated and/or mapped to
   // the configured meaning instead of silently reading as infeasible.
-  const auto sat_under_policy = [&](std::span<const smt::Formula> fs) {
-    const smt::CheckResult r = check_under_policy(fs);
+  const auto sat_on = [&](smt::Solver& solver,
+                          std::span<const smt::Formula> fs) {
+    const smt::CheckResult r = check_on(solver, fs);
     if (r == smt::CheckResult::kUnknown) return unknown_is_feasible;
     return r == smt::CheckResult::kSat;
+  };
+  const auto sat_under_policy = [&](std::span<const smt::Formula> fs) {
+    return sat_on(solver_, fs);
   };
 
   // Policy-mediated hull query (kHull mode). A conclusive hull — cached or
@@ -384,16 +521,62 @@ DecodeResult GuidedDecoder::generate(util::Rng& rng, std::string_view prompt) {
     Int last_value = 0;
     int last_digits = 0;
 
+    // --- per-attempt decode-plan state -----------------------------------
+    // plan_attempt turns off for the whole attempt in the (organically
+    // unreachable) case a dead-end ban lands on a field no sliced solver can
+    // express: an unclustered field, or one in a fully prompt-determined
+    // cluster — both can only pin values the solver already proved feasible.
+    const std::size_t n_clusters = plan_mode ? plan_->clusters.size() : 0;
+    bool plan_attempt = plan_mode && mode == GuidanceMode::kFull;
+    if (plan_attempt)
+      for (const auto& [bf, bv] : banned) {
+        const int bc = plan_->field_cluster[static_cast<std::size_t>(bf)];
+        if (bc < 0 || !cluster_solvers_[static_cast<std::size_t>(bc)]) {
+          plan_attempt = false;
+          break;
+        }
+      }
+    // Per cluster: rolling pin/ban fingerprint (keys the sliced solver's
+    // cache entries), dirty flag (any pin/ban this attempt — always-bits
+    // from the tables are then off the table), and pinned-state
+    // feasibility: 1 = satisfiable, 0 = not, -1 = stale (re-check lazily).
+    std::vector<std::uint64_t> cfp;
+    std::vector<signed char> cluster_state;
+    std::vector<signed char> cluster_dirty;
+    std::vector<std::unique_ptr<ScopeGuard>> cluster_scopes;
+    if (plan_attempt) {
+      cfp.assign(n_clusters, kPinFingerprintSeed);
+      // An active plan proved every cluster satisfiable on its own.
+      cluster_state.assign(n_clusters, 1);
+      cluster_dirty.assign(n_clusters, 0);
+      for (const auto& s : cluster_solvers_)
+        if (s) cluster_scopes.push_back(std::make_unique<ScopeGuard>(*s));
+    }
+    // Pins replayed from the prompt or a recovery resume were not validated
+    // against the current ban set, so they leave cluster states stale; pins
+    // from live generation passed their exact-feasibility check this attempt
+    // and keep the cluster provably satisfiable.
+    bool replaying = true;
+
     // Re-assert dead-end bans inside this attempt's scope. Each ban records a
     // pin the solver proved infeasible, so excluding it cannot remove a value
     // a compliant row needs (at worst it narrows diversity near the ban).
     fp = kPinFingerprintSeed;
     if (solver_guided)
       for (const auto& [field, value] : banned) {
-        solver_.add(
+        const smt::Formula ban_f =
             smt::ne(smt::LinExpr(vars_[static_cast<std::size_t>(field)]),
-                    smt::LinExpr(value)));
+                    smt::LinExpr(value));
+        solver_.add(ban_f);
         fp = mix_pin(fp, kPinTagBan, field, value);
+        if (plan_attempt) {
+          const std::size_t c = static_cast<std::size_t>(
+              plan_->field_cluster[static_cast<std::size_t>(field)]);
+          cluster_solvers_[c]->add(ban_f);
+          cfp[c] = mix_pin(cfp[c], kPinTagBan, field, value);
+          cluster_dirty[c] = 1;
+          cluster_state[c] = -1;
+        }
       }
 
     // Pin a completed field value into the solver (solver-guided modes).
@@ -417,6 +600,27 @@ DecodeResult GuidedDecoder::generate(util::Rng& rng, std::string_view prompt) {
       }
       solver_.add(smt::eq(smt::LinExpr(vars_[static_cast<std::size_t>(field)]),
                           smt::LinExpr(value)));
+      if (plan_attempt) {
+        const int c = plan_->field_cluster[static_cast<std::size_t>(field)];
+        if (c >= 0 && cluster_solvers_[static_cast<std::size_t>(c)]) {
+          smt::Solver& cs = *cluster_solvers_[static_cast<std::size_t>(c)];
+          if (use_cache) {
+            cs.push();
+            cfp[static_cast<std::size_t>(c)] =
+                mix_pin(cfp[static_cast<std::size_t>(c)], kPinTagPin, field,
+                        value);
+          }
+          cs.add(
+              smt::eq(smt::LinExpr(vars_[static_cast<std::size_t>(field)]),
+                      smt::LinExpr(value)));
+          cluster_dirty[static_cast<std::size_t>(c)] = 1;
+          cluster_state[static_cast<std::size_t>(c)] =
+              replaying ? static_cast<signed char>(-1)
+                        : static_cast<signed char>(1);
+        }
+        // c == -1 needs no mirroring: with no rule referencing the field, the
+        // pin only restates a domain value every solver already admits.
+      }
       if (mode == GuidanceMode::kHull) pending_feasibility_check = true;
     };
 
@@ -435,6 +639,46 @@ DecodeResult GuidedDecoder::generate(util::Rng& rng, std::string_view prompt) {
       cache_.store(QueryKind::kPinned, fp, -1, 0, 0, r);
       if (r == smt::CheckResult::kUnknown) return unknown_is_feasible;
       return r == smt::CheckResult::kSat;
+    };
+
+    // Plan attempts: is cluster d's pinned state satisfiable? A sliced query
+    // about one cluster answers the full-set verdict only when every *other*
+    // cluster can still be satisfied around it (clusters are
+    // variable-disjoint, so per-cluster models compose). States invalidated
+    // by replayed pins or bans are re-checked here, memoized on the
+    // cluster's own fingerprint under a key field that cannot collide with
+    // real fields (>= 0) or the global pinned-state key (-1).
+    const auto cluster_feasible = [&](std::size_t d) -> bool {
+      if (cluster_state[d] == 1) return true;
+      if (cluster_state[d] == 0) return false;
+      smt::Solver* const cs = cluster_solvers_[d].get();
+      bool ok = true;
+      if (cs == nullptr) {
+        // Fully prompt-determined cluster: its pins passed the prompt
+        // feasibility check, and nothing since could have touched it.
+      } else if (use_cache) {
+        const int key_field = -(static_cast<int>(d) + 2);
+        if (const auto v =
+                cache_.lookup(QueryKind::kPinned, cfp[d], key_field, 0, 0)) {
+          if (*v == smt::CheckResult::kUnknown) {
+            ++result.stats.unknown_checks;
+            ok = unknown_is_feasible;
+          } else {
+            ok = *v == smt::CheckResult::kSat;
+          }
+        } else {
+          const smt::CheckResult r = check_on(*cs, {});
+          cache_.store(QueryKind::kPinned, cfp[d], key_field, 0, 0, r);
+          ok = r == smt::CheckResult::kSat ||
+               (r == smt::CheckResult::kUnknown && unknown_is_feasible);
+        }
+      } else {
+        const smt::CheckResult r = check_on(*cs, {});
+        ok = r == smt::CheckResult::kSat ||
+             (r == smt::CheckResult::kUnknown && unknown_is_feasible);
+      }
+      cluster_state[d] = ok ? 1 : 0;
+      return ok;
     };
 
     // Advance the walk over one legal character; pins fields as they complete.
@@ -489,6 +733,11 @@ DecodeResult GuidedDecoder::generate(util::Rng& rng, std::string_view prompt) {
                 "prompt contradicts the rule set (or check stayed "
                 "inconclusive under the kUnknown policy)"};
       }
+      // Full rules ∧ bans ∧ prompt pins satisfiable ⇒ every cluster's slice
+      // of that state is satisfiable (a full model restricts to each).
+      if (plan_attempt)
+        std::fill(cluster_state.begin(), cluster_state.end(),
+                  static_cast<signed char>(1));
     }
 
     // Replay the part of a previous attempt that survived the rewind. Its
@@ -500,6 +749,7 @@ DecodeResult GuidedDecoder::generate(util::Rng& rng, std::string_view prompt) {
       text.push_back(c);
     }
     pending_feasibility_check = false;  // held before the rewind point
+    replaying = false;  // pins from here on are mask-validated first
 
     // Compute the legal-character mask for the current walk state. Returns
     // the number of legal tokens.
@@ -524,6 +774,49 @@ DecodeResult GuidedDecoder::generate(util::Rng& rng, std::string_view prompt) {
       const smt::VarId var = vars_[static_cast<std::size_t>(walk.field)];
       const int max_digits = digits_for(spec.max_value);
 
+      // Decode-plan routing for this field (kFull plan attempts only):
+      //   plan_cluster  the field's cluster (-1 = no rule references it;
+      //                 -2 = plan off this attempt),
+      //   qsolver/qfp   the solver and fingerprint answering live queries —
+      //                 the cluster's sliced solver when one exists, else
+      //                 the full solver,
+      //   others_ok     every *other* cluster's pinned state is satisfiable;
+      //                 when false, no completion of this field exists and
+      //                 the whole digit section masks out (exactly what the
+      //                 unsliced queries would conclude one by one),
+      //   always_ok     table always-bits may answer — they describe
+      //                 completability under the cluster rules *alone*, so
+      //                 they need a pin/ban-free cluster, a prefix that was
+      //                 mask-validated (not begun inside the prompt), and
+      //                 others_ok.
+      const int plan_cluster =
+          plan_attempt
+              ? plan_->field_cluster[static_cast<std::size_t>(walk.field)]
+              : -2;
+      const plan::DigitTable* const table =
+          plan_attempt ? plan_->table_for(walk.field) : nullptr;
+      smt::Solver* qsolver = &solver_;
+      std::uint64_t qfp = fp;
+      bool others_ok = true;
+      bool always_ok = false;
+      if (plan_attempt) {
+        for (std::size_t d = 0; d < n_clusters; ++d)
+          if (static_cast<int>(d) != plan_cluster && !cluster_feasible(d)) {
+            others_ok = false;
+            break;
+          }
+        always_ok =
+            others_ok && walk.field != prompt_partial_field &&
+            (plan_cluster < 0 ||
+             cluster_dirty[static_cast<std::size_t>(plan_cluster)] == 0);
+        if (plan_cluster >= 0 &&
+            cluster_solvers_[static_cast<std::size_t>(plan_cluster)]) {
+          qsolver =
+              cluster_solvers_[static_cast<std::size_t>(plan_cluster)].get();
+          qfp = cfp[static_cast<std::size_t>(plan_cluster)];
+        }
+      }
+
       if (mode == GuidanceMode::kHull && !field_hull)
         field_hull = hull_under_policy(var, walk.field);
 
@@ -531,15 +824,18 @@ DecodeResult GuidedDecoder::generate(util::Rng& rng, std::string_view prompt) {
       // exact hull (e.g. from a kHull pass at the same fingerprint) gives
       // conclusive answers in both directions; otherwise the solver base's
       // propagated bounds give free conclusive-infeasible answers and
-      // witnesses accumulate from organic sat checks.
+      // witnesses accumulate from organic sat checks. Plan attempts key the
+      // hull on the answering cluster's solver and fingerprint; unclustered
+      // fields skip it (their queries are pure interval arithmetic already).
       if (mode == GuidanceMode::kFull && use_cache &&
+          !(plan_attempt && plan_cluster == -1) &&
           (!full_hull || full_hull_field != walk.field)) {
-        full_hull_fp = fp;
+        full_hull_fp = qfp;
         full_hull_field = walk.field;
-        full_hull = cache_.find_hull(fp, walk.field);
+        full_hull = cache_.find_hull(qfp, walk.field);
         if (!full_hull) {
           FeasibilityCache::Hull entry;
-          entry.bounds = solver_.propagated_bounds(var);
+          entry.bounds = qsolver->propagated_bounds(var);
           // A lint-seeded static hull over-approximates the feasible set
           // under any pins/bans, so intersecting it in is sound and can be
           // tighter than bounds consistency (exact hulls see through
@@ -575,7 +871,7 @@ DecodeResult GuidedDecoder::generate(util::Rng& rng, std::string_view prompt) {
           if (obs::metrics_enabled()) hull_conclusive_counter().inc();
           return true;
         }
-        if (const auto v = cache_.lookup(QueryKind::kCompletion, fp,
+        if (const auto v = cache_.lookup(QueryKind::kCompletion, qfp,
                                          walk.field, p.value, p.digits)) {
           if (*v == smt::CheckResult::kSat) return true;
           if (*v == smt::CheckResult::kUnsat) return false;
@@ -583,11 +879,11 @@ DecodeResult GuidedDecoder::generate(util::Rng& rng, std::string_view prompt) {
           return unknown_is_feasible;
         }
         const smt::Formula f = prefix_completion_formula(var, p, max_digits);
-        const smt::CheckResult r = check_under_policy(std::span(&f, 1));
-        cache_.store(QueryKind::kCompletion, fp, walk.field, p.value,
+        const smt::CheckResult r = check_on(*qsolver, std::span(&f, 1));
+        cache_.store(QueryKind::kCompletion, qfp, walk.field, p.value,
                      p.digits, r);
         if (r == smt::CheckResult::kSat) {
-          full_hull->add_witness(solver_.model_value(var));
+          full_hull->add_witness(qsolver->model_value(var));
           return true;
         }
         if (r == smt::CheckResult::kUnknown) return unknown_is_feasible;
@@ -606,7 +902,7 @@ DecodeResult GuidedDecoder::generate(util::Rng& rng, std::string_view prompt) {
           if (obs::metrics_enabled()) hull_conclusive_counter().inc();
           return true;
         }
-        if (const auto v = cache_.lookup(QueryKind::kExact, fp, walk.field,
+        if (const auto v = cache_.lookup(QueryKind::kExact, qfp, walk.field,
                                          value, 0)) {
           if (*v == smt::CheckResult::kSat) return true;
           if (*v == smt::CheckResult::kUnsat) return false;
@@ -615,8 +911,8 @@ DecodeResult GuidedDecoder::generate(util::Rng& rng, std::string_view prompt) {
         }
         const smt::Formula f =
             smt::eq(smt::LinExpr(var), smt::LinExpr(value));
-        const smt::CheckResult r = check_under_policy(std::span(&f, 1));
-        cache_.store(QueryKind::kExact, fp, walk.field, value, 0, r);
+        const smt::CheckResult r = check_on(*qsolver, std::span(&f, 1));
+        cache_.store(QueryKind::kExact, qfp, walk.field, value, 0, r);
         if (r == smt::CheckResult::kSat) {
           full_hull->add_witness(value);
           return true;
@@ -631,7 +927,42 @@ DecodeResult GuidedDecoder::generate(util::Rng& rng, std::string_view prompt) {
         const DigitPrefix next = walk.digits.extended(d);
         if (!prefix_syntactically_ok(next, max_digits)) continue;
         if (mode == GuidanceMode::kFull) {
-          if (use_cache) {
+          if (plan_attempt) {
+            if (!others_ok) continue;
+            const int k = walk.digits.digits;
+            if (table && table->row_verified(k)) {
+              // never is monotone-sound under any pins/bans (they only
+              // remove completions); always needs the clean-cluster gate.
+              if (table->never_bit(k, d)) {
+                ++result.stats.plan_table_hits;
+                continue;
+              }
+              if (always_ok && table->always_bit(k, d)) {
+                ++result.stats.plan_table_hits;
+                allow(static_cast<char>('0' + d));
+                continue;
+              }
+            }
+            if (plan_cluster == -1) {
+              // No rule references this field: completability against the
+              // declared domain is the exact verdict, solver-free.
+              if (!completion_intersects(
+                      next, max_digits,
+                      smt::Interval{0, spec.max_value}))
+                continue;
+            } else {
+              ++result.stats.plan_sliced_queries;
+              result.stats.plan_sliced_rules += cluster_live_rules_[
+                  static_cast<std::size_t>(plan_cluster)];
+              if (use_cache) {
+                if (!cached_completion_feasible(next)) continue;
+              } else {
+                const smt::Formula f =
+                    prefix_completion_formula(var, next, max_digits);
+                if (!sat_on(*qsolver, std::span(&f, 1))) continue;
+              }
+            }
+          } else if (use_cache) {
             if (!cached_completion_feasible(next)) continue;
           } else {
             const smt::Formula f =
@@ -655,7 +986,45 @@ DecodeResult GuidedDecoder::generate(util::Rng& rng, std::string_view prompt) {
           }
         }
         if (can_end && mode == GuidanceMode::kFull) {
-          if (use_cache) {
+          if (plan_attempt) {
+            if (!others_ok) {
+              can_end = false;
+            } else {
+              const int k = walk.digits.digits;
+              bool decided = false;
+              if (table && table->row_verified(k)) {
+                if (table->never_bit(k, plan::kTerminatorBit)) {
+                  ++result.stats.plan_table_hits;
+                  can_end = false;
+                  decided = true;
+                } else if (always_ok &&
+                           table->always_bit(k, plan::kTerminatorBit)) {
+                  ++result.stats.plan_table_hits;
+                  decided = true;  // can_end stays true
+                }
+              }
+              if (!decided) {
+                if (plan_cluster == -1) {
+                  // Unreferenced field: pinning to any in-domain value is
+                  // exactly as satisfiable as the rest of the state, which
+                  // others_ok just vouched for.
+                  can_end = walk.digits.value <= spec.max_value;
+                } else {
+                  ++result.stats.plan_sliced_queries;
+                  result.stats.plan_sliced_rules += cluster_live_rules_[
+                      static_cast<std::size_t>(plan_cluster)];
+                  if (use_cache) {
+                    can_end = cached_exact_feasible(walk.digits.value);
+                  } else {
+                    const smt::Formula f =
+                        smt::eq(smt::LinExpr(var),
+                                smt::LinExpr(walk.digits.value));
+                    can_end = sat_on(*qsolver, std::span(&f, 1));
+                  }
+                }
+              }
+            }
+          } else if (use_cache) {
             can_end = cached_exact_feasible(walk.digits.value);
           } else {
             const smt::Formula f =
@@ -753,7 +1122,7 @@ DecodeResult GuidedDecoder::generate(util::Rng& rng, std::string_view prompt) {
   int attempts_left = res.retry_budget;
   while (true) {
     const AttemptEnd attempt = run_attempt();
-    result.stats.solver_checks = solver_.stats().checks - checks_before;
+    result.stats.solver_checks = solver_stats().checks - checks_before;
 
     switch (attempt.outcome) {
       case Outcome::kComplete:

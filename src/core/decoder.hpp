@@ -26,11 +26,16 @@
 #include <string>
 #include <string_view>
 
+#include <cstdint>
+#include <memory>
+#include <vector>
+
 #include "core/feasibility_cache.hpp"
 #include "lint/lint.hpp"
 #include "lm/lm.hpp"
 #include "lm/sampler.hpp"
 #include "lm/tokenizer.hpp"
+#include "plan/plan.hpp"
 #include "rules/rule.hpp"
 #include "smt/solver.hpp"
 #include "telemetry/text.hpp"
@@ -109,6 +114,19 @@ struct DecoderConfig {
   // stays bit-identical with or without the seeding.
   bool lint_on_load = false;
   lint::Config lint{};
+  // Static decode plan (DESIGN.md §11). When set, the constructor validates
+  // its fingerprint against the rule set + layout and throws
+  // util::RuntimeError on a mismatch (a stale plan must never drive masks).
+  // When `compile_plan` is set instead, the plan is compiled in the
+  // constructor under `plan_config`. An active plan lets kFull decoding
+  // answer digit/terminator feasibility from solver-verified tables
+  // (decode.plan.table_hits) and route the remaining live queries to a
+  // per-cluster solver carrying only the rules the current field can still
+  // depend on (decode.plan.sliced_queries). Decoded text is bit-identical
+  // with the plan on or off for a fixed seed.
+  std::optional<plan::DecodePlan> plan{};
+  bool compile_plan = false;
+  plan::Config plan_config{};
 };
 
 struct DecodeStats {
@@ -120,6 +138,13 @@ struct DecodeStats {
   std::int64_t unknown_checks = 0;     // checks that came back inconclusive
   std::int64_t escalations = 0;        // budget-escalation retries spent
   double removed_mass = 0.0;           // Σ(1 − allowed probability mass)
+  // Decode-plan effect (zero unless an active plan drove this row):
+  std::int64_t plan_table_hits = 0;      // verdicts served by digit tables
+  std::int64_t plan_sliced_queries = 0;  // verdicts routed to a cluster slice
+  // Σ over sliced queries of the rules the slice asserted; divided by
+  // (plan_sliced_queries · |rule set|) this is the mean fraction of the rule
+  // set a sliced query dragged through the solver.
+  std::int64_t plan_sliced_rules = 0;
 
   // Mean probability mass the mask removed per masked step (0 ⇒ the solver
   // never had to override the LM).
@@ -180,8 +205,10 @@ class GuidedDecoder {
   // to and including '|') as `prompt`; for synthesis pass nothing.
   DecodeResult generate(util::Rng& rng, std::string_view prompt = {});
 
-  // Cumulative solver statistics across all generate() calls.
-  const smt::SolverStats& solver_stats() const { return solver_.stats(); }
+  // Cumulative solver statistics across all generate() calls, aggregated
+  // over the main solver and any plan cluster solvers (including retired
+  // ones from earlier prompt shapes).
+  smt::SolverStats solver_stats() const;
   // Cumulative feasibility-cache statistics (all zero when config.cache is
   // off); counted unconditionally, unlike the obs mirrors.
   const FeasibilityCache::Stats& cache_stats() const { return cache_.stats(); }
@@ -191,9 +218,19 @@ class GuidedDecoder {
   const std::optional<lint::Report>& lint_report() const {
     return lint_report_;
   }
+  // The validated/compiled decode plan, if any.
+  const std::optional<plan::DecodePlan>& decode_plan() const { return plan_; }
 
  private:
   struct Walk;  // syntax-walk state, defined in decoder.cpp
+
+  // (Re)build the per-cluster sliced solvers for a prompt that pins exactly
+  // the fields in `prompt_fields` (bitmask). A cluster's slice keeps only its
+  // "live" rules — those referencing at least one non-pinned field; rules
+  // whose every field is prompt-pinned are proven satisfied by the prompt
+  // feasibility check and dropped. A cluster with no live rules gets a null
+  // solver (nothing left to ask it).
+  void ensure_sliced_solvers(std::uint64_t prompt_fields);
 
   const lm::LanguageModel& model_;
   const lm::CharTokenizer& tokenizer_;
@@ -204,6 +241,20 @@ class GuidedDecoder {
   std::vector<smt::VarId> vars_;
   FeasibilityCache cache_;  // persists across generate() calls
   std::optional<lint::Report> lint_report_;
+
+  // --- decode plan state (all empty/unused when plan_ is not engaged) ---
+  std::optional<plan::DecodePlan> plan_;
+  // True when plan_ is present, active(), the mode is kFull, and the layout
+  // is small enough for the bitmask bookkeeping.
+  bool plan_engaged_ = false;
+  std::vector<std::uint64_t> rule_field_mask_;  // per rule: referenced fields
+  // Per cluster: sliced solver (null = fully prompt-determined) and the
+  // number of live rules it asserts. Persist across rows and rebuild only
+  // when the prompt's pinned-field set changes.
+  std::vector<std::unique_ptr<smt::Solver>> cluster_solvers_;
+  std::vector<std::int64_t> cluster_live_rules_;
+  std::uint64_t slice_prompt_mask_ = ~std::uint64_t{0};  // sentinel: unbuilt
+  smt::SolverStats retired_cluster_stats_;  // stats of discarded slice solvers
 };
 
 }  // namespace lejit::core

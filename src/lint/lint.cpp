@@ -7,6 +7,7 @@
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
 #include "obs/timer.hpp"
+#include "plan/plan.hpp"
 #include "smt/formula.hpp"
 #include "util/error.hpp"
 
@@ -26,26 +27,6 @@ int digit_count(Int v) {
     ++n;
   }
   return n;
-}
-
-// Collect the distinct variable indices a formula references.
-void collect_vars(const Formula& f, std::vector<int>& out) {
-  switch (f->kind()) {
-    case smt::FormulaKind::kTrue:
-    case smt::FormulaKind::kFalse:
-      return;
-    case smt::FormulaKind::kAtom:
-      for (const auto& [var, coeff] : f->atom_expr().terms()) {
-        (void)coeff;
-        if (std::find(out.begin(), out.end(), var.index) == out.end())
-          out.push_back(var.index);
-      }
-      return;
-    case smt::FormulaKind::kAnd:
-    case smt::FormulaKind::kOr:
-      for (const auto& c : f->children()) collect_vars(c, out);
-      return;
-  }
 }
 
 // Worst-case |value| any atom expression of `f` can reach over the declared
@@ -110,6 +91,7 @@ class Analyzer {
 
   Report run() {
     structural_checks();
+    partition_checks();
     declare();
     global_satisfiability();
     if (report_.satisfiable == CheckResult::kUnsat) {
@@ -156,8 +138,7 @@ class Analyzer {
                     "rule " + rule_label(set_, i) + " has no formula", {i});
         continue;
       }
-      std::vector<int> vars;
-      collect_vars(r.formula, vars);
+      const std::vector<int> vars = rules::referenced_fields(r.formula);
       bool mismatch = false;
       bool touches_fine = false;
       for (const int v : vars) {
@@ -193,6 +174,39 @@ class Analyzer {
                         "reaches the Int saturation rail (2^60) — saturating "
                         "arithmetic may change this rule's semantics",
                     {i});
+    }
+  }
+
+  // --- pass 0.5: dependency-graph partition diagnostics ---------------------
+  // Solver-free: the same connected-component structure the decode-plan
+  // compiler slices queries by (plan::partition), surfaced as hints about
+  // how cheap each field's guidance will be.
+  void partition_checks() {
+    const plan::DecodePlan p = plan::partition(set_, layout_);
+    for (std::size_t c = 0; c < p.clusters.size(); ++c) {
+      const plan::Cluster& cluster = p.clusters[c];
+      if (cluster.rules.size() != 1) continue;
+      std::string fields;
+      for (std::size_t k = 0; k < cluster.fields.size(); ++k) {
+        if (k > 0) fields += ", ";
+        fields += layout_.fields[static_cast<std::size_t>(cluster.fields[k])]
+                      .name;
+      }
+      add_finding(Code::kSingleRuleCluster,
+                  "rule " + rule_label(set_, cluster.rules.front()) +
+                      " forms an independent single-rule cluster over {" +
+                      fields + "}: plan-sliced decode queries there assert "
+                      "only this rule",
+                  {cluster.rules.front()});
+    }
+    for (int i = 0; i < layout_.num_fields(); ++i) {
+      if (p.field_cluster[static_cast<std::size_t>(i)] >= 0) continue;
+      add_finding(Code::kStaticField,
+                  "field '" +
+                      layout_.fields[static_cast<std::size_t>(i)].name +
+                      "' is referenced by no rule: the decode plan serves "
+                      "its digit masks from the domain alone, solver-free",
+                  {}, i);
     }
   }
 
@@ -440,6 +454,8 @@ std::string_view code_name(Code c) noexcept {
     case Code::kInconclusive: return "W_INCONCLUSIVE";
     case Code::kDigitWidth: return "I_DIGIT_WIDTH";
     case Code::kConstantField: return "I_CONSTANT_FIELD";
+    case Code::kSingleRuleCluster: return "I_SINGLE_RULE_CLUSTER";
+    case Code::kStaticField: return "I_STATIC_FIELD";
   }
   return "?";
 }
@@ -457,6 +473,8 @@ Severity code_severity(Code c) noexcept {
       return Severity::kWarning;
     case Code::kDigitWidth:
     case Code::kConstantField:
+    case Code::kSingleRuleCluster:
+    case Code::kStaticField:
       return Severity::kInfo;
   }
   return Severity::kInfo;

@@ -32,6 +32,13 @@
 //                     value of the field needs.
 //   I_CONSTANT_FIELD  the feasible interval is a singleton: the rule set
 //                     statically fixes the field's value.
+//   I_SINGLE_RULE_CLUSTER  a connected component of the rule–field
+//                     dependency graph (lejit::plan) contains exactly one
+//                     rule — plan-sliced decode queries on its fields assert
+//                     just that rule instead of the whole set.
+//   I_STATIC_FIELD    no rule references the field at all: the decode plan
+//                     serves its digit masks from the domain alone, without
+//                     any solver call.
 //
 // Beyond diagnostics, the analyzer exports per-field static interval hulls
 // (exact when the budget allows a binary search, else bounds-consistent
@@ -62,8 +69,10 @@ enum class Code {
   kOverflowHazard,  // W_OVERFLOW
   kFineMismatch,    // W_FINE_MISMATCH
   kInconclusive,    // W_INCONCLUSIVE
-  kDigitWidth,      // I_DIGIT_WIDTH
-  kConstantField,   // I_CONSTANT_FIELD
+  kDigitWidth,         // I_DIGIT_WIDTH
+  kConstantField,      // I_CONSTANT_FIELD
+  kSingleRuleCluster,  // I_SINGLE_RULE_CLUSTER
+  kStaticField,        // I_STATIC_FIELD
 };
 
 std::string_view severity_name(Severity s) noexcept;

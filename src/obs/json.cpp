@@ -2,6 +2,9 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+
+#include "util/error.hpp"
 
 namespace lejit::obs {
 
@@ -122,6 +125,303 @@ JsonWriter& JsonWriter::raw(std::string_view fragment) {
   before_value();
   out_ += fragment;
   return *this;
+}
+
+namespace {
+
+[[noreturn]] void kind_error(JsonValue::Kind want, JsonValue::Kind got) {
+  const auto name = [](JsonValue::Kind k) -> const char* {
+    switch (k) {
+      case JsonValue::Kind::kNull: return "null";
+      case JsonValue::Kind::kBool: return "bool";
+      case JsonValue::Kind::kNumber: return "number";
+      case JsonValue::Kind::kString: return "string";
+      case JsonValue::Kind::kArray: return "array";
+      case JsonValue::Kind::kObject: return "object";
+    }
+    return "?";
+  };
+  throw util::RuntimeError(std::string("JSON value is ") + name(got) +
+                           ", expected " + name(want));
+}
+
+}  // namespace
+
+bool JsonValue::as_bool() const {
+  if (kind_ != Kind::kBool) kind_error(Kind::kBool, kind_);
+  return bool_;
+}
+
+double JsonValue::as_number() const {
+  if (kind_ != Kind::kNumber) kind_error(Kind::kNumber, kind_);
+  return number_;
+}
+
+std::int64_t JsonValue::as_int() const {
+  const double v = as_number();
+  const auto i = static_cast<std::int64_t>(v);
+  if (static_cast<double>(i) != v)
+    throw util::RuntimeError("JSON number is not an exact integer");
+  return i;
+}
+
+const std::string& JsonValue::as_string() const {
+  if (kind_ != Kind::kString) kind_error(Kind::kString, kind_);
+  return string_;
+}
+
+const std::vector<JsonValue>& JsonValue::as_array() const {
+  if (kind_ != Kind::kArray) kind_error(Kind::kArray, kind_);
+  return array_;
+}
+
+const JsonValue& JsonValue::get(std::string_view key) const {
+  const JsonValue* v = find(key);
+  if (v == nullptr)
+    throw util::RuntimeError("JSON object has no member '" +
+                             std::string(key) + "'");
+  return *v;
+}
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+  if (kind_ != Kind::kObject) kind_error(Kind::kObject, kind_);
+  const auto it = object_.find(key);
+  return it == object_.end() ? nullptr : &it->second;
+}
+
+JsonValue JsonValue::make_bool(bool v) {
+  JsonValue out;
+  out.kind_ = Kind::kBool;
+  out.bool_ = v;
+  return out;
+}
+
+JsonValue JsonValue::make_number(double v) {
+  JsonValue out;
+  out.kind_ = Kind::kNumber;
+  out.number_ = v;
+  return out;
+}
+
+JsonValue JsonValue::make_string(std::string v) {
+  JsonValue out;
+  out.kind_ = Kind::kString;
+  out.string_ = std::move(v);
+  return out;
+}
+
+JsonValue JsonValue::make_array(std::vector<JsonValue> v) {
+  JsonValue out;
+  out.kind_ = Kind::kArray;
+  out.array_ = std::move(v);
+  return out;
+}
+
+JsonValue JsonValue::make_object(
+    std::map<std::string, JsonValue, std::less<>> v) {
+  JsonValue out;
+  out.kind_ = Kind::kObject;
+  out.object_ = std::move(v);
+  return out;
+}
+
+namespace {
+
+// Recursive-descent parser over a string_view; position-tracking for error
+// messages. Depth-capped: the repo's documents are shallow, and the cap turns
+// a hostile deeply-nested input into an exception instead of a stack
+// overflow.
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  JsonValue parse_document() {
+    JsonValue v = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing content after JSON document");
+    return v;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  [[noreturn]] void fail(const std::string& what) const {
+    throw util::RuntimeError("JSON parse error at byte " +
+                             std::to_string(pos_) + ": " + what);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume_literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  JsonValue parse_value() {
+    if (++depth_ > kMaxDepth) fail("nesting too deep");
+    skip_ws();
+    JsonValue out;
+    switch (peek()) {
+      case '{': out = parse_object(); break;
+      case '[': out = parse_array(); break;
+      case '"': out = JsonValue::make_string(parse_string()); break;
+      case 't':
+        if (!consume_literal("true")) fail("bad literal");
+        out = JsonValue::make_bool(true);
+        break;
+      case 'f':
+        if (!consume_literal("false")) fail("bad literal");
+        out = JsonValue::make_bool(false);
+        break;
+      case 'n':
+        if (!consume_literal("null")) fail("bad literal");
+        out = JsonValue::make_null();
+        break;
+      default: out = parse_number(); break;
+    }
+    --depth_;
+    return out;
+  }
+
+  JsonValue parse_object() {
+    expect('{');
+    std::map<std::string, JsonValue, std::less<>> members;
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return JsonValue::make_object(std::move(members));
+    }
+    while (true) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      // Duplicate keys: last one wins, like every lenient reader; the
+      // writer never emits duplicates.
+      members.insert_or_assign(std::move(key), parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return JsonValue::make_object(std::move(members));
+    }
+  }
+
+  JsonValue parse_array() {
+    expect('[');
+    std::vector<JsonValue> items;
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return JsonValue::make_array(std::move(items));
+    }
+    while (true) {
+      items.push_back(parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return JsonValue::make_array(std::move(items));
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f')
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F')
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            else fail("bad \\u escape digit");
+          }
+          if (code > 0x7f) fail("non-ASCII \\u escape unsupported");
+          out += static_cast<char>(code);
+          break;
+        }
+        default: fail("bad escape character");
+      }
+    }
+  }
+
+  JsonValue parse_number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if ((c >= '0' && c <= '9') || c == '.' || c == 'e' || c == 'E' ||
+          c == '+' || c == '-')
+        ++pos_;
+      else
+        break;
+    }
+    if (pos_ == start) fail("expected a value");
+    // strtod needs NUL termination; numbers are short, so copy.
+    const std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    const double v = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size() || !std::isfinite(v)) {
+      pos_ = start;
+      fail("malformed number '" + token + "'");
+    }
+    return JsonValue::make_number(v);
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  int depth_ = 0;
+};
+
+}  // namespace
+
+JsonValue parse_json(std::string_view text) {
+  return JsonParser(text).parse_document();
 }
 
 }  // namespace lejit::obs

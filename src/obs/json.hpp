@@ -1,12 +1,16 @@
-// Minimal streaming JSON writer for telemetry export.
+// Minimal streaming JSON writer + recursive-descent reader.
 //
 // The observability layer (metrics snapshots, trace files) and the bench
 // harness JSON reports all emit JSON; this writer keeps them consistent and
 // correct (escaping, comma placement, non-finite doubles) without pulling in
-// an external JSON dependency.
+// an external JSON dependency. The reader exists for the few places that
+// load JSON back in (plan artifacts): a strict, whitespace-tolerant parser
+// over the same subset the writer emits.
 #pragma once
 
 #include <cstdint>
+#include <map>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -59,5 +63,52 @@ class JsonWriter {
   std::vector<bool> needs_comma_;
   bool after_key_ = false;
 };
+
+// Parsed JSON document node. Numbers are kept as doubles (integers that fit
+// a double round-trip exactly; values wider than 53 bits — e.g. rule-set
+// fingerprints — must be serialized as strings). Object member order is not
+// preserved.
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind() const noexcept { return kind_; }
+  bool is_null() const noexcept { return kind_ == Kind::kNull; }
+
+  // Typed accessors: throw util::RuntimeError on a kind mismatch, so loader
+  // code reads like a schema and malformed documents fail with a message
+  // naming the expectation instead of corrupting state.
+  bool as_bool() const;
+  double as_number() const;
+  std::int64_t as_int() const;  // as_number, checked integral
+  const std::string& as_string() const;
+  const std::vector<JsonValue>& as_array() const;
+
+  // Object access. get() throws when the member is missing; find() returns
+  // nullptr instead.
+  const JsonValue& get(std::string_view key) const;
+  const JsonValue* find(std::string_view key) const;
+
+  static JsonValue make_null() { return JsonValue{}; }
+  static JsonValue make_bool(bool v);
+  static JsonValue make_number(double v);
+  static JsonValue make_string(std::string v);
+  static JsonValue make_array(std::vector<JsonValue> v);
+  static JsonValue make_object(std::map<std::string, JsonValue, std::less<>> v);
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::map<std::string, JsonValue, std::less<>> object_;
+};
+
+// Parse one JSON document (trailing whitespace allowed, nothing else after
+// the root value). Throws util::RuntimeError with a byte offset on malformed
+// input. Supports the full JSON grammar except \uXXXX escapes outside the
+// ASCII range (surrogate pairs are rejected; the repo never emits them).
+JsonValue parse_json(std::string_view text);
 
 }  // namespace lejit::obs

@@ -1,0 +1,604 @@
+#include "plan/plan.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <numeric>
+#include <utility>
+
+#include "core/transition.hpp"
+#include "obs/json.hpp"
+#include "util/error.hpp"
+
+namespace lejit::plan {
+
+namespace {
+
+// FNV-1a, 64-bit. The fingerprint only guards against *accidental* reuse of
+// a plan against the wrong rule set or schema (an edited rule file, a layout
+// with different domains); it is not a cryptographic commitment.
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ull;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ull;
+
+void mix_bytes(std::uint64_t& h, std::string_view s) {
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= kFnvPrime;
+  }
+  // Separator so {"ab","c"} and {"a","bc"} hash differently.
+  h ^= 0xff;
+  h *= kFnvPrime;
+}
+
+void mix_int(std::uint64_t& h, std::int64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= static_cast<std::uint64_t>(v >> (8 * i)) & 0xffu;
+    h *= kFnvPrime;
+  }
+}
+
+const char* check_result_name(smt::CheckResult r) {
+  switch (r) {
+    case smt::CheckResult::kSat: return "sat";
+    case smt::CheckResult::kUnsat: return "unsat";
+    case smt::CheckResult::kUnknown: return "unknown";
+  }
+  return "unknown";
+}
+
+smt::CheckResult check_result_from_name(const std::string& s) {
+  if (s == "sat") return smt::CheckResult::kSat;
+  if (s == "unsat") return smt::CheckResult::kUnsat;
+  if (s == "unknown") return smt::CheckResult::kUnknown;
+  throw util::RuntimeError("plan: bad CheckResult name '" + s + "'");
+}
+
+// Disjoint-set forest over field indices.
+class UnionFind {
+ public:
+  explicit UnionFind(int n) : parent_(static_cast<std::size_t>(n)) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+  int find(int x) {
+    while (parent_[static_cast<std::size_t>(x)] != x) {
+      parent_[static_cast<std::size_t>(x)] =
+          parent_[static_cast<std::size_t>(parent_[static_cast<std::size_t>(x)])];
+      x = parent_[static_cast<std::size_t>(x)];
+    }
+    return x;
+  }
+  void unite(int a, int b) {
+    a = find(a);
+    b = find(b);
+    if (a != b) parent_[static_cast<std::size_t>(b)] = a;
+  }
+
+ private:
+  std::vector<int> parent_;
+};
+
+}  // namespace
+
+std::uint64_t rule_set_fingerprint(const rules::RuleSet& set,
+                                   const telemetry::RowLayout& layout) {
+  std::uint64_t h = kFnvOffset;
+  mix_int(h, static_cast<std::int64_t>(layout.fields.size()));
+  for (const auto& f : layout.fields) {
+    mix_bytes(h, f.prefix);
+    mix_bytes(h, f.name);
+    mix_int(h, f.max_value);
+    mix_int(h, f.is_fine ? 1 : 0);
+  }
+  mix_bytes(h, layout.suffix);
+  mix_int(h, static_cast<std::int64_t>(set.size()));
+  for (const auto& r : set.rules) {
+    mix_bytes(h, r.description);
+    // The description alone is not authoritative (hand-built rules may carry
+    // free-form text); the formula's normalized print pins the semantics.
+    mix_bytes(h, r.formula != nullptr ? r.formula->to_string() : "<null>");
+  }
+  return h;
+}
+
+DecodePlan partition(const rules::RuleSet& set,
+                     const telemetry::RowLayout& layout) {
+  DecodePlan plan;
+  plan.fingerprint = rule_set_fingerprint(set, layout);
+  plan.num_fields = layout.num_fields();
+  plan.num_rules = set.size();
+  plan.field_cluster.assign(static_cast<std::size_t>(plan.num_fields), -1);
+
+  std::vector<std::vector<int>> rule_fields(set.size());
+  UnionFind uf(plan.num_fields);
+  for (std::size_t i = 0; i < set.size(); ++i) {
+    rule_fields[i] = rules::referenced_fields(set.rules[i].formula);
+    // Drop references outside the layout (defensive: such a rule cannot be
+    // asserted against this layout anyway; lint flags it separately).
+    std::erase_if(rule_fields[i], [&](int f) {
+      return f < 0 || f >= plan.num_fields;
+    });
+    if (rule_fields[i].empty()) {
+      plan.constant_rules.push_back(i);
+      continue;
+    }
+    for (std::size_t j = 1; j < rule_fields[i].size(); ++j)
+      uf.unite(rule_fields[i][0], rule_fields[i][j]);
+  }
+
+  // One cluster per disjoint-set root that owns at least one rule, numbered
+  // in order of first appearance by field index (deterministic).
+  std::vector<int> root_cluster(static_cast<std::size_t>(plan.num_fields), -1);
+  for (std::size_t i = 0; i < set.size(); ++i) {
+    if (rule_fields[i].empty()) continue;
+    const int root = uf.find(rule_fields[i][0]);
+    if (root_cluster[static_cast<std::size_t>(root)] < 0) {
+      root_cluster[static_cast<std::size_t>(root)] =
+          static_cast<int>(plan.clusters.size());
+      plan.clusters.emplace_back();
+    }
+  }
+  // Deterministic renumbering: sort clusters by their smallest field.
+  for (std::size_t i = 0; i < set.size(); ++i) {
+    if (rule_fields[i].empty()) continue;
+    const int c = root_cluster[static_cast<std::size_t>(uf.find(rule_fields[i][0]))];
+    plan.clusters[static_cast<std::size_t>(c)].rules.push_back(i);
+    for (const int f : rule_fields[i]) {
+      auto& fs = plan.clusters[static_cast<std::size_t>(c)].fields;
+      fs.push_back(f);
+    }
+  }
+  for (auto& c : plan.clusters) {
+    std::sort(c.fields.begin(), c.fields.end());
+    c.fields.erase(std::unique(c.fields.begin(), c.fields.end()),
+                   c.fields.end());
+  }
+  std::sort(plan.clusters.begin(), plan.clusters.end(),
+            [](const Cluster& a, const Cluster& b) {
+              return a.fields.front() < b.fields.front();
+            });
+  for (std::size_t c = 0; c < plan.clusters.size(); ++c)
+    for (const int f : plan.clusters[c].fields)
+      plan.field_cluster[static_cast<std::size_t>(f)] = static_cast<int>(c);
+  return plan;
+}
+
+namespace {
+
+// Shared state for the solver-backed compilation passes.
+struct CompileCtx {
+  const Config& config;
+  std::int64_t deadline_ns = 0;  // absolute; 0 = none
+  std::int64_t checks = 0;
+
+  smt::Budget budget() const {
+    smt::Budget b;
+    b.max_nodes = config.check_max_nodes;
+    b.deadline_ns = deadline_ns;
+    return b;
+  }
+  bool expired() const {
+    if (deadline_ns == 0) return false;
+    // Reuse Budget's clock instead of taking an obs dependency here.
+    return smt::Budget::deadline_in_ms(0).deadline_ns >= deadline_ns;
+  }
+};
+
+smt::CheckResult check_conjunction(smt::Solver& solver,
+                                   std::vector<smt::Formula> fs,
+                                   CompileCtx& ctx) {
+  ++ctx.checks;
+  return solver.check_assuming(fs, ctx.budget());
+}
+
+// Enumerate completable digit prefixes of `var` level by level and record the
+// universally-valid digit/terminator decisions. `solver` holds the field's
+// cluster rules (or nothing for an unclustered field) as assertions.
+DigitTable build_table(smt::Solver& solver, smt::VarId var, smt::Int max_value,
+                       CompileCtx& ctx) {
+  DigitTable table;
+  const int m = core::digits_for(max_value);
+  table.max_digits = m;
+  table.always.assign(static_cast<std::size_t>(m) + 1, 0);
+  table.never.assign(static_cast<std::size_t>(m) + 1, 0);
+  table.verified.assign(static_cast<std::size_t>(m) + 1, 0);
+
+  std::vector<core::DigitPrefix> level = {core::DigitPrefix{}};  // P_0
+  bool complete = true;
+  for (int k = 0; k <= m; ++k) {
+    if (!complete || ctx.expired()) return table;  // rows k.. stay unverified
+    bool unknown = false;
+    std::uint16_t always = 0;
+    std::uint16_t never = 0;
+
+    if (k >= 1) {
+      std::size_t sat = 0;
+      for (const auto& p : level) {
+        const auto res = check_conjunction(
+            solver, {smt::eq(smt::LinExpr(var), smt::LinExpr(p.value))}, ctx);
+        if (res == smt::CheckResult::kUnknown) {
+          unknown = true;
+          break;
+        }
+        if (res == smt::CheckResult::kSat) ++sat;
+      }
+      if (!unknown && !level.empty()) {
+        if (sat == level.size()) always |= 1u << kTerminatorBit;
+        if (sat == 0) never |= 1u << kTerminatorBit;
+      }
+    }
+
+    std::vector<core::DigitPrefix> next_level;
+    if (!unknown && k < m) {
+      for (int d = 0; d <= 9 && !unknown; ++d) {
+        std::size_t extendable = 0;
+        std::size_t sat = 0;
+        for (const auto& p : level) {
+          if (!p.can_extend(m)) continue;
+          const core::DigitPrefix np = p.extended(d);
+          if (!core::prefix_syntactically_ok(np, m)) continue;
+          ++extendable;
+          const auto res = check_conjunction(
+              solver, {core::prefix_completion_formula(var, np, m)}, ctx);
+          if (res == smt::CheckResult::kUnknown) {
+            unknown = true;
+            break;
+          }
+          if (res == smt::CheckResult::kSat) {
+            ++sat;
+            next_level.push_back(np);
+          }
+        }
+        if (unknown) break;
+        // Bits are only set on witness: a vacuous "always" (no extendable
+        // prefix at all) must not license a digit.
+        if (extendable > 0 && sat == extendable) always |= 1u << d;
+        if (extendable > 0 && sat == 0) never |= 1u << d;
+      }
+    }
+
+    if (unknown) return table;  // rows k.. stay unverified
+    table.always[static_cast<std::size_t>(k)] = always;
+    table.never[static_cast<std::size_t>(k)] = never;
+    table.verified[static_cast<std::size_t>(k)] = 1;
+    if (static_cast<int>(next_level.size()) > ctx.config.max_prefixes_per_field)
+      complete = false;  // P_{k+1} would be truncated; stop claiming anything
+    level = std::move(next_level);
+  }
+  return table;
+}
+
+}  // namespace
+
+DecodePlan compile(const rules::RuleSet& set,
+                   const telemetry::RowLayout& layout, const Config& config) {
+  DecodePlan plan = partition(set, layout);
+  CompileCtx ctx{config};
+  if (config.deadline_ms > 0)
+    ctx.deadline_ns = smt::Budget::deadline_in_ms(config.deadline_ms).deadline_ns;
+
+  // --- satisfiability + plan-vs-full-set equivalence -----------------------
+  // One probe solver, everything via assumptions: cluster checks and the
+  // full-set check run over identical variable declarations.
+  smt::Solver probe;
+  const std::vector<smt::VarId> vars = rules::declare_fields(probe, layout);
+  (void)vars;
+
+  bool all_conclusive = true;
+  bool clusters_sat = true;
+  for (auto& cluster : plan.clusters) {
+    std::vector<smt::Formula> fs;
+    fs.reserve(cluster.rules.size());
+    for (const std::size_t r : cluster.rules)
+      fs.push_back(set.rules[r].formula);
+    cluster.satisfiable = check_conjunction(probe, std::move(fs), ctx);
+    if (cluster.satisfiable == smt::CheckResult::kUnknown)
+      all_conclusive = false;
+    if (cluster.satisfiable != smt::CheckResult::kSat) clusters_sat = false;
+  }
+  bool constants_sat = true;
+  for (const std::size_t r : plan.constant_rules) {
+    const auto& f = set.rules[r].formula;
+    if (f == nullptr || f->kind() == smt::FormulaKind::kFalse)
+      constants_sat = false;
+  }
+
+  {
+    std::vector<smt::Formula> fs;
+    fs.reserve(set.size());
+    for (const auto& r : set.rules)
+      if (r.formula != nullptr) fs.push_back(r.formula);
+    plan.satisfiable = check_conjunction(probe, std::move(fs), ctx);
+  }
+  if (plan.satisfiable == smt::CheckResult::kUnknown) all_conclusive = false;
+
+  if (config.verify_partition && all_conclusive) {
+    // Variable-disjointness makes this an equivalence, not an implication:
+    // the full set must be satisfiable exactly when every cluster (and every
+    // constant rule) is. A mismatch would mean the dependency graph missed a
+    // coupling — the plan is then marked unsound and never engaged.
+    const bool expected_sat = clusters_sat && constants_sat;
+    plan.partition_verified =
+        (plan.satisfiable == smt::CheckResult::kSat) == expected_sat;
+  }
+
+  // --- digit-mask tables ---------------------------------------------------
+  if (config.build_tables && plan.satisfiable == smt::CheckResult::kSat) {
+    plan.tables.resize(static_cast<std::size_t>(plan.num_fields));
+    // One solver per cluster, rules asserted once; incremental mode keeps
+    // the per-check cost at "fold the assumption", which is what makes the
+    // (prefix × digit) enumeration affordable at compile time.
+    smt::SolverConfig sc;
+    sc.max_nodes = config.check_max_nodes;
+    sc.incremental = true;
+    std::vector<std::unique_ptr<smt::Solver>> cluster_solvers;
+    cluster_solvers.reserve(plan.clusters.size() + 1);
+    for (const auto& cluster : plan.clusters) {
+      auto s = std::make_unique<smt::Solver>(sc);
+      rules::declare_fields(*s, layout);
+      for (const std::size_t r : cluster.rules) s->add(set.rules[r].formula);
+      cluster_solvers.push_back(std::move(s));
+    }
+    // Shared rule-free solver for fields no rule references: their tables
+    // encode pure domain structure.
+    auto domain_solver = std::make_unique<smt::Solver>(sc);
+    rules::declare_fields(*domain_solver, layout);
+
+    for (int f = 0; f < plan.num_fields; ++f) {
+      const int c = plan.field_cluster[static_cast<std::size_t>(f)];
+      smt::Solver& solver =
+          c >= 0 ? *cluster_solvers[static_cast<std::size_t>(c)]
+                 : *domain_solver;
+      plan.tables[static_cast<std::size_t>(f)] = build_table(
+          solver, smt::VarId{f},
+          layout.fields[static_cast<std::size_t>(f)].max_value, ctx);
+    }
+  }
+
+  plan.solver_checks = ctx.checks;
+  return plan;
+}
+
+// --- serialization -----------------------------------------------------------
+
+namespace {
+
+constexpr int kSchemaVersion = 1;
+
+std::string fingerprint_to_hex(std::uint64_t fp) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%016" PRIx64, fp);
+  return buf;
+}
+
+std::uint64_t fingerprint_from_hex(const std::string& s) {
+  if (s.empty() || s.size() > 16)
+    throw util::RuntimeError("plan: bad fingerprint '" + s + "'");
+  char* end = nullptr;
+  const std::uint64_t fp = std::strtoull(s.c_str(), &end, 16);
+  if (end != s.c_str() + s.size())
+    throw util::RuntimeError("plan: bad fingerprint '" + s + "'");
+  return fp;
+}
+
+template <typename T>
+void write_int_array(obs::JsonWriter& w, std::string_view key,
+                     const std::vector<T>& xs) {
+  w.key(key).begin_array();
+  for (const T x : xs) w.value(static_cast<std::int64_t>(x));
+  w.end_array();
+}
+
+std::vector<std::int64_t> read_int_array(const obs::JsonValue& v) {
+  std::vector<std::int64_t> out;
+  out.reserve(v.as_array().size());
+  for (const auto& x : v.as_array()) out.push_back(x.as_int());
+  return out;
+}
+
+std::int64_t checked_int(std::int64_t v, std::int64_t lo, std::int64_t hi,
+                         const char* what) {
+  if (v < lo || v > hi)
+    throw util::RuntimeError(std::string("plan: ") + what + " out of range: " +
+                             std::to_string(v));
+  return v;
+}
+
+}  // namespace
+
+std::string to_json(const DecodePlan& plan) {
+  obs::JsonWriter w;
+  w.begin_object();
+  w.key("schema_version").value(kSchemaVersion);
+  w.key("fingerprint").value(fingerprint_to_hex(plan.fingerprint));
+  w.key("num_fields").value(plan.num_fields);
+  w.key("num_rules").value(static_cast<std::int64_t>(plan.num_rules));
+  w.key("satisfiable").value(check_result_name(plan.satisfiable));
+  w.key("partition_verified").value(plan.partition_verified);
+  w.key("solver_checks").value(plan.solver_checks);
+  write_int_array(w, "field_cluster", plan.field_cluster);
+  write_int_array(w, "constant_rules", plan.constant_rules);
+  w.key("clusters").begin_array();
+  for (const auto& c : plan.clusters) {
+    w.begin_object();
+    write_int_array(w, "rules", c.rules);
+    write_int_array(w, "fields", c.fields);
+    w.key("satisfiable").value(check_result_name(c.satisfiable));
+    w.end_object();
+  }
+  w.end_array();
+  w.key("tables").begin_array();
+  for (std::size_t f = 0; f < plan.tables.size(); ++f) {
+    const DigitTable& t = plan.tables[f];
+    w.begin_object();
+    w.key("field").value(static_cast<std::int64_t>(f));
+    w.key("max_digits").value(t.max_digits);
+    write_int_array(w, "always", t.always);
+    write_int_array(w, "never", t.never);
+    write_int_array(w, "verified", t.verified);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+DecodePlan from_json(std::string_view text) {
+  const obs::JsonValue doc = obs::parse_json(text);
+  const std::int64_t version = doc.get("schema_version").as_int();
+  if (version != kSchemaVersion)
+    throw util::RuntimeError("plan: unsupported schema_version " +
+                             std::to_string(version));
+
+  DecodePlan plan;
+  plan.fingerprint = fingerprint_from_hex(doc.get("fingerprint").as_string());
+  plan.num_fields = static_cast<int>(
+      checked_int(doc.get("num_fields").as_int(), 0, 1 << 20, "num_fields"));
+  plan.num_rules = static_cast<std::size_t>(checked_int(
+      doc.get("num_rules").as_int(), 0, 1 << 28, "num_rules"));
+  plan.satisfiable =
+      check_result_from_name(doc.get("satisfiable").as_string());
+  plan.partition_verified = doc.get("partition_verified").as_bool();
+  plan.solver_checks = doc.get("solver_checks").as_int();
+
+  for (const auto& c : doc.get("clusters").as_array()) {
+    Cluster cluster;
+    for (const std::int64_t r : read_int_array(c.get("rules")))
+      cluster.rules.push_back(static_cast<std::size_t>(checked_int(
+          r, 0, static_cast<std::int64_t>(plan.num_rules) - 1, "cluster rule")));
+    for (const std::int64_t f : read_int_array(c.get("fields")))
+      cluster.fields.push_back(static_cast<int>(
+          checked_int(f, 0, plan.num_fields - 1, "cluster field")));
+    cluster.satisfiable =
+        check_result_from_name(c.get("satisfiable").as_string());
+    if (cluster.rules.empty() || cluster.fields.empty())
+      throw util::RuntimeError("plan: empty cluster");
+    plan.clusters.push_back(std::move(cluster));
+  }
+
+  const auto field_cluster = read_int_array(doc.get("field_cluster"));
+  if (static_cast<int>(field_cluster.size()) != plan.num_fields)
+    throw util::RuntimeError("plan: field_cluster size mismatch");
+  for (const std::int64_t c : field_cluster)
+    plan.field_cluster.push_back(static_cast<int>(checked_int(
+        c, -1, static_cast<std::int64_t>(plan.clusters.size()) - 1,
+        "field_cluster entry")));
+
+  for (const std::int64_t r : read_int_array(doc.get("constant_rules")))
+    plan.constant_rules.push_back(static_cast<std::size_t>(checked_int(
+        r, 0, static_cast<std::int64_t>(plan.num_rules) - 1, "constant rule")));
+
+  const auto& tables = doc.get("tables").as_array();
+  if (!tables.empty() && static_cast<int>(tables.size()) != plan.num_fields)
+    throw util::RuntimeError("plan: tables size mismatch");
+  for (std::size_t f = 0; f < tables.size(); ++f) {
+    const auto& t = tables[f];
+    if (t.get("field").as_int() != static_cast<std::int64_t>(f))
+      throw util::RuntimeError("plan: tables out of field order");
+    DigitTable table;
+    table.max_digits = static_cast<int>(
+        checked_int(t.get("max_digits").as_int(), 0, 18, "max_digits"));
+    const std::size_t rows = static_cast<std::size_t>(table.max_digits) + 1;
+    for (const std::int64_t x : read_int_array(t.get("always")))
+      table.always.push_back(static_cast<std::uint16_t>(
+          checked_int(x, 0, 0x7ff, "table 'always' row")));
+    for (const std::int64_t x : read_int_array(t.get("never")))
+      table.never.push_back(static_cast<std::uint16_t>(
+          checked_int(x, 0, 0x7ff, "table 'never' row")));
+    for (const std::int64_t x : read_int_array(t.get("verified")))
+      table.verified.push_back(
+          static_cast<std::uint8_t>(checked_int(x, 0, 1, "table 'verified' row")));
+    if (table.always.size() != rows || table.never.size() != rows ||
+        table.verified.size() != rows)
+      throw util::RuntimeError("plan: table row count mismatch");
+    // A row may never claim a digit both universally admissible and
+    // universally inadmissible.
+    for (std::size_t k = 0; k < rows; ++k)
+      if ((table.always[k] & table.never[k]) != 0)
+        throw util::RuntimeError("plan: table row claims always AND never");
+    plan.tables.push_back(std::move(table));
+  }
+  return plan;
+}
+
+std::string to_text(const DecodePlan& plan, const rules::RuleSet& set,
+                    const telemetry::RowLayout& layout) {
+  std::string out;
+  out += "decode plan " + fingerprint_to_hex(plan.fingerprint) + ": " +
+         std::to_string(plan.num_rules) + " rules, " +
+         std::to_string(plan.num_fields) + " fields, " +
+         std::to_string(plan.clusters.size()) + " clusters; full set " +
+         check_result_name(plan.satisfiable) + ", partition " +
+         (plan.partition_verified ? "verified" : "UNVERIFIED") + ", " +
+         std::to_string(plan.solver_checks) + " compile checks\n";
+  const auto field_name = [&](int f) -> std::string {
+    if (f >= 0 && f < layout.num_fields())
+      return layout.fields[static_cast<std::size_t>(f)].name;
+    return "#" + std::to_string(f);
+  };
+  for (std::size_t c = 0; c < plan.clusters.size(); ++c) {
+    const Cluster& cluster = plan.clusters[c];
+    out += "  cluster " + std::to_string(c) + " [" +
+           check_result_name(cluster.satisfiable) + "]: " +
+           std::to_string(cluster.rules.size()) + " rules over {";
+    for (std::size_t i = 0; i < cluster.fields.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += field_name(cluster.fields[i]);
+    }
+    out += "}\n";
+    for (const std::size_t r : cluster.rules) {
+      if (r < set.size()) {
+        out += "    rule " + std::to_string(r) + ": " +
+               set.rules[r].description + "\n";
+      }
+    }
+  }
+  if (!plan.constant_rules.empty()) {
+    out += "  constant rules (no field references):";
+    for (const std::size_t r : plan.constant_rules)
+      out += " " + std::to_string(r);
+    out += "\n";
+  }
+  for (int f = 0; f < plan.num_fields; ++f) {
+    const int c = plan.field_cluster[static_cast<std::size_t>(f)];
+    out += "  field " + field_name(f) + ": ";
+    out += c >= 0 ? "cluster " + std::to_string(c)
+                  : std::string("unclustered (no rule references it)");
+    if (const DigitTable* t = plan.table_for(f)) {
+      int rows = 0;
+      for (const auto v : t->verified) rows += v != 0 ? 1 : 0;
+      out += ", table " + std::to_string(rows) + "/" +
+             std::to_string(t->verified.size()) + " rows verified";
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+DecodePlan merge_clusters(DecodePlan plan, std::size_t a, std::size_t b) {
+  LEJIT_REQUIRE(a != b && a < plan.clusters.size() && b < plan.clusters.size(),
+                "merge_clusters: bad cluster indices");
+  if (a > b) std::swap(a, b);
+  Cluster& dst = plan.clusters[a];
+  Cluster& src = plan.clusters[b];
+  dst.rules.insert(dst.rules.end(), src.rules.begin(), src.rules.end());
+  std::sort(dst.rules.begin(), dst.rules.end());
+  dst.fields.insert(dst.fields.end(), src.fields.begin(), src.fields.end());
+  std::sort(dst.fields.begin(), dst.fields.end());
+  // Conjunction of variable-disjoint conjunctions: sat iff both sat.
+  if (dst.satisfiable == smt::CheckResult::kUnsat ||
+      src.satisfiable == smt::CheckResult::kUnsat) {
+    dst.satisfiable = smt::CheckResult::kUnsat;
+  } else if (dst.satisfiable == smt::CheckResult::kUnknown ||
+             src.satisfiable == smt::CheckResult::kUnknown) {
+    dst.satisfiable = smt::CheckResult::kUnknown;
+  }
+  plan.clusters.erase(plan.clusters.begin() + static_cast<std::ptrdiff_t>(b));
+  for (auto& c : plan.field_cluster) {
+    if (c == static_cast<int>(b)) c = static_cast<int>(a);
+    else if (c > static_cast<int>(b)) --c;
+  }
+  return plan;
+}
+
+}  // namespace lejit::plan

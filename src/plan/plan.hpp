@@ -1,0 +1,178 @@
+// lejit::plan — the static decode-plan compiler (DESIGN.md §11).
+//
+// PR 3/PR 4 made the decoder's solver queries incremental and cache-warmed,
+// but every query still drags the entire rule set through propagation even
+// when the field being decoded is logically independent of most rules. This
+// module runs once per rule set, before any decode, and compiles everything
+// about the hot path that does not depend on row values:
+//
+//   1. Rule–field dependency graph + partitioning. Two rules are connected
+//      iff they share a referenced field; connected components ("clusters")
+//      are variable-disjoint, so the conjunction of all rules is satisfiable
+//      iff every cluster is satisfiable on its own. The decoder exploits
+//      this by asserting only the cluster touching the field being decoded
+//      (query slicing). Soundness is not assumed: compile() *checks* the
+//      plan-vs-full-set equivalence under an smt::Budget and records the
+//      outcome in `partition_verified` — the decoder falls back to the
+//      unsliced path whenever the check was inconclusive or failed.
+//
+//   2. Digit-mask tables. Abstract interpretation over the char-level
+//      transition system (core/transition.hpp): for each field, the sets of
+//      digit prefixes that remain completable under the field's cluster
+//      rules are enumerated breadth-first, position by position, and each
+//      (position, digit) entry is solver-verified — a sat witness proves a
+//      digit universally admissible, exhaustive refutation proves it
+//      universally inadmissible. Matching decode steps skip the solver
+//      entirely; entries whose verification exhausted the budget are marked
+//      unverified and fall back to a live query (kUnknown → conservative).
+//
+//   3. A serialized artifact (to_json/from_json) bound to the rule set +
+//      layout by fingerprint, so a plan compiled offline (`lejit_cli plan`)
+//      can be loaded by DecoderConfig::plan — and a stale plan (rules or
+//      schema changed since compilation) is rejected instead of silently
+//      producing wrong masks.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "rules/rule.hpp"
+#include "smt/solver.hpp"
+#include "telemetry/text.hpp"
+
+namespace lejit::plan {
+
+// Bit index of the field-terminator entry in a DigitTable row (bits 0–9 are
+// the digits themselves).
+inline constexpr int kTerminatorBit = 10;
+
+struct Config {
+  // Search-node budget per solver check during compilation; exhaustion marks
+  // the affected table positions unverified (never wrong masks — just fewer
+  // precompiled answers).
+  std::int64_t check_max_nodes = 200'000;
+  // Wall-clock ceiling over the whole compilation (0 = none).
+  std::int64_t deadline_ms = 0;
+  // Cap on the completable-prefix frontier per field; beyond it the deeper
+  // table positions are left unverified.
+  int max_prefixes_per_field = 4096;
+  bool build_tables = true;
+  // Run the plan-vs-full-set equivalence check (sets partition_verified).
+  bool verify_partition = true;
+};
+
+// One connected component of the rule–field dependency graph.
+struct Cluster {
+  std::vector<std::size_t> rules;  // rule indices, ascending
+  std::vector<int> fields;         // field indices, ascending
+  // Satisfiability of this cluster's rules alone over the field domains.
+  smt::CheckResult satisfiable = smt::CheckResult::kUnknown;
+};
+
+// Solver-verified admissible-digit table for one field. Row k describes the
+// set P_k of length-k digit prefixes that are completable under the field's
+// cluster rules with no pins asserted (P_0 = {empty prefix}):
+//   always[k] bit d  — appending d keeps EVERY p ∈ P_k completable (among
+//                      syntactically legal extensions). Sound to allow
+//                      without a solver only while the cluster has no
+//                      pins/bans this attempt: pins shrink the feasible set.
+//   never[k] bit d   — appending d keeps NO p ∈ P_k completable. Sound to
+//                      mask out under ANY pins/bans (monotone: constraints
+//                      only remove completions).
+//   bit kTerminatorBit — same two readings for terminating a length-k
+//                      prefix on its exact value (rows k >= 1 only).
+// verified[k] is false when any check at row k was inconclusive or the
+// prefix frontier was capped — the row then makes no claim.
+struct DigitTable {
+  int max_digits = 0;
+  std::vector<std::uint16_t> always;   // size max_digits + 1
+  std::vector<std::uint16_t> never;    // size max_digits + 1
+  std::vector<std::uint8_t> verified;  // size max_digits + 1
+
+  bool row_verified(int k) const {
+    return k >= 0 && k < static_cast<int>(verified.size()) &&
+           verified[static_cast<std::size_t>(k)] != 0;
+  }
+  bool always_bit(int k, int bit) const {
+    return (always[static_cast<std::size_t>(k)] >> bit & 1u) != 0;
+  }
+  bool never_bit(int k, int bit) const {
+    return (never[static_cast<std::size_t>(k)] >> bit & 1u) != 0;
+  }
+};
+
+struct DecodePlan {
+  std::uint64_t fingerprint = 0;  // rule_set_fingerprint at compile time
+  int num_fields = 0;
+  std::size_t num_rules = 0;
+
+  std::vector<Cluster> clusters;
+  // Rules referencing no field at all (formulas folded to constants).
+  std::vector<std::size_t> constant_rules;
+  // Per layout field: index into `clusters`, or -1 when no rule touches it.
+  std::vector<int> field_cluster;
+  // Per layout field, index-aligned; empty when tables were not built.
+  std::vector<DigitTable> tables;
+
+  // Satisfiability of the full rule set over the domains.
+  smt::CheckResult satisfiable = smt::CheckResult::kUnknown;
+  // True iff the equivalence check proved full-set satisfiability equal to
+  // the AND of per-cluster satisfiability (and every check was conclusive).
+  bool partition_verified = false;
+  std::int64_t solver_checks = 0;  // checks spent compiling
+
+  // Whether the decoder may engage sliced queries and table lookups. The
+  // kSat requirement is part of soundness: slicing answers queries about one
+  // cluster assuming the others can be satisfied around it.
+  bool active() const {
+    return partition_verified && satisfiable == smt::CheckResult::kSat;
+  }
+  const DigitTable* table_for(int field) const {
+    if (field < 0 || static_cast<std::size_t>(field) >= tables.size())
+      return nullptr;
+    return &tables[static_cast<std::size_t>(field)];
+  }
+};
+
+// Order-sensitive fingerprint of (rule set, layout): covers every rule's
+// textual form plus every field's name/domain/prefix and the row suffix.
+// Plans are valid only against the exact pair they were compiled for.
+std::uint64_t rule_set_fingerprint(const rules::RuleSet& set,
+                                   const telemetry::RowLayout& layout);
+
+// The solver-free part of compilation: dependency graph + connected
+// components only (satisfiable/partition_verified left kUnknown/false, no
+// tables). Used by lint for partition diagnostics without paying for
+// verification. Rules with null or constant formulas land in
+// constant_rules.
+DecodePlan partition(const rules::RuleSet& set,
+                     const telemetry::RowLayout& layout);
+
+// Full compilation: partition + per-cluster and full-set satisfiability +
+// equivalence verification + digit-mask tables. Never throws on bad rule
+// sets (an UNSAT set compiles to an inactive plan).
+DecodePlan compile(const rules::RuleSet& set,
+                   const telemetry::RowLayout& layout,
+                   const Config& config = {});
+
+// Serialized artifact. The fingerprint travels as a hex string — it does
+// not survive a round-trip through a JSON double. from_json throws
+// util::RuntimeError on malformed or structurally inconsistent input.
+std::string to_json(const DecodePlan& plan);
+DecodePlan from_json(std::string_view text);
+
+// Human-readable summary (cluster membership, table coverage), with field
+// and rule names resolved against the inputs the plan was compiled from.
+std::string to_text(const DecodePlan& plan, const rules::RuleSet& set,
+                    const telemetry::RowLayout& layout);
+
+// Merge clusters a and b of `plan` into one (test/validation helper for the
+// partition-soundness property: a coarser partition must never change
+// decode verdicts). Tables are kept — a table compiled against a sub-cluster
+// stays sound under the merged cluster's rules. Table-building budgets are
+// not re-spent. Indices must be distinct and in range.
+DecodePlan merge_clusters(DecodePlan plan, std::size_t a, std::size_t b);
+
+}  // namespace lejit::plan

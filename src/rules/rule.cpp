@@ -1,5 +1,6 @@
 #include "rules/rule.hpp"
 
+#include <algorithm>
 #include <set>
 #include <sstream>
 
@@ -21,6 +22,36 @@ std::string RuleSet::to_text() const {
     out += r.description;
     out += '\n';
   }
+  return out;
+}
+
+namespace {
+
+void collect_referenced(const smt::Formula& f, std::vector<int>& out) {
+  switch (f->kind()) {
+    case smt::FormulaKind::kTrue:
+    case smt::FormulaKind::kFalse:
+      return;
+    case smt::FormulaKind::kAtom:
+      for (const auto& [var, coeff] : f->atom_expr().terms()) {
+        (void)coeff;
+        out.push_back(var.index);
+      }
+      return;
+    case smt::FormulaKind::kAnd:
+    case smt::FormulaKind::kOr:
+      for (const auto& c : f->children()) collect_referenced(c, out);
+      return;
+  }
+}
+
+}  // namespace
+
+std::vector<int> referenced_fields(const smt::Formula& f) {
+  std::vector<int> out;
+  if (f != nullptr) collect_referenced(f, out);
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
   return out;
 }
 

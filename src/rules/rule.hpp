@@ -57,6 +57,12 @@ struct RuleSet {
 // union of the inputs, deduplicated by description (first occurrence wins).
 RuleSet merge(std::initializer_list<const RuleSet*> sets);
 
+// Distinct variable indices `f` references, sorted ascending. Constant
+// formulas (kTrue/kFalse, incl. rules folded to constants at construction)
+// reference nothing. Shared by lint's structural checks and plan's
+// dependency-graph construction, so both see the same notion of "touches".
+std::vector<int> referenced_fields(const smt::Formula& f);
+
 // Declare one solver variable per layout field, in canonical order, with the
 // field's [0, max_value] domain. Must be called on a fresh solver before any
 // rule formula is asserted.

@@ -77,6 +77,21 @@ struct SolverStats {
   std::int64_t injected_unknowns = 0;     // … fault injection forced kUnknown
   std::int64_t base_rebuilds = 0;  // incremental: base rebuilt from scratch
   std::int64_t base_folds = 0;     // incremental: assertion suffix folded in
+
+  // Aggregate stats across solvers (the plan-sliced decoder runs one solver
+  // per rule cluster and reports their sum).
+  SolverStats& operator+=(const SolverStats& o) {
+    checks += o.checks;
+    nodes += o.nodes;
+    propagations += o.propagations;
+    unknowns += o.unknowns;
+    node_exhaustions += o.node_exhaustions;
+    deadline_exhaustions += o.deadline_exhaustions;
+    injected_unknowns += o.injected_unknowns;
+    base_rebuilds += o.base_rebuilds;
+    base_folds += o.base_folds;
+    return *this;
+  }
 };
 
 class Solver {

@@ -38,6 +38,13 @@ if [ "$?" != 1 ] || ! grep -q E_UNSAT lint_bad.txt; then
   exit 1
 fi
 
+# Static decode-plan compiler: a mined rule set must compile to an active
+# plan (exit 0) whose JSON artifact round-trips through from_json — exercised
+# by loading it back into a decode below.
+run plan-compile "$CLI" plan --rules rules.txt --out plan.json 2>/dev/null >/dev/null
+run plan-artifact test -s plan.json
+run plan-content grep -q fingerprint plan.json
+
 run train "$CLI" train --corpus corpus.txt --steps 25 --dmodel 32 --heads 2 --dff 48 --out model.bin 2>/dev/null
 
 STAGE=synth
@@ -54,4 +61,32 @@ run metrics-content grep -q smt.checks metrics.json
 run trace-output test -s trace.json
 run trace-content grep -q traceEvents trace.json
 run check "$CLI" check --rules rules.txt --rows rows.txt
+
+# The compiled plan must load into a decode, drive it (plan counters in the
+# metrics export), and — the paper's invariant — change nothing about the
+# decoded rows: same seed, same text, so `check` still passes and the rows
+# match the plan-free synth byte for byte.
+STAGE=synth-planned
+echo "[cli_smoke] stage: $STAGE" >&2
+if ! "$CLI" synth --model model.bin --rules rules.txt --count 6 --seed 9 \
+      --plan plan.json --metrics-out metrics_plan.json 2>/dev/null > rows_plan.txt; then
+  echo "[cli_smoke] FAILED at stage: $STAGE" >&2
+  exit 1
+fi
+run planned-bit-identical cmp rows.txt rows_plan.txt
+run planned-metrics grep -q "decode.plan.table_hits" metrics_plan.json
+run planned-check "$CLI" check --rules rules.txt --rows rows_plan.txt
+
+# A tampered artifact (fingerprint flipped) must be rejected with exit 1
+# before any decode happens.
+STAGE=plan-tampered
+echo "[cli_smoke] stage: $STAGE" >&2
+sed 's/"fingerprint":"f/"fingerprint":"#/; s/"fingerprint":"[0-9a-e]/"fingerprint":"f/; s/"fingerprint":"#/"fingerprint":"0/' \
+    plan.json > plan_bad.json
+"$CLI" synth --model model.bin --rules rules.txt --count 1 --seed 9 \
+    --plan plan_bad.json 2>plan_bad_err.txt >/dev/null
+if [ "$?" != 1 ] || ! grep -q "stale decode plan" plan_bad_err.txt; then
+  echo "[cli_smoke] FAILED at stage: $STAGE" >&2
+  exit 1
+fi
 echo "[cli_smoke] all stages passed" >&2

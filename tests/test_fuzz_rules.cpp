@@ -123,12 +123,43 @@ TEST_P(RandomRuleSets, LeJitCompliesOrReportsInfeasibility) {
     core::GuidedDecoder dec(*env().model, env().tokenizer, env().layout,
                             parsed.rules,
                             core::DecoderConfig{.mode = core::GuidanceMode::kFull});
-    util::Rng decode_rng(rng.next_u64());
+    const std::uint64_t decode_seed = rng.next_u64();
+    util::Rng decode_rng(decode_seed);
     const auto r = dec.generate(decode_rng);
     ASSERT_TRUE(r.ok) << "rules:\n" << rule_text.str() << "row: " << r.text;
     EXPECT_TRUE(rules::violated_rules(parsed.rules, *r.window).empty())
         << "rules:\n" << rule_text.str() << "row: " << r.text;
     ++generated;
+
+    // A compiled decode plan must not change a single character, whatever
+    // rule shape the grammar produced — and neither may an artificially
+    // coarsened partition (merged clusters assert more rules per sliced
+    // query, never different verdicts).
+    core::DecoderConfig planned_cfg{.mode = core::GuidanceMode::kFull};
+    planned_cfg.compile_plan = true;
+    core::GuidedDecoder planned(*env().model, env().tokenizer, env().layout,
+                                parsed.rules, std::move(planned_cfg));
+    util::Rng planned_rng(decode_seed);
+    const auto rp = planned.generate(planned_rng);
+    EXPECT_EQ(rp.text, r.text) << "plan diverged on:\n" << rule_text.str();
+
+    if (planned.decode_plan()->clusters.size() >= 2) {
+      plan::DecodePlan merged = *planned.decode_plan();
+      const auto a = static_cast<std::size_t>(rng.uniform_int(
+          0, static_cast<int>(merged.clusters.size()) - 1));
+      auto b = static_cast<std::size_t>(rng.uniform_int(
+          0, static_cast<int>(merged.clusters.size()) - 1));
+      if (a == b) b = (b + 1) % merged.clusters.size();
+      merged = plan::merge_clusters(std::move(merged), a, b);
+      core::DecoderConfig merged_cfg{.mode = core::GuidanceMode::kFull};
+      merged_cfg.plan = std::move(merged);
+      core::GuidedDecoder coarse(*env().model, env().tokenizer, env().layout,
+                                 parsed.rules, std::move(merged_cfg));
+      util::Rng coarse_rng(decode_seed);
+      const auto rm = coarse.generate(coarse_rng);
+      EXPECT_EQ(rm.text, r.text)
+          << "merged clusters diverged on:\n" << rule_text.str();
+    }
   }
   // Both outcomes should occur across the suite; per-seed we only require
   // progress (at least one decided trial).

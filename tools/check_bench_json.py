@@ -27,12 +27,18 @@ REQUIRED_HISTOGRAM_KEYS = ("count", "sum", "mean", "max", "p50", "p90", "p99")
 # acceptance criteria name explicitly.
 REQUIRED_MODE_KEYS = ("name", "samples", "ms_per_sample", "wall_clock_s",
                       "solver_check_latency_us", "phase_seconds", "split",
-                      "solver_propagations", "cache")
+                      "solver_propagations", "cache", "plan")
 # Cache on/off comparison block the feasibility-cache PR's acceptance
 # criteria read (--compare-cache).
 REQUIRED_CACHE_ABLATION_KEYS = ("bit_identical", "propagations_on",
                                 "propagations_off", "ms_per_sample_on",
                                 "ms_per_sample_off")
+# Plan on/off comparison block the decode-plan PR's acceptance criteria read
+# (--compare-plan): decode.plan.* counters plus the propagation pair.
+REQUIRED_PLAN_ABLATION_KEYS = ("bit_identical", "propagations_on",
+                               "propagations_off", "ms_per_sample_on",
+                               "ms_per_sample_off", "table_hits",
+                               "sliced_queries", "slice_rule_fraction")
 
 
 def check_report(doc, errors, where):
@@ -116,6 +122,12 @@ def check_report(doc, errors, where):
                     for key in ("hits", "misses"):
                         if key not in cache:
                             err(f"modes[{i}].cache is missing {key!r}")
+                plan = mode.get("plan")
+                if isinstance(plan, dict):
+                    for key in ("table_hits", "sliced_queries",
+                                "sliced_rules"):
+                        if key not in plan:
+                            err(f"modes[{i}].plan is missing {key!r}")
         ablation = doc.get("cache_ablation")
         if not isinstance(ablation, dict):
             err("fig3_runtime report has no 'cache_ablation' object")
@@ -123,6 +135,13 @@ def check_report(doc, errors, where):
             for key in REQUIRED_CACHE_ABLATION_KEYS:
                 if key not in ablation:
                     err(f"cache_ablation is missing {key!r}")
+        plan_ablation = doc.get("plan_ablation")
+        if not isinstance(plan_ablation, dict):
+            err("fig3_runtime report has no 'plan_ablation' object")
+        else:
+            for key in REQUIRED_PLAN_ABLATION_KEYS:
+                if key not in plan_ablation:
+                    err(f"plan_ablation is missing {key!r}")
 
 
 def check_file(path):
@@ -166,6 +185,42 @@ def check_cache_ablation(path, slack=1.10):
     return errors
 
 
+def check_plan_ablation(path):
+    """Gate on the fig3 plan ablation: decodes must be bit-identical with the
+    plan on vs off, the plan must actually engage (table hits and sliced
+    queries observed), and it must reduce total solver propagations over the
+    workload. Returns a list of error strings (empty = pass)."""
+    errors = check_file(path)
+    if errors:
+        return errors
+    doc = json.loads(pathlib.Path(path).read_text())
+    ablation = doc.get("plan_ablation") or {}
+    errors = []
+    if ablation.get("bit_identical") is not True:
+        errors.append(f"{path}: plan on/off decodes are not bit-identical")
+    if int(ablation.get("table_hits", 0)) <= 0:
+        errors.append(f"{path}: plan never answered a verdict from its digit "
+                      "tables (decode.plan.table_hits == 0)")
+    if int(ablation.get("sliced_queries", 0)) <= 0:
+        errors.append(f"{path}: plan never routed a query to a cluster slice "
+                      "(decode.plan.sliced_queries == 0)")
+    p_on = int(ablation.get("propagations_on", 0))
+    p_off = int(ablation.get("propagations_off", 0))
+    if p_off <= 0:
+        errors.append(f"{path}: plan-off propagation count missing or zero")
+    elif p_on >= p_off:
+        errors.append(f"{path}: plan did not reduce solver propagations "
+                      f"({p_on} with plan vs {p_off} without)")
+    if not errors:
+        frac = float(ablation.get("slice_rule_fraction", 0.0))
+        print(f"{path}: plan ablation ok — bit-identical, "
+              f"{p_off - p_on} fewer propagations, "
+              f"{ablation['table_hits']} table hits, "
+              f"{ablation['sliced_queries']} sliced queries "
+              f"(mean {frac:.2f} of the rule set per slice)")
+    return errors
+
+
 def self_test():
     good = {
         "schema_version": 1,
@@ -182,6 +237,7 @@ def self_test():
             "lm_forwards": 400,
             "solver_propagations": 120000,
             "cache": {"hits": 500, "misses": 400},
+            "plan": {"table_hits": 0, "sliced_queries": 0, "sliced_rules": 0},
             "split": {"lm_forward_frac": 0.44, "solver_check_frac": 0.56},
         }],
         "cache_ablation": {
@@ -189,6 +245,13 @@ def self_test():
             "propagations_on": 120000, "propagations_off": 480000,
             "ms_per_sample_on": 12.5, "ms_per_sample_off": 20.0,
             "cache_hits": 500, "cache_misses": 400,
+        },
+        "plan_ablation": {
+            "bit_identical": True,
+            "propagations_on": 100000, "propagations_off": 120000,
+            "ms_per_sample_on": 12.0, "ms_per_sample_off": 12.5,
+            "table_hits": 240, "sliced_queries": 900,
+            "slice_rule_fraction": 0.4, "compile_solver_checks": 6000,
         },
         "tables": [{"title": "t", "headers": ["a", "b"],
                     "rows": [["1", "2"]]}],
@@ -216,6 +279,11 @@ def self_test():
         {k: v for k, v in good.items()
          if k != "cache_ablation"},  # ablation block missing
         {**good, "cache_ablation": {"bit_identical": True}},  # incomplete
+        {k: v for k, v in good.items()
+         if k != "plan_ablation"},  # plan ablation missing
+        {**good, "plan_ablation": {"bit_identical": True}},  # incomplete
+        {**good, "modes": [{**good["modes"][0],
+                            "plan": {"table_hits": 1}}]},  # plan incomplete
     ]
     for i, bad in enumerate(bad_documents):
         errors = []
@@ -239,6 +307,11 @@ def main():
                         help="validate FILE and fail unless its cache_ablation"
                              " shows bit-identical decodes with the cached"
                              " path no more than 10%% slower than uncached")
+    parser.add_argument("--compare-plan", metavar="FILE",
+                        help="validate FILE and fail unless its plan_ablation"
+                             " shows bit-identical decodes, table hits and"
+                             " sliced queries observed, and fewer solver"
+                             " propagations with the plan on")
     args = parser.parse_args()
 
     ok = True
@@ -251,12 +324,19 @@ def main():
             print(e, file=sys.stderr)
         ok = not errors and ok
 
+    if args.compare_plan:
+        errors = check_plan_ablation(args.compare_plan)
+        for e in errors:
+            print(e, file=sys.stderr)
+        ok = not errors and ok
+
     files = [pathlib.Path(f) for f in args.files]
     if args.scan:
         files.extend(sorted(pathlib.Path(args.scan).rglob("BENCH_*.json")))
-    if not files and not args.self_test and not args.compare_cache:
+    if not files and not args.self_test and not args.compare_cache \
+            and not args.compare_plan:
         parser.error("nothing to do: pass files, --scan, --compare-cache, "
-                     "or --self-test")
+                     "--compare-plan, or --self-test")
 
     for path in files:
         errors = check_file(path)

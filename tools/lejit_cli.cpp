@@ -7,6 +7,7 @@
 //   lejit_cli impute   --model model.bin --rules rules.txt --prompts coarse.txt
 //   lejit_cli check    --rules rules.txt --rows rows.txt
 //   lejit_cli lint     --rules rules.txt [--json]
+//   lejit_cli plan     --rules rules.txt [--json] [--out plan.json]
 //
 // Rows use the telemetry text format (telemetry/text.hpp) under the default
 // schema limits; rule files use the rules/parser.hpp syntax, so mined rule
@@ -25,6 +26,7 @@
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "plan/plan.hpp"
 #include "rules/checker.hpp"
 #include "rules/miner.hpp"
 #include "rules/parser.hpp"
@@ -226,6 +228,22 @@ core::GuidedDecoder make_decoder(const Args& args,
   // Fail fast on contradictory/degenerate rule sets before any decode; the
   // analyzer's static hulls also pre-warm the feasibility cache.
   config.lint_on_load = args.has("lint");
+  // Static decode plan (DESIGN.md §11): load a compiled artifact, or compile
+  // one in-process. The fingerprint is checked here (not just in the decoder
+  // constructor) so a stale artifact gets the documented exit code 1 rather
+  // than the generic error exit.
+  if (args.has("plan")) {
+    plan::DecodePlan loaded = plan::from_json(read_file(args.get("plan", "")));
+    if (loaded.fingerprint != plan::rule_set_fingerprint(rules, layout)) {
+      std::cerr << "error: stale decode plan " << args.get("plan", "")
+                << ": fingerprint does not match this rule set and layout "
+                   "(recompile with `lejit_cli plan`)\n";
+      std::exit(1);
+    }
+    config.plan = std::move(loaded);
+  } else if (args.has("plan-compile")) {
+    config.compile_plan = true;
+  }
   return core::GuidedDecoder(model, tokenizer, layout, std::move(rules),
                              config);
 }
@@ -333,6 +351,44 @@ int cmd_lint(const Args& args) {
   return report.ok() ? 0 : 1;
 }
 
+// Compile a static decode plan (DESIGN.md §11) and emit it as a human
+// summary or a JSON artifact for later `--plan FILE` loading. Exit-code
+// contract mirrors lint: 0 = the plan is active (partition verified, rule
+// set satisfiable), 1 = compiled but inactive (the decoder would fall back
+// to unsliced queries — e.g. the set is unsatisfiable or verification ran
+// out of budget), 2 = usage/IO/parse failure.
+int cmd_plan(const Args& args) {
+  const telemetry::Limits limits;
+  const auto layout = args.has("coarse")
+                          ? telemetry::coarse_row_layout(limits)
+                          : telemetry::telemetry_row_layout(limits);
+  const auto set = load_rules(args.get("rules", "rules.txt"), layout);
+
+  plan::Config cfg;
+  cfg.check_max_nodes = args.get_int("max-nodes", cfg.check_max_nodes);
+  cfg.deadline_ms = args.get_int("deadline-ms", cfg.deadline_ms);
+  cfg.max_prefixes_per_field = static_cast<int>(
+      args.get_int("max-prefixes", cfg.max_prefixes_per_field));
+  if (args.has("no-tables")) cfg.build_tables = false;
+
+  const auto plan = plan::compile(set, layout, cfg);
+  const std::string out = args.get("out", "");
+  if (args.has("json") || !out.empty()) {
+    const std::string json = plan::to_json(plan);
+    if (out.empty())
+      std::cout << json << "\n";
+    else
+      write_file(out, json);
+  }
+  if (!args.has("json") || !out.empty())
+    std::cout << plan::to_text(plan, set, layout);
+  std::cerr << "plan: " << set.size() << " rules, " << plan.clusters.size()
+            << " clusters, " << (plan.active() ? "active" : "inactive") << " ("
+            << plan.solver_checks << " solver checks)"
+            << (out.empty() ? "" : "; wrote " + out) << "\n";
+  return plan.active() ? 0 : 1;
+}
+
 void usage() {
   std::cerr <<
       "usage: lejit_cli <command> [--flag value ...]\n"
@@ -347,6 +403,13 @@ void usage() {
       "           conflict subset), dead/subsumed rules, unbounded fields,\n"
       "           overflow hazards, digit-width slack. exit 0 = no errors,\n"
       "           1 = errors found, 2 = usage/IO/parse failure\n"
+      "  plan     --rules FILE [--coarse] [--json] [--out FILE]\n"
+      "           [--max-nodes N] [--deadline-ms MS] [--max-prefixes N]\n"
+      "           [--no-tables]\n"
+      "           compile a static decode plan: rule clusters for sliced\n"
+      "           solver queries + solver-verified digit-mask tables, bound\n"
+      "           to the rule set by fingerprint. exit 0 = active plan,\n"
+      "           1 = inactive (decoder would fall back), 2 = usage/IO\n"
       "resilience (synth, impute):\n"
       "  --on-unknown POLICY  inconclusive solver checks read as:\n"
       "                       infeasible|feasible|escalate (default escalate)\n"
@@ -360,6 +423,10 @@ void usage() {
       "  --lint               lint the rule set at load time and refuse to\n"
       "                       decode if it has errors (lint_on_load); clean\n"
       "                       sets seed the feasibility cache's static hulls\n"
+      "  --plan FILE          load a compiled decode plan (from `plan --json`);\n"
+      "                       a stale fingerprint exits 1. decodes stay\n"
+      "                       bit-identical with or without a plan\n"
+      "  --plan-compile       compile a decode plan in-process before decoding\n"
       "observability (any command):\n"
       "  --log-level LEVEL    stderr diagnostics: error|warn|info|debug|off\n"
       "                       (default off; LEJIT_LOG env is the fallback)\n"
@@ -428,6 +495,7 @@ int main(int argc, char** argv) {
     if (command == "impute") return cmd_impute(args);
     if (command == "check") return cmd_check(args);
     if (command == "lint") return cmd_lint(args);
+    if (command == "plan") return cmd_plan(args);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 2;
