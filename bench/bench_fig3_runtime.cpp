@@ -11,10 +11,12 @@
 // google-benchmark micro-timings for the per-method sample latency come
 // first; the binary then prints the extrapolated Fig. 3 (right) table.
 #include <benchmark/benchmark.h>
+#include <unistd.h>
 
 #include <algorithm>
 #include <functional>
 #include <iostream>
+#include <string>
 #include <string_view>
 
 #include "baselines/rejection.hpp"
@@ -23,6 +25,7 @@
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "smt/backend.hpp"
 #include "telemetry/text.hpp"
 #include "util/timer.hpp"
 
@@ -36,6 +39,25 @@ using telemetry::Window;
 // binary (including the cache on/off comparison) in seconds. Set in main()
 // before env() is first touched.
 bool g_smoke = false;
+
+// argv[0], for locating the bundled lejit_smtserve in the build tree.
+std::string g_argv0;
+
+// External SMT-LIB2 solver for the backend ablation: a real z3/cvc5 when one
+// is around (find_external_solver's usual ladder), else the bundled
+// lejit_smtserve, which bench binaries see at ../tools relative to
+// themselves. Empty string = no subprocess leg, reported as unavailable.
+std::string resolve_subprocess_solver() {
+  std::string found = smt::find_external_solver(g_argv0);
+  if (!found.empty()) return found;
+  const auto slash = g_argv0.find_last_of('/');
+  if (slash != std::string::npos) {
+    const std::string sibling =
+        g_argv0.substr(0, slash) + "/../tools/lejit_smtserve";
+    if (::access(sibling.c_str(), X_OK) == 0) return sibling;
+  }
+  return {};
+}
 
 const BenchEnv& env() {
   static const BenchEnv e = bench::make_env(
@@ -382,6 +404,56 @@ void print_fig3_right(bench::JsonReport& report) {
       ++i;
     }));
   }
+  // Backend ablation (DESIGN.md §12): the mined imputation workload once
+  // more on (a) the out-of-process SMT-LIB2 backend and (b) a deliberately
+  // broken subprocess whose every check degrades to the in-process fallback.
+  // Both must stay bit-identical to the in-process run — the backend layer
+  // may change where checks execute, never what gets decoded — and the
+  // stats blocks account for the wire overhead and the degradation ladder.
+  const std::string subprocess_solver = resolve_subprocess_solver();
+  bool backend_bit_identical = true;
+  int subprocess_row = -1;
+  int degraded_row = -1;
+  smt::BackendStats subprocess_stats, degraded_stats;
+  if (!subprocess_solver.empty()) {
+    core::DecoderConfig cfg{.mode = core::GuidanceMode::kFull};
+    cfg.backend.kind = smt::BackendKind::kSubprocess;
+    cfg.backend.solver_path = subprocess_solver;
+    cfg.backend.retry_backoff_ms = 1;
+    core::GuidedDecoder dec(env().lm(), env().tokenizer, env().layout,
+                            env().mined, cfg);
+    util::Rng rng(7);
+    std::size_t i = 0;
+    subprocess_row = static_cast<int>(rows.size());
+    rows.push_back(run_mode("LeJIT (mined, subprocess)", scaled(40),
+                            [&](const Window& w) {
+      const auto res = dec.generate(rng, telemetry::imputation_prompt(w));
+      if (i >= mined_texts.size() || res.text != mined_texts[i])
+        backend_bit_identical = false;
+      ++i;
+    }));
+    subprocess_stats = dec.backend_stats();
+  }
+  {
+    core::DecoderConfig cfg{.mode = core::GuidanceMode::kFull};
+    cfg.backend.kind = smt::BackendKind::kSubprocess;
+    cfg.backend.solver_path = "/nonexistent/lejit-bench-degraded-solver";
+    cfg.backend.retry_backoff_ms = 1;
+    cfg.backend.max_respawns = 1;
+    core::GuidedDecoder dec(env().lm(), env().tokenizer, env().layout,
+                            env().mined, cfg);
+    util::Rng rng(7);
+    std::size_t i = 0;
+    degraded_row = static_cast<int>(rows.size());
+    rows.push_back(run_mode("LeJIT (mined, degraded)", scaled(40),
+                            [&](const Window& w) {
+      const auto res = dec.generate(rng, telemetry::imputation_prompt(w));
+      if (i >= mined_texts.size() || res.text != mined_texts[i])
+        backend_bit_identical = false;
+      ++i;
+    }));
+    degraded_stats = dec.backend_stats();
+  }
   report.add_raw("modes", modes_json(rows));
 
   const ModeRun& cached = rows[3];
@@ -436,6 +508,38 @@ void print_fig3_right(bench::JsonReport& report) {
     w.end_object();
     report.add_raw("plan_ablation", w.str());
   }
+  {
+    const auto stats_block = [](lejit::obs::JsonWriter& w,
+                                const smt::BackendStats& s) {
+      w.key("checks").value(s.checks);
+      w.key("faults").value(s.faults);
+      w.key("spawn_failures").value(s.spawn_failures);
+      w.key("respawns").value(s.respawns);
+      w.key("degraded").value(s.degraded);
+    };
+    lejit::obs::JsonWriter w;
+    w.begin_object();
+    w.key("subprocess_available").value(!subprocess_solver.empty());
+    w.key("solver_path").value(subprocess_solver);
+    w.key("bit_identical").value(backend_bit_identical);
+    w.key("ms_per_sample_inprocess").value(cached.sec_per_sample * 1e3);
+    w.key("ms_per_sample_subprocess")
+        .value(subprocess_row >= 0
+                   ? rows[static_cast<std::size_t>(subprocess_row)]
+                             .sec_per_sample * 1e3
+                   : 0.0);
+    w.key("ms_per_sample_degraded")
+        .value(rows[static_cast<std::size_t>(degraded_row)].sec_per_sample *
+               1e3);
+    w.key("subprocess").begin_object();
+    stats_block(w, subprocess_stats);
+    w.end_object();
+    w.key("degraded_backend").begin_object();
+    stats_block(w, degraded_stats);
+    w.end_object();
+    w.end_object();
+    report.add_raw("backend_ablation", w.str());
+  }
 
   bench::Table table(
       "Fig. 3 (right) — runtime for the 30K-sample imputation workload "
@@ -489,11 +593,25 @@ void print_fig3_right(bench::JsonReport& report) {
             << ", sliced queries "
             << planned.plan_sliced_queries + synth_plan.plan_sliced_queries
             << "\n";
+
+  std::cout << "shape: backend in-process/subprocess/degraded bit-identical -> "
+            << (backend_bit_identical ? "YES" : "NO *** MISMATCH ***") << " (";
+  if (subprocess_row >= 0)
+    std::cout << "subprocess "
+              << bench::fmt(rows[static_cast<std::size_t>(subprocess_row)]
+                                    .sec_per_sample * 1e3, 3)
+              << " ms/sample via " << subprocess_solver << ", ";
+  else
+    std::cout << "no external solver found, subprocess leg skipped; ";
+  std::cout << "degraded run answered "
+            << degraded_stats.degraded << "/" << degraded_stats.checks
+            << " checks via the in-process fallback)\n";
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  g_argv0 = argv[0];
   // Strip --smoke before google-benchmark parses argv (mirrors JsonReport's
   // handling of --json). Must happen before env() is first touched.
   for (int i = 1; i < argc; ++i) {

@@ -20,7 +20,7 @@ namespace {
 // attempt's own scope plus, when scope mirroring is on, one per pinned field.
 class ScopeGuard {
  public:
-  explicit ScopeGuard(smt::Solver& solver)
+  explicit ScopeGuard(smt::Backend& solver)
       : solver_(solver), mark_(solver.num_scopes()) {
     solver_.push();
   }
@@ -31,7 +31,7 @@ class ScopeGuard {
   ScopeGuard& operator=(const ScopeGuard&) = delete;
 
  private:
-  smt::Solver& solver_;
+  smt::Backend& solver_;
   std::size_t mark_;
 };
 
@@ -169,9 +169,10 @@ GuidedDecoder::GuidedDecoder(const lm::LanguageModel& model,
         // The feasibility cache and the solver's incremental base are one
         // feature: both reuse work across the walk's push/pop scopes, and
         // the cache's hull short-circuit reads the base's propagated bounds.
-        smt::SolverConfig sc = config.solver;
-        sc.incremental = config.cache;
-        return sc;
+        smt::BackendConfig bc = config.backend;
+        bc.solver = config.solver;
+        bc.solver.incremental = config.cache;
+        return smt::make_backend(bc);
       }()) {
   LEJIT_REQUIRE(model.vocab_size() == tokenizer.vocab_size(),
                 "model and tokenizer vocabulary sizes differ");
@@ -181,8 +182,8 @@ GuidedDecoder::GuidedDecoder(const lm::LanguageModel& model,
   for (const auto& f : layout_.fields)
     LEJIT_REQUIRE(!f.prefix.empty(), "layout field without prefix literal");
   LEJIT_REQUIRE(!layout_.suffix.empty(), "layout without row suffix");
-  vars_ = rules::declare_fields(solver_, layout_);
-  rules::assert_rules(solver_, rules_);
+  vars_ = rules::declare_fields(*solver_, layout_);
+  rules::assert_rules(*solver_, rules_);
 
   if (config_.lint_on_load) {
     const obs::Span span(obs::Phase::kLint);
@@ -242,22 +243,34 @@ GuidedDecoder::GuidedDecoder(const lm::LanguageModel& model,
 }
 
 smt::SolverStats GuidedDecoder::solver_stats() const {
-  smt::SolverStats total = solver_.stats();
+  smt::SolverStats total = solver_->stats();
   total += retired_cluster_stats_;
   for (const auto& s : cluster_solvers_)
     if (s) total += s->stats();
   return total;
 }
 
+smt::BackendStats GuidedDecoder::backend_stats() const {
+  smt::BackendStats total = solver_->backend_stats();
+  total += retired_cluster_backend_stats_;
+  for (const auto& s : cluster_solvers_)
+    if (s) total += s->backend_stats();
+  return total;
+}
+
 void GuidedDecoder::ensure_sliced_solvers(std::uint64_t prompt_fields) {
   if (slice_prompt_mask_ == prompt_fields) return;
   slice_prompt_mask_ = prompt_fields;
-  for (const auto& s : cluster_solvers_)
-    if (s) retired_cluster_stats_ += s->stats();
+  for (const auto& s : cluster_solvers_) {
+    if (!s) continue;
+    retired_cluster_stats_ += s->stats();
+    retired_cluster_backend_stats_ += s->backend_stats();
+  }
   cluster_solvers_.clear();
   cluster_live_rules_.assign(plan_->clusters.size(), 0);
-  smt::SolverConfig sc = config_.solver;
-  sc.incremental = config_.cache;
+  smt::BackendConfig bc = config_.backend;
+  bc.solver = config_.solver;
+  bc.solver.incremental = config_.cache;
   for (const plan::Cluster& cluster : plan_->clusters) {
     // A rule whose every referenced field the prompt pins is fully decided
     // by the prompt values; the attempt's prompt feasibility check (run on
@@ -269,7 +282,7 @@ void GuidedDecoder::ensure_sliced_solvers(std::uint64_t prompt_fields) {
       cluster_solvers_.push_back(nullptr);
       continue;
     }
-    auto solver = std::make_unique<smt::Solver>(sc);
+    std::unique_ptr<smt::Backend> solver = smt::make_backend(bc);
     // Same declaration order as the constructor, so VarIds align with vars_.
     (void)rules::declare_fields(*solver, layout_);
     for (const std::size_t r : live) solver->add(rules_.rules[r].formula);
@@ -282,6 +295,24 @@ void GuidedDecoder::ensure_sliced_solvers(std::uint64_t prompt_fields) {
 DecodeResult GuidedDecoder::generate(util::Rng& rng, std::string_view prompt) {
   DecodeResult result;
   const StatsFlush flush(result, rules_.size());
+  // Per-row degradation accounting: stamp the delta of fallback-served
+  // checks into the result on every return path (destroyed before `flush`,
+  // so the metrics flush could read it if it ever needs to). A degraded row
+  // that also failed says so in fail_detail.
+  struct DegradedStamp {
+    const GuidedDecoder& decoder;
+    DecodeResult& r;
+    std::int64_t before;
+    ~DegradedStamp() {
+      r.backend_degraded = decoder.backend_stats().degraded - before;
+      if (r.backend_degraded > 0 && !r.ok) {
+        if (!r.fail_detail.empty()) r.fail_detail += "; ";
+        r.fail_detail += std::to_string(r.backend_degraded) +
+                         " solver check(s) degraded to the in-process "
+                         "fallback backend";
+      }
+    }
+  } degraded_stamp{*this, result, backend_stats().degraded};
   const std::int64_t checks_before = solver_stats().checks;
 
   // --- unguided mode: free-run the LM until a newline -----------------------
@@ -405,7 +436,7 @@ DecodeResult GuidedDecoder::generate(util::Rng& rng, std::string_view prompt) {
   // Policy-escalated satisfiability on an explicit solver (the full one or a
   // plan cluster slice), returning the final raw result so callers can cache
   // it. kUnknown here means escalation is already spent.
-  const auto check_on = [&](smt::Solver& solver,
+  const auto check_on = [&](smt::Backend& solver,
                             std::span<const smt::Formula> fs)
       -> smt::CheckResult {
     smt::CheckResult r = solver.check_assuming(fs, check_budget(0));
@@ -413,25 +444,30 @@ DecodeResult GuidedDecoder::generate(util::Rng& rng, std::string_view prompt) {
       ++result.stats.unknown_checks;
       if (res.on_unknown != UnknownPolicy::kEscalate || e > res.max_escalations)
         break;
+      // An escalated retry gets an *enlarged* budget, so launching one after
+      // the row deadline has already passed could overshoot the row budget
+      // by a whole check. Re-check the deadline between rounds; check_budget
+      // still caps each round's own deadline at the row deadline.
+      if (row_deadline_ns != 0 && obs::now_ns() >= row_deadline_ns) break;
       ++result.stats.escalations;
       r = solver.check_assuming(fs, check_budget(e));
     }
     return r;
   };
   const auto check_under_policy = [&](std::span<const smt::Formula> fs) {
-    return check_on(solver_, fs);
+    return check_on(*solver_, fs);
   };
 
   // Policy-mediated satisfiability: kUnknown is escalated and/or mapped to
   // the configured meaning instead of silently reading as infeasible.
-  const auto sat_on = [&](smt::Solver& solver,
+  const auto sat_on = [&](smt::Backend& solver,
                           std::span<const smt::Formula> fs) {
     const smt::CheckResult r = check_on(solver, fs);
     if (r == smt::CheckResult::kUnknown) return unknown_is_feasible;
     return r == smt::CheckResult::kSat;
   };
   const auto sat_under_policy = [&](std::span<const smt::Formula> fs) {
-    return sat_on(solver_, fs);
+    return sat_on(*solver_, fs);
   };
 
   // Policy-mediated hull query (kHull mode). A conclusive hull — cached or
@@ -449,13 +485,16 @@ DecodeResult GuidedDecoder::generate(util::Rng& rng, std::string_view prompt) {
         return cached->bounds;
     }
     std::optional<smt::Interval> h =
-        solver_.try_feasible_interval(var, {}, check_budget(0));
+        solver_->try_feasible_interval(var, {}, check_budget(0));
     for (int e = 1; !h; ++e) {
       ++result.stats.unknown_checks;
       if (res.on_unknown != UnknownPolicy::kEscalate || e > res.max_escalations)
         break;
+      // Same deadline re-check as check_on: no enlarged retry after the row
+      // deadline already expired.
+      if (row_deadline_ns != 0 && obs::now_ns() >= row_deadline_ns) break;
       ++result.stats.escalations;
-      h = solver_.try_feasible_interval(var, {}, check_budget(e));
+      h = solver_->try_feasible_interval(var, {}, check_budget(e));
     }
     if (h) {
       if (use_cache) {
@@ -469,7 +508,7 @@ DecodeResult GuidedDecoder::generate(util::Rng& rng, std::string_view prompt) {
     if (obs::metrics_enabled())
       obs::MetricsRegistry::instance().counter("decode.hull_degraded").inc();
     return res.on_unknown == UnknownPolicy::kInfeasible ? smt::Interval::empty()
-                                                        : solver_.bounds(var);
+                                                        : solver_->bounds(var);
   };
 
   // Recovery state shared across attempts.
@@ -498,7 +537,7 @@ DecodeResult GuidedDecoder::generate(util::Rng& rng, std::string_view prompt) {
   // One decode attempt under the current mode/resume/ban state. Writes
   // result.text (and, on completion, window/ok) before returning.
   const auto run_attempt = [&]() -> AttemptEnd {
-    const ScopeGuard scope(solver_);
+    const ScopeGuard scope(*solver_);
     Walk walk;
     std::string text;
     std::vector<int> context;
@@ -567,7 +606,7 @@ DecodeResult GuidedDecoder::generate(util::Rng& rng, std::string_view prompt) {
         const smt::Formula ban_f =
             smt::ne(smt::LinExpr(vars_[static_cast<std::size_t>(field)]),
                     smt::LinExpr(value));
-        solver_.add(ban_f);
+        solver_->add(ban_f);
         fp = mix_pin(fp, kPinTagBan, field, value);
         if (plan_attempt) {
           const std::size_t c = static_cast<std::size_t>(
@@ -595,15 +634,15 @@ DecodeResult GuidedDecoder::generate(util::Rng& rng, std::string_view prompt) {
         }
         // One solver scope per pin mirrors the walk: a recovery rewind pops
         // back to a saved base snapshot instead of re-propagating the rules.
-        solver_.push();
+        solver_->push();
         fp = mix_pin(fp, kPinTagPin, field, value);
       }
-      solver_.add(smt::eq(smt::LinExpr(vars_[static_cast<std::size_t>(field)]),
-                          smt::LinExpr(value)));
+      solver_->add(smt::eq(smt::LinExpr(vars_[static_cast<std::size_t>(field)]),
+                           smt::LinExpr(value)));
       if (plan_attempt) {
         const int c = plan_->field_cluster[static_cast<std::size_t>(field)];
         if (c >= 0 && cluster_solvers_[static_cast<std::size_t>(c)]) {
-          smt::Solver& cs = *cluster_solvers_[static_cast<std::size_t>(c)];
+          smt::Backend& cs = *cluster_solvers_[static_cast<std::size_t>(c)];
           if (use_cache) {
             cs.push();
             cfp[static_cast<std::size_t>(c)] =
@@ -651,7 +690,7 @@ DecodeResult GuidedDecoder::generate(util::Rng& rng, std::string_view prompt) {
     const auto cluster_feasible = [&](std::size_t d) -> bool {
       if (cluster_state[d] == 1) return true;
       if (cluster_state[d] == 0) return false;
-      smt::Solver* const cs = cluster_solvers_[d].get();
+      smt::Backend* const cs = cluster_solvers_[d].get();
       bool ok = true;
       if (cs == nullptr) {
         // Fully prompt-determined cluster: its pins passed the prompt
@@ -795,7 +834,7 @@ DecodeResult GuidedDecoder::generate(util::Rng& rng, std::string_view prompt) {
               : -2;
       const plan::DigitTable* const table =
           plan_attempt ? plan_->table_for(walk.field) : nullptr;
-      smt::Solver* qsolver = &solver_;
+      smt::Backend* qsolver = solver_.get();
       std::uint64_t qfp = fp;
       bool others_ok = true;
       bool always_ok = false;
@@ -883,7 +922,10 @@ DecodeResult GuidedDecoder::generate(util::Rng& rng, std::string_view prompt) {
         cache_.store(QueryKind::kCompletion, qfp, walk.field, p.value,
                      p.digits, r);
         if (r == smt::CheckResult::kSat) {
-          full_hull->add_witness(qsolver->model_value(var));
+          // Backends may lose the model (e.g. a degraded external check);
+          // a missing witness is only a cache miss, never an error.
+          if (const auto w = qsolver->model_value(var))
+            full_hull->add_witness(*w);
           return true;
         }
         if (r == smt::CheckResult::kUnknown) return unknown_is_feasible;

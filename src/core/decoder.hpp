@@ -37,6 +37,7 @@
 #include "lm/tokenizer.hpp"
 #include "plan/plan.hpp"
 #include "rules/rule.hpp"
+#include "smt/backend.hpp"
 #include "smt/solver.hpp"
 #include "telemetry/text.hpp"
 #include "util/rng.hpp"
@@ -97,6 +98,12 @@ struct DecoderConfig {
   int max_free_tokens = 512;
   // Configuration of the decoder-owned solver (node caps etc.).
   smt::SolverConfig solver{};
+  // Which solver substrate answers the decode-time queries (DESIGN.md §12):
+  // the in-process minismt (default), or an external SMT-LIB2 subprocess
+  // with automatic degradation back to minismt. `backend.solver` is ignored —
+  // the decoder installs `solver` (with `incremental = cache`) so the
+  // in-process engine is configured identically on every path.
+  smt::BackendConfig backend{};
   ResilienceConfig resilience{};
   // Reuse solver work across candidates, steps, and rows: incremental solver
   // scopes mirroring the syntax walk, per-candidate verdict memoization, and
@@ -187,6 +194,12 @@ struct DecodeResult {
   int recoveries = 0;
   // True when recovery restarted a kHull row under kFull exact look-ahead.
   bool guidance_escalated = false;
+  // Solver checks this row that a failed external backend handed to the
+  // in-process fallback (0 whenever the minismt backend serves directly).
+  // Counted per row so callers can tell "bit-identical to the in-process
+  // baseline" from "completed degraded"; the smt.backend.* obs counters
+  // carry the process-wide totals.
+  std::int64_t backend_degraded = 0;
   std::string text;  // full row text, prompt included (without trailing '\n')
   std::optional<telemetry::Window> window;
   DecodeStats stats;
@@ -209,6 +222,9 @@ class GuidedDecoder {
   // over the main solver and any plan cluster solvers (including retired
   // ones from earlier prompt shapes).
   smt::SolverStats solver_stats() const;
+  // Cumulative backend health statistics (degradations, respawns, faults),
+  // aggregated like solver_stats(). All zeros under the minismt backend.
+  smt::BackendStats backend_stats() const;
   // Cumulative feasibility-cache statistics (all zero when config.cache is
   // off); counted unconditionally, unlike the obs mirrors.
   const FeasibilityCache::Stats& cache_stats() const { return cache_.stats(); }
@@ -237,7 +253,9 @@ class GuidedDecoder {
   telemetry::RowLayout layout_;
   rules::RuleSet rules_;
   DecoderConfig config_;
-  smt::Solver solver_;
+  // The decode-time solver session, behind the pluggable backend interface.
+  // MinismtBackend by default; config_.backend selects others.
+  std::unique_ptr<smt::Backend> solver_;
   std::vector<smt::VarId> vars_;
   FeasibilityCache cache_;  // persists across generate() calls
   std::optional<lint::Report> lint_report_;
@@ -251,10 +269,11 @@ class GuidedDecoder {
   // Per cluster: sliced solver (null = fully prompt-determined) and the
   // number of live rules it asserts. Persist across rows and rebuild only
   // when the prompt's pinned-field set changes.
-  std::vector<std::unique_ptr<smt::Solver>> cluster_solvers_;
+  std::vector<std::unique_ptr<smt::Backend>> cluster_solvers_;
   std::vector<std::int64_t> cluster_live_rules_;
   std::uint64_t slice_prompt_mask_ = ~std::uint64_t{0};  // sentinel: unbuilt
   smt::SolverStats retired_cluster_stats_;  // stats of discarded slice solvers
+  smt::BackendStats retired_cluster_backend_stats_;
 };
 
 }  // namespace lejit::core

@@ -13,6 +13,9 @@ std::string_view site_name(Site s) noexcept {
     case Site::kSolverCheck: return "solver_check";
     case Site::kLmForward: return "lm_forward";
     case Site::kBatchRow: return "batch_row";
+    case Site::kSubprocessKill: return "subprocess_kill";
+    case Site::kSubprocessHang: return "subprocess_hang";
+    case Site::kSubprocessGarble: return "subprocess_garble";
     case Site::kCount: break;
   }
   return "?";

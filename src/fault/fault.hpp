@@ -44,6 +44,14 @@ enum class Site : int {
   kSolverCheck = 0,  // smt::Solver::check_assuming → force kUnknown
   kLmForward,        // lm::LanguageModel::logits → throw / stall
   kBatchRow,         // core batch row attempt → throw (scripted only)
+  // smt::SubprocessBackend wire faults. These are *fire* sites: p_unknown is
+  // the probability the fault fires (see inject_fire), and the backend turns
+  // a firing into the real failure path — SIGKILLing its child, simulating a
+  // wedged read, or corrupting the answer — so tests exercise exactly the
+  // code a crashed/hung/buggy external solver would.
+  kSubprocessKill,    // kill the child under a live check (crash path)
+  kSubprocessHang,    // child never answers (timeout path)
+  kSubprocessGarble,  // child answers garbage (protocol-error path)
   kCount,
 };
 
@@ -143,5 +151,10 @@ inline void inject(Site site) {
   Injector& i = Injector::instance();
   if (i.armed()) i.on_call(site);
 }
+// Generic "should this site's fault fire now?" — same mechanics as
+// inject_unknown (the site's p_unknown is the firing probability), named for
+// sites whose fault is not a kUnknown verdict (the subprocess kill/hang/
+// garble sites).
+inline bool inject_fire(Site site) { return inject_unknown(site); }
 
 }  // namespace lejit::fault

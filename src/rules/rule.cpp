@@ -86,6 +86,24 @@ void assert_rules(smt::Solver& solver, const RuleSet& set) {
   }
 }
 
+std::vector<smt::VarId> declare_fields(smt::Backend& backend,
+                                       const telemetry::RowLayout& layout) {
+  LEJIT_REQUIRE(backend.num_vars() == 0,
+                "declare_fields requires a fresh backend");
+  std::vector<smt::VarId> vars;
+  vars.reserve(layout.fields.size());
+  for (const auto& f : layout.fields)
+    vars.push_back(backend.add_var(f.name, 0, f.max_value));
+  return vars;
+}
+
+void assert_rules(smt::Backend& backend, const RuleSet& set) {
+  for (const Rule& r : set.rules) {
+    LEJIT_REQUIRE(r.formula != nullptr, "rule without formula: " + r.description);
+    backend.add(r.formula);
+  }
+}
+
 std::vector<smt::Int> field_assignment(const telemetry::Window& w) {
   std::vector<smt::Int> a = telemetry::coarse_values(w);
   a.insert(a.end(), w.fine.begin(), w.fine.end());

@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "smt/backend.hpp"
 #include "smt/formula.hpp"
 #include "smt/solver.hpp"
 #include "telemetry/text.hpp"
@@ -68,9 +69,13 @@ std::vector<int> referenced_fields(const smt::Formula& f);
 // rule formula is asserted.
 std::vector<smt::VarId> declare_fields(smt::Solver& solver,
                                        const telemetry::RowLayout& layout);
+// Same, against a pluggable backend session (the decoder's solver substrate).
+std::vector<smt::VarId> declare_fields(smt::Backend& backend,
+                                       const telemetry::RowLayout& layout);
 
 // Assert every rule of `set` into `solver` (current scope).
 void assert_rules(smt::Solver& solver, const RuleSet& set);
+void assert_rules(smt::Backend& backend, const RuleSet& set);
 
 // Window → assignment vector in canonical field order.
 std::vector<smt::Int> field_assignment(const telemetry::Window& w);

@@ -1,0 +1,177 @@
+#include "smt/diff.hpp"
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "smt/smtlib2.hpp"
+#include "util/rng.hpp"
+
+namespace lejit::smt::diff {
+
+namespace {
+
+const char* verdict_name(CheckResult r) {
+  switch (r) {
+    case CheckResult::kSat: return "sat";
+    case CheckResult::kUnsat: return "unsat";
+    case CheckResult::kUnknown: return "unknown";
+  }
+  return "?";
+}
+
+// One randomized session: the problem shape mirrors what the decoder emits —
+// bounded integer fields, linear-comparison rules with and/or structure,
+// scoped pins (eq assertions under push), and check-assuming queries whose
+// assumptions look like prefix-completion ranges and exact pins.
+struct SessionGen {
+  util::Rng& rng;
+  std::vector<Interval> domains;
+
+  LinExpr random_expr() {
+    LinExpr e;
+    const int terms = static_cast<int>(rng.uniform_int(1, 3));
+    for (int t = 0; t < terms; ++t) {
+      const int v = static_cast<int>(
+          rng.uniform_int(0, static_cast<std::int64_t>(domains.size()) - 1));
+      Int coeff = rng.uniform_int(-3, 3);
+      if (coeff == 0) coeff = 1;
+      e += coeff * LinExpr(VarId{v});
+    }
+    e += LinExpr(rng.uniform_int(-40, 40));
+    return e;
+  }
+
+  Formula random_atom() {
+    const LinExpr a = random_expr();
+    const LinExpr b = random_expr();
+    switch (rng.uniform_int(0, 5)) {
+      case 0: return le(a, b);
+      case 1: return lt(a, b);
+      case 2: return ge(a, b);
+      case 3: return gt(a, b);
+      case 4: return eq(a, b);
+      default: return ne(a, b);
+    }
+  }
+
+  Formula random_formula(int depth) {
+    if (depth <= 0 || rng.bernoulli(0.5)) {
+      Formula f = random_atom();
+      if (rng.bernoulli(0.15)) f = lnot(f);
+      return f;
+    }
+    std::vector<Formula> fs;
+    const int n = static_cast<int>(rng.uniform_int(2, 3));
+    for (int i = 0; i < n; ++i) fs.push_back(random_formula(depth - 1));
+    return rng.bernoulli(0.5) ? land(std::move(fs)) : lor(std::move(fs));
+  }
+};
+
+}  // namespace
+
+Report run(const BackendFactory& reference, const BackendFactory& candidate,
+           const Config& config) {
+  Report report;
+  util::Rng rng(config.seed);
+
+  while (report.compared < config.queries) {
+    ++report.sessions;
+    const std::unique_ptr<Backend> ref = reference();
+    const std::unique_ptr<Backend> cand = candidate();
+
+    // Transcript of the session in SMT-LIB2 — the repro a mismatch prints.
+    std::string script;
+
+    SessionGen gen{rng, {}};
+    const int nv = static_cast<int>(rng.uniform_int(2, 5));
+    for (int v = 0; v < nv; ++v) {
+      const Int hi = rng.uniform_int(3, 60);
+      gen.domains.push_back(Interval{0, hi});
+      ref->add_var(smtlib2::var_name(v), 0, hi);
+      cand->add_var(smtlib2::var_name(v), 0, hi);
+      script += smtlib2::declare_lines(v, 0, hi);
+      script += '\n';
+    }
+    const auto assert_both = [&](Formula f) {
+      script += smtlib2::assert_line(f);
+      script += '\n';
+      ref->add(f);
+      cand->add(std::move(f));
+    };
+    const int base = static_cast<int>(rng.uniform_int(1, 3));
+    for (int i = 0; i < base; ++i) assert_both(gen.random_formula(2));
+
+    const int ops = static_cast<int>(rng.uniform_int(4, 12));
+    std::size_t depth = 0;
+    for (int op = 0; op < ops && report.compared < config.queries; ++op) {
+      const double roll = rng.uniform();
+      if (roll < 0.15 && depth < 3) {
+        ref->push();
+        cand->push();
+        ++depth;
+        script += "(push 1)\n";
+        continue;
+      }
+      if (roll < 0.30 && depth > 0) {
+        ref->pop();
+        cand->pop();
+        --depth;
+        script += "(pop 1)\n";
+        continue;
+      }
+      if (roll < 0.50) {
+        // A pin-shaped assertion: field = value, like the decoder's walk.
+        const int v = static_cast<int>(
+            rng.uniform_int(0, static_cast<std::int64_t>(nv) - 1));
+        const Int hi = gen.domains[static_cast<std::size_t>(v)].hi;
+        assert_both(eq(LinExpr(VarId{v}), LinExpr(rng.uniform_int(0, hi))));
+        continue;
+      }
+
+      std::vector<Formula> assumptions;
+      const int na = static_cast<int>(rng.uniform_int(0, 2));
+      for (int a = 0; a < na; ++a)
+        assumptions.push_back(gen.random_formula(1));
+      script += "; check #" + std::to_string(report.checks) + " assuming:\n";
+      for (const Formula& f : assumptions)
+        script += ";   " + smtlib2::to_smtlib2(f) + "\n";
+
+      ++report.checks;
+      const CheckResult rv = ref->check_assuming(assumptions, config.budget);
+      const CheckResult cv = cand->check_assuming(assumptions, config.budget);
+      if (rv == CheckResult::kUnknown || cv == CheckResult::kUnknown) {
+        ++report.unknowns;
+        continue;
+      }
+      ++report.compared;
+      if (rv == cv) continue;
+      ++report.mismatches;
+      if (report.first_mismatch.empty()) {
+        report.first_mismatch =
+            "verdict mismatch at seed " + std::to_string(config.seed) +
+            ", session " + std::to_string(report.sessions) + ", check " +
+            std::to_string(report.checks - 1) + ": " + std::string(ref->name()) +
+            " says " + verdict_name(rv) + ", " + std::string(cand->name()) +
+            " says " + verdict_name(cv) + "\nsession transcript:\n" + script;
+      }
+    }
+  }
+  return report;
+}
+
+std::string to_text(const Report& report) {
+  std::string out = "smt-diff: " + std::to_string(report.compared) +
+                    " verdicts compared across " +
+                    std::to_string(report.sessions) + " sessions (" +
+                    std::to_string(report.checks) + " checks, " +
+                    std::to_string(report.unknowns) + " skipped as unknown): " +
+                    std::to_string(report.mismatches) + " mismatches\n";
+  if (!report.first_mismatch.empty()) {
+    out += report.first_mismatch;
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace lejit::smt::diff

@@ -1,0 +1,59 @@
+// Differential verdict testing for solver backends (DESIGN.md §12).
+//
+// Replays randomized rule-set sessions — variable declarations, asserted
+// formulas, push/pop scopes, check-assuming queries shaped like the guided
+// decoder's — through two backends built fresh per session, and compares
+// every verdict. Both backends are sound and complete on the fuzzed
+// fragment (bounded QF_LIA), so any kSat/kUnsat disagreement is a bug in
+// one of them; a kUnknown on either side (budget exhaustion, subprocess
+// fault without failover) skips the comparison and is counted instead.
+//
+// Used by `lejit_cli smt-diff` and the smt_backend fuzz test.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "smt/backend.hpp"
+
+namespace lejit::smt::diff {
+
+struct Config {
+  // Stop once this many verdict pairs have been compared (kUnknown-skipped
+  // checks do not count toward it).
+  std::int64_t queries = 1000;
+  std::uint64_t seed = 1;
+  // Per-check budget handed to both backends. Defaults let minismt run to
+  // its configured node cap — ample for the small fuzzed domains.
+  Budget budget{};
+};
+
+struct Report {
+  std::int64_t sessions = 0;   // randomized sessions replayed
+  std::int64_t checks = 0;     // check_assuming pairs issued
+  std::int64_t compared = 0;   // … with two definite verdicts
+  std::int64_t unknowns = 0;   // … skipped because a side answered kUnknown
+  std::int64_t mismatches = 0;
+  // Human-readable repro of the first disagreement (seed, session, op
+  // index, the SMT-LIB2 session text, and both verdicts); empty when clean.
+  std::string first_mismatch;
+
+  bool ok() const noexcept { return mismatches == 0; }
+};
+
+// Constructs a fresh, empty backend for one session. Called once per session
+// per side so state cannot leak across sessions.
+using BackendFactory = std::function<std::unique_ptr<Backend>()>;
+
+// Run the differential fuzz loop: `reference` is trusted (in practice
+// MinismtBackend), `candidate` is under test (in practice a raw
+// SubprocessBackend with failover disabled, so its genuine verdicts are
+// compared rather than the fallback's).
+Report run(const BackendFactory& reference, const BackendFactory& candidate,
+           const Config& config);
+
+std::string to_text(const Report& report);
+
+}  // namespace lejit::smt::diff

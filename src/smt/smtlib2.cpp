@@ -1,0 +1,517 @@
+#include "smt/smtlib2.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cstdlib>
+#include <istream>
+#include <ostream>
+#include <unordered_map>
+
+#include "smt/solver.hpp"
+#include "util/error.hpp"
+
+namespace lejit::smt::smtlib2 {
+
+std::string var_name(int index) { return "x" + std::to_string(index); }
+
+namespace {
+
+void append_int(std::string& out, Int v) {
+  if (v < 0) {
+    out += "(- ";
+    out += std::to_string(-v);
+    out += ')';
+  } else {
+    out += std::to_string(v);
+  }
+}
+
+}  // namespace
+
+void append_linexpr(std::string& out, const LinExpr& e) {
+  if (e.is_constant()) {
+    append_int(out, e.constant());
+    return;
+  }
+  const bool sum = e.terms().size() > 1 || e.constant() != 0;
+  if (sum) out += "(+ ";
+  bool first = true;
+  for (const auto& [v, c] : e.terms()) {
+    if (!first) out += ' ';
+    first = false;
+    if (c == 1) {
+      out += var_name(v.index);
+    } else {
+      out += "(* ";
+      append_int(out, c);
+      out += ' ';
+      out += var_name(v.index);
+      out += ')';
+    }
+  }
+  if (e.constant() != 0) {
+    out += ' ';
+    append_int(out, e.constant());
+  }
+  if (sum) out += ')';
+}
+
+void append_formula(std::string& out, const Formula& f) {
+  LEJIT_REQUIRE(f != nullptr, "cannot emit null formula");
+  switch (f->kind()) {
+    case FormulaKind::kTrue:
+      out += "true";
+      return;
+    case FormulaKind::kFalse:
+      out += "false";
+      return;
+    case FormulaKind::kAtom: {
+      const AtomOp op = f->atom_op();
+      if (op == AtomOp::kNe) out += "(not ";
+      out += (op == AtomOp::kLe) ? "(<= " : "(= ";
+      append_linexpr(out, f->atom_expr());
+      out += " 0)";
+      if (op == AtomOp::kNe) out += ')';
+      return;
+    }
+    case FormulaKind::kAnd:
+    case FormulaKind::kOr: {
+      out += (f->kind() == FormulaKind::kAnd) ? "(and" : "(or";
+      for (const Formula& c : f->children()) {
+        out += ' ';
+        append_formula(out, c);
+      }
+      out += ')';
+      return;
+    }
+  }
+  LEJIT_REQUIRE(false, "unreachable formula kind");
+}
+
+std::string to_smtlib2(const Formula& f) {
+  std::string out;
+  append_formula(out, f);
+  return out;
+}
+
+std::string assert_line(const Formula& f) {
+  std::string out = "(assert ";
+  append_formula(out, f);
+  out += ')';
+  return out;
+}
+
+std::string declare_lines(int index, Int lo, Int hi) {
+  const std::string x = var_name(index);
+  std::string out = "(declare-const " + x + " Int)\n";
+  out += "(assert (and (<= ";
+  append_int(out, lo);
+  out += ' ';
+  out += x;
+  out += ") (<= ";
+  out += x;
+  out += ' ';
+  append_int(out, hi);
+  out += ")))";
+  return out;
+}
+
+// --- parsing ----------------------------------------------------------------
+
+namespace {
+
+void skip_ws(std::string_view text, std::size_t* pos) {
+  while (*pos < text.size()) {
+    const char c = text[*pos];
+    if (c == ';') {  // comment to end of line
+      while (*pos < text.size() && text[*pos] != '\n') ++*pos;
+    } else if (std::isspace(static_cast<unsigned char>(c))) {
+      ++*pos;
+    } else {
+      break;
+    }
+  }
+}
+
+bool is_atom_char(char c) {
+  return !std::isspace(static_cast<unsigned char>(c)) && c != '(' && c != ')' &&
+         c != ';';
+}
+
+}  // namespace
+
+std::optional<Sexpr> parse_sexpr(std::string_view text, std::size_t* pos) {
+  skip_ws(text, pos);
+  if (*pos >= text.size()) return std::nullopt;
+  if (text[*pos] == ')') return std::nullopt;  // unbalanced
+  if (text[*pos] == '(') {
+    ++*pos;
+    Sexpr node;
+    node.list.reserve(2);
+    while (true) {
+      skip_ws(text, pos);
+      if (*pos >= text.size()) return std::nullopt;  // truncated
+      if (text[*pos] == ')') {
+        ++*pos;
+        return node;
+      }
+      std::optional<Sexpr> child = parse_sexpr(text, pos);
+      if (!child) return std::nullopt;
+      node.list.push_back(std::move(*child));
+    }
+  }
+  if (text[*pos] == '"') {  // string literal: kept verbatim, quotes stripped
+    Sexpr node;
+    ++*pos;
+    while (*pos < text.size() && text[*pos] != '"') node.atom += text[(*pos)++];
+    if (*pos >= text.size()) return std::nullopt;
+    ++*pos;
+    if (node.atom.empty()) node.atom = " ";  // keep leaf-ness
+    return node;
+  }
+  Sexpr node;
+  while (*pos < text.size() && is_atom_char(text[*pos]))
+    node.atom += text[(*pos)++];
+  if (node.atom.empty()) return std::nullopt;
+  return node;
+}
+
+namespace {
+
+std::optional<Int> parse_int_sexpr(const Sexpr& s) {
+  if (s.is_atom()) {
+    Int v = 0;
+    const char* b = s.atom.data();
+    const char* e = b + s.atom.size();
+    const auto [p, ec] = std::from_chars(b, e, v);
+    if (ec != std::errc{} || p != e) return std::nullopt;
+    return v;
+  }
+  // `(- 5)`
+  if (s.list.size() == 2 && s.list[0].atom == "-") {
+    const std::optional<Int> v = parse_int_sexpr(s.list[1]);
+    if (!v) return std::nullopt;
+    return -*v;
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::optional<std::vector<std::pair<int, Int>>> parse_model(
+    std::string_view text) {
+  std::size_t pos = 0;
+  const std::optional<Sexpr> root = parse_sexpr(text, &pos);
+  if (!root || root->is_atom()) return std::nullopt;
+  std::vector<std::pair<int, Int>> out;
+  out.reserve(root->list.size());
+  for (const Sexpr& pair : root->list) {
+    if (pair.list.size() != 2 || !pair.list[0].is_atom()) return std::nullopt;
+    const std::string& name = pair.list[0].atom;
+    if (name.size() < 2 || name[0] != 'x') return std::nullopt;
+    int index = -1;
+    const auto [p, ec] =
+        std::from_chars(name.data() + 1, name.data() + name.size(), index);
+    if (ec != std::errc{} || p != name.data() + name.size()) return std::nullopt;
+    const std::optional<Int> v = parse_int_sexpr(pair.list[1]);
+    if (!v) return std::nullopt;
+    out.emplace_back(index, *v);
+  }
+  return out;
+}
+
+// --- reference server --------------------------------------------------------
+
+namespace {
+
+// Server-side expression → LinExpr / Formula conversion. Failures return
+// nullopt and surface as `(error ...)` answers, never exceptions: the server
+// must survive malformed input (that is what the garble tests throw at it).
+
+struct ServerState {
+  Solver solver{SolverConfig{}};
+  std::unordered_map<std::string, VarId> vars;
+  std::vector<std::string> var_names;  // index-aligned with VarId
+  bool has_model = false;
+};
+
+// Domain assigned to a declare-const before the client's own bounds
+// assertion arrives. Wide enough for any rule domain, narrow enough that
+// propagation keeps search tractable once the real bounds land.
+constexpr Int kDefaultDomain = static_cast<Int>(1) << 40;
+
+std::optional<LinExpr> to_linexpr(const Sexpr& s, const ServerState& st) {
+  if (s.is_atom()) {
+    if (const std::optional<Int> v = parse_int_sexpr(s)) return LinExpr(*v);
+    const auto it = st.vars.find(s.atom);
+    if (it == st.vars.end()) return std::nullopt;
+    return LinExpr(it->second);
+  }
+  if (s.list.empty() || !s.list[0].is_atom()) return std::nullopt;
+  const std::string& op = s.list[0].atom;
+  if (op == "+") {
+    LinExpr sum;
+    for (std::size_t i = 1; i < s.list.size(); ++i) {
+      const std::optional<LinExpr> e = to_linexpr(s.list[i], st);
+      if (!e) return std::nullopt;
+      sum += *e;
+    }
+    return sum;
+  }
+  if (op == "-") {
+    if (s.list.size() < 2) return std::nullopt;
+    std::optional<LinExpr> acc = to_linexpr(s.list[1], st);
+    if (!acc) return std::nullopt;
+    if (s.list.size() == 2) return -*acc;
+    for (std::size_t i = 2; i < s.list.size(); ++i) {
+      const std::optional<LinExpr> e = to_linexpr(s.list[i], st);
+      if (!e) return std::nullopt;
+      *acc -= *e;
+    }
+    return acc;
+  }
+  if (op == "*") {
+    Int coeff = 1;
+    std::optional<LinExpr> var_part;
+    for (std::size_t i = 1; i < s.list.size(); ++i) {
+      std::optional<LinExpr> e = to_linexpr(s.list[i], st);
+      if (!e) return std::nullopt;
+      if (e->is_constant()) {
+        coeff = sat_mul(coeff, e->constant());
+      } else if (!var_part) {
+        var_part = std::move(*e);
+      } else {
+        return std::nullopt;  // nonlinear
+      }
+    }
+    if (!var_part) return LinExpr(coeff);
+    return coeff * *var_part;
+  }
+  return std::nullopt;
+}
+
+std::optional<Formula> to_formula(const Sexpr& s, const ServerState& st) {
+  if (s.is_atom()) {
+    if (s.atom == "true") return make_true();
+    if (s.atom == "false") return make_false();
+    return std::nullopt;
+  }
+  if (s.list.empty() || !s.list[0].is_atom()) return std::nullopt;
+  const std::string& op = s.list[0].atom;
+
+  if (op == "and" || op == "or") {
+    std::vector<Formula> fs;
+    fs.reserve(s.list.size() - 1);
+    for (std::size_t i = 1; i < s.list.size(); ++i) {
+      const std::optional<Formula> f = to_formula(s.list[i], st);
+      if (!f) return std::nullopt;
+      fs.push_back(*f);
+    }
+    return op == "and" ? land(std::move(fs)) : lor(std::move(fs));
+  }
+  if (op == "not") {
+    if (s.list.size() != 2) return std::nullopt;
+    const std::optional<Formula> f = to_formula(s.list[1], st);
+    if (!f) return std::nullopt;
+    return lnot(*f);
+  }
+  if (op == "=>") {
+    if (s.list.size() != 3) return std::nullopt;
+    const std::optional<Formula> a = to_formula(s.list[1], st);
+    const std::optional<Formula> b = to_formula(s.list[2], st);
+    if (!a || !b) return std::nullopt;
+    return implies(*a, *b);
+  }
+  if (op == "<=" || op == "<" || op == ">=" || op == ">" || op == "=" ||
+      op == "distinct") {
+    if (s.list.size() < 3) return std::nullopt;
+    std::vector<Formula> chain;
+    for (std::size_t i = 1; i + 1 < s.list.size(); ++i) {
+      const std::optional<LinExpr> a = to_linexpr(s.list[i], st);
+      const std::optional<LinExpr> b = to_linexpr(s.list[i + 1], st);
+      if (!a || !b) return std::nullopt;
+      if (op == "<=") chain.push_back(le(*a, *b));
+      else if (op == "<") chain.push_back(lt(*a, *b));
+      else if (op == ">=") chain.push_back(ge(*a, *b));
+      else if (op == ">") chain.push_back(gt(*a, *b));
+      else if (op == "=") chain.push_back(eq(*a, *b));
+      else chain.push_back(ne(*a, *b));
+    }
+    return land(std::move(chain));
+  }
+  return std::nullopt;
+}
+
+// Read one complete command s-expression from the stream (blocking).
+// Returns false on EOF. Non-list garbage between commands is consumed one
+// character at a time so a garbled client cannot wedge the loop.
+bool read_command(std::istream& in, std::string* out) {
+  out->clear();
+  int depth = 0;
+  bool in_comment = false;
+  char c = 0;
+  while (in.get(c)) {
+    if (in_comment) {
+      if (c == '\n') in_comment = false;
+      continue;
+    }
+    if (depth == 0) {
+      if (c == ';') {
+        in_comment = true;
+        continue;
+      }
+      if (std::isspace(static_cast<unsigned char>(c))) continue;
+      if (c != '(') {  // stray atom outside any command: swallow the word
+        while (in.get(c) && !std::isspace(static_cast<unsigned char>(c)) &&
+               c != '(') {
+        }
+        if (c == '(') in.unget();
+        continue;
+      }
+    }
+    out->push_back(c);
+    if (c == '(') ++depth;
+    if (c == ')' && --depth == 0) return true;
+  }
+  return false;
+}
+
+Budget server_budget() {
+  Budget b;
+  if (const char* env = std::getenv("LEJIT_SMTSERVE_MAX_NODES")) {
+    const long long n = std::atoll(env);
+    if (n > 0) b.max_nodes = n;
+  }
+  return b;
+}
+
+}  // namespace
+
+int run_server(std::istream& in, std::ostream& out) {
+  auto state = std::make_unique<ServerState>();
+  const Budget budget = server_budget();
+
+  const auto error = [&out](std::string_view msg) {
+    out << "(error \"" << msg << "\")" << std::endl;
+  };
+
+  std::string raw;
+  while (read_command(in, &raw)) {
+    std::size_t pos = 0;
+    const std::optional<Sexpr> cmd = parse_sexpr(raw, &pos);
+    if (!cmd || cmd->list.empty() || !cmd->list[0].is_atom()) {
+      error("malformed command");
+      continue;
+    }
+    const std::string& head = cmd->list[0].atom;
+
+    if (head == "set-logic" || head == "set-option" || head == "set-info")
+      continue;
+    if (head == "exit") return 0;
+    if (head == "reset") {
+      state = std::make_unique<ServerState>();
+      continue;
+    }
+    if (head == "declare-const" || head == "declare-fun") {
+      // (declare-const name Int) | (declare-fun name () Int)
+      const std::size_t arity = head == "declare-const" ? 3 : 4;
+      if (cmd->list.size() != arity || !cmd->list[1].is_atom()) {
+        error("malformed declaration");
+        continue;
+      }
+      if (cmd->list.back().atom != "Int") {
+        error("only Int sorts are supported");
+        continue;
+      }
+      const std::string& name = cmd->list[1].atom;
+      if (state->vars.contains(name)) {
+        error("duplicate declaration: " + name);
+        continue;
+      }
+      const VarId v =
+          state->solver.add_var(name, -kDefaultDomain, kDefaultDomain);
+      state->vars.emplace(name, v);
+      state->var_names.push_back(name);
+      continue;
+    }
+    if (head == "assert") {
+      if (cmd->list.size() != 2) {
+        error("malformed assert");
+        continue;
+      }
+      const std::optional<Formula> f = to_formula(cmd->list[1], *state);
+      if (!f) {
+        error("unsupported expression: " + raw);
+        continue;
+      }
+      state->solver.add(*f);
+      state->has_model = false;
+      continue;
+    }
+    if (head == "push" || head == "pop") {
+      long long n = 1;
+      if (cmd->list.size() == 2) {
+        const std::optional<Int> v = parse_int_sexpr(cmd->list[1]);
+        if (!v || *v < 0) {
+          error("malformed " + head);
+          continue;
+        }
+        n = *v;
+      }
+      if (head == "pop" &&
+          static_cast<std::size_t>(n) > state->solver.num_scopes()) {
+        error("pop past the bottom of the stack");
+        continue;
+      }
+      for (long long i = 0; i < n; ++i)
+        head == "push" ? state->solver.push() : state->solver.pop();
+      state->has_model = false;
+      continue;
+    }
+    if (head == "check-sat") {
+      const CheckResult r = state->solver.check(budget);
+      state->has_model = r == CheckResult::kSat;
+      out << (r == CheckResult::kSat
+                  ? "sat"
+                  : r == CheckResult::kUnsat ? "unsat" : "unknown")
+          << std::endl;
+      continue;
+    }
+    if (head == "get-value") {
+      if (cmd->list.size() != 2 || cmd->list[1].is_atom()) {
+        error("malformed get-value");
+        continue;
+      }
+      if (!state->has_model) {
+        error("no model available");
+        continue;
+      }
+      std::string reply = "(";
+      bool ok = true;
+      for (const Sexpr& name : cmd->list[1].list) {
+        const auto it =
+            name.is_atom() ? state->vars.find(name.atom) : state->vars.end();
+        if (it == state->vars.end()) {
+          ok = false;
+          break;
+        }
+        reply += '(';
+        reply += name.atom;
+        reply += ' ';
+        append_int(reply, state->solver.model_value(it->second));
+        reply += ')';
+      }
+      if (!ok) {
+        error("unknown term in get-value");
+        continue;
+      }
+      reply += ')';
+      out << reply << std::endl;
+      continue;
+    }
+    error("unsupported command: " + head);
+  }
+  return 0;
+}
+
+}  // namespace lejit::smt::smtlib2

@@ -1,0 +1,70 @@
+// SMT-LIB2 text protocol: the dialect LeJIT speaks to external solvers.
+//
+// The emitted subset is deliberately closed and tiny (DESIGN.md §12):
+// QF_LIA over integer constants declared as `x<i>`, with every formula a
+// composition of `and`/`or`/`not`/`<=`/`=` over `(+ (* c x) ... k)` linear
+// sums — exactly the image of smt::Formula under to_smtlib2(). Any solver
+// that answers `sat`/`unsat`/`unknown` to `(check-sat)` and valuation pairs
+// to `(get-value ...)` can sit on the other end: z3, cvc5, or the bundled
+// `lejit_smtserve` reference server, which runs this module's parser over
+// the in-process minismt and exists so the subprocess plumbing is testable
+// on machines without an external solver.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "smt/formula.hpp"
+#include "smt/linexpr.hpp"
+
+namespace lejit::smt::smtlib2 {
+
+// Canonical wire name for the variable with VarId::index == index.
+std::string var_name(int index);
+
+// `(+ (* c x0) ... k)`, negative literals as `(- n)`.
+void append_linexpr(std::string& out, const LinExpr& e);
+
+// NNF formula → one s-expression (kNe becomes `(not (= e 0))`).
+void append_formula(std::string& out, const Formula& f);
+std::string to_smtlib2(const Formula& f);
+
+// `(assert <formula>)`.
+std::string assert_line(const Formula& f);
+
+// `(declare-const x<i> Int)` plus the `[lo, hi]` domain assertion,
+// newline-separated. Bounded domains are part of the dialect: minismt's
+// completeness depends on them, and the emitter always sends them.
+std::string declare_lines(int index, Int lo, Int hi);
+
+// --- s-expression parsing (answers and the server's command loop) ----------
+
+struct Sexpr {
+  std::string atom;         // non-empty iff leaf
+  std::vector<Sexpr> list;  // children iff non-leaf
+  bool is_atom() const noexcept { return list.empty() && !atom.empty(); }
+};
+
+// Parse one s-expression starting at (*pos), advancing *pos past it.
+// Returns nullopt on malformed input or when only whitespace remains.
+std::optional<Sexpr> parse_sexpr(std::string_view text, std::size_t* pos);
+
+// Parse a `(get-value ...)` answer — `((x0 3) (x1 (- 2)))` — into
+// (VarId::index, value) pairs. nullopt on anything malformed.
+std::optional<std::vector<std::pair<int, Int>>> parse_model(
+    std::string_view text);
+
+// The `lejit_smtserve` loop: read commands from `in`, answer on `out`,
+// return the process exit code. Understands declare-const/declare-fun,
+// assert, push/pop, check-sat, get-value, reset, exit; set-logic/set-option/
+// set-info are accepted and ignored. Unknown or malformed commands answer
+// `(error "...")` and the loop continues — a client bug must not wedge the
+// server. LEJIT_SMTSERVE_MAX_NODES caps the per-check search budget.
+int run_server(std::istream& in, std::ostream& out);
+
+}  // namespace lejit::smt::smtlib2

@@ -339,9 +339,19 @@ bool tighten_ne(const LinExpr& e, detail::SearchNode& node,
 // Bounds-consistency propagation to fixpoint (or the round cap). Shared by
 // per-check search and incremental base preparation. Returns false iff the
 // node became conflicting; proved-true constraints are dropped in place.
-bool Solver::propagate(detail::SearchNode& node) {
+bool Solver::propagate(detail::SearchNode& node, std::int64_t deadline_ns,
+                       bool* deadline_hit) {
   for (int round = 0; round < config_.max_propagation_rounds; ++round) {
     if (node.conflict) return false;
+    // A single propagation fixpoint can run thousands of sweeps; a deadline
+    // checked only between search nodes would be invisible for all of them
+    // (the Budget contract says overshoot is bounded by one poll interval —
+    // here, one sweep). One clock read per round is noise next to a sweep
+    // over every open constraint.
+    if (round != 0 && deadline_ns != 0 && obs::now_ns() >= deadline_ns) {
+      if (deadline_hit != nullptr) *deadline_hit = true;
+      return true;  // not a conflict — the caller converts this to kUnknown
+    }
     bool changed = false;
 
     // Atoms: tighten; drop once definitely true.
@@ -428,7 +438,12 @@ CheckResult Solver::search(detail::SearchNode& node, std::int64_t& nodes_left,
     return CheckResult::kUnknown;
   }
 
-  if (!propagate(node)) return CheckResult::kUnsat;
+  bool deadline_hit = false;
+  if (!propagate(node, deadline_ns, &deadline_hit)) return CheckResult::kUnsat;
+  if (deadline_hit) {
+    ++stats_.deadline_exhaustions;
+    return CheckResult::kUnknown;
+  }
 
   // --- fully determined? -------------------------------------------------------
   if (node.atoms.empty() && node.ors.empty()) {

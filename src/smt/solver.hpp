@@ -180,7 +180,11 @@ class Solver {
   CheckResult search(detail::SearchNode& node, std::int64_t& nodes_left,
                      std::int64_t deadline_ns);
   // Propagates `node` to fixpoint (or the round cap); false ⇔ conflict.
-  bool propagate(detail::SearchNode& node);
+  // A non-zero deadline is re-checked once per sweep round; when it expires
+  // mid-fixpoint, propagation stops early, *deadline_hit is set, and the
+  // caller must give up with kUnknown (the node is sound but unfinished).
+  bool propagate(detail::SearchNode& node, std::int64_t deadline_ns = 0,
+                 bool* deadline_hit = nullptr);
   // Incremental mode: make base_ a propagated snapshot of the full current
   // assertion stack, rebuilding or folding the new suffix as needed.
   void ensure_base();

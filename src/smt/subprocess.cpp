@@ -1,0 +1,455 @@
+#include "smt/subprocess.hpp"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+#include <utility>
+
+#include "fault/fault.hpp"
+#include "obs/metrics.hpp"
+#include "obs/timer.hpp"
+#include "smt/smtlib2.hpp"
+#include "util/error.hpp"
+
+namespace lejit::smt {
+
+namespace {
+
+// Poll granularity for deadline-sliced waits; the most a wedged child can
+// make a check overshoot its deadline.
+constexpr std::int64_t kPollSliceMs = 10;
+// Fallback wall-clock cap when neither the Budget nor the config carries a
+// deadline — a check must never be able to block forever.
+constexpr std::int64_t kLastResortTimeoutMs = 60'000;
+constexpr std::int64_t kMaxBackoffMs = 1'000;
+
+obs::Counter& backend_counter(const char* what) {
+  return obs::MetricsRegistry::instance().counter(
+      std::string("smt.backend.") + what);
+}
+
+}  // namespace
+
+SubprocessBackend::SubprocessBackend(BackendConfig config)
+    : config_(std::move(config)) {
+  // A dying child must surface as a write error, not a process-killing
+  // SIGPIPE (the crash-isolation contract).
+  static const bool sigpipe_ignored = [] {
+    ::signal(SIGPIPE, SIG_IGN);
+    return true;
+  }();
+  (void)sigpipe_ignored;
+}
+
+SubprocessBackend::~SubprocessBackend() {
+  if (child_pid_ > 0) send("(exit)\n");
+  kill_child();
+}
+
+void SubprocessBackend::state_line(std::string line) {
+  if (child_pid_ > 0 && !send(line + "\n")) {
+    // The child died under a state write. Drop it now; the next check's
+    // ensure_child() respawns and replays the full log, this line included.
+    kill_child();
+  }
+  frames_.back().push_back(std::move(line));
+}
+
+VarId SubprocessBackend::add_var(std::string name, Int lo, Int hi) {
+  const int index = static_cast<int>(vars_.size());
+  vars_.push_back(VarDecl{std::move(name), lo, hi});
+  state_line(smtlib2::declare_lines(index, lo, hi));
+  return VarId{index};
+}
+
+Interval SubprocessBackend::bounds(VarId v) const {
+  LEJIT_REQUIRE(v.index >= 0 && v.index < num_vars(), "unknown variable");
+  return {vars_[static_cast<std::size_t>(v.index)].lo,
+          vars_[static_cast<std::size_t>(v.index)].hi};
+}
+
+void SubprocessBackend::add(Formula f) {
+  LEJIT_REQUIRE(f != nullptr, "cannot assert null formula");
+  state_line(smtlib2::assert_line(f));
+  has_model_ = false;
+}
+
+void SubprocessBackend::push() {
+  frames_.emplace_back();
+  if (child_pid_ > 0 && !send("(push 1)\n")) kill_child();
+}
+
+void SubprocessBackend::pop() {
+  LEJIT_REQUIRE(frames_.size() > 1, "pop without matching push");
+  frames_.pop_back();
+  has_model_ = false;
+  if (child_pid_ > 0 && !send("(pop 1)\n")) kill_child();
+}
+
+std::optional<Int> SubprocessBackend::model_value(VarId v) {
+  if (!has_model_ || v.index < 0 ||
+      static_cast<std::size_t>(v.index) >= model_.size())
+    return std::nullopt;
+  return model_[static_cast<std::size_t>(v.index)];
+}
+
+std::int64_t SubprocessBackend::effective_deadline(
+    const Budget& budget) const {
+  const std::int64_t cap_ms =
+      config_.check_timeout_ms > 0 ? config_.check_timeout_ms
+                                   : kLastResortTimeoutMs;
+  std::int64_t deadline = obs::now_ns() + cap_ms * 1'000'000;
+  if (budget.deadline_ns != 0 && budget.deadline_ns < deadline)
+    deadline = budget.deadline_ns;
+  return deadline;
+}
+
+CheckResult SubprocessBackend::check_assuming(
+    std::span<const Formula> assumptions, const Budget& budget) {
+  ++solver_stats_.checks;
+  ++stats_.checks;
+  backend_counter("checks").inc();
+  has_model_ = false;
+  const CheckResult r =
+      check_once(assumptions, effective_deadline(budget), /*allow_retry=*/true);
+  if (r == CheckResult::kUnknown) ++solver_stats_.unknowns;
+  return r;
+}
+
+CheckResult SubprocessBackend::check_once(
+    std::span<const Formula> assumptions, std::int64_t deadline_ns,
+    bool allow_retry) {
+  if (!ensure_child()) {
+    note_fault(FaultKind::kSpawn);
+    return CheckResult::kUnknown;
+  }
+
+  // Deterministic chaos (no-ops unless a fault plan is armed): a SIGKILLed
+  // child exercises the real crash-detection path, a "hang" skips straight
+  // to the timeout path a non-answering child would reach, and "garble"
+  // corrupts the answer to exercise the protocol-error path.
+  if (fault::inject_fire(fault::Site::kSubprocessKill) && child_pid_ > 0)
+    ::kill(child_pid_, SIGKILL);
+  const bool injected_hang = fault::inject_fire(fault::Site::kSubprocessHang);
+  const bool injected_garble =
+      fault::inject_fire(fault::Site::kSubprocessGarble);
+
+  const auto fail = [&](FaultKind kind) {
+    const bool respawned = handle_failure(kind, deadline_ns);
+    if (respawned && allow_retry && obs::now_ns() < deadline_ns)
+      return check_once(assumptions, deadline_ns, /*allow_retry=*/false);
+    return CheckResult::kUnknown;
+  };
+
+  std::string script = "(push 1)\n";
+  for (const Formula& f : assumptions) {
+    script += smtlib2::assert_line(f);
+    script += '\n';
+  }
+  script += "(check-sat)\n";
+  if (!send(script)) return fail(FaultKind::kCrash);
+
+  std::string answer;
+  ReadStatus rs =
+      injected_hang ? ReadStatus::kTimeout : read_line(deadline_ns, &answer);
+  if (rs == ReadStatus::kTimeout) return fail(FaultKind::kTimeout);
+  if (rs != ReadStatus::kOk) return fail(FaultKind::kCrash);
+  if (injected_garble) answer = "(sat";  // truncated — the classic garble
+
+  CheckResult verdict;
+  if (answer == "sat") {
+    verdict = CheckResult::kSat;
+  } else if (answer == "unsat") {
+    verdict = CheckResult::kUnsat;
+  } else if (answer == "unknown") {
+    verdict = CheckResult::kUnknown;
+  } else {
+    return fail(FaultKind::kProtocol);
+  }
+
+  if (verdict == CheckResult::kSat && !vars_.empty()) {
+    // Models evaporate at (pop), so fetch eagerly before closing the
+    // assumption scope.
+    std::string query = "(get-value (";
+    for (std::size_t i = 0; i < vars_.size(); ++i) {
+      if (i != 0) query += ' ';
+      query += smtlib2::var_name(static_cast<int>(i));
+    }
+    query += "))\n";
+    if (!send(query)) return fail(FaultKind::kCrash);
+    std::string reply;
+    rs = read_sexpr(deadline_ns, &reply);
+    if (rs == ReadStatus::kTimeout) return fail(FaultKind::kTimeout);
+    if (rs != ReadStatus::kOk) return fail(FaultKind::kCrash);
+    const auto pairs = smtlib2::parse_model(reply);
+    if (!pairs) return fail(FaultKind::kProtocol);
+    model_.assign(vars_.size(), std::nullopt);
+    for (const auto& [index, value] : *pairs) {
+      if (index >= 0 && static_cast<std::size_t>(index) < model_.size())
+        model_[static_cast<std::size_t>(index)] = value;
+    }
+    has_model_ = true;
+  }
+
+  // The verdict is in hand; a failed scope close only costs the *session*
+  // (killed here, respawned lazily), never the answer.
+  if (!send("(pop 1)\n")) kill_child();
+  consecutive_failures_ = 0;
+  return verdict;
+}
+
+void SubprocessBackend::note_fault(FaultKind kind) noexcept {
+  ++stats_.faults;
+  switch (kind) {
+    case FaultKind::kTimeout:
+      ++stats_.timeouts;
+      backend_counter("timeouts").inc();
+      break;
+    case FaultKind::kCrash:
+      ++stats_.crashes;
+      backend_counter("crashes").inc();
+      break;
+    case FaultKind::kProtocol:
+      ++stats_.protocol_errors;
+      backend_counter("protocol_errors").inc();
+      break;
+    case FaultKind::kSpawn:
+      ++stats_.spawn_failures;
+      backend_counter("spawn_failures").inc();
+      break;
+  }
+}
+
+void SubprocessBackend::register_failure() noexcept {
+  ++consecutive_failures_;
+  ++respawn_attempts_;
+  if (respawn_attempts_ > config_.max_respawns) permanently_failed_ = true;
+}
+
+void SubprocessBackend::backoff_sleep(std::int64_t deadline_ns) {
+  if (config_.retry_backoff_ms <= 0 || consecutive_failures_ <= 0) return;
+  const int shift = std::min(consecutive_failures_ - 1, 6);
+  const std::int64_t ms =
+      std::min(config_.retry_backoff_ms << shift, kMaxBackoffMs);
+  // Sliced sleep: even the backoff re-checks the deadline.
+  const std::int64_t end = std::min(obs::now_ns() + ms * 1'000'000,
+                                    deadline_ns);
+  while (true) {
+    const std::int64_t now = obs::now_ns();
+    if (now >= end) return;
+    const std::int64_t slice_ms =
+        std::min(kPollSliceMs, (end - now) / 1'000'000 + 1);
+    std::this_thread::sleep_for(std::chrono::milliseconds(slice_ms));
+  }
+}
+
+bool SubprocessBackend::handle_failure(FaultKind kind,
+                                       std::int64_t deadline_ns) {
+  kill_child();
+  note_fault(kind);
+  register_failure();
+  if (permanently_failed_) return false;
+  backoff_sleep(deadline_ns);
+  if (!ensure_child()) {
+    note_fault(FaultKind::kSpawn);
+    return false;
+  }
+  return true;
+}
+
+bool SubprocessBackend::ensure_child() {
+  if (child_pid_ > 0) return true;
+  if (permanently_failed_) return false;
+  if (spawn() && replay_session()) {
+    if (spawned_once_) {
+      ++stats_.respawns;
+      backend_counter("respawns").inc();
+    }
+    spawned_once_ = true;
+    return true;
+  }
+  kill_child();
+  register_failure();
+  return false;
+}
+
+bool SubprocessBackend::spawn() {
+  if (config_.solver_path.empty() ||
+      ::access(config_.solver_path.c_str(), X_OK) != 0)
+    return false;
+
+  int to_pipe[2] = {-1, -1};
+  int from_pipe[2] = {-1, -1};
+  if (::pipe(to_pipe) != 0) return false;
+  if (::pipe(from_pipe) != 0) {
+    ::close(to_pipe[0]);
+    ::close(to_pipe[1]);
+    return false;
+  }
+
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    for (const int fd : {to_pipe[0], to_pipe[1], from_pipe[0], from_pipe[1]})
+      ::close(fd);
+    return false;
+  }
+  if (pid == 0) {
+    ::dup2(to_pipe[0], STDIN_FILENO);
+    ::dup2(from_pipe[1], STDOUT_FILENO);
+    for (const int fd : {to_pipe[0], to_pipe[1], from_pipe[0], from_pipe[1]})
+      ::close(fd);
+    ::signal(SIGPIPE, SIG_DFL);
+    std::vector<char*> argv;
+    argv.push_back(const_cast<char*>(config_.solver_path.c_str()));
+    for (const std::string& a : config_.solver_args)
+      argv.push_back(const_cast<char*>(a.c_str()));
+    argv.push_back(nullptr);
+    ::execvp(config_.solver_path.c_str(), argv.data());
+    ::_exit(127);
+  }
+
+  ::close(to_pipe[0]);
+  ::close(from_pipe[1]);
+  to_child_ = to_pipe[1];
+  from_child_ = from_pipe[0];
+  ::fcntl(from_child_, F_SETFL, O_NONBLOCK);
+  child_pid_ = pid;
+  rx_buffer_.clear();
+  return true;
+}
+
+void SubprocessBackend::kill_child() noexcept {
+  if (child_pid_ > 0) {
+    ::kill(child_pid_, SIGKILL);
+    while (::waitpid(child_pid_, nullptr, 0) < 0 && errno == EINTR) {
+    }
+  }
+  child_pid_ = -1;
+  if (to_child_ >= 0) ::close(to_child_);
+  if (from_child_ >= 0) ::close(from_child_);
+  to_child_ = -1;
+  from_child_ = -1;
+  rx_buffer_.clear();
+  has_model_ = false;
+}
+
+bool SubprocessBackend::replay_session() {
+  std::string script =
+      "(set-option :print-success false)\n"
+      "(set-option :produce-models true)\n"
+      "(set-logic QF_LIA)\n";
+  std::int64_t restored = 0;
+  for (std::size_t i = 0; i < frames_.size(); ++i) {
+    if (i != 0) script += "(push 1)\n";
+    for (const std::string& line : frames_[i]) {
+      script += line;
+      script += '\n';
+      ++restored;
+    }
+  }
+  if (!send(script)) return false;
+  stats_.restored_lines += restored;
+  backend_counter("restored_lines").add(restored);
+  has_model_ = false;
+  return true;
+}
+
+bool SubprocessBackend::send(std::string_view data) {
+  if (to_child_ < 0) return false;
+  while (!data.empty()) {
+    const ssize_t n = ::write(to_child_, data.data(), data.size());
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data.remove_prefix(static_cast<std::size_t>(n));
+  }
+  return true;
+}
+
+SubprocessBackend::ReadStatus SubprocessBackend::fill_buffer(
+    std::int64_t deadline_ns) {
+  const std::int64_t now = obs::now_ns();
+  if (now >= deadline_ns) return ReadStatus::kTimeout;
+  if (from_child_ < 0) return ReadStatus::kError;
+
+  struct pollfd pfd {};
+  pfd.fd = from_child_;
+  pfd.events = POLLIN;
+  const std::int64_t slice_ms =
+      std::min(kPollSliceMs, (deadline_ns - now) / 1'000'000 + 1);
+  const int pr = ::poll(&pfd, 1, static_cast<int>(slice_ms));
+  if (pr < 0) return errno == EINTR ? ReadStatus::kOk : ReadStatus::kError;
+  if (pr == 0) return ReadStatus::kOk;  // slice elapsed; caller re-checks
+
+  char buf[4096];
+  const ssize_t n = ::read(from_child_, buf, sizeof buf);
+  if (n > 0) {
+    rx_buffer_.append(buf, static_cast<std::size_t>(n));
+    return ReadStatus::kOk;
+  }
+  if (n == 0) return ReadStatus::kEof;
+  return (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR)
+             ? ReadStatus::kOk
+             : ReadStatus::kError;
+}
+
+SubprocessBackend::ReadStatus SubprocessBackend::read_line(
+    std::int64_t deadline_ns, std::string* out) {
+  while (true) {
+    const std::size_t nl = rx_buffer_.find('\n');
+    if (nl != std::string::npos) {
+      std::string line = rx_buffer_.substr(0, nl);
+      rx_buffer_.erase(0, nl + 1);
+      while (!line.empty() && (line.back() == '\r' || line.back() == ' '))
+        line.pop_back();
+      if (line.empty() || line == "success") continue;
+      *out = std::move(line);
+      return ReadStatus::kOk;
+    }
+    const ReadStatus rs = fill_buffer(deadline_ns);
+    if (rs != ReadStatus::kOk) return rs;
+  }
+}
+
+SubprocessBackend::ReadStatus SubprocessBackend::read_sexpr(
+    std::int64_t deadline_ns, std::string* out) {
+  while (true) {
+    // Scan what we have: leading whitespace, then either a balanced
+    // parenthesized expression or — protocol violation — a bare token, which
+    // is surfaced as-is for the caller's parser to reject.
+    std::size_t i = 0;
+    while (i < rx_buffer_.size() &&
+           std::isspace(static_cast<unsigned char>(rx_buffer_[i])))
+      ++i;
+    if (i < rx_buffer_.size() && rx_buffer_[i] != '(') {
+      const std::size_t end = rx_buffer_.find('\n', i);
+      if (end != std::string::npos) {
+        *out = rx_buffer_.substr(i, end - i);
+        rx_buffer_.erase(0, end + 1);
+        return ReadStatus::kOk;
+      }
+    } else if (i < rx_buffer_.size()) {
+      int depth = 0;
+      for (std::size_t j = i; j < rx_buffer_.size(); ++j) {
+        if (rx_buffer_[j] == '(') ++depth;
+        if (rx_buffer_[j] == ')' && --depth == 0) {
+          *out = rx_buffer_.substr(i, j + 1 - i);
+          rx_buffer_.erase(0, j + 1);
+          return ReadStatus::kOk;
+        }
+      }
+    }
+    const ReadStatus rs = fill_buffer(deadline_ns);
+    if (rs != ReadStatus::kOk) return rs;
+  }
+}
+
+}  // namespace lejit::smt

@@ -1,0 +1,122 @@
+// Out-of-process SMT solving over pipes (DESIGN.md §12).
+//
+// SubprocessBackend forks one SMT-LIB2 solver child per session (z3, cvc5,
+// or the bundled lejit_smtserve) and speaks the smtlib2.hpp dialect to it
+// over a stdin/stdout pipe pair. Crash isolation is the whole point, so the
+// wire handling is paranoid by design:
+//
+//   * Every blocking read polls in small slices against the effective
+//     deadline (the caller's Budget deadline capped by check_timeout_ms), so
+//     a wedged child can overshoot a budget by at most one poll interval.
+//   * A timeout, child death, write failure, or unparseable answer SIGKILLs
+//     the child and respawns it from a replay log of the session's state
+//     lines (declarations, assertions, scope structure), with bounded
+//     exponential backoff; after max_respawns restarts the backend declares
+//     itself permanently unhealthy and FailoverBackend routes around it.
+//   * A check lost to any of the above returns kUnknown and advances
+//     backend_stats().faults — never throws, never blocks past the deadline.
+//
+// Deterministic chaos for tests: fault::Site::kSubprocessKill /
+// kSubprocessHang / kSubprocessGarble kill the child under a live check,
+// simulate a wedged child (timeout path), and corrupt the answer
+// (protocol-error path) respectively.
+#pragma once
+
+#include <sys/types.h>
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "smt/backend.hpp"
+
+namespace lejit::smt {
+
+class SubprocessBackend final : public Backend {
+ public:
+  explicit SubprocessBackend(BackendConfig config);
+  ~SubprocessBackend() override;
+  SubprocessBackend(const SubprocessBackend&) = delete;
+  SubprocessBackend& operator=(const SubprocessBackend&) = delete;
+
+  std::string_view name() const noexcept override { return "subprocess"; }
+  VarId add_var(std::string name, Int lo, Int hi) override;
+  int num_vars() const noexcept override {
+    return static_cast<int>(vars_.size());
+  }
+  Interval bounds(VarId v) const override;
+  void add(Formula f) override;
+  void push() override;
+  void pop() override;
+  std::size_t num_scopes() const noexcept override {
+    return frames_.size() - 1;
+  }
+  CheckResult check_assuming(std::span<const Formula> assumptions,
+                             const Budget& budget) override;
+  std::optional<Int> model_value(VarId v) override;
+  SolverStats stats() const override { return solver_stats_; }
+  BackendStats backend_stats() const override { return stats_; }
+  bool healthy() const noexcept override { return !permanently_failed_; }
+
+  // The child pid, or -1 when no child is live. Tests use this to assert on
+  // respawn behavior; production code has no business with it.
+  pid_t child_pid() const noexcept { return child_pid_; }
+
+ private:
+  enum class ReadStatus { kOk, kTimeout, kEof, kError };
+  enum class FaultKind { kTimeout, kCrash, kProtocol, kSpawn };
+
+  struct VarDecl {
+    std::string name;
+    Int lo = 0;
+    Int hi = 0;
+  };
+
+  // Record `line` in the replay log (current scope frame) and send it to the
+  // live child, if any. State lines are exactly what a respawn re-issues.
+  void state_line(std::string line);
+
+  std::int64_t effective_deadline(const Budget& budget) const;
+  CheckResult check_once(std::span<const Formula> assumptions,
+                         std::int64_t deadline_ns, bool allow_retry);
+  // Kill + respawn + bounded backoff; true when a fresh child is live and
+  // the session state was replayed into it before `deadline_ns`.
+  bool handle_failure(FaultKind kind, std::int64_t deadline_ns);
+
+  void note_fault(FaultKind kind) noexcept;
+  void register_failure() noexcept;
+  void backoff_sleep(std::int64_t deadline_ns);
+  bool ensure_child();
+  bool spawn();
+  void kill_child() noexcept;
+  bool replay_session();
+
+  bool send(std::string_view data);
+  ReadStatus read_line(std::int64_t deadline_ns, std::string* out);
+  ReadStatus read_sexpr(std::int64_t deadline_ns, std::string* out);
+  ReadStatus fill_buffer(std::int64_t deadline_ns);
+
+  BackendConfig config_;
+  std::vector<VarDecl> vars_;
+  // Replay log: frames_[0] is the base scope, each push opens a new frame,
+  // pop discards one — so the log always equals the live session state.
+  std::vector<std::vector<std::string>> frames_{1};
+
+  pid_t child_pid_ = -1;
+  int to_child_ = -1;    // our write end of the child's stdin
+  int from_child_ = -1;  // our read end of the child's stdout
+  std::string rx_buffer_;
+  bool permanently_failed_ = false;
+  bool spawned_once_ = false;
+  int consecutive_failures_ = 0;
+  int respawn_attempts_ = 0;
+
+  std::vector<std::optional<Int>> model_;
+  bool has_model_ = false;
+
+  SolverStats solver_stats_;
+  BackendStats stats_;
+};
+
+}  // namespace lejit::smt

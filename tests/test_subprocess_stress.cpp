@@ -1,0 +1,142 @@
+// Subprocess-backend chaos stress (ctest label `stress`; also run under
+// ASan+UBSan by tools/run_stress_sanitized.sh). Hundreds of checks against
+// the bundled lejit_smtserve while fault injection kills, wedges, and
+// garbles the child at high rates: the respawn/replay path must stay leak-
+// and race-free, the fault accounting must balance, and — with the failover
+// wrapper — every single check must still come back with a definitive
+// verdict that matches plain minismt.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fault/fault.hpp"
+#include "smt/backend.hpp"
+#include "smt/subprocess.hpp"
+#include "util/rng.hpp"
+
+#ifndef LEJIT_SMTSERVE_PATH
+#define LEJIT_SMTSERVE_PATH ""
+#endif
+
+namespace lejit::smt {
+namespace {
+
+bool smtserve_available() {
+  return LEJIT_SMTSERVE_PATH[0] != '\0' &&
+         ::access(LEJIT_SMTSERVE_PATH, X_OK) == 0;
+}
+
+BackendConfig chaos_config(bool degrade) {
+  BackendConfig cfg;
+  cfg.kind = BackendKind::kSubprocess;
+  cfg.solver_path = LEJIT_SMTSERVE_PATH;
+  cfg.degrade_to_minismt = degrade;
+  cfg.check_timeout_ms = 40;  // injected hangs resolve fast
+  cfg.retry_backoff_ms = 1;
+  cfg.max_respawns = 1 << 20;
+  return cfg;
+}
+
+fault::Plan chaos_plan() {
+  fault::Plan plan;
+  plan.seed = 4242;
+  plan.site(fault::Site::kSubprocessKill).p_unknown = 0.35;
+  plan.site(fault::Site::kSubprocessHang).p_unknown = 0.05;
+  plan.site(fault::Site::kSubprocessGarble).p_unknown = 0.15;
+  return plan;
+}
+
+// Drive one randomized session: shared scaffold for both stress scenarios.
+// `mirror` (when non-null) receives the same declares/asserts and its
+// verdicts must match on every definitive answer.
+void run_session(Backend& b, Solver* mirror, util::Rng& rng, int checks) {
+  std::vector<VarId> vars, mvars;
+  const int nv = static_cast<int>(rng.uniform_int(2, 4));
+  for (int v = 0; v < nv; ++v) {
+    const Int hi = rng.uniform_int(5, 40);
+    const std::string name = "x" + std::to_string(v);
+    vars.push_back(b.add_var(name, 0, hi));
+    if (mirror) mvars.push_back(mirror->add_var(name, 0, hi));
+  }
+  const auto expr = [&](int v, Int k) {
+    return k * LinExpr(vars[static_cast<std::size_t>(v)]);
+  };
+  for (int c = 0; c < checks; ++c) {
+    const int v = static_cast<int>(rng.uniform_int(0, nv - 1));
+    Int k = rng.uniform_int(-2, 2);
+    if (k == 0) k = 1;
+    const Int bound = rng.uniform_int(-10, 50);
+    const Formula f = rng.bernoulli(0.5) ? le(expr(v, k), LinExpr(bound))
+                                         : ge(expr(v, k), LinExpr(bound));
+    if (rng.bernoulli(0.3)) {
+      b.push();
+      if (mirror) mirror->push();
+    }
+    b.add(f);
+    if (mirror) mirror->add(f);
+    const CheckResult rb = b.check();
+    if (mirror) {
+      const CheckResult rm = mirror->check();
+      if (rb != CheckResult::kUnknown && rm != CheckResult::kUnknown) {
+        ASSERT_EQ(rb, rm) << "check " << c;
+      }
+    }
+    if (rb == CheckResult::kSat) {
+      // Model extraction under chaos must never read freed state.
+      for (const VarId var : vars) (void)b.model_value(var);
+    }
+    if (b.num_scopes() > 0 && rng.bernoulli(0.4)) {
+      b.pop();
+      if (mirror) mirror->pop();
+    }
+  }
+}
+
+TEST(SubprocessStress, RawBackendSurvivesAKillHangGarbleStorm) {
+  if (!smtserve_available()) GTEST_SKIP() << "lejit_smtserve not built";
+  const fault::ScopedPlan scoped{chaos_plan()};
+  util::Rng rng(7);
+  BackendStats total;
+  for (int session = 0; session < 12; ++session) {
+    SubprocessBackend b(chaos_config(/*degrade=*/false));
+    run_session(b, nullptr, rng, 25);
+    const BackendStats s = b.backend_stats();
+    EXPECT_EQ(s.faults,
+              s.timeouts + s.crashes + s.protocol_errors + s.spawn_failures)
+        << "session " << session;
+    total.checks += s.checks;
+    total.faults += s.faults;
+    total.respawns += s.respawns;
+    total.restored_lines += s.restored_lines;
+  }
+  // The storm must actually have raged, and the replay machinery must have
+  // rebuilt real session state (not just respawned empty children).
+  EXPECT_GT(total.checks, 200);
+  EXPECT_GT(total.faults, 20);
+  EXPECT_GT(total.respawns, 20);
+  EXPECT_GT(total.restored_lines, 0);
+}
+
+TEST(SubprocessStress, FailoverAnswersEveryCheckAndAgreesWithMinismt) {
+  if (!smtserve_available()) GTEST_SKIP() << "lejit_smtserve not built";
+  const fault::ScopedPlan scoped{chaos_plan()};
+  util::Rng rng(11);
+  std::int64_t degraded = 0, faults = 0;
+  for (int session = 0; session < 10; ++session) {
+    const std::unique_ptr<Backend> b = make_backend(chaos_config(true));
+    Solver mirror;
+    run_session(*b, &mirror, rng, 25);
+    const BackendStats s = b->backend_stats();
+    EXPECT_GE(s.faults, s.degraded) << "session " << session;
+    degraded += s.degraded;
+    faults += s.faults;
+  }
+  EXPECT_GT(degraded, 0);
+  EXPECT_GE(faults, degraded);
+}
+
+}  // namespace
+}  // namespace lejit::smt

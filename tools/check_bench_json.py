@@ -39,6 +39,16 @@ REQUIRED_PLAN_ABLATION_KEYS = ("bit_identical", "propagations_on",
                                "propagations_off", "ms_per_sample_on",
                                "ms_per_sample_off", "table_hits",
                                "sliced_queries", "slice_rule_fraction")
+# Backend ablation block (--compare-backend): in-process vs subprocess vs
+# degraded-subprocess runs of the mined workload. The block is optional in a
+# report (pre-backend reports stay valid) but must be complete when present.
+REQUIRED_BACKEND_ABLATION_KEYS = ("subprocess_available", "bit_identical",
+                                  "ms_per_sample_inprocess",
+                                  "ms_per_sample_subprocess",
+                                  "ms_per_sample_degraded", "subprocess",
+                                  "degraded_backend")
+REQUIRED_BACKEND_STATS_KEYS = ("checks", "faults", "spawn_failures",
+                               "respawns", "degraded")
 
 
 def check_report(doc, errors, where):
@@ -142,6 +152,19 @@ def check_report(doc, errors, where):
             for key in REQUIRED_PLAN_ABLATION_KEYS:
                 if key not in plan_ablation:
                     err(f"plan_ablation is missing {key!r}")
+        backend_ablation = doc.get("backend_ablation")
+        if isinstance(backend_ablation, dict):
+            for key in REQUIRED_BACKEND_ABLATION_KEYS:
+                if key not in backend_ablation:
+                    err(f"backend_ablation is missing {key!r}")
+            for block in ("subprocess", "degraded_backend"):
+                stats = backend_ablation.get(block)
+                if isinstance(stats, dict):
+                    for key in REQUIRED_BACKEND_STATS_KEYS:
+                        if key not in stats:
+                            err(f"backend_ablation.{block} is missing {key!r}")
+        elif backend_ablation is not None:
+            err("backend_ablation is not an object")
 
 
 def check_file(path):
@@ -221,6 +244,55 @@ def check_plan_ablation(path):
     return errors
 
 
+def check_backend_ablation(path):
+    """Gate on the fig3 backend ablation: the subprocess and degraded runs
+    must decode bit-identically to the in-process run, and the degraded run
+    must actually have exercised the fallback ladder. A missing report or a
+    report that predates the backend layer is a clear skip (exit 0), never a
+    traceback — baselines regenerate on their own cadence.
+    Returns a list of error strings (empty = pass or skip)."""
+    p = pathlib.Path(path)
+    if not p.exists():
+        print(f"{path}: no report to compare against; skipping backend gate")
+        return []
+    errors = check_file(path)
+    if errors:
+        return errors
+    doc = json.loads(p.read_text())
+    ablation = doc.get("backend_ablation")
+    if not isinstance(ablation, dict):
+        print(f"{path}: report predates the backend ablation; "
+              "skipping backend gate")
+        return []
+    errors = []
+    if ablation.get("bit_identical") is not True:
+        errors.append(f"{path}: subprocess/degraded decodes are not "
+                      "bit-identical to the in-process run")
+    degraded = ablation.get("degraded_backend") or {}
+    if int(degraded.get("degraded", 0)) <= 0:
+        errors.append(f"{path}: degraded run never engaged the in-process "
+                      "fallback (degraded_backend.degraded == 0)")
+    # Once the primary is declared permanently unhealthy the failover routes
+    # around it without touching it, so `degraded` can exceed `faults`; but a
+    # degraded run with *no* recorded fault at all means the incident
+    # accounting is broken.
+    if int(degraded.get("degraded", 0)) > 0 \
+            and int(degraded.get("faults", 0)) <= 0:
+        errors.append(f"{path}: degraded run reports degraded checks but "
+                      "zero backend faults — incident accounting is broken")
+    if ablation.get("subprocess_available"):
+        sub = ablation.get("subprocess") or {}
+        if int(sub.get("checks", 0)) <= 0:
+            errors.append(f"{path}: subprocess leg ran but served no checks")
+    if not errors:
+        where = (ablation.get("solver_path") or "unavailable") \
+            if ablation.get("subprocess_available") else "skipped"
+        print(f"{path}: backend ablation ok — bit-identical, "
+              f"{degraded.get('degraded', 0)} checks degraded to fallback, "
+              f"subprocess leg: {where}")
+    return errors
+
+
 def self_test():
     good = {
         "schema_version": 1,
@@ -253,6 +325,18 @@ def self_test():
             "table_hits": 240, "sliced_queries": 900,
             "slice_rule_fraction": 0.4, "compile_solver_checks": 6000,
         },
+        "backend_ablation": {
+            "subprocess_available": True, "solver_path": "/usr/bin/z3",
+            "bit_identical": True,
+            "ms_per_sample_inprocess": 12.5,
+            "ms_per_sample_subprocess": 19.0,
+            "ms_per_sample_degraded": 13.0,
+            "subprocess": {"checks": 900, "faults": 0, "spawn_failures": 0,
+                           "respawns": 0, "degraded": 0},
+            "degraded_backend": {"checks": 900, "faults": 900,
+                                 "spawn_failures": 4, "respawns": 0,
+                                 "degraded": 900},
+        },
         "tables": [{"title": "t", "headers": ["a", "b"],
                     "rows": [["1", "2"]]}],
         "metrics": {"counters": {"smt.checks": 900}, "gauges": {},
@@ -284,6 +368,10 @@ def self_test():
         {**good, "plan_ablation": {"bit_identical": True}},  # incomplete
         {**good, "modes": [{**good["modes"][0],
                             "plan": {"table_hits": 1}}]},  # plan incomplete
+        {**good, "backend_ablation": {"bit_identical": True}},  # incomplete
+        {**good, "backend_ablation": {
+            **good["backend_ablation"],
+            "degraded_backend": {"checks": 1}}},  # stats block incomplete
     ]
     for i, bad in enumerate(bad_documents):
         errors = []
@@ -292,6 +380,21 @@ def self_test():
             print(f"self-test FAILED: known-bad document {i} accepted",
                   file=sys.stderr)
             return False
+
+    # A report lacking the backend block (pre-backend baseline) must stay
+    # valid, and --compare-backend against a missing file must be a clean
+    # skip rather than a traceback.
+    errors = []
+    check_report({k: v for k, v in good.items() if k != "backend_ablation"},
+                 errors, "self-test-no-backend-block")
+    if errors:
+        print("self-test FAILED: report without backend_ablation rejected",
+              file=sys.stderr)
+        return False
+    if check_backend_ablation("/nonexistent/self-test/BENCH_7.json"):
+        print("self-test FAILED: missing baseline did not skip cleanly",
+              file=sys.stderr)
+        return False
     print("self-test passed")
     return True
 
@@ -312,6 +415,12 @@ def main():
                              " shows bit-identical decodes, table hits and"
                              " sliced queries observed, and fewer solver"
                              " propagations with the plan on")
+    parser.add_argument("--compare-backend", metavar="FILE",
+                        help="validate FILE and fail unless its"
+                             " backend_ablation shows subprocess/degraded"
+                             " decodes bit-identical to in-process with the"
+                             " fallback ladder engaged; a missing FILE or a"
+                             " report without the block is a clear skip")
     args = parser.parse_args()
 
     ok = True
@@ -330,13 +439,19 @@ def main():
             print(e, file=sys.stderr)
         ok = not errors and ok
 
+    if args.compare_backend:
+        errors = check_backend_ablation(args.compare_backend)
+        for e in errors:
+            print(e, file=sys.stderr)
+        ok = not errors and ok
+
     files = [pathlib.Path(f) for f in args.files]
     if args.scan:
         files.extend(sorted(pathlib.Path(args.scan).rglob("BENCH_*.json")))
     if not files and not args.self_test and not args.compare_cache \
-            and not args.compare_plan:
+            and not args.compare_plan and not args.compare_backend:
         parser.error("nothing to do: pass files, --scan, --compare-cache, "
-                     "--compare-plan, or --self-test")
+                     "--compare-plan, --compare-backend, or --self-test")
 
     for path in files:
         errors = check_file(path)

@@ -13,6 +13,8 @@
 // schema limits; rule files use the rules/parser.hpp syntax, so mined rule
 // sets are editable by hand before being enforced. Generated/imputed rows go
 // to stdout; diagnostics go to stderr.
+#include <unistd.h>
+
 #include <fstream>
 #include <iostream>
 #include <map>
@@ -22,6 +24,7 @@
 
 #include "core/decoder.hpp"
 #include "lint/lint.hpp"
+#include "smt/diff.hpp"
 #include "lm/trainer.hpp"
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
@@ -37,6 +40,9 @@
 using namespace lejit;
 
 namespace {
+
+// argv[0], for resolving a sibling `lejit_smtserve` in backend specs.
+std::string g_argv0;
 
 // --- tiny argv parser -----------------------------------------------------------
 class Args {
@@ -225,6 +231,11 @@ core::GuidedDecoder make_decoder(const Args& args,
   config.solver.max_nodes = args.get_int("max-nodes", config.solver.max_nodes);
   config.resilience = resilience_from_args(args);
   config.cache = !args.has("no-solver-cache");
+  // Solver substrate (DESIGN.md §12): in-process minismt, or an external
+  // SMT-LIB2 subprocess with automatic degradation back to minismt.
+  config.backend =
+      smt::backend_config_from_spec(args.get("smt-backend", "minismt"),
+                                    g_argv0);
   // Fail fast on contradictory/degenerate rule sets before any decode; the
   // analyzer's static hulls also pre-warm the feasibility cache.
   config.lint_on_load = args.has("lint");
@@ -389,6 +400,61 @@ int cmd_plan(const Args& args) {
   return plan.active() ? 0 : 1;
 }
 
+// Differential verdict testing between the in-process minismt backend and
+// an external SMT-LIB2 subprocess backend (DESIGN.md §12). Exit-code
+// contract: 0 = every compared verdict agreed, 1 = at least one
+// disagreement (the first repro goes to stdout), 2 = usage failure,
+// 77 = no external solver available (the conventional "skip" exit, so test
+// drivers can mark the run skipped rather than failed).
+int cmd_smt_diff(const Args& args) {
+  smt::diff::Config cfg;
+  cfg.queries = args.get_int("queries", 1000);
+  cfg.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+
+  const std::string spec = args.get("backend", "auto");
+  smt::BackendConfig cand_cfg;
+  if (spec == "auto") {
+    const std::string path = smt::find_external_solver(g_argv0);
+    if (path.empty()) {
+      std::cerr << "smt-diff: no external solver found ($LEJIT_SMT_SOLVER, "
+                   "z3/cvc5 on PATH, $LEJIT_SMTSERVE, or a sibling "
+                   "lejit_smtserve); skipping\n";
+      return 77;
+    }
+    cand_cfg = smt::backend_config_from_spec(path, g_argv0);
+  } else if (spec == "self") {
+    // The bundled reference server next to this binary — deterministic in
+    // CI, where z3 may or may not be installed.
+    const std::size_t slash = g_argv0.rfind('/');
+    const std::string dir =
+        slash == std::string::npos ? "" : g_argv0.substr(0, slash + 1);
+    const std::string path = dir + "lejit_smtserve";
+    if (::access(path.c_str(), X_OK) != 0) {
+      std::cerr << "smt-diff: " << path << " is not executable; skipping\n";
+      return 77;
+    }
+    cand_cfg = smt::backend_config_from_spec(path, g_argv0);
+  } else {
+    cand_cfg = smt::backend_config_from_spec(spec, g_argv0);
+    if (cand_cfg.kind != smt::BackendKind::kSubprocess) {
+      std::cerr << "error: --backend must name an external solver "
+                   "(auto|self|subprocess:<path>|<path>)\n";
+      return 2;
+    }
+  }
+  // Compare the subprocess's own verdicts, not the failover's.
+  cand_cfg.degrade_to_minismt = false;
+
+  const smt::SolverConfig ref_solver;  // stock in-process configuration
+  const auto report = smt::diff::run(
+      [&] { return std::make_unique<smt::MinismtBackend>(ref_solver); },
+      [&] { return smt::make_backend(cand_cfg); }, cfg);
+  std::cout << smt::diff::to_text(report);
+  std::cerr << "smt-diff: candidate " << cand_cfg.solver_path << " vs minismt"
+            << (report.ok() ? ": agreement" : ": MISMATCH") << "\n";
+  return report.ok() ? 0 : 1;
+}
+
 void usage() {
   std::cerr <<
       "usage: lejit_cli <command> [--flag value ...]\n"
@@ -410,6 +476,13 @@ void usage() {
       "           solver queries + solver-verified digit-mask tables, bound\n"
       "           to the rule set by fingerprint. exit 0 = active plan,\n"
       "           1 = inactive (decoder would fall back), 2 = usage/IO\n"
+      "  smt-diff [--queries N] [--seed S] [--backend SPEC]\n"
+      "           differential verdict testing: replay randomized rule\n"
+      "           sessions through minismt and an external SMT-LIB2 solver,\n"
+      "           fail on any sat/unsat disagreement. SPEC: auto (default;\n"
+      "           exit 77 when no solver is found), self (the bundled\n"
+      "           lejit_smtserve), subprocess:<path>, or a solver path.\n"
+      "           exit 0 = agreement, 1 = mismatch, 77 = skipped\n"
       "resilience (synth, impute):\n"
       "  --on-unknown POLICY  inconclusive solver checks read as:\n"
       "                       infeasible|feasible|escalate (default escalate)\n"
@@ -427,6 +500,11 @@ void usage() {
       "                       a stale fingerprint exits 1. decodes stay\n"
       "                       bit-identical with or without a plan\n"
       "  --plan-compile       compile a decode plan in-process before decoding\n"
+      "  --smt-backend SPEC   solver substrate: minismt (default, in-process),\n"
+      "                       auto (external solver when one is found),\n"
+      "                       subprocess:<path> or a solver path. External\n"
+      "                       backends degrade to minismt on crash/hang/\n"
+      "                       garble (see smt.backend.* metrics)\n"
       "observability (any command):\n"
       "  --log-level LEVEL    stderr diagnostics: error|warn|info|debug|off\n"
       "                       (default off; LEJIT_LOG env is the fallback)\n"
@@ -485,6 +563,7 @@ int main(int argc, char** argv) {
     return 2;
   }
   const std::string command = argv[1];
+  g_argv0 = argv[0];
   const Args args(argc, argv);
   const ObsSession obs_session(args);
   try {
@@ -496,6 +575,7 @@ int main(int argc, char** argv) {
     if (command == "check") return cmd_check(args);
     if (command == "lint") return cmd_lint(args);
     if (command == "plan") return cmd_plan(args);
+    if (command == "smt-diff") return cmd_smt_diff(args);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 2;

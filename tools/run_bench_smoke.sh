@@ -1,9 +1,11 @@
 #!/bin/sh
 # Bench smoke test: run bench_fig3_runtime on a tiny --smoke configuration,
-# validate the emitted JSON against the schema checker, and gate on the two
-# ablations: cache (on/off decodes bit-identical; cached path no more than
-# 10% slower than uncached) and decode plan (on/off decodes bit-identical;
-# table hits and sliced queries observed; fewer solver propagations).
+# validate the emitted JSON against the schema checker, and gate on the
+# three ablations: cache (on/off decodes bit-identical; cached path no more
+# than 10% slower than uncached), decode plan (on/off decodes bit-identical;
+# table hits and sliced queries observed; fewer solver propagations), and
+# solver backend (subprocess/degraded decodes bit-identical to in-process;
+# the degradation ladder engaged).
 #
 # Usage: run_bench_smoke.sh BENCH_BINARY CHECKER_PY OUT_JSON [PYTHON3]
 set -u
@@ -29,4 +31,5 @@ run json-exists test -s "$OUT"
 run validate "$PY" "$CHECKER" "$OUT"
 run compare-cache "$PY" "$CHECKER" --compare-cache "$OUT"
 run compare-plan "$PY" "$CHECKER" --compare-plan "$OUT"
+run compare-backend "$PY" "$CHECKER" --compare-backend "$OUT"
 echo "[bench_smoke] all stages passed" >&2

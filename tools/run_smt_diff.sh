@@ -1,0 +1,25 @@
+#!/bin/sh
+# Differential verdict test against a real external SMT solver.
+#
+# Usage: run_smt_diff.sh <lejit_cli> [queries]
+#
+# Exits 77 (ctest SKIPPED via SKIP_RETURN_CODE) when neither z3 nor cvc5 is
+# installed — `lejit_cli smt-diff --backend auto` would otherwise fall back
+# to the bundled lejit_smtserve, which the always-on smt_diff_self test
+# already covers.
+set -u
+
+CLI="${1:?usage: run_smt_diff.sh <lejit_cli> [queries]}"
+QUERIES="${2:-1000}"
+
+if command -v z3 >/dev/null 2>&1; then
+  SOLVER=$(command -v z3)
+elif command -v cvc5 >/dev/null 2>&1; then
+  SOLVER=$(command -v cvc5)
+else
+  echo "run_smt_diff.sh: no z3 or cvc5 on PATH; skipping" >&2
+  exit 77
+fi
+
+echo "run_smt_diff.sh: diffing minismt against ${SOLVER}" >&2
+exec "${CLI}" smt-diff --backend "${SOLVER}" --queries "${QUERIES}" --seed 7

@@ -1,0 +1,17 @@
+// lejit_smtserve — the bundled SMT-LIB2 reference server.
+//
+// Speaks the smtlib2.hpp dialect on stdin/stdout, answering with the
+// in-process minismt. It exists so smt::SubprocessBackend, `lejit_cli
+// smt-diff`, and the subprocess lifecycle tests have a real external solver
+// to fork on machines where z3/cvc5 are not installed; with an external
+// solver present, prefer it (`--smt-backend=auto` does).
+//
+// LEJIT_SMTSERVE_MAX_NODES caps the per-check search budget.
+#include <iostream>
+
+#include "smt/smtlib2.hpp"
+
+int main() {
+  std::ios::sync_with_stdio(false);
+  return lejit::smt::smtlib2::run_server(std::cin, std::cout);
+}
