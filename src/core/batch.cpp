@@ -15,6 +15,25 @@
 
 namespace lejit::core {
 
+util::Rng row_rng(std::uint64_t seed, std::size_t row, int attempt) noexcept {
+  return util::Rng(seed ^ (0x9e3779b97f4a7c15ULL * (row + 1)) ^
+                       (static_cast<std::uint64_t>(attempt) *
+                        0xda942042e4dd58b5ULL),
+                   2 * row + 1);
+}
+
+std::uint64_t retry_backoff_for_attempt(std::int64_t retry_backoff_us,
+                                        int attempt) noexcept {
+  if (retry_backoff_us <= 0 || attempt <= 0) return 0;
+  constexpr std::uint64_t kMaxBackoffUs = 1'000'000;  // 1 s ceiling
+  const auto base = static_cast<std::uint64_t>(retry_backoff_us);
+  const int shift = std::min(attempt - 1, 63);
+  // base << shift could overflow (and for shift >= 64 the naive expression
+  // is UB outright), so compare against the ceiling by shifting right.
+  if (base > (kMaxBackoffUs >> shift)) return kMaxBackoffUs;
+  return base << shift;
+}
+
 namespace {
 
 BatchReport run_batch(const DecoderFactory& make_decoder, std::size_t count,
@@ -59,17 +78,15 @@ BatchReport run_batch(const DecoderFactory& make_decoder, std::size_t count,
     for (int attempt = 0; attempt < max_attempts; ++attempt) {
       if (attempt > 0) {
         ++retries;
-        if (config.retry_backoff_us > 0)
+        const std::uint64_t backoff_us =
+            retry_backoff_for_attempt(config.retry_backoff_us, attempt);
+        if (backoff_us > 0)
           std::this_thread::sleep_for(std::chrono::microseconds(
-              config.retry_backoff_us << (attempt - 1)));
+              static_cast<std::int64_t>(backoff_us)));
       }
       // Schedule-independent determinism: the RNG depends only on
-      // (seed, i, attempt), and attempt 0 reproduces the pre-isolation
-      // derivation exactly.
-      util::Rng rng(config.seed ^ (0x9e3779b97f4a7c15ULL * (i + 1)) ^
-                        (static_cast<std::uint64_t>(attempt) *
-                         0xda942042e4dd58b5ULL),
-                    2 * i + 1);
+      // (seed, i, attempt) — see row_rng.
+      util::Rng rng = row_rng(config.seed, i, attempt);
       try {
         fault::Injector::instance().on_batch_row(i, attempt);
         report.results[i] = decoder.generate(rng, prompt_of(i));

@@ -36,6 +36,19 @@ struct BatchConfig {
 
 using DecoderFactory = std::function<std::unique_ptr<GuidedDecoder>()>;
 
+// Deterministic per-row RNG: depends only on (seed, row, attempt), so results
+// are schedule-independent. Attempt 0 reproduces the pre-isolation derivation
+// exactly. Shared with the serve runtime (src/serve/), which must decode a
+// given (seed, row) pair bit-identically to this batch driver.
+util::Rng row_rng(std::uint64_t seed, std::size_t row, int attempt) noexcept;
+
+// Microseconds to sleep before retry `attempt` (>= 1): retry_backoff_us
+// doubled per prior attempt, with the exponent clamped and the result capped
+// at 1 s — naive `base << (attempt - 1)` overflows long before attempt 64 and
+// is undefined behavior from there on.
+std::uint64_t retry_backoff_for_attempt(std::int64_t retry_backoff_us,
+                                        int attempt) noexcept;
+
 struct BatchReport {
   std::vector<DecodeResult> results;  // in input order
   std::size_t ok = 0;

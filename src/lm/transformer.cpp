@@ -1,9 +1,13 @@
 #include "lm/transformer.hpp"
 
+#include <atomic>
 #include <cmath>
 #include <cstdint>
+#include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <numbers>
+#include <thread>
 
 #include "fault/fault.hpp"
 #include "obs/metrics.hpp"
@@ -158,17 +162,28 @@ struct Transformer::Impl {
   Param lnf_g, lnf_b, w_out, b_out;
   std::int64_t adam_t = 0;
 
-  // KV cache for incremental decoding. Mutable because it is semantically
-  // invisible: logits match a cold forward pass exactly.
-  mutable std::vector<int> cache_ids;
-  mutable std::vector<Mat> cache_k;  // per layer, (max_seq, d)
-  mutable std::vector<Mat> cache_v;
+  // KV cache backing the plain logits() path. Mutable because it is
+  // semantically invisible: logits match a cold forward pass exactly.
+  mutable KvCache cache;
+  // Reentrancy guard for that internal cache: 0 when unowned, otherwise a
+  // nonzero fingerprint of the thread currently inside logits().
+  mutable std::atomic<std::uint64_t> logits_owner{0};
 
-  void invalidate_cache() const { cache_ids.clear(); }
+  void invalidate_cache() const { cache.clear(); }
+
+  // Lazily size a cache for this model and reject caches shaped for another.
+  void ensure_cache_shape(KvCache& kv) const;
 
   // Incremental forward: reuse cached K/V for the common prefix of `ids`,
   // process only the new suffix, return logits at the last position.
-  std::vector<float> decode_logits(const std::vector<int>& ids) const;
+  std::vector<float> decode_logits(const std::vector<int>& ids,
+                                   KvCache& kv) const;
+
+  // Batched incremental forward over independent (ids, cache) sessions;
+  // bit-identical per session to decode_logits (see batch_vec_matmul).
+  std::vector<std::vector<float>> decode_logits_batch(
+      std::span<const std::vector<int>> ids_list,
+      std::span<KvCache* const> caches) const;
 
   std::vector<Param*> all_params() {
     std::vector<Param*> ps{&tok_emb, &pos_emb, &lnf_g, &lnf_b, &w_out, &b_out};
@@ -507,28 +522,122 @@ void vec_matmul(const float* vec, const Mat& w, const Param& b, int m, int n,
   }
 }
 
+// Batched vec_matmul: out[s] = in[s](1×m) · W(m×n) + b for every session s,
+// with ONE sweep over W serving all sessions (the batched-forward win: the
+// weight row loaded for position i is reused across the whole batch instead
+// of being re-streamed per row). For each session the per-element float
+// operations — bias first, ascending-i accumulation, the vi == 0 skip —
+// happen in exactly the order vec_matmul uses, so each out[s] is
+// bit-identical to vec_matmul(in[s], ...). That identity is what lets the
+// serve runtime promise batched == sequential decoding.
+void batch_vec_matmul(std::span<const float* const> in, const Mat& w,
+                      const Param& b, int m, int n,
+                      std::span<float* const> out) {
+  const std::size_t ns = in.size();
+  for (std::size_t s = 0; s < ns; ++s)
+    for (int j = 0; j < n; ++j)
+      out[s][j] = b.w.data[static_cast<std::size_t>(j)];
+  for (int i = 0; i < m; ++i) {
+    const float* wr = w.row(i);
+    for (std::size_t s = 0; s < ns; ++s) {
+      const float vi = in[s][i];
+      if (vi == 0.0f) continue;
+      float* os = out[s];
+      for (int j = 0; j < n; ++j) os[j] += vi * wr[j];
+    }
+  }
+}
+
+// Longest common prefix between the cache and `ids`, with the last token
+// always reprocessed so the query position's residual stream is available.
+// Rebinds the cache to `ids` and returns the number of reused positions.
+std::size_t kv_common_prefix(KvCache& kv, const std::vector<int>& ids) {
+  std::size_t common = 0;
+  while (common < kv.ids.size() && common < ids.size() &&
+         kv.ids[common] == ids[common])
+    ++common;
+  if (common == ids.size()) --common;
+  kv.ids.assign(ids.begin(), ids.end());
+  return common;
+}
+
+// lm.kv.* efficiency counters: `reused` positions served from the cache and
+// `recomputed` positions paid in full. Below the context window the ratio is
+// ~ctx:1 per step; once the sliding window engages, reuse collapses to the
+// START token alone and every step reprocesses the remaining max_seq-1
+// window positions (see Transformer::logits docs).
+void record_kv_counters(std::int64_t reused, std::int64_t recomputed) {
+  if (!obs::metrics_enabled()) return;
+  auto& registry = obs::MetricsRegistry::instance();
+  static obs::Counter& c_reused = registry.counter("lm.kv.reused_tokens");
+  static obs::Counter& c_recomputed =
+      registry.counter("lm.kv.recomputed_tokens");
+  c_reused.add(reused);
+  c_recomputed.add(recomputed);
+}
+
+// Nonzero per-thread fingerprint for the logits() reentrancy guard.
+std::uint64_t thread_fingerprint() noexcept {
+  return std::hash<std::thread::id>{}(std::this_thread::get_id()) | 1u;
+}
+
+// Owns the internal-cache critical section. Overlapping entry from a second
+// thread is a programming error that would silently corrupt the KV cache
+// (and with it, decoded text), so it aborts loudly instead — a release-mode
+// assertion cheap enough (two uncontended atomics per forward) to always be
+// on.
+class ReentrancyGuard {
+ public:
+  explicit ReentrancyGuard(std::atomic<std::uint64_t>& owner) : owner_(owner) {
+    std::uint64_t expected = 0;
+    if (!owner_.compare_exchange_strong(expected, thread_fingerprint(),
+                                        std::memory_order_acquire)) {
+      std::fprintf(
+          stderr,
+          "lejit fatal: Transformer::logits() entered concurrently from two "
+          "threads; the internal KV cache is not thread-safe. Give each "
+          "thread its own lm::TransformerSession (or KvCache overload) "
+          "instead of sharing one model instance.\n");
+      std::abort();
+    }
+  }
+  ~ReentrancyGuard() { owner_.store(0, std::memory_order_release); }
+
+  ReentrancyGuard(const ReentrancyGuard&) = delete;
+  ReentrancyGuard& operator=(const ReentrancyGuard&) = delete;
+
+ private:
+  std::atomic<std::uint64_t>& owner_;
+};
+
 }  // namespace
 
-std::vector<float> Transformer::Impl::decode_logits(
-    const std::vector<int>& ids) const {
+void Transformer::Impl::ensure_cache_shape(KvCache& kv) const {
+  const int d = cfg.d_model;
+  if (kv.k.empty()) {
+    kv.k.assign(static_cast<std::size_t>(cfg.n_layers), Mat(cfg.max_seq, d));
+    kv.v.assign(static_cast<std::size_t>(cfg.n_layers), Mat(cfg.max_seq, d));
+    return;
+  }
+  LEJIT_REQUIRE(kv.k.size() == static_cast<std::size_t>(cfg.n_layers) &&
+                    kv.k[0].rows == cfg.max_seq && kv.k[0].cols == d,
+                "KvCache was sized for a different model");
+}
+
+std::vector<float> Transformer::Impl::decode_logits(const std::vector<int>& ids,
+                                                    KvCache& kv) const {
   const int d = cfg.d_model;
   const int nh = cfg.n_heads;
   const int dh = d / nh;
   const float scale = 1.0f / std::sqrt(static_cast<float>(dh));
 
-  if (cache_k.empty()) {
-    cache_k.assign(static_cast<std::size_t>(cfg.n_layers), Mat(cfg.max_seq, d));
-    cache_v.assign(static_cast<std::size_t>(cfg.n_layers), Mat(cfg.max_seq, d));
-  }
+  ensure_cache_shape(kv);
 
   // Longest common prefix with the cached context; always reprocess the last
   // token so the residual stream for the query position is available.
-  std::size_t common = 0;
-  while (common < cache_ids.size() && common < ids.size() &&
-         cache_ids[common] == ids[common])
-    ++common;
-  if (common == ids.size()) --common;
-  cache_ids.assign(ids.begin(), ids.end());
+  const std::size_t common = kv_common_prefix(kv, ids);
+  record_kv_counters(static_cast<std::int64_t>(common),
+                     static_cast<std::int64_t>(ids.size() - common));
 
   std::vector<float> x(static_cast<std::size_t>(d));
   std::vector<float> norm(static_cast<std::size_t>(d));
@@ -547,8 +656,8 @@ std::vector<float> Transformer::Impl::decode_logits(
 
     for (int li = 0; li < cfg.n_layers; ++li) {
       const LayerParams& lp = layers[static_cast<std::size_t>(li)];
-      Mat& kc = cache_k[static_cast<std::size_t>(li)];
-      Mat& vc = cache_v[static_cast<std::size_t>(li)];
+      Mat& kc = kv.k[static_cast<std::size_t>(li)];
+      Mat& vc = kv.v[static_cast<std::size_t>(li)];
 
       ln_vec(x.data(), lp.ln1_g, lp.ln1_b, d, norm.data());
       vec_matmul(norm.data(), lp.w_qkv.w, lp.b_qkv, d, 3 * d, qkv.data());
@@ -601,6 +710,175 @@ std::vector<float> Transformer::Impl::decode_logits(
   return logits;
 }
 
+// Cross-session batched decode. Sessions advance position-by-position in
+// lockstep: at every step, the per-position weight matmuls of all sessions
+// that still have unprocessed positions are fused into batch_vec_matmul
+// calls, while the scalar stages (LayerNorm, attention over the session's
+// own KV cache, GELU, residuals) run per session with the exact code shape
+// of decode_logits. Sessions with shorter suffixes simply drop out of the
+// active set early; the final LN + output projection is batched over all
+// sessions at the end. Per-session arithmetic order is identical to the
+// sequential path throughout, so each returned row is bit-identical to what
+// decode_logits would produce for that (ids, cache) pair.
+std::vector<std::vector<float>> Transformer::Impl::decode_logits_batch(
+    std::span<const std::vector<int>> ids_list,
+    std::span<KvCache* const> caches) const {
+  const std::size_t ns = ids_list.size();
+  const int d = cfg.d_model;
+  const int nh = cfg.n_heads;
+  const int dh = d / nh;
+  const float scale = 1.0f / std::sqrt(static_cast<float>(dh));
+
+  std::vector<std::size_t> pos(ns), end(ns);
+  std::int64_t reused = 0;
+  std::int64_t recomputed = 0;
+  for (std::size_t s = 0; s < ns; ++s) {
+    ensure_cache_shape(*caches[s]);
+    pos[s] = kv_common_prefix(*caches[s], ids_list[s]);
+    end[s] = ids_list[s].size();
+    reused += static_cast<std::int64_t>(pos[s]);
+    recomputed += static_cast<std::int64_t>(end[s] - pos[s]);
+  }
+  record_kv_counters(reused, recomputed);
+
+  // Per-session workspaces, one row each. Sized once for the whole batch.
+  Mat x(static_cast<int>(ns), d);
+  Mat norm(static_cast<int>(ns), d);
+  Mat qkv(static_cast<int>(ns), 3 * d);
+  Mat ctx(static_cast<int>(ns), d);
+  Mat attn_out(static_cast<int>(ns), d);
+  Mat ff(static_cast<int>(ns), cfg.d_ff);
+  Mat ff_out(static_cast<int>(ns), d);
+  Mat final_x(static_cast<int>(ns), d);
+  std::vector<float> att;
+
+  std::vector<std::size_t> active;
+  std::vector<const float*> in_ptrs;
+  std::vector<float*> out_ptrs;
+  const auto batched = [&](const Mat& in_rows, const Mat& w, const Param& b,
+                           int m, int n, Mat& out_rows) {
+    in_ptrs.clear();
+    out_ptrs.clear();
+    for (const std::size_t s : active) {
+      in_ptrs.push_back(in_rows.row(static_cast<int>(s)));
+      out_ptrs.push_back(out_rows.row(static_cast<int>(s)));
+    }
+    batch_vec_matmul(in_ptrs, w, b, m, n, out_ptrs);
+  };
+
+  while (true) {
+    active.clear();
+    for (std::size_t s = 0; s < ns; ++s)
+      if (pos[s] < end[s]) active.push_back(s);
+    if (active.empty()) break;
+
+    for (const std::size_t s : active) {
+      const int t = static_cast<int>(pos[s]);
+      const float* e = tok_emb.w.row(ids_list[s][pos[s]]);
+      const float* p = pos_emb.w.row(t);
+      float* xs = x.row(static_cast<int>(s));
+      for (int i = 0; i < d; ++i) xs[i] = e[i] + p[i];
+    }
+
+    for (int li = 0; li < cfg.n_layers; ++li) {
+      const LayerParams& lp = layers[static_cast<std::size_t>(li)];
+
+      for (const std::size_t s : active)
+        ln_vec(x.row(static_cast<int>(s)), lp.ln1_g, lp.ln1_b, d,
+               norm.row(static_cast<int>(s)));
+      batched(norm, lp.w_qkv.w, lp.b_qkv, d, 3 * d, qkv);
+
+      for (const std::size_t s : active) {
+        const int si = static_cast<int>(s);
+        const int t = static_cast<int>(pos[s]);
+        Mat& kc = caches[s]->k[static_cast<std::size_t>(li)];
+        Mat& vc = caches[s]->v[static_cast<std::size_t>(li)];
+        const float* sq = qkv.row(si);
+        std::copy(sq + d, sq + 2 * d, kc.row(t));
+        std::copy(sq + 2 * d, sq + 3 * d, vc.row(t));
+
+        float* cs = ctx.row(si);
+        std::fill(cs, cs + d, 0.0f);
+        att.assign(pos[s] + 1, 0.0f);
+        for (int h = 0; h < nh; ++h) {
+          const int off = h * dh;
+          const float* q = sq + off;
+          float maxv = -1e30f;
+          for (std::size_t u = 0; u <= pos[s]; ++u) {
+            const float* ku = kc.row(static_cast<int>(u)) + off;
+            float acc = 0.0f;
+            for (int i = 0; i < dh; ++i) acc += q[i] * ku[i];
+            att[u] = acc * scale;
+            maxv = std::max(maxv, att[u]);
+          }
+          float total = 0.0f;
+          for (std::size_t u = 0; u <= pos[s]; ++u) {
+            att[u] = std::exp(att[u] - maxv);
+            total += att[u];
+          }
+          const float inv = 1.0f / total;
+          float* ch = cs + off;
+          for (std::size_t u = 0; u <= pos[s]; ++u) {
+            const float a = att[u] * inv;
+            const float* vu = vc.row(static_cast<int>(u)) + off;
+            for (int i = 0; i < dh; ++i) ch[i] += a * vu[i];
+          }
+        }
+      }
+      batched(ctx, lp.w_o.w, lp.b_o, d, d, attn_out);
+      for (const std::size_t s : active) {
+        const int si = static_cast<int>(s);
+        float* xs = x.row(si);
+        const float* ao = attn_out.row(si);
+        for (int i = 0; i < d; ++i) xs[i] += ao[i];
+      }
+
+      for (const std::size_t s : active)
+        ln_vec(x.row(static_cast<int>(s)), lp.ln2_g, lp.ln2_b, d,
+               norm.row(static_cast<int>(s)));
+      batched(norm, lp.w_fc1.w, lp.b_fc1, d, cfg.d_ff, ff);
+      for (const std::size_t s : active) {
+        float* fs = ff.row(static_cast<int>(s));
+        for (int i = 0; i < cfg.d_ff; ++i) fs[i] = gelu(fs[i]);
+      }
+      batched(ff, lp.w_fc2.w, lp.b_fc2, cfg.d_ff, d, ff_out);
+      for (const std::size_t s : active) {
+        const int si = static_cast<int>(s);
+        float* xs = x.row(si);
+        const float* fo = ff_out.row(si);
+        for (int i = 0; i < d; ++i) xs[i] += fo[i];
+      }
+    }
+
+    for (const std::size_t s : active) {
+      ++pos[s];
+      if (pos[s] == end[s]) {
+        const int si = static_cast<int>(s);
+        std::copy(x.row(si), x.row(si) + d, final_x.row(si));
+      }
+    }
+  }
+
+  // Final LN per session, then one batched output projection over everyone
+  // (w_out is the widest matrix in the model — the biggest single win).
+  active.clear();
+  for (std::size_t s = 0; s < ns; ++s) active.push_back(s);
+  for (const std::size_t s : active)
+    ln_vec(final_x.row(static_cast<int>(s)), lnf_g, lnf_b, d,
+           norm.row(static_cast<int>(s)));
+
+  std::vector<std::vector<float>> out(
+      ns, std::vector<float>(static_cast<std::size_t>(cfg.vocab_size)));
+  in_ptrs.clear();
+  out_ptrs.clear();
+  for (std::size_t s = 0; s < ns; ++s) {
+    in_ptrs.push_back(norm.row(static_cast<int>(s)));
+    out_ptrs.push_back(out[s].data());
+  }
+  batch_vec_matmul(in_ptrs, w_out.w, b_out, d, cfg.vocab_size, out_ptrs);
+  return out;
+}
+
 Transformer::Transformer(TransformerConfig config, util::Rng& rng)
     : config_(config), impl_(std::make_unique<Impl>()) {
   LEJIT_REQUIRE(config.vocab_size > 0, "vocab_size must be positive");
@@ -621,28 +899,90 @@ std::size_t Transformer::num_parameters() const noexcept {
   return n;
 }
 
-std::vector<float> Transformer::logits(std::span<const int> context) const {
-  fault::inject(fault::Site::kLmForward);
-  const bool obs_on = obs::metrics_enabled();
-  const std::int64_t t0 = obs_on ? obs::now_ns() : 0;
-  const int start_id = config_.vocab_size;
-  const std::size_t keep = std::min(
-      context.size(), static_cast<std::size_t>(config_.max_seq - 1));
+namespace {
+
+// START-prefixed, range-checked input ids, windowed to the last max_seq-1
+// context tokens — the shared front half of every inference path.
+std::vector<int> window_context(const TransformerConfig& cfg,
+                                std::span<const int> context) {
+  const int start_id = cfg.vocab_size;
+  const std::size_t keep =
+      std::min(context.size(), static_cast<std::size_t>(cfg.max_seq - 1));
   std::vector<int> ids;
   ids.reserve(keep + 1);
   ids.push_back(start_id);
   for (std::size_t i = context.size() - keep; i < context.size(); ++i) {
     const int t = context[i];
-    LEJIT_REQUIRE(t >= 0 && t < config_.vocab_size, "token id out of range");
+    LEJIT_REQUIRE(t >= 0 && t < cfg.vocab_size, "token id out of range");
     ids.push_back(t);
   }
-  std::vector<float> out = impl_->decode_logits(ids);
+  return ids;
+}
+
+void record_forward(std::int64_t t0) {
+  auto& registry = obs::MetricsRegistry::instance();
+  static obs::Counter& c_forwards = registry.counter("lm.transformer.forwards");
+  static obs::Histogram& h_latency =
+      registry.histogram("lm.transformer.forward_latency_us");
+  c_forwards.inc();
+  h_latency.observe(static_cast<double>(obs::now_ns() - t0) * 1e-3);
+}
+
+}  // namespace
+
+std::vector<float> Transformer::logits(std::span<const int> context) const {
+  fault::inject(fault::Site::kLmForward);
+  const ReentrancyGuard guard(impl_->logits_owner);
+  const bool obs_on = obs::metrics_enabled();
+  const std::int64_t t0 = obs_on ? obs::now_ns() : 0;
+  std::vector<float> out =
+      impl_->decode_logits(window_context(config_, context), impl_->cache);
+  if (obs_on) record_forward(t0);
+  return out;
+}
+
+std::vector<float> Transformer::logits(std::span<const int> context,
+                                       KvCache& cache) const {
+  fault::inject(fault::Site::kLmForward);
+  const bool obs_on = obs::metrics_enabled();
+  const std::int64_t t0 = obs_on ? obs::now_ns() : 0;
+  std::vector<float> out =
+      impl_->decode_logits(window_context(config_, context), cache);
+  if (obs_on) record_forward(t0);
+  return out;
+}
+
+std::vector<std::vector<float>> Transformer::logits_batch(
+    std::span<const std::vector<int>> contexts,
+    std::span<KvCache* const> caches) const {
+  LEJIT_REQUIRE(contexts.size() == caches.size(),
+                "logits_batch: contexts/caches size mismatch");
+  LEJIT_REQUIRE(!contexts.empty(), "logits_batch: empty batch");
+  for (std::size_t i = 0; i < caches.size(); ++i) {
+    LEJIT_REQUIRE(caches[i] != nullptr, "logits_batch: null KvCache");
+    for (std::size_t j = i + 1; j < caches.size(); ++j)
+      LEJIT_REQUIRE(caches[i] != caches[j],
+                    "logits_batch: sessions must use distinct KvCaches");
+  }
+  fault::inject(fault::Site::kLmForward);
+  const bool obs_on = obs::metrics_enabled();
+  const std::int64_t t0 = obs_on ? obs::now_ns() : 0;
+  std::vector<std::vector<int>> ids_list;
+  ids_list.reserve(contexts.size());
+  for (const auto& context : contexts)
+    ids_list.push_back(window_context(config_, context));
+  std::vector<std::vector<float>> out =
+      impl_->decode_logits_batch(ids_list, caches);
   if (obs_on) {
     auto& registry = obs::MetricsRegistry::instance();
-    static obs::Counter& c_forwards = registry.counter("lm.transformer.forwards");
+    static obs::Counter& c_batches =
+        registry.counter("lm.transformer.batched_forwards");
+    static obs::Counter& c_rows =
+        registry.counter("lm.transformer.batched_contexts");
     static obs::Histogram& h_latency =
-        registry.histogram("lm.transformer.forward_latency_us");
-    c_forwards.inc();
+        registry.histogram("lm.transformer.batched_forward_latency_us");
+    c_batches.inc();
+    c_rows.add(static_cast<std::int64_t>(contexts.size()));
     h_latency.observe(static_cast<double>(obs::now_ns() - t0) * 1e-3);
   }
   return out;

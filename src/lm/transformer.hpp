@@ -36,6 +36,27 @@ struct AdamConfig {
   float grad_clip = 1.0f;  // global-norm clip; <= 0 disables
 };
 
+// Per-session key/value cache for incremental decoding (DESIGN.md §13).
+//
+// The cache holds, per layer, the K and V rows of every position of the last
+// processed context, keyed by the START-prefixed token ids. It is
+// semantically invisible: logits computed through a cache are bit-identical
+// to a cold forward pass. A Transformer keeps one internal KvCache for the
+// plain logits() path; callers that decode concurrently over one shared
+// model own one KvCache per session instead (see TransformerSession and
+// Transformer::logits_batch) — the model weights are read-only during
+// inference, so distinct caches make concurrent decoding safe.
+//
+// A KvCache is bound to one model: training steps or set_parameters_flat()
+// invalidate only the model's internal cache, so session caches must be
+// clear()ed by their owners if the weights change under them.
+struct KvCache {
+  std::vector<int> ids;   // START-prefixed ids the cached rows correspond to
+  std::vector<Mat> k, v;  // per layer, (max_seq, d_model)
+
+  void clear() noexcept { ids.clear(); }
+};
+
 class Transformer final : public LanguageModel {
  public:
   Transformer(TransformerConfig config, util::Rng& rng);
@@ -58,9 +79,34 @@ class Transformer final : public LanguageModel {
   // Decoding fast path: an internal KV cache makes repeated calls with
   // growing contexts (the decoder's access pattern) O(context) instead of
   // O(context²) per call. The cache is invisible semantically — logits are
-  // bit-identical to a cold forward pass — but makes logits() non-reentrant;
-  // guard externally if sharing one instance across threads.
+  // bit-identical to a cold forward pass — but makes logits() non-reentrant:
+  // a runtime guard aborts with a diagnostic if two threads overlap in here
+  // (use TransformerSession / the KvCache overloads to share a model).
+  //
+  // Cache-efficiency note (lm.kv.* counters): while the context is shorter
+  // than max_seq-1 every step reuses the full cached prefix and recomputes
+  // only the final token. Once the context reaches the window limit the
+  // sliding window shifts by one every step, the common prefix check
+  // matches nothing, and every call recomputes all max_seq positions — the
+  // documented O(ctx²) post-window regime, visible as lm.kv.recomputed_tokens
+  // outpacing lm.kv.reused_tokens.
   std::vector<float> logits(std::span<const int> context) const override;
+
+  // Same computation through a caller-owned KvCache. Thread-safe for
+  // concurrent calls with *distinct* caches (weights are read-only); the
+  // reentrancy guard does not apply. Bit-identical to logits(context).
+  std::vector<float> logits(std::span<const int> context, KvCache& cache) const;
+
+  // Cross-session batched forward (the serve runtime's hot path): decode the
+  // next-token logits for N independent contexts in one pass, stacking the
+  // per-position weight matmuls so one sweep over each weight matrix serves
+  // every session. `caches[i]` must be distinct per-session caches. The
+  // result for each session is bit-identical to logits(contexts[i]) — the
+  // batched kernel preserves the exact per-element float summation order of
+  // the sequential path — so batching is schedule-invisible by construction.
+  std::vector<std::vector<float>> logits_batch(
+      std::span<const std::vector<int>> contexts,
+      std::span<KvCache* const> caches) const;
 
   // --- training ----------------------------------------------------------
   // One optimizer step on a batch of token rows. Each row is trained with
@@ -93,6 +139,28 @@ class Transformer final : public LanguageModel {
   struct Impl;
   TransformerConfig config_;
   std::unique_ptr<Impl> impl_;
+};
+
+// A per-thread / per-session view of a shared Transformer: same logits, but
+// the KV cache lives here, so any number of sessions can decode concurrently
+// over one read-only model (e.g. a core::DecoderFactory capturing a shared
+// model hands each worker its own TransformerSession). The model must
+// outlive the session and must not be trained while sessions are live.
+class TransformerSession final : public LanguageModel {
+ public:
+  explicit TransformerSession(const Transformer& model) : model_(model) {}
+
+  int vocab_size() const override { return model_.vocab_size(); }
+  std::vector<float> logits(std::span<const int> context) const override {
+    return model_.logits(context, cache_);
+  }
+
+  const Transformer& model() const noexcept { return model_; }
+  KvCache& cache() noexcept { return cache_; }
+
+ private:
+  const Transformer& model_;
+  mutable KvCache cache_;
 };
 
 }  // namespace lejit::lm

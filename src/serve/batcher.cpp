@@ -1,0 +1,75 @@
+#include "serve/batcher.hpp"
+
+#include "obs/metrics.hpp"
+#include "util/error.hpp"
+
+namespace lejit::serve {
+
+void Batcher::activate() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  ++active_;
+}
+
+void Batcher::deactivate() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  LEJIT_ASSERT(active_ > 0, "deactivate without matching activate");
+  --active_;
+  // The group may have been waiting only for us: fire for the others.
+  if (!waiting_.empty() && static_cast<int>(waiting_.size()) == active_)
+    fire_locked();
+}
+
+std::vector<float> Batcher::forward(std::span<const int> context,
+                                    lm::KvCache& cache) {
+  std::unique_lock<std::mutex> lock(mu_);
+  Pending pending;
+  pending.context.assign(context.begin(), context.end());
+  pending.cache = &cache;
+  waiting_.push_back(&pending);
+  LEJIT_ASSERT(static_cast<int>(waiting_.size()) <= active_,
+               "forward() from a session that never activated");
+  if (static_cast<int>(waiting_.size()) == active_)
+    fire_locked();  // we are the last arrival: lead this round
+  else
+    cv_.wait(lock, [&pending] { return pending.done; });
+  return std::move(pending.out);
+}
+
+void Batcher::fire_locked() {
+  std::vector<std::vector<int>> contexts;
+  std::vector<lm::KvCache*> caches;
+  contexts.reserve(waiting_.size());
+  caches.reserve(waiting_.size());
+  for (Pending* p : waiting_) {
+    contexts.push_back(std::move(p->context));
+    caches.push_back(p->cache);
+  }
+
+  std::vector<std::vector<float>> outs = model_.logits_batch(contexts, caches);
+
+  ++forwards_;
+  contexts_ += waiting_.size();
+  if (obs::metrics_enabled()) {
+    auto& registry = obs::MetricsRegistry::instance();
+    static obs::Counter& c_forwards = registry.counter("serve.batch.forwards");
+    static obs::Histogram& h_width = registry.histogram(
+        "serve.batch.width", obs::HistogramOptions::linear(0.0, 32.0, 32));
+    c_forwards.inc();
+    h_width.observe(static_cast<double>(waiting_.size()));
+  }
+
+  for (std::size_t i = 0; i < waiting_.size(); ++i) {
+    waiting_[i]->out = std::move(outs[i]);
+    waiting_[i]->done = true;
+  }
+  waiting_.clear();
+  cv_.notify_all();
+}
+
+void Batcher::snapshot(std::uint64_t& forwards, std::uint64_t& contexts) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  forwards = forwards_;
+  contexts = contexts_;
+}
+
+}  // namespace lejit::serve

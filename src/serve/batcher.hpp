@@ -1,0 +1,71 @@
+// Cross-session batched LM forwards via a leader/follower rendezvous
+// (DESIGN.md §13).
+//
+// One Batcher serves one worker group of decode sessions. Sessions register
+// at row boundaries (activate/deactivate) and call forward() whenever their
+// decoder needs next-token logits. A forward() call blocks until every
+// *active* session of the group is blocked in forward() too; the last
+// arrival — or a session leaving the group mid-wait — becomes the leader and
+// runs one Transformer::logits_batch() over all pending contexts, then wakes
+// the group. Sessions between LM calls (solver work, sampling) simply have
+// not arrived yet; the rendezvous waits for them, which is what aligns the
+// group's decode loops into shared matmul sweeps.
+//
+// Determinism: logits_batch() is bit-identical per session to the sequential
+// forward regardless of batch composition, so the rendezvous changes *when*
+// logits are computed, never their values — decoded text is independent of
+// group size, arrival order, and scheduling.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "lm/transformer.hpp"
+
+namespace lejit::serve {
+
+class Batcher {
+ public:
+  explicit Batcher(const lm::Transformer& model) : model_(model) {}
+
+  Batcher(const Batcher&) = delete;
+  Batcher& operator=(const Batcher&) = delete;
+
+  // Row boundaries: a session counts toward the rendezvous only between
+  // activate() and deactivate(). deactivate() fires the pending batch if the
+  // leaving session was the last straggler the group was waiting for.
+  void activate();
+  void deactivate();
+
+  // Blocking batched forward for one session (must be active). `cache` is
+  // the session's private KV cache.
+  std::vector<float> forward(std::span<const int> context, lm::KvCache& cache);
+
+  // Lifetime totals, for ServeStats.
+  void snapshot(std::uint64_t& forwards, std::uint64_t& contexts) const;
+
+ private:
+  struct Pending {
+    std::vector<int> context;
+    lm::KvCache* cache = nullptr;
+    std::vector<float> out;
+    bool done = false;
+  };
+
+  // Precondition: mu_ held, waiting_ non-empty. Runs the batched forward and
+  // completes every pending request.
+  void fire_locked();
+
+  const lm::Transformer& model_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  int active_ = 0;
+  std::vector<Pending*> waiting_;
+  std::uint64_t forwards_ = 0;
+  std::uint64_t contexts_ = 0;
+};
+
+}  // namespace lejit::serve

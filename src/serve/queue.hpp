@@ -1,0 +1,74 @@
+// Bounded MPMC request queue for the serve runtime (DESIGN.md §13).
+//
+// Deliberately minimal: a mutex + two condition variables around a deque.
+// The queue is the service's admission control — push() blocks when the
+// queue is full, so a producer submitting faster than the worker pool can
+// decode is backpressured instead of growing memory without bound. close()
+// wakes everyone; pop() then drains the remaining items before reporting
+// end-of-stream, so no accepted request is ever dropped.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace lejit::serve {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(std::size_t capacity) : capacity_(capacity) {
+    LEJIT_REQUIRE(capacity > 0, "queue capacity must be positive");
+  }
+
+  // Blocks while the queue is full. Returns false (dropping the item) if the
+  // queue was closed before space became available.
+  bool push(T item) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_full_.wait(lock,
+                   [this] { return closed_ || items_.size() < capacity_; });
+    if (closed_) return false;
+    items_.push_back(std::move(item));
+    not_empty_.notify_one();
+    return true;
+  }
+
+  // Blocks while the queue is empty. Returns std::nullopt only once the
+  // queue is closed AND fully drained.
+  std::optional<T> pop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    not_full_.notify_one();
+    return item;
+  }
+
+  void close() {
+    const std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+    not_full_.notify_all();
+    not_empty_.notify_all();
+  }
+
+  std::size_t size() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+  std::size_t capacity() const noexcept { return capacity_; }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable not_full_, not_empty_;
+  std::deque<T> items_;
+  std::size_t capacity_;
+  bool closed_ = false;
+};
+
+}  // namespace lejit::serve

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "core/batch.hpp"
 #include "lm/ngram.hpp"
 #include "rules/checker.hpp"
@@ -97,6 +99,55 @@ TEST(Batch, EmptyInputIsANoOp) {
   const BatchReport report = impute_batch(lejit_factory(), {}, {});
   EXPECT_TRUE(report.results.empty());
   EXPECT_EQ(report.ok, 0u);
+}
+
+// --- shared per-row RNG derivation ------------------------------------------
+
+TEST(RowRng, DeterministicAndDistinctAcrossRowsAndAttempts) {
+  util::Rng a = row_rng(42, 7, 0);
+  util::Rng b = row_rng(42, 7, 0);
+  EXPECT_EQ(a.next_u64(), b.next_u64());
+  // Different rows / attempts / seeds must diverge immediately — retries and
+  // neighbors re-rolling the same stream would decode identical rows.
+  EXPECT_NE(row_rng(42, 7, 0).next_u64(), row_rng(42, 8, 0).next_u64());
+  EXPECT_NE(row_rng(42, 7, 0).next_u64(), row_rng(42, 7, 1).next_u64());
+  EXPECT_NE(row_rng(42, 7, 0).next_u64(), row_rng(43, 7, 0).next_u64());
+}
+
+// --- retry backoff clamp ------------------------------------------------------
+
+TEST(RetryBackoff, DoublesPerAttemptFromTheConfiguredBase) {
+  EXPECT_EQ(retry_backoff_for_attempt(100, 1), 100u);
+  EXPECT_EQ(retry_backoff_for_attempt(100, 2), 200u);
+  EXPECT_EQ(retry_backoff_for_attempt(100, 3), 400u);
+  EXPECT_EQ(retry_backoff_for_attempt(100, 4), 800u);
+}
+
+TEST(RetryBackoff, ZeroAndNegativeInputsMeanNoSleep) {
+  EXPECT_EQ(retry_backoff_for_attempt(0, 3), 0u);
+  EXPECT_EQ(retry_backoff_for_attempt(-50, 3), 0u);
+  EXPECT_EQ(retry_backoff_for_attempt(100, 0), 0u);
+  EXPECT_EQ(retry_backoff_for_attempt(100, -1), 0u);
+}
+
+TEST(RetryBackoff, CapsAtOneSecond) {
+  EXPECT_EQ(retry_backoff_for_attempt(600'000, 2), 1'000'000u);
+  EXPECT_EQ(retry_backoff_for_attempt(2'000'000, 1), 1'000'000u);
+  // A retry budget large enough that the naive `base << (attempt - 1)` is
+  // undefined behavior (shift >= 64) must still return the cap, not UB.
+  EXPECT_EQ(retry_backoff_for_attempt(1, 70), 1'000'000u);
+  EXPECT_EQ(retry_backoff_for_attempt(1, std::numeric_limits<int>::max()),
+            1'000'000u);
+}
+
+TEST(RetryBackoff, CapComparisonIsExactNearTheBoundary) {
+  // base << shift == 524288 < 1s must NOT be clamped (regression for an
+  // off-by-one where the floor-divided ceiling comparison over-capped).
+  EXPECT_EQ(retry_backoff_for_attempt(1, 20), 1u << 19);
+  EXPECT_EQ(retry_backoff_for_attempt(1, 21), 1'000'000u);
+  EXPECT_EQ(retry_backoff_for_attempt(1'000'000, 1), 1'000'000u);
+  EXPECT_EQ(retry_backoff_for_attempt(500'000, 2), 1'000'000u);
+  EXPECT_EQ(retry_backoff_for_attempt(500'001, 1), 500'001u);
 }
 
 TEST(Batch, NullFactoryRejected) {

@@ -6,6 +6,7 @@
 #include "lm/ngram.hpp"
 #include "lm/trainer.hpp"
 #include "lm/transformer.hpp"
+#include "obs/metrics.hpp"
 
 namespace lejit::lm {
 namespace {
@@ -272,6 +273,182 @@ TEST(Transformer, LoadRejectsGarbage) {
   }
   EXPECT_THROW(Transformer::load(path), util::RuntimeError);
   EXPECT_THROW(Transformer::load("/nonexistent/path.bin"), util::RuntimeError);
+}
+
+// --- KV cache + batched decode ------------------------------------------------
+
+TEST(Transformer, CallerCacheMatchesInternalCacheBitExactly) {
+  util::Rng rng(23);
+  const Transformer m(tiny_config(6), rng);
+  KvCache cache;
+  // Empty context, short context, and a context past the window limit: the
+  // caller-owned-cache overload runs the same kernel as the internal path,
+  // so the answers must be bit-identical, not just close.
+  for (const auto& ctx : std::vector<std::vector<int>>{
+           {}, {0, 1, 2}, {1, 4}, std::vector<int>(30, 2)}) {
+    EXPECT_EQ(m.logits(ctx, cache), m.logits(ctx));
+  }
+}
+
+TEST(Transformer, RewoundContextMatchesColdForward) {
+  // Dead-end recovery rewinds the decoder's context: after answering a long
+  // context, a query for one of its prefixes must be bit-identical to a
+  // cold forward of that prefix (the LCP logic may not serve stale suffix
+  // state).
+  util::Rng rng(24);
+  const Transformer m(tiny_config(6), rng);
+  KvCache warm;
+  const std::vector<int> full{0, 1, 2, 3, 4, 5, 0, 1};
+  (void)m.logits(full, warm);
+  for (std::size_t keep = full.size() - 1; keep > 0; --keep) {
+    const std::vector<int> rewound(full.begin(),
+                                   full.begin() + static_cast<long>(keep));
+    KvCache fresh;
+    EXPECT_EQ(m.logits(rewound, warm), m.logits(rewound, fresh))
+        << "rewound to " << keep << " tokens";
+  }
+}
+
+TEST(Transformer, BatchedLogitsBitIdenticalToSequential) {
+  util::Rng rng(25);
+  const Transformer m(tiny_config(6), rng);
+  const std::vector<std::vector<int>> contexts{
+      {}, {3}, {0, 1, 2, 3}, {5, 5, 1, 0, 2, 4, 3}, std::vector<int>(20, 1)};
+
+  std::vector<KvCache> batch_caches(contexts.size());
+  std::vector<KvCache*> cache_ptrs;
+  for (auto& c : batch_caches) cache_ptrs.push_back(&c);
+  const auto batched = m.logits_batch(contexts, cache_ptrs);
+
+  ASSERT_EQ(batched.size(), contexts.size());
+  for (std::size_t s = 0; s < contexts.size(); ++s) {
+    KvCache fresh;
+    EXPECT_EQ(batched[s], m.logits(contexts[s], fresh)) << "session " << s;
+    EXPECT_EQ(batched[s], m.logits(contexts[s])) << "session " << s;
+  }
+}
+
+TEST(Transformer, BatchedGrowingSessionsStayBitIdentical) {
+  // The serve access pattern: sessions grow token by token at different
+  // rates, cross the window limit, and keep their own caches. Every step of
+  // every session must match a sequential reference decode bit for bit.
+  util::Rng rng(26);
+  const Transformer m(tiny_config(6), rng);
+  constexpr std::size_t kSessions = 3;
+
+  std::vector<std::vector<int>> ctxs(kSessions);
+  std::vector<KvCache> batch_caches(kSessions), ref_caches(kSessions);
+  std::vector<KvCache*> cache_ptrs;
+  for (auto& c : batch_caches) cache_ptrs.push_back(&c);
+
+  util::Rng toks(27);
+  for (int step = 0; step < 18; ++step) {
+    for (std::size_t s = 0; s < kSessions; ++s) {
+      // Session s grows every (s+1)-th step — sessions desynchronize, so the
+      // batch mixes different context lengths and cache states.
+      if (step % static_cast<int>(s + 1) == 0)
+        ctxs[s].push_back(static_cast<int>(toks.uniform_int(0, 5)));
+    }
+    const auto batched = m.logits_batch(ctxs, cache_ptrs);
+    for (std::size_t s = 0; s < kSessions; ++s)
+      EXPECT_EQ(batched[s], m.logits(ctxs[s], ref_caches[s]))
+          << "step " << step << " session " << s;
+  }
+}
+
+TEST(Transformer, BatchedLogitsValidatesArguments) {
+  util::Rng rng(28);
+  const Transformer m(tiny_config(4), rng);
+  KvCache a, b;
+  const std::vector<std::vector<int>> two{{0}, {1}};
+  const std::vector<std::vector<int>> none;
+
+  std::vector<KvCache*> one_cache{&a};
+  EXPECT_THROW(m.logits_batch(two, one_cache), util::PreconditionError);
+  std::vector<KvCache*> empty_caches;
+  EXPECT_THROW(m.logits_batch(none, empty_caches), util::PreconditionError);
+  std::vector<KvCache*> with_null{&a, nullptr};
+  EXPECT_THROW(m.logits_batch(two, with_null), util::PreconditionError);
+  std::vector<KvCache*> duplicated{&a, &a};
+  EXPECT_THROW(m.logits_batch(two, duplicated), util::PreconditionError);
+  std::vector<KvCache*> distinct{&a, &b};
+  EXPECT_NO_THROW(m.logits_batch(two, distinct));
+}
+
+TEST(Transformer, KvCacheRejectsForeignModelShape) {
+  util::Rng rng(29);
+  const Transformer small(tiny_config(4), rng);
+  const Transformer big(
+      TransformerConfig{.vocab_size = 4, .d_model = 32, .n_layers = 1,
+                        .n_heads = 2, .d_ff = 24, .max_seq = 12},
+      rng);
+  KvCache cache;
+  (void)small.logits(std::vector<int>{0, 1}, cache);
+  EXPECT_THROW(big.logits(std::vector<int>{0, 1}, cache),
+               util::PreconditionError);
+}
+
+// Pins the KV-cache efficiency contract (lm.kv.* counters): below the window
+// limit every step reuses the full cached prefix and recomputes exactly one
+// token; past the limit the sliding window shifts every step, the common
+// prefix collapses to the START token, and each step reprocesses the whole
+// max_seq-1 window — the documented O(ctx²) post-window regime.
+TEST(Transformer, KvCountersPinFullPrefixReuseAndWindowCliff) {
+  util::Rng rng(30);
+  const int max_seq = tiny_config().max_seq;  // 12
+  const Transformer m(tiny_config(6), rng);
+
+  obs::set_metrics_enabled(true);
+  auto& registry = obs::MetricsRegistry::instance();
+  auto& reused = registry.counter("lm.kv.reused_tokens");
+  auto& recomputed = registry.counter("lm.kv.recomputed_tokens");
+
+  KvCache cache;
+  std::vector<int> ctx;
+  // Non-repeating window content (period 6 > shift 1), so a shifted window
+  // never accidentally matches the cached one.
+  for (int step = 0; step < 30; ++step) {
+    ctx.push_back(step % 6);
+    const std::int64_t reused_before = reused.value();
+    const std::int64_t recomputed_before = recomputed.value();
+    (void)m.logits(ctx, cache);
+    const std::int64_t dr = reused.value() - reused_before;
+    const std::int64_t dc = recomputed.value() - recomputed_before;
+    if (static_cast<int>(ctx.size()) == 1) {
+      // Cold cache: START + first token both recomputed.
+      EXPECT_EQ(dr, 0) << "step " << step;
+      EXPECT_EQ(dc, 2) << "step " << step;
+    } else if (static_cast<int>(ctx.size()) < max_seq) {
+      // Below the window: full prefix reuse, exactly one token recomputed.
+      EXPECT_EQ(dr, static_cast<std::int64_t>(ctx.size())) << "step " << step;
+      EXPECT_EQ(dc, 1) << "step " << step;
+    } else {
+      // Past the window: only START survives the shift; the whole window is
+      // reprocessed.
+      EXPECT_EQ(dr, 1) << "step " << step;
+      EXPECT_EQ(dc, max_seq - 1) << "step " << step;
+    }
+  }
+  obs::set_metrics_enabled(false);
+}
+
+TEST(TransformerSession, ConcurrentViewsMatchSharedModel) {
+  // TransformerSession is the per-thread view the serve runtime hands out:
+  // interleaved sessions over one shared model must each behave exactly like
+  // the model queried alone.
+  util::Rng rng(31);
+  const Transformer m(tiny_config(6), rng);
+  TransformerSession s1(m), s2(m);
+  EXPECT_EQ(s1.vocab_size(), m.vocab_size());
+
+  std::vector<int> c1, c2{5, 4, 3};
+  for (int step = 0; step < 10; ++step) {
+    c1.push_back(step % 6);
+    c2.push_back((5 - step % 6) % 6);
+    KvCache f1, f2;
+    EXPECT_EQ(s1.logits(c1), m.logits(c1, f1)) << "step " << step;
+    EXPECT_EQ(s2.logits(c2), m.logits(c2, f2)) << "step " << step;
+  }
 }
 
 TEST(Trainer, LogsWhenRequested) {

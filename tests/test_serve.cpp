@@ -1,0 +1,240 @@
+// lejit::serve — the batched serving runtime (DESIGN.md §13).
+//
+// The load-bearing property under test is the determinism contract: serve
+// output for a fixed (seed, prompts) pair is bit-identical to a sequential
+// per-row decode, independent of worker count, batch width, and scheduling.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/batch.hpp"
+#include "rules/checker.hpp"
+#include "rules/miner.hpp"
+#include "serve/queue.hpp"
+#include "serve/serve.hpp"
+#include "telemetry/generator.hpp"
+#include "telemetry/text.hpp"
+
+namespace lejit::serve {
+namespace {
+
+using telemetry::Window;
+
+// --- BoundedQueue -------------------------------------------------------------
+
+TEST(BoundedQueue, FifoAndDrainAfterClose) {
+  BoundedQueue<int> q(8);
+  EXPECT_TRUE(q.push(1));
+  EXPECT_TRUE(q.push(2));
+  EXPECT_TRUE(q.push(3));
+  EXPECT_EQ(q.size(), 3u);
+  q.close();
+  // Accepted items survive close(); only then does pop() report end.
+  EXPECT_EQ(q.pop(), std::optional<int>(1));
+  EXPECT_EQ(q.pop(), std::optional<int>(2));
+  EXPECT_EQ(q.pop(), std::optional<int>(3));
+  EXPECT_EQ(q.pop(), std::nullopt);
+}
+
+TEST(BoundedQueue, PushAfterCloseIsRejected) {
+  BoundedQueue<int> q(2);
+  q.close();
+  EXPECT_FALSE(q.push(1));
+  EXPECT_EQ(q.pop(), std::nullopt);
+}
+
+TEST(BoundedQueue, RejectsZeroCapacity) {
+  EXPECT_THROW(BoundedQueue<int>(0), util::PreconditionError);
+}
+
+TEST(BoundedQueue, FullQueueBackpressuresTheProducer) {
+  BoundedQueue<int> q(1);
+  EXPECT_TRUE(q.push(1));
+  std::atomic<bool> second_accepted{false};
+  std::thread producer([&] {
+    EXPECT_TRUE(q.push(2));  // blocks until the consumer makes room
+    second_accepted.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(second_accepted.load()) << "push must block while full";
+  EXPECT_EQ(q.pop(), std::optional<int>(1));
+  producer.join();
+  EXPECT_TRUE(second_accepted.load());
+  EXPECT_EQ(q.pop(), std::optional<int>(2));
+}
+
+TEST(BoundedQueue, CloseUnblocksAWaitingProducer) {
+  BoundedQueue<int> q(1);
+  EXPECT_TRUE(q.push(1));
+  std::thread producer([&] { EXPECT_FALSE(q.push(2)); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  q.close();
+  producer.join();
+}
+
+// --- serving runtime ----------------------------------------------------------
+
+struct Env {
+  telemetry::Dataset dataset;
+  telemetry::RowLayout layout;
+  lm::CharTokenizer tokenizer{telemetry::row_alphabet()};
+  std::unique_ptr<lm::Transformer> model;
+  rules::RuleSet mined;
+  std::vector<std::string> prompts;  // rules-compatible imputation prompts
+};
+
+// A small *untrained* transformer: kFull guided decoding emits compliant
+// rows regardless of LM quality, and serve's contract is about scheduling
+// and bit-identity, not text quality.
+const Env& env() {
+  static const Env e = [] {
+    Env out;
+    out.dataset = telemetry::generate_dataset(telemetry::GeneratorConfig{
+        .num_racks = 6, .windows_per_rack = 20, .seed = 99});
+    out.layout = telemetry::telemetry_row_layout(out.dataset.limits);
+    util::Rng rng(5);
+    out.model = std::make_unique<lm::Transformer>(
+        lm::TransformerConfig{.vocab_size = out.tokenizer.vocab_size(),
+                              .d_model = 32,
+                              .n_layers = 2,
+                              .n_heads = 2,
+                              .d_ff = 48,
+                              .max_seq = 64},
+        rng);
+    const auto windows = telemetry::all_windows(out.dataset);
+    out.mined =
+        rules::mine_rules(windows, out.layout, out.dataset.limits).rules;
+    for (const Window& w : windows)
+      if (rules::violated_rules(out.mined, w).empty())
+        out.prompts.push_back(telemetry::imputation_prompt(w));
+    return out;
+  }();
+  return e;
+}
+
+core::DecoderConfig full_config() {
+  return core::DecoderConfig{.mode = core::GuidanceMode::kFull};
+}
+
+// The sequential oracle: one decoder, core::row_rng per row — exactly the
+// derivation the server uses.
+std::vector<core::DecodeResult> sequential_decode(
+    const std::vector<std::string>& prompts, std::uint64_t seed,
+    const core::DecoderConfig& config = full_config()) {
+  core::GuidedDecoder decoder(*env().model, env().tokenizer, env().layout,
+                              env().mined, config);
+  std::vector<core::DecodeResult> results;
+  for (std::size_t i = 0; i < prompts.size(); ++i) {
+    util::Rng rng = core::row_rng(seed, i, 0);
+    results.push_back(decoder.generate(rng, prompts[i]));
+  }
+  return results;
+}
+
+void expect_identical(const std::vector<core::DecodeResult>& serve_results,
+                      const std::vector<core::DecodeResult>& expected,
+                      const char* what) {
+  ASSERT_EQ(serve_results.size(), expected.size()) << what;
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(serve_results[i].text, expected[i].text)
+        << what << ": row " << i;
+    EXPECT_EQ(serve_results[i].ok, expected[i].ok) << what << ": row " << i;
+  }
+}
+
+// The fig3-style identity gate from the serving side: 64 synthesis rows
+// through a 2x4 server must reproduce the sequential decode bit for bit.
+TEST(Serve, SixtyFourRowBitIdentityAgainstSequentialDecode) {
+  const std::vector<std::string> prompts(64, std::string());
+  const auto expected = sequential_decode(prompts, 13);
+
+  Server server(*env().model, env().tokenizer, env().layout, env().mined,
+                full_config(), ServeConfig{.workers = 2, .batch = 4,
+                                           .seed = 13});
+  const auto results = server.run(prompts);
+  expect_identical(results, expected, "serve 2x4");
+
+  const ServeStats stats = server.stats();
+  EXPECT_EQ(stats.rows, 64u);
+  EXPECT_EQ(stats.degraded_rows, 0u);
+  EXPECT_GT(stats.batched_forwards, 0u);
+}
+
+TEST(Serve, OutputIndependentOfWorkerAndBatchConfiguration) {
+  std::vector<std::string> prompts(env().prompts.begin(),
+                                   env().prompts.begin() + 12);
+  const auto expected = sequential_decode(prompts, 21);
+  for (const auto& [workers, batch] :
+       std::vector<std::pair<int, int>>{{1, 1}, {1, 3}, {3, 2}}) {
+    Server server(*env().model, env().tokenizer, env().layout, env().mined,
+                  full_config(),
+                  ServeConfig{.workers = workers, .batch = batch, .seed = 21});
+    expect_identical(server.run(prompts), expected, "config sweep");
+  }
+}
+
+TEST(Serve, ServerIsReusableAcrossRuns) {
+  const std::vector<std::string> prompts(10, std::string());
+  const auto expected = sequential_decode(prompts, 3);
+  Server server(*env().model, env().tokenizer, env().layout, env().mined,
+                full_config(),
+                ServeConfig{.workers = 1, .batch = 4, .seed = 3});
+  // Rows renumber from 0 each run(): two runs of the same prompts must give
+  // the same rows twice, with pooled sessions (and their KV caches) reused.
+  expect_identical(server.run(prompts), expected, "first run");
+  expect_identical(server.run(prompts), expected, "second run");
+  EXPECT_EQ(server.stats().rows, 20u);
+  EXPECT_EQ(server.run({}).size(), 0u);
+}
+
+TEST(Serve, SessionsActuallyBatchTheirForwards) {
+  const std::vector<std::string> prompts(24, std::string());
+  Server server(*env().model, env().tokenizer, env().layout, env().mined,
+                full_config(),
+                ServeConfig{.workers = 1, .batch = 4, .seed = 9});
+  (void)server.run(prompts);
+  const ServeStats stats = server.stats();
+  // With 24 rows over 4 sessions of one group, a meaningful fraction of
+  // forwards must have been fused (width > 1); width can never exceed the
+  // group size.
+  EXPECT_GT(stats.mean_batch_width(), 1.0);
+  EXPECT_LE(stats.mean_batch_width(), 4.0);
+  EXPECT_GE(stats.forwarded_contexts, stats.batched_forwards);
+}
+
+TEST(Serve, SharedCompiledPlanKeepsDecodesBitIdentical) {
+  // compile_plan is hoisted into the Server constructor (one compile shared
+  // by all sessions); the plan must not change decoded text.
+  std::vector<std::string> prompts(env().prompts.begin(),
+                                   env().prompts.begin() + 6);
+  const auto expected = sequential_decode(prompts, 17);
+  core::DecoderConfig config = full_config();
+  config.compile_plan = true;
+  Server server(*env().model, env().tokenizer, env().layout, env().mined,
+                config,
+                ServeConfig{.workers = 2, .batch = 2, .seed = 17});
+  expect_identical(server.run(prompts), expected, "shared plan");
+}
+
+TEST(Serve, RejectsDegenerateConfigs) {
+  EXPECT_THROW(Server(*env().model, env().tokenizer, env().layout,
+                      env().mined, full_config(),
+                      ServeConfig{.workers = 0}),
+               util::PreconditionError);
+  EXPECT_THROW(Server(*env().model, env().tokenizer, env().layout,
+                      env().mined, full_config(),
+                      ServeConfig{.batch = 0}),
+               util::PreconditionError);
+  EXPECT_THROW(Server(*env().model, env().tokenizer, env().layout,
+                      env().mined, full_config(),
+                      ServeConfig{.queue_capacity = 0}),
+               util::PreconditionError);
+}
+
+}  // namespace
+}  // namespace lejit::serve

@@ -49,6 +49,14 @@ REQUIRED_BACKEND_ABLATION_KEYS = ("subprocess_available", "bit_identical",
                                   "degraded_backend")
 REQUIRED_BACKEND_STATS_KEYS = ("checks", "faults", "spawn_failures",
                                "respawns", "degraded")
+# Serve sweep block (--compare-serve): the batched serving runtime's
+# worker x batch throughput sweep, each configuration checked bit-identical
+# against the sequential decode (BENCH_8.json, figure serve_throughput).
+REQUIRED_SERVE_KEYS = ("rows", "seq_rows_per_sec", "bit_identical", "runs")
+REQUIRED_SERVE_RUN_KEYS = ("workers", "batch", "rows_per_sec",
+                           "speedup_vs_sequential", "mean_batch_width",
+                           "batched_forwards", "degraded_rows",
+                           "bit_identical")
 
 
 def check_report(doc, errors, where):
@@ -293,6 +301,72 @@ def check_backend_ablation(path):
     return errors
 
 
+def check_serve(path):
+    """Gate on the serve throughput sweep (BENCH_8.json): every worker x
+    batch configuration must decode bit-identically to the sequential
+    reference with no degraded rows, and at least one multi-session
+    configuration must have realized actual batching (mean width > 1).
+    Throughput itself is reported, not gated — CI machines are too noisy for
+    a speedup assertion. A missing FILE is a clean skip (exit 0), never a
+    traceback — baselines regenerate on their own cadence.
+    Returns a list of error strings (empty = pass or skip)."""
+    p = pathlib.Path(path)
+    if not p.exists():
+        print(f"{path}: no report to compare against; skipping serve gate")
+        return []
+    errors = check_file(path)
+    if errors:
+        return errors
+    doc = json.loads(p.read_text())
+    serve = doc.get("serve")
+    if not isinstance(serve, dict):
+        print(f"{path}: report predates the serve runtime; "
+              "skipping serve gate")
+        return []
+    errors = []
+    for key in REQUIRED_SERVE_KEYS:
+        if key not in serve:
+            errors.append(f"{path}: serve is missing {key!r}")
+    if serve.get("bit_identical") is not True:
+        errors.append(f"{path}: serve decodes are not bit-identical to the "
+                      "sequential reference")
+    runs = serve.get("runs")
+    if not isinstance(runs, list) or not runs:
+        errors.append(f"{path}: serve has no 'runs' array")
+        runs = []
+    batched_width = 0.0
+    for i, run in enumerate(runs):
+        if not isinstance(run, dict):
+            errors.append(f"{path}: serve.runs[{i}] is not an object")
+            continue
+        for key in REQUIRED_SERVE_RUN_KEYS:
+            if key not in run:
+                errors.append(f"{path}: serve.runs[{i}] is missing {key!r}")
+        if run.get("bit_identical") is not True:
+            errors.append(f"{path}: serve.runs[{i}] "
+                          f"({run.get('workers')}x{run.get('batch')}) is not "
+                          "bit-identical")
+        if int(run.get("degraded_rows", 0)) != 0:
+            errors.append(f"{path}: serve.runs[{i}] degraded "
+                          f"{run['degraded_rows']} row(s)")
+        if float(run.get("rows_per_sec", 0.0)) <= 0.0:
+            errors.append(f"{path}: serve.runs[{i}] reports no throughput")
+        if int(run.get("workers", 0)) * int(run.get("batch", 0)) > 1:
+            batched_width = max(batched_width,
+                                float(run.get("mean_batch_width", 0.0)))
+    if runs and batched_width <= 1.0:
+        errors.append(f"{path}: no multi-session configuration realized any "
+                      f"batching (best mean width {batched_width:.2f})")
+    if not errors:
+        best = max((float(r.get("rows_per_sec", 0.0)) for r in runs),
+                   default=0.0)
+        seq = float(serve.get("seq_rows_per_sec", 0.0))
+        print(f"{path}: serve sweep ok — {len(runs)} configs bit-identical, "
+              f"best {best:.1f} rows/s vs {seq:.1f} sequential, "
+              f"best mean batch width {batched_width:.2f}")
+    return errors
+
+
 def self_test():
     good = {
         "schema_version": 1,
@@ -395,6 +469,52 @@ def self_test():
         print("self-test FAILED: missing baseline did not skip cleanly",
               file=sys.stderr)
         return False
+    if check_serve("/nonexistent/self-test/BENCH_8.json"):
+        print("self-test FAILED: missing serve report did not skip cleanly",
+              file=sys.stderr)
+        return False
+
+    # The serve gate itself: a good sweep passes, a mismatched or width-less
+    # one fails.
+    import tempfile
+    good_serve = {
+        "schema_version": 1, "figure": "serve_throughput",
+        "env": good["env"], "tables": [], "metrics": good["metrics"],
+        "serve": {
+            "rows": 48, "seq_rows_per_sec": 370.0, "bit_identical": True,
+            "runs": [
+                {"workers": 1, "batch": 1, "rows_per_sec": 400.0,
+                 "speedup_vs_sequential": 1.08, "mean_batch_width": 1.0,
+                 "batched_forwards": 375, "degraded_rows": 0,
+                 "bit_identical": True},
+                {"workers": 1, "batch": 4, "rows_per_sec": 420.0,
+                 "speedup_vs_sequential": 1.13, "mean_batch_width": 3.2,
+                 "batched_forwards": 116, "degraded_rows": 0,
+                 "bit_identical": True},
+            ],
+        },
+    }
+    bad_serves = [
+        {**good_serve, "serve": {**good_serve["serve"],
+                                 "bit_identical": False}},
+        {**good_serve, "serve": {**good_serve["serve"], "runs": [
+            {**good_serve["serve"]["runs"][1], "degraded_rows": 2}]}},
+        {**good_serve, "serve": {**good_serve["serve"], "runs": [
+            {**good_serve["serve"]["runs"][1], "mean_batch_width": 1.0}]}},
+    ]
+    with tempfile.TemporaryDirectory() as tmp:
+        p = pathlib.Path(tmp) / "BENCH_8.json"
+        p.write_text(json.dumps(good_serve))
+        if check_serve(p):
+            print("self-test FAILED: known-good serve sweep rejected",
+                  file=sys.stderr)
+            return False
+        for i, bad in enumerate(bad_serves):
+            p.write_text(json.dumps(bad))
+            if not check_serve(p):
+                print(f"self-test FAILED: known-bad serve sweep {i} accepted",
+                      file=sys.stderr)
+                return False
     print("self-test passed")
     return True
 
@@ -415,6 +535,13 @@ def main():
                              " shows bit-identical decodes, table hits and"
                              " sliced queries observed, and fewer solver"
                              " propagations with the plan on")
+    parser.add_argument("--compare-serve", metavar="FILE",
+                        help="validate FILE and fail unless its serve sweep"
+                             " shows every worker x batch configuration"
+                             " bit-identical to the sequential decode with no"
+                             " degraded rows and realized batching; a missing"
+                             " FILE or a report without the block is a clear"
+                             " skip")
     parser.add_argument("--compare-backend", metavar="FILE",
                         help="validate FILE and fail unless its"
                              " backend_ablation shows subprocess/degraded"
@@ -439,6 +566,12 @@ def main():
             print(e, file=sys.stderr)
         ok = not errors and ok
 
+    if args.compare_serve:
+        errors = check_serve(args.compare_serve)
+        for e in errors:
+            print(e, file=sys.stderr)
+        ok = not errors and ok
+
     if args.compare_backend:
         errors = check_backend_ablation(args.compare_backend)
         for e in errors:
@@ -449,9 +582,11 @@ def main():
     if args.scan:
         files.extend(sorted(pathlib.Path(args.scan).rglob("BENCH_*.json")))
     if not files and not args.self_test and not args.compare_cache \
-            and not args.compare_plan and not args.compare_backend:
+            and not args.compare_plan and not args.compare_serve \
+            and not args.compare_backend:
         parser.error("nothing to do: pass files, --scan, --compare-cache, "
-                     "--compare-plan, --compare-backend, or --self-test")
+                     "--compare-plan, --compare-serve, --compare-backend, "
+                     "or --self-test")
 
     for path in files:
         errors = check_file(path)

@@ -5,6 +5,7 @@
 //   lejit_cli train    --corpus corpus.txt --steps 300 --out model.bin
 //   lejit_cli synth    --model model.bin --rules rules.txt --count 20
 //   lejit_cli impute   --model model.bin --rules rules.txt --prompts coarse.txt
+//   lejit_cli serve-bench --model model.bin --rules rules.txt --workers 2 --batch 4
 //   lejit_cli check    --rules rules.txt --rows rows.txt
 //   lejit_cli lint     --rules rules.txt [--json]
 //   lejit_cli plan     --rules rules.txt [--json] [--out plan.json]
@@ -22,8 +23,11 @@
 #include <sstream>
 #include <string>
 
+#include "core/batch.hpp"
 #include "core/decoder.hpp"
 #include "lint/lint.hpp"
+#include "serve/serve.hpp"
+#include "util/timer.hpp"
 #include "smt/diff.hpp"
 #include "lm/trainer.hpp"
 #include "obs/log.hpp"
@@ -222,11 +226,12 @@ core::ResilienceConfig resilience_from_args(const Args& args) {
   return res;
 }
 
-core::GuidedDecoder make_decoder(const Args& args,
-                                 const lm::Transformer& model,
-                                 const lm::CharTokenizer& tokenizer,
-                                 const telemetry::RowLayout& layout,
-                                 rules::RuleSet rules) {
+// The full decoder configuration the resilience/plan/backend flags describe.
+// Shared by the per-row commands (synth, impute) and the serve runtime,
+// which hands the same config to every pooled session.
+core::DecoderConfig decoder_config_from_args(const Args& args,
+                                             const telemetry::RowLayout& layout,
+                                             const rules::RuleSet& rules) {
   core::DecoderConfig config{.mode = core::GuidanceMode::kFull};
   config.solver.max_nodes = args.get_int("max-nodes", config.solver.max_nodes);
   config.resilience = resilience_from_args(args);
@@ -255,6 +260,15 @@ core::GuidedDecoder make_decoder(const Args& args,
   } else if (args.has("plan-compile")) {
     config.compile_plan = true;
   }
+  return config;
+}
+
+core::GuidedDecoder make_decoder(const Args& args,
+                                 const lm::Transformer& model,
+                                 const lm::CharTokenizer& tokenizer,
+                                 const telemetry::RowLayout& layout,
+                                 rules::RuleSet rules) {
+  core::DecoderConfig config = decoder_config_from_args(args, layout, rules);
   return core::GuidedDecoder(model, tokenizer, layout, std::move(rules),
                              config);
 }
@@ -314,6 +328,89 @@ int cmd_impute(const Args& args) {
   }
   std::cerr << "imputed " << done << " rows, " << infeasible
             << " infeasible prompts\n";
+  return 0;
+}
+
+// Batched serving runtime (DESIGN.md §13): decode many rows through a pooled
+// Server instead of a single sequential decoder, and report the realized
+// throughput and batching. With --verify, the same workload is re-decoded
+// sequentially and the outputs are compared byte for byte — serve's
+// determinism contract says they must match exactly.
+int cmd_serve_bench(const Args& args) {
+  const telemetry::Limits limits;
+  const auto layout = telemetry::telemetry_row_layout(limits);
+  const auto coarse_layout = telemetry::coarse_row_layout(limits);
+  const lm::CharTokenizer tokenizer(telemetry::row_alphabet());
+  const lm::Transformer model =
+      lm::Transformer::load(args.get("model", "model.bin"));
+  const rules::RuleSet rules =
+      load_rules(args.get("rules", "rules.txt"), layout);
+  const core::DecoderConfig decoder_config =
+      decoder_config_from_args(args, layout, rules);
+
+  // Synthesis rows by default; --prompts FILE switches to imputation over
+  // the file's coarse rows.
+  std::vector<std::string> prompts;
+  if (args.has("prompts")) {
+    for (const auto line :
+         util::split(read_file(args.get("prompts", "")), '\n')) {
+      if (util::trim(line).empty()) continue;
+      const auto coarse = telemetry::parse_row(line, coarse_layout);
+      if (!coarse) {
+        std::cerr << "skipping malformed prompt row: " << line << "\n";
+        continue;
+      }
+      prompts.push_back(telemetry::imputation_prompt(*coarse));
+    }
+  } else {
+    prompts.assign(static_cast<std::size_t>(args.get_int("count", 64)),
+                   std::string());
+  }
+
+  serve::ServeConfig serve_config;
+  serve_config.workers = static_cast<int>(args.get_int("workers", 2));
+  serve_config.batch = static_cast<int>(args.get_int("batch", 4));
+  serve_config.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+
+  serve::Server server(model, tokenizer, layout, rules, decoder_config,
+                       serve_config);
+  util::Timer timer;
+  const auto results = server.run(prompts);
+  const double seconds = timer.elapsed_seconds();
+  const serve::ServeStats stats = server.stats();
+
+  std::size_t ok = 0;
+  for (const auto& r : results)
+    if (r.ok) {
+      std::cout << r.text << "\n";
+      ++ok;
+    }
+  std::cerr << "serve: " << results.size() << " rows in "
+            << util::format_double(seconds, 3) << "s ("
+            << util::format_double(
+                   seconds > 0.0 ? static_cast<double>(results.size()) / seconds
+                                 : 0.0,
+                   1)
+            << " rows/s) with " << serve_config.workers << " worker(s) x "
+            << serve_config.batch << " session(s); " << ok << " ok, "
+            << stats.degraded_rows << " degraded; mean batch width "
+            << util::format_double(stats.mean_batch_width(), 2) << " over "
+            << stats.batched_forwards << " batched forwards\n";
+
+  if (args.has("verify")) {
+    core::GuidedDecoder decoder(model, tokenizer, layout, rules,
+                                decoder_config);
+    std::size_t mismatches = 0;
+    for (std::size_t i = 0; i < prompts.size(); ++i) {
+      util::Rng rng = core::row_rng(serve_config.seed, i, 0);
+      const auto r = decoder.generate(rng, prompts[i]);
+      if (r.text != results[i].text || r.ok != results[i].ok) ++mismatches;
+    }
+    std::cerr << "verify: " << (prompts.size() - mismatches) << "/"
+              << prompts.size() << " rows bit-identical to sequential decode"
+              << (mismatches ? " *** MISMATCH ***" : "") << "\n";
+    if (mismatches) return 1;
+  }
   return 0;
 }
 
@@ -463,6 +560,12 @@ void usage() {
       "  train    --corpus FILE [--steps N] [--dmodel D] [--out FILE]\n"
       "  synth    --model FILE --rules FILE [--count N] [--seed S]\n"
       "  impute   --model FILE --rules FILE --prompts FILE [--seed S]\n"
+      "  serve-bench --model FILE --rules FILE [--count N | --prompts FILE]\n"
+      "           [--workers W] [--batch B] [--seed S] [--verify]\n"
+      "           decode rows through the batched serving runtime (W worker\n"
+      "           groups x B pooled sessions, cross-row batched LM forwards)\n"
+      "           and report throughput. --verify re-decodes sequentially\n"
+      "           and exits 1 unless serve output is bit-identical\n"
       "  check    --rules FILE --rows FILE\n"
       "  lint     --rules FILE [--coarse] [--json] [--no-dead-rules]\n"
       "           static rule-set analysis: unsatisfiability (with a minimal\n"
@@ -572,6 +675,7 @@ int main(int argc, char** argv) {
     if (command == "train") return cmd_train(args);
     if (command == "synth") return cmd_synth(args);
     if (command == "impute") return cmd_impute(args);
+    if (command == "serve-bench") return cmd_serve_bench(args);
     if (command == "check") return cmd_check(args);
     if (command == "lint") return cmd_lint(args);
     if (command == "plan") return cmd_plan(args);
