@@ -11,58 +11,90 @@ void Batcher::activate() {
 }
 
 void Batcher::deactivate() {
-  const std::lock_guard<std::mutex> lock(mu_);
+  std::unique_lock<std::mutex> lock(mu_);
   LEJIT_ASSERT(active_ > 0, "deactivate without matching activate");
   --active_;
-  // The group may have been waiting only for us: fire for the others.
+  // The group may have been waiting only for us: fire for the others. A
+  // failing forward is routed to the waiting sessions' forward() calls, so
+  // nothing throws out of this row-boundary bookkeeping (which runs outside
+  // session_main's per-row try/catch).
   if (!waiting_.empty() && static_cast<int>(waiting_.size()) == active_)
-    fire_locked();
+    fire(lock);
 }
 
 std::vector<float> Batcher::forward(std::span<const int> context,
                                     lm::KvCache& cache) {
   std::unique_lock<std::mutex> lock(mu_);
+  // Validate before registering: a throwing assert must not leave a dangling
+  // Pending* in waiting_ for a later fire() to dereference.
+  LEJIT_ASSERT(static_cast<int>(waiting_.size()) < active_,
+               "forward() from a session that never activated");
   Pending pending;
   pending.context.assign(context.begin(), context.end());
   pending.cache = &cache;
   waiting_.push_back(&pending);
-  LEJIT_ASSERT(static_cast<int>(waiting_.size()) <= active_,
-               "forward() from a session that never activated");
   if (static_cast<int>(waiting_.size()) == active_)
-    fire_locked();  // we are the last arrival: lead this round
+    fire(lock);  // we are the last arrival: lead this round
   else
     cv_.wait(lock, [&pending] { return pending.done; });
+  if (pending.error) std::rethrow_exception(pending.error);
   return std::move(pending.out);
 }
 
-void Batcher::fire_locked() {
+void Batcher::fire(std::unique_lock<std::mutex>& lock) {
+  // Take over this round's requests. Arrivals during the unlocked compute
+  // below open the next round; they can never complete it early, because
+  // every member of this round still counts in active_ until its forward()
+  // returns, so waiting_ cannot reach active_ again before we publish.
+  std::vector<Pending*> round;
+  round.swap(waiting_);
+
   std::vector<std::vector<int>> contexts;
   std::vector<lm::KvCache*> caches;
-  contexts.reserve(waiting_.size());
-  caches.reserve(waiting_.size());
-  for (Pending* p : waiting_) {
+  contexts.reserve(round.size());
+  caches.reserve(round.size());
+  for (Pending* p : round) {
     contexts.push_back(std::move(p->context));
     caches.push_back(p->cache);
   }
 
-  std::vector<std::vector<float>> outs = model_.logits_batch(contexts, caches);
+  // Compute without mu_ so activate()/deactivate()/snapshot() — finished
+  // sessions and Server::stats() — stay responsive during the forward,
+  // which dominates serve wall time.
+  lock.unlock();
+  std::vector<std::vector<float>> outs;
+  std::exception_ptr error;
+  try {
+    outs = model_.logits_batch(contexts, caches);
+  } catch (...) {
+    // The round must still complete: publish the exception to every member
+    // so each rethrows from forward() and degrades its own row, instead of
+    // followers waiting forever on stack-allocated Pendings the leader's
+    // unwind would destroy.
+    error = std::current_exception();
+  }
+  lock.lock();
 
-  ++forwards_;
-  contexts_ += waiting_.size();
-  if (obs::metrics_enabled()) {
-    auto& registry = obs::MetricsRegistry::instance();
-    static obs::Counter& c_forwards = registry.counter("serve.batch.forwards");
-    static obs::Histogram& h_width = registry.histogram(
-        "serve.batch.width", obs::HistogramOptions::linear(0.0, 32.0, 32));
-    c_forwards.inc();
-    h_width.observe(static_cast<double>(waiting_.size()));
+  if (!error) {
+    ++forwards_;
+    contexts_ += round.size();
+    if (obs::metrics_enabled()) {
+      auto& registry = obs::MetricsRegistry::instance();
+      static obs::Counter& c_forwards = registry.counter("serve.batch.forwards");
+      static obs::Histogram& h_width = registry.histogram(
+          "serve.batch.width", obs::HistogramOptions::linear(0.0, 32.0, 32));
+      c_forwards.inc();
+      h_width.observe(static_cast<double>(round.size()));
+    }
   }
 
-  for (std::size_t i = 0; i < waiting_.size(); ++i) {
-    waiting_[i]->out = std::move(outs[i]);
-    waiting_[i]->done = true;
+  for (std::size_t i = 0; i < round.size(); ++i) {
+    if (error)
+      round[i]->error = error;
+    else
+      round[i]->out = std::move(outs[i]);
+    round[i]->done = true;
   }
-  waiting_.clear();
   cv_.notify_all();
 }
 

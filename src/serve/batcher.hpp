@@ -19,6 +19,7 @@
 
 #include <condition_variable>
 #include <cstdint>
+#include <exception>
 #include <mutex>
 #include <span>
 #include <vector>
@@ -41,7 +42,10 @@ class Batcher {
   void deactivate();
 
   // Blocking batched forward for one session (must be active). `cache` is
-  // the session's private KV cache.
+  // the session's private KV cache. If the round's logits_batch() throws,
+  // every session of the round rethrows that exception here — the round
+  // always completes, one way or the other, so a failing forward degrades
+  // the affected rows instead of wedging the group.
   std::vector<float> forward(std::span<const int> context, lm::KvCache& cache);
 
   // Lifetime totals, for ServeStats.
@@ -52,12 +56,15 @@ class Batcher {
     std::vector<int> context;
     lm::KvCache* cache = nullptr;
     std::vector<float> out;
+    std::exception_ptr error;  // set instead of `out` when the round threw
     bool done = false;
   };
 
-  // Precondition: mu_ held, waiting_ non-empty. Runs the batched forward and
-  // completes every pending request.
-  void fire_locked();
+  // Precondition: `lock` holds mu_, waiting_ non-empty. Completes every
+  // pending request of the current round — with logits, or with the
+  // exception_ptr of a throwing forward. Never throws itself; the lock is
+  // released for the duration of the compute and reacquired to publish.
+  void fire(std::unique_lock<std::mutex>& lock);
 
   const lm::Transformer& model_;
   mutable std::mutex mu_;

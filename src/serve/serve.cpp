@@ -19,9 +19,12 @@ DecodeSession::DecodeSession(Batcher& batcher, const lm::Transformer& model,
     : model_(batcher, model),
       decoder_(model_, tokenizer, layout, std::move(rules), config) {}
 
-// One synchronous run() call: results slots plus a countdown latch the
-// session threads decrement as rows finish.
+// One synchronous run() call: owned prompt copies, results slots, plus a
+// countdown latch the session threads decrement as rows finish. The prompts
+// live here — not in the caller's span — so Jobs stay self-contained even
+// if run() unwinds before the rows drain (e.g. push on a closed queue).
 struct Server::RunState {
+  std::vector<std::string> prompts;
   std::vector<core::DecodeResult> results;
   std::mutex mu;
   std::condition_variable done_cv;
@@ -89,12 +92,15 @@ void Server::session_main(Group& group, DecodeSession& session) {
       // Same (seed, row) → RNG derivation as the offline batch driver.
       // Serve does not retry rows (no attempt loop), so attempt is 0.
       util::Rng rng = core::row_rng(config_.seed, job->row, 0);
-      result = session.decode(rng, *job->prompt);
+      result = session.decode(rng, job->run->prompts[job->row]);
     } catch (const std::exception& e) {
       result = core::DecodeResult{};
       result.reason = core::FailReason::kFault;
       result.fail_detail = "serve row " + std::to_string(job->row) +
                            " degraded: " + e.what();
+      // The throw may have interrupted a KV-cache update mid-write; drop the
+      // cached prefix so the fault stays confined to this row.
+      session.reset_lm_cache();
       degraded_rows_.fetch_add(1, std::memory_order_relaxed);
     }
     // Leave the rendezvous before delivering: the group must never wait on a
@@ -108,13 +114,14 @@ void Server::session_main(Group& group, DecodeSession& session) {
 std::vector<core::DecodeResult> Server::run(
     std::span<const std::string> prompts) {
   auto state = std::make_shared<RunState>();
+  state->prompts.assign(prompts.begin(), prompts.end());
   state->results.resize(prompts.size());
   state->remaining = prompts.size();
   if (prompts.empty()) return std::move(state->results);
 
   util::Timer timer;
-  for (std::size_t i = 0; i < prompts.size(); ++i) {
-    const bool accepted = queue_.push(Job{i, &prompts[i], state});
+  for (std::size_t i = 0; i < state->prompts.size(); ++i) {
+    const bool accepted = queue_.push(Job{i, state});
     LEJIT_REQUIRE(accepted, "serve: run() on a closed server");
   }
   {

@@ -81,6 +81,10 @@ class DecodeSession {
     return decoder_.generate(rng, prompt);
   }
 
+  // Called after a decode threw: discards the session's KV prefix so the
+  // fault cannot leak an inconsistent cache into the next row.
+  void reset_lm_cache() noexcept { model_.reset_cache(); }
+
  private:
   // LanguageModel proxy: blocks in the Batcher until the group's batched
   // forward serves this session's context.
@@ -92,6 +96,10 @@ class DecodeSession {
     std::vector<float> logits(std::span<const int> context) const override {
       return batcher_.forward(context, cache_);
     }
+    // Drop the cached prefix. A forward that threw mid-update can leave the
+    // cache's recorded ids ahead of its written K/V rows; clearing forces a
+    // full recompute on the next row instead of reusing a poisoned prefix.
+    void reset_cache() noexcept { cache_.clear(); }
 
    private:
     Batcher& batcher_;
@@ -133,10 +141,10 @@ class Server {
   struct RunState;
   struct Job {
     std::size_t row = 0;
-    const std::string* prompt = nullptr;
     // Shared, not borrowed: the session thread's copy keeps the run's
-    // condition variable alive through the final deliver()/notify_all even
-    // after run() has already observed remaining == 0 and returned.
+    // prompts and condition variable alive through the final
+    // deliver()/notify_all even after run() has already returned — or
+    // unwound early on a concurrently closed queue.
     std::shared_ptr<RunState> run;
   };
   struct Group {

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "core/batch.hpp"
+#include "fault/fault.hpp"
 #include "rules/checker.hpp"
 #include "rules/miner.hpp"
 #include "serve/queue.hpp"
@@ -219,6 +220,62 @@ TEST(Serve, SharedCompiledPlanKeepsDecodesBitIdentical) {
                 config,
                 ServeConfig{.workers = 2, .batch = 2, .seed = 17});
   expect_identical(server.run(prompts), expected, "shared plan");
+}
+
+// A batched forward that throws (fault injection at lm_forward — the same
+// hook the resilience suite arms) must complete the rendezvous round with
+// the exception instead of abandoning it: every session rethrows from
+// forward(), marks its row degraded, and the group keeps serving. Before
+// the fix, the leader's unwind left waiting_ pointing at destroyed
+// stack Pendings — followers hung forever and run() never returned.
+TEST(Serve, ThrowingForwardDegradesRowsInsteadOfWedgingTheGroup) {
+  const std::vector<std::string> prompts(16, std::string());
+  const auto expected = sequential_decode(prompts, 29);
+  Server server(*env().model, env().tokenizer, env().layout, env().mined,
+                full_config(),
+                ServeConfig{.workers = 1, .batch = 4, .seed = 29});
+  {
+    fault::Plan plan;
+    plan.site(fault::Site::kLmForward).p_throw = 1.0;
+    const fault::ScopedPlan scoped{plan};
+    const auto results = server.run(prompts);  // hangs here on regression
+    ASSERT_EQ(results.size(), prompts.size());
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      EXPECT_FALSE(results[i].ok) << "row " << i;
+      EXPECT_EQ(results[i].reason, core::FailReason::kFault) << "row " << i;
+    }
+    EXPECT_EQ(server.stats().degraded_rows, prompts.size());
+  }
+  // Disarmed, the same session pool (KV caches reset on the faulted rows)
+  // must again match the sequential oracle bit for bit.
+  expect_identical(server.run(prompts), expected, "after fault storm");
+}
+
+// Partial fault rate: a round that throws degrades exactly its members; all
+// other rows decode normally, and every surviving row is still bit-identical
+// to the sequential decode of that (seed, row) pair.
+TEST(Serve, SurvivingRowsStayBitIdenticalUnderInjectedFaults) {
+  const std::vector<std::string> prompts(32, std::string());
+  const auto expected = sequential_decode(prompts, 41);
+  Server server(*env().model, env().tokenizer, env().layout, env().mined,
+                full_config(),
+                ServeConfig{.workers = 2, .batch = 2, .seed = 41});
+  fault::Plan plan;
+  plan.site(fault::Site::kLmForward).p_throw = 0.05;
+  const fault::ScopedPlan scoped{plan};
+  const auto results = server.run(prompts);
+  ASSERT_EQ(results.size(), prompts.size());
+  std::size_t degraded = 0;
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    if (results[i].reason == core::FailReason::kFault) {
+      ++degraded;
+      EXPECT_FALSE(results[i].ok) << "row " << i;
+    } else {
+      EXPECT_EQ(results[i].text, expected[i].text) << "row " << i;
+      EXPECT_EQ(results[i].ok, expected[i].ok) << "row " << i;
+    }
+  }
+  EXPECT_EQ(server.stats().degraded_rows, degraded);
 }
 
 TEST(Serve, RejectsDegenerateConfigs) {
