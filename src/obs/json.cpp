@@ -159,6 +159,12 @@ double JsonValue::as_number() const {
 
 std::int64_t JsonValue::as_int() const {
   const double v = as_number();
+  // Range-check before the cast: converting a double beyond int64 range is
+  // UB, and hostile documents ("1e300") reach this path. 2^63 is exactly
+  // representable as a double, so the half-open comparison below is exact.
+  constexpr double kLimit = 9223372036854775808.0;  // 2^63
+  if (!(v >= -kLimit && v < kLimit))
+    throw util::RuntimeError("JSON number is out of integer range");
   const auto i = static_cast<std::int64_t>(v);
   if (static_cast<double>(i) != v)
     throw util::RuntimeError("JSON number is not an exact integer");

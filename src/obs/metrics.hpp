@@ -20,9 +20,10 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "util/sync.hpp"
 
 namespace lejit::obs {
 
@@ -138,10 +139,12 @@ class MetricsRegistry {
  private:
   MetricsRegistry() = default;
 
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  mutable util::Mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_
+      LEJIT_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_ LEJIT_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_
+      LEJIT_GUARDED_BY(mu_);
 };
 
 }  // namespace lejit::obs

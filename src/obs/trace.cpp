@@ -28,6 +28,7 @@ std::string_view phase_name(Phase p) noexcept {
     case Phase::kSampling: return "sampling";
     case Phase::kRuleMining: return "rule_mining";
     case Phase::kLint: return "lint";
+    case Phase::kPlanVerify: return "plan_verify";
     case Phase::kCount: break;
   }
   return "unknown";
@@ -47,12 +48,12 @@ Tracer::PhaseTotals Tracer::totals(Phase p) const noexcept {
 void Tracer::reset() noexcept {
   for (auto& c : counts_) c.store(0, std::memory_order_relaxed);
   for (auto& n : ns_) n.store(0, std::memory_order_relaxed);
-  const std::lock_guard<std::mutex> lock(events_mu_);
+  const util::MutexLock lock(events_mu_);
   events_.clear();
 }
 
 void Tracer::start_capture() {
-  const std::lock_guard<std::mutex> lock(events_mu_);
+  const util::MutexLock lock(events_mu_);
   capture_start_ns_ = now_ns();
   events_.clear();
   capturing_.store(true, std::memory_order_relaxed);
@@ -63,7 +64,7 @@ void Tracer::stop_capture() noexcept {
 }
 
 std::size_t Tracer::num_events() const {
-  const std::lock_guard<std::mutex> lock(events_mu_);
+  const util::MutexLock lock(events_mu_);
   return events_.size();
 }
 
@@ -73,12 +74,12 @@ void Tracer::record(Phase p, std::int64_t start_ns,
   counts_[i].fetch_add(1, std::memory_order_relaxed);
   ns_[i].fetch_add(dur_ns, std::memory_order_relaxed);
   if (!capturing_.load(std::memory_order_relaxed)) return;
-  const std::lock_guard<std::mutex> lock(events_mu_);
+  const util::MutexLock lock(events_mu_);
   events_.push_back({p, start_ns, dur_ns, current_tid()});
 }
 
 std::string Tracer::trace_json() const {
-  const std::lock_guard<std::mutex> lock(events_mu_);
+  const util::MutexLock lock(events_mu_);
   JsonWriter w;
   w.begin_object();
   w.key("traceEvents").begin_array();

@@ -20,13 +20,13 @@
 #include <array>
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "obs/metrics.hpp"
 #include "obs/timer.hpp"
+#include "util/sync.hpp"
 
 namespace lejit::obs {
 
@@ -39,6 +39,7 @@ enum class Phase : int {
   kSampling,        // masked sampling from the LM distribution
   kRuleMining,      // rules::mine_rules
   kLint,            // lint::analyze (load-time rule-set static analysis)
+  kPlanVerify,      // plan::verify::run (plan translation validation)
   kCount,
 };
 
@@ -90,9 +91,9 @@ class Tracer {
   std::array<std::atomic<std::int64_t>, static_cast<int>(Phase::kCount)>
       ns_{};
   std::atomic<bool> capturing_{false};
-  std::int64_t capture_start_ns_ = 0;
-  mutable std::mutex events_mu_;
-  std::vector<Event> events_;
+  mutable util::Mutex events_mu_;
+  std::int64_t capture_start_ns_ LEJIT_GUARDED_BY(events_mu_) = 0;
+  std::vector<Event> events_ LEJIT_GUARDED_BY(events_mu_);
 };
 
 // RAII phase timer. Construct where the phase begins; the destructor records.

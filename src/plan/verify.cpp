@@ -1,0 +1,862 @@
+#include "plan/verify.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <deque>
+#include <utility>
+
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "plan/plan.hpp"
+#include "util/error.hpp"
+
+namespace lejit::plan::verify {
+
+namespace {
+
+// --- independent fingerprint -------------------------------------------------
+// Deliberately NOT a call into plan::rule_set_fingerprint: the whole point of
+// the certificate is that a bug in the compiler's implementation surfaces as
+// a mismatch here. Same published FNV-1a definition, separate code.
+
+struct Fnv1a64 {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+
+  void byte(std::uint8_t b) {
+    h ^= b;
+    h *= 0x100000001b3ull;
+  }
+  void str(std::string_view s) {
+    for (const char c : s) byte(static_cast<std::uint8_t>(c));
+    byte(0xff);  // separator, so {"ab","c"} != {"a","bc"}
+  }
+  void integer(std::int64_t v) {
+    for (int i = 0; i < 8; ++i)
+      byte(static_cast<std::uint8_t>(
+          static_cast<std::uint64_t>(v) >> (8 * i)));
+  }
+};
+
+// --- independent AST walk ----------------------------------------------------
+// The compiler goes through rules::referenced_fields; the verifier walks the
+// Formula tree itself so the two derivations share no traversal code.
+
+void collect_fields(const smt::Formula& f, std::vector<bool>& seen) {
+  if (f == nullptr) return;
+  switch (f->kind()) {
+    case smt::FormulaKind::kAtom:
+      for (const auto& [var, coeff] : f->atom_expr().terms()) {
+        (void)coeff;  // LinExpr invariant: no zero-coefficient terms
+        if (var.index >= 0 &&
+            var.index < static_cast<int>(seen.size()))
+          seen[static_cast<std::size_t>(var.index)] = true;
+      }
+      break;
+    case smt::FormulaKind::kAnd:
+    case smt::FormulaKind::kOr:
+      for (const auto& child : f->children()) collect_fields(child, seen);
+      break;
+    case smt::FormulaKind::kTrue:
+    case smt::FormulaKind::kFalse:
+      break;
+  }
+}
+
+std::vector<int> rule_fields(const smt::Formula& f, int num_fields) {
+  std::vector<bool> seen(static_cast<std::size_t>(num_fields), false);
+  collect_fields(f, seen);
+  std::vector<int> out;
+  for (int i = 0; i < num_fields; ++i)
+    if (seen[static_cast<std::size_t>(i)]) out.push_back(i);
+  return out;
+}
+
+// --- independent partition ---------------------------------------------------
+// Flood fill over the bipartite rule–field graph (the compiler uses a
+// union-find over fields). Canonical form matches compile()'s: clusters
+// ordered by smallest member field, rules ascending, fields sorted unique.
+
+struct DerivedCluster {
+  std::vector<std::size_t> rules;
+  std::vector<int> fields;
+};
+
+struct DerivedPartition {
+  std::vector<std::vector<int>> per_rule_fields;
+  std::vector<std::size_t> constant_rules;
+  std::vector<DerivedCluster> clusters;
+  std::vector<int> field_cluster;  // -1 = no rule touches the field
+};
+
+DerivedPartition derive_partition(const rules::RuleSet& set, int num_fields) {
+  DerivedPartition out;
+  out.per_rule_fields.resize(set.size());
+  out.field_cluster.assign(static_cast<std::size_t>(num_fields), -1);
+
+  std::vector<std::vector<std::size_t>> field_rules(
+      static_cast<std::size_t>(num_fields));
+  for (std::size_t r = 0; r < set.size(); ++r) {
+    out.per_rule_fields[r] = rule_fields(set.rules[r].formula, num_fields);
+    if (out.per_rule_fields[r].empty()) {
+      out.constant_rules.push_back(r);
+      continue;
+    }
+    for (const int f : out.per_rule_fields[r])
+      field_rules[static_cast<std::size_t>(f)].push_back(r);
+  }
+
+  std::vector<bool> rule_done(set.size(), false);
+  std::vector<bool> field_done(static_cast<std::size_t>(num_fields), false);
+  for (std::size_t seed = 0; seed < set.size(); ++seed) {
+    if (rule_done[seed] || out.per_rule_fields[seed].empty()) continue;
+    DerivedCluster cluster;
+    std::deque<std::size_t> frontier{seed};
+    rule_done[seed] = true;
+    while (!frontier.empty()) {
+      const std::size_t r = frontier.front();
+      frontier.pop_front();
+      cluster.rules.push_back(r);
+      for (const int f : out.per_rule_fields[r]) {
+        if (field_done[static_cast<std::size_t>(f)]) continue;
+        field_done[static_cast<std::size_t>(f)] = true;
+        cluster.fields.push_back(f);
+        for (const std::size_t r2 : field_rules[static_cast<std::size_t>(f)]) {
+          if (rule_done[r2]) continue;
+          rule_done[r2] = true;
+          frontier.push_back(r2);
+        }
+      }
+    }
+    std::sort(cluster.rules.begin(), cluster.rules.end());
+    std::sort(cluster.fields.begin(), cluster.fields.end());
+    out.clusters.push_back(std::move(cluster));
+  }
+  std::sort(out.clusters.begin(), out.clusters.end(),
+            [](const DerivedCluster& a, const DerivedCluster& b) {
+              return a.fields.front() < b.fields.front();
+            });
+  for (std::size_t c = 0; c < out.clusters.size(); ++c)
+    for (const int f : out.clusters[c].fields)
+      out.field_cluster[static_cast<std::size_t>(f)] = static_cast<int>(c);
+  return out;
+}
+
+// --- independent transition arithmetic --------------------------------------
+// Local reimplementations of the digit-prefix helpers the compiler takes
+// from core/transition.hpp, so the table re-derivation shares none of the
+// code whose output it certifies. Saturation uses the smt arithmetic rails
+// (the domains reject anything clamped, same as core).
+
+struct Prefix {
+  smt::Int value = 0;
+  int digits = 0;
+};
+
+int decimal_digits(smt::Int v) {
+  int d = 1;
+  while (v >= 10) {
+    v /= 10;
+    ++d;
+  }
+  return d;
+}
+
+bool prefix_can_extend(const Prefix& p, int max_digits) {
+  // The canonical "0" admits no extension (no leading zeros).
+  return p.digits < max_digits && !(p.digits == 1 && p.value == 0);
+}
+
+// v equals some canonical decimal completion of `p` using at most
+// `max_digits` digits: terminate now, or append 1..max_digits-p.digits more.
+smt::Formula completion_formula(smt::VarId var, const Prefix& p,
+                                int max_digits) {
+  std::vector<smt::Formula> cases;
+  cases.push_back(smt::eq(smt::LinExpr(var), smt::LinExpr(p.value)));
+  if (prefix_can_extend(p, max_digits)) {
+    smt::Int scale = 1;
+    for (int more = 1; more <= max_digits - p.digits; ++more) {
+      scale = smt::sat_mul(scale, 10);
+      const smt::Int lo = smt::sat_mul(p.value, scale);
+      cases.push_back(smt::between(smt::LinExpr(var), smt::LinExpr(lo),
+                                   smt::LinExpr(smt::sat_add(lo, scale - 1))));
+    }
+  }
+  return smt::lor(std::move(cases));
+}
+
+// --- findings ----------------------------------------------------------------
+
+struct Ctx {
+  const Config& config;
+  Certificate& cert;
+  std::int64_t deadline_ns = 0;
+
+  smt::Budget budget() const {
+    smt::Budget b;
+    b.max_nodes = config.check_max_nodes;
+    b.deadline_ns = deadline_ns;
+    return b;
+  }
+  bool expired() const {
+    if (deadline_ns == 0) return false;
+    return smt::Budget::deadline_in_ms(0).deadline_ns >= deadline_ns;
+  }
+
+  Finding& report(Code code, std::string message) {
+    Finding f;
+    f.code = code;
+    f.severity = code_severity(code);
+    f.message = std::move(message);
+    cert.findings.push_back(std::move(f));
+    return cert.findings.back();
+  }
+};
+
+std::string hex16(std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+std::string mask_hex(std::uint16_t v) {
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "0x%x", v);
+  return buf;
+}
+
+const char* verdict_name(smt::CheckResult r) {
+  switch (r) {
+    case smt::CheckResult::kSat: return "sat";
+    case smt::CheckResult::kUnsat: return "unsat";
+    case smt::CheckResult::kUnknown: return "unknown";
+  }
+  return "unknown";
+}
+
+template <typename T>
+std::string index_list(const std::vector<T>& xs) {
+  std::string out = "{";
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    if (i > 0) out += ",";
+    out += std::to_string(xs[i]);
+  }
+  return out + "}";
+}
+
+std::string field_label(const telemetry::RowLayout& layout, int f) {
+  std::string out = "field #" + std::to_string(f);
+  if (f >= 0 && f < layout.num_fields()) {
+    out += " '";
+    out += layout.fields[static_cast<std::size_t>(f)].name;
+    out += "'";
+  }
+  return out;
+}
+
+// --- pass 1: fingerprint -----------------------------------------------------
+
+bool check_fingerprint(Ctx& ctx, const DecodePlan& plan,
+                       const rules::RuleSet& set,
+                       const telemetry::RowLayout& layout) {
+  ctx.cert.expected_fingerprint = expected_fingerprint(set, layout);
+  if (plan.fingerprint == ctx.cert.expected_fingerprint) return true;
+  ctx.report(Code::kFingerprintMismatch,
+             "artifact fingerprint " + hex16(plan.fingerprint) +
+                 " does not bind to this rule set and layout (expected " +
+                 hex16(ctx.cert.expected_fingerprint) +
+                 "); refusing to certify claims against foreign inputs");
+  return false;
+}
+
+// --- pass 2: structural invariants ------------------------------------------
+
+bool check_structure(Ctx& ctx, const DecodePlan& plan,
+                     const rules::RuleSet& set,
+                     const telemetry::RowLayout& layout) {
+  bool ok = true;
+  const auto fail = [&](std::string message) {
+    ctx.report(Code::kStructure, std::move(message));
+    ok = false;
+  };
+
+  if (plan.num_fields != layout.num_fields())
+    fail("artifact num_fields " + std::to_string(plan.num_fields) +
+         " != layout fields " + std::to_string(layout.num_fields()));
+  if (plan.num_rules != set.size())
+    fail("artifact num_rules " + std::to_string(plan.num_rules) +
+         " != rule set size " + std::to_string(set.size()));
+  if (static_cast<int>(plan.field_cluster.size()) != plan.num_fields)
+    fail("field_cluster has " + std::to_string(plan.field_cluster.size()) +
+         " entries for " + std::to_string(plan.num_fields) + " fields");
+  for (std::size_t c = 0; c < plan.clusters.size(); ++c) {
+    const Cluster& cluster = plan.clusters[c];
+    if (cluster.rules.empty() || cluster.fields.empty())
+      fail("cluster " + std::to_string(c) + " is empty");
+    for (const std::size_t r : cluster.rules)
+      if (r >= plan.num_rules)
+        fail("cluster " + std::to_string(c) + " references rule " +
+             std::to_string(r) + " out of range");
+    for (const int f : cluster.fields)
+      if (f < 0 || f >= plan.num_fields)
+        fail("cluster " + std::to_string(c) + " references field " +
+             std::to_string(f) + " out of range");
+  }
+  for (const std::size_t r : plan.constant_rules)
+    if (r >= plan.num_rules)
+      fail("constant rule " + std::to_string(r) + " out of range");
+  for (const int c : plan.field_cluster)
+    if (c < -1 || c >= static_cast<int>(plan.clusters.size()))
+      fail("field_cluster entry " + std::to_string(c) + " out of range");
+
+  if (!plan.tables.empty() &&
+      static_cast<int>(plan.tables.size()) != plan.num_fields)
+    fail("artifact carries " + std::to_string(plan.tables.size()) +
+         " tables for " + std::to_string(plan.num_fields) + " fields");
+  if (!plan.tables.empty() && plan.satisfiable != smt::CheckResult::kSat)
+    fail("artifact carries digit tables but records the rule set as " +
+         std::string(verdict_name(plan.satisfiable)) +
+         "; compile only emits tables for a satisfiable set");
+
+  const bool sized_ok = plan.num_fields == layout.num_fields();
+  for (std::size_t f = 0; f < plan.tables.size(); ++f) {
+    const DigitTable& t = plan.tables[f];
+    const std::string where =
+        field_label(layout, static_cast<int>(f)) + " digit table";
+    if (sized_ok) {
+      const int m = decimal_digits(
+          layout.fields[f].max_value);
+      if (t.max_digits != m) {
+        fail(where + ": max_digits " + std::to_string(t.max_digits) +
+             " but the field domain needs " + std::to_string(m));
+        continue;
+      }
+    }
+    const std::size_t rows = static_cast<std::size_t>(t.max_digits) + 1;
+    if (t.always.size() != rows || t.never.size() != rows ||
+        t.verified.size() != rows) {
+      fail(where + ": row arrays do not all have " + std::to_string(rows) +
+           " rows");
+      continue;
+    }
+    constexpr std::uint16_t kAllBits = (1u << (kTerminatorBit + 1)) - 1;
+    constexpr std::uint16_t kDigitBits = (1u << kTerminatorBit) - 1;
+    constexpr std::uint16_t kTermBit = 1u << kTerminatorBit;
+    bool suffix_unverified = false;
+    for (std::size_t k = 0; k < rows; ++k) {
+      const std::uint16_t a = t.always[k];
+      const std::uint16_t n = t.never[k];
+      const std::string row = where + " row " + std::to_string(k);
+      if ((a & ~kAllBits) != 0 || (n & ~kAllBits) != 0)
+        fail(row + ": bits beyond kTerminatorBit are set");
+      if ((a & n) != 0)
+        fail(row + ": claims a decision both always and never admissible");
+      if (k == 0 && ((a | n) & kTermBit) != 0)
+        fail(row + ": terminator claim on the empty prefix");
+      if (k + 1 == rows && ((a | n) & kDigitBits) != 0)
+        fail(row + ": digit claims past the digit budget");
+      if (t.verified[k] > 1)
+        fail(row + ": verified flag is not 0/1");
+      if (t.verified[k] == 0) {
+        suffix_unverified = true;
+        if ((a | n) != 0) {
+          ctx.report(Code::kVerifiedAccounting,
+                     row + ": unverified row carries claims")
+              .field = static_cast<int>(f);
+          ctx.cert.findings.back().row = static_cast<int>(k);
+          ok = false;
+        }
+      } else if (suffix_unverified) {
+        ctx.report(Code::kVerifiedAccounting,
+                   row + ": verified row after an unverified one (verified "
+                         "rows must form a contiguous prefix)")
+            .field = static_cast<int>(f);
+        ctx.cert.findings.back().row = static_cast<int>(k);
+        ok = false;
+      }
+    }
+  }
+  return ok;
+}
+
+// --- pass 3: partition -------------------------------------------------------
+
+bool check_partition(Ctx& ctx, const DecodePlan& plan,
+                     const DerivedPartition& derived) {
+  bool ok = true;
+  const auto sorted = [](auto v) {
+    std::sort(v.begin(), v.end());
+    return v;
+  };
+
+  if (sorted(plan.constant_rules) != derived.constant_rules) {
+    ctx.report(Code::kPartitionMismatch,
+               "constant rules " + index_list(plan.constant_rules) +
+                   " != re-derived " + index_list(derived.constant_rules));
+    ok = false;
+  }
+  if (plan.clusters.size() != derived.clusters.size()) {
+    ctx.report(Code::kPartitionMismatch,
+               "artifact has " + std::to_string(plan.clusters.size()) +
+                   " clusters, re-derivation from the rule ASTs gives " +
+                   std::to_string(derived.clusters.size()));
+    return false;
+  }
+  for (std::size_t c = 0; c < plan.clusters.size(); ++c) {
+    const Cluster& got = plan.clusters[c];
+    const DerivedCluster& want = derived.clusters[c];
+    if (sorted(got.rules) != want.rules) {
+      ctx.report(Code::kPartitionMismatch,
+                 "cluster " + std::to_string(c) + " rules " +
+                     index_list(got.rules) + " != re-derived " +
+                     index_list(want.rules))
+          .cluster = static_cast<int>(c);
+      ok = false;
+    }
+    if (sorted(got.fields) != want.fields) {
+      ctx.report(Code::kPartitionMismatch,
+                 "cluster " + std::to_string(c) + " fields " +
+                     index_list(got.fields) + " != re-derived " +
+                     index_list(want.fields))
+          .cluster = static_cast<int>(c);
+      ok = false;
+    }
+  }
+  if (plan.field_cluster != derived.field_cluster) {
+    ctx.report(Code::kPartitionMismatch,
+               "field_cluster map " + index_list(plan.field_cluster) +
+                   " != re-derived " + index_list(derived.field_cluster));
+    ok = false;
+  }
+  return ok;
+}
+
+// --- pass 4: satisfiability verdicts + equivalence ---------------------------
+
+bool constants_satisfiable(const DecodePlan& plan, const rules::RuleSet& set) {
+  for (const std::size_t r : plan.constant_rules) {
+    const auto& f = set.rules[r].formula;
+    if (f == nullptr || f->kind() == smt::FormulaKind::kFalse) return false;
+  }
+  return true;
+}
+
+void check_verdicts(Ctx& ctx, smt::Backend& backend, const DecodePlan& plan,
+                    const rules::RuleSet& set) {
+  bool reproved_conclusive = true;
+  bool reproved_clusters_sat = true;
+  for (std::size_t c = 0; c < plan.clusters.size(); ++c) {
+    const Cluster& cluster = plan.clusters[c];
+    std::vector<smt::Formula> fs;
+    fs.reserve(cluster.rules.size());
+    for (const std::size_t r : cluster.rules)
+      fs.push_back(set.rules[r].formula);
+    ++ctx.cert.solver_checks;
+    ++ctx.cert.clusters_checked;
+    const smt::CheckResult res = backend.check_assuming(fs, ctx.budget());
+    if (res != smt::CheckResult::kSat) reproved_clusters_sat = false;
+    if (res == smt::CheckResult::kUnknown) {
+      reproved_conclusive = false;
+      ctx.report(Code::kInconclusive,
+                 "cluster " + std::to_string(c) +
+                     " satisfiability re-proof exhausted its budget "
+                     "(recorded " +
+                     verdict_name(cluster.satisfiable) + ")")
+          .cluster = static_cast<int>(c);
+    } else if (cluster.satisfiable != smt::CheckResult::kUnknown &&
+               cluster.satisfiable != res) {
+      ctx.report(Code::kClusterVerdict,
+                 "cluster " + std::to_string(c) + " recorded as " +
+                     verdict_name(cluster.satisfiable) + ", re-proof says " +
+                     verdict_name(res))
+          .cluster = static_cast<int>(c);
+    }
+  }
+
+  {
+    std::vector<smt::Formula> fs;
+    fs.reserve(set.size());
+    for (const auto& r : set.rules)
+      if (r.formula != nullptr) fs.push_back(r.formula);
+    ++ctx.cert.solver_checks;
+    ctx.cert.full_set = backend.check_assuming(fs, ctx.budget());
+  }
+  if (ctx.cert.full_set == smt::CheckResult::kUnknown) {
+    reproved_conclusive = false;
+    ctx.report(Code::kInconclusive,
+               "full-set satisfiability re-proof exhausted its budget "
+               "(recorded " +
+                   std::string(verdict_name(plan.satisfiable)) + ")");
+  } else if (plan.satisfiable != smt::CheckResult::kUnknown &&
+             plan.satisfiable != ctx.cert.full_set) {
+    ctx.report(Code::kFullSetVerdict,
+               "full rule set recorded as " +
+                   std::string(verdict_name(plan.satisfiable)) +
+                   ", re-proof says " + verdict_name(ctx.cert.full_set));
+  }
+
+  const bool constants_sat = constants_satisfiable(plan, set);
+  if (plan.partition_verified) {
+    // The artifact claims slice-vs-full-set equivalence was established.
+    // That requires every recorded verdict to be conclusive and mutually
+    // consistent …
+    bool recorded_conclusive = plan.satisfiable != smt::CheckResult::kUnknown;
+    bool recorded_clusters_sat = true;
+    for (const Cluster& c : plan.clusters) {
+      if (c.satisfiable == smt::CheckResult::kUnknown)
+        recorded_conclusive = false;
+      if (c.satisfiable != smt::CheckResult::kSat)
+        recorded_clusters_sat = false;
+    }
+    if (!recorded_conclusive) {
+      ctx.report(Code::kEquivalence,
+                 "partition_verified claimed although a recorded verdict is "
+                 "unknown — compile never certifies an inconclusive "
+                 "partition");
+    } else if ((plan.satisfiable == smt::CheckResult::kSat) !=
+               (recorded_clusters_sat && constants_sat)) {
+      ctx.report(Code::kEquivalence,
+                 "partition_verified claimed but the recorded verdicts "
+                 "already contradict slice-vs-full-set equivalence");
+    }
+  }
+  // … and the equivalence must hold for the *re-proved* verdicts too. This
+  // is the actual soundness statement behind plan-sliced decode queries.
+  if (reproved_conclusive &&
+      (ctx.cert.full_set == smt::CheckResult::kSat) !=
+          (reproved_clusters_sat && constants_sat)) {
+    ctx.report(Code::kEquivalence,
+               "re-proved verdicts violate slice-vs-full-set equivalence: "
+               "full set " +
+                   std::string(verdict_name(ctx.cert.full_set)) +
+                   " but clusters+constants " +
+                   ((reproved_clusters_sat && constants_sat) ? "sat"
+                                                             : "unsat"));
+  }
+}
+
+// --- pass 5: digit tables ----------------------------------------------------
+
+void check_table(Ctx& ctx, smt::Backend& backend, const DecodePlan& plan,
+                 const rules::RuleSet& set,
+                 const telemetry::RowLayout& layout, int f) {
+  const DigitTable& t = plan.tables[static_cast<std::size_t>(f)];
+  const int m = t.max_digits;
+  int verified_rows = 0;
+  for (const std::uint8_t v : t.verified) verified_rows += v;
+  if (verified_rows == 0) return;
+
+  if (ctx.config.sample_field_stride > 1 &&
+      f % ctx.config.sample_field_stride != 0) {
+    ctx.cert.table_rows_skipped += verified_rows;
+    return;
+  }
+
+  // Scope the field's cluster rules (or nothing, for a rule-free field whose
+  // table is pure domain structure).
+  const int c = plan.field_cluster[static_cast<std::size_t>(f)];
+  backend.push();
+  if (c >= 0)
+    for (const std::size_t r :
+         plan.clusters[static_cast<std::size_t>(c)].rules)
+      backend.add(set.rules[r].formula);
+
+  const smt::VarId var{f};
+  constexpr std::uint16_t kTermBit = 1u << kTerminatorBit;
+  std::vector<Prefix> level = {Prefix{}};  // P_0: the empty prefix
+  for (int k = 0; k <= m; ++k) {
+    if (t.verified[static_cast<std::size_t>(k)] == 0) break;
+    const int rows_left = verified_rows - k;
+    if (ctx.config.max_rows_per_field > 0 &&
+        k >= ctx.config.max_rows_per_field) {
+      ctx.cert.table_rows_skipped += rows_left;
+      break;
+    }
+    if (ctx.expired()) {
+      ctx.cert.table_rows_inconclusive += rows_left;
+      ctx.report(Code::kInconclusive,
+                 field_label(layout, f) + " digit table rows " +
+                     std::to_string(k) + ".. not re-proved: deadline expired")
+          .field = f;
+      break;
+    }
+
+    bool unknown = false;
+    std::uint16_t always = 0;
+    std::uint16_t never = 0;
+    if (k >= 1 && !level.empty()) {
+      std::size_t sat = 0;
+      for (const Prefix& p : level) {
+        ++ctx.cert.solver_checks;
+        const smt::Formula stop =
+            smt::eq(smt::LinExpr(var), smt::LinExpr(p.value));
+        const smt::CheckResult res =
+            backend.check_assuming({&stop, 1}, ctx.budget());
+        if (res == smt::CheckResult::kUnknown) {
+          unknown = true;
+          break;
+        }
+        if (res == smt::CheckResult::kSat) ++sat;
+      }
+      if (!unknown) {
+        if (sat == level.size()) always |= kTermBit;
+        if (sat == 0) never |= kTermBit;
+      }
+    }
+
+    std::vector<Prefix> next_level;
+    if (!unknown && k < m) {
+      for (int d = 0; d <= 9 && !unknown; ++d) {
+        std::size_t extendable = 0;
+        std::size_t sat = 0;
+        for (const Prefix& p : level) {
+          if (!prefix_can_extend(p, m)) continue;
+          const Prefix np{smt::sat_add(smt::sat_mul(p.value, 10), d),
+                          p.digits + 1};
+          ++extendable;
+          ++ctx.cert.solver_checks;
+          const smt::Formula complete = completion_formula(var, np, m);
+          const smt::CheckResult res =
+              backend.check_assuming({&complete, 1}, ctx.budget());
+          if (res == smt::CheckResult::kUnknown) {
+            unknown = true;
+            break;
+          }
+          if (res == smt::CheckResult::kSat) {
+            ++sat;
+            next_level.push_back(np);
+          }
+        }
+        if (extendable > 0 && sat == extendable) always |= 1u << d;
+        if (extendable > 0 && sat == 0) never |= 1u << d;
+      }
+    }
+
+    if (unknown) {
+      ctx.cert.table_rows_inconclusive += rows_left;
+      ctx.report(Code::kInconclusive,
+                 field_label(layout, f) + " digit table rows " +
+                     std::to_string(k) +
+                     ".. not re-proved: a completion check exhausted its "
+                     "budget")
+          .field = f;
+      break;
+    }
+
+    ++ctx.cert.table_rows_checked;
+    if (always != t.always[static_cast<std::size_t>(k)] ||
+        never != t.never[static_cast<std::size_t>(k)]) {
+      Finding& finding = ctx.report(
+          Code::kTableMismatch,
+          field_label(layout, f) + " digit table row " + std::to_string(k) +
+              ": artifact claims always=" +
+              mask_hex(t.always[static_cast<std::size_t>(k)]) + " never=" +
+              mask_hex(t.never[static_cast<std::size_t>(k)]) +
+              ", re-derivation proves always=" + mask_hex(always) +
+              " never=" + mask_hex(never));
+      finding.field = f;
+      finding.row = k;
+    }
+
+    if (static_cast<int>(next_level.size()) >
+        ctx.config.max_prefixes_per_field) {
+      const int deeper = rows_left - 1;
+      if (deeper > 0) {
+        ctx.cert.table_rows_inconclusive += deeper;
+        ctx.report(Code::kInconclusive,
+                   field_label(layout, f) + " digit table rows " +
+                       std::to_string(k + 1) +
+                       ".. not re-proved: prefix frontier exceeds "
+                       "max_prefixes_per_field " +
+                       std::to_string(ctx.config.max_prefixes_per_field))
+            .field = f;
+      }
+      break;
+    }
+    level = std::move(next_level);
+  }
+  backend.pop();
+}
+
+}  // namespace
+
+std::string_view severity_name(Severity s) noexcept {
+  switch (s) {
+    case Severity::kInfo: return "info";
+    case Severity::kWarning: return "warning";
+    case Severity::kError: return "error";
+  }
+  return "?";
+}
+
+std::string_view code_name(Code c) noexcept {
+  switch (c) {
+    case Code::kFingerprintMismatch: return "E_FINGERPRINT";
+    case Code::kStructure: return "E_STRUCTURE";
+    case Code::kPartitionMismatch: return "E_PARTITION";
+    case Code::kClusterVerdict: return "E_CLUSTER_VERDICT";
+    case Code::kFullSetVerdict: return "E_FULLSET_VERDICT";
+    case Code::kEquivalence: return "E_EQUIVALENCE";
+    case Code::kTableMismatch: return "E_TABLE";
+    case Code::kVerifiedAccounting: return "E_VERIFIED_ACCOUNTING";
+    case Code::kInconclusive: return "W_INCONCLUSIVE";
+    case Code::kSampled: return "I_SAMPLED";
+  }
+  return "?";
+}
+
+Severity code_severity(Code c) noexcept {
+  switch (c) {
+    case Code::kInconclusive: return Severity::kWarning;
+    case Code::kSampled: return Severity::kInfo;
+    default: return Severity::kError;
+  }
+}
+
+std::size_t Certificate::count(Severity s) const {
+  std::size_t n = 0;
+  for (const Finding& f : findings)
+    if (f.severity == s) ++n;
+  return n;
+}
+
+bool Certificate::complete() const {
+  return ok() && table_rows_skipped == 0 && table_rows_inconclusive == 0 &&
+         count(Severity::kWarning) == 0;
+}
+
+std::uint64_t expected_fingerprint(const rules::RuleSet& set,
+                                   const telemetry::RowLayout& layout) {
+  Fnv1a64 fnv;
+  fnv.integer(static_cast<std::int64_t>(layout.fields.size()));
+  for (const auto& f : layout.fields) {
+    fnv.str(f.prefix);
+    fnv.str(f.name);
+    fnv.integer(f.max_value);
+    fnv.integer(f.is_fine ? 1 : 0);
+  }
+  fnv.str(layout.suffix);
+  fnv.integer(static_cast<std::int64_t>(set.size()));
+  for (const auto& r : set.rules) {
+    fnv.str(r.description);
+    fnv.str(r.formula != nullptr ? r.formula->to_string() : "<null>");
+  }
+  return fnv.h;
+}
+
+Certificate run(const DecodePlan& plan, const rules::RuleSet& set,
+                const telemetry::RowLayout& layout, const Config& config) {
+  const obs::Span span(obs::Phase::kPlanVerify);
+  Certificate cert;
+  Ctx ctx{config, cert};
+  if (config.deadline_ms > 0)
+    ctx.deadline_ns =
+        smt::Budget::deadline_in_ms(config.deadline_ms).deadline_ns;
+
+  // Cheap self-contained passes first: an artifact that is not even bound
+  // to these inputs, or is structurally malformed, is rejected without
+  // spending solver budget on meaningless re-proofs.
+  const bool bound = check_fingerprint(ctx, plan, set, layout);
+  const bool shaped = check_structure(ctx, plan, set, layout);
+  bool partition_ok = false;
+  if (bound && shaped) {
+    const DerivedPartition derived = derive_partition(set, plan.num_fields);
+    partition_ok = check_partition(ctx, plan, derived);
+  }
+
+  if (partition_ok) {
+    const std::unique_ptr<smt::Backend> backend =
+        smt::make_backend(config.backend);
+    cert.backend_name = backend->name();
+    for (const auto& f : layout.fields)
+      backend->add_var(f.name, 0, f.max_value);
+    check_verdicts(ctx, *backend, plan, set);
+    if (config.check_tables)
+      for (std::size_t f = 0; f < plan.tables.size(); ++f)
+        check_table(ctx, *backend, plan, set, layout, static_cast<int>(f));
+    if (cert.table_rows_skipped > 0)
+      ctx.report(Code::kSampled,
+                 std::to_string(cert.table_rows_skipped) +
+                     " verified table rows skipped by sampling "
+                     "configuration; this certificate is partial");
+  }
+
+  if (obs::metrics_enabled()) {
+    auto& registry = obs::MetricsRegistry::instance();
+    static obs::Counter& c_runs = registry.counter("plan.verify.runs");
+    static obs::Counter& c_checks = registry.counter("plan.verify.checks");
+    static obs::Counter& c_rows =
+        registry.counter("plan.verify.rows_checked");
+    static obs::Counter& c_errors = registry.counter("plan.verify.errors");
+    static obs::Counter& c_warnings =
+        registry.counter("plan.verify.warnings");
+    static obs::Counter& c_rejected =
+        registry.counter("plan.verify.rejected");
+    c_runs.inc();
+    c_checks.add(cert.solver_checks);
+    c_rows.add(cert.table_rows_checked);
+    c_errors.add(static_cast<std::int64_t>(cert.errors()));
+    c_warnings.add(static_cast<std::int64_t>(cert.warnings()));
+    if (!cert.ok()) c_rejected.inc();
+  }
+  return cert;
+}
+
+std::string to_text(const Certificate& cert) {
+  std::string out;
+  for (const Finding& f : cert.findings) {
+    out += severity_name(f.severity);
+    out += " ";
+    out += code_name(f.code);
+    out += ": ";
+    out += f.message;
+    out += "\n";
+  }
+  out += "plan-verify: ";
+  out += cert.ok() ? (cert.complete() ? "CERTIFIED (complete)"
+                                      : "CERTIFIED (partial)")
+                   : "REJECTED";
+  out += " — " + std::to_string(cert.errors()) + " errors, " +
+         std::to_string(cert.warnings()) + " warnings; " +
+         std::to_string(cert.solver_checks) + " re-proof checks via " +
+         (cert.backend_name.empty() ? "(no backend)" : cert.backend_name) +
+         "; " + std::to_string(cert.table_rows_checked) +
+         " table rows re-derived (" +
+         std::to_string(cert.table_rows_skipped) + " skipped, " +
+         std::to_string(cert.table_rows_inconclusive) + " inconclusive)\n";
+  return out;
+}
+
+std::string to_json(const Certificate& cert) {
+  obs::JsonWriter w;
+  w.begin_object();
+  w.key("ok").value(cert.ok());
+  w.key("complete").value(cert.complete());
+  w.key("expected_fingerprint").value(hex16(cert.expected_fingerprint));
+  w.key("full_set").value(verdict_name(cert.full_set));
+  w.key("backend").value(cert.backend_name);
+  w.key("errors").value(static_cast<std::int64_t>(cert.errors()));
+  w.key("warnings").value(static_cast<std::int64_t>(cert.warnings()));
+  w.key("solver_checks").value(cert.solver_checks);
+  w.key("clusters_checked").value(cert.clusters_checked);
+  w.key("table_rows_checked").value(cert.table_rows_checked);
+  w.key("table_rows_skipped").value(cert.table_rows_skipped);
+  w.key("table_rows_inconclusive").value(cert.table_rows_inconclusive);
+  w.key("findings").begin_array();
+  for (const Finding& f : cert.findings) {
+    w.begin_object();
+    w.key("severity").value(severity_name(f.severity));
+    w.key("code").value(code_name(f.code));
+    w.key("message").value(f.message);
+    if (f.cluster >= 0) w.key("cluster").value(f.cluster);
+    if (f.field >= 0) w.key("field").value(f.field);
+    if (f.row >= 0) w.key("row").value(f.row);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+}  // namespace lejit::plan::verify

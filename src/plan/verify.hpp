@@ -1,0 +1,145 @@
+// lejit::plan::verify — independent translation validation of decode plans
+// (DESIGN.md §14).
+//
+// plan::compile() verifies its own output: the minismt session that builds
+// the admissible-digit tables is the minismt session that certifies them, so
+// a shared miscompile+misverify bug ships silently into every decode. This
+// module is the correctness backstop: it takes a *serialized* plan artifact
+// plus the rule set and layout it claims to describe, and re-proves every
+// claim in the artifact without calling any of compile()'s verification
+// code —
+//
+//   fingerprint   an independent reimplementation of the rule-set
+//                 fingerprint (a drift between the two implementations is a
+//                 loud E_FINGERPRINT, never silent acceptance);
+//   structure     bit ranges, kTerminatorBit rows, table shapes, and
+//                 unverified-entry accounting are pure arithmetic checks;
+//   partition     the rule–field dependency partition is re-derived from
+//                 the Rule ASTs by flood fill over the bipartite rule–field
+//                 graph (compile uses union-find) and compared as sets;
+//   verdicts      per-cluster and full-set satisfiability, and the
+//                 slice-vs-full-set equivalence claim behind
+//                 `partition_verified`, are re-proved through the pluggable
+//                 smt::Backend seam — CI points it at z3/lejit_smtserve
+//                 out of process, dev runs use minismt in process;
+//   tables        every verified (field, row) claim is re-derived from its
+//                 own prefix-level enumeration (an independently built
+//                 completion formula, not core::prefix_completion_formula)
+//                 and must match the artifact bit for bit.
+//
+// The result is a machine-readable certificate: findings with stable codes,
+// text/JSON rendering, and an ok() verdict wired to the exit-code contract
+// of `lejit_cli plan-verify` (0 = certified, 1 = rejected, 2 = usage/IO),
+// mirroring `lejit_cli lint`.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "rules/rule.hpp"
+#include "smt/backend.hpp"
+#include "telemetry/text.hpp"
+
+namespace lejit::plan {
+
+struct DecodePlan;
+
+namespace verify {
+
+enum class Severity { kInfo = 0, kWarning = 1, kError = 2 };
+
+enum class Code {
+  kFingerprintMismatch,  // E_FINGERPRINT: artifact bound to different inputs
+  kStructure,            // E_STRUCTURE: shape/bit-range/index invariants
+  kPartitionMismatch,    // E_PARTITION: clusters ≠ re-derived partition
+  kClusterVerdict,       // E_CLUSTER_VERDICT: recorded cluster sat refuted
+  kFullSetVerdict,       // E_FULLSET_VERDICT: recorded global sat refuted
+  kEquivalence,          // E_EQUIVALENCE: partition_verified claim unsound
+  kTableMismatch,        // E_TABLE: digit/terminator claim refuted
+  kVerifiedAccounting,   // E_VERIFIED_ACCOUNTING: verified-row bookkeeping
+  kInconclusive,         // W_INCONCLUSIVE: a re-proof exhausted its budget
+  kSampled,              // I_SAMPLED: configured sampling skipped claims
+};
+
+std::string_view severity_name(Severity s) noexcept;
+std::string_view code_name(Code c) noexcept;
+Severity code_severity(Code c) noexcept;
+
+struct Finding {
+  Code code = Code::kInconclusive;
+  Severity severity = Severity::kInfo;
+  std::string message;  // self-contained: names the cluster/field/row
+  int cluster = -1;     // offending cluster index, or -1
+  int field = -1;       // offending layout field, or -1
+  int row = -1;         // offending digit-table row (prefix length), or -1
+};
+
+struct Config {
+  // Search-node budget per solver re-proof; exhaustion yields a
+  // W_INCONCLUSIVE finding instead of a verdict.
+  std::int64_t check_max_nodes = 200'000;
+  // Wall-clock ceiling over the whole verification (0 = none). Checks
+  // started after the deadline resolve as inconclusive.
+  std::int64_t deadline_ms = 0;
+  // Frontier cap for the verifier's own prefix-level enumeration. Rows the
+  // cap makes unreachable are reported inconclusive, not wrong.
+  int max_prefixes_per_field = 4096;
+  // Sampling knobs for the table pass (default: re-prove everything).
+  // Fields with index % sample_field_stride != 0 are skipped entirely, and
+  // per field only rows 0..max_rows_per_field-1 are re-derived (0 = all).
+  // Any skip is recorded as an I_SAMPLED finding, so a sampled certificate
+  // is visibly weaker than a full one.
+  int sample_field_stride = 1;
+  int max_rows_per_field = 0;
+  bool check_tables = true;
+  // Solver substrate for every re-proof (minismt, or an out-of-process
+  // z3/cvc5/lejit_smtserve via the subprocess backend).
+  smt::BackendConfig backend{};
+};
+
+// The certificate report for one artifact.
+struct Certificate {
+  std::vector<Finding> findings;
+  // Fingerprint this verifier derived from (set, layout) — what the
+  // artifact's fingerprint was compared against.
+  std::uint64_t expected_fingerprint = 0;
+  // Re-proved global verdict (kUnknown when the budget ran out).
+  smt::CheckResult full_set = smt::CheckResult::kUnknown;
+  std::int64_t solver_checks = 0;     // re-proof checks issued
+  std::int64_t clusters_checked = 0;  // cluster verdicts re-proved
+  std::int64_t table_rows_checked = 0;
+  std::int64_t table_rows_skipped = 0;       // by sampling configuration
+  std::int64_t table_rows_inconclusive = 0;  // budget/frontier exhaustion
+  std::string backend_name;  // smt::Backend that served the re-proofs
+
+  std::size_t count(Severity s) const;
+  std::size_t errors() const { return count(Severity::kError); }
+  std::size_t warnings() const { return count(Severity::kWarning); }
+  // Certified: no claim in the artifact was refuted. Warnings (inconclusive
+  // re-proofs) and sampling gaps do not reject the artifact, but see
+  // complete().
+  bool ok() const { return errors() == 0; }
+  // Every claim was re-proved: ok() and nothing skipped or inconclusive.
+  bool complete() const;
+};
+
+// Independent reimplementation of plan::rule_set_fingerprint. Exposed so
+// tests can pin the two implementations against each other — at runtime a
+// divergence surfaces as E_FINGERPRINT on every artifact, never as silent
+// acceptance.
+std::uint64_t expected_fingerprint(const rules::RuleSet& set,
+                                   const telemetry::RowLayout& layout);
+
+// Re-prove every claim of `plan` against (set, layout) under `config`.
+// Never throws on a bad artifact: refuted or malformed claims become error
+// findings in the certificate.
+Certificate run(const DecodePlan& plan, const rules::RuleSet& set,
+                const telemetry::RowLayout& layout, const Config& config = {});
+
+std::string to_text(const Certificate& cert);
+std::string to_json(const Certificate& cert);
+
+}  // namespace verify
+}  // namespace lejit::plan

@@ -6,12 +6,12 @@
 namespace lejit::serve {
 
 void Batcher::activate() {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const util::MutexLock lock(mu_);
   ++active_;
 }
 
 void Batcher::deactivate() {
-  std::unique_lock<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   LEJIT_ASSERT(active_ > 0, "deactivate without matching activate");
   --active_;
   // The group may have been waiting only for us: fire for the others. A
@@ -24,7 +24,7 @@ void Batcher::deactivate() {
 
 std::vector<float> Batcher::forward(std::span<const int> context,
                                     lm::KvCache& cache) {
-  std::unique_lock<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   // Validate before registering: a throwing assert must not leave a dangling
   // Pending* in waiting_ for a later fire() to dereference.
   LEJIT_ASSERT(static_cast<int>(waiting_.size()) < active_,
@@ -36,12 +36,12 @@ std::vector<float> Batcher::forward(std::span<const int> context,
   if (static_cast<int>(waiting_.size()) == active_)
     fire(lock);  // we are the last arrival: lead this round
   else
-    cv_.wait(lock, [&pending] { return pending.done; });
+    while (!pending.done) cv_.wait(lock);
   if (pending.error) std::rethrow_exception(pending.error);
   return std::move(pending.out);
 }
 
-void Batcher::fire(std::unique_lock<std::mutex>& lock) {
+void Batcher::fire(util::MutexLock& lock) {
   // Take over this round's requests. Arrivals during the unlocked compute
   // below open the next round; they can never complete it early, because
   // every member of this round still counts in active_ until its forward()
@@ -99,7 +99,7 @@ void Batcher::fire(std::unique_lock<std::mutex>& lock) {
 }
 
 void Batcher::snapshot(std::uint64_t& forwards, std::uint64_t& contexts) const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const util::MutexLock lock(mu_);
   forwards = forwards_;
   contexts = contexts_;
 }

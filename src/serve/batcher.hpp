@@ -17,14 +17,13 @@
 // group size, arrival order, and scheduling.
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <exception>
-#include <mutex>
 #include <span>
 #include <vector>
 
 #include "lm/transformer.hpp"
+#include "util/sync.hpp"
 
 namespace lejit::serve {
 
@@ -64,15 +63,19 @@ class Batcher {
   // pending request of the current round — with logits, or with the
   // exception_ptr of a throwing forward. Never throws itself; the lock is
   // released for the duration of the compute and reacquired to publish.
-  void fire(std::unique_lock<std::mutex>& lock);
+  // (The mid-function release through a caller-owned lock is beyond the
+  // thread-safety analysis, so the body is exempted; callers are still
+  // checked against the REQUIRES contract.)
+  void fire(util::MutexLock& lock)
+      LEJIT_REQUIRES(mu_) LEJIT_NO_THREAD_SAFETY_ANALYSIS;
 
   const lm::Transformer& model_;
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  int active_ = 0;
-  std::vector<Pending*> waiting_;
-  std::uint64_t forwards_ = 0;
-  std::uint64_t contexts_ = 0;
+  mutable util::Mutex mu_;
+  util::CondVar cv_;
+  int active_ LEJIT_GUARDED_BY(mu_) = 0;
+  std::vector<Pending*> waiting_ LEJIT_GUARDED_BY(mu_);
+  std::uint64_t forwards_ LEJIT_GUARDED_BY(mu_) = 0;
+  std::uint64_t contexts_ LEJIT_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace lejit::serve

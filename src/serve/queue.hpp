@@ -8,14 +8,13 @@
 // end-of-stream, so no accepted request is ever dropped.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
-#include <mutex>
 #include <optional>
 #include <utility>
 
 #include "util/error.hpp"
+#include "util/sync.hpp"
 
 namespace lejit::serve {
 
@@ -29,9 +28,8 @@ class BoundedQueue {
   // Blocks while the queue is full. Returns false (dropping the item) if the
   // queue was closed before space became available.
   bool push(T item) {
-    std::unique_lock<std::mutex> lock(mu_);
-    not_full_.wait(lock,
-                   [this] { return closed_ || items_.size() < capacity_; });
+    util::MutexLock lock(mu_);
+    while (!closed_ && items_.size() >= capacity_) not_full_.wait(lock);
     if (closed_) return false;
     items_.push_back(std::move(item));
     not_empty_.notify_one();
@@ -41,8 +39,8 @@ class BoundedQueue {
   // Blocks while the queue is empty. Returns std::nullopt only once the
   // queue is closed AND fully drained.
   std::optional<T> pop() {
-    std::unique_lock<std::mutex> lock(mu_);
-    not_empty_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    util::MutexLock lock(mu_);
+    while (!closed_ && items_.empty()) not_empty_.wait(lock);
     if (items_.empty()) return std::nullopt;
     T item = std::move(items_.front());
     items_.pop_front();
@@ -51,24 +49,24 @@ class BoundedQueue {
   }
 
   void close() {
-    const std::lock_guard<std::mutex> lock(mu_);
+    const util::MutexLock lock(mu_);
     closed_ = true;
     not_full_.notify_all();
     not_empty_.notify_all();
   }
 
   std::size_t size() const {
-    const std::lock_guard<std::mutex> lock(mu_);
+    const util::MutexLock lock(mu_);
     return items_.size();
   }
   std::size_t capacity() const noexcept { return capacity_; }
 
  private:
-  mutable std::mutex mu_;
-  std::condition_variable not_full_, not_empty_;
-  std::deque<T> items_;
-  std::size_t capacity_;
-  bool closed_ = false;
+  mutable util::Mutex mu_;
+  util::CondVar not_full_, not_empty_;
+  std::deque<T> items_ LEJIT_GUARDED_BY(mu_);
+  std::size_t capacity_;  // immutable after construction
+  bool closed_ LEJIT_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace lejit::serve

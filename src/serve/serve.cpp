@@ -1,12 +1,11 @@
 #include "serve/serve.hpp"
 
-#include <condition_variable>
 #include <exception>
-#include <mutex>
 
 #include "obs/metrics.hpp"
 #include "plan/plan.hpp"
 #include "util/error.hpp"
+#include "util/sync.hpp"
 #include "util/timer.hpp"
 
 namespace lejit::serve {
@@ -24,17 +23,17 @@ DecodeSession::DecodeSession(Batcher& batcher, const lm::Transformer& model,
 // live here — not in the caller's span — so Jobs stay self-contained even
 // if run() unwinds before the rows drain (e.g. push on a closed queue).
 struct Server::RunState {
-  std::vector<std::string> prompts;
-  std::vector<core::DecodeResult> results;
-  std::mutex mu;
-  std::condition_variable done_cv;
-  std::size_t remaining = 0;
+  std::vector<std::string> prompts;  // immutable once jobs are queued
+  util::Mutex mu;
+  util::CondVar done_cv;
+  std::vector<core::DecodeResult> results LEJIT_GUARDED_BY(mu);
+  std::size_t remaining LEJIT_GUARDED_BY(mu) = 0;
 
   // Safe only because the caller's Job holds a shared_ptr to this state:
   // once remaining hits 0, run() may wake and return at any point, so the
   // notify below must not be the last reference's race against destruction.
   void deliver(std::size_t row, core::DecodeResult result) {
-    std::unique_lock<std::mutex> lock(mu);
+    util::MutexLock lock(mu);
     results[row] = std::move(result);
     if (--remaining == 0) {
       lock.unlock();
@@ -113,20 +112,28 @@ void Server::session_main(Group& group, DecodeSession& session) {
 
 std::vector<core::DecodeResult> Server::run(
     std::span<const std::string> prompts) {
+  if (prompts.empty()) return {};
   auto state = std::make_shared<RunState>();
   state->prompts.assign(prompts.begin(), prompts.end());
-  state->results.resize(prompts.size());
-  state->remaining = prompts.size();
-  if (prompts.empty()) return std::move(state->results);
+  {
+    // No session thread can see the state before its job is queued, but the
+    // guarded members are initialized under the lock anyway — uncontended,
+    // and it keeps the thread-safety analysis exact.
+    const util::MutexLock lock(state->mu);
+    state->results.resize(prompts.size());
+    state->remaining = prompts.size();
+  }
 
   util::Timer timer;
   for (std::size_t i = 0; i < state->prompts.size(); ++i) {
     const bool accepted = queue_.push(Job{i, state});
     LEJIT_REQUIRE(accepted, "serve: run() on a closed server");
   }
+  std::vector<core::DecodeResult> results;
   {
-    std::unique_lock<std::mutex> lock(state->mu);
-    state->done_cv.wait(lock, [&state] { return state->remaining == 0; });
+    util::MutexLock lock(state->mu);
+    while (state->remaining != 0) state->done_cv.wait(lock);
+    results = std::move(state->results);
   }
 
   if (obs::metrics_enabled()) {
@@ -137,7 +144,7 @@ std::vector<core::DecodeResult> Server::run(
     c_rows.add(static_cast<std::int64_t>(prompts.size()));
     h_latency.observe(timer.elapsed_seconds() * 1e6);
   }
-  return std::move(state->results);
+  return results;
 }
 
 ServeStats Server::stats() const {

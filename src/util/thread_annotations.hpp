@@ -1,0 +1,49 @@
+// Clang thread-safety analysis annotations, portable across compilers.
+//
+// Clang's -Wthread-safety is a compile-time race detector: lock-protected
+// members are declared LEJIT_GUARDED_BY(mu), functions that assume a held
+// lock LEJIT_REQUIRES(mu), and the analysis rejects any access path that
+// does not provably hold the capability. The macros expand to GNU
+// attributes under clang and to nothing elsewhere, so annotated headers
+// stay valid C++ for GCC (which has no such analysis). The `clang` CMake
+// preset / CI job builds with -Werror=thread-safety, making violations a
+// build break.
+//
+// std::mutex is not an annotated capability type; use util::Mutex /
+// util::MutexLock / util::CondVar from util/sync.hpp, which wrap the
+// standard primitives with the capability attributes below.
+#pragma once
+
+#if defined(__clang__)
+#define LEJIT_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define LEJIT_THREAD_ANNOTATION_(x)
+#endif
+
+// On a class: instances are capabilities (lockable objects).
+#define LEJIT_CAPABILITY(x) LEJIT_THREAD_ANNOTATION_(capability(x))
+// On a class: RAII object that acquires a capability for its lifetime.
+#define LEJIT_SCOPED_CAPABILITY LEJIT_THREAD_ANNOTATION_(scoped_lockable)
+// On a data member: may only be read/written while holding `x`.
+#define LEJIT_GUARDED_BY(x) LEJIT_THREAD_ANNOTATION_(guarded_by(x))
+// On a pointer member: the pointee is protected by `x`.
+#define LEJIT_PT_GUARDED_BY(x) LEJIT_THREAD_ANNOTATION_(pt_guarded_by(x))
+// On a function: callers must hold the capability (and still do after).
+#define LEJIT_REQUIRES(...) \
+  LEJIT_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+// On a function: acquires/releases the capability.
+#define LEJIT_ACQUIRE(...) \
+  LEJIT_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+#define LEJIT_RELEASE(...) \
+  LEJIT_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+#define LEJIT_TRY_ACQUIRE(...) \
+  LEJIT_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+// On a function: must be called WITHOUT the capability held.
+#define LEJIT_EXCLUDES(...) LEJIT_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+// On a function returning a reference to a capability.
+#define LEJIT_RETURN_CAPABILITY(x) LEJIT_THREAD_ANNOTATION_(lock_returned(x))
+// Escape hatch for code the analysis cannot follow (e.g. a lock handed
+// across a call boundary and dropped mid-function). Callers are still
+// checked against the function's REQUIRES contract.
+#define LEJIT_NO_THREAD_SAFETY_ANALYSIS \
+  LEJIT_THREAD_ANNOTATION_(no_thread_safety_analysis)

@@ -89,4 +89,41 @@ if [ "$?" != 1 ] || ! grep -q "stale decode plan" plan_bad_err.txt; then
   echo "[cli_smoke] FAILED at stage: $STAGE" >&2
   exit 1
 fi
+
+# Translation validation (DESIGN.md §14): the independent verifier must
+# certify the compiled artifact (exit 0) and reject a forged verdict inside
+# an otherwise well-bound artifact (exit 1 + a stable finding code) — the
+# tamper class the fingerprint check above cannot see.
+run plan-verify "$CLI" plan-verify --plan plan.json --rules rules.txt 2>/dev/null >/dev/null
+STAGE=plan-verify-tampered
+echo "[cli_smoke] stage: $STAGE" >&2
+sed 's/"satisfiable":"sat"/"satisfiable":"unsat"/' plan.json > plan_forged.json
+"$CLI" plan-verify --plan plan_forged.json --rules rules.txt 2>/dev/null > verify_bad.txt
+if [ "$?" != 1 ] || ! grep -q "E_" verify_bad.txt; then
+  echo "[cli_smoke] FAILED at stage: $STAGE" >&2
+  exit 1
+fi
+
+# Decoding with --verify-plan engages the verifier as a load gate and must
+# not change a single decoded byte.
+STAGE=synth-verified-plan
+echo "[cli_smoke] stage: $STAGE" >&2
+if ! "$CLI" synth --model model.bin --rules rules.txt --count 6 --seed 9 \
+      --plan plan.json --verify-plan 2>/dev/null > rows_verified.txt; then
+  echo "[cli_smoke] FAILED at stage: $STAGE" >&2
+  exit 1
+fi
+run verified-bit-identical cmp rows.txt rows_verified.txt
+
+# Overwrite guard: recompiling the same rule set over its artifact is fine;
+# a different set must refuse (exit 2) unless --force.
+run plan-recompile-same "$CLI" plan --rules rules.txt --out plan.json 2>/dev/null >/dev/null
+STAGE=plan-overwrite-guard
+echo "[cli_smoke] stage: $STAGE" >&2
+"$CLI" plan --rules contradictory.txt --out plan.json 2>/dev/null >/dev/null
+if [ "$?" != 2 ]; then
+  echo "[cli_smoke] FAILED at stage: $STAGE" >&2
+  exit 1
+fi
+run plan-overwrite-forced "$CLI" plan --rules rules.txt --out plan.json --force 2>/dev/null >/dev/null
 echo "[cli_smoke] all stages passed" >&2

@@ -1,0 +1,198 @@
+// Fail-closed fuzzing of the decode-plan loader (plan::from_json).
+//
+// A plan artifact is an on-disk input crossing a trust boundary: it may come
+// from another machine, an older build, or an attacker-adjacent CI cache.
+// The loader's contract is *clean rejection* — util::RuntimeError with a
+// message, never UB, OOM, or a silently wrong plan. These tests run in the
+// stress binary so the `stress` ctest label exercises them under ASan+UBSan
+// (tools/run_stress_sanitized.sh), where the historical failure modes
+// (float-cast overflow on absurd numbers, count-driven allocations) actually
+// trip.
+//
+// Three corpora:
+//   1. Truncations: every strict prefix of a valid artifact.
+//   2. Seeded single-byte/single-bit corruptions of a valid artifact. A
+//      mutation may land in an ignorable spot (whitespace, a digit inside a
+//      range-valid number) and still parse — that is fine; what is not fine
+//      is any escape other than util::RuntimeError.
+//   3. Hand-written absurdities: counts near integer limits, 1e300 where an
+//      int belongs, deep nesting, wrong types, duplicate/missing members.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "plan/plan.hpp"
+#include "rules/rule.hpp"
+#include "smt/formula.hpp"
+#include "telemetry/text.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace lejit::plan {
+namespace {
+
+telemetry::RowLayout two_field_layout() {
+  telemetry::RowLayout layout;
+  layout.fields.push_back({"T=", "x", 99, false});
+  layout.fields.push_back({" E=", "y", 99, false});
+  layout.suffix = "\n";
+  return layout;
+}
+
+std::string valid_artifact() {
+  rules::RuleSet set;
+  const smt::VarId x{0};
+  rules::Rule r;
+  r.description = "x <= 50";
+  r.kind = rules::RuleKind::kManual;
+  r.formula = smt::le(smt::LinExpr(x), smt::LinExpr(smt::Int{50}));
+  set.rules.push_back(std::move(r));
+  return to_json(compile(set, two_field_layout()));
+}
+
+// The only acceptable outcomes: a parsed plan or util::RuntimeError. Any
+// other exception, or a sanitizer report, fails the test.
+void expect_clean(const std::string& doc) {
+  try {
+    const DecodePlan p = from_json(doc);
+    (void)p;
+  } catch (const util::RuntimeError&) {
+    // clean rejection
+  }
+}
+
+TEST(PlanFuzz, EveryTruncationRejectsCleanly) {
+  const std::string doc = valid_artifact();
+  ASSERT_GT(doc.size(), 2u);
+  for (std::size_t n = 0; n < doc.size(); ++n)
+    expect_clean(doc.substr(0, n));
+}
+
+TEST(PlanFuzz, SeededByteCorruptionsNeverEscape) {
+  const std::string doc = valid_artifact();
+  util::Rng rng(0x9e3779b97f4a7c15ull);
+  for (int i = 0; i < 4000; ++i) {
+    std::string mutated = doc;
+    const auto pos = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(doc.size()) - 1));
+    mutated[pos] = static_cast<char>(rng.uniform_int(0, 255));
+    expect_clean(mutated);
+  }
+}
+
+TEST(PlanFuzz, SeededBitFlipsNeverEscape) {
+  const std::string doc = valid_artifact();
+  util::Rng rng(7);
+  for (int i = 0; i < 4000; ++i) {
+    std::string mutated = doc;
+    const auto pos = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(doc.size()) - 1));
+    mutated[pos] = static_cast<char>(
+        mutated[pos] ^ (1 << rng.uniform_int(0, 7)));
+    expect_clean(mutated);
+  }
+}
+
+TEST(PlanFuzz, SeededSpliceCorruptionsNeverEscape) {
+  // Deletions and duplications shift structure boundaries — a different
+  // failure surface than in-place flips (unbalanced containers, severed
+  // strings, doubled keys).
+  const std::string doc = valid_artifact();
+  util::Rng rng(42);
+  for (int i = 0; i < 2000; ++i) {
+    std::string mutated = doc;
+    const auto a = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(doc.size()) - 1));
+    const auto len = static_cast<std::size_t>(rng.uniform_int(1, 16));
+    if (rng.bernoulli(0.5))
+      mutated.erase(a, len);
+    else
+      mutated.insert(a, doc.substr(a, len));
+    expect_clean(mutated);
+  }
+}
+
+// A malformed document must throw, specifically — these inputs make claims
+// a correct loader can never accept.
+void expect_rejected(const std::string& doc) {
+  EXPECT_THROW((void)from_json(doc), util::RuntimeError) << doc;
+}
+
+std::string with_field(const std::string& key, const std::string& json_value) {
+  // A minimal otherwise-valid artifact with one member replaced.
+  std::string doc =
+      "{\"schema_version\": 1, \"fingerprint\": \"0000000000000000\", "
+      "\"num_fields\": 0, \"num_rules\": 0, \"satisfiable\": \"unknown\", "
+      "\"partition_verified\": false, \"solver_checks\": 0, "
+      "\"field_cluster\": [], \"constant_rules\": [], \"clusters\": [], "
+      "\"tables\": []}";
+  const std::string needle = "\"" + key + "\": ";
+  const std::size_t at = doc.find(needle);
+  EXPECT_NE(at, std::string::npos) << key;
+  const std::size_t value_at = at + needle.size();
+  std::size_t end = doc.find_first_of(",}", value_at);
+  if (doc[value_at] == '[') end = doc.find(']', value_at) + 1;
+  return doc.substr(0, value_at) + json_value + doc.substr(end);
+}
+
+TEST(PlanFuzz, AbsurdCountsRejectWithoutAllocating) {
+  // Billions of fields, tables, or digits: the loader must bound-check the
+  // counts before trusting them, not resize first and die on OOM.
+  expect_rejected(with_field("num_fields", "1000000000"));
+  expect_rejected(with_field("num_fields", "-1"));
+  expect_rejected(with_field("num_rules", "99999999999999"));
+  expect_rejected(with_field("num_rules", "-5"));
+  expect_rejected(
+      "{\"schema_version\": 1, \"fingerprint\": \"0000000000000000\", "
+      "\"num_fields\": 1, \"num_rules\": 0, \"satisfiable\": \"sat\", "
+      "\"partition_verified\": false, \"solver_checks\": 0, "
+      "\"field_cluster\": [-1], \"constant_rules\": [], \"clusters\": [], "
+      "\"tables\": [{\"field\": 0, \"max_digits\": 1000000, \"always\": [], "
+      "\"never\": [], \"verified\": []}]}");
+}
+
+TEST(PlanFuzz, HugeAndNonIntegralNumbersReject) {
+  // 1e300 is finite but far outside int64 — the exact input that turns a
+  // bare static_cast into float-cast-overflow UB.
+  expect_rejected(with_field("solver_checks", "1e300"));
+  expect_rejected(with_field("solver_checks", "-1e300"));
+  expect_rejected(with_field("num_fields", "1e300"));
+  expect_rejected(with_field("solver_checks", "1e999"));  // parses to inf
+  expect_rejected(with_field("solver_checks", "3.5"));    // non-integral
+  expect_rejected(with_field("num_fields", "9223372036854775807"));
+}
+
+TEST(PlanFuzz, WrongTypesAndMissingMembersReject) {
+  expect_rejected(with_field("fingerprint", "12345"));       // number, not hex string
+  expect_rejected(with_field("fingerprint", "\"xyz\""));     // non-hex
+  expect_rejected(with_field("satisfiable", "\"maybe\""));   // unknown verdict
+  expect_rejected(with_field("partition_verified", "\"yes\""));
+  expect_rejected(with_field("field_cluster", "{}"));
+  expect_rejected(with_field("clusters", "[{}]"));           // cluster w/o members
+  expect_rejected(with_field("schema_version", "999"));
+  expect_rejected("{}");
+  expect_rejected("");
+  expect_rejected("null");
+  expect_rejected("[1,2,3]");
+}
+
+TEST(PlanFuzz, DeepNestingIsBounded) {
+  // The JSON parser's recursion must be depth-capped, not stack-limited.
+  std::string deep(100000, '[');
+  expect_rejected(deep);
+  expect_rejected(with_field("field_cluster", std::string(5000, '[')));
+}
+
+TEST(PlanFuzz, ContradictoryTableClaimsReject) {
+  expect_rejected(
+      "{\"schema_version\": 1, \"fingerprint\": \"0000000000000000\", "
+      "\"num_fields\": 1, \"num_rules\": 0, \"satisfiable\": \"sat\", "
+      "\"partition_verified\": false, \"solver_checks\": 0, "
+      "\"field_cluster\": [-1], \"constant_rules\": [], \"clusters\": [], "
+      "\"tables\": [{\"field\": 0, \"max_digits\": 1, \"always\": [1, 0], "
+      "\"never\": [1, 0], \"verified\": [1, 1]}]}");
+}
+
+}  // namespace
+}  // namespace lejit::plan

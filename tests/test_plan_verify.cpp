@@ -1,0 +1,475 @@
+// lejit::plan::verify tests (DESIGN.md §14): translation validation of
+// decode-plan artifacts.
+//
+// The load-bearing claims under test:
+//   1. The verifier's independent fingerprint implementation agrees with
+//      plan::rule_set_fingerprint (a drift would reject every artifact —
+//      loudly, which is the designed failure mode; this test pins it).
+//   2. A clean compile → serialize → deserialize → verify round trip
+//      certifies completely: every claim re-proved, zero findings.
+//   3. Every seeded miscompilation is detected with its expected finding
+//      code: a forged fingerprint (E_FINGERPRINT), a flipped digit-table
+//      bit (E_TABLE), a rule moved across clusters (E_PARTITION), a forged
+//      satisfiability verdict (E_FULLSET_VERDICT / E_CLUSTER_VERDICT), and
+//      an unverified table entry marked verified (E_TABLE via the
+//      re-derivation, E_VERIFIED_ACCOUNTING via the bookkeeping checks).
+//   4. Budget exhaustion and sampling degrade to a visibly *partial*
+//      certificate (warnings, complete() == false) — never to rejection of
+//      a sound artifact and never to silent full certification.
+//   5. The certificate's JSON rendering is parseable and carries the
+//      finding codes, so CI can gate on them.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "plan/plan.hpp"
+#include "plan/verify.hpp"
+#include "rules/miner.hpp"
+#include "rules/rule.hpp"
+#include "smt/backend.hpp"
+#include "smt/formula.hpp"
+#include "telemetry/generator.hpp"
+
+#ifndef LEJIT_SMTSERVE_PATH
+#define LEJIT_SMTSERVE_PATH ""
+#endif
+
+namespace lejit::plan {
+namespace {
+
+using verify::Certificate;
+using verify::Code;
+
+rules::Rule make_rule(std::string description, smt::Formula f) {
+  rules::Rule r;
+  r.description = std::move(description);
+  r.kind = rules::RuleKind::kManual;
+  r.formula = std::move(f);
+  return r;
+}
+
+telemetry::RowLayout two_field_layout() {
+  telemetry::RowLayout layout;
+  layout.fields.push_back({"T=", "x", 99, false});
+  layout.fields.push_back({" E=", "y", 99, false});
+  layout.suffix = "\n";
+  return layout;
+}
+
+// Two variable-disjoint rules — the smallest set whose partition has two
+// clusters, so cross-cluster mutations are expressible.
+rules::RuleSet two_cluster_set() {
+  rules::RuleSet set;
+  const smt::VarId x{0};
+  const smt::VarId y{1};
+  set.rules.push_back(make_rule(
+      "x <= 50", smt::le(smt::LinExpr(x), smt::LinExpr(smt::Int{50}))));
+  set.rules.push_back(make_rule(
+      "y >= 10", smt::ge(smt::LinExpr(y), smt::LinExpr(smt::Int{10}))));
+  return set;
+}
+
+DecodePlan reload(const DecodePlan& p) { return from_json(to_json(p)); }
+
+bool has_code(const Certificate& cert, Code code) {
+  for (const auto& f : cert.findings)
+    if (f.code == code) return true;
+  return false;
+}
+
+std::string codes(const Certificate& cert) {
+  std::string out;
+  for (const auto& f : cert.findings) {
+    if (!out.empty()) out += ",";
+    out += verify::code_name(f.code);
+  }
+  return out;
+}
+
+// --- fingerprint pinning -----------------------------------------------------
+
+TEST(PlanVerifyFingerprint, IndependentImplementationAgrees) {
+  const auto layout = two_field_layout();
+  EXPECT_EQ(verify::expected_fingerprint({}, layout),
+            rule_set_fingerprint({}, layout));
+  const auto set = two_cluster_set();
+  EXPECT_EQ(verify::expected_fingerprint(set, layout),
+            rule_set_fingerprint(set, layout));
+
+  // A mined set exercises every formula shape the miner emits (max/min
+  // atoms, implications, sums) plus the full telemetry layout.
+  const auto dataset = telemetry::generate_dataset(telemetry::GeneratorConfig{
+      .num_racks = 6, .windows_per_rack = 30, .seed = 99});
+  const auto full = telemetry::telemetry_row_layout(dataset.limits);
+  const auto mined =
+      rules::mine_rules(telemetry::all_windows(dataset), full, dataset.limits)
+          .rules;
+  ASSERT_FALSE(mined.empty());
+  EXPECT_EQ(verify::expected_fingerprint(mined, full),
+            rule_set_fingerprint(mined, full));
+
+  // The fingerprint is order-sensitive and rule-text-sensitive: a reordered
+  // or reworded set must not collide (otherwise stale plans slip through).
+  rules::RuleSet swapped = two_cluster_set();
+  std::swap(swapped.rules[0], swapped.rules[1]);
+  EXPECT_NE(verify::expected_fingerprint(swapped, layout),
+            verify::expected_fingerprint(set, layout));
+}
+
+// --- clean round trip --------------------------------------------------------
+
+TEST(PlanVerifyRoundTrip, CleanArtifactCertifiesCompletely) {
+  const auto layout = two_field_layout();
+  const auto set = two_cluster_set();
+  const DecodePlan p = reload(compile(set, layout));
+  ASSERT_TRUE(p.active());
+
+  const Certificate cert = verify::run(p, set, layout);
+  EXPECT_TRUE(cert.ok()) << codes(cert);
+  EXPECT_TRUE(cert.complete()) << codes(cert);
+  EXPECT_TRUE(cert.findings.empty()) << codes(cert);
+  EXPECT_EQ(cert.full_set, smt::CheckResult::kSat);
+  EXPECT_EQ(cert.clusters_checked, 2);
+  EXPECT_GT(cert.solver_checks, 0);
+  EXPECT_GT(cert.table_rows_checked, 0);
+  EXPECT_EQ(cert.table_rows_skipped, 0);
+  EXPECT_EQ(cert.table_rows_inconclusive, 0);
+}
+
+TEST(PlanVerifyRoundTrip, MinedSetCertifies) {
+  const auto dataset = telemetry::generate_dataset(telemetry::GeneratorConfig{
+      .num_racks = 6, .windows_per_rack = 30, .seed = 99});
+  const auto layout = telemetry::telemetry_row_layout(dataset.limits);
+  const auto set =
+      rules::mine_rules(telemetry::all_windows(dataset), layout, dataset.limits)
+          .rules;
+  const DecodePlan p = reload(compile(set, layout));
+
+  const Certificate cert = verify::run(p, set, layout);
+  EXPECT_TRUE(cert.ok()) << codes(cert);
+  EXPECT_TRUE(cert.complete()) << codes(cert);
+}
+
+// An UNSAT set compiles to an inactive plan — which is still a *correct*
+// artifact, and the verifier must certify it rather than confuse "inactive"
+// with "wrong".
+TEST(PlanVerifyRoundTrip, InactiveUnsatPlanStillCertifies) {
+  const auto layout = two_field_layout();
+  rules::RuleSet set;
+  const smt::VarId x{0};
+  set.rules.push_back(make_rule(
+      "x <= 10", smt::le(smt::LinExpr(x), smt::LinExpr(smt::Int{10}))));
+  set.rules.push_back(make_rule(
+      "x >= 20", smt::ge(smt::LinExpr(x), smt::LinExpr(smt::Int{20}))));
+  const DecodePlan p = reload(compile(set, layout));
+  ASSERT_FALSE(p.active());
+  ASSERT_EQ(p.satisfiable, smt::CheckResult::kUnsat);
+
+  const Certificate cert = verify::run(p, set, layout);
+  EXPECT_TRUE(cert.ok()) << codes(cert);
+}
+
+// --- seeded miscompilations --------------------------------------------------
+
+TEST(PlanVerifyMutation, ForgedFingerprintRejected) {
+  const auto layout = two_field_layout();
+  const auto set = two_cluster_set();
+  DecodePlan p = reload(compile(set, layout));
+  p.fingerprint ^= 1;  // one flipped hex digit in the serialized form
+
+  const Certificate cert = verify::run(p, set, layout);
+  EXPECT_FALSE(cert.ok());
+  EXPECT_TRUE(has_code(cert, Code::kFingerprintMismatch)) << codes(cert);
+  // Foreign artifact: no solver time is spent certifying claims against
+  // inputs the plan does not bind to.
+  EXPECT_EQ(cert.solver_checks, 0);
+}
+
+TEST(PlanVerifyMutation, FlippedTableBitRejected) {
+  const auto layout = two_field_layout();
+  const auto set = two_cluster_set();
+  DecodePlan p = reload(compile(set, layout));
+  ASSERT_EQ(p.tables.size(), 2u);
+  ASSERT_TRUE(p.tables[0].row_verified(1));
+  p.tables[0].always[1] ^= 1u << 3;  // forge digit 3 universally admissible
+
+  const Certificate cert = verify::run(p, set, layout);
+  EXPECT_FALSE(cert.ok());
+  ASSERT_TRUE(has_code(cert, Code::kTableMismatch)) << codes(cert);
+  for (const auto& f : cert.findings)
+    if (f.code == Code::kTableMismatch) {
+      EXPECT_EQ(f.field, 0);
+      EXPECT_EQ(f.row, 1);
+    }
+}
+
+TEST(PlanVerifyMutation, FlippedNeverBitRejected) {
+  const auto layout = two_field_layout();
+  const auto set = two_cluster_set();
+  DecodePlan p = reload(compile(set, layout));
+  // Forge digit 3 universally inadmissible for x's second position: would
+  // make the decoder mask out 13/23/33/43, which x <= 50 does not exclude.
+  // (Row 0 bits all overlap `always` for this set and would trip the
+  // cheaper structural always∧never check instead of a re-derivation.)
+  ASSERT_FALSE(p.tables[0].always_bit(1, 3));
+  p.tables[0].never[1] |= 1u << 3;
+
+  const Certificate cert = verify::run(p, set, layout);
+  EXPECT_FALSE(cert.ok());
+  EXPECT_TRUE(has_code(cert, Code::kTableMismatch)) << codes(cert);
+}
+
+TEST(PlanVerifyMutation, MergedClustersRejected) {
+  const auto layout = two_field_layout();
+  const auto set = two_cluster_set();
+  DecodePlan p = reload(compile(set, layout));
+  ASSERT_EQ(p.clusters.size(), 2u);
+  p = merge_clusters(std::move(p), 0, 1);  // coarser than the true partition
+
+  const Certificate cert = verify::run(p, set, layout);
+  EXPECT_FALSE(cert.ok());
+  EXPECT_TRUE(has_code(cert, Code::kPartitionMismatch)) << codes(cert);
+}
+
+TEST(PlanVerifyMutation, RuleMovedAcrossClustersRejected) {
+  const auto layout = two_field_layout();
+  const auto set = two_cluster_set();
+  DecodePlan p = reload(compile(set, layout));
+  ASSERT_EQ(p.clusters.size(), 2u);
+  // Swap the rule memberships while keeping the field sets: each cluster
+  // now claims the other cluster's rule.
+  std::swap(p.clusters[0].rules, p.clusters[1].rules);
+
+  const Certificate cert = verify::run(p, set, layout);
+  EXPECT_FALSE(cert.ok());
+  EXPECT_TRUE(has_code(cert, Code::kPartitionMismatch)) << codes(cert);
+}
+
+TEST(PlanVerifyMutation, ForgedFullSetVerdictRejected) {
+  const auto layout = two_field_layout();
+  const auto set = two_cluster_set();
+  // Compile without tables: a kUnsat verdict alongside digit tables is
+  // already structurally impossible (compile never emits that) and would be
+  // caught by the cheaper E_STRUCTURE pass before any solver runs. Table-
+  // free, the forged verdict survives to the re-proof and is refuted there.
+  Config cfg;
+  cfg.build_tables = false;
+  DecodePlan p = reload(compile(set, layout, cfg));
+  ASSERT_EQ(p.satisfiable, smt::CheckResult::kSat);
+  p.satisfiable = smt::CheckResult::kUnsat;
+
+  const Certificate cert = verify::run(p, set, layout);
+  EXPECT_FALSE(cert.ok());
+  EXPECT_TRUE(has_code(cert, Code::kFullSetVerdict)) << codes(cert);
+}
+
+TEST(PlanVerifyMutation, VerdictWithTablesCaughtStructurally) {
+  // The with-tables variant of the same forgery: tables may only exist on a
+  // sat plan, so this one never needs a solver to die.
+  const auto layout = two_field_layout();
+  const auto set = two_cluster_set();
+  DecodePlan p = reload(compile(set, layout));
+  ASSERT_FALSE(p.tables.empty());
+  p.satisfiable = smt::CheckResult::kUnsat;
+
+  const Certificate cert = verify::run(p, set, layout);
+  EXPECT_FALSE(cert.ok());
+  EXPECT_TRUE(has_code(cert, Code::kStructure)) << codes(cert);
+}
+
+TEST(PlanVerifyMutation, ForgedClusterVerdictRejected) {
+  const auto layout = two_field_layout();
+  const auto set = two_cluster_set();
+  DecodePlan p = reload(compile(set, layout));
+  ASSERT_EQ(p.clusters[0].satisfiable, smt::CheckResult::kSat);
+  p.clusters[0].satisfiable = smt::CheckResult::kUnsat;
+
+  const Certificate cert = verify::run(p, set, layout);
+  EXPECT_FALSE(cert.ok());
+  EXPECT_TRUE(has_code(cert, Code::kClusterVerdict)) << codes(cert);
+}
+
+TEST(PlanVerifyMutation, UnverifiedEntryMarkedVerifiedRejected) {
+  // A starved compile frontier leaves x's deeper rows unverified; forging
+  // the verified flag on one of them claims empty masks ("no admissible-
+  // digit facts") for a row where re-derivation proves real facts — e.g.
+  // every length-2 prefix of [17, 42] terminates.
+  const auto layout = two_field_layout();
+  rules::RuleSet set;
+  const smt::VarId x{0};
+  set.rules.push_back(make_rule(
+      "x in [17,42]",
+      smt::between(smt::LinExpr(x), smt::LinExpr(smt::Int{17}),
+                   smt::LinExpr(smt::Int{42}))));
+  Config cfg;
+  cfg.max_prefixes_per_field = 1;  // P_1 = {1,2,3,4} overflows the frontier
+  DecodePlan p = reload(compile(set, layout, cfg));
+  // Tamper the *first* unverified row, keeping the verified prefix
+  // contiguous — the bookkeeping pass can't tell, so detection rests
+  // entirely on the solver re-derivation (row 1 provably has a
+  // never-terminate fact this row's empty masks deny).
+  ASSERT_TRUE(p.tables[0].row_verified(0));
+  ASSERT_FALSE(p.tables[0].row_verified(1));
+  ASSERT_TRUE(verify::run(p, set, layout).ok());  // honest artifact passes
+  p.tables[0].verified[1] = 1;
+
+  const Certificate cert = verify::run(p, set, layout);
+  EXPECT_FALSE(cert.ok());
+  EXPECT_TRUE(has_code(cert, Code::kTableMismatch)) << codes(cert);
+}
+
+TEST(PlanVerifyMutation, VerifiedFlagAfterUnverifiedRowRejected) {
+  // Same tamper one row deeper leaves a hole in the verified prefix, which
+  // the structural accounting pass catches without any solver work.
+  const auto layout = two_field_layout();
+  rules::RuleSet set;
+  const smt::VarId x{0};
+  set.rules.push_back(make_rule(
+      "x in [100,420]",
+      smt::between(smt::LinExpr(x), smt::LinExpr(smt::Int{100}),
+                   smt::LinExpr(smt::Int{420}))));
+  telemetry::RowLayout wide = layout;
+  wide.fields[0].max_value = 999;
+  Config cfg;
+  cfg.max_prefixes_per_field = 1;
+  DecodePlan p = reload(compile(set, wide, cfg));
+  ASSERT_FALSE(p.tables[0].row_verified(2));
+  ASSERT_FALSE(p.tables[0].row_verified(3));
+  p.tables[0].verified[3] = 1;  // verified row after an unverified one
+
+  const Certificate cert = verify::run(p, set, wide);
+  EXPECT_FALSE(cert.ok());
+  EXPECT_TRUE(has_code(cert, Code::kVerifiedAccounting)) << codes(cert);
+}
+
+TEST(PlanVerifyMutation, StructuralGarbageRejected) {
+  const auto layout = two_field_layout();
+  const auto set = two_cluster_set();
+  const DecodePlan base = reload(compile(set, layout));
+
+  {  // claim bits beyond kTerminatorBit
+    DecodePlan p = base;
+    p.tables[0].always[1] |= 1u << (kTerminatorBit + 1);
+    const Certificate cert = verify::run(p, set, layout);
+    EXPECT_FALSE(cert.ok());
+    EXPECT_TRUE(has_code(cert, Code::kStructure)) << codes(cert);
+  }
+  {  // a terminator claim for the empty prefix
+    DecodePlan p = base;
+    p.tables[0].always[0] |= 1u << kTerminatorBit;
+    const Certificate cert = verify::run(p, set, layout);
+    EXPECT_FALSE(cert.ok());
+    EXPECT_TRUE(has_code(cert, Code::kStructure)) << codes(cert);
+  }
+  {  // truncated row array
+    DecodePlan p = base;
+    p.tables[0].always.pop_back();
+    const Certificate cert = verify::run(p, set, layout);
+    EXPECT_FALSE(cert.ok());
+    EXPECT_TRUE(has_code(cert, Code::kStructure)) << codes(cert);
+  }
+  {  // a digit both always-admissible and never-admissible
+    DecodePlan p = base;
+    p.tables[0].always[1] |= 1u << 2;
+    p.tables[0].never[1] |= 1u << 2;
+    const Certificate cert = verify::run(p, set, layout);
+    EXPECT_FALSE(cert.ok());
+    EXPECT_TRUE(has_code(cert, Code::kStructure)) << codes(cert);
+  }
+}
+
+// --- graceful degradation ----------------------------------------------------
+
+TEST(PlanVerifyDegradation, StarvedBudgetWarnsInsteadOfRejecting) {
+  const auto layout = two_field_layout();
+  const auto set = two_cluster_set();
+  const DecodePlan p = reload(compile(set, layout));
+
+  verify::Config cfg;
+  cfg.check_max_nodes = 1;  // every re-proof exhausts immediately
+  const Certificate cert = verify::run(p, set, layout, cfg);
+  EXPECT_TRUE(cert.ok()) << codes(cert);  // nothing was *refuted*
+  EXPECT_FALSE(cert.complete());
+  EXPECT_GT(cert.warnings(), 0u);
+  EXPECT_TRUE(has_code(cert, Code::kInconclusive)) << codes(cert);
+}
+
+TEST(PlanVerifyDegradation, SamplingIsVisiblyPartial) {
+  const auto layout = two_field_layout();
+  const auto set = two_cluster_set();
+  const DecodePlan p = reload(compile(set, layout));
+
+  verify::Config cfg;
+  cfg.sample_field_stride = 2;  // re-derive every other field's table
+  const Certificate cert = verify::run(p, set, layout, cfg);
+  EXPECT_TRUE(cert.ok()) << codes(cert);
+  EXPECT_FALSE(cert.complete());
+  EXPECT_GT(cert.table_rows_skipped, 0);
+  EXPECT_TRUE(has_code(cert, Code::kSampled)) << codes(cert);
+
+  // Sampling must never mask a tampered bit in a field it *does* check:
+  // field 0 is on-stride for any stride.
+  DecodePlan tampered = p;
+  tampered.tables[0].always[1] ^= 1u << 3;
+  EXPECT_FALSE(verify::run(tampered, set, layout, cfg).ok());
+}
+
+// --- certificate rendering ---------------------------------------------------
+
+TEST(PlanVerifyReport, JsonParsesAndCarriesCodes) {
+  const auto layout = two_field_layout();
+  const auto set = two_cluster_set();
+  DecodePlan p = reload(compile(set, layout));
+  p.tables[0].always[1] ^= 1u << 3;
+
+  const Certificate cert = verify::run(p, set, layout);
+  const auto doc = obs::parse_json(verify::to_json(cert));
+  EXPECT_FALSE(doc.get("ok").as_bool());
+  EXPECT_FALSE(doc.get("complete").as_bool());
+  EXPECT_GT(doc.get("errors").as_int(), 0);
+  EXPECT_EQ(doc.get("expected_fingerprint").as_string().size(), 16u);
+  bool saw_table_code = false;
+  for (const auto& f : doc.get("findings").as_array()) {
+    EXPECT_FALSE(f.get("message").as_string().empty());
+    if (f.get("code").as_string() == "E_TABLE") saw_table_code = true;
+  }
+  EXPECT_TRUE(saw_table_code);
+
+  const std::string text = verify::to_text(cert);
+  EXPECT_NE(text.find("REJECTED"), std::string::npos);
+  EXPECT_NE(text.find("E_TABLE"), std::string::npos);
+}
+
+// --- backend seam ------------------------------------------------------------
+
+bool smtserve_available() {
+  return LEJIT_SMTSERVE_PATH[0] != '\0' &&
+         ::access(LEJIT_SMTSERVE_PATH, X_OK) == 0;
+}
+
+TEST(PlanVerifyBackend, SubprocessBackendCertifiesAndRejects) {
+  if (!smtserve_available()) GTEST_SKIP() << "lejit_smtserve not built";
+  const auto layout = two_field_layout();
+  const auto set = two_cluster_set();
+  DecodePlan p = reload(compile(set, layout));
+
+  verify::Config cfg;
+  cfg.backend.kind = smt::BackendKind::kSubprocess;
+  cfg.backend.solver_path = LEJIT_SMTSERVE_PATH;
+  const Certificate clean = verify::run(p, set, layout, cfg);
+  EXPECT_TRUE(clean.ok()) << codes(clean);
+  EXPECT_TRUE(clean.complete()) << codes(clean);
+
+  p.tables[0].always[1] ^= 1u << 3;
+  const Certificate cert = verify::run(p, set, layout, cfg);
+  EXPECT_FALSE(cert.ok());
+  EXPECT_TRUE(has_code(cert, Code::kTableMismatch)) << codes(cert);
+}
+
+}  // namespace
+}  // namespace lejit::plan

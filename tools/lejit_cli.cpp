@@ -34,6 +34,7 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "plan/plan.hpp"
+#include "plan/verify.hpp"
 #include "rules/checker.hpp"
 #include "rules/miner.hpp"
 #include "rules/parser.hpp"
@@ -255,6 +256,24 @@ core::DecoderConfig decoder_config_from_args(const Args& args,
                 << ": fingerprint does not match this rule set and layout "
                    "(recompile with `lejit_cli plan`)\n";
       std::exit(1);
+    }
+    // Translation validation before trusting the artifact (DESIGN.md §14):
+    // every claim is re-proved through the same backend substrate the
+    // decode will use. Decode output is bit-identical with or without this
+    // gate — it only decides whether the artifact is used at all.
+    if (args.has("verify-plan")) {
+      plan::verify::Config vcfg;
+      vcfg.check_max_nodes = config.solver.max_nodes;
+      vcfg.backend = config.backend;
+      const auto cert = plan::verify::run(loaded, rules, layout, vcfg);
+      if (!cert.ok()) {
+        std::cerr << "error: decode plan " << args.get("plan", "")
+                  << " failed verification:\n"
+                  << plan::verify::to_text(cert);
+        std::exit(1);
+      }
+      std::cerr << "plan-verify: artifact certified (" << cert.solver_checks
+                << " re-proof checks)\n";
     }
     config.plan = std::move(loaded);
   } else if (args.has("plan-compile")) {
@@ -479,8 +498,34 @@ int cmd_plan(const Args& args) {
       args.get_int("max-prefixes", cfg.max_prefixes_per_field));
   if (args.has("no-tables")) cfg.build_tables = false;
 
-  const auto plan = plan::compile(set, layout, cfg);
+  // Overwrite guard: an existing artifact compiled from a *different* rule
+  // set/layout is someone's working state — refuse to clobber it unless
+  // --force. Checked before the (expensive) compile via the fingerprint
+  // alone; same-fingerprint recompiles overwrite freely.
   const std::string out = args.get("out", "");
+  if (!out.empty() && !args.has("force")) {
+    std::ifstream existing(out, std::ios::binary);
+    if (existing) {
+      std::ostringstream os;
+      os << existing.rdbuf();
+      const std::uint64_t ours = plan::rule_set_fingerprint(set, layout);
+      bool same = false;
+      try {
+        same = plan::from_json(os.str()).fingerprint == ours;
+      } catch (const std::exception&) {
+        // Unparseable: not a plan we wrote, or a corrupt one. Either way,
+        // treat it as foreign.
+      }
+      if (!same) {
+        std::cerr << "error: " << out
+                  << " exists and holds a different plan (fingerprint "
+                     "mismatch or unparseable); pass --force to overwrite\n";
+        return 2;
+      }
+    }
+  }
+
+  const auto plan = plan::compile(set, layout, cfg);
   if (args.has("json") || !out.empty()) {
     const std::string json = plan::to_json(plan);
     if (out.empty())
@@ -495,6 +540,47 @@ int cmd_plan(const Args& args) {
             << plan.solver_checks << " solver checks)"
             << (out.empty() ? "" : "; wrote " + out) << "\n";
   return plan.active() ? 0 : 1;
+}
+
+// Independent plan-certificate verification (DESIGN.md §14): re-prove every
+// claim in a serialized decode plan against the rule set it says it was
+// compiled from, sharing no verification code with `plan::compile`. Exit-code
+// contract mirrors lint: 0 = certified (no error findings; warnings allowed),
+// 1 = rejected (at least one error finding — the artifact must not be
+// trusted), 2 = usage/IO/parse failure.
+int cmd_plan_verify(const Args& args) {
+  const telemetry::Limits limits;
+  const auto layout = args.has("coarse")
+                          ? telemetry::coarse_row_layout(limits)
+                          : telemetry::telemetry_row_layout(limits);
+  const auto set = load_rules(args.get("rules", "rules.txt"), layout);
+  const auto plan = plan::from_json(read_file(args.get("plan", "plan.json")));
+
+  plan::verify::Config cfg;
+  cfg.check_max_nodes = args.get_int("max-nodes", cfg.check_max_nodes);
+  cfg.deadline_ms = args.get_int("deadline-ms", cfg.deadline_ms);
+  cfg.max_prefixes_per_field = static_cast<int>(
+      args.get_int("max-prefixes", cfg.max_prefixes_per_field));
+  cfg.sample_field_stride = static_cast<int>(
+      args.get_int("sample-fields", cfg.sample_field_stride));
+  cfg.max_rows_per_field =
+      static_cast<int>(args.get_int("sample-rows", cfg.max_rows_per_field));
+  if (args.has("no-tables")) cfg.check_tables = false;
+  cfg.backend =
+      smt::backend_config_from_spec(args.get("smt-backend", "minismt"),
+                                    g_argv0);
+
+  const auto cert = plan::verify::run(plan, set, layout, cfg);
+  if (args.has("json"))
+    std::cout << plan::verify::to_json(cert) << "\n";
+  else
+    std::cout << plan::verify::to_text(cert);
+  std::cerr << "plan-verify: " << set.size() << " rules, "
+            << cert.clusters_checked << " clusters, " << cert.errors()
+            << " errors, " << cert.warnings() << " warnings ("
+            << cert.solver_checks << " re-proof checks via "
+            << cert.backend_name << ")\n";
+  return cert.ok() ? 0 : 1;
 }
 
 // Differential verdict testing between the in-process minismt backend and
@@ -572,13 +658,26 @@ void usage() {
       "           conflict subset), dead/subsumed rules, unbounded fields,\n"
       "           overflow hazards, digit-width slack. exit 0 = no errors,\n"
       "           1 = errors found, 2 = usage/IO/parse failure\n"
-      "  plan     --rules FILE [--coarse] [--json] [--out FILE]\n"
+      "  plan     --rules FILE [--coarse] [--json] [--out FILE] [--force]\n"
       "           [--max-nodes N] [--deadline-ms MS] [--max-prefixes N]\n"
       "           [--no-tables]\n"
       "           compile a static decode plan: rule clusters for sliced\n"
       "           solver queries + solver-verified digit-mask tables, bound\n"
-      "           to the rule set by fingerprint. exit 0 = active plan,\n"
-      "           1 = inactive (decoder would fall back), 2 = usage/IO\n"
+      "           to the rule set by fingerprint. refuses to overwrite an\n"
+      "           --out artifact with a different fingerprint unless --force.\n"
+      "           exit 0 = active plan, 1 = inactive (decoder would fall\n"
+      "           back), 2 = usage/IO\n"
+      "  plan-verify --plan FILE --rules FILE [--coarse] [--json]\n"
+      "           [--smt-backend SPEC] [--max-nodes N] [--deadline-ms MS]\n"
+      "           [--max-prefixes N] [--sample-fields K] [--sample-rows R]\n"
+      "           [--no-tables]\n"
+      "           translation validation: independently re-prove every claim\n"
+      "           in a compiled plan artifact (fingerprint binding, cluster\n"
+      "           partition, SAT verdicts, digit-mask table rows) without\n"
+      "           sharing code with the compiler. --sample-fields K checks\n"
+      "           every K-th field's table; --sample-rows R caps re-derived\n"
+      "           rows per field (0 = all). exit 0 = certified, 1 = rejected,\n"
+      "           2 = usage/IO/parse failure\n"
       "  smt-diff [--queries N] [--seed S] [--backend SPEC]\n"
       "           differential verdict testing: replay randomized rule\n"
       "           sessions through minismt and an external SMT-LIB2 solver,\n"
@@ -602,6 +701,9 @@ void usage() {
       "  --plan FILE          load a compiled decode plan (from `plan --json`);\n"
       "                       a stale fingerprint exits 1. decodes stay\n"
       "                       bit-identical with or without a plan\n"
+      "  --verify-plan        with --plan: independently re-verify the loaded\n"
+      "                       artifact (as `plan-verify`) and exit 1 if it is\n"
+      "                       rejected; decode output is unchanged either way\n"
       "  --plan-compile       compile a decode plan in-process before decoding\n"
       "  --smt-backend SPEC   solver substrate: minismt (default, in-process),\n"
       "                       auto (external solver when one is found),\n"
@@ -679,6 +781,7 @@ int main(int argc, char** argv) {
     if (command == "check") return cmd_check(args);
     if (command == "lint") return cmd_lint(args);
     if (command == "plan") return cmd_plan(args);
+    if (command == "plan-verify") return cmd_plan_verify(args);
     if (command == "smt-diff") return cmd_smt_diff(args);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";

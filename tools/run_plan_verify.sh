@@ -1,0 +1,98 @@
+#!/bin/sh
+# End-to-end translation validation through the CLI (DESIGN.md §14).
+#
+# Usage: run_plan_verify.sh <lejit_cli> [rules-dir] [backend-mode]
+#   backend-mode: minismt (default) — in-process re-proofs
+#                 require-external  — re-prove through an out-of-process
+#                 solver: z3/cvc5 from PATH, else the bundled lejit_smtserve
+#                 next to the CLI, else exit 77 (ctest SKIPPED)
+#
+# Stages, for every rule set in rules-dir (*.rules; *.coarse.rules run
+# under the coarse layout):
+#   1. `plan --out` compiles an artifact (and must be active, exit 0)
+#   2. `plan-verify` certifies the clean artifact (exit 0)
+#   3. a tampered fingerprint is rejected (exit 1, the "rejected" code —
+#      not 2, which would mean the verifier crashed on it)
+#   4. a forged full-set verdict is rejected (exit 1)
+#   5. recompiling the same set over its own artifact succeeds without
+#      --force; compiling a *different* set over it refuses with exit 2
+#      until --force is passed
+set -u
+
+CLI="${1:?usage: run_plan_verify.sh <lejit_cli> [rules-dir] [backend-mode]}"
+RULES_DIR="${2:-$(dirname "$0")/../examples/rules}"
+MODE="${3:-minismt}"
+
+BACKEND="minismt"
+if [ "${MODE}" = "require-external" ]; then
+  if command -v z3 >/dev/null 2>&1; then
+    BACKEND=$(command -v z3)
+  elif command -v cvc5 >/dev/null 2>&1; then
+    BACKEND=$(command -v cvc5)
+  else
+    SIBLING="$(dirname "${CLI}")/lejit_smtserve"
+    if [ -x "${SIBLING}" ]; then
+      BACKEND="${SIBLING}"
+    else
+      echo "run_plan_verify.sh: no external solver available; skipping" >&2
+      exit 77
+    fi
+  fi
+fi
+echo "run_plan_verify.sh: re-proof backend: ${BACKEND}" >&2
+
+TMP=$(mktemp -d) || exit 1
+trap 'rm -rf "${TMP}"' EXIT
+fail() { echo "run_plan_verify.sh: FAIL: $*" >&2; exit 1; }
+
+SETS=0
+for RULES in "${RULES_DIR}"/*.rules; do
+  [ -e "${RULES}" ] || fail "no rule sets in ${RULES_DIR}"
+  SETS=$((SETS + 1))
+  NAME=$(basename "${RULES}")
+  COARSE=""
+  case "${NAME}" in *.coarse.rules) COARSE="--coarse" ;; esac
+  PLAN="${TMP}/${NAME}.plan.json"
+
+  "${CLI}" plan --rules "${RULES}" ${COARSE} --out "${PLAN}" \
+    >/dev/null 2>&1 || fail "${NAME}: plan compile not active"
+
+  "${CLI}" plan-verify --plan "${PLAN}" --rules "${RULES}" ${COARSE} \
+    --smt-backend "${BACKEND}" >/dev/null 2>&1 \
+    || fail "${NAME}: clean artifact was not certified"
+
+  # Flip the leading fingerprint nibble: binding must break, exit 1.
+  FIRST=$(sed -n 's/.*"fingerprint": *"\(.\).*/\1/p' "${PLAN}")
+  REPL=0
+  [ "${FIRST}" = "0" ] && REPL=1
+  sed "s/\"fingerprint\": *\"./\"fingerprint\":\"${REPL}/" "${PLAN}" \
+    > "${TMP}/tampered.json"
+  "${CLI}" plan-verify --plan "${TMP}/tampered.json" --rules "${RULES}" \
+    ${COARSE} --smt-backend "${BACKEND}" >/dev/null 2>&1
+  [ $? -eq 1 ] || fail "${NAME}: tampered fingerprint not rejected with exit 1"
+
+  # Forge the recorded full-set verdict (first "satisfiable" member in the
+  # document is the global one): the re-proof must refute it, exit 1.
+  sed 's/"satisfiable": *"sat"/"satisfiable":"unsat"/' "${PLAN}" \
+    > "${TMP}/forged.json"
+  "${CLI}" plan-verify --plan "${TMP}/forged.json" --rules "${RULES}" \
+    ${COARSE} --smt-backend "${BACKEND}" >/dev/null 2>&1
+  [ $? -eq 1 ] || fail "${NAME}: forged verdict not rejected with exit 1"
+
+  # Overwrite guard: same set recompiles freely, a different set refuses
+  # (exit 2) until --force.
+  "${CLI}" plan --rules "${RULES}" ${COARSE} --out "${PLAN}" \
+    >/dev/null 2>&1 || fail "${NAME}: same-set recompile refused"
+  { cat "${RULES}"; echo "total >= 0"; } > "${TMP}/other.rules"
+  "${CLI}" plan --rules "${TMP}/other.rules" ${COARSE} --out "${PLAN}" \
+    >/dev/null 2>&1
+  [ $? -eq 2 ] || fail "${NAME}: foreign overwrite not refused with exit 2"
+  "${CLI}" plan --rules "${TMP}/other.rules" ${COARSE} --out "${PLAN}" \
+    --force >/dev/null 2>&1 || fail "${NAME}: --force overwrite failed"
+
+  echo "run_plan_verify.sh: ${NAME}: certified + 2 tampers rejected" >&2
+done
+
+[ "${SETS}" -gt 0 ] || fail "no rule sets in ${RULES_DIR}"
+echo "run_plan_verify.sh: OK (${SETS} rule sets)" >&2
+exit 0
