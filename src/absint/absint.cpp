@@ -1,0 +1,605 @@
+#include "absint/absint.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <numeric>
+
+namespace lejit::absint {
+namespace {
+
+using I128 = __int128;
+
+// Saturation sentinel for intermediate __int128 arithmetic: anything whose
+// magnitude reaches kIntInf carries no usable information (the declared
+// domains are far smaller), so bound computations that overshoot simply
+// decline to tighten.
+constexpr I128 kBig = static_cast<I128>(smt::kIntInf);
+
+Int floor_div(I128 a, I128 b) {
+  // b != 0; exact floor for either sign of a/b. Quotients here are bounded
+  // by the (already range-checked) numerator, so the cast is safe.
+  I128 q = a / b;
+  if ((a % b != 0) && ((a < 0) != (b < 0))) --q;
+  return static_cast<Int>(q);
+}
+
+Int ceil_div(I128 a, I128 b) {
+  I128 q = a / b;
+  if ((a % b != 0) && ((a < 0) == (b < 0))) ++q;
+  return static_cast<Int>(q);
+}
+
+// Euclidean remainder in [0, m).
+Int pos_mod(I128 v, Int m) {
+  I128 r = v % static_cast<I128>(m);
+  if (r < 0) r += m;
+  return static_cast<Int>(r);
+}
+
+Int gcd_int(Int a, Int b) { return std::gcd(a, b); }
+
+// Modular inverse of a (mod m), m ≥ 1, gcd(a, m) == 1.
+Int mod_inverse(Int a, Int m) {
+  if (m == 1) return 0;
+  Int r0 = m, r1 = pos_mod(a, m);
+  Int t0 = 0, t1 = 1;
+  while (r1 != 0) {
+    const Int q = r0 / r1;
+    const Int r2 = r0 - q * r1;
+    const Int t2 = t0 - q * t1;
+    r0 = r1;
+    r1 = r2;
+    t0 = t1;
+    t1 = t2;
+  }
+  return pos_mod(t0, m);
+}
+
+void set_bottom(AbsVal& a) { a = AbsVal::bottom(); }
+
+// Scatter the low popcount(free_mask) bits of `packed` into the set
+// positions of `free_mask`, low position first (software PDEP). Strictly
+// monotone in `packed`, which is what the binary searches below rely on.
+std::uint64_t deposit_bits(std::uint64_t packed, std::uint64_t free_mask) {
+  std::uint64_t out = 0;
+  while (free_mask != 0) {
+    const std::uint64_t bit = free_mask & (~free_mask + 1);
+    if ((packed & 1u) != 0) out |= bit;
+    packed >>= 1;
+    free_mask &= free_mask - 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+bool Congruence::admits(Int v) const noexcept {
+  if (mod <= 1) return true;
+  return pos_mod(v, mod) == rem;
+}
+
+AbsVal AbsVal::top(Int lo, Int hi) {
+  AbsVal a;
+  a.range = Interval{lo, hi};
+  return a;
+}
+
+std::optional<Int> least_match_at_least(Int lo, const KnownBits& bits) {
+  if (lo < 0) lo = 0;
+  const std::uint64_t free = ~bits.mask & kValueMask;
+  const int k = std::popcount(free);
+  const std::uint64_t target = static_cast<std::uint64_t>(lo);
+  // Values with free bits packed: v(f) = bits.value | deposit(f, free) is
+  // strictly increasing in f, so binary-search the least f with v(f) ≥ lo.
+  std::uint64_t fl = 0;
+  std::uint64_t fh = (k >= 64) ? ~std::uint64_t{0}
+                               : (std::uint64_t{1} << k) - 1;
+  if ((bits.value | deposit_bits(fh, free)) < target) return std::nullopt;
+  while (fl < fh) {
+    const std::uint64_t mid = fl + (fh - fl) / 2;
+    if ((bits.value | deposit_bits(mid, free)) >= target) {
+      fh = mid;
+    } else {
+      fl = mid + 1;
+    }
+  }
+  return static_cast<Int>(bits.value | deposit_bits(fl, free));
+}
+
+std::optional<Int> greatest_match_at_most(Int hi, const KnownBits& bits) {
+  if (hi < 0) return std::nullopt;
+  const std::uint64_t free = ~bits.mask & kValueMask;
+  const int k = std::popcount(free);
+  const std::uint64_t target = static_cast<std::uint64_t>(hi);
+  if (bits.value > target) return std::nullopt;
+  std::uint64_t fl = 0;
+  std::uint64_t fh = (k >= 64) ? ~std::uint64_t{0}
+                               : (std::uint64_t{1} << k) - 1;
+  while (fl < fh) {
+    const std::uint64_t mid = fh - (fh - fl) / 2;  // bias up
+    if ((bits.value | deposit_bits(mid, free)) <= target) {
+      fl = mid;
+    } else {
+      fh = mid - 1;
+    }
+  }
+  return static_cast<Int>(bits.value | deposit_bits(fl, free));
+}
+
+namespace {
+
+// Meet of two congruences via CRT. nullopt ⇒ contradiction (bottom). When
+// the combined modulus would exceed `cap`, fall back to the finer input —
+// either input alone over-approximates the meet, so this stays sound.
+std::optional<Congruence> meet_cong(const Congruence& a, const Congruence& b,
+                                    Int cap) {
+  if (a.is_top()) return b;
+  if (b.is_top()) return a;
+  const Int g = gcd_int(a.mod, b.mod);
+  if (pos_mod(static_cast<I128>(a.rem) - b.rem, g) != 0) return std::nullopt;
+  const I128 lcm = static_cast<I128>(a.mod) / g * b.mod;
+  if (lcm > static_cast<I128>(cap)) return a.mod >= b.mod ? a : b;
+  const Int m = static_cast<Int>(lcm);
+  // r ≡ a.rem (mod a.mod), r ≡ b.rem (mod b.mod):
+  //   r = a.rem + a.mod * t, with t ≡ (b.rem − a.rem)/g · inv(a.mod/g)
+  //   (mod b.mod/g).
+  const Int diff = pos_mod(static_cast<I128>(b.rem) - a.rem, b.mod);
+  const Int m2 = b.mod / g;
+  const Int t = pos_mod(static_cast<I128>(diff / g) *
+                            mod_inverse(pos_mod(a.mod / g, m2), m2),
+                        m2);
+  const Int r = pos_mod(static_cast<I128>(a.rem) +
+                            static_cast<I128>(a.mod) * t,
+                        m);
+  return Congruence{m, r};
+}
+
+Congruence join_cong(const Congruence& a, const Congruence& b) {
+  if (a.is_top() || b.is_top()) return Congruence{};
+  Int g = gcd_int(a.mod, b.mod);
+  g = gcd_int(g, std::abs(a.rem - b.rem));
+  if (g <= 1) return Congruence{};
+  return Congruence{g, pos_mod(a.rem, g)};
+}
+
+// nullopt ⇒ conflicting required bits (bottom).
+std::optional<KnownBits> meet_bits(const KnownBits& a, const KnownBits& b) {
+  if (((a.value ^ b.value) & a.mask & b.mask) != 0) return std::nullopt;
+  KnownBits r;
+  r.mask = a.mask | b.mask;
+  r.value = a.value | b.value;
+  return r;
+}
+
+KnownBits join_bits(const KnownBits& a, const KnownBits& b) {
+  KnownBits r;
+  r.mask = a.mask & b.mask & ~(a.value ^ b.value);
+  r.value = a.value & r.mask;
+  return r;
+}
+
+}  // namespace
+
+void normalize(AbsVal& a, const Config& config) {
+  // Each pass only meets components with consequences of the others, so the
+  // loop is descending; three rounds reach the mutual fixpoint for this
+  // product in practice, and stopping early would still be sound.
+  for (int round = 0; round < 3; ++round) {
+    if (a.is_bottom()) {
+      set_bottom(a);
+      return;
+    }
+    AbsVal before = a;
+
+    // Congruence shaves interval endpoints.
+    if (!a.cong.is_top()) {
+      a.range.lo += pos_mod(static_cast<I128>(a.cong.rem) - a.range.lo,
+                            a.cong.mod);
+      a.range.hi -= pos_mod(static_cast<I128>(a.range.hi) - a.cong.rem,
+                            a.cong.mod);
+      if (a.range.is_empty()) {
+        set_bottom(a);
+        return;
+      }
+    }
+
+    // Known bits shave interval endpoints (exactly).
+    if (!a.bits.is_top()) {
+      const auto lo = least_match_at_least(a.range.lo, a.bits);
+      if (!lo || *lo > a.range.hi) {
+        set_bottom(a);
+        return;
+      }
+      const auto hi = greatest_match_at_most(a.range.hi, a.bits);
+      if (!hi || *hi < *lo) {
+        set_bottom(a);
+        return;
+      }
+      a.range = Interval{*lo, *hi};
+    }
+
+    // Interval endpoints fix the high bits: every v in [lo, hi] shares the
+    // bits above the highest position where lo and hi differ (lo ≥ 0 here).
+    if (a.range.lo >= 0) {
+      const auto ulo = static_cast<std::uint64_t>(a.range.lo);
+      const auto uhi = static_cast<std::uint64_t>(a.range.hi);
+      const std::uint64_t diff = ulo ^ uhi;
+      const std::uint64_t common =
+          diff == 0 ? kValueMask
+                    : (kValueMask & ~((std::uint64_t{2} << (63 - std::countl_zero(diff))) - 1));
+      const auto merged = meet_bits(a.bits, KnownBits{common, ulo & common});
+      if (!merged) {
+        set_bottom(a);
+        return;
+      }
+      a.bits = *merged;
+    }
+
+    // Low contiguous known bits induce a power-of-two congruence.
+    const int low = std::countr_one(a.bits.mask);
+    if (low > 0) {
+      const int k = std::min(low, kValueBits - 1);
+      const Int m = Int{1} << k;
+      if (m <= config.max_modulus) {
+        const auto merged = meet_cong(
+            a.cong,
+            Congruence{m, static_cast<Int>(a.bits.value &
+                                           (static_cast<std::uint64_t>(m) - 1))},
+            config.max_modulus);
+        if (!merged) {
+          set_bottom(a);
+          return;
+        }
+        a.cong = *merged;
+      }
+    }
+
+    // A power-of-two congruence fixes the low bits.
+    if (!a.cong.is_top() && std::has_single_bit(static_cast<std::uint64_t>(a.cong.mod))) {
+      const auto m = static_cast<std::uint64_t>(a.cong.mod);
+      const auto merged =
+          meet_bits(a.bits, KnownBits{m - 1, static_cast<std::uint64_t>(a.cong.rem)});
+      if (!merged) {
+        set_bottom(a);
+        return;
+      }
+      a.bits = *merged;
+    }
+
+    if (a == before) return;
+  }
+}
+
+AbsVal meet(const AbsVal& a, const AbsVal& b, const Config& config) {
+  if (a.is_bottom() || b.is_bottom()) return AbsVal::bottom();
+  AbsVal r;
+  r.range = intersect(a.range, b.range);
+  const auto cong = meet_cong(a.cong, b.cong, config.max_modulus);
+  const auto bits = meet_bits(a.bits, b.bits);
+  if (r.range.is_empty() || !cong || !bits) return AbsVal::bottom();
+  r.cong = *cong;
+  r.bits = *bits;
+  normalize(r, config);
+  return r;
+}
+
+AbsVal join(const AbsVal& a, const AbsVal& b) {
+  if (a.is_bottom()) return b;
+  if (b.is_bottom()) return a;
+  AbsVal r;
+  r.range = Interval{std::min(a.range.lo, b.range.lo),
+                     std::max(a.range.hi, b.range.hi)};
+  r.cong = join_cong(a.cong, b.cong);
+  r.bits = join_bits(a.bits, b.bits);
+  return r;
+}
+
+bool interval_admitted(const AbsVal& a, Int lo, Int hi) {
+  if (a.is_bottom()) return false;
+  lo = std::max(lo, a.range.lo);
+  hi = std::min(hi, a.range.hi);
+  if (lo > hi) return false;
+  if (!a.cong.is_top()) {
+    // Least v ≥ lo with v ≡ rem (mod m); compare against hi.
+    const I128 first =
+        static_cast<I128>(lo) +
+        pos_mod(static_cast<I128>(a.cong.rem) - lo, a.cong.mod);
+    if (first > static_cast<I128>(hi)) return false;
+  }
+  if (!a.bits.is_top()) {
+    const auto first = least_match_at_least(lo, a.bits);
+    if (!first || *first > hi) return false;
+  }
+  return true;
+}
+
+bool completion_admitted(const AbsVal& a, Int value, int digits,
+                         int max_digits) {
+  if (a.is_bottom()) return false;
+  if (digits <= 0) return true;  // empty prefix: every canonical value
+  if (admits_value(a, value)) return true;
+  if (value == 0) return false;  // "0" cannot extend (canonical form)
+  I128 scale = 1;
+  for (int m = 1; m <= max_digits - digits; ++m) {
+    scale *= 10;
+    if (scale > kBig) break;
+    const I128 lo = static_cast<I128>(value) * scale;
+    const I128 hi = lo + scale - 1;
+    if (lo > kBig) break;
+    if (interval_admitted(a, static_cast<Int>(lo),
+                          static_cast<Int>(std::min(hi, kBig)))) {
+      return true;
+    }
+  }
+  return false;
+}
+
+namespace {
+
+// --- atom transfer functions -------------------------------------------------
+
+std::size_t idx(smt::VarId v) { return static_cast<std::size_t>(v.index); }
+
+// expr ≤ 0: for each term, bound it by the extreme values of the others.
+bool refine_le(std::vector<AbsVal>& state, const smt::LinExpr& expr,
+               const Config& config) {
+  const auto& terms = expr.terms();
+  if (terms.empty()) return expr.constant() <= 0;
+  // min/max of each term over its interval.
+  std::vector<I128> tmin(terms.size());
+  std::vector<I128> tmax(terms.size());
+  for (std::size_t i = 0; i < terms.size(); ++i) {
+    const AbsVal& v = state[idx(terms[i].first)];
+    if (v.is_bottom()) return false;
+    const I128 c = terms[i].second;
+    const I128 x1 = c * v.range.lo;
+    const I128 x2 = c * v.range.hi;
+    tmin[i] = std::min(x1, x2);
+    tmax[i] = std::max(x1, x2);
+  }
+  I128 sum_min = expr.constant();
+  for (const I128 m : tmin) sum_min += m;
+  for (std::size_t i = 0; i < terms.size(); ++i) {
+    AbsVal& v = state[idx(terms[i].first)];
+    const Int c = terms[i].second;
+    // c·x ≤ −constant − Σ_{j≠i} min(term_j) = −(sum_min − tmin[i]).
+    const I128 rhs = tmin[i] - sum_min;
+    if (rhs >= kBig || rhs <= -kBig) continue;  // no usable information
+    if (c > 0) {
+      Int bound = floor_div(rhs, c);
+      if (config.test_unsound_tighten) --bound;  // TEST ONLY: broken domain
+      if (bound < v.range.hi) {
+        v.range.hi = bound;
+        normalize(v, config);
+        if (v.is_bottom()) return false;
+      }
+    } else {
+      Int bound = ceil_div(rhs, c);
+      if (config.test_unsound_tighten) ++bound;  // TEST ONLY: broken domain
+      if (bound > v.range.lo) {
+        v.range.lo = bound;
+        normalize(v, config);
+        if (v.is_bottom()) return false;
+      }
+    }
+  }
+  return true;
+}
+
+// expr == 0, congruence direction: each variable's residue is determined by
+// the others modulo the gcd of their term moduli (a term c·x with x ≡ r
+// (mod m) is determined mod |c|·m; a singleton term is exact — modulus 0).
+bool refine_eq_congruence(std::vector<AbsVal>& state, const smt::LinExpr& expr,
+                          const Config& config) {
+  const auto& terms = expr.terms();
+  for (std::size_t i = 0; i < terms.size(); ++i) {
+    AbsVal& target = state[idx(terms[i].first)];
+    const Int ci = terms[i].second;
+    Int g = 0;  // gcd identity: 0 means "exactly determined so far"
+    I128 rhs = -static_cast<I128>(expr.constant());
+    bool usable = true;
+    for (std::size_t j = 0; j < terms.size(); ++j) {
+      if (j == i) continue;
+      const AbsVal& v = state[idx(terms[j].first)];
+      const Int cj = terms[j].second;
+      if (v.range.is_singleton()) {
+        rhs -= static_cast<I128>(cj) * v.range.lo;
+        continue;
+      }
+      const I128 mj = static_cast<I128>(std::abs(cj)) * v.cong.mod;
+      if (mj > static_cast<I128>(config.max_modulus)) {
+        usable = false;
+        break;
+      }
+      g = gcd_int(g, static_cast<Int>(mj));
+      rhs -= static_cast<I128>(cj) * v.cong.rem;
+    }
+    if (!usable) continue;
+    if (g == 0) {
+      // ci · x == rhs exactly.
+      if (rhs % ci != 0) return false;
+      const I128 x = rhs / ci;
+      if (x < target.range.lo || x > target.range.hi) return false;
+      target.range = Interval{static_cast<Int>(x), static_cast<Int>(x)};
+      normalize(target, config);
+      if (target.is_bottom()) return false;
+      continue;
+    }
+    if (g == 1) continue;
+    // ci · x ≡ rhs (mod g).
+    const Int r = pos_mod(rhs, g);
+    const Int d = gcd_int(std::abs(ci), g);
+    if (r % d != 0) return false;  // no solution at all: proof of UNSAT
+    const Int m2 = g / d;
+    if (m2 <= 1) continue;
+    const Int a = pos_mod(ci / d, m2);
+    const Int x_rem = pos_mod(static_cast<I128>(r / d) * mod_inverse(a, m2), m2);
+    const auto merged =
+        meet_cong(target.cong, Congruence{m2, x_rem}, config.max_modulus);
+    if (!merged) return false;
+    target.cong = *merged;
+    normalize(target, config);
+    if (target.is_bottom()) return false;
+  }
+  return true;
+}
+
+// expr != 0: with every variable but one pinned to a singleton, the atom
+// reduces to x ≠ v — shave v off the endpoints. Otherwise no information.
+bool refine_ne(std::vector<AbsVal>& state, const smt::LinExpr& expr,
+               const Config& config) {
+  const auto& terms = expr.terms();
+  I128 c = expr.constant();
+  AbsVal* target = nullptr;
+  Int coeff = 0;
+  for (const auto& [var, cf] : terms) {
+    AbsVal& v = state[idx(var)];
+    if (v.is_bottom()) return false;
+    if (v.range.is_singleton()) {
+      c += static_cast<I128>(cf) * v.range.lo;
+      continue;
+    }
+    if (target != nullptr) return true;  // ≥ 2 free vars: no information
+    target = &v;
+    coeff = cf;
+  }
+  if (target == nullptr) return c != 0;  // fully constant atom
+  if (c % coeff != 0) return true;       // excluded value not an integer
+  const I128 banned = -c / coeff;
+  if (banned < target->range.lo || banned > target->range.hi) return true;
+  if (target->range.is_singleton()) return false;  // == banned: contradiction
+  if (banned == static_cast<I128>(target->range.lo)) {
+    ++target->range.lo;
+    normalize(*target, config);
+    return !target->is_bottom();
+  }
+  if (banned == static_cast<I128>(target->range.hi)) {
+    --target->range.hi;
+    normalize(*target, config);
+    return !target->is_bottom();
+  }
+  return true;
+}
+
+bool refine_atom(std::vector<AbsVal>& state, smt::AtomOp op,
+                 const smt::LinExpr& expr, const Config& config) {
+  switch (op) {
+    case smt::AtomOp::kLe:
+      return refine_le(state, expr, config);
+    case smt::AtomOp::kEq: {
+      if (!refine_le(state, expr, config)) return false;
+      smt::LinExpr neg = expr;
+      neg *= -1;
+      if (!refine_le(state, neg, config)) return false;
+      return refine_eq_congruence(state, expr, config);
+    }
+    case smt::AtomOp::kNe:
+      return refine_ne(state, expr, config);
+  }
+  return true;
+}
+
+bool refine_node(std::vector<AbsVal>& state, const smt::FormulaNode& node,
+                 const Config& config) {
+  switch (node.kind()) {
+    case smt::FormulaKind::kTrue:
+      return true;
+    case smt::FormulaKind::kFalse:
+      return false;
+    case smt::FormulaKind::kAtom:
+      return refine_atom(state, node.atom_op(), node.atom_expr(), config);
+    case smt::FormulaKind::kAnd:
+      for (const auto& child : node.children()) {
+        if (!child) continue;
+        if (!refine_node(state, *child, config)) return false;
+      }
+      return true;
+    case smt::FormulaKind::kOr: {
+      // Refine a copy per branch and join the survivors; all branches
+      // bottom ⇒ the disjunction is abstractly unsatisfiable.
+      bool any = false;
+      std::vector<AbsVal> joined;
+      for (const auto& child : node.children()) {
+        if (!child) continue;
+        std::vector<AbsVal> branch = state;
+        if (!refine_node(branch, *child, config)) continue;
+        if (!any) {
+          joined = std::move(branch);
+          any = true;
+        } else {
+          for (std::size_t i = 0; i < joined.size(); ++i) {
+            joined[i] = join(joined[i], branch[i]);
+          }
+        }
+      }
+      if (!any) return false;
+      state = std::move(joined);
+      return true;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+bool refine(std::vector<AbsVal>& state, const smt::Formula& f,
+            const Config& config) {
+  if (!f) return true;  // null formula: no constraint
+  // A formula referencing a variable outside the state (e.g. a fine-field
+  // rule analyzed against a coarse layout — lint reports it as
+  // E_FIELD_MISMATCH) cannot be interpreted here; skipping the refinement
+  // entirely is the sound answer (no constraint learned).
+  for (const int v : rules::referenced_fields(f))
+    if (v < 0 || static_cast<std::size_t>(v) >= state.size()) return true;
+  if (refine_node(state, *f, config)) return true;
+  for (AbsVal& v : state) set_bottom(v);
+  return false;
+}
+
+bool refine_all(std::vector<AbsVal>& state, const rules::RuleSet& set,
+                const Config& config) {
+  for (int iter = 0; iter < std::max(1, config.max_iterations); ++iter) {
+    const std::vector<AbsVal> before = state;
+    for (const rules::Rule& rule : set.rules) {
+      if (!refine(state, rule.formula, config)) return false;
+    }
+    if (state == before) return true;
+  }
+  return true;
+}
+
+std::vector<AbsVal> top_state(const telemetry::RowLayout& layout,
+                              const Config& config) {
+  std::vector<AbsVal> state;
+  state.reserve(layout.fields.size());
+  for (const telemetry::FieldSpec& spec : layout.fields) {
+    AbsVal a = AbsVal::top(0, spec.max_value);
+    normalize(a, config);
+    state.push_back(a);
+  }
+  return state;
+}
+
+Analysis analyze(const rules::RuleSet& set, const telemetry::RowLayout& layout,
+                 const Config& config) {
+  Analysis out;
+  out.fields = top_state(layout, config);
+  const int cap = std::max(1, config.max_iterations);
+  for (out.iterations = 0; out.iterations < cap; ++out.iterations) {
+    const std::vector<AbsVal> before = out.fields;
+    for (const rules::Rule& rule : set.rules) {
+      if (!refine(out.fields, rule.formula, config)) {
+        out.infeasible = true;
+        out.converged = true;
+        return out;
+      }
+    }
+    if (out.fields == before) {
+      out.converged = true;
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace lejit::absint

@@ -1,0 +1,262 @@
+#include "absint/diff.hpp"
+
+#include <algorithm>
+#include <random>
+#include <sstream>
+#include <vector>
+
+#include "smt/smtlib2.hpp"
+
+namespace lejit::absint::diff {
+namespace {
+
+using smt::Formula;
+using smt::Int;
+using smt::LinExpr;
+using smt::VarId;
+
+int decimal_digits(Int v) {
+  int d = 1;
+  while (v >= 10) {
+    v /= 10;
+    ++d;
+  }
+  return d;
+}
+
+struct SessionGen {
+  std::mt19937_64& rng;
+  std::vector<Int> maxima;  // per-field domain maxima
+
+  Int uniform(Int lo, Int hi) {
+    return std::uniform_int_distribution<Int>(lo, hi)(rng);
+  }
+
+  LinExpr random_expr() {
+    const int nterms = static_cast<int>(uniform(1, 3));
+    LinExpr e;
+    for (int i = 0; i < nterms; ++i) {
+      Int coeff = uniform(-3, 3);
+      if (coeff == 0) coeff = 1;
+      const int var = static_cast<int>(
+          uniform(0, static_cast<Int>(maxima.size()) - 1));
+      e += smt::LinExpr::term(coeff, VarId{var});
+    }
+    e += LinExpr(uniform(-40, 40));
+    return e;
+  }
+
+  Formula random_atom() {
+    const LinExpr a = random_expr();
+    const LinExpr b = random_expr();
+    switch (uniform(0, 5)) {
+      case 0: return smt::le(a, b);
+      case 1: return smt::lt(a, b);
+      case 2: return smt::ge(a, b);
+      case 3: return smt::gt(a, b);
+      case 4: return smt::eq(a, b);
+      default: return smt::ne(a, b);
+    }
+  }
+
+  Formula random_formula(int depth) {
+    if (depth <= 0 || uniform(0, 99) < 50) return random_atom();
+    const int n = static_cast<int>(uniform(2, 3));
+    std::vector<Formula> children;
+    children.reserve(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) children.push_back(random_formula(depth - 1));
+    return uniform(0, 1) == 0 ? smt::land(std::move(children))
+                              : smt::lor(std::move(children));
+  }
+};
+
+// The canonical completion set of prefix (value, digits) as a formula —
+// {value} ∪ [value·10^m, value·10^m + 10^m − 1], no extensions of "0" —
+// the concrete counterpart of absint::completion_admitted. Built locally so
+// the harness shares no code with core::prefix_completion_formula (the diff
+// must not inherit a bug from the code path it guards).
+Formula completion_formula(VarId var, Int value, int digits, int max_digits) {
+  std::vector<Formula> cases;
+  cases.push_back(smt::eq(LinExpr(var), LinExpr(value)));
+  if (value != 0) {
+    Int scale = 1;
+    for (int m = 1; m <= max_digits - digits; ++m) {
+      scale *= 10;
+      cases.push_back(smt::between(LinExpr(var), LinExpr(value * scale),
+                                   LinExpr(value * scale + scale - 1)));
+    }
+  }
+  return smt::lor(std::move(cases));
+}
+
+struct Mismatch {
+  std::string what;  // human description of the refuted query
+  Formula query;     // the formula the backend answered sat
+};
+
+}  // namespace
+
+Report run(const Config& config, const BackendFactory& make_backend) {
+  Report report;
+  std::mt19937_64 rng(config.seed);
+
+  while (report.queries < config.queries) {
+    ++report.sessions;
+    const std::int64_t session = report.sessions;
+
+    // --- generate a session: layout + rules -------------------------------
+    SessionGen gen{rng, {}};
+    const int nv = static_cast<int>(gen.uniform(2, 4));
+    telemetry::RowLayout layout;
+    std::string script;
+    for (int i = 0; i < nv; ++i) {
+      static constexpr Int kMaxChoices[] = {9, 60, 99, 999, 4999};
+      const Int max_value =
+          kMaxChoices[static_cast<std::size_t>(gen.uniform(0, 4))];
+      telemetry::FieldSpec spec;
+      spec.name = "f" + std::to_string(i);
+      spec.max_value = max_value;
+      layout.fields.push_back(spec);
+      gen.maxima.push_back(max_value);
+      script += smt::smtlib2::declare_lines(i, 0, max_value) + "\n";
+    }
+    rules::RuleSet set;
+    const int nrules = static_cast<int>(gen.uniform(1, 4));
+    for (int i = 0; i < nrules; ++i) {
+      rules::Rule rule;
+      rule.description = "fuzz rule " + std::to_string(i);
+      rule.formula = gen.random_formula(2);
+      script += smt::smtlib2::assert_line(rule.formula) + "\n";
+      set.rules.push_back(std::move(rule));
+    }
+
+    const Analysis analysis = analyze(set, layout, config.domain);
+    std::unique_ptr<smt::Backend> backend = make_backend();
+    rules::declare_fields(*backend, layout);
+    rules::assert_rules(*backend, set);
+
+    // Confirm one refutation against the backend; returns false on mismatch.
+    const auto confirm = [&](const Mismatch& m) {
+      ++report.refutations;
+      const smt::CheckResult r =
+          backend->check_assuming({&m.query, 1}, config.budget);
+      if (r == smt::CheckResult::kUnknown) {
+        ++report.unknowns;
+        return true;
+      }
+      if (r == smt::CheckResult::kUnsat) {
+        ++report.compared;
+        return true;
+      }
+      ++report.mismatches;
+      if (report.first_mismatch.empty()) {
+        std::ostringstream out;
+        out << "soundness mismatch: " << m.what << " (seed " << config.seed
+            << ", session " << session << ", query " << report.queries
+            << "): abstract-infeasible but " << backend->name()
+            << " answered sat\n; repro transcript:\n"
+            << script << "(push)\n"
+            << smt::smtlib2::assert_line(m.query) << "\n(check-sat)\n";
+        report.first_mismatch = out.str();
+      }
+      return false;
+    };
+
+    // --- abstractly-infeasible rule set: backend must agree ---------------
+    if (analysis.infeasible) {
+      ++report.queries;
+      Mismatch m{"whole rule set", smt::make_true()};
+      if (!confirm(m)) return report;
+      continue;
+    }
+
+    // --- pins: refine the state, mirror the assertion ---------------------
+    std::vector<AbsVal> state = analysis.fields;
+    const int npins = static_cast<int>(gen.uniform(0, 2));
+    bool pinned_bottom = false;
+    for (int p = 0; p < npins && !pinned_bottom; ++p) {
+      const int field = static_cast<int>(gen.uniform(0, nv - 1));
+      const Int value = gen.uniform(0, gen.maxima[static_cast<std::size_t>(field)]);
+      const Formula pin = smt::eq(LinExpr(VarId{field}), LinExpr(value));
+      backend->add(pin);
+      script += smt::smtlib2::assert_line(pin) + "\n";
+      if (!refine(state, pin, config.domain) ||
+          !refine_all(state, set, config.domain)) {
+        pinned_bottom = true;
+      }
+    }
+    if (pinned_bottom) {
+      // The pinned session is abstractly infeasible as a whole.
+      ++report.queries;
+      Mismatch m{"pinned session", smt::make_true()};
+      if (!confirm(m)) return report;
+      continue;
+    }
+
+    // --- per-session queries ----------------------------------------------
+    const int nqueries = static_cast<int>(gen.uniform(4, 10));
+    for (int q = 0; q < nqueries && report.queries < config.queries; ++q) {
+      ++report.queries;
+      const int field = static_cast<int>(gen.uniform(0, nv - 1));
+      const Int max_value = gen.maxima[static_cast<std::size_t>(field)];
+      const int max_digits = decimal_digits(max_value);
+      const AbsVal& a = state[static_cast<std::size_t>(field)];
+      const VarId var{field};
+
+      switch (gen.uniform(0, 2)) {
+        case 0: {  // digit-prefix completion
+          const int digits = static_cast<int>(gen.uniform(1, max_digits));
+          Int value = gen.uniform(1, 9);
+          for (int d = 1; d < digits; ++d) value = value * 10 + gen.uniform(0, 9);
+          if (digits == 1 && gen.uniform(0, 9) == 0) value = 0;
+          if (completion_admitted(a, value, digits, max_digits)) break;
+          std::ostringstream what;
+          what << "completion of prefix " << value << " (" << digits
+               << " digits) for field " << field;
+          Mismatch m{what.str(),
+                     completion_formula(var, value, digits, max_digits)};
+          if (!confirm(m)) return report;
+          break;
+        }
+        case 1: {  // exact value
+          const Int value = gen.uniform(0, max_value);
+          if (admits_value(a, value)) break;
+          Mismatch m{"value " + std::to_string(value) + " for field " +
+                         std::to_string(field),
+                     smt::eq(LinExpr(var), LinExpr(value))};
+          if (!confirm(m)) return report;
+          break;
+        }
+        default: {  // interval
+          Int lo = gen.uniform(0, max_value);
+          Int hi = gen.uniform(0, max_value);
+          if (lo > hi) std::swap(lo, hi);
+          if (interval_admitted(a, lo, hi)) break;
+          std::ostringstream what;
+          what << "interval [" << lo << ", " << hi << "] for field " << field;
+          Mismatch m{what.str(),
+                     smt::between(LinExpr(var), LinExpr(lo), LinExpr(hi))};
+          if (!confirm(m)) return report;
+          break;
+        }
+      }
+    }
+  }
+  return report;
+}
+
+std::string to_text(const Report& report) {
+  std::ostringstream out;
+  out << "absint-diff: " << report.sessions << " sessions, " << report.queries
+      << " queries, " << report.refutations << " refutations ("
+      << report.compared << " confirmed unsat, " << report.unknowns
+      << " unknown), " << report.mismatches << " mismatches\n";
+  if (!report.first_mismatch.empty()) out << report.first_mismatch;
+  if (report.mismatches == 0 && report.refutations == 0) {
+    out << "VACUOUS: no refutation was ever produced — the harness proved "
+           "nothing\n";
+  }
+  return out.str();
+}
+
+}  // namespace lejit::absint::diff

@@ -1,0 +1,58 @@
+// Differential soundness testing for the abstract interpreter (DESIGN.md
+// §16.4), in the style of smt::diff: absint's only load-bearing promise is
+// that a refutation is a proof, so this harness generates randomized rule
+// sets, pins, and digit-prefix/value/interval queries, and whenever the
+// abstraction refutes, a real smt::Backend must answer unsat. A sat answer
+// is a soundness bug; the first one is reported with a self-contained
+// SMT-LIB2 transcript reproducing the exact session (declares, rule asserts,
+// pins, and the offending query), plus the seed/session/query coordinates.
+//
+// The harness's own teeth are proven by `Config::domain.test_unsound_tighten`
+// (a deliberately broken ≤ transfer function): with it set, the run must
+// find a mismatch — `lejit_cli absint-diff --inject-unsound --expect-mismatch`
+// gates exactly that in CI.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "absint/absint.hpp"
+#include "smt/backend.hpp"
+
+namespace lejit::absint::diff {
+
+struct Config {
+  // Total abstract queries across all generated sessions.
+  int queries = 1000;
+  std::uint64_t seed = 1;
+  // Budget per backend check (0/0 = the backend's own defaults).
+  smt::Budget budget{};
+  // Domain configuration under test (set test_unsound_tighten to prove the
+  // harness catches a broken transfer function).
+  absint::Config domain{};
+};
+
+struct Report {
+  std::int64_t sessions = 0;     // rule-set sessions generated
+  std::int64_t queries = 0;      // abstract queries asked
+  std::int64_t refutations = 0;  // queries the abstraction refuted
+  std::int64_t compared = 0;     // refutations confirmed unsat by the backend
+  std::int64_t unknowns = 0;     // backend gave up: skipped, not compared
+  std::int64_t mismatches = 0;   // abstract-refuted but backend-sat
+  std::string first_mismatch;    // repro: coordinates + SMT-LIB2 transcript
+
+  // A vacuous run (no refutation ever produced) proves nothing and is
+  // reported as failure so harness rot cannot hide.
+  bool ok() const { return mismatches == 0 && refutations > 0; }
+};
+
+// Fresh backend per session (mirrors smt::diff::BackendFactory).
+using BackendFactory = std::function<std::unique_ptr<smt::Backend>()>;
+
+Report run(const Config& config, const BackendFactory& make_backend);
+
+std::string to_text(const Report& report);
+
+}  // namespace lejit::absint::diff

@@ -85,6 +85,12 @@ class StatsFlush {
     c_table_hits.add(result_.stats.plan_table_hits);
     c_sliced.add(result_.stats.plan_sliced_queries);
     c_sliced_rules.add(result_.stats.plan_sliced_rules);
+    static obs::Counter& c_absint_checks =
+        registry.counter("decode.absint.prefilter_checks");
+    static obs::Counter& c_absint_hits =
+        registry.counter("decode.absint.prefilter_hits");
+    c_absint_checks.add(result_.stats.absint_checks);
+    c_absint_hits.add(result_.stats.absint_hits);
     // Mean fraction of the rule set a sliced query asserted (vs. the full
     // set an unplanned query drags through propagation), cumulative.
     if (num_rules_ > 0 && c_sliced.value() > 0)
@@ -185,28 +191,48 @@ GuidedDecoder::GuidedDecoder(const lm::LanguageModel& model,
   vars_ = rules::declare_fields(*solver_, layout_);
   rules::assert_rules(*solver_, rules_);
 
+  // Abstract interpretation of the rule set (DESIGN.md §16): one load-time
+  // fixpoint powers the kFull prefilter and tightens the cache's static
+  // hulls. kHull masking itself is untouched — its hole-blind hull semantics
+  // are the ablation under measure — but a kHull row can escalate into kFull
+  // mid-batch, so the state is maintained for both solver-guided modes.
+  if (config_.absint && (config_.mode == GuidanceMode::kFull ||
+                         config_.mode == GuidanceMode::kHull)) {
+    const absint::Analysis analysis = absint::analyze(rules_, layout_);
+    absint_base_ = analysis.fields;
+    absint_on_ = true;
+  }
+
   if (config_.lint_on_load) {
     const obs::Span span(obs::Phase::kLint);
     lint::Report report = lint::analyze(rules_, layout_, config_.lint);
     if (!report.ok())
       throw util::RuntimeError("rule-set lint failed (lint_on_load):\n" +
                                lint::to_text(report));
-    if (config_.cache) {
-      // Hand the analyzer's static field hulls to the cache: exact hulls and
-      // witnesses serve the attempt-start fingerprint directly, and the
-      // bounds tighten every fingerprint's propagated fallback.
-      std::vector<FeasibilityCache::Hull> hulls;
-      hulls.reserve(report.hulls.size());
-      for (const lint::FieldHull& h : report.hulls) {
-        FeasibilityCache::Hull entry;
+    lint_report_ = std::move(report);
+  }
+  if (config_.cache && (absint_on_ || lint_report_)) {
+    // Hand the static field hulls to the cache: lint's exact hulls and
+    // witnesses serve the attempt-start fingerprint directly, absint's
+    // fixpoint intervals tighten every fingerprint's propagated fallback
+    // (intersecting can never shrink an exact hull — the abstraction
+    // over-approximates the very feasible set that hull is the min/max of).
+    const auto nf = static_cast<std::size_t>(layout_.num_fields());
+    std::vector<FeasibilityCache::Hull> hulls(nf);
+    for (std::size_t f = 0; f < nf; ++f) {
+      FeasibilityCache::Hull& entry = hulls[f];
+      if (lint_report_ && f < lint_report_->hulls.size()) {
+        const lint::FieldHull& h = lint_report_->hulls[f];
         entry.bounds = h.bounds;
         entry.exact = h.exact;
         for (const Int w : h.witnesses) entry.add_witness(w);
-        hulls.push_back(std::move(entry));
+      } else {
+        entry.bounds = {0, layout_.fields[f].max_value};
       }
-      cache_.seed_static_hulls(std::move(hulls));
+      if (absint_on_)
+        entry.bounds = intersect(entry.bounds, absint_base_[f].range);
     }
-    lint_report_ = std::move(report);
+    cache_.seed_static_hulls(std::move(hulls));
   }
 
   if (config_.plan) {
@@ -597,6 +623,18 @@ DecodeResult GuidedDecoder::generate(util::Rng& rng, std::string_view prompt) {
     // and keep the cluster provably satisfiable.
     bool replaying = true;
 
+    // Fresh abstract state for this attempt: the load-time fixpoint, refined
+    // below by this attempt's bans and (through pin_field) its pins. Learning
+    // a formula may drive the state to all-bottom — that is the abstraction
+    // proving rules ∧ pins ∧ bans unsat, so the prefilter refuting every
+    // subsequent query matches what the solver would answer.
+    if (absint_on_) absint_state_ = absint_base_;
+    const auto absint_learn = [&](const smt::Formula& f) {
+      if (!absint_on_) return;
+      if (absint::refine(absint_state_, f))
+        (void)absint::refine_all(absint_state_, rules_);
+    };
+
     // Re-assert dead-end bans inside this attempt's scope. Each ban records a
     // pin the solver proved infeasible, so excluding it cannot remove a value
     // a compliant row needs (at worst it narrows diversity near the ban).
@@ -607,6 +645,7 @@ DecodeResult GuidedDecoder::generate(util::Rng& rng, std::string_view prompt) {
             smt::ne(smt::LinExpr(vars_[static_cast<std::size_t>(field)]),
                     smt::LinExpr(value));
         solver_->add(ban_f);
+        absint_learn(ban_f);
         fp = mix_pin(fp, kPinTagBan, field, value);
         if (plan_attempt) {
           const std::size_t c = static_cast<std::size_t>(
@@ -637,8 +676,11 @@ DecodeResult GuidedDecoder::generate(util::Rng& rng, std::string_view prompt) {
         solver_->push();
         fp = mix_pin(fp, kPinTagPin, field, value);
       }
-      solver_->add(smt::eq(smt::LinExpr(vars_[static_cast<std::size_t>(field)]),
-                           smt::LinExpr(value)));
+      const smt::Formula pin_f =
+          smt::eq(smt::LinExpr(vars_[static_cast<std::size_t>(field)]),
+                  smt::LinExpr(value));
+      solver_->add(pin_f);
+      absint_learn(pin_f);
       if (plan_attempt) {
         const int c = plan_->field_cluster[static_cast<std::size_t>(field)];
         if (c >= 0 && cluster_solvers_[static_cast<std::size_t>(c)]) {
@@ -885,12 +927,42 @@ DecodeResult GuidedDecoder::generate(util::Rng& rng, std::string_view prompt) {
         }
       }
 
-      // Candidate feasibility in kFull mode with caching: interval
-      // arithmetic first, then the verdict memo, then the solver. `exact`
-      // answers from the first two tiers match what the solver would say, so
-      // masks — and therefore decoded text — are bit-identical to the
-      // uncached path.
+      // Absint prefilter (DESIGN.md §16): consult this attempt's abstract
+      // state before the cache and before any solver work. The abstraction
+      // only ever refutes, and a refutation is a proof, so a hit masks out
+      // exactly the candidates the solver would have rejected — decoded text
+      // is bit-identical with the prefilter on or off. One global state
+      // serves plan cluster slices too: rules and pins only touch the fields
+      // they reference, so per-field the state already equals the refinement
+      // under that field's cluster alone.
+      const bool absint_live = absint_on_ && mode == GuidanceMode::kFull;
+      const auto absint_refutes_completion = [&](const DigitPrefix& p) {
+        if (!absint_live) return false;
+        ++result.stats.absint_checks;
+        if (absint::completion_admitted(
+                absint_state_[static_cast<std::size_t>(walk.field)], p.value,
+                p.digits, max_digits))
+          return false;
+        ++result.stats.absint_hits;
+        return true;
+      };
+      const auto absint_refutes_value = [&](Int value) {
+        if (!absint_live) return false;
+        ++result.stats.absint_checks;
+        if (absint::admits_value(
+                absint_state_[static_cast<std::size_t>(walk.field)], value))
+          return false;
+        ++result.stats.absint_hits;
+        return true;
+      };
+
+      // Candidate feasibility in kFull mode with caching: the absint
+      // prefilter, then interval arithmetic, then the verdict memo, then the
+      // solver. `exact` answers from the early tiers match what the solver
+      // would say, so masks — and therefore decoded text — are bit-identical
+      // to the uncached path.
       const auto cached_completion_feasible = [&](const DigitPrefix& p) {
+        if (absint_refutes_completion(p)) return false;
         // Completions that miss the hull are infeasible (the hull is the
         // feasible set's interval over-approximation); ones containing a
         // known-feasible value are feasible.
@@ -934,6 +1006,7 @@ DecodeResult GuidedDecoder::generate(util::Rng& rng, std::string_view prompt) {
 
       // Same tiers for pinning the field to its exact current value.
       const auto cached_exact_feasible = [&](Int value) {
+        if (absint_refutes_value(value)) return false;
         if (!full_hull->bounds.contains(value)) {
           if (obs::metrics_enabled()) hull_conclusive_counter().inc();
           return false;
@@ -999,6 +1072,7 @@ DecodeResult GuidedDecoder::generate(util::Rng& rng, std::string_view prompt) {
               if (use_cache) {
                 if (!cached_completion_feasible(next)) continue;
               } else {
+                if (absint_refutes_completion(next)) continue;
                 const smt::Formula f =
                     prefix_completion_formula(var, next, max_digits);
                 if (!sat_on(*qsolver, std::span(&f, 1))) continue;
@@ -1007,6 +1081,7 @@ DecodeResult GuidedDecoder::generate(util::Rng& rng, std::string_view prompt) {
           } else if (use_cache) {
             if (!cached_completion_feasible(next)) continue;
           } else {
+            if (absint_refutes_completion(next)) continue;
             const smt::Formula f =
                 prefix_completion_formula(var, next, max_digits);
             if (!sat_under_policy(std::span(&f, 1))) continue;
@@ -1057,6 +1132,8 @@ DecodeResult GuidedDecoder::generate(util::Rng& rng, std::string_view prompt) {
                       static_cast<std::size_t>(plan_cluster)];
                   if (use_cache) {
                     can_end = cached_exact_feasible(walk.digits.value);
+                  } else if (absint_refutes_value(walk.digits.value)) {
+                    can_end = false;
                   } else {
                     const smt::Formula f =
                         smt::eq(smt::LinExpr(var),
@@ -1068,6 +1145,8 @@ DecodeResult GuidedDecoder::generate(util::Rng& rng, std::string_view prompt) {
             }
           } else if (use_cache) {
             can_end = cached_exact_feasible(walk.digits.value);
+          } else if (absint_refutes_value(walk.digits.value)) {
+            can_end = false;
           } else {
             const smt::Formula f =
                 smt::eq(smt::LinExpr(var), smt::LinExpr(walk.digits.value));

@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "absint/absint.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
 #include "obs/timer.hpp"
@@ -30,10 +31,11 @@ int digit_count(Int v) {
 }
 
 // Worst-case |value| any atom expression of `f` can reach over the declared
-// domains, saturated at smt::kIntInf. Hitting the rail means saturating
-// interval arithmetic could, in principle, mask a real overflow.
-Int worst_atom_magnitude(const Formula& f,
-                         const telemetry::RowLayout& layout) {
+// domains — tightened to the abstract fixpoint `ranges` where provided —
+// saturated at smt::kIntInf. Hitting the rail means saturating interval
+// arithmetic could, in principle, mask a real overflow.
+Int worst_atom_magnitude(const Formula& f, const telemetry::RowLayout& layout,
+                         const std::vector<Interval>* ranges = nullptr) {
   switch (f->kind()) {
     case smt::FormulaKind::kTrue:
     case smt::FormulaKind::kFalse:
@@ -44,8 +46,20 @@ Int worst_atom_magnitude(const Formula& f,
       for (const auto& [var, coeff] : e.terms()) {
         const Int abs_coeff = coeff < 0 ? -coeff : coeff;
         Int bound = smt::kIntInf;  // unknown variable: assume the worst
-        if (var.index >= 0 && var.index < layout.num_fields())
+        if (var.index >= 0 && var.index < layout.num_fields()) {
           bound = layout.fields[static_cast<std::size_t>(var.index)].max_value;
+          // Tighten with the abstract fixpoint range when available: the
+          // rule set may bound the field far below its declared domain, and
+          // solving never leaves the feasible region's interval hull.
+          if (ranges && static_cast<std::size_t>(var.index) < ranges->size()) {
+            const Interval& r = (*ranges)[static_cast<std::size_t>(var.index)];
+            if (!r.is_empty()) {
+              const Int abs_hi =
+                  std::max(r.lo < 0 ? -r.lo : r.lo, r.hi < 0 ? -r.hi : r.hi);
+              bound = std::min(bound, abs_hi);
+            }
+          }
+        }
         mag = smt::sat_add(mag, smt::sat_mul(abs_coeff, bound));
       }
       return mag;
@@ -54,7 +68,7 @@ Int worst_atom_magnitude(const Formula& f,
     case smt::FormulaKind::kOr: {
       Int mag = 0;
       for (const auto& c : f->children())
-        mag = std::max(mag, worst_atom_magnitude(c, layout));
+        mag = std::max(mag, worst_atom_magnitude(c, layout, ranges));
       return mag;
     }
   }
@@ -90,6 +104,16 @@ class Analyzer {
                          : 0) {}
 
   Report run() {
+    // The abstract fixpoint (DESIGN.md §16) is solver-free and cheap, so it
+    // runs first: structural overflow checks re-evaluate against its ranges,
+    // hulls intersect them in, and dead-rule checks try an abstract proof
+    // before spending any smt::Budget.
+    if (config_.absint) {
+      ai_ = absint::analyze(set_, layout_);
+      if (!ai_->infeasible)
+        for (const absint::AbsVal& a : ai_->fields)
+          absint_ranges_.push_back(a.range);
+    }
     structural_checks();
     partition_checks();
     declare();
@@ -98,6 +122,7 @@ class Analyzer {
       extract_core();
     } else {
       field_hulls();
+      if (report_.satisfiable == CheckResult::kSat) absint_findings();
       if (report_.satisfiable == CheckResult::kSat && config_.check_dead_rules)
         dead_rules();
     }
@@ -166,7 +191,9 @@ class Analyzer {
                         (touches_fine ? "does" : "does not") +
                         " reference fine fields",
                     {i});
-      const Int mag = worst_atom_magnitude(r.formula, layout_);
+      const Int mag = worst_atom_magnitude(
+          r.formula, layout_,
+          absint_ranges_.empty() ? nullptr : &absint_ranges_);
       if (mag >= smt::kIntInf)
         add_finding(Code::kOverflowHazard,
                     "rule " + rule_label(set_, i) +
@@ -326,6 +353,13 @@ class Analyzer {
                       {}, i);
         }
       }
+      // The abstract fixpoint's interval is a sound over-approximation of
+      // the same feasible set, so intersecting it in only tightens; an
+      // exact hull cannot shrink (the abstraction contains its endpoints).
+      if (!absint_ranges_.empty())
+        hull.bounds = intersect(hull.bounds,
+                                absint_ranges_[static_cast<std::size_t>(i)]);
+
       if (!model_.empty() &&
           hull.bounds.contains(model_[static_cast<std::size_t>(var.index)]))
         hull.witnesses.push_back(model_[static_cast<std::size_t>(var.index)]);
@@ -359,6 +393,67 @@ class Analyzer {
     }
   }
 
+  // --- pass 2.5: abstract-interpretation findings ---------------------------
+  // Solver-free facts from the fixpoint's non-interval components: residue
+  // classes and impossible final digits. Both shape decode behavior (most
+  // last-digit candidates of a congruent field will be masked) but are
+  // invisible to interval hulls.
+  void absint_findings() {
+    if (!ai_ || ai_->infeasible) return;
+    for (int i = 0; i < layout_.num_fields(); ++i) {
+      const auto& spec = layout_.fields[static_cast<std::size_t>(i)];
+      const absint::AbsVal& a = ai_->field(i);
+      if (a.is_bottom() || a.range.is_singleton()) continue;
+      if (a.cong.mod > 1)
+        add_finding(Code::kCongruentField,
+                    "field '" + spec.name + "' is always congruent to " +
+                        std::to_string(a.cong.rem) + " (mod " +
+                        std::to_string(a.cong.mod) +
+                        ") under the rule set: only 1 in " +
+                        std::to_string(a.cong.mod) +
+                        " values is feasible, so most digit candidates at "
+                        "its last position will be masked",
+                    {}, i);
+      // Which final decimal digits can the field still end in? Meet the
+      // fixpoint value with each residue class mod 10; bottom is a proof
+      // that digit never occurs.
+      std::string allowed;
+      int excluded = 0;
+      for (Int d = 0; d <= 9; ++d) {
+        absint::AbsVal residue = absint::AbsVal::top(a.range.lo, a.range.hi);
+        residue.cong = absint::Congruence{10, d};
+        if (absint::meet(a, residue).is_bottom()) {
+          ++excluded;
+        } else {
+          if (!allowed.empty()) allowed += ' ';
+          allowed += static_cast<char>('0' + d);
+        }
+      }
+      if (excluded > 0 && excluded < 10)
+        add_finding(Code::kRestrictedLastDigit,
+                    "field '" + spec.name + "' can only end in digit" +
+                        (allowed.size() > 1 ? "s " : " ") + allowed +
+                        " — the other " + std::to_string(excluded) +
+                        " final digits are statically infeasible",
+                    {}, i);
+    }
+  }
+
+  // Abstract proof that the conjunction of `subset` and `negated` is
+  // infeasible — a solver-free certificate that the subset implies the rule
+  // `negated` came from (DESIGN.md §16.2).
+  bool absint_implies(const std::vector<std::size_t>& subset,
+                      const Formula& negated) {
+    rules::RuleSet probe;
+    probe.rules.reserve(subset.size() + 1);
+    for (const std::size_t j : subset) probe.rules.push_back(set_.rules[j]);
+    rules::Rule neg;
+    neg.description = "(negated)";
+    neg.formula = negated;
+    probe.rules.push_back(std::move(neg));
+    return absint::analyze(probe, layout_).infeasible;
+  }
+
   // --- pass 3: dead/subsumed rules ------------------------------------------
   void dead_rules() {
     const std::vector<std::size_t> valid = valid_indices();
@@ -370,7 +465,13 @@ class Analyzer {
       for (const std::size_t j : valid)
         if (j != i) rest.push_back(j);
       const Formula negated = smt::lnot(set_.rules[i].formula);
-      const CheckResult r = check_subset(rest, &negated);
+      // Abstract proof first (DESIGN.md §16.2): fixpoint(Rest ∧ ¬r) hitting
+      // bottom certifies the implication without burning any check budget —
+      // and the subsequent subset shrinking stays abstract too.
+      const bool abs_dead = ai_ && absint_implies(rest, negated);
+      if (abs_dead) ++absint_dead_;
+      const CheckResult r =
+          abs_dead ? CheckResult::kUnsat : check_subset(rest, &negated);
       if (r == CheckResult::kUnknown) {
         add_finding(Code::kInconclusive,
                     "dead-rule check for " + rule_label(set_, i) +
@@ -388,7 +489,10 @@ class Analyzer {
         for (std::size_t k = 0; k < implying.size();) {
           std::vector<std::size_t> without = implying;
           without.erase(without.begin() + static_cast<std::ptrdiff_t>(k));
-          if (check_subset(without, &negated) == CheckResult::kUnsat)
+          const bool still_dead =
+              abs_dead ? absint_implies(without, negated)
+                       : check_subset(without, &negated) == CheckResult::kUnsat;
+          if (still_dead)
             implying = std::move(without);
           else
             ++k;
@@ -413,6 +517,7 @@ class Analyzer {
         .add(static_cast<std::int64_t>(report_.warnings()));
     reg.counter("lint.checks").add(checks_);
     reg.counter("lint.unknown_checks").add(unknown_checks_);
+    reg.counter("lint.absint_dead_rules").add(absint_dead_);
     reg.gauge("lint.core_size")
         .set(static_cast<double>(report_.core.size()));
   }
@@ -429,6 +534,9 @@ class Analyzer {
   std::vector<Int> model_;  // one global model (kSat only)
   std::int64_t checks_ = 0;
   std::int64_t unknown_checks_ = 0;
+  std::optional<absint::Analysis> ai_;     // fixpoint (config.absint)
+  std::vector<Interval> absint_ranges_;    // its per-field intervals (kSat)
+  std::int64_t absint_dead_ = 0;  // dead rules proven without the solver
   Report report_;
 };
 
@@ -456,6 +564,8 @@ std::string_view code_name(Code c) noexcept {
     case Code::kConstantField: return "I_CONSTANT_FIELD";
     case Code::kSingleRuleCluster: return "I_SINGLE_RULE_CLUSTER";
     case Code::kStaticField: return "I_STATIC_FIELD";
+    case Code::kCongruentField: return "I_CONGRUENT_FIELD";
+    case Code::kRestrictedLastDigit: return "I_RESTRICTED_LAST_DIGIT";
   }
   return "?";
 }
@@ -475,6 +585,8 @@ Severity code_severity(Code c) noexcept {
     case Code::kConstantField:
     case Code::kSingleRuleCluster:
     case Code::kStaticField:
+    case Code::kCongruentField:
+    case Code::kRestrictedLastDigit:
       return Severity::kInfo;
   }
   return Severity::kInfo;

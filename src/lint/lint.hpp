@@ -32,6 +32,13 @@
 //                     value of the field needs.
 //   I_CONSTANT_FIELD  the feasible interval is a singleton: the rule set
 //                     statically fixes the field's value.
+//   I_CONGRUENT_FIELD the abstract interpreter (lejit::absint, DESIGN.md
+//                     §16) proved the field always ≡ r (mod m): all but one
+//                     residue class is statically infeasible, so most digit
+//                     candidates at the last position will be masked.
+//   I_RESTRICTED_LAST_DIGIT  the abstract interpreter proved some final
+//                     decimal digits can never occur for the field (e.g. a
+//                     multiple-of-4 field never ends in an odd digit).
 //   I_SINGLE_RULE_CLUSTER  a connected component of the rule–field
 //                     dependency graph (lejit::plan) contains exactly one
 //                     rule — plan-sliced decode queries on its fields assert
@@ -73,6 +80,8 @@ enum class Code {
   kConstantField,      // I_CONSTANT_FIELD
   kSingleRuleCluster,  // I_SINGLE_RULE_CLUSTER
   kStaticField,        // I_STATIC_FIELD
+  kCongruentField,     // I_CONGRUENT_FIELD
+  kRestrictedLastDigit,  // I_RESTRICTED_LAST_DIGIT
 };
 
 std::string_view severity_name(Severity s) noexcept;
@@ -117,6 +126,12 @@ struct Config {
   // Compute exact per-field hulls by binary search (else settle for the
   // free bounds-consistent propagation interval).
   bool exact_hulls = true;
+  // Run the abstract interpreter (lejit::absint, DESIGN.md §16) over the
+  // rule set: solver-free dead-rule proofs (they stop burning the check
+  // budget), congruence/last-digit findings, tightened hull bounds, and
+  // overflow hazards re-evaluated against fixpoint ranges instead of raw
+  // domain bounds.
+  bool absint = true;
 };
 
 struct Report {

@@ -5,6 +5,7 @@
 #include <deque>
 #include <utility>
 
+#include "absint/absint.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -679,6 +680,116 @@ void check_table(Ctx& ctx, smt::Backend& backend, const DecodePlan& plan,
   backend.pop();
 }
 
+// --- pass 6: abstract containment --------------------------------------------
+// A third, solver-free reading of the digit tables (DESIGN.md §16.3). Every
+// always bit in a verified row is a universal claim: *all* length-k prefixes
+// the table's own always-chain spells out can be extended by that digit (or
+// terminated) into a cluster-feasible value. lejit::absint computes a sound
+// over-approximation of that cluster-feasible set, so any chained prefix the
+// abstraction refutes is a completion the table promises but the rule set
+// forbids — a miscompilation, reported as E_ABSINT_CONTAINMENT. Because the
+// abstraction only ever refutes with a proof, a correct table can never be
+// rejected here. The pass shares no code with plan::compile or with the
+// solver re-derivation above (check_table), and runs even when check_tables
+// is off.
+void check_absint_containment(Ctx& ctx, const DecodePlan& plan,
+                              const rules::RuleSet& set,
+                              const telemetry::RowLayout& layout) {
+  // One analysis per cluster, scoped exactly like check_table's backend
+  // push: a table only ever claims *cluster*-completability, and auditing it
+  // against the full-set abstraction could false-reject a correct table
+  // whenever some unrelated cluster is infeasible (all-bottom state).
+  std::vector<absint::Analysis> by_cluster;
+  by_cluster.reserve(plan.clusters.size());
+  for (const Cluster& c : plan.clusters) {
+    rules::RuleSet slice;
+    for (const std::size_t r : c.rules) slice.rules.push_back(set.rules[r]);
+    by_cluster.push_back(absint::analyze(slice, layout));
+  }
+
+  constexpr std::uint16_t kTermBit = 1u << kTerminatorBit;
+  for (std::size_t fi = 0; fi < plan.tables.size(); ++fi) {
+    const int f = static_cast<int>(fi);
+    const DigitTable& t = plan.tables[fi];
+    const int m = t.max_digits;
+    const int c = plan.field_cluster[fi];
+    // Rule-free fields have domain-only tables; their feasible set is the
+    // whole declared domain, which top() represents exactly.
+    const absint::AbsVal a =
+        c >= 0 ? by_cluster[static_cast<std::size_t>(c)].field(f)
+               : absint::AbsVal::top(0, layout.fields[fi].max_value);
+
+    std::vector<Prefix> level = {Prefix{}};  // T_0: the empty prefix
+    for (int k = 0; k <= m && !level.empty(); ++k) {
+      if (t.verified[static_cast<std::size_t>(k)] == 0) break;
+      if (ctx.expired()) {
+        ctx.report(Code::kInconclusive,
+                   field_label(layout, f) + " containment audit rows " +
+                       std::to_string(k) + ".. not checked: deadline expired")
+            .field = f;
+        break;
+      }
+
+      if (k >= 1 && (t.always[static_cast<std::size_t>(k)] & kTermBit) != 0) {
+        for (const Prefix& p : level) {
+          ++ctx.cert.absint_prefixes_checked;
+          if (absint::admits_value(a, p.value)) continue;
+          Finding& finding = ctx.report(
+              Code::kAbsintContainment,
+              field_label(layout, f) + " digit table row " +
+                  std::to_string(k) + ": always-bit chain claims " +
+                  std::to_string(p.value) +
+                  " is a feasible terminated value, but the abstract "
+                  "interpretation proves it violates the cluster's rules");
+          finding.field = f;
+          finding.row = k;
+        }
+      }
+
+      std::vector<Prefix> next_level;
+      if (k < m) {
+        for (int d = 0; d <= 9; ++d) {
+          if (!t.always_bit(k, d)) continue;
+          for (const Prefix& p : level) {
+            if (!prefix_can_extend(p, m)) continue;
+            const Prefix np{smt::sat_add(smt::sat_mul(p.value, 10), d),
+                            p.digits + 1};
+            ++ctx.cert.absint_prefixes_checked;
+            if (absint::completion_admitted(a, np.value, np.digits, m)) {
+              next_level.push_back(np);
+              continue;
+            }
+            Finding& finding = ctx.report(
+                Code::kAbsintContainment,
+                field_label(layout, f) + " digit table row " +
+                    std::to_string(k) + ": always-bit chain claims prefix " +
+                    std::to_string(np.value) + " (" +
+                    std::to_string(np.digits) +
+                    " digits) is completable, but the abstract "
+                    "interpretation proves no completion satisfies the "
+                    "cluster's rules");
+            finding.field = f;
+            finding.row = k;
+          }
+        }
+      }
+
+      if (static_cast<int>(next_level.size()) >
+          ctx.config.max_prefixes_per_field) {
+        ctx.report(Code::kInconclusive,
+                   field_label(layout, f) + " containment audit rows " +
+                       std::to_string(k + 1) +
+                       ".. not checked: always-chain frontier exceeds "
+                       "max_prefixes_per_field " +
+                       std::to_string(ctx.config.max_prefixes_per_field))
+            .field = f;
+        break;
+      }
+      level = std::move(next_level);
+    }
+  }
+}
+
 }  // namespace
 
 std::string_view severity_name(Severity s) noexcept {
@@ -700,6 +811,7 @@ std::string_view code_name(Code c) noexcept {
     case Code::kEquivalence: return "E_EQUIVALENCE";
     case Code::kTableMismatch: return "E_TABLE";
     case Code::kVerifiedAccounting: return "E_VERIFIED_ACCOUNTING";
+    case Code::kAbsintContainment: return "E_ABSINT_CONTAINMENT";
     case Code::kInconclusive: return "W_INCONCLUSIVE";
     case Code::kSampled: return "I_SAMPLED";
   }
@@ -780,6 +892,10 @@ Certificate run(const DecodePlan& plan, const rules::RuleSet& set,
                  std::to_string(cert.table_rows_skipped) +
                      " verified table rows skipped by sampling "
                      "configuration; this certificate is partial");
+    // Pass 6 needs no backend and no table re-derivation — it is the
+    // independent third reading, deliberately not gated on check_tables.
+    if (config.check_absint)
+      check_absint_containment(ctx, plan, set, layout);
   }
 
   if (obs::metrics_enabled()) {
@@ -824,7 +940,9 @@ std::string to_text(const Certificate& cert) {
          "; " + std::to_string(cert.table_rows_checked) +
          " table rows re-derived (" +
          std::to_string(cert.table_rows_skipped) + " skipped, " +
-         std::to_string(cert.table_rows_inconclusive) + " inconclusive)\n";
+         std::to_string(cert.table_rows_inconclusive) + " inconclusive); " +
+         std::to_string(cert.absint_prefixes_checked) +
+         " abstract containment checks\n";
   return out;
 }
 
@@ -843,6 +961,7 @@ std::string to_json(const Certificate& cert) {
   w.key("table_rows_checked").value(cert.table_rows_checked);
   w.key("table_rows_skipped").value(cert.table_rows_skipped);
   w.key("table_rows_inconclusive").value(cert.table_rows_inconclusive);
+  w.key("absint_prefixes_checked").value(cert.absint_prefixes_checked);
   w.key("findings").begin_array();
   for (const Finding& f : cert.findings) {
     w.begin_object();

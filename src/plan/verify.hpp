@@ -25,7 +25,15 @@
 //   tables        every verified (field, row) claim is re-derived from its
 //                 own prefix-level enumeration (an independently built
 //                 completion formula, not core::prefix_completion_formula)
-//                 and must match the artifact bit for bit.
+//                 and must match the artifact bit for bit;
+//   containment   a third, solver-free audit (DESIGN.md §16.3): the digit
+//                 prefixes spelled out by each table's always-bit chains
+//                 must all be admitted by the abstract interpreter's
+//                 over-approximation of the feasible set (lejit::absint).
+//                 The abstraction only refutes with proofs, so an escapee
+//                 is a miscompilation certificate (E_ABSINT_CONTAINMENT)
+//                 and a correct table can never be rejected — independent
+//                 of both plan::compile and the solver re-derivation above.
 //
 // The result is a machine-readable certificate: findings with stable codes,
 // text/JSON rendering, and an ok() verdict wired to the exit-code contract
@@ -59,6 +67,9 @@ enum class Code {
   kEquivalence,          // E_EQUIVALENCE: partition_verified claim unsound
   kTableMismatch,        // E_TABLE: digit/terminator claim refuted
   kVerifiedAccounting,   // E_VERIFIED_ACCOUNTING: verified-row bookkeeping
+  kAbsintContainment,    // E_ABSINT_CONTAINMENT: a table's always-bit chain
+                         // claims a prefix the abstract interpretation
+                         // proves uncompletable
   kInconclusive,         // W_INCONCLUSIVE: a re-proof exhausted its budget
   kSampled,              // I_SAMPLED: configured sampling skipped claims
 };
@@ -94,6 +105,10 @@ struct Config {
   int sample_field_stride = 1;
   int max_rows_per_field = 0;
   bool check_tables = true;
+  // Solver-free abstract containment audit of the digit tables (see header
+  // comment). Independent of check_tables: it still runs — and still
+  // rejects miscompiled tables — when the solver re-derivation is off.
+  bool check_absint = true;
   // Solver substrate for every re-proof (minismt, or an out-of-process
   // z3/cvc5/lejit_smtserve via the subprocess backend).
   smt::BackendConfig backend{};
@@ -112,6 +127,7 @@ struct Certificate {
   std::int64_t table_rows_checked = 0;
   std::int64_t table_rows_skipped = 0;       // by sampling configuration
   std::int64_t table_rows_inconclusive = 0;  // budget/frontier exhaustion
+  std::int64_t absint_prefixes_checked = 0;  // containment-audit prefixes
   std::string backend_name;  // smt::Backend that served the re-proofs
 
   std::size_t count(Severity s) const;

@@ -383,6 +383,112 @@ TEST(PlanVerifyMutation, StructuralGarbageRejected) {
   }
 }
 
+// --- abstract containment (pass 6) -------------------------------------------
+// The solver-free third reading: every always-bit chain must stay inside the
+// abstract interpreter's over-approximation of the cluster-feasible set. The
+// load-bearing property is *independence* — these tests run with
+// check_tables = false, so the solver re-derivation (pass 5) cannot be the
+// thing doing the rejecting.
+
+TEST(PlanVerifyAbsint, ForgedAlwaysBitCaughtWithoutSolverTablePass) {
+  const auto layout = two_field_layout();
+  const auto set = two_cluster_set();
+  DecodePlan p = reload(compile(set, layout));
+  ASSERT_TRUE(p.tables[0].row_verified(1));
+  // Forge digit 9 universally admissible at x's second position: the chain
+  // then claims 59/69/../99 completable, all refuted by x <= 50. Neither
+  // bit is set in the honest table, so no structural check fires first.
+  ASSERT_FALSE(p.tables[0].always_bit(1, 9));
+  ASSERT_FALSE(p.tables[0].never_bit(1, 9));
+  p.tables[0].always[1] |= 1u << 9;
+
+  verify::Config cfg;
+  cfg.check_tables = false;  // solver table pass OFF — absint must bite
+  const Certificate cert = verify::run(p, set, layout, cfg);
+  EXPECT_FALSE(cert.ok());
+  ASSERT_TRUE(has_code(cert, Code::kAbsintContainment)) << codes(cert);
+  EXPECT_FALSE(has_code(cert, Code::kTableMismatch)) << codes(cert);
+  for (const auto& f : cert.findings)
+    if (f.code == Code::kAbsintContainment) {
+      EXPECT_EQ(f.field, 0);
+      EXPECT_EQ(f.row, 1);
+    }
+  EXPECT_EQ(cert.table_rows_checked, 0);
+  EXPECT_GT(cert.absint_prefixes_checked, 0);
+
+  // With everything on, the same forgery is caught twice over — once by the
+  // solver re-derivation, once by the containment audit.
+  const Certificate full = verify::run(p, set, layout);
+  EXPECT_TRUE(has_code(full, Code::kTableMismatch)) << codes(full);
+  EXPECT_TRUE(has_code(full, Code::kAbsintContainment)) << codes(full);
+}
+
+TEST(PlanVerifyAbsint, ForgedTerminatorBitCaughtWithoutSolverTablePass) {
+  const auto layout = two_field_layout();
+  const auto set = two_cluster_set();
+  DecodePlan p = reload(compile(set, layout));
+  // y >= 10: no single digit is a feasible value, so the honest table marks
+  // the row-1 terminator never-admissible. Forge it always-admissible
+  // (clearing the never bit so the always∧never structural check stays
+  // quiet) — the audit must refute the claim that 1..9 terminate feasibly.
+  const std::uint16_t term = 1u << kTerminatorBit;
+  ASSERT_TRUE(p.tables[1].row_verified(1));
+  ASSERT_NE(p.tables[1].never[1] & term, 0);
+  p.tables[1].never[1] &= static_cast<std::uint16_t>(~term);
+  p.tables[1].always[1] |= term;
+
+  verify::Config cfg;
+  cfg.check_tables = false;
+  const Certificate cert = verify::run(p, set, layout, cfg);
+  EXPECT_FALSE(cert.ok());
+  ASSERT_TRUE(has_code(cert, Code::kAbsintContainment)) << codes(cert);
+  for (const auto& f : cert.findings)
+    if (f.code == Code::kAbsintContainment) {
+      EXPECT_EQ(f.field, 1);
+    }
+}
+
+TEST(PlanVerifyAbsint, CleanArtifactPassesContainmentAlone) {
+  const auto layout = two_field_layout();
+  const auto set = two_cluster_set();
+  const DecodePlan p = reload(compile(set, layout));
+
+  verify::Config cfg;
+  cfg.check_tables = false;
+  const Certificate cert = verify::run(p, set, layout, cfg);
+  EXPECT_TRUE(cert.ok()) << codes(cert);
+  EXPECT_GT(cert.absint_prefixes_checked, 0);
+
+  // The abstraction only refutes with proofs, so it can never false-reject
+  // a sound artifact — including a big mined set with sum/implication rules
+  // well beyond what the interval domain represents exactly.
+  const auto dataset = telemetry::generate_dataset(telemetry::GeneratorConfig{
+      .num_racks = 6, .windows_per_rack = 30, .seed = 99});
+  const auto mined_layout = telemetry::telemetry_row_layout(dataset.limits);
+  const auto mined = rules::mine_rules(telemetry::all_windows(dataset),
+                                       mined_layout, dataset.limits)
+                         .rules;
+  const DecodePlan mp = reload(compile(mined, mined_layout));
+  const Certificate mcert = verify::run(mp, mined, mined_layout, cfg);
+  EXPECT_TRUE(mcert.ok()) << codes(mcert);
+}
+
+TEST(PlanVerifyAbsint, DisabledPassIsInert) {
+  const auto layout = two_field_layout();
+  const auto set = two_cluster_set();
+  DecodePlan p = reload(compile(set, layout));
+  p.tables[0].always[1] |= 1u << 9;  // same forgery as above
+
+  // Both table passes off: the forgery goes unseen — proof that the
+  // containment audit (not some other pass) is what catches it.
+  verify::Config cfg;
+  cfg.check_tables = false;
+  cfg.check_absint = false;
+  const Certificate cert = verify::run(p, set, layout, cfg);
+  EXPECT_TRUE(cert.ok()) << codes(cert);
+  EXPECT_EQ(cert.absint_prefixes_checked, 0);
+}
+
 // --- graceful degradation ----------------------------------------------------
 
 TEST(PlanVerifyDegradation, StarvedBudgetWarnsInsteadOfRejecting) {

@@ -23,6 +23,7 @@
 #include <sstream>
 #include <string>
 
+#include "absint/diff.hpp"
 #include "core/batch.hpp"
 #include "core/decoder.hpp"
 #include "lint/lint.hpp"
@@ -237,6 +238,10 @@ core::DecoderConfig decoder_config_from_args(const Args& args,
   config.solver.max_nodes = args.get_int("max-nodes", config.solver.max_nodes);
   config.resilience = resilience_from_args(args);
   config.cache = !args.has("no-solver-cache");
+  // Abstract-interpretation prefilter (DESIGN.md §16): refutation-only, so
+  // decodes are bit-identical either way; --no-absint exists for perf A/B
+  // runs and debugging, mirroring --no-solver-cache.
+  config.absint = !args.has("no-absint");
   // Solver substrate (DESIGN.md §12): in-process minismt, or an external
   // SMT-LIB2 subprocess with automatic degradation back to minismt.
   config.backend =
@@ -638,6 +643,81 @@ int cmd_smt_diff(const Args& args) {
   return report.ok() ? 0 : 1;
 }
 
+// Differential soundness testing of the abstract interpreter (DESIGN.md
+// §16.4): fuzzed rule sessions, pins, and completion/value/interval queries;
+// every abstract refutation must be confirmed unsat by a real backend. The
+// harness's own teeth are gated by --inject-unsound --expect-mismatch (a
+// deliberately broken transfer function MUST be caught). Exit-code contract:
+// 0 = pass (no mismatch, or mismatch when --expect-mismatch), 1 = soundness
+// mismatch / vacuous run / expected mismatch not found, 2 = usage failure,
+// 77 = --backend auto found no external solver (conventional skip).
+int cmd_absint_diff(const Args& args) {
+  absint::diff::Config cfg;
+  cfg.queries = static_cast<int>(args.get_int("queries", 1000));
+  cfg.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  cfg.domain.test_unsound_tighten = args.has("inject-unsound");
+  const bool expect_mismatch = args.has("expect-mismatch");
+
+  const std::string spec = args.get("backend", "minismt");
+  absint::diff::BackendFactory factory;
+  std::string backend_name = spec;
+  if (spec == "minismt") {
+    factory = [] { return std::make_unique<smt::MinismtBackend>(); };
+  } else {
+    smt::BackendConfig bc;
+    if (spec == "auto") {
+      const std::string path = smt::find_external_solver(g_argv0);
+      if (path.empty()) {
+        std::cerr << "absint-diff: no external solver found "
+                     "($LEJIT_SMT_SOLVER, z3/cvc5 on PATH, $LEJIT_SMTSERVE, "
+                     "or a sibling lejit_smtserve); skipping\n";
+        return 77;
+      }
+      bc = smt::backend_config_from_spec(path, g_argv0);
+    } else if (spec == "self") {
+      const std::size_t slash = g_argv0.rfind('/');
+      const std::string dir =
+          slash == std::string::npos ? "" : g_argv0.substr(0, slash + 1);
+      const std::string path = dir + "lejit_smtserve";
+      if (::access(path.c_str(), X_OK) != 0) {
+        std::cerr << "absint-diff: " << path << " is not executable; "
+                     "skipping\n";
+        return 77;
+      }
+      bc = smt::backend_config_from_spec(path, g_argv0);
+    } else {
+      bc = smt::backend_config_from_spec(spec, g_argv0);
+      if (bc.kind != smt::BackendKind::kSubprocess) {
+        std::cerr << "error: --backend must be minismt, auto, self, "
+                     "subprocess:<path>, or a solver path\n";
+        return 2;
+      }
+    }
+    // The abstraction is measured against the external solver's own
+    // verdicts, not the failover's.
+    bc.degrade_to_minismt = false;
+    backend_name = bc.solver_path;
+    factory = [bc] { return smt::make_backend(bc); };
+  }
+
+  const absint::diff::Report report = absint::diff::run(cfg, factory);
+  std::cout << absint::diff::to_text(report);
+  if (expect_mismatch) {
+    const bool caught = report.mismatches > 0;
+    std::cerr << "absint-diff: expected-mismatch mode vs " << backend_name
+              << (caught ? ": unsoundness caught as required"
+                         : ": FAILED to catch the seeded unsoundness")
+              << "\n";
+    return caught ? 0 : 1;
+  }
+  std::cerr << "absint-diff: abstraction vs " << backend_name
+            << (report.ok() ? ": sound"
+                            : (report.mismatches > 0 ? ": UNSOUND"
+                                                     : ": VACUOUS"))
+            << "\n";
+  return report.ok() ? 0 : 1;
+}
+
 void usage() {
   std::cerr <<
       "usage: lejit_cli <command> [--flag value ...]\n"
@@ -685,6 +765,17 @@ void usage() {
       "           exit 77 when no solver is found), self (the bundled\n"
       "           lejit_smtserve), subprocess:<path>, or a solver path.\n"
       "           exit 0 = agreement, 1 = mismatch, 77 = skipped\n"
+      "  absint-diff [--queries N] [--seed S] [--backend SPEC]\n"
+      "           [--inject-unsound] [--expect-mismatch]\n"
+      "           differential soundness testing of the abstract\n"
+      "           interpreter: every abstract refutation over fuzzed rule\n"
+      "           sessions must be confirmed unsat by a real backend. SPEC:\n"
+      "           minismt (default, in-process), auto (external solver; exit\n"
+      "           77 when none is found), self (the bundled lejit_smtserve),\n"
+      "           subprocess:<path>, or a solver path. --inject-unsound\n"
+      "           breaks a transfer function on purpose; with\n"
+      "           --expect-mismatch the run fails unless the harness catches\n"
+      "           it. exit 0 = pass, 1 = unsound/vacuous, 77 = skipped\n"
       "resilience (synth, impute):\n"
       "  --on-unknown POLICY  inconclusive solver checks read as:\n"
       "                       infeasible|feasible|escalate (default escalate)\n"
@@ -695,6 +786,9 @@ void usage() {
       "  --no-solver-cache    disable incremental solver reuse + feasibility\n"
       "                       caching (decodes are bit-identical either way;\n"
       "                       this exists for perf A/B runs and debugging)\n"
+      "  --no-absint          disable the abstract-interpretation prefilter\n"
+      "                       in front of the solver/cache (bit-identical\n"
+      "                       either way; for perf A/B runs and debugging)\n"
       "  --lint               lint the rule set at load time and refuse to\n"
       "                       decode if it has errors (lint_on_load); clean\n"
       "                       sets seed the feasibility cache's static hulls\n"
@@ -783,6 +877,7 @@ int main(int argc, char** argv) {
     if (command == "plan") return cmd_plan(args);
     if (command == "plan-verify") return cmd_plan_verify(args);
     if (command == "smt-diff") return cmd_smt_diff(args);
+    if (command == "absint-diff") return cmd_absint_diff(args);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 2;

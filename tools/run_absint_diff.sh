@@ -1,0 +1,25 @@
+#!/bin/sh
+# Differential soundness test of the abstract interpreter against a real
+# external SMT solver (DESIGN.md §16.4).
+#
+# Usage: run_absint_diff.sh <lejit_cli> [queries]
+#
+# Exits 77 (ctest SKIPPED via SKIP_RETURN_CODE) when neither z3 nor cvc5 is
+# installed — the always-on absint_diff_minismt / absint_diff_self tests
+# already cover the in-process and bundled-subprocess backends.
+set -u
+
+CLI="${1:?usage: run_absint_diff.sh <lejit_cli> [queries]}"
+QUERIES="${2:-1000}"
+
+if command -v z3 >/dev/null 2>&1; then
+  SOLVER=$(command -v z3)
+elif command -v cvc5 >/dev/null 2>&1; then
+  SOLVER=$(command -v cvc5)
+else
+  echo "run_absint_diff.sh: no z3 or cvc5 on PATH; skipping" >&2
+  exit 77
+fi
+
+echo "run_absint_diff.sh: diffing the abstraction against ${SOLVER}" >&2
+exec "${CLI}" absint-diff --backend "${SOLVER}" --queries "${QUERIES}" --seed 7

@@ -1,0 +1,50 @@
+#!/bin/sh
+# Run `lejit_cli lint` over every checked-in example rule set and assert the
+# documented exit-code contract: 0 = no errors (the examples must stay
+# lint-clean), and 2 = usage/IO failure for a missing file. Files named
+# *.coarse.rules are linted against the coarse layout.
+#
+# Usage: run_lint_examples.sh <lejit_cli> <rules-dir>
+set -u
+
+CLI="${1:?usage: run_lint_examples.sh <lejit_cli> <rules-dir>}"
+DIR="${2:?usage: run_lint_examples.sh <lejit_cli> <rules-dir>}"
+
+found=0
+for rules in "${DIR}"/*.rules; do
+  [ -e "${rules}" ] || continue
+  found=1
+  coarse=""
+  case "${rules}" in *.coarse.rules) coarse="--coarse" ;; esac
+  echo "run_lint_examples.sh: lint ${rules} ${coarse}" >&2
+  "${CLI}" lint --rules "${rules}" ${coarse}
+  code=$?
+  if [ "${code}" -ne 0 ]; then
+    echo "run_lint_examples.sh: FAIL: ${rules} exited ${code} (want 0)" >&2
+    exit 1
+  fi
+  # The JSON report must be produced under the same contract.
+  "${CLI}" lint --rules "${rules}" ${coarse} --json > /dev/null
+  code=$?
+  if [ "${code}" -ne 0 ]; then
+    echo "run_lint_examples.sh: FAIL: ${rules} --json exited ${code}" >&2
+    exit 1
+  fi
+done
+
+if [ "${found}" -eq 0 ]; then
+  echo "run_lint_examples.sh: FAIL: no *.rules files in ${DIR}" >&2
+  exit 1
+fi
+
+# Usage/IO failures must exit 2, not 0/1 — callers distinguish "rule set has
+# errors" from "could not even read it".
+"${CLI}" lint --rules "${DIR}/no_such_file.rules" > /dev/null 2>&1
+code=$?
+if [ "${code}" -ne 2 ]; then
+  echo "run_lint_examples.sh: FAIL: missing file exited ${code} (want 2)" >&2
+  exit 1
+fi
+
+echo "run_lint_examples.sh: OK" >&2
+exit 0
